@@ -1,0 +1,355 @@
+//! The "4-tree" from the factor analysis (§6.2): a tree with fanout 4
+//! whose two-cache-line nodes put everything needed for traversal — four
+//! child pointers and the first 8 bytes of each key — in the first line.
+//!
+//! As in the paper: reads are lockless and never retry; inserts use a
+//! per-node lock with single-store publication (a packed order byte plays
+//! the role Masstree's permutation plays); nodes never rearrange keys and
+//! internal nodes are always full, because a node only grows children
+//! after its three key slots fill.
+
+use std::sync::atomic::{AtomicPtr, AtomicU8, AtomicU64, Ordering};
+
+use crossbeam::epoch::Guard;
+use masstree::key::slice_at;
+
+/// Keys per node (fanout 4 = 3 separators + 4 children).
+const KEYS: usize = 3;
+
+struct Node {
+    // ---- first cache line: everything traversal needs ----
+    /// Packed publication word: bits 0..2 = nkeys, bits 2..8 = sorted
+    /// order (2 bits per position). A single release store publishes an
+    /// insert, so readers never retry.
+    order: AtomicU8,
+    lock: AtomicU8,
+    ikey: [AtomicU64; KEYS],
+    child: [AtomicPtr<Node>; 4],
+    // ---- second cache line: full keys and values ----
+    key_ptr: [AtomicPtr<u8>; KEYS],
+    key_len: [AtomicU64; KEYS],
+    value: [AtomicPtr<u64>; KEYS],
+}
+
+#[derive(Clone, Copy)]
+struct Order(u8);
+
+impl Order {
+    fn empty() -> Self {
+        Order(0)
+    }
+    fn nkeys(self) -> usize {
+        (self.0 & 0b11) as usize
+    }
+    fn get(self, i: usize) -> usize {
+        ((self.0 >> (2 + 2 * i)) & 0b11) as usize
+    }
+    /// Insert slot index `slot` at sorted position `pos`.
+    fn insert(self, pos: usize, slot: usize) -> Order {
+        let n = self.nkeys();
+        debug_assert!(pos <= n && n < KEYS);
+        let mut o = Order((self.0 & 0b11) + 1);
+        let mut src = 0;
+        for dst in 0..=n {
+            let s = if dst == pos {
+                slot
+            } else {
+                let s = self.get(src);
+                src += 1;
+                s
+            };
+            o.0 |= (s as u8) << (2 + 2 * dst);
+        }
+        o
+    }
+}
+
+fn new_node() -> *mut Node {
+    Box::into_raw(Box::new(Node {
+        order: AtomicU8::new(Order::empty().0),
+        lock: AtomicU8::new(0),
+        ikey: [const { AtomicU64::new(0) }; KEYS],
+        child: [const { AtomicPtr::new(std::ptr::null_mut()) }; 4],
+        key_ptr: [const { AtomicPtr::new(std::ptr::null_mut()) }; KEYS],
+        key_len: [const { AtomicU64::new(0) }; KEYS],
+        value: [const { AtomicPtr::new(std::ptr::null_mut()) }; KEYS],
+    }))
+}
+
+/// A concurrent fanout-4 search tree mapping byte keys to `u64` values.
+pub struct FourTree {
+    root: AtomicPtr<Node>,
+}
+
+// SAFETY: all shared state is atomic; values are epoch-reclaimed.
+unsafe impl Send for FourTree {}
+// SAFETY: as above.
+unsafe impl Sync for FourTree {}
+
+impl Node {
+    fn key(&self, slot: usize) -> &[u8] {
+        let p = self.key_ptr[slot].load(Ordering::Acquire);
+        let l = self.key_len[slot].load(Ordering::Acquire) as usize;
+        // SAFETY: key blocks are immutable once published and live while
+        // the tree lives.
+        unsafe { std::slice::from_raw_parts(p, l) }
+    }
+
+    fn lock(&self) {
+        while self
+            .lock
+            .compare_exchange_weak(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+    }
+
+    fn unlock(&self) {
+        self.lock.store(0, Ordering::Release);
+    }
+}
+
+impl Default for FourTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FourTree {
+    pub fn new() -> Self {
+        FourTree {
+            root: AtomicPtr::new(new_node()),
+        }
+    }
+
+    /// Compares a lookup key against slot `slot` of `n` (integer prefix
+    /// first — the 4-tree inherits "+IntCmp").
+    #[inline]
+    fn cmp(key: &[u8], ikey: u64, n: &Node, slot: usize) -> std::cmp::Ordering {
+        let sk = n.ikey[slot].load(Ordering::Acquire);
+        match ikey.cmp(&sk) {
+            std::cmp::Ordering::Equal => {
+                let nk = n.key(slot);
+                key[key.len().min(8)..]
+                    .cmp(&nk[nk.len().min(8)..])
+                    .then(key.len().cmp(&nk.len()))
+            }
+            o => o,
+        }
+    }
+
+    /// Lockless lookup; never retries.
+    pub fn get(&self, key: &[u8], _guard: &Guard) -> Option<u64> {
+        let ikey = slice_at(key, 0);
+        let mut cur = self.root.load(Ordering::Acquire);
+        while !cur.is_null() {
+            // SAFETY: nodes are never freed while the tree lives.
+            let n = unsafe { &*cur };
+            let order = Order(n.order.load(Ordering::Acquire));
+            let mut ci = order.nkeys(); // rightmost child unless key < some separator
+            let mut found = None;
+            for pos in 0..order.nkeys() {
+                let slot = order.get(pos);
+                match Self::cmp(key, ikey, n, slot) {
+                    std::cmp::Ordering::Equal => {
+                        found = Some(slot);
+                        break;
+                    }
+                    std::cmp::Ordering::Less => {
+                        ci = pos;
+                        break;
+                    }
+                    std::cmp::Ordering::Greater => {}
+                }
+            }
+            if let Some(slot) = found {
+                let v = n.value[slot].load(Ordering::Acquire);
+                // SAFETY: values are epoch-retired on update.
+                return Some(unsafe { *v });
+            }
+            cur = n.child[ci].load(Ordering::Acquire);
+        }
+        None
+    }
+
+    /// Inserts or updates `key → value`.
+    pub fn put(&self, key: &[u8], value: u64, guard: &Guard) {
+        let ikey = slice_at(key, 0);
+        let vptr = Box::into_raw(Box::new(value));
+        let mut cur = self.root.load(Ordering::Acquire);
+        loop {
+            // SAFETY: as in `get`.
+            let n = unsafe { &*cur };
+            let order = Order(n.order.load(Ordering::Acquire));
+            let mut ci = order.nkeys();
+            let mut found = None;
+            for pos in 0..order.nkeys() {
+                let slot = order.get(pos);
+                match Self::cmp(key, ikey, n, slot) {
+                    std::cmp::Ordering::Equal => {
+                        found = Some(slot);
+                        break;
+                    }
+                    std::cmp::Ordering::Less => {
+                        ci = pos;
+                        break;
+                    }
+                    std::cmp::Ordering::Greater => {}
+                }
+            }
+            if let Some(slot) = found {
+                let old = n.value[slot].swap(vptr, Ordering::AcqRel);
+                let oldp = old as usize;
+                // SAFETY: old value unreachable; epoch protects readers.
+                unsafe {
+                    guard.defer_unchecked(move || drop(Box::from_raw(oldp as *mut u64)));
+                }
+                return;
+            }
+            if order.nkeys() < KEYS {
+                // Try to claim a slot in this node under its lock.
+                n.lock();
+                let cur_order = Order(n.order.load(Ordering::Relaxed));
+                if cur_order.0 != order.0 {
+                    n.unlock();
+                    continue; // re-examine the node
+                }
+                // Re-derive the sorted position under the lock.
+                let mut pos = cur_order.nkeys();
+                for p in 0..cur_order.nkeys() {
+                    if Self::cmp(key, ikey, n, cur_order.get(p)) == std::cmp::Ordering::Less {
+                        pos = p;
+                        break;
+                    }
+                }
+                let slot = cur_order.nkeys();
+                let boxed: Box<[u8]> = key.into();
+                let len = boxed.len() as u64;
+                n.key_ptr[slot].store(Box::into_raw(boxed).cast::<u8>(), Ordering::Release);
+                n.key_len[slot].store(len, Ordering::Release);
+                n.ikey[slot].store(ikey, Ordering::Release);
+                n.value[slot].store(vptr, Ordering::Release);
+                n.order
+                    .store(cur_order.insert(pos, slot).0, Ordering::Release);
+                n.unlock();
+                return;
+            }
+            // Node full: descend, creating the child if missing.
+            let childp = n.child[ci].load(Ordering::Acquire);
+            if childp.is_null() {
+                let fresh = new_node();
+                match n.child[ci].compare_exchange(
+                    std::ptr::null_mut(),
+                    fresh,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => cur = fresh,
+                    Err(existing) => {
+                        // SAFETY: never published.
+                        unsafe { drop(Box::from_raw(fresh)) };
+                        cur = existing;
+                    }
+                }
+            } else {
+                cur = childp;
+            }
+        }
+    }
+}
+
+impl Drop for FourTree {
+    fn drop(&mut self) {
+        let mut stack = vec![*self.root.get_mut()];
+        while let Some(p) = stack.pop() {
+            if p.is_null() {
+                continue;
+            }
+            // SAFETY: exclusive access; each node visited once.
+            unsafe {
+                let n = Box::from_raw(p);
+                for c in &n.child {
+                    stack.push(c.load(Ordering::Relaxed));
+                }
+                let order = Order(n.order.load(Ordering::Relaxed));
+                for pos in 0..order.nkeys() {
+                    let slot = order.get(pos);
+                    drop(Box::from_raw(n.value[slot].load(Ordering::Relaxed)));
+                    let kp = n.key_ptr[slot].load(Ordering::Relaxed);
+                    let kl = n.key_len[slot].load(Ordering::Relaxed) as usize;
+                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(kp, kl)));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_packing() {
+        let o = Order::empty();
+        assert_eq!(o.nkeys(), 0);
+        let o = o.insert(0, 0);
+        let o = o.insert(0, 1); // new key sorts first
+        let o = o.insert(1, 2); // middle
+        assert_eq!(o.nkeys(), 3);
+        assert_eq!((o.get(0), o.get(1), o.get(2)), (1, 2, 0));
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let t = FourTree::new();
+        let g = crossbeam::epoch::pin();
+        for i in 0..1000u64 {
+            t.put(format!("key{i:05}").as_bytes(), i, &g);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(t.get(format!("key{i:05}").as_bytes(), &g), Some(i));
+        }
+        assert_eq!(t.get(b"missing", &g), None);
+        // Updates.
+        t.put(b"key00000", 999, &g);
+        assert_eq!(t.get(b"key00000", &g), Some(999));
+    }
+
+    #[test]
+    fn keys_longer_than_prefix() {
+        let t = FourTree::new();
+        let g = crossbeam::epoch::pin();
+        t.put(b"aaaaaaaaX", 1, &g);
+        t.put(b"aaaaaaaaY", 2, &g);
+        t.put(b"aaaaaaaa", 3, &g);
+        assert_eq!(t.get(b"aaaaaaaaX", &g), Some(1));
+        assert_eq!(t.get(b"aaaaaaaaY", &g), Some(2));
+        assert_eq!(t.get(b"aaaaaaaa", &g), Some(3));
+    }
+
+    #[test]
+    fn concurrent_inserts() {
+        let t = std::sync::Arc::new(FourTree::new());
+        let handles: Vec<_> = (0..8)
+            .map(|tid| {
+                let t = std::sync::Arc::clone(&t);
+                std::thread::spawn(move || {
+                    let g = crossbeam::epoch::pin();
+                    for i in 0..5_000u64 {
+                        t.put(format!("t{tid}k{i}").as_bytes(), i, &g);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let g = crossbeam::epoch::pin();
+        for tid in 0..8 {
+            for i in 0..5_000u64 {
+                assert_eq!(t.get(format!("t{tid}k{i}").as_bytes(), &g), Some(i));
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! The open-coded concurrent hash table from §6.4's range-query-cost
+//! comparison (and the hash-store stand-ins of §7).
+//!
+//! Open addressing with linear probing, sized at creation for ~30%
+//! occupancy as in the paper ("Each hash lookup inspects 1.1 entries on
+//! average"). No deletion (the benchmarks never remove); key slots are
+//! write-once, so readers are lock-free and never retry: a slot's tag is
+//! claimed by CAS, the key block published with a release store, and
+//! updates swap the value pointer atomically.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+use crossbeam::epoch::Guard;
+
+struct Slot {
+    /// 0 = empty; otherwise the key's hash with the low bit forced to 1.
+    tag: AtomicU64,
+    key: AtomicPtr<u8>,
+    key_len: AtomicU64,
+    value: AtomicPtr<u64>,
+}
+
+/// A fixed-capacity concurrent hash table mapping byte keys to `u64`.
+pub struct HashTable {
+    slots: Box<[Slot]>,
+    mask: usize,
+}
+
+// SAFETY: all shared state is atomic; values epoch-reclaimed, keys
+// write-once.
+unsafe impl Send for HashTable {}
+// SAFETY: as above.
+unsafe impl Sync for HashTable {}
+
+#[inline]
+fn hash_key(key: &[u8]) -> u64 {
+    // FNV-1a, then force the "occupied" bit.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h | 1
+}
+
+impl HashTable {
+    /// A table able to hold `expected` keys at ~30% occupancy.
+    pub fn with_expected_keys(expected: usize) -> Self {
+        let cap = (expected.max(16) * 10 / 3).next_power_of_two();
+        let slots: Vec<Slot> = (0..cap)
+            .map(|_| Slot {
+                tag: AtomicU64::new(0),
+                key: AtomicPtr::new(std::ptr::null_mut()),
+                key_len: AtomicU64::new(0),
+                value: AtomicPtr::new(std::ptr::null_mut()),
+            })
+            .collect();
+        HashTable {
+            slots: slots.into_boxed_slice(),
+            mask: cap - 1,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn slot_key(s: &Slot) -> Option<&[u8]> {
+        let p = s.key.load(Ordering::Acquire);
+        if p.is_null() {
+            return None;
+        }
+        let l = s.key_len.load(Ordering::Acquire) as usize;
+        // SAFETY: key blocks are write-once and live while the table does.
+        Some(unsafe { std::slice::from_raw_parts(p, l) })
+    }
+
+    /// Lock-free lookup.
+    pub fn get(&self, key: &[u8], _guard: &Guard) -> Option<u64> {
+        let h = hash_key(key);
+        let mut i = h as usize & self.mask;
+        loop {
+            let s = &self.slots[i];
+            let tag = s.tag.load(Ordering::Acquire);
+            if tag == 0 {
+                return None;
+            }
+            if tag == h {
+                match Self::slot_key(s) {
+                    Some(k) if k == key => {
+                        let v = s.value.load(Ordering::Acquire);
+                        if v.is_null() {
+                            // Insert in flight; treat as absent.
+                            return None;
+                        }
+                        // SAFETY: values epoch-retired on update.
+                        return Some(unsafe { *v });
+                    }
+                    Some(_) => {}
+                    None => {
+                        // Claimed but key not yet published: the insert is
+                        // concurrent, so "absent" is linearizable.
+                        return None;
+                    }
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Inserts or updates. Panics if the table is full (it is sized for
+    /// the benchmark working set).
+    pub fn put(&self, key: &[u8], value: u64, guard: &Guard) {
+        let h = hash_key(key);
+        let vptr = Box::into_raw(Box::new(value));
+        let mut i = h as usize & self.mask;
+        let mut probes = 0;
+        loop {
+            let s = &self.slots[i];
+            let tag = s.tag.load(Ordering::Acquire);
+            if tag == h {
+                // Possible match: wait for the key to be published.
+                let k = loop {
+                    if let Some(k) = Self::slot_key(s) {
+                        break k;
+                    }
+                    std::hint::spin_loop();
+                };
+                if k == key {
+                    let old = s.value.swap(vptr, Ordering::AcqRel);
+                    if !old.is_null() {
+                        let oldp = old as usize;
+                        // SAFETY: old value unreachable; epoch protects
+                        // in-flight readers.
+                        unsafe {
+                            guard.defer_unchecked(move || {
+                                drop(Box::from_raw(oldp as *mut u64))
+                            });
+                        }
+                    }
+                    return;
+                }
+            } else if tag == 0
+                && s.tag
+                    .compare_exchange(0, h, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                // Claimed a fresh slot: publish key then value.
+                let boxed: Box<[u8]> = key.into();
+                let len = boxed.len() as u64;
+                s.key_len.store(len, Ordering::Release);
+                s.key.store(Box::into_raw(boxed).cast::<u8>(), Ordering::Release);
+                s.value.store(vptr, Ordering::Release);
+                return;
+            }
+            i = (i + 1) & self.mask;
+            probes += 1;
+            assert!(probes <= self.mask, "hash table full");
+        }
+    }
+}
+
+impl Drop for HashTable {
+    fn drop(&mut self) {
+        for s in self.slots.iter() {
+            let k = s.key.load(Ordering::Relaxed);
+            if !k.is_null() {
+                let l = s.key_len.load(Ordering::Relaxed) as usize;
+                // SAFETY: exclusive access; write-once key blocks.
+                unsafe {
+                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(k, l)));
+                }
+            }
+            let v = s.value.load(Ordering::Relaxed);
+            if !v.is_null() {
+                // SAFETY: exclusive access.
+                unsafe { drop(Box::from_raw(v)) };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_update() {
+        let t = HashTable::with_expected_keys(1000);
+        let g = crossbeam::epoch::pin();
+        assert_eq!(t.get(b"a", &g), None);
+        t.put(b"a", 1, &g);
+        t.put(b"bb", 2, &g);
+        assert_eq!(t.get(b"a", &g), Some(1));
+        assert_eq!(t.get(b"bb", &g), Some(2));
+        t.put(b"a", 3, &g);
+        assert_eq!(t.get(b"a", &g), Some(3));
+    }
+
+    #[test]
+    fn thirty_percent_occupancy_sizing() {
+        let t = HashTable::with_expected_keys(100_000);
+        assert!(t.capacity() >= 100_000 * 3);
+    }
+
+    #[test]
+    fn many_keys() {
+        let t = HashTable::with_expected_keys(50_000);
+        let g = crossbeam::epoch::pin();
+        for i in 0..50_000u64 {
+            t.put(format!("key{i}").as_bytes(), i, &g);
+        }
+        for i in 0..50_000u64 {
+            assert_eq!(t.get(format!("key{i}").as_bytes(), &g), Some(i));
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts() {
+        let t = std::sync::Arc::new(HashTable::with_expected_keys(100_000));
+        let handles: Vec<_> = (0..8)
+            .map(|tid| {
+                let t = std::sync::Arc::clone(&t);
+                std::thread::spawn(move || {
+                    let g = crossbeam::epoch::pin();
+                    for i in 0..10_000u64 {
+                        t.put(format!("t{tid}k{i}").as_bytes(), i, &g);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let g = crossbeam::epoch::pin();
+        for tid in 0..8 {
+            for i in 0..10_000u64 {
+                assert_eq!(t.get(format!("t{tid}k{i}").as_bytes(), &g), Some(i));
+            }
+        }
+    }
+}

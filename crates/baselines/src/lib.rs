@@ -1,0 +1,22 @@
+//! Baseline index structures from the Masstree paper's evaluation:
+//! the factor-analysis ladder of §6.2 (binary tree, arena allocation,
+//! integer compare, 4-tree, OCC B+-tree with prefetching and
+//! permutations), the flexibility comparisons of §6.4 (fixed-key tree,
+//! hash table, single-core variant) and the hard-partitioned
+//! configuration of §6.6.
+
+pub mod arena;
+pub mod binary;
+pub mod fourtree;
+pub mod hashtable;
+pub mod occ_btree;
+pub mod partitioned;
+pub mod single_core;
+
+pub use arena::Arena;
+pub use binary::{BinaryTree, Compare, NodeAlloc};
+pub use fourtree::FourTree;
+pub use hashtable::HashTable;
+pub use occ_btree::{OccBtree, OccBtreeConfig};
+pub use partitioned::{partition_of, PartitionedMasstree};
+pub use single_core::SingleMasstree;

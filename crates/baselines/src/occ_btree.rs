@@ -1,0 +1,983 @@
+//! The concurrent OCC B+-tree from the factor analysis (§6.2): Figure 8's
+//! "B-tree", "+Prefetch" and "+Permuter" bars, plus §6.4's fixed-8-byte-key
+//! variant.
+//!
+//! A single-layer B+-tree of width 15 using the same concurrency control
+//! scheme as Masstree (version words, hand-over-hand validation, B-link
+//! rightward walks), but storing *whole keys*: the first 16 bytes inline
+//! (two big-endian words), the rest in an out-of-line block — so long keys
+//! cost a cache miss per comparison, which is exactly what Figure 9
+//! measures against Masstree's trie.
+//!
+//! Runtime toggles (all combinations valid):
+//! * `prefetch` — prefetch whole nodes before use ("+Prefetch").
+//! * `permuter` — publish inserts via a permutation instead of physically
+//!   rearranging keys and dirtying the version ("+Permuter").
+//! * `fixed8` — keys are exactly 8 bytes; skips all suffix machinery
+//!   (§6.4's fixed-size-key tree).
+
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+
+use crossbeam::epoch::Guard;
+use masstree::key::slice_at;
+use masstree::permutation::{Permutation, WIDTH};
+use masstree::prefetch::prefetch;
+use masstree::version::{Version, VersionCell};
+
+/// Configuration toggles (see module docs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OccBtreeConfig {
+    pub prefetch: bool,
+    pub permuter: bool,
+    pub fixed8: bool,
+}
+
+impl OccBtreeConfig {
+    /// Figure 8's "B-tree" bar.
+    pub fn plain() -> Self {
+        OccBtreeConfig::default()
+    }
+    /// Figure 8's "+Prefetch" bar.
+    pub fn prefetching() -> Self {
+        OccBtreeConfig {
+            prefetch: true,
+            ..Default::default()
+        }
+    }
+    /// Figure 8's "+Permuter" bar (the full non-trie B-tree).
+    pub fn permuter() -> Self {
+        OccBtreeConfig {
+            prefetch: true,
+            permuter: true,
+            ..Default::default()
+        }
+    }
+    /// §6.4's fixed 8-byte-key tree.
+    pub fn fixed8() -> Self {
+        OccBtreeConfig {
+            prefetch: true,
+            permuter: true,
+            fixed8: true,
+        }
+    }
+}
+
+/// An immutable full-key block (used when a key exceeds 16 bytes, and for
+/// leaf lowkeys / interior separators).
+struct FullKey;
+
+impl FullKey {
+    fn alloc(key: &[u8]) -> *mut u8 {
+        let mut v = Vec::with_capacity(key.len() + 4);
+        v.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        v.extend_from_slice(key);
+        Box::into_raw(v.into_boxed_slice()).cast::<u8>()
+    }
+
+    /// # Safety
+    ///
+    /// `p` must come from [`FullKey::alloc`] and be live.
+    unsafe fn bytes<'a>(p: *const u8) -> &'a [u8] {
+        // SAFETY: layout written by `alloc`.
+        unsafe {
+            let len = u32::from_le_bytes(*p.cast::<[u8; 4]>()) as usize;
+            std::slice::from_raw_parts(p.add(4), len)
+        }
+    }
+
+    /// # Safety
+    ///
+    /// `p` must come from [`FullKey::alloc`], be unreachable, and not be
+    /// freed twice.
+    unsafe fn free(p: *mut u8) {
+        // SAFETY: reconstructing the boxed slice allocated in `alloc`.
+        unsafe {
+            let len = u32::from_le_bytes(*p.cast::<[u8; 4]>()) as usize;
+            drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(p, len + 4)));
+        }
+    }
+}
+
+#[repr(C)]
+struct Head {
+    version: VersionCell,
+}
+
+#[repr(C, align(64))]
+struct Leaf {
+    head: Head,
+    permutation: AtomicU64,
+    ikey: [AtomicU64; WIDTH],
+    ikey2: [AtomicU64; WIDTH],
+    klen: [AtomicU32; WIDTH],
+    kfull: [AtomicPtr<u8>; WIDTH],
+    value: [AtomicPtr<u64>; WIDTH],
+    next: AtomicPtr<Leaf>,
+    parent: AtomicPtr<Inner>,
+    /// Full-key lower bound (null for the leftmost leaf).
+    lowkey: AtomicPtr<u8>,
+}
+
+#[repr(C, align(64))]
+struct Inner {
+    head: Head,
+    nkeys: AtomicU64,
+    ikey: [AtomicU64; WIDTH],
+    ikey2: [AtomicU64; WIDTH],
+    sep: [AtomicPtr<u8>; WIDTH],
+    child: [AtomicPtr<Head>; WIDTH + 1],
+    parent: AtomicPtr<Inner>,
+}
+
+fn new_leaf(is_root: bool, locked_splitting: Option<&VersionCell>) -> *mut Leaf {
+    let version = match locked_splitting {
+        None => VersionCell::new(true, is_root, false),
+        Some(src) => {
+            let v = src.clone_for_split();
+            v.set_root(false);
+            v
+        }
+    };
+    Box::into_raw(Box::new(Leaf {
+        head: Head { version },
+        permutation: AtomicU64::new(Permutation::empty().raw()),
+        ikey: [const { AtomicU64::new(0) }; WIDTH],
+        ikey2: [const { AtomicU64::new(0) }; WIDTH],
+        klen: [const { AtomicU32::new(0) }; WIDTH],
+        kfull: [const { AtomicPtr::new(std::ptr::null_mut()) }; WIDTH],
+        value: [const { AtomicPtr::new(std::ptr::null_mut()) }; WIDTH],
+        next: AtomicPtr::new(std::ptr::null_mut()),
+        parent: AtomicPtr::new(std::ptr::null_mut()),
+        lowkey: AtomicPtr::new(std::ptr::null_mut()),
+    }))
+}
+
+fn new_inner(is_root: bool, locked_splitting: Option<&VersionCell>) -> *mut Inner {
+    let version = match locked_splitting {
+        None => VersionCell::new(false, is_root, false),
+        Some(src) => {
+            let v = src.clone_for_split();
+            v.set_root(false);
+            v
+        }
+    };
+    Box::into_raw(Box::new(Inner {
+        head: Head { version },
+        nkeys: AtomicU64::new(0),
+        ikey: [const { AtomicU64::new(0) }; WIDTH],
+        ikey2: [const { AtomicU64::new(0) }; WIDTH],
+        sep: [const { AtomicPtr::new(std::ptr::null_mut()) }; WIDTH],
+        child: [const { AtomicPtr::new(std::ptr::null_mut()) }; WIDTH + 1],
+        parent: AtomicPtr::new(std::ptr::null_mut()),
+    }))
+}
+
+/// A concurrent B+-tree over whole byte keys, mapping to `u64` values.
+pub struct OccBtree {
+    root: AtomicPtr<Head>,
+    cfg: OccBtreeConfig,
+}
+
+// SAFETY: all shared state is atomic and follows the OCC protocol; values
+// and key blocks are epoch-reclaimed or freed on drop.
+unsafe impl Send for OccBtree {}
+// SAFETY: as above.
+unsafe impl Sync for OccBtree {}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Cmp {
+    Less,
+    Equal,
+    Greater,
+}
+
+impl OccBtree {
+    pub fn new(cfg: OccBtreeConfig) -> Self {
+        OccBtree {
+            root: AtomicPtr::new(new_leaf(true, None).cast::<Head>()),
+            cfg,
+        }
+    }
+
+    pub fn config(&self) -> OccBtreeConfig {
+        self.cfg
+    }
+
+    /// Compares a lookup key (pre-sliced) against leaf slot contents.
+    #[inline]
+    fn cmp_slot(
+        &self,
+        key: &[u8],
+        ik: u64,
+        ik2: u64,
+        s_ik: u64,
+        s_ik2: u64,
+        s_len: u32,
+        s_full: *const u8,
+    ) -> Cmp {
+        if ik != s_ik {
+            return if ik < s_ik { Cmp::Less } else { Cmp::Greater };
+        }
+        if self.cfg.fixed8 {
+            return Cmp::Equal;
+        }
+        if ik2 != s_ik2 {
+            return if ik2 < s_ik2 { Cmp::Less } else { Cmp::Greater };
+        }
+        let klen = key.len();
+        let slen = s_len as usize;
+        if klen <= 16 && slen <= 16 {
+            return match klen.cmp(&slen) {
+                std::cmp::Ordering::Less => Cmp::Less,
+                std::cmp::Ordering::Equal => Cmp::Equal,
+                std::cmp::Ordering::Greater => Cmp::Greater,
+            };
+        }
+        // Both 16-byte prefixes equal and at least one key is long: fetch
+        // the stored full key (the cache miss Figure 9 measures).
+        if s_full.is_null() {
+            // Stored key is short: it is a prefix of ours.
+            return Cmp::Greater;
+        }
+        // SAFETY: full-key blocks are immutable and epoch-live.
+        let sk = unsafe { FullKey::bytes(s_full) };
+        match key.cmp(sk) {
+            std::cmp::Ordering::Less => Cmp::Less,
+            std::cmp::Ordering::Equal => Cmp::Equal,
+            std::cmp::Ordering::Greater => Cmp::Greater,
+        }
+    }
+
+    fn leaf_prefetch(&self, l: *const Leaf) {
+        if self.cfg.prefetch {
+            prefetch(l);
+        }
+    }
+
+    /// Descends to the leaf covering `key` with hand-over-hand validation.
+    fn reach_leaf<'g>(&self, key: &[u8], ik: u64, ik2: u64) -> (&'g Leaf, Version) {
+        'retry: loop {
+            let mut n = self.root.load(Ordering::Acquire);
+            // SAFETY: the root and all reachable nodes stay live (no node
+            // deletion in this baseline; retired nodes epoch-live).
+            let mut v = unsafe { &(*n).version }.stable();
+            if !v.is_root() {
+                // A root split is installing a new root; brief retry.
+                std::hint::spin_loop();
+                continue 'retry;
+            }
+            loop {
+                if v.is_border() {
+                    let leaf = n.cast::<Leaf>();
+                    self.leaf_prefetch(leaf);
+                    // SAFETY: live per above.
+                    return (unsafe { &*leaf }, v);
+                }
+                // SAFETY: interior per shape bit.
+                let inner = unsafe { &*n.cast::<Inner>() };
+                if self.cfg.prefetch {
+                    prefetch(inner as *const Inner);
+                }
+                let nk = (inner.nkeys.load(Ordering::Acquire) as usize).min(WIDTH);
+                let mut ci = nk;
+                for i in 0..nk {
+                    let c = self.cmp_slot(
+                        key,
+                        ik,
+                        ik2,
+                        inner.ikey[i].load(Ordering::Acquire),
+                        inner.ikey2[i].load(Ordering::Acquire),
+                        u32::MAX, // separators always carry full keys
+                        inner.sep[i].load(Ordering::Acquire),
+                    );
+                    if c == Cmp::Less {
+                        ci = i;
+                        break;
+                    }
+                }
+                let childp = inner.child[ci].load(Ordering::Acquire);
+                if childp.is_null() {
+                    let v2 = inner.head.version.stable();
+                    if v.has_split(v2) {
+                        continue 'retry;
+                    }
+                    v = v2;
+                    continue;
+                }
+                // SAFETY: children of live nodes are live.
+                let vc = unsafe { &(*childp).version }.stable();
+                let v2 = inner.head.version.load(Ordering::Acquire);
+                if !v.has_changed(Version(v2.0)) {
+                    n = childp;
+                    v = vc;
+                    continue;
+                }
+                let v2 = inner.head.version.stable();
+                if v.has_split(v2) {
+                    continue 'retry;
+                }
+                v = v2;
+            }
+        }
+    }
+
+    /// Searches a leaf's live entries. Returns `Ok(slot)` or the sorted
+    /// insertion position.
+    fn search_leaf(&self, l: &Leaf, perm: Permutation, key: &[u8], ik: u64, ik2: u64) -> Result<usize, usize> {
+        for pos in 0..perm.nkeys() {
+            let slot = perm.get(pos);
+            match self.cmp_slot(
+                key,
+                ik,
+                ik2,
+                l.ikey[slot].load(Ordering::Acquire),
+                l.ikey2[slot].load(Ordering::Acquire),
+                l.klen[slot].load(Ordering::Acquire),
+                l.kfull[slot].load(Ordering::Acquire),
+            ) {
+                Cmp::Equal => return Ok(slot),
+                Cmp::Less => return Err(pos),
+                Cmp::Greater => {}
+            }
+        }
+        Err(perm.nkeys())
+    }
+
+    /// Full-key comparison against a leaf's lowkey (for B-link walks).
+    fn key_below_lowkey(&self, key: &[u8], l: &Leaf) -> bool {
+        let lk = l.lowkey.load(Ordering::Acquire);
+        if lk.is_null() {
+            return false; // leftmost: lowkey −∞
+        }
+        // SAFETY: lowkey blocks are immutable and live with the leaf.
+        key < unsafe { FullKey::bytes(lk) }
+    }
+
+    pub fn get(&self, key: &[u8], _guard: &Guard) -> Option<u64> {
+        let (ik, ik2) = (slice_at(key, 0), slice_at(key, 8));
+        let (mut l, mut v) = self.reach_leaf(key, ik, ik2);
+        loop {
+            let perm = Permutation::from_raw(l.permutation.load(Ordering::Acquire));
+            let hit = self.search_leaf(l, perm, key, ik, ik2);
+            let value = match hit {
+                Ok(slot) => {
+                    let p = l.value[slot].load(Ordering::Acquire);
+                    // SAFETY: values epoch-retired on update; non-null once
+                    // published (validated below).
+                    if p.is_null() {
+                        None
+                    } else {
+                        Some(unsafe { *p })
+                    }
+                }
+                Err(_) => None,
+            };
+            let v2 = l.head.version.load(Ordering::Acquire);
+            if !v.has_changed(v2) {
+                return value;
+            }
+            v = l.head.version.stable();
+            // Walk right while the key may have moved.
+            loop {
+                let next = l.next.load(Ordering::Acquire);
+                if next.is_null() {
+                    break;
+                }
+                // SAFETY: leaf-list nodes stay live.
+                let nx = unsafe { &*next };
+                if self.key_below_lowkey(key, nx) {
+                    break;
+                }
+                l = nx;
+                v = l.head.version.stable();
+            }
+        }
+    }
+
+    pub fn put(&self, key: &[u8], value: u64, guard: &Guard) {
+        let (ik, ik2) = (slice_at(key, 0), slice_at(key, 8));
+        if self.cfg.fixed8 {
+            assert_eq!(key.len(), 8, "fixed8 tree requires 8-byte keys");
+        }
+        let vptr = Box::into_raw(Box::new(value));
+        let (start, _v) = self.reach_leaf(key, ik, ik2);
+        // Lock, walking right (unlock-then-lock) if the key moved.
+        let mut l = start;
+        l.head.version.lock();
+        loop {
+            let next = l.next.load(Ordering::Acquire);
+            if !next.is_null() {
+                // SAFETY: leaf-list nodes stay live.
+                let nx = unsafe { &*next };
+                if !self.key_below_lowkey(key, nx) {
+                    l.head.version.unlock();
+                    nx.head.version.lock();
+                    l = nx;
+                    continue;
+                }
+            }
+            break;
+        }
+        let perm = Permutation::from_raw(l.permutation.load(Ordering::Acquire));
+        match self.search_leaf(l, perm, key, ik, ik2) {
+            Ok(slot) => {
+                let old = l.value[slot].swap(vptr, Ordering::AcqRel);
+                l.head.version.unlock();
+                let oldp = old as usize;
+                // SAFETY: old value unreachable; epoch protects readers.
+                unsafe {
+                    guard.defer_unchecked(move || drop(Box::from_raw(oldp as *mut u64)));
+                }
+            }
+            Err(pos) => {
+                if !perm.is_full() {
+                    self.insert_in_leaf(l, perm, pos, key, ik, ik2, vptr);
+                    l.head.version.unlock();
+                } else {
+                    self.split_leaf(l, pos, key, ik, ik2, vptr);
+                }
+            }
+        }
+    }
+
+    fn write_leaf_slot(&self, l: &Leaf, slot: usize, key: &[u8], ik: u64, ik2: u64, vptr: *mut u64) {
+        l.ikey[slot].store(ik, Ordering::Release);
+        l.ikey2[slot].store(ik2, Ordering::Release);
+        l.klen[slot].store(key.len() as u32, Ordering::Release);
+        let full = if key.len() > 16 {
+            FullKey::alloc(key)
+        } else {
+            std::ptr::null_mut()
+        };
+        // Stale `kfull` pointers from split-moved entries are owned by
+        // their new node; overwriting the stale copy here is correct.
+        let _old = l.kfull[slot].swap(full, Ordering::Release);
+        l.value[slot].store(vptr, Ordering::Release);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn insert_in_leaf(
+        &self,
+        l: &Leaf,
+        perm: Permutation,
+        pos: usize,
+        key: &[u8],
+        ik: u64,
+        ik2: u64,
+        vptr: *mut u64,
+    ) {
+        if self.cfg.permuter {
+            // Masstree-style: fill a free slot, publish via permutation.
+            let (nperm, slot) = perm.insert_from_back(pos);
+            self.write_leaf_slot(l, slot, key, ik, ik2, vptr);
+            l.permutation.store(nperm.raw(), Ordering::Release);
+        } else {
+            // Conventional B-tree: dirty the node and physically shift
+            // the sorted arrays (readers retry on the vinsert bump).
+            l.head.version.mark_inserting();
+            let n = perm.nkeys();
+            let mut j = n;
+            while j > pos {
+                l.ikey[j].store(l.ikey[j - 1].load(Ordering::Relaxed), Ordering::Relaxed);
+                l.ikey2[j].store(l.ikey2[j - 1].load(Ordering::Relaxed), Ordering::Relaxed);
+                l.klen[j].store(l.klen[j - 1].load(Ordering::Relaxed), Ordering::Relaxed);
+                l.kfull[j].store(l.kfull[j - 1].load(Ordering::Relaxed), Ordering::Relaxed);
+                l.value[j].store(l.value[j - 1].load(Ordering::Relaxed), Ordering::Relaxed);
+                j -= 1;
+            }
+            self.write_leaf_slot(l, pos, key, ik, ik2, vptr);
+            l.permutation
+                .store(Permutation::identity(n + 1).raw(), Ordering::Release);
+        }
+    }
+
+    /// Splits the locked, full leaf while inserting; consumes the lock.
+    fn split_leaf(&self, l: &Leaf, pos: usize, key: &[u8], ik: u64, ik2: u64, vptr: *mut u64) {
+        l.head.version.mark_splitting();
+        let perm = Permutation::from_raw(l.permutation.load(Ordering::Relaxed));
+        const NEW: usize = usize::MAX;
+        let mut order = [0usize; WIDTH + 1];
+        for (i, o) in order.iter_mut().enumerate().take(pos) {
+            *o = perm.get(i);
+        }
+        order[pos] = NEW;
+        for i in pos..WIDTH {
+            order[i + 1] = perm.get(i);
+        }
+        // Sequential-insert optimization (§4.3).
+        let split_at = if pos == WIDTH && l.next.load(Ordering::Acquire).is_null() {
+            WIDTH
+        } else {
+            WIDTH.div_ceil(2)
+        };
+
+        let right = new_leaf(false, Some(&l.head.version));
+        // SAFETY: fresh private node (locked + splitting).
+        let r = unsafe { &*right };
+        // The right node's lowkey is the full first right key.
+        let lowkey_bytes: Vec<u8> = {
+            let e = order[split_at];
+            if e == NEW {
+                key.to_vec()
+            } else {
+                self.slot_key_bytes(l, e)
+            }
+        };
+        r.lowkey.store(FullKey::alloc(&lowkey_bytes), Ordering::Release);
+        for (j, &e) in order[split_at..].iter().enumerate() {
+            if e == NEW {
+                self.write_leaf_slot(r, j, key, ik, ik2, vptr);
+            } else {
+                r.ikey[j].store(l.ikey[e].load(Ordering::Relaxed), Ordering::Relaxed);
+                r.ikey2[j].store(l.ikey2[e].load(Ordering::Relaxed), Ordering::Relaxed);
+                r.klen[j].store(l.klen[e].load(Ordering::Relaxed), Ordering::Relaxed);
+                r.kfull[j].store(l.kfull[e].load(Ordering::Relaxed), Ordering::Relaxed);
+                r.value[j].store(l.value[e].load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+        }
+        r.permutation
+            .store(Permutation::identity(WIDTH + 1 - split_at).raw(), Ordering::Release);
+
+        // Left side.
+        if self.cfg.permuter {
+            let mut left_slots = [0usize; WIDTH];
+            let mut nl = 0;
+            let mut new_left = None;
+            for &e in order[..split_at].iter() {
+                if e == NEW {
+                    new_left = Some(nl);
+                }
+                left_slots[nl] = e;
+                nl += 1;
+            }
+            if let Some(ipos) = new_left {
+                let freed = order[split_at..]
+                    .iter()
+                    .copied()
+                    .find(|&e| e != NEW)
+                    .expect("at least one entry moved right");
+                // The freed slot's kfull pointer now lives in the right
+                // node; clear before reuse so it isn't double-owned.
+                l.kfull[freed].store(std::ptr::null_mut(), Ordering::Relaxed);
+                self.write_leaf_slot(l, freed, key, ik, ik2, vptr);
+                left_slots[ipos] = freed;
+            }
+            l.permutation
+                .store(Permutation::from_slots(&left_slots[..nl]).raw(), Ordering::Release);
+        } else {
+            // Non-permuter leaves keep slots physically sorted (their
+            // insert path shifts arrays), so rebuild the kept entries into
+            // slots 0..nl. The SPLITTING mark makes the rearrangement
+            // safe: concurrent readers retry from the root.
+            let mut tmp: Vec<(u64, u64, u32, *mut u8, *mut u64)> =
+                Vec::with_capacity(split_at);
+            let mut new_at = None;
+            for &e in order[..split_at].iter() {
+                if e == NEW {
+                    new_at = Some(tmp.len());
+                    tmp.push((0, 0, 0, std::ptr::null_mut(), std::ptr::null_mut()));
+                } else {
+                    tmp.push((
+                        l.ikey[e].load(Ordering::Relaxed),
+                        l.ikey2[e].load(Ordering::Relaxed),
+                        l.klen[e].load(Ordering::Relaxed),
+                        l.kfull[e].load(Ordering::Relaxed),
+                        l.value[e].load(Ordering::Relaxed),
+                    ));
+                }
+            }
+            for (j, &(a, b, c, d, v)) in tmp.iter().enumerate() {
+                if Some(j) == new_at {
+                    continue;
+                }
+                l.ikey[j].store(a, Ordering::Relaxed);
+                l.ikey2[j].store(b, Ordering::Relaxed);
+                l.klen[j].store(c, Ordering::Relaxed);
+                l.kfull[j].store(d, Ordering::Relaxed);
+                l.value[j].store(v, Ordering::Relaxed);
+            }
+            if let Some(j) = new_at {
+                l.kfull[j].store(std::ptr::null_mut(), Ordering::Relaxed);
+                self.write_leaf_slot(l, j, key, ik, ik2, vptr);
+            }
+            l.permutation
+                .store(Permutation::identity(tmp.len()).raw(), Ordering::Release);
+        }
+
+        // Link the sibling (no prev pointers: this baseline never removes).
+        r.next.store(l.next.load(Ordering::Acquire), Ordering::Release);
+        l.next.store(right, Ordering::Release);
+
+        // Ascend.
+        self.ascend(
+            (l as *const Leaf as *mut Head).cast::<Head>(),
+            right.cast::<Head>(),
+            lowkey_bytes,
+        );
+    }
+
+    fn slot_key_bytes(&self, l: &Leaf, slot: usize) -> Vec<u8> {
+        let full = l.kfull[slot].load(Ordering::Relaxed);
+        if !full.is_null() {
+            // SAFETY: immutable full-key block.
+            return unsafe { FullKey::bytes(full) }.to_vec();
+        }
+        let len = l.klen[slot].load(Ordering::Relaxed) as usize;
+        let mut k = Vec::with_capacity(len);
+        k.extend_from_slice(&l.ikey[slot].load(Ordering::Relaxed).to_be_bytes());
+        k.extend_from_slice(&l.ikey2[slot].load(Ordering::Relaxed).to_be_bytes());
+        k.truncate(len);
+        k
+    }
+
+    /// Locks and returns the parent, revalidating (Figure 4).
+    fn locked_parent(&self, child: *mut Head) -> Option<*mut Inner> {
+        loop {
+            // SAFETY: live node; parent offset dispatched on shape.
+            let p = unsafe {
+                let v = (*child).version.load(Ordering::Relaxed);
+                if v.is_border() {
+                    (*child.cast::<Leaf>()).parent.load(Ordering::Acquire)
+                } else {
+                    (*child.cast::<Inner>()).parent.load(Ordering::Acquire)
+                }
+            };
+            if p.is_null() {
+                return None;
+            }
+            // SAFETY: parents of live nodes are live.
+            unsafe { &(*p).head.version }.lock();
+            // SAFETY: as above.
+            let still = unsafe {
+                let v = (*child).version.load(Ordering::Relaxed);
+                if v.is_border() {
+                    (*child.cast::<Leaf>()).parent.load(Ordering::Acquire)
+                } else {
+                    (*child.cast::<Inner>()).parent.load(Ordering::Acquire)
+                }
+            };
+            if still == p {
+                return Some(p);
+            }
+            // SAFETY: we hold the lock we just took.
+            unsafe { (*p).head.version.unlock() };
+        }
+    }
+
+    /// # Contract
+    ///
+    /// `left` and `right` are locked; inserts `right` under their parent,
+    /// splitting upward as needed; releases all locks.
+    fn ascend(&self, mut left: *mut Head, mut right: *mut Head, mut sep: Vec<u8>) {
+        loop {
+            match self.locked_parent(left) {
+                None => {
+                    let newp = new_inner(true, None);
+                    // SAFETY: fresh private node.
+                    let np = unsafe { &*newp };
+                    np.ikey[0].store(slice_at(&sep, 0), Ordering::Relaxed);
+                    np.ikey2[0].store(slice_at(&sep, 8), Ordering::Relaxed);
+                    np.sep[0].store(FullKey::alloc(&sep), Ordering::Relaxed);
+                    np.child[0].store(left, Ordering::Relaxed);
+                    np.child[1].store(right, Ordering::Relaxed);
+                    np.nkeys.store(1, Ordering::Release);
+                    // SAFETY: we hold both children's locks.
+                    unsafe {
+                        set_parent(left, newp);
+                        set_parent(right, newp);
+                        (*left).version.set_root(false);
+                        let _ = self.root.compare_exchange(
+                            left,
+                            newp.cast::<Head>(),
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
+                        );
+                        (*left).version.unlock();
+                        (*right).version.unlock();
+                    }
+                    return;
+                }
+                Some(p) => {
+                    // SAFETY: locked parent is live.
+                    let pr = unsafe { &*p };
+                    let nk = (pr.nkeys.load(Ordering::Relaxed) as usize).min(WIDTH);
+                    // Find left's index.
+                    let ci = (0..=nk)
+                        .find(|&i| pr.child[i].load(Ordering::Relaxed) == left)
+                        .expect("child under its locked parent");
+                    if nk < WIDTH {
+                        pr.head.version.mark_inserting();
+                        let mut j = nk;
+                        while j > ci {
+                            pr.ikey[j].store(pr.ikey[j - 1].load(Ordering::Relaxed), Ordering::Relaxed);
+                            pr.ikey2[j].store(pr.ikey2[j - 1].load(Ordering::Relaxed), Ordering::Relaxed);
+                            pr.sep[j].store(pr.sep[j - 1].load(Ordering::Relaxed), Ordering::Relaxed);
+                            pr.child[j + 1].store(pr.child[j].load(Ordering::Relaxed), Ordering::Relaxed);
+                            j -= 1;
+                        }
+                        pr.ikey[ci].store(slice_at(&sep, 0), Ordering::Relaxed);
+                        pr.ikey2[ci].store(slice_at(&sep, 8), Ordering::Relaxed);
+                        pr.sep[ci].store(FullKey::alloc(&sep), Ordering::Relaxed);
+                        pr.child[ci + 1].store(right, Ordering::Relaxed);
+                        // SAFETY: we hold the parent's lock.
+                        unsafe { set_parent(right, p) };
+                        pr.nkeys.store(nk as u64 + 1, Ordering::Release);
+                        // SAFETY: we hold all three locks.
+                        unsafe {
+                            (*left).version.unlock();
+                            (*right).version.unlock();
+                        }
+                        pr.head.version.unlock();
+                        return;
+                    }
+                    // Split the parent.
+                    pr.head.version.mark_splitting();
+                    // SAFETY: we hold left's lock (Figure 5 releases here).
+                    unsafe { (*left).version.unlock() };
+                    let mut keys: Vec<(u64, u64, *mut u8)> = Vec::with_capacity(WIDTH + 1);
+                    let mut children: Vec<*mut Head> = Vec::with_capacity(WIDTH + 2);
+                    for i in 0..ci {
+                        keys.push((
+                            pr.ikey[i].load(Ordering::Relaxed),
+                            pr.ikey2[i].load(Ordering::Relaxed),
+                            pr.sep[i].load(Ordering::Relaxed),
+                        ));
+                    }
+                    keys.push((slice_at(&sep, 0), slice_at(&sep, 8), FullKey::alloc(&sep)));
+                    for i in ci..WIDTH {
+                        keys.push((
+                            pr.ikey[i].load(Ordering::Relaxed),
+                            pr.ikey2[i].load(Ordering::Relaxed),
+                            pr.sep[i].load(Ordering::Relaxed),
+                        ));
+                    }
+                    for i in 0..=ci {
+                        children.push(pr.child[i].load(Ordering::Relaxed));
+                    }
+                    children.push(right);
+                    for i in ci + 1..=WIDTH {
+                        children.push(pr.child[i].load(Ordering::Relaxed));
+                    }
+                    const LEFT_KEYS: usize = WIDTH.div_ceil(2);
+                    let up = keys[LEFT_KEYS];
+                    let p2 = new_inner(false, Some(&pr.head.version));
+                    // SAFETY: fresh private node.
+                    let p2r = unsafe { &*p2 };
+                    for i in 0..LEFT_KEYS {
+                        pr.ikey[i].store(keys[i].0, Ordering::Relaxed);
+                        pr.ikey2[i].store(keys[i].1, Ordering::Relaxed);
+                        pr.sep[i].store(keys[i].2, Ordering::Relaxed);
+                    }
+                    for (i, &c) in children.iter().enumerate().take(LEFT_KEYS + 1) {
+                        pr.child[i].store(c, Ordering::Relaxed);
+                        // SAFETY: parent's lock held.
+                        unsafe { set_parent(c, p) };
+                    }
+                    let right_keys = WIDTH - LEFT_KEYS;
+                    for i in 0..right_keys {
+                        let k = keys[LEFT_KEYS + 1 + i];
+                        p2r.ikey[i].store(k.0, Ordering::Relaxed);
+                        p2r.ikey2[i].store(k.1, Ordering::Relaxed);
+                        p2r.sep[i].store(k.2, Ordering::Relaxed);
+                    }
+                    for i in 0..=right_keys {
+                        let c = children[LEFT_KEYS + 1 + i];
+                        p2r.child[i].store(c, Ordering::Relaxed);
+                        // SAFETY: old parent's lock held (§4.5 allows
+                        // reassigning children's parents without their
+                        // locks).
+                        unsafe { set_parent(c, p2) };
+                    }
+                    p2r.nkeys.store(right_keys as u64, Ordering::Relaxed);
+                    pr.nkeys.store(LEFT_KEYS as u64, Ordering::Release);
+                    // SAFETY: we hold right's lock.
+                    unsafe { (*right).version.unlock() };
+                    left = p.cast::<Head>();
+                    right = p2.cast::<Head>();
+                    // SAFETY: immutable separator block.
+                    sep = unsafe { FullKey::bytes(up.2) }.to_vec();
+                }
+            }
+        }
+    }
+}
+
+/// # Safety
+///
+/// `child` must be live; caller must hold the lock protecting the parent
+/// pointer (the parent's lock, or the child is private).
+unsafe fn set_parent(child: *mut Head, parent: *mut Inner) {
+    // SAFETY: per caller contract.
+    unsafe {
+        let v = (*child).version.load(Ordering::Relaxed);
+        if v.is_border() {
+            (*child.cast::<Leaf>()).parent.store(parent, Ordering::Release);
+        } else {
+            (*child.cast::<Inner>()).parent.store(parent, Ordering::Release);
+        }
+    }
+}
+
+impl Drop for OccBtree {
+    fn drop(&mut self) {
+        // Iterative DFS freeing nodes, separators, keys and values.
+        let mut stack = vec![*self.root.get_mut()];
+        while let Some(h) = stack.pop() {
+            if h.is_null() {
+                continue;
+            }
+            // SAFETY: exclusive access, each node visited once.
+            unsafe {
+                let v = (*h).version.load(Ordering::Relaxed);
+                if v.is_border() {
+                    let l = Box::from_raw(h.cast::<Leaf>());
+                    let perm = Permutation::from_raw(l.permutation.load(Ordering::Relaxed));
+                    for pos in 0..perm.nkeys() {
+                        let slot = perm.get(pos);
+                        let kf = l.kfull[slot].load(Ordering::Relaxed);
+                        if !kf.is_null() {
+                            FullKey::free(kf);
+                        }
+                        drop(Box::from_raw(l.value[slot].load(Ordering::Relaxed)));
+                    }
+                    let lk = l.lowkey.load(Ordering::Relaxed);
+                    if !lk.is_null() {
+                        FullKey::free(lk);
+                    }
+                } else {
+                    let inner = Box::from_raw(h.cast::<Inner>());
+                    let nk = (inner.nkeys.load(Ordering::Relaxed) as usize).min(WIDTH);
+                    for i in 0..nk {
+                        let s = inner.sep[i].load(Ordering::Relaxed);
+                        if !s.is_null() {
+                            FullKey::free(s);
+                        }
+                    }
+                    for i in 0..=nk {
+                        stack.push(inner.child[i].load(Ordering::Relaxed));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn configs() -> Vec<OccBtreeConfig> {
+        vec![
+            OccBtreeConfig::plain(),
+            OccBtreeConfig::prefetching(),
+            OccBtreeConfig::permuter(),
+        ]
+    }
+
+    #[test]
+    fn put_get_all_configs() {
+        for cfg in configs() {
+            let t = OccBtree::new(cfg);
+            let g = crossbeam::epoch::pin();
+            for i in 0..20_000u64 {
+                t.put(format!("key{i:07}").as_bytes(), i, &g);
+            }
+            for i in 0..20_000u64 {
+                assert_eq!(t.get(format!("key{i:07}").as_bytes(), &g), Some(i), "{cfg:?}");
+            }
+            assert_eq!(t.get(b"missing", &g), None);
+        }
+    }
+
+    #[test]
+    fn long_keys_with_shared_prefix() {
+        // The Figure 9 scenario: 40-byte keys, only last 8 vary.
+        for cfg in configs() {
+            let t = OccBtree::new(cfg);
+            let g = crossbeam::epoch::pin();
+            let prefix = "P".repeat(32);
+            for i in 0..5_000u64 {
+                let k = format!("{prefix}{i:08}");
+                t.put(k.as_bytes(), i, &g);
+            }
+            for i in 0..5_000u64 {
+                let k = format!("{prefix}{i:08}");
+                assert_eq!(t.get(k.as_bytes(), &g), Some(i), "{cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_in_place() {
+        let t = OccBtree::new(OccBtreeConfig::permuter());
+        let g = crossbeam::epoch::pin();
+        t.put(b"k", 1, &g);
+        t.put(b"k", 2, &g);
+        assert_eq!(t.get(b"k", &g), Some(2));
+    }
+
+    #[test]
+    fn fixed8_variant() {
+        let t = OccBtree::new(OccBtreeConfig::fixed8());
+        let g = crossbeam::epoch::pin();
+        for i in 0..20_000u64 {
+            t.put(&i.to_be_bytes(), i, &g);
+        }
+        for i in 0..20_000u64 {
+            assert_eq!(t.get(&i.to_be_bytes(), &g), Some(i));
+        }
+    }
+
+    #[test]
+    fn mixed_key_lengths() {
+        for cfg in configs() {
+            let t = OccBtree::new(cfg);
+            let g = crossbeam::epoch::pin();
+            let keys: Vec<Vec<u8>> = vec![
+                b"".to_vec(),
+                b"a".to_vec(),
+                b"aaaaaaaabbbbbbbb".to_vec(),
+                b"aaaaaaaabbbbbbbbc".to_vec(),
+                b"aaaaaaaabbbbbbbbcc".to_vec(),
+                vec![b'z'; 100],
+            ];
+            for (i, k) in keys.iter().enumerate() {
+                t.put(k, i as u64, &g);
+            }
+            for (i, k) in keys.iter().enumerate() {
+                assert_eq!(t.get(k, &g), Some(i as u64), "{cfg:?} key {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_all_configs() {
+        for cfg in configs() {
+            let t = std::sync::Arc::new(OccBtree::new(cfg));
+            let handles: Vec<_> = (0..8)
+                .map(|tid| {
+                    let t = std::sync::Arc::clone(&t);
+                    std::thread::spawn(move || {
+                        let g = crossbeam::epoch::pin();
+                        for i in 0..10_000u64 {
+                            t.put(format!("t{tid}key{i:06}").as_bytes(), i, &g);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let g = crossbeam::epoch::pin();
+            for tid in 0..8 {
+                for i in 0..10_000u64 {
+                    assert_eq!(
+                        t.get(format!("t{tid}key{i:06}").as_bytes(), &g),
+                        Some(i),
+                        "{cfg:?}"
+                    );
+                }
+            }
+        }
+    }
+}

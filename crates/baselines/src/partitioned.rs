@@ -1,0 +1,112 @@
+//! Hard-partitioned Masstree (§6.6): static partitioning of the key space
+//! over per-core single-threaded instances.
+//!
+//! The paper's configuration: 16 instances of the single-core variant,
+//! each holding the same number of keys, each serving requests only from
+//! its own core; clients route each query to the instance owning the key.
+//! The benchmark harness gives each worker thread exclusive ownership of
+//! its instance, so this module only provides the router and a
+//! convenience container.
+
+use crate::single_core::SingleMasstree;
+
+/// Static partition assignment: a hash of the key, so every partition
+/// holds the same number of keys regardless of key distribution ("the
+//  partitioning is static, and each instance holds the same number of
+/// keys").
+#[inline]
+pub fn partition_of(key: &[u8], parts: usize) -> usize {
+    debug_assert!(parts > 0);
+    // FNV-1a, folded.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % parts as u64) as usize
+}
+
+/// A set of single-core Masstree instances, one per partition. Each
+/// instance must be driven by exactly one thread; the harness splits the
+/// container with [`PartitionedMasstree::into_parts`].
+pub struct PartitionedMasstree {
+    parts: Vec<SingleMasstree>,
+}
+
+impl PartitionedMasstree {
+    pub fn new(nparts: usize) -> Self {
+        PartitionedMasstree {
+            parts: (0..nparts).map(|_| SingleMasstree::new()).collect(),
+        }
+    }
+
+    pub fn nparts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Single-threaded load phase: routes each key to its partition.
+    pub fn load(&mut self, key: &[u8], value: u64) {
+        let p = partition_of(key, self.parts.len());
+        self.parts[p].put(key, value);
+    }
+
+    /// Splits into per-partition instances for per-core serving.
+    pub fn into_parts(self) -> Vec<SingleMasstree> {
+        self.parts
+    }
+
+    /// Total keys across partitions.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(|p| p.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_is_stable_and_in_range() {
+        for parts in [1usize, 2, 16] {
+            for i in 0..1000u64 {
+                let k = i.to_string();
+                let p = partition_of(k.as_bytes(), parts);
+                assert!(p < parts);
+                assert_eq!(p, partition_of(k.as_bytes(), parts));
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_are_balanced() {
+        // Each instance should hold roughly the same number of keys.
+        let mut counts = vec![0usize; 16];
+        for i in 0..160_000u64 {
+            counts[partition_of(i.to_string().as_bytes(), 16)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "partition count {c}");
+        }
+    }
+
+    #[test]
+    fn load_and_split() {
+        let mut pm = PartitionedMasstree::new(4);
+        for i in 0..10_000u64 {
+            pm.load(i.to_string().as_bytes(), i);
+        }
+        assert_eq!(pm.len(), 10_000);
+        let parts = pm.into_parts();
+        assert_eq!(parts.len(), 4);
+        // Every key must be findable in its routed partition.
+        for i in 0..10_000u64 {
+            let k = i.to_string();
+            let p = partition_of(k.as_bytes(), 4);
+            assert_eq!(parts[p].get(k.as_bytes()), Some(i));
+        }
+    }
+}

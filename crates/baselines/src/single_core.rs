@@ -1,0 +1,413 @@
+//! The single-core Masstree variant of §6.4: the same trie-of-B+-trees
+//! shape with "locking, node versions, and interlocked instructions"
+//! removed. One thread owns it (`&mut self` writes); the paper found the
+//! concurrent version only ~13% slower than this on one core.
+//!
+//! Also the building block of the hard-partitioned configuration (§6.6):
+//! 16 instances, each serving one partition from its own core.
+
+use masstree::key::{slice_at, SLICE_LEN};
+
+const WIDTH: usize = 15;
+
+/// Sort rank of a leaf entry: inline length 0..=8, 9 for suffix keys.
+/// Layer links share rank 9's position (at most one ">8 bytes" resident
+/// per slice, as in the concurrent tree).
+const RANK_SUFFIX: u8 = 9;
+
+enum Lv {
+    Value(u64),
+    Layer(Box<Node>),
+}
+
+struct LeafEntry {
+    ikey: u64,
+    /// 0..=8 inline; RANK_SUFFIX for both suffixed keys and layer links
+    /// (`lv` disambiguates).
+    rank: u8,
+    suffix: Option<Box<[u8]>>,
+    lv: Lv,
+}
+
+enum Node {
+    Leaf(Leaf),
+    Interior(Interior),
+}
+
+struct Leaf {
+    entries: Vec<LeafEntry>, // sorted by (ikey, rank); ≤ WIDTH after ops
+}
+
+struct Interior {
+    keys: Vec<u64>,
+    children: Vec<Node>, // keys.len() + 1
+}
+
+fn rank_of(key: &[u8], offset: usize) -> u8 {
+    let rem = key.len().saturating_sub(offset);
+    if rem > SLICE_LEN {
+        RANK_SUFFIX
+    } else {
+        rem as u8
+    }
+}
+
+/// A single-threaded Masstree: trie of width-15 B+-trees without any
+/// synchronization.
+pub struct SingleMasstree {
+    root: Node,
+    keys: usize,
+}
+
+impl Default for SingleMasstree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Result of a recursive insert: propagated split, if any.
+enum InsertUp {
+    /// true = a new key was inserted (vs an update).
+    Done(bool),
+    Split { key: u64, right: Node, new: bool },
+}
+
+impl SingleMasstree {
+    pub fn new() -> Self {
+        SingleMasstree {
+            root: Node::Leaf(Leaf {
+                entries: Vec::with_capacity(WIDTH),
+            }),
+            keys: 0,
+        }
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.keys
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys == 0
+    }
+
+    pub fn get(&self, key: &[u8]) -> Option<u64> {
+        let mut node = &self.root;
+        let mut offset = 0;
+        'layer: loop {
+            match node {
+                Node::Interior(i) => {
+                    let ikey = slice_at(key, offset);
+                    let mut ci = i.keys.len();
+                    for (j, &k) in i.keys.iter().enumerate() {
+                        if ikey < k {
+                            ci = j;
+                            break;
+                        }
+                    }
+                    node = &i.children[ci];
+                }
+                Node::Leaf(l) => {
+                    let ikey = slice_at(key, offset);
+                    let rank = rank_of(key, offset);
+                    for e in &l.entries {
+                        if e.ikey < ikey || (e.ikey == ikey && e.rank < rank) {
+                            continue;
+                        }
+                        if e.ikey > ikey || e.rank > rank {
+                            return None;
+                        }
+                        // Exact (ikey, rank) group.
+                        return match &e.lv {
+                            Lv::Layer(sub) => {
+                                debug_assert_eq!(rank, RANK_SUFFIX);
+                                node = sub;
+                                offset += SLICE_LEN;
+                                continue 'layer;
+                            }
+                            Lv::Value(v) if rank != RANK_SUFFIX => Some(*v),
+                            Lv::Value(v) => {
+                                let suf = e.suffix.as_deref().unwrap_or(&[]);
+                                if suf == &key[offset + SLICE_LEN..] {
+                                    Some(*v)
+                                } else {
+                                    None
+                                }
+                            }
+                        };
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+
+    pub fn put(&mut self, key: &[u8], value: u64) {
+        match Self::insert_rec(&mut self.root, key, 0, value) {
+            InsertUp::Done(new) => {
+                if new {
+                    self.keys += 1;
+                }
+            }
+            InsertUp::Split { key: k, right, new } => {
+                let old = std::mem::replace(
+                    &mut self.root,
+                    Node::Interior(Interior {
+                        keys: Vec::with_capacity(WIDTH),
+                        children: Vec::with_capacity(WIDTH + 1),
+                    }),
+                );
+                if let Node::Interior(r) = &mut self.root {
+                    r.keys.push(k);
+                    r.children.push(old);
+                    r.children.push(right);
+                }
+                if new {
+                    self.keys += 1;
+                }
+            }
+        }
+    }
+
+    /// Inserts into a deeper trie layer, absorbing any split by growing
+    /// that layer's root (splits never cross layer boundaries).
+    fn insert_into_layer(sub: &mut Node, key: &[u8], offset: usize, value: u64) -> InsertUp {
+        match Self::insert_rec(sub, key, offset, value) {
+            InsertUp::Done(new) => InsertUp::Done(new),
+            InsertUp::Split { key: k, right, new } => {
+                let old = std::mem::replace(
+                    sub,
+                    Node::Interior(Interior {
+                        keys: Vec::with_capacity(WIDTH),
+                        children: Vec::with_capacity(WIDTH + 1),
+                    }),
+                );
+                if let Node::Interior(r) = sub {
+                    r.keys.push(k);
+                    r.children.push(old);
+                    r.children.push(right);
+                }
+                InsertUp::Done(new)
+            }
+        }
+    }
+
+    fn insert_rec(node: &mut Node, key: &[u8], offset: usize, value: u64) -> InsertUp {
+        match node {
+            Node::Interior(i) => {
+                let ikey = slice_at(key, offset);
+                let mut ci = i.keys.len();
+                for (j, &k) in i.keys.iter().enumerate() {
+                    if ikey < k {
+                        ci = j;
+                        break;
+                    }
+                }
+                match Self::insert_rec(&mut i.children[ci], key, offset, value) {
+                    InsertUp::Done(new) => InsertUp::Done(new),
+                    InsertUp::Split { key: k, right, new } => {
+                        i.keys.insert(ci, k);
+                        i.children.insert(ci + 1, right);
+                        if i.keys.len() <= WIDTH {
+                            return InsertUp::Done(new);
+                        }
+                        let mid = i.keys.len() / 2;
+                        let up = i.keys[mid];
+                        let rkeys: Vec<u64> = i.keys.split_off(mid + 1);
+                        i.keys.pop(); // `up` moves up
+                        let rchildren: Vec<Node> = i.children.split_off(mid + 1);
+                        InsertUp::Split {
+                            key: up,
+                            right: Node::Interior(Interior {
+                                keys: rkeys,
+                                children: rchildren,
+                            }),
+                            new,
+                        }
+                    }
+                }
+            }
+            Node::Leaf(l) => {
+                let ikey = slice_at(key, offset);
+                let rank = rank_of(key, offset);
+                let mut pos = l.entries.len();
+                for j in 0..l.entries.len() {
+                    let (eikey, erank) = (l.entries[j].ikey, l.entries[j].rank);
+                    if eikey < ikey || (eikey == ikey && erank < rank) {
+                        continue;
+                    }
+                    if eikey > ikey || erank > rank {
+                        pos = j;
+                        break;
+                    }
+                    // Exact (ikey, rank) group: update, descend, or layer.
+                    let e = &mut l.entries[j];
+                    match &mut e.lv {
+                        Lv::Layer(sub) => {
+                            return Self::insert_into_layer(sub, key, offset + SLICE_LEN, value);
+                        }
+                        Lv::Value(v) if rank != RANK_SUFFIX => {
+                            *v = value;
+                            return InsertUp::Done(false);
+                        }
+                        Lv::Value(v) => {
+                            let esuf: &[u8] = e.suffix.as_deref().unwrap_or(&[]);
+                            let ksuf = &key[offset + SLICE_LEN..];
+                            if esuf == ksuf {
+                                *v = value;
+                                return InsertUp::Done(false);
+                            }
+                            // Conflict: push the resident key one layer
+                            // down (§4.6.3), then insert into the layer.
+                            let old_value = *v;
+                            let old_suffix = e.suffix.take().unwrap_or_default();
+                            let sub_rank = rank_of(&old_suffix, 0);
+                            let sub = Node::Leaf(Leaf {
+                                entries: vec![LeafEntry {
+                                    ikey: slice_at(&old_suffix, 0),
+                                    rank: sub_rank,
+                                    suffix: if old_suffix.len() > SLICE_LEN {
+                                        Some(
+                                            old_suffix[SLICE_LEN..]
+                                                .to_vec()
+                                                .into_boxed_slice(),
+                                        )
+                                    } else {
+                                        None
+                                    },
+                                    lv: Lv::Value(old_value),
+                                }],
+                            });
+                            e.lv = Lv::Layer(Box::new(sub));
+                            if let Lv::Layer(sub) = &mut e.lv {
+                                return Self::insert_into_layer(sub, key, offset + SLICE_LEN, value);
+                            }
+                            unreachable!()
+                        }
+                    }
+                }
+                // Plain insert at `pos`.
+                l.entries.insert(
+                    pos,
+                    LeafEntry {
+                        ikey,
+                        rank,
+                        suffix: if rank == RANK_SUFFIX {
+                            Some(key[offset + SLICE_LEN..].to_vec().into_boxed_slice())
+                        } else {
+                            None
+                        },
+                        lv: Lv::Value(value),
+                    },
+                );
+                if l.entries.len() <= WIDTH {
+                    return InsertUp::Done(true);
+                }
+                // Split at an ikey boundary nearest the middle (same-slice
+                // keys must stay together).
+                let mid = l.entries.len() / 2;
+                let mut best: Option<(usize, usize)> = None;
+                for cand in 1..l.entries.len() {
+                    if l.entries[cand].ikey != l.entries[cand - 1].ikey {
+                        let d = cand.abs_diff(mid);
+                        if best.is_none_or(|(bd, _)| d < bd) {
+                            best = Some((d, cand));
+                        }
+                    }
+                }
+                let b = best.expect("16 entries always span ≥2 slices").1;
+                let right_entries: Vec<LeafEntry> = l.entries.split_off(b);
+                let up = right_entries[0].ikey;
+                InsertUp::Split {
+                    key: up,
+                    right: Node::Leaf(Leaf {
+                        entries: right_entries,
+                    }),
+                    new: true,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut t = SingleMasstree::new();
+        for i in 0..50_000u64 {
+            t.put(format!("{i}").as_bytes(), i);
+        }
+        assert_eq!(t.len(), 50_000);
+        for i in 0..50_000u64 {
+            assert_eq!(t.get(format!("{i}").as_bytes()), Some(i), "{i}");
+        }
+        assert_eq!(t.get(b"missing"), None);
+    }
+
+    #[test]
+    fn update_does_not_grow() {
+        let mut t = SingleMasstree::new();
+        t.put(b"k", 1);
+        t.put(b"k", 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(b"k"), Some(2));
+    }
+
+    #[test]
+    fn layering_on_shared_prefixes() {
+        let mut t = SingleMasstree::new();
+        t.put(b"01234567AB", 1);
+        t.put(b"01234567XY", 2);
+        t.put(b"01234567", 3);
+        assert_eq!(t.get(b"01234567AB"), Some(1));
+        assert_eq!(t.get(b"01234567XY"), Some(2));
+        assert_eq!(t.get(b"01234567"), Some(3));
+        assert_eq!(t.get(b"01234567ZZ"), None);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn deep_layers() {
+        let mut t = SingleMasstree::new();
+        let prefix = "x".repeat(40);
+        for i in 0..1_000u64 {
+            t.put(format!("{prefix}{i:06}").as_bytes(), i);
+        }
+        for i in 0..1_000u64 {
+            assert_eq!(t.get(format!("{prefix}{i:06}").as_bytes()), Some(i));
+        }
+        assert_eq!(t.len(), 1_000);
+    }
+
+    #[test]
+    fn matches_model_on_random_keys() {
+        use std::collections::BTreeMap;
+        let mut t = SingleMasstree::new();
+        let mut model = BTreeMap::new();
+        let mut seed = 12345u64;
+        for i in 0..30_000u64 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = ((seed >> 33) % 2_147_483_648).to_string();
+            t.put(k.as_bytes(), i);
+            model.insert(k, i);
+        }
+        assert_eq!(t.len(), model.len());
+        for (k, v) in &model {
+            assert_eq!(t.get(k.as_bytes()), Some(*v));
+        }
+    }
+
+    #[test]
+    fn binary_keys() {
+        let mut t = SingleMasstree::new();
+        t.put(b"ABCDEFG", 7);
+        t.put(b"ABCDEFG\0", 8);
+        t.put(b"", 0);
+        assert_eq!(t.get(b"ABCDEFG"), Some(7));
+        assert_eq!(t.get(b"ABCDEFG\0"), Some(8));
+        assert_eq!(t.get(b""), Some(0));
+    }
+}

@@ -1,0 +1,41 @@
+//! Criterion comparison of single-threaded gets across every structure in
+//! the factor analysis (a per-op view of Figure 8's ordering).
+
+use bench::unified::{AnyIndex, Fig8Config};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mtworkload::{decimal_key, Rng64};
+
+const N: u64 = 200_000;
+
+fn fill(idx: &AnyIndex) {
+    let g = crossbeam::epoch::pin();
+    let mut rng = Rng64::new(1);
+    for i in 0..N {
+        idx.put(&decimal_key(rng.next_u64()), i, &g);
+    }
+}
+
+fn bench_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/get");
+    for cfg in Fig8Config::ALL {
+        let idx = cfg.build(N as usize);
+        fill(&idx);
+        group.bench_function(cfg.label(), |b| {
+            let g = crossbeam::epoch::pin();
+            let mut rng = Rng64::new(1);
+            b.iter(|| black_box(idx.get(&decimal_key(rng.next_u64()), &g)))
+        });
+    }
+    // The §6.4 hash table for reference.
+    let hash = AnyIndex::hash_table(N as usize);
+    fill(&hash);
+    group.bench_function("HashTable", |b| {
+        let g = crossbeam::epoch::pin();
+        let mut rng = Rng64::new(1);
+        b.iter(|| black_box(hash.get(&decimal_key(rng.next_u64()), &g)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_all);
+criterion_main!(benches);

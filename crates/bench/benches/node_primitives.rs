@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks of Masstree's cache-crafty primitives: key
+//! slicing, permutation updates, version-word transitions and border-node
+//! search — the per-descent-step costs §4.2 is about.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use masstree::key::{keylen_rank, slice_at};
+use masstree::permutation::{Permutation, WIDTH};
+use masstree::version::VersionCell;
+
+fn bench_slice_at(c: &mut Criterion) {
+    let key = b"0123456789abcdefXYZ";
+    c.bench_function("key/slice_at_layer0", |b| {
+        b.iter(|| slice_at(black_box(key), 0))
+    });
+    c.bench_function("key/slice_at_padded", |b| {
+        b.iter(|| slice_at(black_box(key), 16))
+    });
+    c.bench_function("key/keylen_rank", |b| b.iter(|| keylen_rank(black_box(9))));
+}
+
+fn bench_permutation(c: &mut Criterion) {
+    c.bench_function("permutation/insert_cycle", |b| {
+        b.iter(|| {
+            let mut p = Permutation::empty();
+            for i in 0..WIDTH {
+                let (np, slot) = p.insert_from_back(i / 2);
+                black_box(slot);
+                p = np;
+            }
+            p
+        })
+    });
+    let full = Permutation::identity(WIDTH);
+    c.bench_function("permutation/remove_at", |b| {
+        b.iter(|| black_box(full).remove_at(7))
+    });
+}
+
+fn bench_version(c: &mut Criterion) {
+    let v = VersionCell::new(true, false, false);
+    c.bench_function("version/lock_unlock", |b| {
+        b.iter(|| {
+            v.lock();
+            v.unlock();
+        })
+    });
+    c.bench_function("version/stable", |b| b.iter(|| v.stable()));
+}
+
+criterion_group!(benches, bench_slice_at, bench_permutation, bench_version);
+criterion_main!(benches);

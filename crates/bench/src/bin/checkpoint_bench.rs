@@ -1,0 +1,139 @@
+//! **§5** — checkpoint and recovery measurements: time to write a
+//! checkpoint of the whole store, time to recover from it, and put
+//! throughput while a checkpoint runs concurrently (the paper: 58 s to
+//! checkpoint 140M pairs, 38 s to recover, and 72% of ordinary put
+//! throughput during a concurrent checkpoint).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::{run_timed, Params};
+use mtkv::{recover, write_checkpoint, Store};
+use mtworkload::{decimal_key, Rng64};
+
+fn main() {
+    let p = Params::from_args();
+    let dir = std::env::temp_dir().join(format!("ckpt-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    println!("# §5: checkpoint / recovery — {} keys, {} threads", p.keys, p.threads);
+
+    // Build the store (8-byte values as in the small-value experiments).
+    // Sessions are long-lived, as in a real server: their logs keep
+    // heartbeating, so the recovery cutoff tracks real time.
+    let store = Store::persistent(&dir).unwrap();
+    let sessions: Vec<_> = (0..p.threads).map(|_| store.session().unwrap()).collect();
+    let per = p.keys / p.threads;
+    std::thread::scope(|s| {
+        for (t, session) in sessions.iter().enumerate() {
+            s.spawn(move || {
+                let mut rng = Rng64::new(t as u64 + 1);
+                for i in 0..per {
+                    session.put_single(&decimal_key(rng.next_u64()), &(i as u64).to_le_bytes());
+                }
+                session.force_log();
+            });
+        }
+    });
+    let guard = masstree::pin();
+    let live_keys = store.tree().count_keys(&guard);
+    drop(guard);
+    let data_bytes = live_keys * (10 + 8);
+    println!("store built: {live_keys} live keys (~{:.1} MB of key/value data)", data_bytes as f64 / 1e6);
+
+    // ---- checkpoint write time.
+    let t0 = Instant::now();
+    let meta = write_checkpoint(&store, &dir, p.threads).unwrap();
+    let write_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "checkpoint: {} keys in {:.2}s ({:.2} Mkeys/s)",
+        meta.keys,
+        write_secs,
+        meta.keys as f64 / write_secs / 1e6
+    );
+
+    // Fresh heartbeats push the cutoff past the checkpoint's end.
+    for s in &sessions {
+        s.force_log();
+    }
+
+    // ---- recovery time (checkpoint + logs).
+    let t0 = Instant::now();
+    let (recovered, report) = recover(&dir, &dir).unwrap();
+    let rec_secs = t0.elapsed().as_secs_f64();
+    let guard = masstree::pin();
+    let rec_keys = recovered.tree().count_keys(&guard);
+    drop(guard);
+    println!(
+        "recovery:   {rec_keys} keys in {rec_secs:.2}s ({:.2} Mkeys/s; ckpt {} keys + {} log records, cutoff {})",
+        rec_keys as f64 / rec_secs / 1e6,
+        report.checkpoint_keys,
+        report.replayed,
+        report.cutoff
+    );
+    assert_eq!(rec_keys, live_keys, "recovered store must match");
+    drop(recovered);
+
+    // ---- put throughput with and without a concurrent checkpoint.
+    let run_seed = std::sync::atomic::AtomicU64::new(1);
+    let put_rate = |label: &str, concurrent_ckpt: bool| -> f64 {
+        // Distinct keys each run: otherwise later runs would redo the
+        // same keys as cheap updates and drift fast.
+        let seed_base = run_seed.fetch_add(1, Ordering::Relaxed) << 32;
+        // Keep a checkpoint running for the whole measurement window (the
+        // paper's run: "when run concurrently with a checkpoint").
+        let ckpt_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let ckpt_thread = concurrent_ckpt.then(|| {
+            let store = Arc::clone(&store);
+            let dir = dir.clone();
+            let threads = p.threads;
+            let stop = Arc::clone(&ckpt_stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = write_checkpoint(&store, &dir, threads.min(4));
+                }
+            })
+        });
+        let t = run_timed(p.threads, p.secs, |tid, stop| {
+            let session = &sessions[tid];
+            let mut rng = Rng64::new(seed_base + tid as u64 + 99);
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                session.put_single(&decimal_key(rng.next_u64()), &n.to_le_bytes());
+                n += 1;
+            }
+            n
+        });
+        ckpt_stop.store(true, Ordering::Relaxed);
+        if let Some(h) = ckpt_thread {
+            let _ = h.join();
+        }
+        println!("{label}: {:.2} Mreq/s", t.mreq_per_sec());
+        t.mreq_per_sec()
+    };
+    // Warm up the put path (allocator, page faults) before measuring.
+    run_timed(p.threads, (p.secs / 4.0).max(0.25), |tid, stop| {
+        let session = &sessions[tid];
+        let mut rng = Rng64::new(tid as u64 + 7);
+        let mut n = 0u64;
+        while !stop.load(Ordering::Relaxed) {
+            session.put_single(&decimal_key(rng.next_u64()), &n.to_le_bytes());
+            n += 1;
+        }
+        n
+    });
+    // Interleave A/B/A/B to average out filesystem and growth drift.
+    let n1 = put_rate("puts (no checkpoint)  ", false);
+    let d1 = put_rate("puts (with checkpoint)", true);
+    let n2 = put_rate("puts (no checkpoint)  ", false);
+    let d2 = put_rate("puts (with checkpoint)", true);
+    let normal = (n1 + n2) / 2.0;
+    let during = (d1 + d2) / 2.0;
+    println!(
+        "# during/normal = {:.0}% (paper: 72%)",
+        100.0 * during / normal
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

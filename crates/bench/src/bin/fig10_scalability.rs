@@ -1,0 +1,61 @@
+//! **Figure 10** — Masstree scalability (§6.5): per-core throughput of
+//! get and put workloads as the core count grows 1 → 16. Ideal scaling is
+//! a horizontal line; the paper reaches 12.7×/12.5× at 16 cores, limited
+//! by growing DRAM fetch cost.
+
+use std::sync::atomic::Ordering;
+
+use bench::{run_fixed_ops, run_timed, Params};
+use masstree::Masstree;
+use mtworkload::{decimal_key, Rng64};
+
+fn main() {
+    let p = Params::from_args();
+    println!(
+        "# Figure 10: scalability — {} keys per run, {:.1}s get phase",
+        p.keys, p.secs
+    );
+    println!(
+        "{:<7} {:>14} {:>16} {:>14} {:>16}",
+        "cores", "get Mreq/s", "get Mreq/s/core", "put Mreq/s", "put Mreq/s/core"
+    );
+    let mut one_core: Option<(f64, f64)> = None;
+    let core_counts: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&c| c <= p.threads.max(1))
+        .collect();
+    for &cores in &core_counts {
+        let tree: Masstree<u64> = Masstree::new();
+        let per_thread = p.keys / cores;
+        let put = run_fixed_ops(cores, |tid| {
+            let mut rng = Rng64::new(900 + tid as u64);
+            let guard = masstree::pin();
+            for i in 0..per_thread {
+                tree.put(&decimal_key(rng.next_u64()), i as u64, &guard);
+            }
+            per_thread as u64
+        });
+        let get = run_timed(cores, p.secs, |tid, stop| {
+            let mut rng = Rng64::new(900 + tid as u64);
+            let guard = masstree::pin();
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                std::hint::black_box(tree.get(&decimal_key(rng.next_u64()), &guard));
+                n += 1;
+            }
+            n
+        });
+        let (g1, p1) = *one_core.get_or_insert((get.mreq_per_sec(), put.mreq_per_sec()));
+        println!(
+            "{:<7} {:>14.2} {:>16.3} {:>14.2} {:>16.3}   (speedup {:.1}x / {:.1}x)",
+            cores,
+            get.mreq_per_sec(),
+            get.mreq_per_sec() / cores as f64,
+            put.mreq_per_sec(),
+            put.mreq_per_sec() / cores as f64,
+            get.mreq_per_sec() / g1,
+            put.mreq_per_sec() / p1,
+        );
+    }
+    println!("# paper: 12.7x (get) and 12.5x (put) at 16 cores");
+}

@@ -1,0 +1,67 @@
+//! **Figure 8** — factor analysis: contributions of design features to
+//! Masstree's performance (§6.2).
+//!
+//! Nine cumulative configurations (Binary → +Flow → +Superpage → +IntCmp →
+//! 4-tree → B-tree → +Prefetch → +Permuter → Masstree) on 1-to-10-byte
+//! decimal get and put workloads. Each server thread generates its own
+//! load; no network, no logging — exactly as in the paper. Bar numbers
+//! are reported relative to the binary tree on the get workload.
+
+use std::sync::atomic::Ordering;
+
+use bench::unified::Fig8Config;
+use bench::{run_fixed_ops, run_timed, Params, Throughput};
+use mtworkload::{decimal_key, Rng64};
+
+fn main() {
+    let p = Params::from_args();
+    println!(
+        "# Figure 8: factor analysis — {} keys, {} threads, {:.1}s get phase",
+        p.keys, p.threads, p.secs
+    );
+    println!(
+        "{:<12} {:>12} {:>8} {:>12} {:>8}",
+        "config", "get Mreq/s", "(rel)", "put Mreq/s", "(rel)"
+    );
+
+    let mut binary_get: Option<f64> = None;
+    for cfg in Fig8Config::ALL {
+        // ---- put workload: timed insert of `keys` random decimal keys.
+        let idx = cfg.build(p.keys);
+        let per_thread = p.keys / p.threads;
+        let put: Throughput = run_fixed_ops(p.threads, |tid| {
+            let mut rng = Rng64::new(0x5eed + tid as u64);
+            let guard = crossbeam::epoch::pin();
+            for i in 0..per_thread {
+                let k = decimal_key(rng.next_u64());
+                idx.put(&k, i as u64, &guard);
+            }
+            per_thread as u64
+        });
+
+        // ---- get workload: random gets against the filled store.
+        let get: Throughput = run_timed(p.threads, p.secs, |tid, stop| {
+            let mut rng = Rng64::new(0x5eed + tid as u64); // same key stream
+            let guard = crossbeam::epoch::pin();
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let k = decimal_key(rng.next_u64());
+                std::hint::black_box(idx.get(&k, &guard));
+                n += 1;
+            }
+            n
+        });
+
+        let base = *binary_get.get_or_insert(get.mreq_per_sec());
+        println!(
+            "{:<12} {:>12.2} {:>8.2} {:>12.2} {:>8.2}",
+            cfg.label(),
+            get.mreq_per_sec(),
+            get.mreq_per_sec() / base,
+            put.mreq_per_sec(),
+            put.mreq_per_sec() / base,
+        );
+        drop(idx);
+    }
+    println!("# paper (16-core Opteron): get rel 1.00 → 2.93, put rel 1.00 → 3.33");
+}

@@ -1,0 +1,162 @@
+//! **§6.3** — system relevance of tree design: with logging on and load
+//! arriving over the network, Masstree vs the fastest binary tree from
+//! Figure 8 ("+IntCmp"). The paper: Masstree gives 1.90× (gets) and
+//! 1.53× (puts) even with the full system around the tree, showing tree
+//! design matters end to end.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use baselines::{Arena, BinaryTree, Compare, NodeAlloc};
+use bench::{run_timed, Params};
+use mtkv::{LogRecord, LogWriter, Store};
+use mtnet::{Backend, Client, ConnState, Request, Response, Server};
+use mtworkload::{decimal_key, Rng64};
+
+const BATCH: usize = 128;
+
+/// A store backend over the "+IntCmp" binary tree with per-connection
+/// logging — the same surrounding system as Masstree's, different index.
+struct BinaryBackend {
+    tree: Arc<BinaryTree>,
+    log_dir: std::path::PathBuf,
+    next_log: std::sync::atomic::AtomicU64,
+}
+
+struct BinaryConn {
+    tree: Arc<BinaryTree>,
+    log: LogWriter,
+}
+
+impl Backend for BinaryBackend {
+    fn connect(&self) -> Box<dyn ConnState> {
+        let id = self.next_log.fetch_add(1, Ordering::Relaxed);
+        let log = LogWriter::open(self.log_dir.join(format!("log-bin-{id}"))).unwrap();
+        Box::new(BinaryConn {
+            tree: Arc::clone(&self.tree),
+            log,
+        })
+    }
+}
+
+impl ConnState for BinaryConn {
+    fn execute(&mut self, req: Request) -> Response {
+        let guard = crossbeam::epoch::pin();
+        match req {
+            Request::Get { key, .. } => Response::Value(
+                self.tree
+                    .get(&key, &guard)
+                    .map(|v| vec![v.to_le_bytes().to_vec()]),
+            ),
+            Request::Put { key, cols } => {
+                let v = cols
+                    .first()
+                    .map(|(_, d)| {
+                        let mut b = [0u8; 8];
+                        let n = d.len().min(8);
+                        b[..n].copy_from_slice(&d[..n]);
+                        u64::from_le_bytes(b)
+                    })
+                    .unwrap_or(0);
+                self.tree.put(&key, v, &guard);
+                self.log.append(&LogRecord::Put {
+                    timestamp: mtkv::clock::now(),
+                    version: 0,
+                    key,
+                    cols,
+                });
+                Response::PutOk(0)
+            }
+            Request::Remove { .. } => Response::RemoveOk(false),
+            Request::Scan { .. } => Response::Rows(vec![]),
+        }
+    }
+}
+
+fn main() {
+    let p = Params::from_args();
+    let records = p.keys as u64;
+    let dir = std::env::temp_dir().join(format!("sec63-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    println!(
+        "# §6.3: tree design inside the full system (net + log) — {records} keys, {} clients",
+        p.threads
+    );
+
+    let mt_store = Store::persistent(&dir.join("mt")).unwrap();
+    let mt_server = Server::start(mt_store, "127.0.0.1:0").unwrap();
+    let bin_server = Server::start_backend(
+        Arc::new(BinaryBackend {
+            tree: Arc::new(BinaryTree::new(
+                Compare::IntPrefix,
+                NodeAlloc::Arena(Arc::new(Arena::new_superpage())),
+            )),
+            log_dir: dir.join("bin"),
+            next_log: std::sync::atomic::AtomicU64::new(0),
+        }),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    std::fs::create_dir_all(dir.join("bin")).unwrap();
+
+    let mut rates = Vec::new();
+    for (name, addr) in [("Masstree", mt_server.addr()), ("+IntCmp binary", bin_server.addr())] {
+        // Preload.
+        std::thread::scope(|s| {
+            for t in 0..p.threads as u64 {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    let per = records / p.threads as u64;
+                    for i in t * per..((t + 1) * per).min(records) {
+                        c.queue(&Request::Put {
+                            key: decimal_key(i),
+                            cols: vec![(0, i.to_le_bytes().to_vec())],
+                        });
+                        if i % 64 == 0 {
+                            c.execute_batch().unwrap();
+                        }
+                    }
+                    c.execute_batch().unwrap();
+                });
+            }
+        });
+        for (op, is_put) in [("get", false), ("put", true)] {
+            let t = run_timed(p.threads, p.secs, |tid, stop| {
+                let mut c = Client::connect(addr).unwrap();
+                let mut rng = Rng64::new(5 + tid as u64);
+                let mut done = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..BATCH {
+                        let key = decimal_key(rng.below(records));
+                        if is_put {
+                            c.queue(&Request::Put {
+                                key,
+                                cols: vec![(0, rng.next_u64().to_le_bytes().to_vec())],
+                            });
+                        } else {
+                            c.queue(&Request::Get {
+                                key,
+                                cols: Some(vec![0]),
+                            });
+                        }
+                    }
+                    c.execute_batch().unwrap();
+                    done += BATCH as u64;
+                }
+                done
+            });
+            println!("{name:<16} {op}: {:>8.2} Mreq/s", t.mreq_per_sec());
+            rates.push(t.mreq_per_sec());
+        }
+    }
+    if rates.len() == 4 {
+        println!(
+            "# Masstree / binary: get {:.2}x, put {:.2}x   (paper: 1.90x / 1.53x)",
+            rates[0] / rates[2],
+            rates[1] / rates[3]
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,132 @@
+//! **§6.4** — what Masstree's flexibility costs, via structures that drop
+//! one feature each:
+//!
+//! * variable-length keys: Masstree vs a fixed 8-byte-key OCC B-tree on
+//!   8-byte decimal keys (paper: fixed tree only 0.8% faster);
+//! * concurrency: concurrent Masstree on one core vs the single-core
+//!   variant with no synchronization (paper: single-core 13% faster);
+//! * range queries: Masstree vs a concurrent hash table on 8-byte
+//!   alphabetical keys (paper: hash 2.5× faster — range queries are the
+//!   one inherently expensive feature).
+
+use std::sync::atomic::Ordering;
+
+use baselines::SingleMasstree;
+use bench::unified::AnyIndex;
+use bench::{run_fixed_ops, run_timed, Params};
+use mtworkload::{alpha_key, decimal_key, Rng64};
+
+fn main() {
+    let p = Params::from_args();
+    println!(
+        "# §6.4: flexibility costs — {} keys, {} threads, {:.1}s per point",
+        p.keys, p.threads, p.secs
+    );
+
+    // ---- (a) variable-length key support: 8-byte decimal keys.
+    {
+        let keyspace = 10_000_000u64.min(p.keys as u64);
+        let make_key = |v: u64| format!("{:08}", v % 100_000_000).into_bytes();
+        let mut rates = Vec::new();
+        for which in ["Masstree", "fixed-8B B-tree"] {
+            let idx = if which == "Masstree" {
+                AnyIndex::masstree()
+            } else {
+                AnyIndex::fixed8_btree()
+            };
+            let per = p.keys / p.threads;
+            run_fixed_ops(p.threads, |tid| {
+                let mut rng = Rng64::new(17 + tid as u64);
+                let g = crossbeam::epoch::pin();
+                for i in 0..per {
+                    idx.put(&make_key(rng.below(keyspace)), i as u64, &g);
+                }
+                per as u64
+            });
+            let t = run_timed(p.threads, p.secs, |tid, stop| {
+                let mut rng = Rng64::new(17 + tid as u64);
+                let g = crossbeam::epoch::pin();
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    std::hint::black_box(idx.get(&make_key(rng.below(keyspace)), &g));
+                    n += 1;
+                }
+                n
+            });
+            println!("var-len keys    {which:<16}: {:>8.2} Mreq/s", t.mreq_per_sec());
+            rates.push(t.mreq_per_sec());
+        }
+        println!(
+            "#   fixed/masstree = {:.3} (paper: 1.008 — essentially free)",
+            rates[1] / rates[0]
+        );
+    }
+
+    // ---- (b) concurrency support: 1-core put workload.
+    {
+        let n = p.keys;
+        let conc = masstree::Masstree::<u64>::new();
+        let t_conc = run_fixed_ops(1, |_| {
+            let mut rng = Rng64::new(3);
+            let g = masstree::pin();
+            for i in 0..n {
+                conc.put(&decimal_key(rng.next_u64()), i as u64, &g);
+            }
+            n as u64
+        });
+        let mut single = SingleMasstree::new();
+        let t0 = std::time::Instant::now();
+        let mut rng = Rng64::new(3);
+        for i in 0..n {
+            single.put(&decimal_key(rng.next_u64()), i as u64);
+        }
+        let single_rate = n as f64 / t0.elapsed().as_secs_f64() / 1e6;
+        println!(
+            "concurrency     concurrent 1-core : {:>8.2} Mreq/s",
+            t_conc.mreq_per_sec()
+        );
+        println!("concurrency     single-core variant: {single_rate:>8.2} Mreq/s");
+        println!(
+            "#   single/concurrent = {:.2} (paper: 1.13 — 13% overhead)",
+            single_rate / t_conc.mreq_per_sec()
+        );
+    }
+
+    // ---- (c) range-query support: hash table vs Masstree, 8-byte
+    // alphabetical keys.
+    {
+        let mut rates = Vec::new();
+        for which in ["Masstree", "hash table"] {
+            let idx = if which == "Masstree" {
+                AnyIndex::masstree()
+            } else {
+                AnyIndex::hash_table(p.keys)
+            };
+            let per = p.keys / p.threads;
+            run_fixed_ops(p.threads, |tid| {
+                let mut rng = Rng64::new(23 + tid as u64);
+                let g = crossbeam::epoch::pin();
+                for i in 0..per {
+                    idx.put(&alpha_key(&mut rng), i as u64, &g);
+                }
+                per as u64
+            });
+            let t = run_timed(p.threads, p.secs, |tid, stop| {
+                let mut rng = Rng64::new(23 + tid as u64);
+                let g = crossbeam::epoch::pin();
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    std::hint::black_box(idx.get(&alpha_key(&mut rng), &g));
+                    n += 1;
+                }
+                n
+            });
+            println!("range queries   {which:<16}: {:>8.2} Mreq/s", t.mreq_per_sec());
+            rates.push(t.mreq_per_sec());
+        }
+        println!(
+            "#   hash/masstree = {:.2} (paper: 2.5 — ordered access is the costly feature)",
+            rates[1] / rates[0]
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Multi-thread throughput measurement.
+//!
+//! Two modes mirroring §6.1: *timed* (get experiments run for a fixed
+//! duration against a prefilled store) and *fixed-ops* (put experiments
+//! insert a fixed number of keys and are timed to completion). All
+//! threads start together on a barrier; throughput is aggregate
+//! operations over wall-clock time.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// A throughput measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct Throughput {
+    pub ops: u64,
+    pub secs: f64,
+}
+
+impl Throughput {
+    /// Million requests per second (the paper's unit).
+    pub fn mreq_per_sec(&self) -> f64 {
+        self.ops as f64 / self.secs / 1e6
+    }
+
+    /// Requests per second.
+    pub fn req_per_sec(&self) -> f64 {
+        self.ops as f64 / self.secs
+    }
+}
+
+/// Runs `threads` workers for ~`secs` seconds. `work(tid, &stop)` loops
+/// until `stop` is set and returns its operation count.
+pub fn run_timed<F>(threads: usize, secs: f64, work: F) -> Throughput
+where
+    F: Fn(usize, &AtomicBool) -> u64 + Send + Sync,
+{
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let total = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            let total = Arc::clone(&total);
+            let work = &work;
+            scope.spawn(move || {
+                barrier.wait();
+                let ops = work(tid, &stop);
+                total.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+        std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+        stop.store(true, Ordering::Release);
+    });
+    // Note: all threads have joined here. Use the requested duration as
+    // the denominator — workers check `stop` every iteration, so overrun
+    // is one operation's worth.
+    Throughput {
+        ops: total.load(Ordering::Relaxed),
+        secs,
+    }
+}
+
+/// Runs `threads` workers, each executing `work(tid)` to completion
+/// (fixed-operation runs: the put experiments). Returns the aggregate
+/// count over the longest worker's wall time.
+pub fn run_fixed_ops<F>(threads: usize, work: F) -> Throughput
+where
+    F: Fn(usize) -> u64 + Send + Sync,
+{
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let total = Arc::new(AtomicU64::new(0));
+    let elapsed = std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let barrier = Arc::clone(&barrier);
+            let total = Arc::clone(&total);
+            let work = &work;
+            scope.spawn(move || {
+                barrier.wait();
+                let ops = work(tid);
+                total.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+        // All workers released; the scope joins them before returning,
+        // so `elapsed` covers the slowest worker.
+        Instant::now()
+    });
+    let secs = elapsed.elapsed().as_secs_f64();
+    Throughput {
+        ops: total.load(Ordering::Relaxed),
+        secs: secs.max(1e-9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_run_counts_ops() {
+        let t = run_timed(4, 0.1, |_tid, stop| {
+            let mut n = 0;
+            while !stop.load(Ordering::Relaxed) {
+                n += 1;
+            }
+            n
+        });
+        assert!(t.ops > 1000);
+        assert!(t.mreq_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn fixed_ops_counts_everything() {
+        let t = run_fixed_ops(8, |_tid| 1000);
+        assert_eq!(t.ops, 8000);
+        assert!(t.secs > 0.0);
+    }
+}

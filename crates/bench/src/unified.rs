@@ -1,0 +1,163 @@
+//! One interface over every index structure in the factor analysis
+//! (Figure 8) plus the §6.4 comparisons, so the benchmark binaries can
+//! sweep configurations uniformly.
+
+use std::sync::Arc;
+
+use baselines::{
+    Arena, BinaryTree, Compare, FourTree, HashTable, NodeAlloc, OccBtree, OccBtreeConfig,
+};
+use crossbeam::epoch::Guard;
+use masstree::Masstree;
+
+/// Any benchmarked index mapping byte keys to `u64` values.
+pub enum AnyIndex {
+    Binary(BinaryTree),
+    Four(FourTree),
+    Occ(OccBtree),
+    Mass(Masstree<u64>),
+    Hash(HashTable),
+}
+
+/// The Figure 8 configuration ladder, in presentation order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fig8Config {
+    Binary,
+    PlusFlow,
+    PlusSuperpage,
+    PlusIntCmp,
+    FourTree,
+    BTree,
+    PlusPrefetch,
+    PlusPermuter,
+    Masstree,
+}
+
+impl Fig8Config {
+    pub const ALL: [Fig8Config; 9] = [
+        Fig8Config::Binary,
+        Fig8Config::PlusFlow,
+        Fig8Config::PlusSuperpage,
+        Fig8Config::PlusIntCmp,
+        Fig8Config::FourTree,
+        Fig8Config::BTree,
+        Fig8Config::PlusPrefetch,
+        Fig8Config::PlusPermuter,
+        Fig8Config::Masstree,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Fig8Config::Binary => "Binary",
+            Fig8Config::PlusFlow => "+Flow",
+            Fig8Config::PlusSuperpage => "+Superpage",
+            Fig8Config::PlusIntCmp => "+IntCmp",
+            Fig8Config::FourTree => "4-tree",
+            Fig8Config::BTree => "B-tree",
+            Fig8Config::PlusPrefetch => "+Prefetch",
+            Fig8Config::PlusPermuter => "+Permuter",
+            Fig8Config::Masstree => "Masstree",
+        }
+    }
+
+    /// Builds a fresh index in this configuration.
+    pub fn build(self, expected_keys: usize) -> AnyIndex {
+        match self {
+            Fig8Config::Binary => {
+                AnyIndex::Binary(BinaryTree::new(Compare::Bytes, NodeAlloc::Global))
+            }
+            Fig8Config::PlusFlow => AnyIndex::Binary(BinaryTree::new(
+                Compare::Bytes,
+                NodeAlloc::Arena(Arc::new(Arena::new_flow())),
+            )),
+            Fig8Config::PlusSuperpage => AnyIndex::Binary(BinaryTree::new(
+                Compare::Bytes,
+                NodeAlloc::Arena(Arc::new(Arena::new_superpage())),
+            )),
+            Fig8Config::PlusIntCmp => AnyIndex::Binary(BinaryTree::new(
+                Compare::IntPrefix,
+                NodeAlloc::Arena(Arc::new(Arena::new_superpage())),
+            )),
+            Fig8Config::FourTree => AnyIndex::Four(FourTree::new()),
+            Fig8Config::BTree => AnyIndex::Occ(OccBtree::new(OccBtreeConfig::plain())),
+            Fig8Config::PlusPrefetch => {
+                AnyIndex::Occ(OccBtree::new(OccBtreeConfig::prefetching()))
+            }
+            Fig8Config::PlusPermuter => AnyIndex::Occ(OccBtree::new(OccBtreeConfig::permuter())),
+            Fig8Config::Masstree => AnyIndex::Mass(Masstree::new()),
+        }
+        .with_capacity_hint(expected_keys)
+    }
+}
+
+impl AnyIndex {
+    fn with_capacity_hint(self, _expected: usize) -> AnyIndex {
+        self
+    }
+
+    /// Builds the §6.4 comparison structures.
+    pub fn hash_table(expected_keys: usize) -> AnyIndex {
+        AnyIndex::Hash(HashTable::with_expected_keys(expected_keys))
+    }
+
+    pub fn fixed8_btree() -> AnyIndex {
+        AnyIndex::Occ(OccBtree::new(OccBtreeConfig::fixed8()))
+    }
+
+    pub fn masstree() -> AnyIndex {
+        AnyIndex::Mass(Masstree::new())
+    }
+
+    #[inline]
+    pub fn get(&self, key: &[u8], guard: &Guard) -> Option<u64> {
+        match self {
+            AnyIndex::Binary(t) => t.get(key, guard),
+            AnyIndex::Four(t) => t.get(key, guard),
+            AnyIndex::Occ(t) => t.get(key, guard),
+            AnyIndex::Mass(t) => t.get(key, guard).copied(),
+            AnyIndex::Hash(t) => t.get(key, guard),
+        }
+    }
+
+    #[inline]
+    pub fn put(&self, key: &[u8], value: u64, guard: &Guard) {
+        match self {
+            AnyIndex::Binary(t) => t.put(key, value, guard),
+            AnyIndex::Four(t) => t.put(key, value, guard),
+            AnyIndex::Occ(t) => t.put(key, value, guard),
+            AnyIndex::Mass(t) => {
+                t.put(key, value, guard);
+            }
+            AnyIndex::Hash(t) => t.put(key, value, guard),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_config_builds_and_works() {
+        for cfg in Fig8Config::ALL {
+            let idx = cfg.build(1000);
+            let g = crossbeam::epoch::pin();
+            idx.put(b"12345", 1, &g);
+            idx.put(b"1234567890", 2, &g);
+            assert_eq!(idx.get(b"12345", &g), Some(1), "{}", cfg.label());
+            assert_eq!(idx.get(b"1234567890", &g), Some(2), "{}", cfg.label());
+            assert_eq!(idx.get(b"99", &g), None, "{}", cfg.label());
+        }
+    }
+
+    #[test]
+    fn hash_and_fixed8_variants() {
+        let g = crossbeam::epoch::pin();
+        let h = AnyIndex::hash_table(100);
+        h.put(b"abcdefgh", 1, &g);
+        assert_eq!(h.get(b"abcdefgh", &g), Some(1));
+        let f = AnyIndex::fixed8_btree();
+        f.put(b"abcdefgh", 2, &g);
+        assert_eq!(f.get(b"abcdefgh", &g), Some(2));
+    }
+}

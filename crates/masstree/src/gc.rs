@@ -1,0 +1,61 @@
+//! Epoch-based reclamation helpers (§4.6.1 of the paper).
+//!
+//! Removed values, suffix blocks and nodes stay readable until every
+//! reader that could hold a reference has unpinned its epoch guard — the
+//! paper's read-copy-update-style garbage collection, implemented with
+//! `crossbeam::epoch`.
+
+use crossbeam::epoch::Guard;
+
+use crate::node::NodePtr;
+use crate::suffix::KeySuffix;
+
+/// Schedules a value for destruction after the current epoch.
+///
+/// # Safety
+///
+/// `p` must have come from `Box::into_raw(Box<V>)`, must be unreachable
+/// from the tree, and must not be retired twice.
+pub(crate) unsafe fn retire_value<V>(guard: &Guard, p: *mut ()) {
+    let p = p.cast::<V>() as usize;
+    // SAFETY: per caller contract; the closure runs once, after all
+    // readers that could observe `p` have unpinned.
+    unsafe {
+        guard.defer_unchecked(move || drop(Box::from_raw(p as *mut V)));
+    }
+}
+
+/// Schedules a suffix block for destruction after the current epoch.
+///
+/// # Safety
+///
+/// `p` must have come from [`KeySuffix::alloc`], must be unreachable, and
+/// must not be retired twice. A null pointer is ignored.
+pub(crate) unsafe fn retire_suffix(guard: &Guard, p: *mut KeySuffix) {
+    if p.is_null() {
+        return;
+    }
+    let p = p as usize;
+    // SAFETY: per caller contract.
+    unsafe {
+        guard.defer_unchecked(move || KeySuffix::free(p as *mut KeySuffix));
+    }
+}
+
+/// Schedules a tree node for destruction after the current epoch. Frees
+/// only the node allocation — values, suffixes and children must have been
+/// moved or retired separately.
+///
+/// # Safety
+///
+/// The node must be unlinked from the tree (marked deleted) and must not
+/// be retired twice.
+pub(crate) unsafe fn retire_node<V>(guard: &Guard, n: NodePtr<V>) {
+    let raw = n.raw() as usize;
+    // SAFETY: per caller contract.
+    unsafe {
+        guard.defer_unchecked(move || {
+            NodePtr::<V>::from_raw(raw as *mut crate::node::NodeHeader).free()
+        });
+    }
+}

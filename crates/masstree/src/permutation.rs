@@ -1,0 +1,309 @@
+//! Border-node permutations (§4.6.2 of the paper).
+//!
+//! A 64-bit permutation makes border-node inserts visible in one atomic
+//! step. The low 4 bits hold `nkeys`; the remaining fifteen 4-bit fields
+//! are a permutation of `0..15`. Fields `0..nkeys` list the slots of live
+//! keys in increasing key order; the rest list free slots. A writer
+//! composes a new permutation in a register and publishes it with a single
+//! aligned store — readers see either the old order (without the new key)
+//! or the new order (with it), never a rearrangement in progress.
+
+/// B+-tree width: maximum keys per node (fanout 15).
+pub const WIDTH: usize = 15;
+
+/// A border-node permutation value (see module docs).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Permutation(u64);
+
+impl Permutation {
+    /// An empty node: zero keys, free slots listed in identity order.
+    #[inline]
+    pub fn empty() -> Self {
+        let mut bits: u64 = 0;
+        for i in 0..WIDTH {
+            bits |= (i as u64) << Self::shift(i);
+        }
+        Permutation(bits)
+    }
+
+    /// A permutation for a node whose first `n` slots hold keys already in
+    /// increasing key order (used when a split rebuilds a fresh node).
+    #[inline]
+    pub fn identity(n: usize) -> Self {
+        assert!(n <= WIDTH);
+        let Permutation(bits) = Self::empty();
+        Permutation(bits | n as u64)
+    }
+
+    #[inline]
+    pub fn from_raw(bits: u64) -> Self {
+        Permutation(bits)
+    }
+
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    const fn shift(index: usize) -> u32 {
+        4 * (index as u32 + 1)
+    }
+
+    /// Number of live keys in the node.
+    #[inline]
+    pub fn nkeys(self) -> usize {
+        (self.0 & 0xf) as usize
+    }
+
+    #[inline]
+    pub fn is_full(self) -> bool {
+        self.nkeys() == WIDTH
+    }
+
+    /// Slot index of the `i`-th smallest key (`i < nkeys`), or of the
+    /// `(i - nkeys)`-th free slot otherwise.
+    #[inline]
+    pub fn get(self, i: usize) -> usize {
+        debug_assert!(i < WIDTH);
+        ((self.0 >> Self::shift(i)) & 0xf) as usize
+    }
+
+    /// The slot the next insertion will use (first free slot).
+    #[inline]
+    pub fn back(self) -> usize {
+        debug_assert!(!self.is_full());
+        self.get(self.nkeys())
+    }
+
+    /// Inserts the first free slot at sorted position `pos`, returning the
+    /// new permutation and the slot index the caller must fill **before**
+    /// publishing the permutation.
+    #[must_use]
+    pub fn insert_from_back(self, pos: usize) -> (Permutation, usize) {
+        let n = self.nkeys();
+        assert!(pos <= n && n < WIDTH);
+        let slot = self.back();
+        let mut bits = self.0;
+        // Shift fields [pos, n) up one position to make room at `pos`.
+        let mut i = n;
+        while i > pos {
+            let below = (bits >> Self::shift(i - 1)) & 0xf;
+            bits = (bits & !(0xf << Self::shift(i))) | (below << Self::shift(i));
+            i -= 1;
+        }
+        bits = (bits & !(0xf << Self::shift(pos))) | ((slot as u64) << Self::shift(pos));
+        bits = (bits & !0xf) | (n as u64 + 1);
+        (Permutation(bits), slot)
+    }
+
+    /// Removes the key at sorted position `pos`; its slot becomes the first
+    /// free slot (so it is the next reused — §4.6.5's reuse hazard).
+    /// Returns the new permutation and the freed slot index.
+    #[must_use]
+    pub fn remove_at(self, pos: usize) -> (Permutation, usize) {
+        let n = self.nkeys();
+        assert!(pos < n);
+        let slot = self.get(pos);
+        let mut bits = self.0;
+        // Shift fields (pos, n) down one position.
+        for i in pos..n - 1 {
+            let above = (bits >> Self::shift(i + 1)) & 0xf;
+            bits = (bits & !(0xf << Self::shift(i))) | (above << Self::shift(i));
+        }
+        // Freed slot becomes the head of the free region (position n-1).
+        bits = (bits & !(0xf << Self::shift(n - 1))) | ((slot as u64) << Self::shift(n - 1));
+        bits = (bits & !0xf) | (n as u64 - 1);
+        (Permutation(bits), slot)
+    }
+
+    /// Iterator over the live slots in key order.
+    #[inline]
+    pub fn live_slots(self) -> impl Iterator<Item = usize> {
+        (0..self.nkeys()).map(move |i| self.get(i))
+    }
+
+    /// Builds a permutation whose live keys occupy `slots` in the given
+    /// order; the remaining slot indices form the free region. Used when a
+    /// split rebuilds the left node's key order (§4.6.4).
+    pub fn from_slots(slots: &[usize]) -> Self {
+        assert!(slots.len() <= WIDTH);
+        let mut bits = slots.len() as u64;
+        let mut used = [false; WIDTH];
+        for (i, &s) in slots.iter().enumerate() {
+            assert!(s < WIDTH && !used[s], "duplicate or out-of-range slot");
+            used[s] = true;
+            bits |= (s as u64) << Self::shift(i);
+        }
+        let mut pos = slots.len();
+        for (s, &u) in used.iter().enumerate() {
+            if !u {
+                bits |= (s as u64) << Self::shift(pos);
+                pos += 1;
+            }
+        }
+        Permutation(bits)
+    }
+
+    /// Verifies the representation invariant: the fifteen fields are a
+    /// permutation of `0..15` and `nkeys <= 15`. Used by tests and the
+    /// whole-tree validator.
+    pub fn is_valid(self) -> bool {
+        if self.nkeys() > WIDTH {
+            return false;
+        }
+        let mut seen = [false; WIDTH];
+        for i in 0..WIDTH {
+            let s = self.get(i);
+            if s >= WIDTH || seen[s] {
+                return false;
+            }
+            seen[s] = true;
+        }
+        true
+    }
+}
+
+impl core::fmt::Debug for Permutation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Permutation(n={}, [", self.nkeys())?;
+        for i in 0..WIDTH {
+            if i == self.nkeys() {
+                write!(f, " |")?;
+            }
+            write!(f, " {}", self.get(i))?;
+        }
+        write!(f, " ])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_valid_identity() {
+        let p = Permutation::empty();
+        assert!(p.is_valid());
+        assert_eq!(p.nkeys(), 0);
+        assert_eq!(p.back(), 0);
+        for i in 0..WIDTH {
+            assert_eq!(p.get(i), i);
+        }
+    }
+
+    #[test]
+    fn insert_fills_in_order() {
+        let mut p = Permutation::empty();
+        for want in 0..WIDTH {
+            let (np, slot) = p.insert_from_back(want);
+            assert_eq!(slot, want, "identity free list hands out slots in order");
+            p = np;
+            assert!(p.is_valid());
+            assert_eq!(p.nkeys(), want + 1);
+        }
+        assert!(p.is_full());
+    }
+
+    #[test]
+    fn insert_at_front_shifts() {
+        let mut p = Permutation::empty();
+        // Insert three keys, each at sorted position 0.
+        for _ in 0..3 {
+            let (np, _) = p.insert_from_back(0);
+            p = np;
+        }
+        assert!(p.is_valid());
+        // Live order is the reverse of allocation order.
+        let live: Vec<usize> = p.live_slots().collect();
+        assert_eq!(live, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn remove_frees_slot_for_next_insert() {
+        let mut p = Permutation::empty();
+        for i in 0..5 {
+            let (np, _) = p.insert_from_back(i);
+            p = np;
+        }
+        let (p2, freed) = p.remove_at(2);
+        assert!(p2.is_valid());
+        assert_eq!(p2.nkeys(), 4);
+        assert_eq!(freed, 2);
+        assert_eq!(p2.back(), 2, "freed slot is reused first");
+        let live: Vec<usize> = p2.live_slots().collect();
+        assert_eq!(live, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn remove_last() {
+        let mut p = Permutation::empty();
+        for i in 0..3 {
+            let (np, _) = p.insert_from_back(i);
+            p = np;
+        }
+        let (p2, freed) = p.remove_at(2);
+        assert_eq!(freed, 2);
+        assert!(p2.is_valid());
+        assert_eq!(p2.live_slots().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn identity_prefix() {
+        let p = Permutation::identity(7);
+        assert!(p.is_valid());
+        assert_eq!(p.nkeys(), 7);
+        assert_eq!(p.live_slots().collect::<Vec<_>>(), (0..7).collect::<Vec<_>>());
+        assert_eq!(p.back(), 7);
+    }
+
+    #[test]
+    fn from_slots_roundtrip() {
+        let p = Permutation::from_slots(&[3, 0, 7]);
+        assert!(p.is_valid());
+        assert_eq!(p.nkeys(), 3);
+        assert_eq!(p.live_slots().collect::<Vec<_>>(), vec![3, 0, 7]);
+        // Free region contains exactly the other slots.
+        let free: Vec<usize> = (3..WIDTH).map(|i| p.get(i)).collect();
+        let mut all: Vec<usize> = free.clone();
+        all.extend([3, 0, 7]);
+        all.sort_unstable();
+        assert_eq!(all, (0..WIDTH).collect::<Vec<_>>());
+        assert!(!free.contains(&3));
+    }
+
+    #[test]
+    fn from_slots_empty_and_full() {
+        assert_eq!(Permutation::from_slots(&[]).nkeys(), 0);
+        let full: Vec<usize> = (0..WIDTH).rev().collect();
+        let p = Permutation::from_slots(&full);
+        assert!(p.is_valid());
+        assert!(p.is_full());
+        assert_eq!(p.live_slots().collect::<Vec<_>>(), full);
+    }
+
+    #[test]
+    fn full_cycle_random() {
+        // Deterministic pseudo-random insert/remove churn preserving
+        // validity; mirrors proptest but runs in the unit suite.
+        let mut p = Permutation::empty();
+        let mut n = 0usize;
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        for _ in 0..10_000 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let r = (seed >> 33) as usize;
+            if n < WIDTH && (n == 0 || r.is_multiple_of(2)) {
+                let (np, slot) = p.insert_from_back(r % (n + 1));
+                assert!(slot < WIDTH);
+                p = np;
+                n += 1;
+            } else {
+                let (np, _) = p.remove_at(r % n);
+                p = np;
+                n -= 1;
+            }
+            assert!(p.is_valid(), "{p:?}");
+            assert_eq!(p.nkeys(), n);
+        }
+    }
+}

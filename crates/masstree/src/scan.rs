@@ -1,0 +1,287 @@
+//! Range queries (`getrange`/"scan", §3 of the paper).
+//!
+//! Scans are forward, in lexicographic key order, and — per the paper —
+//! not atomic with respect to concurrent inserts and removes: each border
+//! node is read through one validated snapshot, concurrent splits cause a
+//! re-descent from the current position, and a scan never returns a key
+//! twice or out of order.
+//!
+//! Multi-layer traversal recurses through layer links depth-first; the
+//! current key prefix is threaded down so emitted keys are reconstructed
+//! without storing full keys in the tree.
+
+use core::sync::atomic::Ordering;
+
+use crossbeam::epoch::Guard;
+
+use crate::key::{slice_at, KEYLEN_LAYER, KEYLEN_SUFFIX, SLICE_LEN};
+use crate::node::{BorderNode, ExtractedLv, NodePtr};
+use crate::stats::Stats;
+use crate::suffix::KeySuffix;
+use crate::tree::{Masstree, Restart};
+
+/// One decoded border-node entry captured in a validated snapshot.
+struct Entry {
+    ikey: u64,
+    /// Inline length 0..=8, [`KEYLEN_SUFFIX`] or [`KEYLEN_LAYER`].
+    code: u8,
+    lv: *mut (),
+    suffix: *mut KeySuffix,
+}
+
+/// Outcome of a (sub-)scan.
+enum ScanStatus {
+    /// Layer exhausted; continue with the caller's next entry.
+    Done,
+    /// The callback asked to stop.
+    Stopped,
+    /// A deleted node/layer was encountered; restart the whole scan at
+    /// this full key (inclusive).
+    RestartAt(Vec<u8>),
+}
+
+impl<V: Send + Sync + 'static> Masstree<V> {
+    /// Visits keys at or after `start` in lexicographic order, calling
+    /// `f(key, value)` until it returns `false` or the tree is exhausted.
+    /// Returns the number of entries visited.
+    ///
+    /// The scan is not atomic: entries inserted or removed while it runs
+    /// may or may not be observed, but order and uniqueness are
+    /// guaranteed, and every entry present for the whole scan is visited.
+    pub fn scan<'g, F>(&self, start: &[u8], guard: &'g Guard, mut f: F) -> usize
+    where
+        F: FnMut(&[u8], &'g V) -> bool,
+    {
+        let mut count = 0usize;
+        let mut bound = start.to_vec();
+        loop {
+            let root = self.load_root();
+            let mut prefix = Vec::new();
+            match self.scan_layer(root, &mut prefix, bound.clone(), guard, &mut |k, v| {
+                count += 1;
+                f(k, v)
+            }) {
+                ScanStatus::Done | ScanStatus::Stopped => return count,
+                ScanStatus::RestartAt(key) => {
+                    Stats::bump(&self.stats.op_restarts);
+                    bound = key;
+                }
+            }
+        }
+    }
+
+    /// Collects up to `limit` `(key, value)` pairs at or after `start`
+    /// (the paper's `getrange(k, n)`).
+    pub fn get_range<'g>(
+        &self,
+        start: &[u8],
+        limit: usize,
+        guard: &'g Guard,
+    ) -> Vec<(Vec<u8>, &'g V)> {
+        let mut out = Vec::with_capacity(limit.min(1024));
+        if limit == 0 {
+            return out;
+        }
+        self.scan(start, guard, |k, v| {
+            out.push((k.to_vec(), v));
+            out.len() < limit
+        });
+        out
+    }
+
+    /// Total number of keys (O(n); scans the whole tree).
+    pub fn count_keys(&self, guard: &Guard) -> usize {
+        self.scan(b"", guard, |_, _| true)
+    }
+
+    /// Scans one trie layer rooted at `root`. `prefix` holds the key bytes
+    /// of enclosing layers; `bound` is the inclusive lower bound for the
+    /// key *remainder* within this layer. Restores `prefix` before
+    /// returning.
+    fn scan_layer<'g>(
+        &self,
+        root: NodePtr<V>,
+        prefix: &mut Vec<u8>,
+        mut bound: Vec<u8>,
+        guard: &'g Guard,
+        f: &mut dyn FnMut(&[u8], &'g V) -> bool,
+    ) -> ScanStatus {
+        'redescend: loop {
+            let bikey = slice_at(&bound, 0);
+            let mut root = root;
+            let (mut n, _v) = match self.find_border(&mut root, bikey, guard) {
+                Ok(x) => x,
+                Err(Restart) => {
+                    let mut key = prefix.clone();
+                    key.extend_from_slice(&bound);
+                    return ScanStatus::RestartAt(key);
+                }
+            };
+            'nodes: loop {
+                let (entries, next) = match Self::snapshot_border(n) {
+                    Ok(x) => x,
+                    Err(()) => continue 'redescend,
+                };
+                for e in &entries {
+                    // Inclusive lower-bound filter against the remainder.
+                    let bikey = slice_at(&bound, 0);
+                    let brank = if bound.len() > SLICE_LEN {
+                        KEYLEN_SUFFIX
+                    } else {
+                        bound.len() as u8
+                    };
+                    if e.ikey < bikey {
+                        continue;
+                    }
+                    let erank = crate::key::keylen_rank(e.code);
+                    if e.ikey == bikey && erank < brank {
+                        continue;
+                    }
+                    let in_rank9_boundary =
+                        e.ikey == bikey && erank == KEYLEN_SUFFIX && brank == KEYLEN_SUFFIX;
+                    let slice_bytes = e.ikey.to_be_bytes();
+                    match e.code {
+                        KEYLEN_LAYER => {
+                            let sub_bound = if in_rank9_boundary {
+                                bound[SLICE_LEN..].to_vec()
+                            } else {
+                                Vec::new()
+                            };
+                            prefix.extend_from_slice(&slice_bytes);
+                            let st = self.scan_layer(
+                                NodePtr::from_raw(e.lv.cast()),
+                                prefix,
+                                sub_bound,
+                                guard,
+                                f,
+                            );
+                            prefix.truncate(prefix.len() - SLICE_LEN);
+                            match st {
+                                ScanStatus::Done => {}
+                                other => return other,
+                            }
+                            // Resume strictly after the whole sub-layer. A
+                            // layer under the maximum slice is the last
+                            // possible entry of the whole layer.
+                            match next_slice_bound(e.ikey) {
+                                Some(b) => bound = b,
+                                None => return ScanStatus::Done,
+                            }
+                        }
+                        KEYLEN_SUFFIX => {
+                            debug_assert!(!e.suffix.is_null());
+                            // SAFETY: captured in a validated snapshot;
+                            // epoch keeps the block live for the guard.
+                            let sb = unsafe { KeySuffix::bytes(e.suffix) };
+                            if in_rank9_boundary && sb < &bound[SLICE_LEN..] {
+                                continue;
+                            }
+                            let plen = prefix.len();
+                            prefix.extend_from_slice(&slice_bytes);
+                            prefix.extend_from_slice(sb);
+                            // SAFETY: validated value pointer, epoch-live.
+                            let keep = f(prefix, unsafe { &*e.lv.cast::<V>() });
+                            prefix.truncate(plen);
+                            if !keep {
+                                return ScanStatus::Stopped;
+                            }
+                            bound = slice_bytes.to_vec();
+                            bound.extend_from_slice(sb);
+                            bound.push(0);
+                        }
+                        len => {
+                            let len = len as usize;
+                            let plen = prefix.len();
+                            prefix.extend_from_slice(&slice_bytes[..len]);
+                            // SAFETY: validated value pointer, epoch-live.
+                            let keep = f(prefix, unsafe { &*e.lv.cast::<V>() });
+                            prefix.truncate(plen);
+                            if !keep {
+                                return ScanStatus::Stopped;
+                            }
+                            bound = slice_bytes[..len].to_vec();
+                            bound.push(0);
+                        }
+                    }
+                }
+                if next.is_null() {
+                    return ScanStatus::Done;
+                }
+                // SAFETY: leaf-list pointers stay live under the epoch.
+                n = unsafe { &*next };
+                continue 'nodes;
+            }
+        }
+    }
+
+    /// Captures a consistent snapshot of a border node's live entries and
+    /// its `next` pointer. Local inserts retry in place; splits and
+    /// deletions return `Err` so the caller re-descends from its bound.
+    fn snapshot_border(n: &BorderNode<V>) -> Result<(Vec<Entry>, *mut BorderNode<V>), ()> {
+        loop {
+            let v = n.version().stable();
+            if v.is_deleted() {
+                return Err(());
+            }
+            let perm = n.permutation();
+            let mut entries = Vec::with_capacity(perm.nkeys());
+            let mut unstable = false;
+            for pos in 0..perm.nkeys() {
+                let slot = perm.get(pos);
+                let ikey = n.keyslice[slot].load(Ordering::Acquire);
+                let (code, ex) = n.extract_lv(slot);
+                match ex {
+                    ExtractedLv::Unstable => {
+                        unstable = true;
+                        break;
+                    }
+                    ExtractedLv::Layer(p) => entries.push(Entry {
+                        ikey,
+                        code: KEYLEN_LAYER,
+                        lv: p.cast::<()>(),
+                        suffix: core::ptr::null_mut(),
+                    }),
+                    ExtractedLv::Value(p) => {
+                        let suffix = if code == KEYLEN_SUFFIX {
+                            n.suffix[slot].load(Ordering::Acquire)
+                        } else {
+                            core::ptr::null_mut()
+                        };
+                        entries.push(Entry {
+                            ikey,
+                            code,
+                            lv: p,
+                            suffix,
+                        });
+                    }
+                }
+            }
+            let next = n.next.load(Ordering::Acquire);
+            let v2 = n.version().load(Ordering::Acquire);
+            if !unstable && !v.has_changed(v2) {
+                return Ok((entries, next));
+            }
+            if v.has_split(n.version().stable()) {
+                return Err(());
+            }
+            core::hint::spin_loop();
+        }
+    }
+}
+
+/// The smallest remainder strictly after every key whose slice is `ikey`:
+/// the next slice value with rank 0. `None` if `ikey` is the maximum.
+fn next_slice_bound(ikey: u64) -> Option<Vec<u8>> {
+    ikey.checked_add(1).map(|nk| nk.to_be_bytes().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_slice_bound_increments() {
+        assert_eq!(next_slice_bound(0), Some(1u64.to_be_bytes().to_vec()));
+        assert_eq!(next_slice_bound(u64::MAX), None);
+    }
+}

@@ -1,0 +1,392 @@
+//! Backward range queries.
+//!
+//! §4.3 of the paper: "Insert and remove maintain a per-tree doubly
+//! linked list among border nodes. This list speeds up range queries in
+//! either direction" — the backlinks exist for concurrent remove, and
+//! they also serve descending scans. The protocol mirrors the forward
+//! scanner (`scan.rs`): validated per-node snapshots, layers visited
+//! depth-first (in reverse), and a re-descent from the current bound on
+//! any split or deletion. Because `prev` pointers are maintained under
+//! weaker invariants than `next` (a node's prev may lag during splits),
+//! the backward walk revalidates by *key range* and falls back to a
+//! fresh descent instead of trusting the link.
+
+use core::sync::atomic::Ordering;
+
+use crossbeam::epoch::Guard;
+
+use crate::key::{slice_at, KEYLEN_LAYER, KEYLEN_SUFFIX, SLICE_LEN};
+use crate::node::{BorderNode, ExtractedLv, NodePtr};
+use crate::stats::Stats;
+use crate::suffix::KeySuffix;
+use crate::tree::{Masstree, Restart};
+
+/// One decoded entry (mirrors the forward scanner's).
+struct Entry {
+    ikey: u64,
+    code: u8,
+    lv: *mut (),
+    suffix: *mut KeySuffix,
+}
+
+enum ScanStatus {
+    Done,
+    Stopped,
+    RestartAt(Vec<u8>),
+}
+
+/// An inclusive upper bound for a layer's remainder, or "everything".
+#[derive(Clone)]
+enum Bound {
+    /// Only keys ≤ this remainder.
+    AtMost(Vec<u8>),
+    /// The whole layer.
+    Everything,
+}
+
+impl<V: Send + Sync + 'static> Masstree<V> {
+    /// Visits keys at or *below* `start` in descending lexicographic
+    /// order, calling `f(key, value)` until it returns `false` or the
+    /// tree is exhausted. Returns the number of entries visited.
+    ///
+    /// Like [`Masstree::scan`], not atomic with respect to concurrent
+    /// writers; order and uniqueness are guaranteed.
+    pub fn scan_rev<'g, F>(&self, start: &[u8], guard: &'g Guard, mut f: F) -> usize
+    where
+        F: FnMut(&[u8], &'g V) -> bool,
+    {
+        let mut count = 0usize;
+        let mut bound = Bound::AtMost(start.to_vec());
+        loop {
+            let root = self.load_root();
+            let mut prefix = Vec::new();
+            match self.scan_rev_layer(root, &mut prefix, bound.clone(), guard, &mut |k, v| {
+                count += 1;
+                f(k, v)
+            }) {
+                ScanStatus::Done | ScanStatus::Stopped => return count,
+                ScanStatus::RestartAt(key) => {
+                    Stats::bump(&self.stats.op_restarts);
+                    bound = Bound::AtMost(key);
+                }
+            }
+        }
+    }
+
+    /// Collects up to `limit` `(key, value)` pairs at or below `start`,
+    /// in descending key order (a backward `getrange`).
+    pub fn get_range_rev<'g>(
+        &self,
+        start: &[u8],
+        limit: usize,
+        guard: &'g Guard,
+    ) -> Vec<(Vec<u8>, &'g V)> {
+        let mut out = Vec::with_capacity(limit.min(1024));
+        if limit == 0 {
+            return out;
+        }
+        self.scan_rev(start, guard, |k, v| {
+            out.push((k.to_vec(), v));
+            out.len() < limit
+        });
+        out
+    }
+
+    /// Scans one layer in descending order. `bound` is the inclusive
+    /// upper bound for key remainders within this layer.
+    fn scan_rev_layer<'g>(
+        &self,
+        root: NodePtr<V>,
+        prefix: &mut Vec<u8>,
+        mut bound: Bound,
+        guard: &'g Guard,
+        f: &mut dyn FnMut(&[u8], &'g V) -> bool,
+    ) -> ScanStatus {
+        'redescend: loop {
+            let bikey = match &bound {
+                Bound::AtMost(b) => slice_at(b, 0),
+                Bound::Everything => u64::MAX,
+            };
+            let mut root_var = root;
+            let (mut n, _v) = match self.find_border(&mut root_var, bikey, guard) {
+                Ok(x) => x,
+                Err(Restart) => {
+                    let mut key = prefix.clone();
+                    if let Bound::AtMost(b) = &bound {
+                        key.extend_from_slice(b);
+                    } else {
+                        // Restarting an unbounded layer: resume from the
+                        // maximal remainder (prefix + 8 × 0xff covers any
+                        // slice; deeper bytes are bounded by re-descent).
+                        key.extend_from_slice(&[0xff; SLICE_LEN]);
+                    }
+                    return ScanStatus::RestartAt(key);
+                }
+            };
+            loop {
+                let (entries, prev, lowkey) = match Self::snapshot_border_rev(n) {
+                    Ok(x) => x,
+                    Err(()) => continue 'redescend,
+                };
+                // Process this node's entries from highest to lowest.
+                for e in entries.iter().rev() {
+                    // Upper-bound filter.
+                    let (bikey, brank, bsuffix): (u64, u8, Option<&[u8]>) = match &bound {
+                        Bound::Everything => (u64::MAX, KEYLEN_SUFFIX, None),
+                        Bound::AtMost(b) => (
+                            slice_at(b, 0),
+                            if b.len() > SLICE_LEN {
+                                KEYLEN_SUFFIX
+                            } else {
+                                b.len() as u8
+                            },
+                            if b.len() > SLICE_LEN {
+                                Some(&b[SLICE_LEN..])
+                            } else {
+                                None
+                            },
+                        ),
+                    };
+                    if e.ikey > bikey {
+                        continue;
+                    }
+                    let erank = crate::key::keylen_rank(e.code);
+                    if e.ikey == bikey && erank > brank {
+                        continue;
+                    }
+                    let at_boundary = e.ikey == bikey && erank == brank;
+                    let slice_bytes = e.ikey.to_be_bytes();
+                    match e.code {
+                        KEYLEN_LAYER => {
+                            let sub_bound = if at_boundary && brank == KEYLEN_SUFFIX {
+                                match bsuffix {
+                                    Some(s) => Bound::AtMost(s.to_vec()),
+                                    None => Bound::Everything,
+                                }
+                            } else {
+                                Bound::Everything
+                            };
+                            prefix.extend_from_slice(&slice_bytes);
+                            let st = self.scan_rev_layer(
+                                NodePtr::from_raw(e.lv.cast()),
+                                prefix,
+                                sub_bound,
+                                guard,
+                                f,
+                            );
+                            prefix.truncate(prefix.len() - SLICE_LEN);
+                            match st {
+                                ScanStatus::Done => {}
+                                other => return other,
+                            }
+                            // Resume strictly below the whole sub-layer:
+                            // the next candidate is the inline key of the
+                            // same slice with rank 8, bounded inclusively.
+                            bound = Bound::AtMost(slice_bytes.to_vec());
+                            // (rank 8 == full slice, which sorts just
+                            // below the layer's rank-9 position.)
+                        }
+                        KEYLEN_SUFFIX => {
+                            debug_assert!(!e.suffix.is_null());
+                            // SAFETY: captured under a validated snapshot;
+                            // epoch keeps the block live for the guard.
+                            let sb = unsafe { KeySuffix::bytes(e.suffix) };
+                            if at_boundary && brank == KEYLEN_SUFFIX {
+                                match bsuffix {
+                                    Some(bs) if sb > bs => continue,
+                                    _ => {}
+                                }
+                            }
+                            let plen = prefix.len();
+                            prefix.extend_from_slice(&slice_bytes);
+                            prefix.extend_from_slice(sb);
+                            // SAFETY: validated value pointer, epoch-live.
+                            let keep = f(prefix, unsafe { &*e.lv.cast::<V>() });
+                            prefix.truncate(plen);
+                            if !keep {
+                                return ScanStatus::Stopped;
+                            }
+                            match prev_bound(e.ikey, e.code, Some(sb)) {
+                                Some(b) => bound = b,
+                                None => return ScanStatus::Done,
+                            }
+                        }
+                        len => {
+                            let len = len as usize;
+                            let plen = prefix.len();
+                            prefix.extend_from_slice(&slice_bytes[..len]);
+                            // SAFETY: validated value pointer, epoch-live.
+                            let keep = f(prefix, unsafe { &*e.lv.cast::<V>() });
+                            prefix.truncate(plen);
+                            if !keep {
+                                return ScanStatus::Stopped;
+                            }
+                            match prev_bound(e.ikey, e.code, None) {
+                                Some(b) => bound = b,
+                                None => return ScanStatus::Done,
+                            }
+                        }
+                    }
+                }
+                // Move left. The prev pointer may lag behind splits, so
+                // re-descend by bound instead when it looks inconsistent.
+                if prev.is_null() {
+                    return ScanStatus::Done;
+                }
+                // Resume below this node's range: its lowkey is a valid
+                // exclusive bound (constant for the node's lifetime).
+                match lowkey.checked_sub(1) {
+                    None => return ScanStatus::Done,
+                    Some(pk) => {
+                        // Bound: every remainder whose slice ≤ lowkey-1
+                        // (inclusive at the suffix level).
+                        let mut b = pk.to_be_bytes().to_vec();
+                        b.extend_from_slice(&[0xff; 8]); // rank-9 ceiling
+                        bound = Bound::AtMost(b);
+                    }
+                }
+                // SAFETY: leaf-list pointers stay live under the epoch.
+                let pn = unsafe { &*prev };
+                // Validate the link: the previous node must actually cover
+                // keys below ours; otherwise re-descend.
+                if pn.lowkey.load(Ordering::Relaxed) > lowkey {
+                    continue 'redescend;
+                }
+                n = pn;
+            }
+        }
+    }
+
+    /// Snapshot including the node's `prev` pointer and lowkey.
+    #[allow(clippy::type_complexity)]
+    fn snapshot_border_rev(
+        n: &BorderNode<V>,
+    ) -> Result<(Vec<Entry>, *mut BorderNode<V>, u64), ()> {
+        loop {
+            let v = n.version().stable();
+            if v.is_deleted() {
+                return Err(());
+            }
+            let perm = n.permutation();
+            let mut entries = Vec::with_capacity(perm.nkeys());
+            let mut unstable = false;
+            for pos in 0..perm.nkeys() {
+                let slot = perm.get(pos);
+                let ikey = n.keyslice[slot].load(Ordering::Acquire);
+                let (code, ex) = n.extract_lv(slot);
+                match ex {
+                    ExtractedLv::Unstable => {
+                        unstable = true;
+                        break;
+                    }
+                    ExtractedLv::Layer(p) => entries.push(Entry {
+                        ikey,
+                        code: KEYLEN_LAYER,
+                        lv: p.cast::<()>(),
+                        suffix: core::ptr::null_mut(),
+                    }),
+                    ExtractedLv::Value(p) => {
+                        let suffix = if code == KEYLEN_SUFFIX {
+                            n.suffix[slot].load(Ordering::Acquire)
+                        } else {
+                            core::ptr::null_mut()
+                        };
+                        entries.push(Entry {
+                            ikey,
+                            code,
+                            lv: p,
+                            suffix,
+                        });
+                    }
+                }
+            }
+            let prev = n.prev.load(Ordering::Acquire);
+            let lowkey = n.lowkey.load(Ordering::Relaxed);
+            let v2 = n.version().load(Ordering::Acquire);
+            if !unstable && !v.has_changed(v2) {
+                return Ok((entries, prev, lowkey));
+            }
+            if v.has_split(n.version().stable()) {
+                return Err(());
+            }
+            core::hint::spin_loop();
+        }
+    }
+}
+
+/// The largest remainder strictly below entry `(ikey, code)`:
+/// * below an inline key of length `l > 0`: the same bytes with the last
+///   one decremented, padded to the rank-9 ceiling; or the next-shorter
+///   prefix when the last byte is 0x00;
+/// * below the empty remainder (`l == 0`): nothing — the layer (from this
+///   slice leftward) is exhausted below `ikey`;
+/// * below a suffixed key: the same slice with a smaller suffix — we
+///   conservatively resume at the slice's inline rank-8 position.
+fn prev_bound(ikey: u64, code: u8, suffix: Option<&[u8]>) -> Option<Bound> {
+    if code == KEYLEN_SUFFIX {
+        let sb = suffix.unwrap_or(&[]);
+        if sb.is_empty() {
+            // Below "slice + empty suffix" comes the inline rank-8 key.
+            return Some(Bound::AtMost(ikey.to_be_bytes().to_vec()));
+        }
+        // Below "slice + sb" come suffixes strictly smaller than sb:
+        // bound = slice + (sb minus one step).
+        let mut b = ikey.to_be_bytes().to_vec();
+        let mut s = sb.to_vec();
+        if s.last() == Some(&0) {
+            s.pop();
+        } else {
+            let last = s.last_mut().unwrap();
+            *last -= 1;
+            s.extend_from_slice(&[0xff; 16]);
+        }
+        b.extend_from_slice(&s);
+        return Some(Bound::AtMost(b));
+    }
+    let len = code as usize;
+    let bytes = ikey.to_be_bytes();
+    if len == 0 {
+        // Below the empty remainder: previous slice entirely.
+        return match ikey.checked_sub(1) {
+            None => None,
+            Some(pk) => {
+                let mut b = pk.to_be_bytes().to_vec();
+                b.extend_from_slice(&[0xff; 8]);
+                Some(Bound::AtMost(b))
+            }
+        };
+    }
+    let mut k = bytes[..len].to_vec();
+    if k.last() == Some(&0) {
+        k.pop(); // e.g. below "ab\0" comes "ab"
+    } else {
+        let last = k.last_mut().unwrap();
+        *last -= 1;
+        k.extend_from_slice(&[0xff; 16]); // ceiling under the new prefix
+    }
+    Some(Bound::AtMost(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prev_bound_inline() {
+        // Below "b" (1 byte) comes "a…\xff".
+        match prev_bound(slice_at(b"b", 0), 1, None) {
+            Some(Bound::AtMost(b)) => {
+                assert!(b.starts_with(b"a"));
+                assert!(b.len() > 8);
+            }
+            _ => panic!(),
+        }
+        // Below "a\0" comes "a".
+        match prev_bound(slice_at(b"a\0", 0), 2, None) {
+            Some(Bound::AtMost(b)) => assert_eq!(b, b"a"),
+            _ => panic!(),
+        }
+        // Below the empty key: nothing.
+        assert!(prev_bound(0, 0, None).is_none());
+    }
+}

@@ -1,0 +1,389 @@
+//! Concurrent stress tests for the OCC protocol: lock-free readers racing
+//! structural writers, multi-thread inserts/removes/scans, and the paper's
+//! "no lost keys" correctness condition (§4.4).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use masstree::Masstree;
+
+fn decimal_key(v: u64) -> Vec<u8> {
+    (v % 2_147_483_648).to_string().into_bytes()
+}
+
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+#[test]
+fn concurrent_disjoint_inserts() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 20_000;
+    let tree = Arc::new(Masstree::<u64>::new());
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let tree = Arc::clone(&tree);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                let g = masstree::pin();
+                for i in 0..PER_THREAD {
+                    let key = format!("t{t:02}i{i:08}");
+                    assert_eq!(tree.put(key.as_bytes(), (t * PER_THREAD + i) as u64, &g), None);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let g = masstree::pin();
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            let key = format!("t{t:02}i{i:08}");
+            assert_eq!(
+                tree.get(key.as_bytes(), &g),
+                Some(&((t * PER_THREAD + i) as u64)),
+                "{key}"
+            );
+        }
+    }
+    drop(g);
+    let mut tree = Arc::try_unwrap(tree).ok().expect("sole owner");
+    let report = tree.validate().expect("valid tree after concurrent inserts");
+    assert_eq!(report.keys, THREADS * PER_THREAD);
+}
+
+#[test]
+fn concurrent_overlapping_puts_last_writer_wins_shape() {
+    // Multiple threads hammer the same small keyspace; afterwards every
+    // key must hold a value some thread wrote for that key.
+    const THREADS: usize = 8;
+    const KEYS: u64 = 2_000;
+    const OPS: usize = 30_000;
+    let tree = Arc::new(Masstree::<(u64, u64)>::new());
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let tree = Arc::clone(&tree);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                let g = masstree::pin();
+                for i in 0..OPS {
+                    let k = mix64((t * OPS + i) as u64) % KEYS;
+                    tree.put(&decimal_key(k), (k, t as u64), &g);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let g = masstree::pin();
+    let mut seen = 0;
+    for k in 0..KEYS {
+        if let Some(&(vk, vt)) = tree.get(&decimal_key(k), &g) {
+            assert_eq!(vk, k, "value belongs to its key (no torn writes)");
+            assert!((vt as usize) < THREADS);
+            seen += 1;
+        }
+    }
+    assert!(seen > 0);
+    drop(g);
+    let mut tree = Arc::try_unwrap(tree).ok().expect("sole owner");
+    tree.validate().expect("valid tree");
+}
+
+#[test]
+fn no_lost_keys_under_concurrent_writers() {
+    // The paper's correctness condition: a get(k) concurrent with puts of
+    // *other* keys must find k once k's put completed.
+    const WRITERS: usize = 6;
+    const READERS: usize = 4;
+    const MARKERS: u64 = 500;
+    let tree = Arc::new(Masstree::<u64>::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let inserted = Arc::new(AtomicUsize::new(0));
+
+    // Pre-insert marker keys that must never disappear.
+    {
+        let g = masstree::pin();
+        for m in 0..MARKERS {
+            tree.put(format!("marker{m:06}").as_bytes(), m, &g);
+        }
+    }
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            let inserted = Arc::clone(&inserted);
+            thread::spawn(move || {
+                let g = masstree::pin();
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Churn around the markers: inserts and removes that
+                    // force splits, node deletions and layer churn.
+                    let k = format!("churn{t}/{:012}", mix64(i));
+                    tree.put(k.as_bytes(), i, &g);
+                    if i.is_multiple_of(3) {
+                        tree.remove(k.as_bytes(), &g);
+                    }
+                    inserted.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut checks = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let g = masstree::pin();
+                    let m = mix64(checks + r as u64) % MARKERS;
+                    let key = format!("marker{m:06}");
+                    assert_eq!(
+                        tree.get(key.as_bytes(), &g),
+                        Some(&m),
+                        "marker key lost under concurrent writes"
+                    );
+                    checks += 1;
+                }
+                checks
+            })
+        })
+        .collect();
+    thread::sleep(std::time::Duration::from_millis(1500));
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+    let mut total_checks = 0;
+    for r in readers {
+        total_checks += r.join().unwrap();
+    }
+    assert!(total_checks > 1000, "readers made progress: {total_checks}");
+    let mut tree = Arc::try_unwrap(tree).ok().expect("sole owner");
+    tree.validate().expect("valid tree after churn");
+}
+
+#[test]
+fn concurrent_inserts_and_removes_disjoint_ranges() {
+    // Each thread owns a key range: inserts everything, removes half.
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 10_000;
+    let tree = Arc::new(Masstree::<u64>::new());
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let tree = Arc::clone(&tree);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                let g = masstree::pin();
+                for i in 0..PER_THREAD {
+                    let key = format!("r{t}k{i:08}");
+                    tree.put(key.as_bytes(), i as u64, &g);
+                }
+                for i in (0..PER_THREAD).step_by(2) {
+                    let key = format!("r{t}k{i:08}");
+                    assert!(tree.remove(key.as_bytes(), &g).is_some());
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let g = masstree::pin();
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            let key = format!("r{t}k{i:08}");
+            let got = tree.get(key.as_bytes(), &g);
+            if i % 2 == 0 {
+                assert_eq!(got, None, "{key}");
+            } else {
+                assert_eq!(got, Some(&(i as u64)), "{key}");
+            }
+        }
+    }
+    drop(g);
+    let mut tree = Arc::try_unwrap(tree).ok().expect("sole owner");
+    let report = tree.validate().expect("valid tree");
+    assert_eq!(report.keys, THREADS * PER_THREAD / 2);
+}
+
+#[test]
+fn concurrent_layer_creation_shared_prefixes() {
+    // Many threads insert keys sharing deep prefixes, racing on §4.6.3
+    // layer creation at the same slots.
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 4_000;
+    let tree = Arc::new(Masstree::<u64>::new());
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let tree = Arc::clone(&tree);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                let g = masstree::pin();
+                for i in 0..PER_THREAD {
+                    // 24-byte shared prefix then thread-unique tail.
+                    let key = format!("shared/prefix/0123456789/t{t}i{i:06}");
+                    tree.put(key.as_bytes(), (t * PER_THREAD + i) as u64, &g);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let g = masstree::pin();
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            let key = format!("shared/prefix/0123456789/t{t}i{i:06}");
+            assert_eq!(tree.get(key.as_bytes(), &g), Some(&((t * PER_THREAD + i) as u64)));
+        }
+    }
+    drop(g);
+    let mut tree = Arc::try_unwrap(tree).ok().expect("sole owner");
+    let report = tree.validate().expect("valid tree");
+    assert_eq!(report.keys, THREADS * PER_THREAD);
+    assert!(report.layers > 1, "layering happened");
+}
+
+#[test]
+fn scans_stay_sorted_during_concurrent_inserts() {
+    const WRITERS: usize = 4;
+    let tree = Arc::new(Masstree::<u64>::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    {
+        let g = masstree::pin();
+        for i in 0..5_000u64 {
+            tree.put(format!("base{i:08}").as_bytes(), i, &g);
+        }
+    }
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let g = masstree::pin();
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    tree.put(format!("new{t}/{:010}", mix64(i)).as_bytes(), i, &g);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+    // Scanners verify order + uniqueness + base-key completeness.
+    for _ in 0..30 {
+        let g = masstree::pin();
+        let mut prev: Option<Vec<u8>> = None;
+        let mut base_seen = 0;
+        tree.scan(b"", &g, |k, _| {
+            if let Some(p) = &prev {
+                assert!(p.as_slice() < k, "scan out of order");
+            }
+            if k.starts_with(b"base") {
+                base_seen += 1;
+            }
+            prev = Some(k.to_vec());
+            true
+        });
+        assert_eq!(base_seen, 5_000, "pre-inserted keys never lost from scans");
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+    let mut tree = Arc::try_unwrap(tree).ok().expect("sole owner");
+    tree.validate().expect("valid tree");
+}
+
+#[test]
+fn maintain_races_with_writers() {
+    // Layer GC runs while writers create and destroy layers.
+    const WRITERS: usize = 4;
+    let tree = Arc::new(Masstree::<u64>::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let g = masstree::pin();
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Same 16-byte prefix: constant layer churn.
+                    let key = format!("LAYERPREFIX01234/t{t}/{:06}", mix64(i) % 500);
+                    if i.is_multiple_of(2) {
+                        tree.put(key.as_bytes(), i, &g);
+                    } else {
+                        tree.remove(key.as_bytes(), &g);
+                    }
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+    for _ in 0..50 {
+        let g = masstree::pin();
+        tree.maintain(&g);
+        thread::sleep(std::time::Duration::from_millis(10));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+    let g = masstree::pin();
+    tree.maintain(&g);
+    drop(g);
+    let mut tree = Arc::try_unwrap(tree).ok().expect("sole owner");
+    tree.validate().expect("valid tree after GC races");
+}
+
+#[test]
+fn split_retries_are_rare() {
+    // §4.6.4: under an 8-thread insert load, fewer than 1 in 10^6 lookups
+    // had to retry from the root; local retries ~15× more common. We
+    // assert the qualitative claim (root retries ≪ operations).
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 25_000;
+    let tree = Arc::new(Masstree::<u64>::new());
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let tree = Arc::clone(&tree);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                let g = masstree::pin();
+                for i in 0..PER_THREAD {
+                    let k = decimal_key(mix64((t * PER_THREAD + i) as u64));
+                    tree.put(&k, i as u64, &g);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let ops = (THREADS * PER_THREAD) as f64;
+    let snap = tree.stats().snapshot();
+    let root_retry_rate = snap.descend_retries_root as f64 / ops;
+    assert!(
+        root_retry_rate < 0.01,
+        "root retries should be rare: rate={root_retry_rate}, snap={snap:?}"
+    );
+}

@@ -1,0 +1,181 @@
+//! Property-based tests: arbitrary operation sequences against a model,
+//! arbitrary binary keys (including embedded NULs and shared prefixes),
+//! and permutation/version algebra.
+
+use std::collections::BTreeMap;
+
+use masstree::permutation::{Permutation, WIDTH};
+use masstree::Masstree;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(Vec<u8>, u64),
+    Remove(Vec<u8>),
+    Get(Vec<u8>),
+    Range(Vec<u8>, usize),
+}
+
+/// Key strategy biased toward collisions: short alphabets and a few fixed
+/// prefixes so slices, suffixes and layers all get exercised.
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Arbitrary short binary keys.
+        proptest::collection::vec(any::<u8>(), 0..20),
+        // Low-entropy keys: lots of slice collisions.
+        proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(0u8)], 0..24),
+        // Fixed long prefix + short tail: forces layering.
+        proptest::collection::vec(any::<u8>(), 0..6).prop_map(|tail| {
+            let mut k = b"sharedprefix0123sharedprefix0123".to_vec();
+            k.extend(tail);
+            k
+        }),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (key_strategy(), any::<u64>()).prop_map(|(k, v)| Op::Put(k, v)),
+        key_strategy().prop_map(Op::Remove),
+        key_strategy().prop_map(Op::Get),
+        (key_strategy(), 0usize..20).prop_map(|(k, n)| Op::Range(k, n)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_matches_model(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let mut tree: Masstree<u64> = Masstree::new();
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        let g = masstree::pin();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    let want = model.insert(k.clone(), *v);
+                    let got = tree.put(k, *v, &g).copied();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Remove(k) => {
+                    let want = model.remove(k);
+                    let got = tree.remove(k, &g).copied();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Get(k) => {
+                    let want = model.get(k).copied();
+                    let got = tree.get(k, &g).copied();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Range(k, n) => {
+                    let got: Vec<(Vec<u8>, u64)> = tree
+                        .get_range(k, *n, &g)
+                        .into_iter()
+                        .map(|(key, v)| (key, *v))
+                        .collect();
+                    let want: Vec<(Vec<u8>, u64)> = model
+                        .range(k.clone()..)
+                        .take(*n)
+                        .map(|(key, v)| (key.clone(), *v))
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        // Final state equivalence + structural invariants.
+        let mut scanned = Vec::new();
+        tree.scan(b"", &g, |k, v| { scanned.push((k.to_vec(), *v)); true });
+        let want: Vec<(Vec<u8>, u64)> = model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        prop_assert_eq!(scanned, want);
+        drop(g);
+        let report = tree.validate().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(report.keys, model.len());
+    }
+
+    #[test]
+    fn maintain_preserves_semantics(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut tree: Masstree<u64> = Masstree::new();
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        let g = masstree::pin();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Put(k, v) => { model.insert(k.clone(), *v); tree.put(k, *v, &g); }
+                Op::Remove(k) => { model.remove(k); tree.remove(k, &g); }
+                _ => {}
+            }
+            if i % 50 == 25 {
+                tree.maintain(&g);
+            }
+        }
+        tree.maintain(&g);
+        for (k, v) in &model {
+            prop_assert_eq!(tree.get(k, &g), Some(v));
+        }
+        prop_assert_eq!(tree.count_keys(&g), model.len());
+        drop(g);
+        tree.validate().map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn permutation_insert_remove_algebra(
+        positions in proptest::collection::vec((0usize..WIDTH, any::<bool>()), 0..64),
+    ) {
+        let mut p = Permutation::empty();
+        let mut live: Vec<usize> = Vec::new(); // model: slot per sorted pos
+        for (pos, is_insert) in positions {
+            if is_insert && live.len() < WIDTH {
+                let pos = pos.min(live.len());
+                let (np, slot) = p.insert_from_back(pos);
+                prop_assert!(!live.contains(&slot), "fresh slot");
+                live.insert(pos, slot);
+                p = np;
+            } else if !live.is_empty() {
+                let pos = pos % live.len();
+                let (np, slot) = p.remove_at(pos);
+                prop_assert_eq!(live.remove(pos), slot);
+                p = np;
+            }
+            prop_assert!(p.is_valid());
+            prop_assert_eq!(p.nkeys(), live.len());
+            let got: Vec<usize> = p.live_slots().collect();
+            prop_assert_eq!(&got, &live);
+        }
+    }
+
+    #[test]
+    fn slice_order_equals_byte_order(a in proptest::collection::vec(any::<u8>(), 0..16),
+                                     b in proptest::collection::vec(any::<u8>(), 0..16)) {
+        use masstree::key::slice_at;
+        // For keys up to 8 bytes, integer order must match byte order
+        // exactly (modulo length ties resolved by keylen).
+        let (sa, sb) = (slice_at(&a, 0), slice_at(&b, 0));
+        if sa < sb {
+            // A shorter padded key can only sort below a longer one when
+            // bytes differ; check byte order agrees on the first slice.
+            let pa = &a[..a.len().min(8)];
+            let pb = &b[..b.len().min(8)];
+            prop_assert!(pa <= pb, "slice order contradicts byte order");
+        }
+    }
+
+    #[test]
+    fn keys_survive_roundtrip(keys in proptest::collection::btree_set(key_strategy(), 1..80)) {
+        let mut tree: Masstree<u64> = Masstree::new();
+        let g = masstree::pin();
+        for (i, k) in keys.iter().enumerate() {
+            tree.put(k, i as u64, &g);
+        }
+        for (i, k) in keys.iter().enumerate() {
+            prop_assert_eq!(tree.get(k, &g), Some(&(i as u64)));
+        }
+        // Scan yields exactly the sorted key set.
+        let mut got = Vec::new();
+        tree.scan(b"", &g, |k, _| { got.push(k.to_vec()); true });
+        let want: Vec<Vec<u8>> = keys.iter().cloned().collect();
+        prop_assert_eq!(got, want);
+        drop(g);
+        tree.validate().map_err(TestCaseError::fail)?;
+    }
+}

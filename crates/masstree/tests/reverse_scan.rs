@@ -1,0 +1,158 @@
+//! Backward range queries (§4.3: the doubly-linked border list "speeds up
+//! range queries in either direction") — model-checked against BTreeMap's
+//! reverse ranges, including deep trie layers and binary keys.
+
+use std::collections::BTreeMap;
+
+use masstree::Masstree;
+
+fn decimal_keys(n: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) % 2_147_483_648).to_string().into_bytes()
+        })
+        .collect()
+}
+
+fn build(keys: &[Vec<u8>]) -> (Masstree<u64>, BTreeMap<Vec<u8>, u64>) {
+    let t = Masstree::new();
+    let mut m = BTreeMap::new();
+    let g = masstree::pin();
+    for (i, k) in keys.iter().enumerate() {
+        t.put(k, i as u64, &g);
+        m.insert(k.clone(), i as u64);
+    }
+    (t, m)
+}
+
+fn check_rev(t: &Masstree<u64>, m: &BTreeMap<Vec<u8>, u64>, start: &[u8], limit: usize) {
+    let g = masstree::pin();
+    let got: Vec<(Vec<u8>, u64)> = t
+        .get_range_rev(start, limit, &g)
+        .into_iter()
+        .map(|(k, v)| (k, *v))
+        .collect();
+    let want: Vec<(Vec<u8>, u64)> = m
+        .range::<[u8], _>((
+            std::ops::Bound::Unbounded,
+            std::ops::Bound::Included(start),
+        ))
+        .rev()
+        .take(limit)
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    assert_eq!(got, want, "start={:?} limit={limit}", String::from_utf8_lossy(start));
+}
+
+#[test]
+fn full_reverse_scan_matches_model() {
+    let keys = decimal_keys(20_000, 5);
+    let (t, m) = build(&keys);
+    check_rev(&t, &m, b"\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff", usize::MAX >> 1);
+}
+
+#[test]
+fn reverse_from_arbitrary_starts() {
+    let keys = decimal_keys(5_000, 17);
+    let (t, m) = build(&keys);
+    for start in [&b""[..], b"5", b"12345", b"2000000000", b"99999999999"] {
+        for limit in [1usize, 7, 100] {
+            check_rev(&t, &m, start, limit);
+        }
+    }
+}
+
+#[test]
+fn reverse_through_deep_layers() {
+    // URL-like keys: shared prefixes force multi-layer recursion.
+    let mut keys = Vec::new();
+    for dom in ["com.example", "com.example.mail", "org.kernel"] {
+        for p in 0..300u32 {
+            keys.push(format!("{dom}/page{p:05}").into_bytes());
+        }
+    }
+    let (t, m) = build(&keys);
+    check_rev(&t, &m, b"zzzz", 10_000);
+    check_rev(&t, &m, b"com.example/page00150", 50);
+    check_rev(&t, &m, b"org.kernel/page00000", 5);
+}
+
+#[test]
+fn reverse_with_binary_keys() {
+    let keys: Vec<Vec<u8>> = vec![
+        vec![],
+        vec![0x00],
+        vec![0x00, 0x00],
+        b"ABCDEFG".to_vec(),
+        b"ABCDEFG\0".to_vec(),
+        b"ABCDEFGH".to_vec(),
+        b"ABCDEFGHI".to_vec(),
+        vec![0xff; 9],
+        [vec![0x41; 8], vec![0x00], vec![0x42; 3]].concat(),
+    ];
+    let (t, m) = build(&keys);
+    check_rev(&t, &m, &[0xff; 12], 100);
+    check_rev(&t, &m, b"ABCDEFGH", 100);
+    check_rev(&t, &m, b"ABCDEFG\0", 2);
+    check_rev(&t, &m, &[], 5);
+}
+
+#[test]
+fn reverse_scan_early_stop() {
+    let keys = decimal_keys(2_000, 3);
+    let (t, _) = build(&keys);
+    let g = masstree::pin();
+    let mut seen = 0;
+    let visited = t.scan_rev(b"\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff", &g, |_, _| {
+        seen += 1;
+        seen < 10
+    });
+    assert_eq!(visited, 10);
+}
+
+#[test]
+fn reverse_scan_during_concurrent_inserts_stays_sorted() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    let t = Arc::new(Masstree::<u64>::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    {
+        let g = masstree::pin();
+        for i in 0..3_000u64 {
+            t.put(format!("base{i:06}").as_bytes(), i, &g);
+        }
+    }
+    std::thread::scope(|s| {
+        for w in 0..4 {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let g = masstree::pin();
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    t.put(format!("new{w}/{i:08}").as_bytes(), i, &g);
+                    i += 1;
+                }
+            });
+        }
+        for _ in 0..20 {
+            let g = masstree::pin();
+            let mut prev: Option<Vec<u8>> = None;
+            let mut base_seen = 0;
+            t.scan_rev(b"\xff\xff\xff\xff\xff\xff\xff\xff\xff", &g, |k, _| {
+                if let Some(p) = &prev {
+                    assert!(p.as_slice() > k, "reverse scan out of order");
+                }
+                if k.starts_with(b"base") {
+                    base_seen += 1;
+                }
+                prev = Some(k.to_vec());
+                true
+            });
+            assert_eq!(base_seen, 3_000, "pre-inserted keys never lost");
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+}

@@ -1,0 +1,328 @@
+//! Checkpointing (§5 of the paper).
+//!
+//! Masstree periodically writes out a checkpoint containing all keys and
+//! values: it speeds recovery and allows log space to be reclaimed.
+//! Checkpoints run in parallel with request processing (they are *fuzzy*:
+//! concurrent puts may or may not be included; recovery fixes this up by
+//! replaying the log from the checkpoint's start timestamp, applying
+//! records in value-version order).
+//!
+//! The key space is split into byte-prefix ranges, one per checkpointer
+//! thread, each writing its own part file; a manifest written last (via
+//! atomic rename) makes the checkpoint complete.
+
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::clock;
+use crate::store::Store;
+
+/// Description of a completed checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Timestamp at which the checkpoint began; recovery replays logs
+    /// from here.
+    pub start_ts: u64,
+    /// Timestamp at which it finished.
+    pub end_ts: u64,
+    /// Number of part files.
+    pub parts: usize,
+    /// Keys written.
+    pub keys: u64,
+}
+
+impl CheckpointMeta {
+    fn manifest_bytes(&self) -> String {
+        format!(
+            "masstree-checkpoint-v1\nstart_ts {}\nend_ts {}\nparts {}\nkeys {}\n",
+            self.start_ts, self.end_ts, self.parts, self.keys
+        )
+    }
+
+    fn parse(s: &str) -> Option<CheckpointMeta> {
+        let mut lines = s.lines();
+        if lines.next()? != "masstree-checkpoint-v1" {
+            return None;
+        }
+        let mut meta = CheckpointMeta {
+            start_ts: 0,
+            end_ts: 0,
+            parts: 0,
+            keys: 0,
+        };
+        for line in lines {
+            let (k, v) = line.split_once(' ')?;
+            match k {
+                "start_ts" => meta.start_ts = v.parse().ok()?,
+                "end_ts" => meta.end_ts = v.parse().ok()?,
+                "parts" => meta.parts = v.parse().ok()?,
+                "keys" => meta.keys = v.parse().ok()?,
+                _ => {}
+            }
+        }
+        Some(meta)
+    }
+}
+
+/// Directory name of a checkpoint started at `ts`.
+fn ckpt_dir(base: &Path, ts: u64) -> PathBuf {
+    base.join(format!("ckpt-{ts:020}"))
+}
+
+/// Writes a checkpoint of `store` into `base/ckpt-<ts>/` using `threads`
+/// parallel writers over sampled-quantile partitions of the key space.
+///
+/// Partition boundaries come from a sampling pre-scan (every 256th key),
+/// so writers stay balanced whatever the key distribution — the paper
+/// names parallelization imbalance as the checkpoint bottleneck (§5).
+pub fn write_checkpoint(
+    store: &Arc<Store>,
+    base: &Path,
+    threads: usize,
+) -> std::io::Result<CheckpointMeta> {
+    let threads = threads.max(1).min(256);
+    let start_ts = clock::now();
+    let dir = ckpt_dir(base, start_ts);
+    std::fs::create_dir_all(&dir)?;
+
+    // Sampling pre-scan: every 256th key becomes a boundary candidate.
+    let samples: Vec<Vec<u8>> = {
+        let guard = masstree::pin();
+        let mut s = Vec::new();
+        let mut i = 0usize;
+        store.tree().scan(b"", &guard, |key, _| {
+            if i.is_multiple_of(256) {
+                s.push(key.to_vec());
+            }
+            i += 1;
+            true
+        });
+        s
+    };
+    // Thread `t` owns keys in [bound[t], bound[t+1]); empty bound = ±∞.
+    let bounds: Vec<Option<Vec<u8>>> = (0..=threads)
+        .map(|t| {
+            if t == 0 || t == threads || samples.is_empty() {
+                None
+            } else {
+                Some(samples[t * samples.len() / threads].clone())
+            }
+        })
+        .collect();
+
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let store = Arc::clone(store);
+        let path = dir.join(format!("part-{t:04}"));
+        let lo = bounds[t].clone();
+        let hi = bounds[t + 1].clone();
+        handles.push(std::thread::spawn(move || -> std::io::Result<u64> {
+            let file = std::fs::File::create(&path)?;
+            let mut out = BufWriter::with_capacity(1 << 20, file);
+            let guard = masstree::pin();
+            let mut written = 0u64;
+            let start_key = lo.unwrap_or_default();
+            let mut io_err = None;
+            store.tree().scan(&start_key, &guard, |key, value| {
+                if let Some(hi) = &hi {
+                    if key >= hi.as_slice() {
+                        return false; // past this partition
+                    }
+                }
+                let mut rec = Vec::with_capacity(key.len() + 64);
+                rec.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                rec.extend_from_slice(key);
+                rec.extend_from_slice(&value.version().to_le_bytes());
+                let ncols = value.ncols();
+                rec.extend_from_slice(&(ncols as u16).to_le_bytes());
+                for i in 0..ncols {
+                    let c = value.col(i).unwrap();
+                    rec.extend_from_slice(&(c.len() as u32).to_le_bytes());
+                    rec.extend_from_slice(c);
+                }
+                let crc = crate::crc32::crc32(&rec);
+                rec.extend_from_slice(&crc.to_le_bytes());
+                if let Err(e) = out.write_all(&rec) {
+                    io_err = Some(e);
+                    return false;
+                }
+                written += 1;
+                true
+            });
+            if let Some(e) = io_err {
+                return Err(e);
+            }
+            out.flush()?;
+            out.get_ref().sync_data()?;
+            Ok(written)
+        }));
+    }
+    let mut keys = 0u64;
+    for h in handles {
+        keys += h.join().expect("checkpointer thread panicked")?;
+    }
+    let meta = CheckpointMeta {
+        start_ts,
+        end_ts: clock::now(),
+        parts: threads,
+        keys,
+    };
+    // Manifest written last, atomically: its presence = checkpoint valid.
+    let tmp = dir.join("MANIFEST.tmp");
+    std::fs::write(&tmp, meta.manifest_bytes())?;
+    std::fs::rename(&tmp, dir.join("MANIFEST"))?;
+    Ok(meta)
+}
+
+/// One `(key, version, cols)` row from a checkpoint part file.
+pub type CheckpointRow = (Vec<u8>, u64, Vec<Vec<u8>>);
+
+/// Reads one part file; stops at the first corrupt record.
+pub fn read_part(path: &Path) -> std::io::Result<Vec<CheckpointRow>> {
+    let data = std::fs::read(path)?;
+    let mut rows = Vec::new();
+    let mut p = &data[..];
+    loop {
+        if p.len() < 4 {
+            break;
+        }
+        let total_start = p;
+        let klen = u32::from_le_bytes(p[..4].try_into().unwrap()) as usize;
+        p = &p[4..];
+        if p.len() < klen + 8 + 2 {
+            break;
+        }
+        let key = p[..klen].to_vec();
+        p = &p[klen..];
+        let version = u64::from_le_bytes(p[..8].try_into().unwrap());
+        p = &p[8..];
+        let ncols = u16::from_le_bytes(p[..2].try_into().unwrap()) as usize;
+        p = &p[2..];
+        let mut cols = Vec::with_capacity(ncols);
+        let mut ok = true;
+        for _ in 0..ncols {
+            if p.len() < 4 {
+                ok = false;
+                break;
+            }
+            let dlen = u32::from_le_bytes(p[..4].try_into().unwrap()) as usize;
+            p = &p[4..];
+            if p.len() < dlen {
+                ok = false;
+                break;
+            }
+            cols.push(p[..dlen].to_vec());
+            p = &p[dlen..];
+        }
+        if !ok || p.len() < 4 {
+            break;
+        }
+        let stored = u32::from_le_bytes(p[..4].try_into().unwrap());
+        let body_len = total_start.len() - p.len();
+        if crate::crc32::crc32(&total_start[..body_len]) != stored {
+            break;
+        }
+        p = &p[4..];
+        rows.push((key, version, cols));
+    }
+    Ok(rows)
+}
+
+/// Finds the newest complete checkpoint under `base`.
+pub fn latest_checkpoint(base: &Path) -> Option<(PathBuf, CheckpointMeta)> {
+    let mut best: Option<(PathBuf, CheckpointMeta)> = None;
+    let entries = std::fs::read_dir(base).ok()?;
+    for e in entries.flatten() {
+        let path = e.path();
+        if !path.is_dir() {
+            continue;
+        }
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if !name.starts_with("ckpt-") {
+            continue;
+        }
+        let Ok(manifest) = std::fs::read_to_string(path.join("MANIFEST")) else {
+            continue; // incomplete checkpoint: ignore
+        };
+        let Some(meta) = CheckpointMeta::parse(&manifest) else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(_, m)| meta.start_ts > m.start_ts) {
+            best = Some((path, meta));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mtkv-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let dir = tmpdir("rt");
+        let store = Store::in_memory();
+        let s = store.session().unwrap();
+        for i in 0..5_000u32 {
+            s.put(
+                format!("key{i:06}").as_bytes(),
+                &[(0, &i.to_le_bytes()[..]), (1, b"x")],
+            );
+        }
+        let meta = write_checkpoint(&store, &dir, 4).unwrap();
+        assert_eq!(meta.keys, 5_000);
+        assert_eq!(meta.parts, 4);
+        let (path, found) = latest_checkpoint(&dir).unwrap();
+        assert_eq!(found, meta);
+        // All rows present across parts.
+        let mut rows = Vec::new();
+        for t in 0..4 {
+            rows.extend(read_part(&path.join(format!("part-{t:04}"))).unwrap());
+        }
+        assert_eq!(rows.len(), 5_000);
+        rows.sort();
+        assert_eq!(rows[0].0, b"key000000");
+        assert_eq!(rows[0].2.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn latest_picks_newest_complete() {
+        let dir = tmpdir("newest");
+        let store = Store::in_memory();
+        let s = store.session().unwrap();
+        s.put_single(b"a", b"1");
+        let m1 = write_checkpoint(&store, &dir, 2).unwrap();
+        s.put_single(b"b", b"2");
+        let m2 = write_checkpoint(&store, &dir, 2).unwrap();
+        assert!(m2.start_ts > m1.start_ts);
+        // An incomplete (manifest-less) newer directory must be ignored.
+        std::fs::create_dir_all(dir.join("ckpt-99999999999999999999")).unwrap();
+        let (_, found) = latest_checkpoint(&dir).unwrap();
+        assert_eq!(found, m2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_store_checkpoint() {
+        let dir = tmpdir("empty");
+        let store = Store::in_memory();
+        let meta = write_checkpoint(&store, &dir, 3).unwrap();
+        assert_eq!(meta.keys, 0);
+        let (path, _) = latest_checkpoint(&dir).unwrap();
+        for t in 0..3 {
+            assert!(read_part(&path.join(format!("part-{t:04}"))).unwrap().is_empty());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,30 @@
+//! # mtkv — the Masstree storage system
+//!
+//! The full system from §3 and §5 of the paper around the `masstree`
+//! index: multi-column versioned values with atomic multi-column puts,
+//! per-worker value logging with group commit (≤200 ms force),
+//! parallel fuzzy checkpointing, and parallel log recovery with a
+//! prefix-consistent cutoff.
+//!
+//! ```no_run
+//! use mtkv::Store;
+//!
+//! let store = Store::persistent(std::path::Path::new("/tmp/mtkv")).unwrap();
+//! let session = store.session().unwrap();   // one per worker thread
+//! session.put(b"user1", &[(0, b"alice"), (1, b"42")]);
+//! assert_eq!(session.get(b"user1", Some(&[0])).unwrap()[0], b"alice");
+//! ```
+
+pub mod checkpoint;
+pub mod clock;
+pub mod crc32;
+pub mod log;
+pub mod recovery;
+pub mod store;
+pub mod value;
+
+pub use checkpoint::{latest_checkpoint, write_checkpoint, CheckpointMeta};
+pub use log::{LogRecord, LogWriter};
+pub use recovery::{recover, RecoveryReport};
+pub use store::{Session, Store};
+pub use value::ColValue;

@@ -1,0 +1,457 @@
+//! Value logging (§5 of the paper).
+//!
+//! Each query worker owns a log file and an in-memory log buffer; a
+//! logging thread per worker writes the buffer out in the background, so
+//! a put appends and returns without waiting for storage. Loggers batch
+//! for sequential throughput but force data out at least every 200 ms
+//! ("for safety"). Different logs may live on different disks.
+//!
+//! Record wire format (little-endian):
+//!
+//! ```text
+//! u32  payload length (from op byte through last column)
+//! u8   op (1 = put, 2 = remove)
+//! u64  timestamp     u64 value-version
+//! u32  key length    key bytes
+//! u16  column count  (column id: u16, len: u32, bytes)*
+//! u32  CRC-32 of the payload
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::crc32::crc32;
+
+/// Force-to-storage interval (§5: "at least every 200 ms").
+pub const FORCE_INTERVAL: Duration = Duration::from_millis(200);
+/// Background write poll interval.
+const WAKE_INTERVAL: Duration = Duration::from_millis(10);
+
+/// A logged operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogRecord {
+    Put {
+        timestamp: u64,
+        version: u64,
+        key: Vec<u8>,
+        cols: Vec<(u16, Vec<u8>)>,
+    },
+    Remove {
+        timestamp: u64,
+        version: u64,
+        key: Vec<u8>,
+    },
+    /// Logger liveness marker: "this log contains every record this
+    /// worker issued before `timestamp`". Written by the logger thread on
+    /// each flush so an idle worker's log does not hold back the recovery
+    /// cutoff `t` (§5). Skipped during replay.
+    Heartbeat { timestamp: u64 },
+}
+
+impl LogRecord {
+    pub fn timestamp(&self) -> u64 {
+        match self {
+            LogRecord::Put { timestamp, .. }
+            | LogRecord::Remove { timestamp, .. }
+            | LogRecord::Heartbeat { timestamp } => *timestamp,
+        }
+    }
+
+    pub fn version(&self) -> u64 {
+        match self {
+            LogRecord::Put { version, .. } | LogRecord::Remove { version, .. } => *version,
+            LogRecord::Heartbeat { .. } => 0,
+        }
+    }
+
+    pub fn key(&self) -> &[u8] {
+        match self {
+            LogRecord::Put { key, .. } | LogRecord::Remove { key, .. } => key,
+            LogRecord::Heartbeat { .. } => &[],
+        }
+    }
+
+    /// Serializes into `out` (framing + CRC).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&0u32.to_le_bytes()); // length placeholder
+        let payload_start = out.len();
+        match self {
+            LogRecord::Put {
+                timestamp,
+                version,
+                key,
+                cols,
+            } => {
+                out.push(1);
+                out.extend_from_slice(&timestamp.to_le_bytes());
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                out.extend_from_slice(key);
+                out.extend_from_slice(&(cols.len() as u16).to_le_bytes());
+                for (id, data) in cols {
+                    out.extend_from_slice(&id.to_le_bytes());
+                    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+                    out.extend_from_slice(data);
+                }
+            }
+            LogRecord::Remove {
+                timestamp,
+                version,
+                key,
+            } => {
+                out.push(2);
+                out.extend_from_slice(&timestamp.to_le_bytes());
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                out.extend_from_slice(key);
+                out.extend_from_slice(&0u16.to_le_bytes());
+            }
+            LogRecord::Heartbeat { timestamp } => {
+                out.push(3);
+                out.extend_from_slice(&timestamp.to_le_bytes());
+                out.extend_from_slice(&0u64.to_le_bytes());
+                out.extend_from_slice(&0u32.to_le_bytes());
+                out.extend_from_slice(&0u16.to_le_bytes());
+            }
+        }
+        let payload_len = (out.len() - payload_start) as u32;
+        out[start..start + 4].copy_from_slice(&payload_len.to_le_bytes());
+        let crc = crc32(&out[payload_start..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Decodes one record from `buf`, returning it and the bytes consumed.
+    /// `None` on a torn or corrupt tail (recovery stops there, §5).
+    pub fn decode(buf: &[u8]) -> Option<(LogRecord, usize)> {
+        if buf.len() < 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes(buf[..4].try_into().ok()?) as usize;
+        if buf.len() < 4 + len + 4 {
+            return None;
+        }
+        let payload = &buf[4..4 + len];
+        let stored_crc = u32::from_le_bytes(buf[4 + len..4 + len + 4].try_into().ok()?);
+        if crc32(payload) != stored_crc {
+            return None;
+        }
+        let mut p = payload;
+        let op = *p.first()?;
+        p = &p[1..];
+        let timestamp = u64::from_le_bytes(p.get(..8)?.try_into().ok()?);
+        p = &p[8..];
+        let version = u64::from_le_bytes(p.get(..8)?.try_into().ok()?);
+        p = &p[8..];
+        let klen = u32::from_le_bytes(p.get(..4)?.try_into().ok()?) as usize;
+        p = &p[4..];
+        let key = p.get(..klen)?.to_vec();
+        p = &p[klen..];
+        let ncols = u16::from_le_bytes(p.get(..2)?.try_into().ok()?) as usize;
+        p = &p[2..];
+        let rec = match op {
+            1 => {
+                let mut cols = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    let id = u16::from_le_bytes(p.get(..2)?.try_into().ok()?);
+                    p = &p[2..];
+                    let dlen = u32::from_le_bytes(p.get(..4)?.try_into().ok()?) as usize;
+                    p = &p[4..];
+                    cols.push((id, p.get(..dlen)?.to_vec()));
+                    p = &p[dlen..];
+                }
+                LogRecord::Put {
+                    timestamp,
+                    version,
+                    key,
+                    cols,
+                }
+            }
+            2 => LogRecord::Remove {
+                timestamp,
+                version,
+                key,
+            },
+            3 => LogRecord::Heartbeat { timestamp },
+            _ => return None,
+        };
+        Some((rec, 4 + len + 4))
+    }
+}
+
+struct LogBuf {
+    data: Vec<u8>,
+    /// Monotone counter of force() requests.
+    sync_requested: u64,
+    /// Highest request known durable.
+    sync_completed: u64,
+}
+
+struct LogShared {
+    buffer: Mutex<LogBuf>,
+    wake: Condvar,
+    done: Condvar,
+    stop: AtomicBool,
+}
+
+/// One worker's log: in-memory buffer + background logger thread.
+pub struct LogWriter {
+    shared: Arc<LogShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    pub path: PathBuf,
+}
+
+impl LogWriter {
+    /// Opens (appending) the log file and starts its logger thread.
+    pub fn open(path: PathBuf) -> std::io::Result<LogWriter> {
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let shared = Arc::new(LogShared {
+            buffer: Mutex::new(LogBuf {
+                data: Vec::with_capacity(1 << 20),
+                sync_requested: 0,
+                sync_completed: 0,
+            }),
+            wake: Condvar::new(),
+            done: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let s2 = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("mt-logger".into())
+            .spawn(move || logger_loop(s2, file))?;
+        Ok(LogWriter {
+            shared,
+            thread: Some(thread),
+            path,
+        })
+    }
+
+    /// Appends a record to the in-memory buffer (the put path: no I/O).
+    ///
+    /// Use [`LogWriter::append_now`] when the record's timestamp must be
+    /// consistent with the heartbeat protocol; plain `append` is for
+    /// pre-timestamped records (tests, bulk import).
+    pub fn append(&self, rec: &LogRecord) {
+        let mut buf = self.shared.buffer.lock();
+        rec.encode(&mut buf.data);
+        // Nudge the logger if the buffer is getting large.
+        if buf.data.len() >= 1 << 20 {
+            self.shared.wake.notify_one();
+        }
+    }
+
+    /// Appends `make(timestamp)` with a timestamp drawn **under the
+    /// buffer lock**. This is what makes heartbeats sound: a heartbeat's
+    /// timestamp is also drawn under the lock during drain, so every
+    /// record this worker stamped before a heartbeat is already in the
+    /// buffer ahead of it — the log is always a timestamp-consistent
+    /// prefix of this worker's history.
+    pub fn append_now<F: FnOnce(u64) -> LogRecord>(&self, make: F) -> u64 {
+        let mut buf = self.shared.buffer.lock();
+        let ts = crate::clock::now();
+        make(ts).encode(&mut buf.data);
+        if buf.data.len() >= 1 << 20 {
+            self.shared.wake.notify_one();
+        }
+        ts
+    }
+
+    /// Blocks until everything appended so far is durable (used by tests
+    /// and clean shutdown; normal puts never wait, §5).
+    pub fn force(&self) {
+        let mut buf = self.shared.buffer.lock();
+        buf.sync_requested += 1;
+        let want = buf.sync_requested;
+        self.shared.wake.notify_one();
+        while buf.sync_completed < want {
+            self.shared.done.wait(&mut buf);
+        }
+    }
+}
+
+impl Drop for LogWriter {
+    fn drop(&mut self) {
+        self.force();
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.wake.notify_one();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn logger_loop(shared: Arc<LogShared>, file: File) {
+    let mut out = BufWriter::with_capacity(1 << 20, file);
+    let mut last_force = Instant::now();
+    let mut last_heartbeat = Instant::now();
+    let mut dirty = false;
+    loop {
+        let (drained, sync_goal) = {
+            let mut buf = shared.buffer.lock();
+            if buf.data.is_empty()
+                && buf.sync_requested == buf.sync_completed
+                && !shared.stop.load(Ordering::Acquire)
+            {
+                shared.wake.wait_for(&mut buf, WAKE_INTERVAL);
+            }
+            // Liveness marker (see `append_now`), drawn under the lock:
+            // whenever there is data, a sync was requested, or the
+            // heartbeat interval lapsed on an idle log.
+            if !buf.data.is_empty()
+                || buf.sync_requested > buf.sync_completed
+                || last_heartbeat.elapsed() >= FORCE_INTERVAL
+                || shared.stop.load(Ordering::Acquire)
+            {
+                let ts = crate::clock::now();
+                LogRecord::Heartbeat { timestamp: ts }.encode(&mut buf.data);
+                last_heartbeat = Instant::now();
+            }
+            (std::mem::take(&mut buf.data), buf.sync_requested)
+        };
+        if !drained.is_empty() {
+            // Batched sequential write (§5: loggers batch updates).
+            if out.write_all(&drained).is_err() {
+                return;
+            }
+            dirty = true;
+        }
+        let mut acked = None;
+        let force_due = dirty && last_force.elapsed() >= FORCE_INTERVAL;
+        let sync_due = {
+            let buf = shared.buffer.lock();
+            buf.sync_completed < sync_goal
+        };
+        if force_due || sync_due {
+            if out.flush().is_err() {
+                return;
+            }
+            let _ = out.get_ref().sync_data();
+            last_force = Instant::now();
+            dirty = false;
+            acked = Some(sync_goal);
+        }
+        if let Some(goal) = acked {
+            let mut buf = shared.buffer.lock();
+            if buf.sync_completed < goal {
+                buf.sync_completed = goal;
+                shared.done.notify_all();
+            }
+        }
+        if shared.stop.load(Ordering::Acquire) {
+            let _ = out.flush();
+            let _ = out.get_ref().sync_data();
+            return;
+        }
+    }
+}
+
+/// Reads every intact record from a log file, stopping at the first torn
+/// or corrupt record (§5 recovery).
+pub fn read_log(path: &Path) -> std::io::Result<Vec<LogRecord>> {
+    let data = std::fs::read(path)?;
+    let mut records = Vec::new();
+    let mut off = 0;
+    while let Some((rec, used)) = LogRecord::decode(&data[off..]) {
+        records.push(rec);
+        off += used;
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ts: u64) -> LogRecord {
+        LogRecord::Put {
+            timestamp: ts,
+            version: ts * 10,
+            key: format!("key{ts}").into_bytes(),
+            cols: vec![(0, b"aaaa".to_vec()), (3, b"d".to_vec())],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut buf = Vec::new();
+        rec(1).encode(&mut buf);
+        rec(2).encode(&mut buf);
+        LogRecord::Remove {
+            timestamp: 3,
+            version: 30,
+            key: b"gone".to_vec(),
+        }
+        .encode(&mut buf);
+        let (r1, n1) = LogRecord::decode(&buf).unwrap();
+        assert_eq!(r1, rec(1));
+        let (r2, n2) = LogRecord::decode(&buf[n1..]).unwrap();
+        assert_eq!(r2, rec(2));
+        let (r3, n3) = LogRecord::decode(&buf[n1 + n2..]).unwrap();
+        assert_eq!(r3.key(), b"gone");
+        assert_eq!(n1 + n2 + n3, buf.len());
+    }
+
+    #[test]
+    fn torn_tail_is_rejected() {
+        let mut buf = Vec::new();
+        rec(1).encode(&mut buf);
+        let full = buf.len();
+        rec(2).encode(&mut buf);
+        // Truncate mid-record: decode of the tail must fail.
+        let torn = &buf[..full + 7];
+        let (_, n1) = LogRecord::decode(torn).unwrap();
+        assert!(LogRecord::decode(&torn[n1..]).is_none());
+    }
+
+    #[test]
+    fn heartbeat_roundtrip() {
+        let mut buf = Vec::new();
+        LogRecord::Heartbeat { timestamp: 777 }.encode(&mut buf);
+        let (r, used) = LogRecord::decode(&buf).unwrap();
+        assert_eq!(r, LogRecord::Heartbeat { timestamp: 777 });
+        assert_eq!(used, buf.len());
+        assert_eq!(r.timestamp(), 777);
+    }
+
+    #[test]
+    fn corrupt_crc_is_rejected() {
+        let mut buf = Vec::new();
+        rec(1).encode(&mut buf);
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xff;
+        assert!(LogRecord::decode(&buf).is_none());
+    }
+
+    #[test]
+    fn writer_persists_records() {
+        let dir = std::env::temp_dir().join(format!("mtkv-logtest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log0");
+        let _ = std::fs::remove_file(&path);
+        {
+            let w = LogWriter::open(path.clone()).unwrap();
+            for i in 0..100 {
+                w.append(&rec(i));
+            }
+            w.force();
+        }
+        let records = read_log(&path).unwrap();
+        let puts: Vec<&LogRecord> = records
+            .iter()
+            .filter(|r| !matches!(r, LogRecord::Heartbeat { .. }))
+            .collect();
+        assert_eq!(puts.len(), 100);
+        assert_eq!(*puts[42], rec(42));
+        assert!(
+            records.len() > puts.len(),
+            "liveness heartbeats are interleaved"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

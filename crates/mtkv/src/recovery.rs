@@ -1,0 +1,363 @@
+//! Crash recovery (§5 of the paper).
+//!
+//! Recovery first computes the cutoff `t = min over logs ℓ of
+//! max over records u ∈ ℓ of u.timestamp`: records after `t` may be
+//! missing from other logs (their group commits never completed), so they
+//! are dropped to keep the recovered state prefix-consistent. It then
+//! loads the newest checkpoint that *began* before `t` and replays the
+//! logs from the checkpoint's start timestamp, applying each value's
+//! updates in increasing version order (replays are idempotent: a record
+//! is applied only if its version exceeds the stored value's).
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use masstree::Masstree;
+
+use crate::checkpoint::{latest_checkpoint, read_part};
+use crate::log::{read_log, LogRecord};
+use crate::store::Store;
+use crate::value::ColValue;
+
+/// Outcome of a recovery run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The cutoff timestamp `t` (0 if no logs existed).
+    pub cutoff: u64,
+    /// Records replayed (within the cutoff and checkpoint window).
+    pub replayed: u64,
+    /// Records dropped because they were past the cutoff.
+    pub dropped_past_cutoff: u64,
+    /// Keys loaded from the checkpoint.
+    pub checkpoint_keys: u64,
+    /// Whether a checkpoint was used.
+    pub used_checkpoint: bool,
+}
+
+/// All log files in `dir` (files named `log-*`).
+pub fn log_files(dir: &Path) -> Vec<PathBuf> {
+    let mut logs = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_file()
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("log-"))
+            {
+                logs.push(p);
+            }
+        }
+    }
+    logs.sort();
+    logs
+}
+
+/// Rebuilds a store from `log_dir` (logs) and `ckpt_dir` (checkpoints;
+/// may equal `log_dir`). The returned store has logging re-attached to
+/// `log_dir` so new sessions keep appending.
+pub fn recover(log_dir: &Path, ckpt_dir: &Path) -> std::io::Result<(Arc<Store>, RecoveryReport)> {
+    let mut report = RecoveryReport::default();
+
+    // Read every log fully (tolerating torn tails).
+    let mut logs: Vec<Vec<LogRecord>> = Vec::new();
+    for path in log_files(log_dir) {
+        logs.push(read_log(&path)?);
+    }
+
+    // Cutoff: min over non-empty logs of their max timestamp. A log with
+    // no records contributes nothing (its worker never logged, so no
+    // record can depend on it).
+    let cutoff = logs
+        .iter()
+        .filter(|l| !l.is_empty())
+        .map(|l| l.iter().map(|r| r.timestamp()).max().unwrap())
+        .min()
+        .unwrap_or(0);
+    report.cutoff = cutoff;
+
+    // Newest complete checkpoint that began before the cutoff (if there
+    // are no logs at all, any complete checkpoint stands alone).
+    let ckpt = latest_checkpoint(ckpt_dir)
+        .filter(|(_, meta)| logs.iter().all(|l| l.is_empty()) || meta.start_ts <= cutoff);
+
+    let mut tree: Masstree<ColValue> = Masstree::new();
+    let mut max_version = 0u64;
+    let mut replay_from = 0u64;
+    if let Some((path, meta)) = &ckpt {
+        // Parallel checkpoint load: one thread per part. Rows are counted
+        // against the manifest: a short count means a damaged or
+        // truncated part, in which case the checkpoint is abandoned and
+        // the logs alone rebuild the store (slower but complete).
+        let mut loaded_rows = 0u64;
+        std::thread::scope(|scope| -> std::io::Result<()> {
+            let mut handles = Vec::new();
+            for t in 0..meta.parts {
+                let part = path.join(format!("part-{t:04}"));
+                let tree = &tree;
+                handles.push(scope.spawn(move || -> std::io::Result<(u64, u64)> {
+                    let rows = read_part(&part)?;
+                    let guard = masstree::pin();
+                    let mut maxv = 0u64;
+                    let n = rows.len() as u64;
+                    for (key, version, cols) in rows {
+                        maxv = maxv.max(version);
+                        let refs: Vec<&[u8]> = cols.iter().map(|c| c.as_slice()).collect();
+                        tree.put(&key, ColValue::new(version, &refs), &guard);
+                    }
+                    Ok((maxv, n))
+                }));
+            }
+            for h in handles {
+                let (maxv, n) = h.join().expect("loader panicked").unwrap_or((0, 0));
+                max_version = max_version.max(maxv);
+                loaded_rows += n;
+            }
+            Ok(())
+        })?;
+        if loaded_rows == meta.keys {
+            report.used_checkpoint = true;
+            report.checkpoint_keys = meta.keys;
+            replay_from = meta.start_ts;
+        } else {
+            // Damaged checkpoint: start over from the logs.
+            tree = Masstree::new();
+            max_version = 0;
+        }
+    }
+
+    // Replay the logs in parallel (one thread per log), applying each
+    // record only if it advances the key's value version — this makes
+    // replay order-insensitive across logs, as §5 requires.
+    let mut totals = (0u64, 0u64, 0u64); // replayed, dropped, max_version
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for records in &logs {
+            let tree = &tree;
+            handles.push(scope.spawn(move || {
+                let guard = masstree::pin();
+                let mut replayed = 0u64;
+                let mut dropped = 0u64;
+                let mut maxv = 0u64;
+                for rec in records {
+                    if matches!(rec, LogRecord::Heartbeat { .. }) {
+                        continue; // liveness marker only
+                    }
+                    let ts = rec.timestamp();
+                    if ts > cutoff {
+                        dropped += 1;
+                        continue;
+                    }
+                    if ts < replay_from {
+                        // Covered by the checkpoint: a record's timestamp
+                        // is drawn after its tree operation completes, so
+                        // anything stamped before the checkpoint began was
+                        // visible to the checkpoint scan (§5).
+                        continue;
+                    }
+                    maxv = maxv.max(rec.version());
+                    match rec {
+                        LogRecord::Put {
+                            version,
+                            key,
+                            cols,
+                            ..
+                        } => {
+                            tree.put_with(
+                                key,
+                                |old| match old {
+                                    Some(prev) if prev.version() >= *version => {
+                                        // Already newer: keep (rebuild the
+                                        // same value; put_with must return
+                                        // one).
+                                        let refs: Vec<&[u8]> =
+                                            (0..prev.ncols()).map(|i| prev.col(i).unwrap()).collect();
+                                        ColValue::new(prev.version(), &refs)
+                                    }
+                                    Some(prev) => {
+                                        let updates: Vec<(usize, &[u8])> = cols
+                                            .iter()
+                                            .map(|(i, d)| (*i as usize, d.as_slice()))
+                                            .collect();
+                                        prev.with_updates(*version, &updates)
+                                    }
+                                    None => {
+                                        let updates: Vec<(usize, &[u8])> = cols
+                                            .iter()
+                                            .map(|(i, d)| (*i as usize, d.as_slice()))
+                                            .collect();
+                                        ColValue::from_updates(*version, &updates)
+                                    }
+                                },
+                                &guard,
+                            );
+                            replayed += 1;
+                        }
+                        LogRecord::Remove { version, key, .. } => {
+                            // A remove must leave a versioned tombstone:
+                            // another log's older put for the same key may
+                            // be replayed *after* this remove, and must
+                            // not resurrect it. Tombstones (zero-column
+                            // values) are swept after replay.
+                            tree.put_with(
+                                key,
+                                |old| match old {
+                                    Some(prev) if prev.version() >= *version => {
+                                        let refs: Vec<&[u8]> = (0..prev.ncols())
+                                            .map(|i| prev.col(i).unwrap())
+                                            .collect();
+                                        ColValue::new(prev.version(), &refs)
+                                    }
+                                    _ => ColValue::new(*version, &[]),
+                                },
+                                &guard,
+                            );
+                            replayed += 1;
+                        }
+                        LogRecord::Heartbeat { .. } => unreachable!("skipped above"),
+                    }
+                }
+                (replayed, dropped, maxv)
+            }));
+        }
+        for h in handles {
+            let (r, d, m) = h.join().expect("replayer panicked");
+            totals.0 += r;
+            totals.1 += d;
+            totals.2 = totals.2.max(m);
+        }
+    });
+    report.replayed = totals.0;
+    report.dropped_past_cutoff = totals.1;
+    max_version = max_version.max(totals.2);
+
+    // Sweep remove tombstones (zero-column values) left by replay.
+    {
+        let guard = masstree::pin();
+        let mut dead: Vec<Vec<u8>> = Vec::new();
+        tree.scan(b"", &guard, |k, v| {
+            if v.ncols() == 0 {
+                dead.push(k.to_vec());
+            }
+            true
+        });
+        for k in &dead {
+            tree.remove(k, &guard);
+        }
+    }
+
+    let mut store = Store::with_state(tree, max_version + 1);
+    store.set_log_dir(log_dir.to_path_buf());
+    Ok((Arc::new(store), report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::write_checkpoint;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mtkv-rec-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn recover_from_logs_only() {
+        let dir = tmpdir("logs");
+        {
+            let store = Store::persistent(&dir).unwrap();
+            let s = store.session().unwrap();
+            for i in 0..1000u32 {
+                s.put(format!("key{i:04}").as_bytes(), &[(0, &i.to_le_bytes()[..])]);
+            }
+            s.remove(b"key0007");
+            s.force_log();
+        }
+        let (store, report) = recover(&dir, &dir).unwrap();
+        assert!(!report.used_checkpoint);
+        assert!(report.replayed >= 1000);
+        let s = store.session().unwrap();
+        assert_eq!(s.get(b"key0000", Some(&[0])).unwrap()[0], 0u32.to_le_bytes());
+        assert_eq!(s.get(b"key0999", Some(&[0])).unwrap()[0], 999u32.to_le_bytes());
+        assert_eq!(s.get(b"key0007", None), None, "remove replayed");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_multiple_logs_respects_versions() {
+        let dir = tmpdir("multi");
+        {
+            let store = Store::persistent(&dir).unwrap();
+            let s1 = store.session().unwrap();
+            let s2 = store.session().unwrap();
+            // Interleaved updates to one key from two logged sessions.
+            for i in 0..100u32 {
+                if i % 2 == 0 {
+                    s1.put(b"contended", &[(0, format!("{i}").as_bytes())]);
+                } else {
+                    s2.put(b"contended", &[(0, format!("{i}").as_bytes())]);
+                }
+            }
+            s1.force_log();
+            s2.force_log();
+        }
+        let (store, report) = recover(&dir, &dir).unwrap();
+        // Both logs heartbeat at shutdown, so the cutoff t covers every
+        // record and nothing is dropped (without heartbeats, the even
+        // log's earlier last-timestamp would have cut off i = 99).
+        assert_eq!(report.dropped_past_cutoff, 0);
+        let s = store.session().unwrap();
+        assert_eq!(s.get(b"contended", Some(&[0])).unwrap()[0], b"99");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_checkpoint_plus_tail() {
+        let dir = tmpdir("ckpt");
+        {
+            let store = Store::persistent(&dir).unwrap();
+            let s = store.session().unwrap();
+            for i in 0..2_000u32 {
+                s.put(format!("key{i:05}").as_bytes(), &[(0, &i.to_le_bytes()[..])]);
+            }
+            s.force_log();
+            write_checkpoint(&store, &dir, 3).unwrap();
+            // Post-checkpoint tail.
+            for i in 2_000..2_500u32 {
+                s.put(format!("key{i:05}").as_bytes(), &[(0, &i.to_le_bytes()[..])]);
+            }
+            s.put(b"key00000", &[(0, &u32::MAX.to_le_bytes()[..])]);
+            s.force_log();
+        }
+        let (store, report) = recover(&dir, &dir).unwrap();
+        assert!(report.used_checkpoint);
+        assert_eq!(report.checkpoint_keys, 2_000);
+        let s = store.session().unwrap();
+        assert_eq!(s.get(b"key02499", Some(&[0])).unwrap()[0], 2499u32.to_le_bytes());
+        assert_eq!(
+            s.get(b"key00000", Some(&[0])).unwrap()[0],
+            u32::MAX.to_le_bytes(),
+            "post-checkpoint update wins over checkpointed value"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writes_after_recovery_get_fresh_versions() {
+        let dir = tmpdir("fresh");
+        {
+            let store = Store::persistent(&dir).unwrap();
+            let s = store.session().unwrap();
+            s.put_single(b"k", b"old");
+            s.force_log();
+        }
+        let (store, _) = recover(&dir, &dir).unwrap();
+        let s = store.session().unwrap();
+        let v = s.put_single(b"k", b"new");
+        assert!(v > 1, "versions continue past recovered state");
+        assert_eq!(s.get(b"k", Some(&[0])).unwrap()[0], b"new");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

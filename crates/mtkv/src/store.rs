@@ -1,0 +1,313 @@
+//! The Masstree storage system (§3 and §5): `get_c`/`put_c`/`remove`/
+//! `getrange_c` over multi-column values, with per-worker value logging.
+//!
+//! Workers register a [`Session`]; each session owns one log (per-core
+//! logs in the paper). Puts apply to the shared tree, append to the
+//! session's log buffer, and return without waiting for storage; logging
+//! threads batch and force every 200 ms (`log.rs`).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use masstree::Masstree;
+
+use crate::log::{LogRecord, LogWriter};
+use crate::value::ColValue;
+
+/// The shared store: one Masstree of [`ColValue`]s plus logging state.
+pub struct Store {
+    pub(crate) tree: Masstree<ColValue>,
+    /// Global value-version source: per-value versions are strictly
+    /// increasing because every put draws a fresh version (§5).
+    next_version: AtomicU64,
+    log_dir: Option<PathBuf>,
+    next_log_id: AtomicU64,
+}
+
+impl Store {
+    /// An in-memory store (no logging) — used for tree-only benchmarks.
+    pub fn in_memory() -> Arc<Store> {
+        Arc::new(Store {
+            tree: Masstree::new(),
+            next_version: AtomicU64::new(1),
+            log_dir: None,
+            next_log_id: AtomicU64::new(0),
+        })
+    }
+
+    /// A persistent store logging into `dir` (one log file per session).
+    pub fn persistent(dir: &Path) -> std::io::Result<Arc<Store>> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Arc::new(Store {
+            tree: Masstree::new(),
+            next_version: AtomicU64::new(1),
+            log_dir: Some(dir.to_path_buf()),
+            next_log_id: AtomicU64::new(0),
+        }))
+    }
+
+    pub(crate) fn with_state(tree: Masstree<ColValue>, next_version: u64) -> Store {
+        Store {
+            tree,
+            next_version: AtomicU64::new(next_version),
+            log_dir: None,
+            next_log_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Re-attaches logging (used after recovery).
+    pub(crate) fn set_log_dir(&mut self, dir: PathBuf) {
+        self.log_dir = Some(dir);
+    }
+
+    /// Registers a worker, creating its log if the store is persistent.
+    pub fn session(self: &Arc<Store>) -> std::io::Result<Session> {
+        let log = match &self.log_dir {
+            None => None,
+            Some(dir) => {
+                let id = self.next_log_id.fetch_add(1, Ordering::Relaxed);
+                Some(LogWriter::open(dir.join(format!("log-{id}")))?)
+            }
+        };
+        Ok(Session {
+            store: Arc::clone(self),
+            log,
+        })
+    }
+
+    /// Direct tree access (benchmarks, checkpointer).
+    pub fn tree(&self) -> &Masstree<ColValue> {
+        &self.tree
+    }
+
+    pub(crate) fn draw_version(&self) -> u64 {
+        self.next_version.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Highest version handed out so far.
+    pub fn current_version(&self) -> u64 {
+        self.next_version.load(Ordering::Relaxed)
+    }
+
+    /// Runs one structural maintenance pass (empty-layer GC, §4.6.5).
+    pub fn maintain(&self) {
+        let guard = masstree::pin();
+        self.tree.maintain(&guard);
+    }
+}
+
+/// A per-worker handle: operations + this worker's log.
+pub struct Session {
+    store: Arc<Store>,
+    log: Option<LogWriter>,
+}
+
+impl Session {
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// `get_c(k)`: reads the requested columns (all if `cols` is `None`).
+    /// Returns `None` if the key is absent.
+    pub fn get(&self, key: &[u8], cols: Option<&[usize]>) -> Option<Vec<Vec<u8>>> {
+        let guard = masstree::pin();
+        let v = self.store.tree.get(key, &guard)?;
+        Some(match cols {
+            None => v.cols(),
+            Some(ids) => ids
+                .iter()
+                .map(|&i| v.col(i).unwrap_or(&[]).to_vec())
+                .collect(),
+        })
+    }
+
+    /// `put_c(k, v)`: atomically updates the given columns, copying the
+    /// rest from the current value (§4.7). Returns the value version.
+    ///
+    /// The version is drawn inside the tree's per-key critical section,
+    /// so version order equals the tree's serialization order — which is
+    /// what makes version-ordered log replay reconstruct exactly the
+    /// pre-crash state (§5).
+    pub fn put(&self, key: &[u8], updates: &[(usize, &[u8])]) -> u64 {
+        let mut version = 0;
+        let guard = masstree::pin();
+        self.store.tree.put_with(
+            key,
+            |old| {
+                version = self.store.draw_version();
+                match old {
+                    None => ColValue::from_updates(version, updates),
+                    Some(prev) => prev.with_updates(version, updates),
+                }
+            },
+            &guard,
+        );
+        if let Some(log) = &self.log {
+            log.append_now(|timestamp| LogRecord::Put {
+                timestamp,
+                version,
+                key: key.to_vec(),
+                cols: updates
+                    .iter()
+                    .map(|&(i, d)| (i as u16, d.to_vec()))
+                    .collect(),
+            });
+        }
+        version
+    }
+
+    /// Whole-value put with a single column (plain key-value usage).
+    pub fn put_single(&self, key: &[u8], data: &[u8]) -> u64 {
+        self.put(key, &[(0, data)])
+    }
+
+    /// `remove(k)`. Returns true if the key existed.
+    pub fn remove(&self, key: &[u8]) -> bool {
+        let guard = masstree::pin();
+        // Draw the version at the removal's linearization point (under
+        // the node lock) so replay ordering matches live ordering.
+        let removed =
+            self.store
+                .tree
+                .remove_with(key, |_| self.store.draw_version(), &guard);
+        match removed {
+            None => false,
+            Some((_, version)) => {
+                if let Some(log) = &self.log {
+                    log.append_now(|timestamp| LogRecord::Remove {
+                        timestamp,
+                        version,
+                        key: key.to_vec(),
+                    });
+                }
+                true
+            }
+        }
+    }
+
+    /// `getrange_c(k, n)`: up to `n` key/column rows at or after `key`,
+    /// in key order. Not atomic w.r.t. concurrent writers (§3).
+    pub fn get_range(
+        &self,
+        key: &[u8],
+        n: usize,
+        cols: Option<&[usize]>,
+    ) -> Vec<(Vec<u8>, Vec<Vec<u8>>)> {
+        let guard = masstree::pin();
+        let mut out = Vec::with_capacity(n.min(1024));
+        self.store.tree.scan(key, &guard, |k, v| {
+            let row = match cols {
+                None => v.cols(),
+                Some(ids) => ids
+                    .iter()
+                    .map(|&i| v.col(i).unwrap_or(&[]).to_vec())
+                    .collect(),
+            };
+            out.push((k.to_vec(), row));
+            out.len() < n
+        });
+        out
+    }
+
+    /// Blocks until everything this session logged is durable.
+    pub fn force_log(&self) {
+        if let Some(log) = &self.log {
+            log.force();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_memory_put_get() {
+        let store = Store::in_memory();
+        let s = store.session().unwrap();
+        s.put(b"k1", &[(0, b"hello"), (1, b"world")]);
+        assert_eq!(
+            s.get(b"k1", None),
+            Some(vec![b"hello".to_vec(), b"world".to_vec()])
+        );
+        assert_eq!(s.get(b"k1", Some(&[1])), Some(vec![b"world".to_vec()]));
+        assert_eq!(s.get(b"nope", None), None);
+    }
+
+    #[test]
+    fn column_update_preserves_others() {
+        let store = Store::in_memory();
+        let s = store.session().unwrap();
+        s.put(b"k", &[(0, b"a"), (1, b"b")]);
+        s.put(b"k", &[(1, b"B!")]);
+        assert_eq!(s.get(b"k", None), Some(vec![b"a".to_vec(), b"B!".to_vec()]));
+    }
+
+    #[test]
+    fn versions_increase() {
+        let store = Store::in_memory();
+        let s = store.session().unwrap();
+        let v1 = s.put(b"k", &[(0, b"1")]);
+        let v2 = s.put(b"k", &[(0, b"2")]);
+        assert!(v2 > v1);
+    }
+
+    #[test]
+    fn remove_reports_existence() {
+        let store = Store::in_memory();
+        let s = store.session().unwrap();
+        assert!(!s.remove(b"k"));
+        s.put_single(b"k", b"v");
+        assert!(s.remove(b"k"));
+        assert_eq!(s.get(b"k", None), None);
+    }
+
+    #[test]
+    fn get_range_returns_rows_in_order() {
+        let store = Store::in_memory();
+        let s = store.session().unwrap();
+        for i in 0..100u32 {
+            s.put(format!("key{i:03}").as_bytes(), &[(0, &i.to_le_bytes())]);
+        }
+        let rows = s.get_range(b"key010", 5, Some(&[0]));
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].0, b"key010");
+        assert_eq!(rows[4].0, b"key014");
+        assert_eq!(rows[2].1[0], 12u32.to_le_bytes());
+    }
+
+    #[test]
+    fn concurrent_column_updates_do_not_tear() {
+        // Two writers update different columns of one key; every observed
+        // value must contain a valid (col0, col1) pair — all-or-nothing
+        // multi-column puts (§4.7).
+        let store = Store::in_memory();
+        let w1 = store.session().unwrap();
+        let w2 = store.session().unwrap();
+        w1.put(b"k", &[(0, b"0"), (1, b"0")]);
+        let t1 = std::thread::spawn(move || {
+            for i in 0..20_000u32 {
+                w1.put(b"k", &[(0, format!("{i}").as_bytes())]);
+            }
+        });
+        let t2 = std::thread::spawn(move || {
+            for i in 0..20_000u32 {
+                w2.put(b"k", &[(1, format!("{i}").as_bytes())]);
+            }
+        });
+        let reader = store.session().unwrap();
+        for _ in 0..10_000 {
+            let cols = reader.get(b"k", None).unwrap();
+            assert_eq!(cols.len(), 2);
+            // Both columns always parse: no torn/missing column states.
+            let _: u32 = std::str::from_utf8(&cols[0]).unwrap().parse().unwrap();
+            let _: u32 = std::str::from_utf8(&cols[1]).unwrap().parse().unwrap();
+        }
+        t1.join().unwrap();
+        t2.join().unwrap();
+        let cols = reader.get(b"k", None).unwrap();
+        assert_eq!(cols[0], b"19999");
+        assert_eq!(cols[1], b"19999");
+    }
+}

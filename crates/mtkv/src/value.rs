@@ -1,0 +1,183 @@
+//! Multi-column versioned values (§4.7 of the paper).
+//!
+//! A value is a version number plus an array of variable-length byte
+//! columns, stored in **one memory block** (the paper's small-value
+//! design: good cache behaviour, and a whole-value replace is a single
+//! pointer store). Values are immutable once built; a put constructs a
+//! new block, copying unmodified columns from the old one, so concurrent
+//! readers see all or none of a multi-column modification.
+
+/// A versioned, multi-column value in a single allocation.
+///
+/// Layout of `buf`: `ncols × u32` column end-offsets, then the column
+/// bytes back to back. (The version lives in a separate field of this
+/// struct but the struct itself is one heap object inside the tree.)
+#[derive(Debug, PartialEq, Eq)]
+pub struct ColValue {
+    version: u64,
+    ncols: u32,
+    buf: Box<[u8]>,
+}
+
+impl ColValue {
+    /// Builds a value from complete column contents.
+    pub fn new(version: u64, cols: &[&[u8]]) -> ColValue {
+        let ncols = cols.len();
+        let data_len: usize = cols.iter().map(|c| c.len()).sum();
+        let mut buf = Vec::with_capacity(4 * ncols + data_len);
+        let mut end = 0u32;
+        for c in cols {
+            end += c.len() as u32;
+            buf.extend_from_slice(&end.to_le_bytes());
+        }
+        for c in cols {
+            buf.extend_from_slice(c);
+        }
+        ColValue {
+            version,
+            ncols: ncols as u32,
+            buf: buf.into_boxed_slice(),
+        }
+    }
+
+    /// A single-column value (the plain key-value case).
+    pub fn single(version: u64, data: &[u8]) -> ColValue {
+        ColValue::new(version, &[data])
+    }
+
+    /// Copy-on-write update: returns a new value with `updates` applied
+    /// (extending the column array if an update targets a column past the
+    /// current end) and the remaining columns copied from `self`.
+    pub fn with_updates(&self, version: u64, updates: &[(usize, &[u8])]) -> ColValue {
+        let max_updated = updates.iter().map(|(i, _)| i + 1).max().unwrap_or(0);
+        let ncols = (self.ncols as usize).max(max_updated);
+        let cols: Vec<&[u8]> = (0..ncols)
+            .map(|i| {
+                updates
+                    .iter()
+                    .rev()
+                    .find(|(j, _)| *j == i)
+                    .map(|(_, d)| *d)
+                    .unwrap_or_else(|| self.col(i).unwrap_or(&[]))
+            })
+            .collect();
+        ColValue::new(version, &cols)
+    }
+
+    /// Builds a fresh value from updates alone (no previous value).
+    pub fn from_updates(version: u64, updates: &[(usize, &[u8])]) -> ColValue {
+        let ncols = updates.iter().map(|(i, _)| i + 1).max().unwrap_or(0);
+        let cols: Vec<&[u8]> = (0..ncols)
+            .map(|i| {
+                updates
+                    .iter()
+                    .rev()
+                    .find(|(j, _)| *j == i)
+                    .map(|(_, d)| *d)
+                    .unwrap_or(&[])
+            })
+            .collect();
+        ColValue::new(version, &cols)
+    }
+
+    /// The value's version number (used by log replay ordering, §5).
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols as usize
+    }
+
+    #[inline]
+    fn col_end(&self, i: usize) -> usize {
+        let off = 4 * i;
+        u32::from_le_bytes(self.buf[off..off + 4].try_into().unwrap()) as usize
+    }
+
+    /// Column `i`'s bytes, or `None` if out of range.
+    pub fn col(&self, i: usize) -> Option<&[u8]> {
+        if i >= self.ncols as usize {
+            return None;
+        }
+        let data_base = 4 * self.ncols as usize;
+        let start = if i == 0 { 0 } else { self.col_end(i - 1) };
+        let end = self.col_end(i);
+        Some(&self.buf[data_base + start..data_base + end])
+    }
+
+    /// All columns, copied out.
+    pub fn cols(&self) -> Vec<Vec<u8>> {
+        (0..self.ncols())
+            .map(|i| self.col(i).unwrap().to_vec())
+            .collect()
+    }
+
+    /// Approximate heap footprint (for checkpoint sizing).
+    pub fn heap_bytes(&self) -> usize {
+        self.buf.len() + size_of::<ColValue>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_column_roundtrip() {
+        let v = ColValue::single(7, b"hello");
+        assert_eq!(v.version(), 7);
+        assert_eq!(v.ncols(), 1);
+        assert_eq!(v.col(0), Some(&b"hello"[..]));
+        assert_eq!(v.col(1), None);
+    }
+
+    #[test]
+    fn multi_column_roundtrip() {
+        let v = ColValue::new(1, &[b"aa", b"", b"cccc"]);
+        assert_eq!(v.ncols(), 3);
+        assert_eq!(v.col(0), Some(&b"aa"[..]));
+        assert_eq!(v.col(1), Some(&b""[..]));
+        assert_eq!(v.col(2), Some(&b"cccc"[..]));
+    }
+
+    #[test]
+    fn with_updates_copies_unmodified() {
+        let v = ColValue::new(1, &[b"a", b"b", b"c"]);
+        let v2 = v.with_updates(2, &[(1, b"NEW")]);
+        assert_eq!(v2.version(), 2);
+        assert_eq!(v2.col(0), Some(&b"a"[..]));
+        assert_eq!(v2.col(1), Some(&b"NEW"[..]));
+        assert_eq!(v2.col(2), Some(&b"c"[..]));
+        // Original untouched (copy-on-write).
+        assert_eq!(v.col(1), Some(&b"b"[..]));
+    }
+
+    #[test]
+    fn with_updates_extends_columns() {
+        let v = ColValue::single(1, b"x");
+        let v2 = v.with_updates(2, &[(3, b"far")]);
+        assert_eq!(v2.ncols(), 4);
+        assert_eq!(v2.col(0), Some(&b"x"[..]));
+        assert_eq!(v2.col(1), Some(&b""[..]));
+        assert_eq!(v2.col(3), Some(&b"far"[..]));
+    }
+
+    #[test]
+    fn from_updates_fills_gaps() {
+        let v = ColValue::from_updates(5, &[(2, b"two"), (0, b"zero")]);
+        assert_eq!(v.ncols(), 3);
+        assert_eq!(v.col(0), Some(&b"zero"[..]));
+        assert_eq!(v.col(1), Some(&b""[..]));
+        assert_eq!(v.col(2), Some(&b"two"[..]));
+    }
+
+    #[test]
+    fn last_update_wins_within_one_put() {
+        let v = ColValue::from_updates(1, &[(0, b"first"), (0, b"second")]);
+        assert_eq!(v.col(0), Some(&b"second"[..]));
+    }
+}

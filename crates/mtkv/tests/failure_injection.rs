@@ -1,0 +1,184 @@
+//! Failure injection for the persistence layer: torn log tails, corrupted
+//! records, missing checkpoint parts, and incomplete checkpoints. §5's
+//! recovery must degrade gracefully — never panic, never resurrect
+//! corrupt data, always keep the durable prefix.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::PathBuf;
+
+use mtkv::{recover, write_checkpoint, Store};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mtkv-fi-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn build_store(dir: &PathBuf, keys: u32) {
+    let store = Store::persistent(dir).unwrap();
+    let s = store.session().unwrap();
+    for i in 0..keys {
+        s.put(format!("key{i:06}").as_bytes(), &[(0, &i.to_le_bytes()[..])]);
+    }
+    s.force_log();
+}
+
+fn log_paths(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("log-"))
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn torn_log_tail_keeps_prefix() {
+    let dir = tmpdir("torn");
+    build_store(&dir, 2_000);
+    // Tear the log mid-record: chop off the last 5 bytes.
+    let log = &log_paths(&dir)[0];
+    let data = std::fs::read(log).unwrap();
+    std::fs::write(log, &data[..data.len() - 5]).unwrap();
+    let (store, report) = recover(&dir, &dir).unwrap();
+    // The prefix survives; only the torn record (and anything after it)
+    // is lost.
+    assert!(report.replayed >= 1_990, "{report:?}");
+    let s = store.session().unwrap();
+    assert_eq!(s.get(b"key000000", Some(&[0])).unwrap()[0], 0u32.to_le_bytes());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_mid_log_record_truncates_from_there() {
+    let dir = tmpdir("corrupt");
+    build_store(&dir, 2_000);
+    let log = &log_paths(&dir)[0];
+    let mut data = std::fs::read(log).unwrap();
+    // Flip a byte roughly in the middle: CRC fails there; recovery keeps
+    // the prefix before the corruption.
+    let mid = data.len() / 2;
+    data[mid] ^= 0xff;
+    std::fs::write(log, &data).unwrap();
+    let (store, report) = recover(&dir, &dir).unwrap();
+    assert!(report.replayed > 100, "prefix survived: {report:?}");
+    assert!(report.replayed < 2_000, "corrupt tail dropped: {report:?}");
+    let s = store.session().unwrap();
+    assert_eq!(s.get(b"key000000", Some(&[0])).unwrap()[0], 0u32.to_le_bytes());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbage_log_recovers_empty() {
+    let dir = tmpdir("garbage");
+    std::fs::write(dir.join("log-0"), b"this is not a log at all").unwrap();
+    let (store, report) = recover(&dir, &dir).unwrap();
+    assert_eq!(report.replayed, 0);
+    let guard = masstree::pin();
+    assert_eq!(store.tree().count_keys(&guard), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_without_manifest_is_ignored() {
+    let dir = tmpdir("nomanifest");
+    build_store(&dir, 500);
+    {
+        let store = Store::persistent(&dir).unwrap();
+        // Simulate a crash mid-checkpoint: parts exist, no MANIFEST.
+        let meta = write_checkpoint(&store, &dir, 2).unwrap();
+        let ckpts: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().starts_with("ckpt-"))
+            .collect();
+        assert_eq!(ckpts.len(), 1);
+        std::fs::remove_file(ckpts[0].path().join("MANIFEST")).unwrap();
+        let _ = meta;
+    }
+    let (store, report) = recover(&dir, &dir).unwrap();
+    assert!(!report.used_checkpoint, "incomplete checkpoint ignored");
+    // Logs alone still reconstruct everything.
+    let s = store.session().unwrap();
+    assert_eq!(s.get(b"key000499", Some(&[0])).unwrap()[0], 499u32.to_le_bytes());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_checkpoint_part_falls_back_to_logs() {
+    let dir = tmpdir("truncpart");
+    // One continuously-live store: build, checkpoint, force (so the log
+    // cutoff covers the checkpoint), then "crash".
+    {
+        let store = Store::persistent(&dir).unwrap();
+        let s = store.session().unwrap();
+        for i in 0..2_000u32 {
+            s.put(format!("key{i:06}").as_bytes(), &[(0, &i.to_le_bytes()[..])]);
+        }
+        s.force_log();
+        let _ = write_checkpoint(&store, &dir, 2).unwrap();
+        s.force_log();
+    }
+    // Damage one part file's tail (lost page-cache data the manifest
+    // rename survived — rare but possible without fsync barriers).
+    let ckpt = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .find(|e| e.file_name().to_string_lossy().starts_with("ckpt-"))
+        .unwrap()
+        .path();
+    let part = ckpt.join("part-0001");
+    let data = std::fs::read(&part).unwrap();
+    assert!(data.len() > 64, "part must hold data for this test");
+    std::fs::write(&part, &data[..data.len() - 40]).unwrap();
+    let (store, report) = recover(&dir, &dir).unwrap();
+    // Row count disagrees with the manifest: the checkpoint is abandoned
+    // and the logs rebuild everything.
+    assert!(!report.used_checkpoint, "{report:?}");
+    assert!(report.replayed >= 2_000, "{report:?}");
+    let s = store.session().unwrap();
+    assert_eq!(s.get(b"key000000", Some(&[0])).unwrap()[0], 0u32.to_le_bytes());
+    assert_eq!(s.get(b"key001999", Some(&[0])).unwrap()[0], 1999u32.to_le_bytes());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn empty_directory_recovers_to_empty_store() {
+    let dir = tmpdir("empty");
+    let (store, report) = recover(&dir, &dir).unwrap();
+    assert_eq!(report.replayed, 0);
+    assert!(!report.used_checkpoint);
+    // And the recovered store is usable + persistent.
+    let s = store.session().unwrap();
+    s.put(b"fresh", &[(0, b"start")]);
+    s.force_log();
+    assert_eq!(s.get(b"fresh", Some(&[0])).unwrap()[0], b"start");
+    drop(s);
+    let (store2, _) = recover(&dir, &dir).unwrap();
+    let s2 = store2.session().unwrap();
+    assert_eq!(s2.get(b"fresh", Some(&[0])).unwrap()[0], b"start");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn appended_junk_after_valid_records() {
+    let dir = tmpdir("junk");
+    build_store(&dir, 1_000);
+    let log = &log_paths(&dir)[0];
+    let mut f = OpenOptions::new().append(true).open(log).unwrap();
+    f.write_all(&[0xde, 0xad, 0xbe, 0xef, 0x01, 0x02]).unwrap();
+    drop(f);
+    let (store, report) = recover(&dir, &dir).unwrap();
+    assert!(report.replayed >= 1_000);
+    let s = store.session().unwrap();
+    assert_eq!(s.get(b"key000999", Some(&[0])).unwrap()[0], 999u32.to_le_bytes());
+    let _ = std::fs::remove_dir_all(&dir);
+}

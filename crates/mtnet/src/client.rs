@@ -1,0 +1,142 @@
+//! Client library with batched, pipelined queries.
+//!
+//! §7 of the paper: "Batched query support is vital on these benchmarks."
+//! The client accumulates requests into a batch, sends them in one write,
+//! and reads the positionally-matched responses. `Pipeline` keeps several
+//! batches in flight to hide round-trip latency, the way the paper's
+//! client aggregators drive the server.
+
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{frame_batch, read_batch, Request, Response};
+
+/// A synchronous connection to a Masstree server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    pending: Vec<u8>,
+    pending_count: usize,
+    /// Batches in flight (their request counts, FIFO).
+    in_flight: VecDeque<usize>,
+}
+
+impl Client {
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let conn = TcpStream::connect(addr)?;
+        conn.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::with_capacity(1 << 20, conn.try_clone()?),
+            writer: BufWriter::with_capacity(1 << 20, conn),
+            pending: Vec::with_capacity(1 << 16),
+            pending_count: 0,
+            in_flight: VecDeque::new(),
+        })
+    }
+
+    /// Queues a request into the current batch (no I/O yet).
+    pub fn queue(&mut self, req: &Request) {
+        req.encode(&mut self.pending);
+        self.pending_count += 1;
+    }
+
+    /// Sends the current batch without waiting for its responses
+    /// (pipelining). Returns the number of requests sent.
+    pub fn send_batch(&mut self) -> std::io::Result<usize> {
+        if self.pending_count == 0 {
+            return Ok(0);
+        }
+        let framed = frame_batch(self.pending_count, &self.pending);
+        self.writer.write_all(&framed)?;
+        self.writer.flush()?;
+        self.in_flight.push_back(self.pending_count);
+        let n = self.pending_count;
+        self.pending.clear();
+        self.pending_count = 0;
+        Ok(n)
+    }
+
+    /// Receives the oldest in-flight batch's responses.
+    pub fn recv_batch(&mut self) -> std::io::Result<Vec<Response>> {
+        let expected = self
+            .in_flight
+            .pop_front()
+            .ok_or_else(|| std::io::Error::other("no batch in flight"))?;
+        let Some((count, body)) = read_batch(&mut self.reader)? else {
+            return Err(std::io::Error::other("server closed connection"));
+        };
+        if count as usize != expected {
+            return Err(std::io::Error::other("response count mismatch"));
+        }
+        let mut p = &body[..];
+        let mut out = Vec::with_capacity(expected);
+        for _ in 0..expected {
+            out.push(
+                Response::decode(&mut p)
+                    .ok_or_else(|| std::io::Error::other("malformed response"))?,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Number of batches currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Sends the current batch and waits for its responses.
+    pub fn execute_batch(&mut self) -> std::io::Result<Vec<Response>> {
+        self.send_batch()?;
+        self.recv_batch()
+    }
+
+    // ---- convenience single-operation wrappers ----
+
+    pub fn get(&mut self, key: &[u8], cols: Option<Vec<u16>>) -> std::io::Result<Option<Vec<Vec<u8>>>> {
+        self.queue(&Request::Get {
+            key: key.to_vec(),
+            cols,
+        });
+        match self.execute_batch()?.pop() {
+            Some(Response::Value(v)) => Ok(v),
+            _ => Err(std::io::Error::other("unexpected response")),
+        }
+    }
+
+    pub fn put(&mut self, key: &[u8], cols: Vec<(u16, Vec<u8>)>) -> std::io::Result<u64> {
+        self.queue(&Request::Put {
+            key: key.to_vec(),
+            cols,
+        });
+        match self.execute_batch()?.pop() {
+            Some(Response::PutOk(v)) => Ok(v),
+            _ => Err(std::io::Error::other("unexpected response")),
+        }
+    }
+
+    pub fn remove(&mut self, key: &[u8]) -> std::io::Result<bool> {
+        self.queue(&Request::Remove { key: key.to_vec() });
+        match self.execute_batch()?.pop() {
+            Some(Response::RemoveOk(e)) => Ok(e),
+            _ => Err(std::io::Error::other("unexpected response")),
+        }
+    }
+
+    pub fn scan(
+        &mut self,
+        key: &[u8],
+        count: u32,
+        cols: Option<Vec<u16>>,
+    ) -> std::io::Result<Vec<(Vec<u8>, Vec<Vec<u8>>)>> {
+        self.queue(&Request::Scan {
+            key: key.to_vec(),
+            count,
+            cols,
+        });
+        match self.execute_batch()?.pop() {
+            Some(Response::Rows(rows)) => Ok(rows),
+            _ => Err(std::io::Error::other("unexpected response")),
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! # mtnet — network front end for the Masstree store
+//!
+//! A framed binary protocol with batched, pipelined queries (§3, §5, §7
+//! of the paper), a threaded TCP server giving each connection its own
+//! store session (and so its own log), and a client library.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use proto::{Request, Response};
+pub use server::{Backend, ConnState, Server};

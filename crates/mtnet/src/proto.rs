@@ -1,0 +1,347 @@
+//! Wire protocol for the Masstree server (§3 of the paper).
+//!
+//! "A single client message can include many queries": requests travel in
+//! length-prefixed **batches**, and the client library pipelines batches,
+//! which §7 shows is vital for small-operation throughput. All integers
+//! little-endian.
+//!
+//! ```text
+//! batch  := u32 byte-length, u32 count, message*
+//! get    := 0x01, key, colset
+//! put    := 0x02, key, u16 n, (u16 col, bytes)*
+//! remove := 0x03, key
+//! scan   := 0x04, key, u32 count, colset
+//! key    := u32 len, bytes        colset := u16 n (0xffff = all), u16*
+//! ```
+
+/// A client request (one query within a batch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `get_c(k)`: fetch the listed columns (`None` = whole value).
+    Get {
+        key: Vec<u8>,
+        cols: Option<Vec<u16>>,
+    },
+    /// `put_c(k, v)`: atomically set the listed columns.
+    Put {
+        key: Vec<u8>,
+        cols: Vec<(u16, Vec<u8>)>,
+    },
+    /// `remove(k)`.
+    Remove { key: Vec<u8> },
+    /// `getrange_c(k, n)`.
+    Scan {
+        key: Vec<u8>,
+        count: u32,
+        cols: Option<Vec<u16>>,
+    },
+}
+
+/// A server response (positionally matched to the request batch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Get result: `None` = key absent.
+    Value(Option<Vec<Vec<u8>>>),
+    /// Put result: the value version assigned.
+    PutOk(u64),
+    /// Remove result: whether the key existed.
+    RemoveOk(bool),
+    /// Scan result rows.
+    Rows(Vec<(Vec<u8>, Vec<Vec<u8>>)>),
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn get_bytes(p: &mut &[u8]) -> Option<Vec<u8>> {
+    let len = u32::from_le_bytes(p.get(..4)?.try_into().ok()?) as usize;
+    *p = &p[4..];
+    let b = p.get(..len)?.to_vec();
+    *p = &p[len..];
+    Some(b)
+}
+
+fn put_colset(out: &mut Vec<u8>, cols: &Option<Vec<u16>>) {
+    match cols {
+        None => out.extend_from_slice(&0xffffu16.to_le_bytes()),
+        Some(ids) => {
+            out.extend_from_slice(&(ids.len() as u16).to_le_bytes());
+            for id in ids {
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+    }
+}
+
+fn get_colset(p: &mut &[u8]) -> Option<Option<Vec<u16>>> {
+    let n = u16::from_le_bytes(p.get(..2)?.try_into().ok()?);
+    *p = &p[2..];
+    if n == 0xffff {
+        return Some(None);
+    }
+    let mut ids = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        ids.push(u16::from_le_bytes(p.get(..2)?.try_into().ok()?));
+        *p = &p[2..];
+    }
+    Some(Some(ids))
+}
+
+impl Request {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Get { key, cols } => {
+                out.push(0x01);
+                put_bytes(out, key);
+                put_colset(out, cols);
+            }
+            Request::Put { key, cols } => {
+                out.push(0x02);
+                put_bytes(out, key);
+                out.extend_from_slice(&(cols.len() as u16).to_le_bytes());
+                for (id, data) in cols {
+                    out.extend_from_slice(&id.to_le_bytes());
+                    put_bytes(out, data);
+                }
+            }
+            Request::Remove { key } => {
+                out.push(0x03);
+                put_bytes(out, key);
+            }
+            Request::Scan { key, count, cols } => {
+                out.push(0x04);
+                put_bytes(out, key);
+                out.extend_from_slice(&count.to_le_bytes());
+                put_colset(out, cols);
+            }
+        }
+    }
+
+    pub fn decode(p: &mut &[u8]) -> Option<Request> {
+        let op = *p.first()?;
+        *p = &p[1..];
+        match op {
+            0x01 => Some(Request::Get {
+                key: get_bytes(p)?,
+                cols: get_colset(p)?,
+            }),
+            0x02 => {
+                let key = get_bytes(p)?;
+                let n = u16::from_le_bytes(p.get(..2)?.try_into().ok()?) as usize;
+                *p = &p[2..];
+                let mut cols = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let id = u16::from_le_bytes(p.get(..2)?.try_into().ok()?);
+                    *p = &p[2..];
+                    cols.push((id, get_bytes(p)?));
+                }
+                Some(Request::Put { key, cols })
+            }
+            0x03 => Some(Request::Remove { key: get_bytes(p)? }),
+            0x04 => {
+                let key = get_bytes(p)?;
+                let count = u32::from_le_bytes(p.get(..4)?.try_into().ok()?);
+                *p = &p[4..];
+                Some(Request::Scan {
+                    key,
+                    count,
+                    cols: get_colset(p)?,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Response {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::Value(None) => out.push(0x80),
+            Response::Value(Some(cols)) => {
+                out.push(0x81);
+                out.extend_from_slice(&(cols.len() as u16).to_le_bytes());
+                for c in cols {
+                    put_bytes(out, c);
+                }
+            }
+            Response::PutOk(version) => {
+                out.push(0x82);
+                out.extend_from_slice(&version.to_le_bytes());
+            }
+            Response::RemoveOk(existed) => {
+                out.push(0x83);
+                out.push(*existed as u8);
+            }
+            Response::Rows(rows) => {
+                out.push(0x84);
+                out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+                for (key, cols) in rows {
+                    put_bytes(out, key);
+                    out.extend_from_slice(&(cols.len() as u16).to_le_bytes());
+                    for c in cols {
+                        put_bytes(out, c);
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn decode(p: &mut &[u8]) -> Option<Response> {
+        let op = *p.first()?;
+        *p = &p[1..];
+        match op {
+            0x80 => Some(Response::Value(None)),
+            0x81 => {
+                let n = u16::from_le_bytes(p.get(..2)?.try_into().ok()?) as usize;
+                *p = &p[2..];
+                let mut cols = Vec::with_capacity(n);
+                for _ in 0..n {
+                    cols.push(get_bytes(p)?);
+                }
+                Some(Response::Value(Some(cols)))
+            }
+            0x82 => {
+                let v = u64::from_le_bytes(p.get(..8)?.try_into().ok()?);
+                *p = &p[8..];
+                Some(Response::PutOk(v))
+            }
+            0x83 => {
+                let e = *p.first()?;
+                *p = &p[1..];
+                Some(Response::RemoveOk(e != 0))
+            }
+            0x84 => {
+                let n = u32::from_le_bytes(p.get(..4)?.try_into().ok()?) as usize;
+                *p = &p[4..];
+                let mut rows = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let key = get_bytes(p)?;
+                    let nc = u16::from_le_bytes(p.get(..2)?.try_into().ok()?) as usize;
+                    *p = &p[2..];
+                    let mut cols = Vec::with_capacity(nc);
+                    for _ in 0..nc {
+                        cols.push(get_bytes(p)?);
+                    }
+                    rows.push((key, cols));
+                }
+                Some(Response::Rows(rows))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Frames a batch of encoded messages: `u32 len, u32 count, body`.
+pub fn frame_batch(count: usize, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + body.len());
+    out.extend_from_slice(&(body.len() as u32 + 4).to_le_bytes());
+    out.extend_from_slice(&(count as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Reads a whole batch frame from a stream; `Ok(None)` on clean EOF.
+pub fn read_batch<R: std::io::Read>(r: &mut R) -> std::io::Result<Option<(u32, Vec<u8>)>> {
+    let mut len4 = [0u8; 4];
+    match r.read_exact(&mut len4) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len4) as usize;
+    if !(4..=256 << 20).contains(&len) {
+        return Err(std::io::Error::other("bad frame length"));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let count = u32::from_le_bytes(body[..4].try_into().unwrap());
+    body.drain(..4);
+    Ok(Some((count, body)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(r: Request) {
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        let mut p = &buf[..];
+        assert_eq!(Request::decode(&mut p), Some(r));
+        assert!(p.is_empty());
+    }
+
+    fn roundtrip_resp(r: Response) {
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        let mut p = &buf[..];
+        assert_eq!(Response::decode(&mut p), Some(r));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(Request::Get {
+            key: b"k".to_vec(),
+            cols: None,
+        });
+        roundtrip_req(Request::Get {
+            key: vec![],
+            cols: Some(vec![0, 3, 9]),
+        });
+        roundtrip_req(Request::Put {
+            key: b"key\0binary".to_vec(),
+            cols: vec![(0, b"a".to_vec()), (7, vec![])],
+        });
+        roundtrip_req(Request::Remove { key: b"gone".to_vec() });
+        roundtrip_req(Request::Scan {
+            key: b"start".to_vec(),
+            count: 100,
+            cols: Some(vec![2]),
+        });
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_resp(Response::Value(None));
+        roundtrip_resp(Response::Value(Some(vec![b"a".to_vec(), vec![]])));
+        roundtrip_resp(Response::PutOk(u64::MAX));
+        roundtrip_resp(Response::RemoveOk(true));
+        roundtrip_resp(Response::Rows(vec![
+            (b"k1".to_vec(), vec![b"v1".to_vec()]),
+            (b"k2".to_vec(), vec![b"v2".to_vec(), b"w2".to_vec()]),
+        ]));
+    }
+
+    #[test]
+    fn batch_framing() {
+        let mut body = Vec::new();
+        Request::Remove { key: b"x".to_vec() }.encode(&mut body);
+        Request::Remove { key: b"y".to_vec() }.encode(&mut body);
+        let framed = frame_batch(2, &body);
+        let mut cursor = std::io::Cursor::new(&framed);
+        let (count, got) = read_batch(&mut cursor).unwrap().unwrap();
+        assert_eq!(count, 2);
+        assert_eq!(got, body);
+        // EOF afterwards.
+        assert!(read_batch(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_decode_fails_cleanly() {
+        let mut buf = Vec::new();
+        Request::Put {
+            key: b"key".to_vec(),
+            cols: vec![(1, b"data".to_vec())],
+        }
+        .encode(&mut buf);
+        for cut in 1..buf.len() {
+            let mut p = &buf[..cut];
+            // Must not panic; may return None or (for tiny prefixes that
+            // happen to parse) a different value — never UB.
+            let _ = Request::decode(&mut p);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The Masstree network server (§5 of the paper).
+//!
+//! The paper uses per-core NIC receive queues; in a container we serve
+//! long-lived TCP connections from few client aggregators — the paper's
+//! own benchmark configuration ("long-lived TCP query connections from
+//! few clients (or client aggregators), a common operating mode that is
+//! equally effective at avoiding network overhead"). One worker thread
+//! per connection, each with its own store [`Session`] (and therefore its
+//! own log, preserving the per-core-log design).
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mtkv::{Session, Store};
+
+use crate::proto::{frame_batch, read_batch, Request, Response};
+
+/// Per-connection request executor. The Masstree store is the primary
+/// implementation; the benchmark harness plugs stand-in systems (hash
+/// stores, partitioned stores) behind the same network stack so §7's
+/// system comparison exercises identical I/O paths.
+pub trait Backend: Send + Sync + 'static {
+    /// Per-connection state (e.g. a store session owning a log).
+    fn connect(&self) -> Box<dyn ConnState>;
+}
+
+/// Connection-scoped executor produced by a [`Backend`].
+pub trait ConnState: Send {
+    fn execute(&mut self, req: Request) -> Response;
+}
+
+/// The default backend: an `mtkv` store; each connection gets a session
+/// (and therefore its own log, preserving the per-core-log design).
+struct StoreBackend(Arc<Store>);
+
+impl Backend for StoreBackend {
+    fn connect(&self) -> Box<dyn ConnState> {
+        let session = self.0.session().expect("open session log");
+        Box::new(session)
+    }
+}
+
+impl ConnState for Session {
+    fn execute(&mut self, req: Request) -> Response {
+        execute(self, req)
+    }
+}
+
+/// A running server; dropping it (or calling [`Server::stop`]) shuts the
+/// listener down.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    ops: Arc<AtomicU64>,
+}
+
+impl Server {
+    /// Starts serving `store` on `addr` (use port 0 for an ephemeral
+    /// port; the bound address is available via [`Server::addr`]).
+    pub fn start(store: Arc<Store>, addr: &str) -> std::io::Result<Server> {
+        Self::start_backend(Arc::new(StoreBackend(store)), addr)
+    }
+
+    /// Starts serving an arbitrary [`Backend`].
+    pub fn start_backend(backend: Arc<dyn Backend>, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let ops = Arc::new(AtomicU64::new(0));
+        let stop2 = Arc::clone(&stop);
+        let ops2 = Arc::clone(&ops);
+        let accept_thread = std::thread::Builder::new()
+            .name("mtnet-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(conn) = conn else { continue };
+                    let state = backend.connect();
+                    let ops3 = Arc::clone(&ops2);
+                    let _ = std::thread::Builder::new()
+                        .name("mtnet-conn".into())
+                        .spawn(move || {
+                            let _ = serve_connection(conn, state, &ops3);
+                        });
+                }
+            })?;
+        Ok(Server {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+            ops,
+        })
+    }
+
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Total operations served (for benchmark harnesses).
+    pub fn ops_served(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting. Existing connections drain when clients close.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Handles one connection: read a batch, execute every query, write the
+/// response batch (one write per batch — the batching §7 shows matters).
+fn serve_connection(
+    conn: TcpStream,
+    mut state: Box<dyn ConnState>,
+    ops: &AtomicU64,
+) -> std::io::Result<()> {
+    conn.set_nodelay(true)?;
+    let mut reader = BufReader::with_capacity(1 << 20, conn.try_clone()?);
+    let mut writer = BufWriter::with_capacity(1 << 20, conn);
+    while let Some((count, body)) = read_batch(&mut reader)? {
+        let mut p = &body[..];
+        let mut out = Vec::with_capacity(body.len());
+        let mut served = 0u64;
+        for _ in 0..count {
+            let Some(req) = Request::decode(&mut p) else {
+                return Err(std::io::Error::other("malformed request"));
+            };
+            let resp = state.execute(req);
+            resp.encode(&mut out);
+            served += 1;
+        }
+        ops.fetch_add(served, Ordering::Relaxed);
+        let framed = frame_batch(count as usize, &out);
+        writer.write_all(&framed)?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Executes one request against a store session.
+pub fn execute(session: &Session, req: Request) -> Response {
+    match req {
+        Request::Get { key, cols } => {
+            let ids: Option<Vec<usize>> =
+                cols.map(|c| c.iter().map(|&i| i as usize).collect());
+            Response::Value(session.get(&key, ids.as_deref()))
+        }
+        Request::Put { key, cols } => {
+            let updates: Vec<(usize, &[u8])> = cols
+                .iter()
+                .map(|(i, d)| (*i as usize, d.as_slice()))
+                .collect();
+            Response::PutOk(session.put(&key, &updates))
+        }
+        Request::Remove { key } => Response::RemoveOk(session.remove(&key)),
+        Request::Scan { key, count, cols } => {
+            let ids: Option<Vec<usize>> =
+                cols.map(|c| c.iter().map(|&i| i as usize).collect());
+            Response::Rows(session.get_range(&key, count as usize, ids.as_deref()))
+        }
+    }
+}

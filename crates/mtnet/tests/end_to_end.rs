@@ -1,0 +1,143 @@
+//! End-to-end network tests: a real server on loopback, clients with
+//! single operations, batches, and pipelined batches.
+
+use mtkv::Store;
+use mtnet::{Client, Request, Response, Server};
+
+fn start_in_memory() -> Server {
+    Server::start(Store::in_memory(), "127.0.0.1:0").unwrap()
+}
+
+#[test]
+fn single_ops() {
+    let server = start_in_memory();
+    let mut c = Client::connect(server.addr()).unwrap();
+    assert_eq!(c.get(b"k", None).unwrap(), None);
+    let v1 = c.put(b"k", vec![(0, b"hello".to_vec()), (1, b"world".to_vec())]).unwrap();
+    assert!(v1 > 0);
+    assert_eq!(
+        c.get(b"k", None).unwrap(),
+        Some(vec![b"hello".to_vec(), b"world".to_vec()])
+    );
+    assert_eq!(c.get(b"k", Some(vec![1])).unwrap(), Some(vec![b"world".to_vec()]));
+    assert!(c.remove(b"k").unwrap());
+    assert!(!c.remove(b"k").unwrap());
+    assert_eq!(c.get(b"k", None).unwrap(), None);
+}
+
+#[test]
+fn batched_queries() {
+    let server = start_in_memory();
+    let mut c = Client::connect(server.addr()).unwrap();
+    for i in 0..100u32 {
+        c.queue(&Request::Put {
+            key: format!("key{i:03}").into_bytes(),
+            cols: vec![(0, i.to_le_bytes().to_vec())],
+        });
+    }
+    let responses = c.execute_batch().unwrap();
+    assert_eq!(responses.len(), 100);
+    assert!(responses.iter().all(|r| matches!(r, Response::PutOk(_))));
+    // Batched gets.
+    for i in 0..100u32 {
+        c.queue(&Request::Get {
+            key: format!("key{i:03}").into_bytes(),
+            cols: Some(vec![0]),
+        });
+    }
+    let responses = c.execute_batch().unwrap();
+    for (i, r) in responses.iter().enumerate() {
+        match r {
+            Response::Value(Some(cols)) => assert_eq!(cols[0], (i as u32).to_le_bytes()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(server.ops_served(), 200);
+}
+
+#[test]
+fn scans_over_network() {
+    let server = start_in_memory();
+    let mut c = Client::connect(server.addr()).unwrap();
+    for i in 0..50u32 {
+        c.put(format!("user{i:04}").as_bytes(), vec![(0, vec![i as u8]), (1, vec![7])])
+            .unwrap();
+    }
+    let rows = c.scan(b"user0010", 5, Some(vec![0])).unwrap();
+    assert_eq!(rows.len(), 5);
+    assert_eq!(rows[0].0, b"user0010");
+    assert_eq!(rows[0].1, vec![vec![10u8]]);
+    assert_eq!(rows[4].0, b"user0014");
+}
+
+#[test]
+fn pipelined_batches() {
+    let server = start_in_memory();
+    let mut c = Client::connect(server.addr()).unwrap();
+    // Keep 4 batches in flight.
+    for b in 0..4u32 {
+        for i in 0..64u32 {
+            c.queue(&Request::Put {
+                key: format!("p{b}k{i}").into_bytes(),
+                cols: vec![(0, b"x".to_vec())],
+            });
+        }
+        c.send_batch().unwrap();
+    }
+    assert_eq!(c.in_flight(), 4);
+    for _ in 0..4 {
+        let rs = c.recv_batch().unwrap();
+        assert_eq!(rs.len(), 64);
+    }
+    assert_eq!(c.in_flight(), 0);
+}
+
+#[test]
+fn many_concurrent_clients() {
+    let server = start_in_memory();
+    let addr = server.addr();
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for i in 0..500u32 {
+                    c.put(format!("t{t}i{i}").as_bytes(), vec![(0, i.to_le_bytes().to_vec())])
+                        .unwrap();
+                }
+                for i in 0..500u32 {
+                    let got = c.get(format!("t{t}i{i}").as_bytes(), Some(vec![0])).unwrap();
+                    assert_eq!(got.unwrap()[0], i.to_le_bytes());
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn persistent_server_recovers() {
+    let dir = std::env::temp_dir().join(format!("mtnet-rec-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    {
+        let store = Store::persistent(&dir).unwrap();
+        let server = Server::start(store, "127.0.0.1:0").unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        for i in 0..200u32 {
+            c.put(format!("dur{i:04}").as_bytes(), vec![(0, i.to_le_bytes().to_vec())])
+                .unwrap();
+        }
+        // Drop client first so the connection session flushes its log.
+        drop(c);
+    }
+    // Allow connection threads to drop their sessions (forcing logs).
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let (store, report) = mtkv::recover(&dir, &dir).unwrap();
+    assert!(report.replayed >= 190, "most records on disk: {report:?}");
+    let s = store.session().unwrap();
+    assert_eq!(s.get(b"dur0000", Some(&[0])).unwrap()[0], 0u32.to_le_bytes());
+    assert_eq!(s.get(b"dur0199", Some(&[0])).unwrap()[0], 199u32.to_le_bytes());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

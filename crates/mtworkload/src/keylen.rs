@@ -1,0 +1,80 @@
+//! Shared-prefix key-length workloads (Figure 9 of the paper).
+//!
+//! "The X axis gives each test's key length in bytes, but only the final
+//! 8 bytes vary uniformly. A 0-to-40-byte prefix is the same for every
+//! key." These keys make trees that store whole keys inline (or pointers
+//! to them) pay a cache miss per comparison, while Masstree's trie
+//! structure skips the shared prefix in O(1) per layer.
+
+use crate::Rng64;
+
+/// Generates `total_len`-byte keys: a constant prefix followed by 8
+/// uniformly random decimal-ish bytes.
+#[derive(Clone, Debug)]
+pub struct PrefixedKeys {
+    prefix: Vec<u8>,
+    rng: Rng64,
+    keyspace: u64,
+}
+
+impl PrefixedKeys {
+    /// `total_len` must be at least 8 (the varying tail).
+    pub fn new(total_len: usize, keyspace: u64, seed: u64) -> Self {
+        assert!(total_len >= 8, "need room for the varying 8-byte tail");
+        let prefix: Vec<u8> = (0..total_len - 8).map(|i| b'A' + (i % 26) as u8).collect();
+        PrefixedKeys {
+            prefix,
+            rng: Rng64::new(seed),
+            keyspace: keyspace.max(1),
+        }
+    }
+
+    /// Key length produced by this generator.
+    pub fn key_len(&self) -> usize {
+        self.prefix.len() + 8
+    }
+
+    /// Renders the key for draw `v` (zero-padded 8-digit decimal tail).
+    pub fn key_for(&self, v: u64) -> Vec<u8> {
+        let mut k = self.prefix.clone();
+        k.extend_from_slice(format!("{:08}", v % 100_000_000).as_bytes());
+        k
+    }
+
+    pub fn next_key(&mut self) -> Vec<u8> {
+        let v = self.rng.below(self.keyspace);
+        self.key_for(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_match() {
+        for len in [8usize, 16, 24, 32, 40, 48] {
+            let mut g = PrefixedKeys::new(len, 1 << 20, 1);
+            let k = g.next_key();
+            assert_eq!(k.len(), len);
+            assert_eq!(g.key_len(), len);
+        }
+    }
+
+    #[test]
+    fn prefix_is_shared_tail_varies() {
+        let mut g = PrefixedKeys::new(24, 1 << 20, 2);
+        let a = g.next_key();
+        let b = g.next_key();
+        assert_eq!(a[..16], b[..16], "prefix shared");
+        assert_ne!(a[16..], b[16..], "tails differ whp");
+    }
+
+    #[test]
+    fn eight_byte_keys_have_no_prefix() {
+        let mut g = PrefixedKeys::new(8, 100, 3);
+        let k = g.next_key();
+        assert_eq!(k.len(), 8);
+        assert!(k.iter().all(|b| b.is_ascii_digit()));
+    }
+}

@@ -1,0 +1,198 @@
+//! MYCSB: the paper's modified YCSB (§7).
+//!
+//! Differences from stock YCSB, per the paper: small keys and values
+//! (10 columns × 4 bytes), columns identified by number instead of name,
+//! Zipfian key popularity, puts modify existing keys (no inserts, so the
+//! popularity distribution is preserved across client processes), and
+//! MYCSB-E returns a single column per scanned key.
+//!
+//! Workload mixes:
+//! * **A** — 50% get, 50% put
+//! * **B** — 95% get, 5% put
+//! * **C** — 100% get
+//! * **E** — 95% getrange (1–100 keys, uniform), 5% put
+
+use crate::zipf::Zipfian;
+use crate::Rng64;
+
+/// Number of columns per value in MYCSB.
+pub const COLUMNS: usize = 10;
+/// Bytes per column.
+pub const COLUMN_LEN: usize = 4;
+/// 5-to-24-byte keys (paper's Figure 13 header).
+pub const KEY_PREFIX: &[u8] = b"user";
+
+/// The four benchmark mixes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mix {
+    A,
+    B,
+    C,
+    E,
+}
+
+impl Mix {
+    /// Fraction of operations that are reads (gets or scans).
+    pub fn read_fraction(self) -> f64 {
+        match self {
+            Mix::A => 0.5,
+            Mix::B | Mix::E => 0.95,
+            Mix::C => 1.0,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Mix::A => "MYCSB-A",
+            Mix::B => "MYCSB-B",
+            Mix::C => "MYCSB-C",
+            Mix::E => "MYCSB-E",
+        }
+    }
+}
+
+/// One benchmark operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MycsbOp {
+    /// Read all columns of the key (A/B/C gets read 10 columns).
+    Get { key: Vec<u8> },
+    /// Overwrite one 4-byte column.
+    Put {
+        key: Vec<u8>,
+        column: usize,
+        data: [u8; COLUMN_LEN],
+    },
+    /// Read one column of up to `count` adjacent keys starting at `key`.
+    GetRange { key: Vec<u8>, count: usize, column: usize },
+}
+
+/// A reproducible MYCSB operation stream.
+#[derive(Clone, Debug)]
+pub struct MycsbWorkload {
+    mix: Mix,
+    zipf: Zipfian,
+    rng: Rng64,
+}
+
+impl MycsbWorkload {
+    /// `records` is the number of pre-loaded keys (the paper uses 20M).
+    pub fn new(mix: Mix, records: u64, seed: u64) -> Self {
+        MycsbWorkload {
+            mix,
+            zipf: Zipfian::new(records, Zipfian::YCSB_THETA),
+            rng: Rng64::new(seed),
+        }
+    }
+
+    pub fn mix(&self) -> Mix {
+        self.mix
+    }
+
+    /// The key for record `i` (5-to-24-byte keys: "user" + decimal id).
+    pub fn record_key(i: u64) -> Vec<u8> {
+        let mut k = KEY_PREFIX.to_vec();
+        k.extend_from_slice(i.to_string().as_bytes());
+        k
+    }
+
+    /// The initial value of every column at load time.
+    pub fn initial_columns(i: u64) -> Vec<[u8; COLUMN_LEN]> {
+        (0..COLUMNS as u64)
+            .map(|c| ((i ^ (c << 56)) as u32).to_le_bytes())
+            .collect()
+    }
+
+    /// Draws a Zipfian-popular record id (scattered over the keyspace).
+    fn popular_record(&mut self) -> u64 {
+        let rank = self.zipf.sample(&mut self.rng);
+        self.zipf.scatter(rank)
+    }
+
+    /// The next operation in the stream.
+    pub fn next_op(&mut self) -> MycsbOp {
+        let r = self.rng.f64();
+        let read = r < self.mix.read_fraction();
+        match (self.mix, read) {
+            (Mix::E, true) => {
+                let key = Self::record_key(self.popular_record());
+                // n uniform in 1..=100 (Figure 13 caption).
+                let count = 1 + self.rng.below(100) as usize;
+                let column = self.rng.below(COLUMNS as u64) as usize;
+                MycsbOp::GetRange { key, count, column }
+            }
+            (_, true) => MycsbOp::Get {
+                key: Self::record_key(self.popular_record()),
+            },
+            (_, false) => {
+                let key = Self::record_key(self.popular_record());
+                let column = self.rng.below(COLUMNS as u64) as usize;
+                let data = (self.rng.next_u64() as u32).to_le_bytes();
+                MycsbOp::Put { key, column, data }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_c_is_all_gets() {
+        let mut w = MycsbWorkload::new(Mix::C, 10_000, 1);
+        for _ in 0..10_000 {
+            assert!(matches!(w.next_op(), MycsbOp::Get { .. }));
+        }
+    }
+
+    #[test]
+    fn mix_a_is_half_puts() {
+        let mut w = MycsbWorkload::new(Mix::A, 10_000, 2);
+        let mut puts = 0;
+        const N: usize = 100_000;
+        for _ in 0..N {
+            if matches!(w.next_op(), MycsbOp::Put { .. }) {
+                puts += 1;
+            }
+        }
+        let frac = puts as f64 / N as f64;
+        assert!((0.48..0.52).contains(&frac), "put fraction {frac}");
+    }
+
+    #[test]
+    fn mix_e_scans_bounded() {
+        let mut w = MycsbWorkload::new(Mix::E, 10_000, 3);
+        let mut scans = 0;
+        for _ in 0..10_000 {
+            if let MycsbOp::GetRange { count, column, .. } = w.next_op() {
+                assert!((1..=100).contains(&count));
+                assert!(column < COLUMNS);
+                scans += 1;
+            }
+        }
+        assert!(scans > 9_000, "{scans} scans");
+    }
+
+    #[test]
+    fn record_keys_are_5_to_24_bytes() {
+        for i in [0u64, 9, 999_999, 19_999_999] {
+            let k = MycsbWorkload::record_key(i);
+            assert!((5..=24).contains(&k.len()), "{k:?}");
+            assert!(k.starts_with(b"user"));
+        }
+    }
+
+    #[test]
+    fn popularity_is_skewed_after_scatter() {
+        let mut w = MycsbWorkload::new(Mix::C, 1000, 4);
+        let mut counts = std::collections::HashMap::<Vec<u8>, u64>::new();
+        for _ in 0..100_000 {
+            if let MycsbOp::Get { key } = w.next_op() {
+                *counts.entry(key).or_default() += 1;
+            }
+        }
+        let max = counts.values().max().copied().unwrap();
+        let avg = 100_000 / counts.len() as u64;
+        assert!(max > 10 * avg, "hot key {max}x vs avg {avg}");
+    }
+}

@@ -1,0 +1,89 @@
+//! The skewed-partition request router of §6.6.
+//!
+//! Following Hua et al., skew is modelled with one parameter δ: with 16
+//! partitions, 15 receive equal request rates and the last receives
+//! (δ+1)× more. At δ=9 the hot partition handles 40% of all requests and
+//! the others 4% each. Clients preserve the skew by drawing the partition
+//! first, then a key within it.
+
+use crate::Rng64;
+
+/// Routes requests over `parts` partitions with skew δ on the last one.
+#[derive(Clone, Debug)]
+pub struct SkewRouter {
+    parts: usize,
+    delta: u64,
+    rng: Rng64,
+}
+
+impl SkewRouter {
+    pub fn new(parts: usize, delta: u64, seed: u64) -> Self {
+        assert!(parts >= 1);
+        SkewRouter {
+            parts,
+            delta,
+            rng: Rng64::new(seed),
+        }
+    }
+
+    /// Total request weight (15 × 1 + (δ+1) for 16 partitions).
+    fn total_weight(&self) -> u64 {
+        (self.parts as u64 - 1) + (self.delta + 1)
+    }
+
+    /// The fraction of requests the hot partition receives.
+    pub fn hot_fraction(&self) -> f64 {
+        (self.delta + 1) as f64 / self.total_weight() as f64
+    }
+
+    /// Draws the partition for the next request.
+    #[inline]
+    pub fn next_partition(&mut self) -> usize {
+        let w = self.rng.below(self.total_weight());
+        if w < self.parts as u64 - 1 {
+            w as usize
+        } else {
+            self.parts - 1
+        }
+    }
+
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_delta_zero() {
+        let mut r = SkewRouter::new(16, 0, 1);
+        let mut counts = [0u64; 16];
+        const N: u64 = 160_000;
+        for _ in 0..N {
+            counts[r.next_partition()] += 1;
+        }
+        for c in counts {
+            let frac = c as f64 / N as f64;
+            assert!((0.05..0.08).contains(&frac), "{frac}");
+        }
+    }
+
+    #[test]
+    fn delta_nine_gives_forty_percent() {
+        // §6.6: "at δ = 9, one partition handles 40% of the requests and
+        // each other partition handles 4%".
+        let mut r = SkewRouter::new(16, 9, 2);
+        assert!((r.hot_fraction() - 0.4).abs() < 1e-9);
+        let mut counts = [0u64; 16];
+        const N: u64 = 1_000_000;
+        for _ in 0..N {
+            counts[r.next_partition()] += 1;
+        }
+        let hot = counts[15] as f64 / N as f64;
+        assert!((0.39..0.41).contains(&hot), "hot {hot}");
+        let cold = counts[0] as f64 / N as f64;
+        assert!((0.035..0.045).contains(&cold), "cold {cold}");
+    }
+}

@@ -1,0 +1,98 @@
+//! An interactive client for `kv_server`: issues gets, puts, removes and
+//! scans over the batched binary protocol.
+//!
+//! ```sh
+//! cargo run --release --example kv_client -- 127.0.0.1:7700 put greeting hello
+//! cargo run --release --example kv_client -- 127.0.0.1:7700 get greeting
+//! cargo run --release --example kv_client -- 127.0.0.1:7700 scan "" 10
+//! cargo run --release --example kv_client -- 127.0.0.1:7700 bench 100000
+//! ```
+
+use mtnet::{Client, Request, Response};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let addr = args.get(1).cloned().unwrap_or_else(|| "127.0.0.1:7700".into());
+    let cmd = args.get(2).map(String::as_str).unwrap_or("help");
+    let mut client = Client::connect(&addr).expect("connect");
+
+    match cmd {
+        "get" => {
+            let key = args[3].as_bytes();
+            match client.get(key, None).unwrap() {
+                None => println!("(not found)"),
+                Some(cols) => {
+                    for (i, c) in cols.iter().enumerate() {
+                        println!("col{}: {}", i, String::from_utf8_lossy(c));
+                    }
+                }
+            }
+        }
+        "put" => {
+            let key = args[3].as_bytes();
+            let val = args[4].as_bytes();
+            let version = client.put(key, vec![(0, val.to_vec())]).unwrap();
+            println!("ok (version {version})");
+        }
+        "remove" => {
+            let existed = client.remove(args[3].as_bytes()).unwrap();
+            println!("{}", if existed { "removed" } else { "(not found)" });
+        }
+        "scan" => {
+            let start = args[3].as_bytes();
+            let n: u32 = args.get(4).and_then(|v| v.parse().ok()).unwrap_or(10);
+            for (k, cols) in client.scan(start, n, Some(vec![0])).unwrap() {
+                println!(
+                    "{} => {}",
+                    String::from_utf8_lossy(&k),
+                    String::from_utf8_lossy(&cols[0])
+                );
+            }
+        }
+        "bench" => {
+            // Pipelined batched puts + gets: the paper's §7 client style.
+            let n: u64 = args.get(3).and_then(|v| v.parse().ok()).unwrap_or(100_000);
+            let t0 = std::time::Instant::now();
+            for i in 0..n {
+                client.queue(&Request::Put {
+                    key: format!("bench{i:010}").into_bytes(),
+                    cols: vec![(0, i.to_le_bytes().to_vec())],
+                });
+                if i % 256 == 255 {
+                    client.execute_batch().unwrap();
+                }
+            }
+            client.execute_batch().unwrap();
+            let put_t = t0.elapsed().as_secs_f64();
+            let t0 = std::time::Instant::now();
+            let mut hits = 0u64;
+            for i in 0..n {
+                client.queue(&Request::Get {
+                    key: format!("bench{i:010}").into_bytes(),
+                    cols: Some(vec![0]),
+                });
+                if i % 256 == 255 {
+                    for r in client.execute_batch().unwrap() {
+                        if matches!(r, Response::Value(Some(_))) {
+                            hits += 1;
+                        }
+                    }
+                }
+            }
+            for r in client.execute_batch().unwrap() {
+                if matches!(r, Response::Value(Some(_))) {
+                    hits += 1;
+                }
+            }
+            let get_t = t0.elapsed().as_secs_f64();
+            println!(
+                "puts: {:.2} Mreq/s   gets: {:.2} Mreq/s   ({hits}/{n} hits)",
+                n as f64 / put_t / 1e6,
+                n as f64 / get_t / 1e6
+            );
+        }
+        _ => {
+            eprintln!("usage: kv_client <addr> get|put|remove|scan|bench ...");
+        }
+    }
+}

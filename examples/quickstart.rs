@@ -1,0 +1,55 @@
+//! Quickstart: the Masstree index as an embedded concurrent map.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use masstree::Masstree;
+
+fn main() {
+    // A Masstree maps arbitrary byte keys to any Send + Sync value type.
+    let tree: Arc<Masstree<String>> = Arc::new(Masstree::new());
+
+    // Operations take an epoch guard: values you read stay valid (even
+    // if concurrently removed) until the guard drops.
+    let guard = masstree::pin();
+    tree.put(b"greeting", "hello world".to_string(), &guard);
+    tree.put(b"answer", "42".to_string(), &guard);
+    assert_eq!(tree.get(b"greeting", &guard).map(String::as_str), Some("hello world"));
+
+    // Writers lock only the nodes they touch; readers never lock at all.
+    // Hammer the tree from 8 threads:
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            let tree = Arc::clone(&tree);
+            s.spawn(move || {
+                let guard = masstree::pin();
+                for i in 0..10_000 {
+                    let key = format!("thread{t}/item{i:05}");
+                    tree.put(key.as_bytes(), format!("value-{t}-{i}"), &guard);
+                }
+            });
+        }
+    });
+
+    let guard = masstree::pin();
+    println!("keys stored: {}", tree.count_keys(&guard));
+
+    // Range scans in lexicographic order — this is what a hash table
+    // can't do. All of thread 3's items, in order:
+    let hits = tree.get_range(b"thread3/", 5, &guard);
+    for (key, value) in &hits {
+        println!("{} => {}", String::from_utf8_lossy(key), value);
+    }
+    assert_eq!(hits.len(), 5);
+    assert!(hits.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+
+    // Removal returns the old value (still readable under the guard).
+    let old = tree.remove(b"greeting", &guard);
+    assert_eq!(old.map(String::as_str), Some("hello world"));
+    assert!(tree.get(b"greeting", &guard).is_none());
+
+    println!("quickstart OK");
+}

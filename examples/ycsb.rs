@@ -1,0 +1,84 @@
+//! A self-contained MYCSB driver (the paper's modified YCSB, §7) against
+//! the full storage system — multi-column values and per-worker logging —
+//! without the network, so you can see raw store throughput per mix.
+//!
+//! ```sh
+//! cargo run --release --example ycsb [records] [seconds]
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mtkv::Store;
+use mtworkload::{Mix, MycsbOp, MycsbWorkload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let records: u64 = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(200_000);
+    let secs: f64 = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(2.0);
+    let threads = std::thread::available_parallelism().map_or(8, |n| n.get()).min(16);
+
+    let dir = std::env::temp_dir().join(format!("ycsb-example-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = Store::persistent(&dir).unwrap();
+
+    // Load phase: `records` rows of 10 × 4-byte columns.
+    println!("loading {records} records with {threads} workers ...");
+    std::thread::scope(|s| {
+        for t in 0..threads as u64 {
+            let store = Arc::clone(&store);
+            s.spawn(move || {
+                let session = store.session().unwrap();
+                let per = records / threads as u64;
+                for i in t * per..((t + 1) * per).max(records.min((t + 1) * per)) {
+                    let cols = MycsbWorkload::initial_columns(i);
+                    let updates: Vec<(usize, &[u8])> =
+                        cols.iter().enumerate().map(|(c, d)| (c, &d[..])).collect();
+                    session.put(&MycsbWorkload::record_key(i), &updates);
+                }
+            });
+        }
+    });
+
+    for mix in [Mix::A, Mix::B, Mix::C, Mix::E] {
+        let stop = AtomicBool::new(false);
+        let total = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..threads as u64 {
+                let store = &store;
+                let stop = &stop;
+                let total = &total;
+                s.spawn(move || {
+                    let session = store.session().unwrap();
+                    let mut wl = MycsbWorkload::new(mix, records, 7 + t);
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        match wl.next_op() {
+                            MycsbOp::Get { key } => {
+                                std::hint::black_box(session.get(&key, None));
+                            }
+                            MycsbOp::Put { key, column, data } => {
+                                session.put(&key, &[(column, &data)]);
+                            }
+                            MycsbOp::GetRange { key, count, column } => {
+                                std::hint::black_box(
+                                    session.get_range(&key, count, Some(&[column])),
+                                );
+                            }
+                        }
+                        n += 1;
+                    }
+                    total.fetch_add(n, Ordering::Relaxed);
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+            stop.store(true, Ordering::Relaxed);
+        });
+        println!(
+            "{:<8} {:>8.2} Mops/s",
+            mix.name(),
+            total.load(Ordering::Relaxed) as f64 / secs / 1e6
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

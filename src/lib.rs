@@ -1,0 +1,11 @@
+//! Umbrella crate for the Masstree reproduction workspace.
+//!
+//! Re-exports the member crates so that examples and integration tests can
+//! use a single dependency. See `README.md` for an overview and `DESIGN.md`
+//! for the system inventory.
+
+pub use baselines;
+pub use masstree;
+pub use mtkv;
+pub use mtnet;
+pub use mtworkload;
