@@ -163,12 +163,7 @@ impl BinaryTree {
                 if fresh.is_null() {
                     fresh = self.alloc_node(key, vptr);
                 }
-                match link.compare_exchange(
-                    cur,
-                    fresh,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                ) {
+                match link.compare_exchange(cur, fresh, Ordering::AcqRel, Ordering::Acquire) {
                     Ok(_) => return,
                     Err(_) => continue, // lost the race; re-read this link
                 }
@@ -255,7 +250,10 @@ mod tests {
     fn all_variants() -> Vec<BinaryTree> {
         vec![
             BinaryTree::new(Compare::Bytes, NodeAlloc::Global),
-            BinaryTree::new(Compare::Bytes, NodeAlloc::Arena(Arc::new(Arena::new_flow()))),
+            BinaryTree::new(
+                Compare::Bytes,
+                NodeAlloc::Arena(Arc::new(Arena::new_flow())),
+            ),
             BinaryTree::new(
                 Compare::IntPrefix,
                 NodeAlloc::Arena(Arc::new(Arena::new_superpage())),

@@ -8,7 +8,7 @@
 //! internal nodes are always full, because a node only grows children
 //! after its three key slots fill.
 
-use std::sync::atomic::{AtomicPtr, AtomicU8, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicU8, Ordering};
 
 use crossbeam::epoch::Guard;
 use masstree::key::slice_at;

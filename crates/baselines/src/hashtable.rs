@@ -134,9 +134,7 @@ impl HashTable {
                         // SAFETY: old value unreachable; epoch protects
                         // in-flight readers.
                         unsafe {
-                            guard.defer_unchecked(move || {
-                                drop(Box::from_raw(oldp as *mut u64))
-                            });
+                            guard.defer_unchecked(move || drop(Box::from_raw(oldp as *mut u64)));
                         }
                     }
                     return;
@@ -150,7 +148,8 @@ impl HashTable {
                 let boxed: Box<[u8]> = key.into();
                 let len = boxed.len() as u64;
                 s.key_len.store(len, Ordering::Release);
-                s.key.store(Box::into_raw(boxed).cast::<u8>(), Ordering::Release);
+                s.key
+                    .store(Box::into_raw(boxed).cast::<u8>(), Ordering::Release);
                 s.value.store(vptr, Ordering::Release);
                 return;
             }

@@ -93,7 +93,10 @@ impl FullKey {
         // SAFETY: reconstructing the boxed slice allocated in `alloc`.
         unsafe {
             let len = u32::from_le_bytes(*p.cast::<[u8; 4]>()) as usize;
-            drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(p, len + 4)));
+            drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                p,
+                len + 4,
+            )));
         }
     }
 }
@@ -205,6 +208,7 @@ impl OccBtree {
 
     /// Compares a lookup key (pre-sliced) against leaf slot contents.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     fn cmp_slot(
         &self,
         key: &[u8],
@@ -323,7 +327,14 @@ impl OccBtree {
 
     /// Searches a leaf's live entries. Returns `Ok(slot)` or the sorted
     /// insertion position.
-    fn search_leaf(&self, l: &Leaf, perm: Permutation, key: &[u8], ik: u64, ik2: u64) -> Result<usize, usize> {
+    fn search_leaf(
+        &self,
+        l: &Leaf,
+        perm: Permutation,
+        key: &[u8],
+        ik: u64,
+        ik2: u64,
+    ) -> Result<usize, usize> {
         for pos in 0..perm.nkeys() {
             let slot = perm.get(pos);
             match self.cmp_slot(
@@ -440,7 +451,15 @@ impl OccBtree {
         }
     }
 
-    fn write_leaf_slot(&self, l: &Leaf, slot: usize, key: &[u8], ik: u64, ik2: u64, vptr: *mut u64) {
+    fn write_leaf_slot(
+        &self,
+        l: &Leaf,
+        slot: usize,
+        key: &[u8],
+        ik: u64,
+        ik2: u64,
+        vptr: *mut u64,
+    ) {
         l.ikey[slot].store(ik, Ordering::Release);
         l.ikey2[slot].store(ik2, Ordering::Release);
         l.klen[slot].store(key.len() as u32, Ordering::Release);
@@ -523,7 +542,8 @@ impl OccBtree {
                 self.slot_key_bytes(l, e)
             }
         };
-        r.lowkey.store(FullKey::alloc(&lowkey_bytes), Ordering::Release);
+        r.lowkey
+            .store(FullKey::alloc(&lowkey_bytes), Ordering::Release);
         for (j, &e) in order[split_at..].iter().enumerate() {
             if e == NEW {
                 self.write_leaf_slot(r, j, key, ik, ik2, vptr);
@@ -535,8 +555,10 @@ impl OccBtree {
                 r.value[j].store(l.value[e].load(Ordering::Relaxed), Ordering::Relaxed);
             }
         }
-        r.permutation
-            .store(Permutation::identity(WIDTH + 1 - split_at).raw(), Ordering::Release);
+        r.permutation.store(
+            Permutation::identity(WIDTH + 1 - split_at).raw(),
+            Ordering::Release,
+        );
 
         // Left side.
         if self.cfg.permuter {
@@ -562,15 +584,16 @@ impl OccBtree {
                 self.write_leaf_slot(l, freed, key, ik, ik2, vptr);
                 left_slots[ipos] = freed;
             }
-            l.permutation
-                .store(Permutation::from_slots(&left_slots[..nl]).raw(), Ordering::Release);
+            l.permutation.store(
+                Permutation::from_slots(&left_slots[..nl]).raw(),
+                Ordering::Release,
+            );
         } else {
             // Non-permuter leaves keep slots physically sorted (their
             // insert path shifts arrays), so rebuild the kept entries into
             // slots 0..nl. The SPLITTING mark makes the rearrangement
             // safe: concurrent readers retry from the root.
-            let mut tmp: Vec<(u64, u64, u32, *mut u8, *mut u64)> =
-                Vec::with_capacity(split_at);
+            let mut tmp: Vec<(u64, u64, u32, *mut u8, *mut u64)> = Vec::with_capacity(split_at);
             let mut new_at = None;
             for &e in order[..split_at].iter() {
                 if e == NEW {
@@ -605,7 +628,8 @@ impl OccBtree {
         }
 
         // Link the sibling (no prev pointers: this baseline never removes).
-        r.next.store(l.next.load(Ordering::Acquire), Ordering::Release);
+        r.next
+            .store(l.next.load(Ordering::Acquire), Ordering::Release);
         l.next.store(right, Ordering::Release);
 
         // Ascend.
@@ -668,6 +692,7 @@ impl OccBtree {
     ///
     /// `left` and `right` are locked; inserts `right` under their parent,
     /// splitting upward as needed; releases all locks.
+    #[allow(clippy::needless_range_loop)] // parallel-array index loops
     fn ascend(&self, mut left: *mut Head, mut right: *mut Head, mut sep: Vec<u8>) {
         loop {
             match self.locked_parent(left) {
@@ -709,10 +734,14 @@ impl OccBtree {
                         pr.head.version.mark_inserting();
                         let mut j = nk;
                         while j > ci {
-                            pr.ikey[j].store(pr.ikey[j - 1].load(Ordering::Relaxed), Ordering::Relaxed);
-                            pr.ikey2[j].store(pr.ikey2[j - 1].load(Ordering::Relaxed), Ordering::Relaxed);
-                            pr.sep[j].store(pr.sep[j - 1].load(Ordering::Relaxed), Ordering::Relaxed);
-                            pr.child[j + 1].store(pr.child[j].load(Ordering::Relaxed), Ordering::Relaxed);
+                            pr.ikey[j]
+                                .store(pr.ikey[j - 1].load(Ordering::Relaxed), Ordering::Relaxed);
+                            pr.ikey2[j]
+                                .store(pr.ikey2[j - 1].load(Ordering::Relaxed), Ordering::Relaxed);
+                            pr.sep[j]
+                                .store(pr.sep[j - 1].load(Ordering::Relaxed), Ordering::Relaxed);
+                            pr.child[j + 1]
+                                .store(pr.child[j].load(Ordering::Relaxed), Ordering::Relaxed);
                             j -= 1;
                         }
                         pr.ikey[ci].store(slice_at(&sep, 0), Ordering::Relaxed);
@@ -811,9 +840,13 @@ unsafe fn set_parent(child: *mut Head, parent: *mut Inner) {
     unsafe {
         let v = (*child).version.load(Ordering::Relaxed);
         if v.is_border() {
-            (*child.cast::<Leaf>()).parent.store(parent, Ordering::Release);
+            (*child.cast::<Leaf>())
+                .parent
+                .store(parent, Ordering::Release);
         } else {
-            (*child.cast::<Inner>()).parent.store(parent, Ordering::Release);
+            (*child.cast::<Inner>())
+                .parent
+                .store(parent, Ordering::Release);
         }
     }
 }
@@ -883,7 +916,11 @@ mod tests {
                 t.put(format!("key{i:07}").as_bytes(), i, &g);
             }
             for i in 0..20_000u64 {
-                assert_eq!(t.get(format!("key{i:07}").as_bytes(), &g), Some(i), "{cfg:?}");
+                assert_eq!(
+                    t.get(format!("key{i:07}").as_bytes(), &g),
+                    Some(i),
+                    "{cfg:?}"
+                );
             }
             assert_eq!(t.get(b"missing", &g), None);
         }

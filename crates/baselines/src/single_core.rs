@@ -69,7 +69,11 @@ impl Default for SingleMasstree {
 enum InsertUp {
     /// true = a new key was inserted (vs an update).
     Done(bool),
-    Split { key: u64, right: Node, new: bool },
+    Split {
+        key: u64,
+        right: Node,
+        new: bool,
+    },
 }
 
 impl SingleMasstree {
@@ -267,11 +271,7 @@ impl SingleMasstree {
                                     ikey: slice_at(&old_suffix, 0),
                                     rank: sub_rank,
                                     suffix: if old_suffix.len() > SLICE_LEN {
-                                        Some(
-                                            old_suffix[SLICE_LEN..]
-                                                .to_vec()
-                                                .into_boxed_slice(),
-                                        )
+                                        Some(old_suffix[SLICE_LEN..].to_vec().into_boxed_slice())
                                     } else {
                                         None
                                     },
@@ -280,7 +280,12 @@ impl SingleMasstree {
                             });
                             e.lv = Lv::Layer(Box::new(sub));
                             if let Lv::Layer(sub) = &mut e.lv {
-                                return Self::insert_into_layer(sub, key, offset + SLICE_LEN, value);
+                                return Self::insert_into_layer(
+                                    sub,
+                                    key,
+                                    offset + SLICE_LEN,
+                                    value,
+                                );
                             }
                             unreachable!()
                         }

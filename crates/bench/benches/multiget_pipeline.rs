@@ -1,0 +1,176 @@
+//! Sequential vs interleaved batch traversal (`masstree::batch`) on a
+//! ≥1M-key uniform workload, swept over batch sizes {1, 4, 8, 16, 32} —
+//! the §4.2 prefetch rationale applied *across* operations.
+//!
+//! Run with `cargo bench --bench multiget_pipeline`. Besides the usual
+//! console output, writes `BENCH_multiget.json` at the repository root:
+//! ops/sec per (mode, batch size), the interleaved/sequential speedup
+//! ratio per batch size, and single-op get/put baselines so regressions
+//! on the non-batched paths are visible in the same artifact.
+
+use criterion::{black_box, Criterion};
+use masstree::Masstree;
+use mtworkload::{decimal_key, Rng64};
+
+const TREE_KEYS: u64 = 1_000_000;
+const BATCH_SIZES: [usize; 5] = [1, 4, 8, 16, 32];
+/// Pre-generated probe keys, cycled through per iteration so successive
+/// iterations touch different cache-cold parts of the tree.
+const PROBES: usize = 1 << 16;
+
+struct Probes {
+    keys: Vec<Vec<u8>>,
+    at: usize,
+}
+
+impl Probes {
+    fn new(seed: u64) -> Probes {
+        let mut rng = Rng64::new(seed);
+        Probes {
+            keys: (0..PROBES).map(|_| decimal_key(rng.next_u64())).collect(),
+            at: 0,
+        }
+    }
+
+    /// The next window of `n` keys (wrapping).
+    fn window(&mut self, n: usize) -> Vec<&[u8]> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.keys[self.at].as_slice());
+            self.at = (self.at + 1) % PROBES;
+        }
+        out
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    eprintln!("building {TREE_KEYS}-key tree ...");
+    let tree: Masstree<u64> = Masstree::new();
+    {
+        let g = masstree::pin();
+        let mut rng = Rng64::new(1);
+        for i in 0..TREE_KEYS {
+            tree.put(&decimal_key(rng.next_u64()), i, &g);
+        }
+    }
+    // Every measured closure pins per batch (the documented guard
+    // discipline): a guard held across the whole run would block epoch
+    // reclamation for millions of put retirements and skew the numbers
+    // with allocator pressure. Both modes pay the same pin cost.
+
+    // Single-op baselines (regression guard for the non-batched paths).
+    let single_get = c.bench_measured("single/get", |b| {
+        let mut p = Probes::new(11);
+        b.iter(|| {
+            let g = masstree::pin();
+            let k = p.window(1)[0];
+            black_box(tree.get(k, &g).is_some())
+        })
+    });
+    let single_put = c.bench_measured("single/put", |b| {
+        let mut p = Probes::new(12);
+        let mut i = 0u64;
+        b.iter(|| {
+            let g = masstree::pin();
+            i += 1;
+            let k = p.window(1)[0];
+            tree.put(k, i, &g).is_some()
+        })
+    });
+
+    let mut rows = Vec::new();
+    for &n in &BATCH_SIZES {
+        let seq = c.bench_measured(&format!("multiget/sequential/{n}"), |b| {
+            let mut p = Probes::new(21);
+            b.iter(|| {
+                let g = masstree::pin();
+                let keys = p.window(n);
+                let mut hits = 0usize;
+                for k in &keys {
+                    if tree.get(k, &g).is_some() {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+        let inter = c.bench_measured(&format!("multiget/interleaved/{n}"), |b| {
+            let mut p = Probes::new(21);
+            b.iter(|| {
+                let g = masstree::pin();
+                let keys = p.window(n);
+                black_box(tree.multi_get(&keys, &g).len())
+            })
+        });
+        // ns/iter covers the whole batch; per-op rates divide by n.
+        let seq_ops = seq.ops_per_sec() * n as f64;
+        let inter_ops = inter.ops_per_sec() * n as f64;
+        rows.push((n, seq_ops, inter_ops));
+    }
+
+    let mut put_rows = Vec::new();
+    for &n in &BATCH_SIZES {
+        let seq = c.bench_measured(&format!("multiput/sequential/{n}"), |b| {
+            let mut p = Probes::new(31);
+            let mut i = 0u64;
+            b.iter(|| {
+                let g = masstree::pin();
+                let keys = p.window(n);
+                for k in &keys {
+                    i += 1;
+                    tree.put(k, i, &g);
+                }
+            })
+        });
+        let inter = c.bench_measured(&format!("multiput/interleaved/{n}"), |b| {
+            let mut p = Probes::new(31);
+            let mut i = 0u64;
+            b.iter(|| {
+                let g = masstree::pin();
+                let keys = p.window(n);
+                i += 1;
+                let values: Vec<u64> = (0..n as u64).map(|j| i + j).collect();
+                black_box(tree.multi_put(&keys, values, &g).len())
+            })
+        });
+        put_rows.push((
+            n,
+            seq.ops_per_sec() * n as f64,
+            inter.ops_per_sec() * n as f64,
+        ));
+    }
+
+    // ---- BENCH_multiget.json ----
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"tree_keys\": {TREE_KEYS},\n"));
+    json.push_str("  \"workload\": \"uniform decimal keys\",\n");
+    json.push_str(&format!(
+        "  \"single_get_ops_per_sec\": {:.0},\n  \"single_put_ops_per_sec\": {:.0},\n",
+        single_get.ops_per_sec(),
+        single_put.ops_per_sec()
+    ));
+    let emit = |json: &mut String, name: &str, rows: &[(usize, f64, f64)]| {
+        json.push_str(&format!("  \"{name}\": [\n"));
+        for (i, (n, seq, inter)) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"batch_size\": {n}, \"sequential_ops_per_sec\": {seq:.0}, \
+                 \"interleaved_ops_per_sec\": {inter:.0}, \"speedup\": {:.3}}}{}\n",
+                inter / seq,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ],\n");
+    };
+    emit(&mut json, "multiget", &rows);
+    emit(&mut json, "multiput", &put_rows);
+    // Trailing summary field keeps the JSON valid after the arrays.
+    let best = rows.iter().map(|(_, s, i)| i / s).fold(f64::MIN, f64::max);
+    json.push_str(&format!("  \"best_multiget_speedup\": {best:.3}\n}}\n"));
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_multiget.json");
+    std::fs::write(path, &json).expect("write BENCH_multiget.json");
+    println!("\nwrote {path}");
+    print!("{json}");
+}

@@ -18,7 +18,10 @@ fn main() {
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
 
-    println!("# §5: checkpoint / recovery — {} keys, {} threads", p.keys, p.threads);
+    println!(
+        "# §5: checkpoint / recovery — {} keys, {} threads",
+        p.keys, p.threads
+    );
 
     // Build the store (8-byte values as in the small-value experiments).
     // Sessions are long-lived, as in a real server: their logs keep
@@ -41,7 +44,10 @@ fn main() {
     let live_keys = store.tree().count_keys(&guard);
     drop(guard);
     let data_bytes = live_keys * (10 + 8);
-    println!("store built: {live_keys} live keys (~{:.1} MB of key/value data)", data_bytes as f64 / 1e6);
+    println!(
+        "store built: {live_keys} live keys (~{:.1} MB of key/value data)",
+        data_bytes as f64 / 1e6
+    );
 
     // ---- checkpoint write time.
     let t0 = Instant::now();

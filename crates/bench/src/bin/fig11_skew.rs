@@ -19,7 +19,7 @@ const PARTS: usize = 16;
 
 fn main() {
     let p = Params::from_args();
-    let threads = p.threads.min(PARTS).max(1);
+    let threads = p.threads.clamp(1, PARTS);
     println!(
         "# Figure 11: skew — {} keys, {} cores, {:.1}s per point",
         p.keys, threads, p.secs

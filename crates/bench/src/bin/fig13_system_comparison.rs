@@ -15,9 +15,7 @@ use std::net::SocketAddr;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use bench::standins::{
-    ArcBackend, MemcachedStandin, RedisStandin, TreeStandin, TreeStandinStyle,
-};
+use bench::standins::{ArcBackend, MemcachedStandin, RedisStandin, TreeStandin, TreeStandinStyle};
 use bench::{run_timed, Params};
 use mtkv::Store;
 use mtnet::{Client, Request, Response, Server};
@@ -54,7 +52,7 @@ struct SystemUnderTest {
 
 fn main() {
     let p = Params::from_args();
-    let records: u64 = (p.keys as u64).min(20_000_000).max(10_000);
+    let records: u64 = (p.keys as u64).clamp(10_000, 20_000_000);
     let dir = std::env::temp_dir().join(format!("fig13-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
@@ -160,7 +158,10 @@ fn main() {
         };
         print!(
             "{:<16}",
-            format!("1-core {}", if wl == Wl::UniformGet { "get" } else { "put" })
+            format!(
+                "1-core {}",
+                if wl == Wl::UniformGet { "get" } else { "put" }
+            )
         );
         let mut masstree_rate = None;
         for sys in &systems {
@@ -264,8 +265,9 @@ fn drive(sys: &SystemUnderTest, wl: Wl, records: u64, p: &Params) -> f64 {
                 }
             }
             let responses = c.execute_batch().unwrap();
-            debug_assert!(responses.iter().all(|r| !matches!(r, Response::Rows(_))
-                || matches!(wl, Wl::Mycsb(Mix::E))));
+            debug_assert!(responses
+                .iter()
+                .all(|r| !matches!(r, Response::Rows(_)) || matches!(wl, Wl::Mycsb(Mix::E))));
             done += queued as u64;
         }
         done

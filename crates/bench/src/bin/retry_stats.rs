@@ -10,7 +10,7 @@ use mtworkload::{decimal_key, Rng64};
 
 fn main() {
     let p = Params::from_args();
-    let threads = p.threads.min(8).max(2); // the paper uses 8
+    let threads = p.threads.clamp(2, 8); // the paper uses 8
     println!(
         "# §4.6.4: retry statistics — {} inserts across {} threads",
         p.keys, threads
@@ -43,8 +43,5 @@ fn main() {
         "reader retry rate       {:>14.2e}",
         s.read_retries as f64 / ops
     );
-    println!(
-        "op restarts             {:>14}",
-        s.op_restarts
-    );
+    println!("op restarts             {:>14}", s.op_restarts);
 }

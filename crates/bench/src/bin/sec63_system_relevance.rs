@@ -102,7 +102,10 @@ fn main() {
     std::fs::create_dir_all(dir.join("bin")).unwrap();
 
     let mut rates = Vec::new();
-    for (name, addr) in [("Masstree", mt_server.addr()), ("+IntCmp binary", bin_server.addr())] {
+    for (name, addr) in [
+        ("Masstree", mt_server.addr()),
+        ("+IntCmp binary", bin_server.addr()),
+    ] {
         // Preload.
         std::thread::scope(|s| {
             for t in 0..p.threads as u64 {

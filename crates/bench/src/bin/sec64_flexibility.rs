@@ -53,7 +53,10 @@ fn main() {
                 }
                 n
             });
-            println!("var-len keys    {which:<16}: {:>8.2} Mreq/s", t.mreq_per_sec());
+            println!(
+                "var-len keys    {which:<16}: {:>8.2} Mreq/s",
+                t.mreq_per_sec()
+            );
             rates.push(t.mreq_per_sec());
         }
         println!(
@@ -121,7 +124,10 @@ fn main() {
                 }
                 n
             });
-            println!("range queries   {which:<16}: {:>8.2} Mreq/s", t.mreq_per_sec());
+            println!(
+                "range queries   {which:<16}: {:>8.2} Mreq/s",
+                t.mreq_per_sec()
+            );
             rates.push(t.mreq_per_sec());
         }
         println!(

@@ -131,9 +131,8 @@ impl BlobHash {
                         // SAFETY: old blob unreachable; epoch protects
                         // in-flight readers.
                         unsafe {
-                            guard.defer_unchecked(move || {
-                                drop(Box::from_raw(oldp as *mut Vec<u8>))
-                            });
+                            guard
+                                .defer_unchecked(move || drop(Box::from_raw(oldp as *mut Vec<u8>)));
                         }
                     }
                     return;
@@ -146,7 +145,8 @@ impl BlobHash {
                 let boxed: Box<[u8]> = key.into();
                 let len = boxed.len() as u64;
                 s.key_len.store(len, Ordering::Release);
-                s.key.store(Box::into_raw(boxed).cast::<u8>(), Ordering::Release);
+                s.key
+                    .store(Box::into_raw(boxed).cast::<u8>(), Ordering::Release);
                 s.value.store(vptr, Ordering::Release);
                 return;
             }
@@ -251,7 +251,11 @@ impl ConnState for MemcachedConn {
         match req {
             Request::Get { key, cols } => {
                 let p = partition_of(&key, PARTS);
-                Response::Value(self.0.parts[p].get(&key).map(|b: Vec<u8>| blob_cols(&b, &cols)))
+                Response::Value(
+                    self.0.parts[p]
+                        .get(&key)
+                        .map(|b: Vec<u8>| blob_cols(&b, &cols)),
+                )
             }
             Request::Put { key, cols } => {
                 let p = partition_of(&key, PARTS);
@@ -365,10 +369,7 @@ impl TreeStandin {
         match self.style {
             TreeStandinStyle::VoltLike => {
                 // Render and re-parse a procedure invocation.
-                let cmd = format!(
-                    "EXEC {op} ('{}');",
-                    String::from_utf8_lossy(key)
-                );
+                let cmd = format!("EXEC {op} ('{}');", String::from_utf8_lossy(key));
                 let parsed: Vec<&str> = cmd.split(['(', ')', '\'', ';']).collect();
                 std::hint::black_box(parsed);
             }

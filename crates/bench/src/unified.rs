@@ -80,9 +80,7 @@ impl Fig8Config {
             )),
             Fig8Config::FourTree => AnyIndex::Four(FourTree::new()),
             Fig8Config::BTree => AnyIndex::Occ(OccBtree::new(OccBtreeConfig::plain())),
-            Fig8Config::PlusPrefetch => {
-                AnyIndex::Occ(OccBtree::new(OccBtreeConfig::prefetching()))
-            }
+            Fig8Config::PlusPrefetch => AnyIndex::Occ(OccBtree::new(OccBtreeConfig::prefetching())),
             Fig8Config::PlusPermuter => AnyIndex::Occ(OccBtree::new(OccBtreeConfig::permuter())),
             Fig8Config::Masstree => AnyIndex::Mass(Masstree::new()),
         }

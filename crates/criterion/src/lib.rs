@@ -1,0 +1,231 @@
+//! Offline stand-in for the `criterion` crate: a small statistical
+//! micro-benchmark harness exposing the API subset this workspace's
+//! benches use (`Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box`, `criterion_group!`,
+//! `criterion_main!`).
+//!
+//! Measurement model: each benchmark closure receives a [`Bencher`];
+//! `Bencher::iter` auto-calibrates the iteration count until one sample
+//! takes ≥ `SAMPLE_TARGET`, then takes `SAMPLES` samples and reports the
+//! median ns/iteration (median is robust to scheduler noise, which
+//! matters inside shared CI containers). Results are printed and recorded
+//! on the `Criterion` value so wrapper binaries can export JSON.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Target wall time per sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+/// Samples per benchmark.
+const SAMPLES: usize = 11;
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub id: String,
+    pub ns_per_iter: f64,
+    pub iters_per_sample: u64,
+}
+
+impl Measurement {
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.ns_per_iter <= 0.0 {
+            0.0
+        } else {
+            1e9 / self.ns_per_iter
+        }
+    }
+}
+
+/// Per-benchmark driver handed to the closure.
+pub struct Bencher {
+    result_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, auto-calibrating the per-sample iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibrate: double until a sample crosses the target.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t.elapsed();
+            if dt >= SAMPLE_TARGET || iters >= 1 << 30 {
+                break;
+            }
+            // Jump close to the target in one step once we have a signal.
+            let grow = if dt < SAMPLE_TARGET / 16 { 8 } else { 2 };
+            iters = iters.saturating_mul(grow);
+        }
+        let mut samples = [0f64; SAMPLES];
+        for s in samples.iter_mut() {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            *s = t.elapsed().as_secs_f64() * 1e9 / iters as f64;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.result_ns = samples[SAMPLES / 2];
+        self.iters = iters;
+    }
+}
+
+/// Parameterized benchmark name (mirrors criterion's `BenchmarkId`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter<D: std::fmt::Display>(p: D) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    pub fn new<D: std::fmt::Display>(name: &str, p: D) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// The top-level harness.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) -> &Measurement {
+        let mut b = Bencher {
+            result_ns: f64::NAN,
+            iters: 0,
+        };
+        f(&mut b);
+        let m = Measurement {
+            id,
+            ns_per_iter: b.result_ns,
+            iters_per_sample: b.iters,
+        };
+        println!(
+            "bench {:<48} {:>12.1} ns/iter {:>14.0} ops/s",
+            m.id,
+            m.ns_per_iter,
+            m.ops_per_sec()
+        );
+        self.results.push(m);
+        self.results.last().expect("just pushed")
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id.to_string(), &mut f);
+        self
+    }
+
+    /// Like [`Criterion::bench_function`] but hands back the measurement —
+    /// used by benches that export machine-readable results.
+    pub fn bench_measured<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> Measurement {
+        self.run_one(id.to_string(), &mut f).clone()
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Every measurement taken so far, in execution order.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.c.run_one(full, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.0);
+        self.c.run_one(full, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group: a function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default();
+        let m = c.bench_measured("noop_add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            })
+        });
+        assert!(m.ns_per_iter > 0.0);
+        assert!(m.ops_per_sec() > 0.0);
+        assert_eq!(c.measurements().len(), 1);
+    }
+
+    #[test]
+    fn group_prefixes_names() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &n| {
+                b.iter(|| n + 1)
+            });
+            g.finish();
+        }
+        assert_eq!(c.measurements()[0].id, "grp/7");
+    }
+}

@@ -16,7 +16,7 @@ use crate::suffix::KeySuffix;
 ///
 /// `p` must have come from `Box::into_raw(Box<V>)`, must be unreachable
 /// from the tree, and must not be retired twice.
-pub(crate) unsafe fn retire_value<V>(guard: &Guard, p: *mut ()) {
+pub(crate) unsafe fn retire_value<V: 'static>(guard: &Guard, p: *mut ()) {
     let p = p.cast::<V>() as usize;
     // SAFETY: per caller contract; the closure runs once, after all
     // readers that could observe `p` have unpinned.
@@ -50,7 +50,7 @@ pub(crate) unsafe fn retire_suffix(guard: &Guard, p: *mut KeySuffix) {
 ///
 /// The node must be unlinked from the tree (marked deleted) and must not
 /// be retired twice.
-pub(crate) unsafe fn retire_node<V>(guard: &Guard, n: NodePtr<V>) {
+pub(crate) unsafe fn retire_node<V: 'static>(guard: &Guard, n: NodePtr<V>) {
     let raw = n.raw() as usize;
     // SAFETY: per caller contract.
     unsafe {

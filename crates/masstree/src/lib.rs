@@ -38,6 +38,7 @@
 //! assert!(tree.get(b"edu.harvard.seas.www/news", &guard).is_none());
 //! ```
 
+pub mod batch;
 pub mod key;
 pub mod permutation;
 pub mod prefetch;

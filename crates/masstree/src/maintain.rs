@@ -132,7 +132,9 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                     continue;
                 }
                 let ikey = b.keyslice[slot].load(Ordering::Acquire);
-                let sub = b.lv[slot].load(Ordering::Acquire).cast::<crate::node::NodeHeader>();
+                let sub = b.lv[slot]
+                    .load(Ordering::Acquire)
+                    .cast::<crate::node::NodeHeader>();
                 if sub.is_null() {
                     continue;
                 }
@@ -142,8 +144,7 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                 if sv.is_border() && !sv.is_deleted() {
                     // SAFETY: border per shape bit.
                     let sb = unsafe { subp.as_border() };
-                    if sb.permutation().nkeys() == 0 && sb.next.load(Ordering::Acquire).is_null()
-                    {
+                    if sb.permutation().nkeys() == 0 && sb.next.load(Ordering::Acquire).is_null() {
                         out.push(Candidate::EmptyLayer {
                             parent: b,
                             ikey,
@@ -295,7 +296,11 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                     b.search(perm, *ikey, keylen_rank(KEYLEN_LAYER))
                 {
                     if b.keylen[slot].load(Ordering::Acquire) == KEYLEN_LAYER {
-                        RootSlot::LayerLink { node: *parent, slot }.cas(root, childp);
+                        RootSlot::LayerLink {
+                            node: *parent,
+                            slot,
+                        }
+                        .cas(root, childp);
                     }
                 }
             }
@@ -576,10 +581,14 @@ unsafe fn drop_subtree<V>(n: NodePtr<V>) {
                         if !s.is_null() {
                             crate::suffix::KeySuffix::free(s);
                         }
-                        drop(Box::from_raw(b.lv[slot].load(Ordering::Relaxed).cast::<V>()));
+                        drop(Box::from_raw(
+                            b.lv[slot].load(Ordering::Relaxed).cast::<V>(),
+                        ));
                     }
                     _ => {
-                        drop(Box::from_raw(b.lv[slot].load(Ordering::Relaxed).cast::<V>()));
+                        drop(Box::from_raw(
+                            b.lv[slot].load(Ordering::Relaxed).cast::<V>(),
+                        ));
                     }
                 }
             }

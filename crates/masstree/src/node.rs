@@ -243,7 +243,6 @@ impl<V> BorderNode<V> {
     pub fn mark_freed(&self, slot: usize) {
         self.freed_mask.fetch_or(1u16 << slot, Ordering::Relaxed);
     }
-
 }
 
 impl<V> InteriorNode<V> {
@@ -301,7 +300,6 @@ impl<V> InteriorNode<V> {
         let n = self.nkeys();
         (0..=n).find(|&i| self.child[i].load(Ordering::Acquire) == child)
     }
-
 }
 
 /// A type-punned pointer to either node kind.
@@ -539,8 +537,16 @@ mod tests {
         // Border nodes should stay within a small number of cache lines
         // (the paper uses 4; our per-slot suffix pointers cost more — see
         // DESIGN.md §4.2 — but the node must stay prefetchable).
-        assert!(size_of::<BorderNode<u64>>() <= 64 * 10, "{}", size_of::<BorderNode<u64>>());
-        assert!(size_of::<InteriorNode<u64>>() <= 64 * 5, "{}", size_of::<InteriorNode<u64>>());
+        assert!(
+            size_of::<BorderNode<u64>>() <= 64 * 10,
+            "{}",
+            size_of::<BorderNode<u64>>()
+        );
+        assert!(
+            size_of::<InteriorNode<u64>>() <= 64 * 5,
+            "{}",
+            size_of::<InteriorNode<u64>>()
+        );
     }
 
     fn make_border_with(keys: &[(u64, u8)]) -> *mut BorderNode<u64> {
@@ -563,16 +569,28 @@ mod tests {
         // SAFETY: fresh node.
         let bn = unsafe { &*b };
         let perm = bn.permutation();
-        assert_eq!(bn.search(perm, 10, 3), BorderSearch::Found { pos: 0, slot: 0 });
-        assert_eq!(bn.search(perm, 10, 8), BorderSearch::Found { pos: 1, slot: 1 });
-        assert_eq!(bn.search(perm, 10, 9), BorderSearch::Found { pos: 2, slot: 2 });
+        assert_eq!(
+            bn.search(perm, 10, 3),
+            BorderSearch::Found { pos: 0, slot: 0 }
+        );
+        assert_eq!(
+            bn.search(perm, 10, 8),
+            BorderSearch::Found { pos: 1, slot: 1 }
+        );
+        assert_eq!(
+            bn.search(perm, 10, 9),
+            BorderSearch::Found { pos: 2, slot: 2 }
+        );
         assert_eq!(bn.search(perm, 10, 5), BorderSearch::Missing { pos: 1 });
         assert_eq!(bn.search(perm, 5, 8), BorderSearch::Missing { pos: 0 });
         assert_eq!(bn.search(perm, 15, 0), BorderSearch::Missing { pos: 3 });
         assert_eq!(bn.search(perm, 30, 0), BorderSearch::Missing { pos: 4 });
         // A layer marker matches rank 9 searches.
         bn.keylen[2].store(KEYLEN_LAYER, Ordering::Relaxed);
-        assert_eq!(bn.search(perm, 10, 9), BorderSearch::Found { pos: 2, slot: 2 });
+        assert_eq!(
+            bn.search(perm, 10, 9),
+            BorderSearch::Found { pos: 2, slot: 2 }
+        );
         // SAFETY: freeing the test node once.
         unsafe { NodePtr::<u64>::from_border(b).free() };
     }

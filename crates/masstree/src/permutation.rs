@@ -253,7 +253,10 @@ mod tests {
         let p = Permutation::identity(7);
         assert!(p.is_valid());
         assert_eq!(p.nkeys(), 7);
-        assert_eq!(p.live_slots().collect::<Vec<_>>(), (0..7).collect::<Vec<_>>());
+        assert_eq!(
+            p.live_slots().collect::<Vec<_>>(),
+            (0..7).collect::<Vec<_>>()
+        );
         assert_eq!(p.back(), 7);
     }
 

@@ -138,8 +138,7 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                                     // lock, publish with one atomic store.
                                     let old = bn.lv[slot].load(Ordering::Acquire);
                                     // SAFETY: the slot's live value.
-                                    let vptr =
-                                        factory.make(Some(unsafe { &*old.cast::<V>() }));
+                                    let vptr = factory.make(Some(unsafe { &*old.cast::<V>() }));
                                     bn.lv[slot].store(vptr, Ordering::Release);
                                     bn.version().unlock();
                                     // SAFETY: `old` was this key's value and
@@ -198,7 +197,7 @@ impl<V: Send + Sync + 'static> Masstree<V> {
     /// Inserts `(k, vptr)` into a non-full locked border node at sorted
     /// position `pos` (§4.6.2): fill a free slot, then publish a new
     /// permutation with one release store.
-    fn insert_into_border(
+    pub(crate) fn insert_into_border(
         &self,
         bn: &BorderNode<V>,
         perm: Permutation,
@@ -226,7 +225,7 @@ impl<V: Send + Sync + 'static> Masstree<V> {
     /// existing key remainder `resident_suffix` and value (§4.6.3).
     /// Publication order is UNSTABLE → `lv` → LAYER so readers never
     /// misinterpret the slot. Caller holds `bn`'s lock.
-    fn make_layer(
+    pub(crate) fn make_layer(
         &self,
         bn: &BorderNode<V>,
         slot: usize,
@@ -240,7 +239,10 @@ impl<V: Send + Sync + 'static> Masstree<V> {
         // key, re-sliced one layer deeper.
         let ik2 = crate::key::slice_at(resident_suffix, 0);
         let (code2, suffix2) = if resident_suffix.len() > SLICE_LEN {
-            (KEYLEN_SUFFIX, KeySuffix::alloc(&resident_suffix[SLICE_LEN..]))
+            (
+                KEYLEN_SUFFIX,
+                KeySuffix::alloc(&resident_suffix[SLICE_LEN..]),
+            )
         } else {
             (resident_suffix.len() as u8, core::ptr::null_mut())
         };
@@ -267,7 +269,7 @@ impl<V: Send + Sync + 'static> Masstree<V> {
     ///
     /// `bn` must be locked by the caller and full; `vptr` ownership moves
     /// into the tree.
-    unsafe fn split_and_insert<'g>(
+    pub(crate) unsafe fn split_and_insert<'g>(
         &self,
         bn: &'g BorderNode<V>,
         pos: usize,
@@ -325,8 +327,7 @@ impl<V: Send + Sync + 'static> Masstree<V> {
             best.expect("full border node with a single slice").1
         };
 
-        let right =
-            BorderNode::<V>::alloc_for_split(bn.version(), ikey_of(order[split_at]));
+        let right = BorderNode::<V>::alloc_for_split(bn.version(), ikey_of(order[split_at]));
         // SAFETY: fresh private node (locked+splitting).
         let rn = unsafe { &*right };
         let mut side = SplitSide::Left;
@@ -412,6 +413,8 @@ impl<V: Send + Sync + 'static> Masstree<V> {
     ///
     /// `left` and `right` must be locked by the caller; `right` must be
     /// unreachable from any parent yet.
+    // Index loops mirror Figure 5's parallel keyslice/child arrays.
+    #[allow(clippy::needless_range_loop)]
     pub(crate) unsafe fn ascend_after_split(
         &self,
         mut left: NodePtr<V>,

@@ -259,9 +259,7 @@ impl<V: Send + Sync + 'static> Masstree<V> {
 
     /// Snapshot including the node's `prev` pointer and lowkey.
     #[allow(clippy::type_complexity)]
-    fn snapshot_border_rev(
-        n: &BorderNode<V>,
-    ) -> Result<(Vec<Entry>, *mut BorderNode<V>, u64), ()> {
+    fn snapshot_border_rev(n: &BorderNode<V>) -> Result<(Vec<Entry>, *mut BorderNode<V>, u64), ()> {
         loop {
             let v = n.version().stable();
             if v.is_deleted() {

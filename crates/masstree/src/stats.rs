@@ -33,6 +33,11 @@ pub struct Stats {
     pub nodes_deleted: AtomicU64,
     /// Empty layers collected by maintenance.
     pub layers_collected: AtomicU64,
+    /// Operations executed through the interleaved batch engine.
+    pub batched_ops: AtomicU64,
+    /// Cursor yields taken because a node was mid-update (the batch
+    /// engine switched to another operation instead of spinning).
+    pub batch_dirty_yields: AtomicU64,
 }
 
 impl Stats {
@@ -58,6 +63,8 @@ impl Stats {
             layers_created: self.layers_created.load(Ordering::Relaxed),
             nodes_deleted: self.nodes_deleted.load(Ordering::Relaxed),
             layers_collected: self.layers_collected.load(Ordering::Relaxed),
+            batched_ops: self.batched_ops.load(Ordering::Relaxed),
+            batch_dirty_yields: self.batch_dirty_yields.load(Ordering::Relaxed),
         }
     }
 }
@@ -75,6 +82,8 @@ pub struct StatsSnapshot {
     pub layers_created: u64,
     pub nodes_deleted: u64,
     pub layers_collected: u64,
+    pub batched_ops: u64,
+    pub batch_dirty_yields: u64,
 }
 
 #[cfg(test)]

@@ -122,8 +122,9 @@ mod tests {
 
     #[test]
     fn many_blocks_do_not_alias() {
-        let blocks: Vec<*mut KeySuffix> =
-            (0u32..64).map(|i| KeySuffix::alloc(&i.to_be_bytes())).collect();
+        let blocks: Vec<*mut KeySuffix> = (0u32..64)
+            .map(|i| KeySuffix::alloc(&i.to_be_bytes()))
+            .collect();
         for (i, &p) in blocks.iter().enumerate() {
             // SAFETY: all blocks live.
             unsafe {

@@ -144,6 +144,20 @@ impl VersionCell {
         }
     }
 
+    /// Non-blocking `stableversion`: returns the version if neither dirty
+    /// bit is set, `None` otherwise. The batch traversal engine uses this
+    /// to switch to another operation's cursor instead of spinning when a
+    /// node is mid-update.
+    #[inline]
+    pub fn try_stable(&self) -> Option<Version> {
+        let v = Version(self.0.load(Ordering::Acquire));
+        if v.is_dirty() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
     /// `lock` (Figure 4): spins until the lock bit is claimed.
     ///
     /// Returns the version observed at acquisition (with LOCKED set).
@@ -151,13 +165,13 @@ impl VersionCell {
     pub fn lock(&self) -> Version {
         loop {
             let cur = self.0.load(Ordering::Relaxed);
-            if cur & LOCKED == 0 {
-                if self.0.compare_exchange_weak(
-                    cur,
-                    cur | LOCKED,
-                    Ordering::Acquire,
-                    Ordering::Relaxed,
-                ).is_ok() { return Version(cur | LOCKED) }
+            if cur & LOCKED == 0
+                && self
+                    .0
+                    .compare_exchange_weak(cur, cur | LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return Version(cur | LOCKED);
             }
             core::hint::spin_loop();
         }

@@ -62,7 +62,9 @@ fn remove_with_runs_hook_exactly_once_per_removal() {
     assert_eq!(r.map(|(v, hook)| (*v, hook)), Some((7, 14)));
     assert_eq!(hook_runs.load(Ordering::Relaxed), 1);
     // Missing key: hook must not run.
-    assert!(t.remove_with(b"gone", |_| panic!("must not run"), &g).is_none());
+    assert!(t
+        .remove_with(b"gone", |_| panic!("must not run"), &g)
+        .is_none());
     assert_eq!(hook_runs.load(Ordering::Relaxed), 1);
 }
 
@@ -100,11 +102,9 @@ fn interleaved_put_with_and_remove_with_serialize() {
             s.spawn(move || {
                 let g = masstree::pin();
                 for _ in 0..ROUNDS {
-                    if let Some((_, v)) = t.remove_with(
-                        b"contended",
-                        |_| seq.fetch_add(1, Ordering::Relaxed),
-                        &g,
-                    ) {
+                    if let Some((_, v)) =
+                        t.remove_with(b"contended", |_| seq.fetch_add(1, Ordering::Relaxed), &g)
+                    {
                         rm_max.fetch_max(v, Ordering::Relaxed);
                     }
                 }
@@ -113,9 +113,16 @@ fn interleaved_put_with_and_remove_with_serialize() {
     });
     let g = masstree::pin();
     let present = t.get(b"contended", &g).is_some();
-    let (pm, rm) = (put_max.load(Ordering::Relaxed), rm_max.load(Ordering::Relaxed));
+    let (pm, rm) = (
+        put_max.load(Ordering::Relaxed),
+        rm_max.load(Ordering::Relaxed),
+    );
     // The op with the globally-latest draw decides the final state.
-    assert_eq!(present, pm > rm, "present={present}, put_max={pm}, rm_max={rm}");
+    assert_eq!(
+        present,
+        pm > rm,
+        "present={present}, put_max={pm}, rm_max={rm}"
+    );
 }
 
 #[test]

@@ -11,7 +11,9 @@ fn decimal_keys(n: usize, seed: u64) -> Vec<Vec<u8>> {
     let mut s = seed | 1;
     (0..n)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = (s >> 33) % 2_147_483_648;
             v.to_string().into_bytes()
         })
@@ -215,7 +217,10 @@ fn remove_everything_then_reuse() {
         assert!(t.remove(k, &g).is_some());
     }
     assert_eq!(t.count_keys(&g), 0);
-    assert!(t.stats().snapshot().nodes_deleted > 0, "border deletes happened");
+    assert!(
+        t.stats().snapshot().nodes_deleted > 0,
+        "border deletes happened"
+    );
     // The tree must be fully reusable afterwards.
     for k in &distinct {
         assert_eq!(t.put(k, 2, &g), None);
@@ -270,8 +275,7 @@ fn get_range_from_arbitrary_starts() {
                 .take(limit)
                 .map(|(k, v)| (k.clone(), *v))
                 .collect();
-            let got_pairs: Vec<(Vec<u8>, u64)> =
-                got.into_iter().map(|(k, v)| (k, *v)).collect();
+            let got_pairs: Vec<(Vec<u8>, u64)> = got.into_iter().map(|(k, v)| (k, *v)).collect();
             assert_eq!(got_pairs, want, "start={start:?} limit={limit}");
         }
     }
@@ -283,7 +287,12 @@ fn scan_with_deep_layers() {
     let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
     let g = masstree::pin();
     // URL-like keys sharing long prefixes (the Bigtable motivation, §1).
-    let domains = ["com.example", "com.example.mail", "org.kernel", "org.kernel.git"];
+    let domains = [
+        "com.example",
+        "com.example.mail",
+        "org.kernel",
+        "org.kernel.git",
+    ];
     for (d, dom) in domains.iter().enumerate() {
         for p in 0..200u64 {
             let key = format!("{dom}/page{p:05}").into_bytes();

@@ -1,0 +1,244 @@
+//! Batch/sequential equivalence properties for the interleaved traversal
+//! engine (`masstree::batch`): a random stream of `multi_get`/`multi_put`
+//! groups must produce byte-identical results to the same operations
+//! issued one at a time — including keys that share prefixes and cross
+//! trie-layer boundaries — and must stay correct while a concurrent
+//! writer forces OCC retries mid-batch.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use masstree::Masstree;
+
+const CASES: u64 = 48;
+
+use mtworkload::Rng64 as Rng;
+
+/// Keys engineered to stress the trie: short binary keys, zero-padded
+/// slice colliders, and 16/24-byte shared prefixes whose tails differ
+/// only past a layer boundary.
+fn gen_key(rng: &mut Rng) -> Vec<u8> {
+    match rng.below(4) {
+        0 => {
+            let len = rng.below(12) as usize;
+            (0..len).map(|_| rng.next_u64() as u8).collect()
+        }
+        1 => {
+            // Same 8-byte slice, different lengths: "AAAA", "AAAA\0"...
+            let len = rng.below(10) as usize;
+            let mut k = vec![b'A'; len.min(8)];
+            k.extend(std::iter::repeat_n(0u8, len.saturating_sub(8)));
+            k
+        }
+        2 => {
+            // 16-byte shared prefix, tail crosses into layer 2.
+            let mut k = b"prefix__prefix__".to_vec();
+            k.extend(format!("{:04}", rng.below(50)).into_bytes());
+            k
+        }
+        _ => {
+            // 24-byte shared prefix: three layers deep.
+            let mut k = b"deep____deep____deep____".to_vec();
+            k.extend(format!("{:03}", rng.below(40)).into_bytes());
+            k
+        }
+    }
+}
+
+/// One phase of a stream: a group of puts or a group of gets.
+enum Group {
+    Puts(Vec<(Vec<u8>, u64)>),
+    Gets(Vec<Vec<u8>>),
+}
+
+fn gen_stream(rng: &mut Rng) -> Vec<Group> {
+    let phases = 2 + rng.below(8) as usize;
+    (0..phases)
+        .map(|_| {
+            let n = 1 + rng.below(40) as usize;
+            if rng.below(2) == 0 {
+                Group::Puts((0..n).map(|_| (gen_key(rng), rng.next_u64())).collect())
+            } else {
+                Group::Gets((0..n).map(|_| gen_key(rng)).collect())
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn batched_stream_equals_sequential_stream() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xba7c4 + case);
+        let stream = gen_stream(&mut rng);
+
+        // Replay the same stream into a batched tree, a sequential tree,
+        // and a model; all three must agree op-by-op and in final state.
+        let mut batched: Masstree<u64> = Masstree::new();
+        let sequential: Masstree<u64> = Masstree::new();
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        let g = masstree::pin();
+        for group in &stream {
+            match group {
+                Group::Puts(ops) => {
+                    // Duplicate keys within one interleaved group apply
+                    // in unspecified order; dedupe (keep the last write,
+                    // like the server's run splitting would) so all three
+                    // replicas see a well-defined stream.
+                    let mut dedup: BTreeMap<&[u8], u64> = BTreeMap::new();
+                    for (k, v) in ops {
+                        dedup.insert(k.as_slice(), *v);
+                    }
+                    let keys: Vec<&[u8]> = dedup.keys().copied().collect();
+                    let values: Vec<u64> = dedup.values().copied().collect();
+                    let prev_batch = batched.multi_put(&keys, values.clone(), &g);
+                    for ((k, v), prev) in dedup.iter().zip(prev_batch) {
+                        let prev_seq = sequential.put(k, *v, &g).copied();
+                        let prev_model = model.insert(k.to_vec(), *v);
+                        assert_eq!(prev.copied(), prev_model, "case {case}");
+                        assert_eq!(prev_seq, prev_model, "case {case}");
+                    }
+                }
+                Group::Gets(keys) => {
+                    let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+                    let got_batch = batched.multi_get(&refs, &g);
+                    for (k, got) in refs.iter().zip(got_batch) {
+                        let want = model.get(*k).copied();
+                        assert_eq!(got.copied(), want, "case {case} key {k:?}");
+                        assert_eq!(sequential.get(k, &g).copied(), want, "case {case}");
+                    }
+                }
+            }
+        }
+        // Final states are byte-identical: scan both trees.
+        let mut from_batched = Vec::new();
+        batched.scan(b"", &g, |k, v| {
+            from_batched.push((k.to_vec(), *v));
+            true
+        });
+        let mut from_sequential = Vec::new();
+        sequential.scan(b"", &g, |k, v| {
+            from_sequential.push((k.to_vec(), *v));
+            true
+        });
+        let want: Vec<(Vec<u8>, u64)> = model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        assert_eq!(from_batched, want, "case {case}");
+        assert_eq!(from_sequential, want, "case {case}");
+        drop(g);
+        batched
+            .validate()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+    }
+}
+
+#[test]
+fn batch_results_identical_to_singles_on_same_tree() {
+    // On one tree: every multi_get answer must equal the sequential
+    // get answer under the same guard, for every batch size the bench
+    // sweeps, with layer-crossing keys present.
+    let tree: Masstree<u64> = Masstree::new();
+    let g = masstree::pin();
+    let mut rng = Rng::new(0x1de27);
+    let mut keys: Vec<Vec<u8>> = Vec::new();
+    for _ in 0..3_000 {
+        let k = gen_key(&mut rng);
+        tree.put(&k, rng.next_u64(), &g);
+        keys.push(k);
+    }
+    for batch_size in [1usize, 4, 8, 16, 32, 33, 100] {
+        let probe: Vec<&[u8]> = (0..batch_size * 3)
+            .map(|i| keys[(i * 37) % keys.len()].as_slice())
+            .collect();
+        for chunk in probe.chunks(batch_size) {
+            let got = tree.multi_get(chunk, &g);
+            for (k, v) in chunk.iter().zip(got) {
+                assert_eq!(v, tree.get(k, &g), "batch_size {batch_size}");
+            }
+        }
+    }
+}
+
+#[test]
+fn batches_stay_correct_under_concurrent_writer() {
+    // A writer thread churns inserts/updates/removes over half the
+    // keyspace (forcing splits, layer creation and OCC retries) while
+    // batched readers and writers run against the *other* half, whose
+    // contents are deterministic. Batched results for the stable half
+    // must always match the model exactly.
+    const STABLE: u64 = 2_000;
+    let tree = Arc::new(Masstree::<u64>::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    {
+        let g = masstree::pin();
+        for i in 0..STABLE {
+            tree.put(format!("stable/{i:06}").as_bytes(), i, &g);
+        }
+    }
+
+    let churn = {
+        let tree = Arc::clone(&tree);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut rng = Rng::new(7);
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let g = masstree::pin();
+                for _ in 0..512 {
+                    // Same leading slices as the stable half ("stable/"
+                    // vs "stably/" share 6 bytes) plus deep-layer churn.
+                    let k = match rng.below(3) {
+                        0 => format!("stably/{:06}", rng.below(5_000)),
+                        1 => format!("stable/{:06}x{:04}", rng.below(5_000), rng.below(100)),
+                        _ => format!("deep____deep____{:08}", rng.below(10_000)),
+                    };
+                    if rng.below(4) == 0 {
+                        tree.remove(k.as_bytes(), &g);
+                    } else {
+                        tree.put(k.as_bytes(), i, &g);
+                    }
+                    i += 1;
+                }
+                drop(g);
+                thread::yield_now();
+            }
+        })
+    };
+
+    let mut rng = Rng::new(99);
+    for round in 0..200 {
+        let g = masstree::pin();
+        // Batched gets over the stable half: must match exactly.
+        let keys: Vec<Vec<u8>> = (0..32)
+            .map(|_| format!("stable/{:06}", rng.below(STABLE)).into_bytes())
+            .collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let got = tree.multi_get(&refs, &g);
+        for (k, v) in refs.iter().zip(got) {
+            let idx: u64 = std::str::from_utf8(&k[7..]).unwrap().parse().unwrap();
+            assert_eq!(v.copied(), Some(idx), "round {round}");
+        }
+        // Batched updates of the stable half back to their model value
+        // (multi_put must return the old value and re-install idx).
+        let prev = tree.multi_put(
+            &refs,
+            refs.iter()
+                .map(|k| std::str::from_utf8(&k[7..]).unwrap().parse().unwrap())
+                .collect(),
+            &g,
+        );
+        for (k, p) in refs.iter().zip(prev) {
+            let idx: u64 = std::str::from_utf8(&k[7..]).unwrap().parse().unwrap();
+            assert_eq!(p.copied(), Some(idx), "round {round}");
+        }
+        drop(g);
+    }
+    stop.store(true, Ordering::Relaxed);
+    churn.join().unwrap();
+    let mut tree = Arc::try_unwrap(tree).ok().expect("sole owner");
+    tree.validate().expect("valid tree after churn");
+    // OCC machinery actually fired while batches ran.
+    let snap = tree.stats().snapshot();
+    assert!(snap.batched_ops > 0);
+}

@@ -1,12 +1,20 @@
-//! Property-based tests: arbitrary operation sequences against a model,
-//! arbitrary binary keys (including embedded NULs and shared prefixes),
-//! and permutation/version algebra.
+//! Property-based tests: pseudo-random operation sequences against a
+//! model, arbitrary binary keys (including embedded NULs and shared
+//! prefixes), and permutation/version algebra.
+//!
+//! The generators are driven by a seeded splitmix64 PRNG rather than an
+//! external property-testing crate (the build environment is offline), so
+//! every run exercises the same deterministic case set; bump `CASES` or
+//! add seeds to widen coverage.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use masstree::permutation::{Permutation, WIDTH};
 use masstree::Masstree;
-use proptest::prelude::*;
+
+const CASES: u64 = 64;
+
+use mtworkload::Rng64 as Rng;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -16,37 +24,47 @@ enum Op {
     Range(Vec<u8>, usize),
 }
 
-/// Key strategy biased toward collisions: short alphabets and a few fixed
-/// prefixes so slices, suffixes and layers all get exercised.
-fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
-    prop_oneof![
+/// Key generator biased toward collisions: short alphabets and a fixed
+/// long prefix so slices, suffixes and layers all get exercised.
+fn gen_key(rng: &mut Rng) -> Vec<u8> {
+    match rng.below(3) {
         // Arbitrary short binary keys.
-        proptest::collection::vec(any::<u8>(), 0..20),
+        0 => {
+            let len = rng.below(20) as usize;
+            (0..len).map(|_| rng.next_u64() as u8).collect()
+        }
         // Low-entropy keys: lots of slice collisions.
-        proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(0u8)], 0..24),
+        1 => {
+            let len = rng.below(24) as usize;
+            (0..len)
+                .map(|_| [b'a', b'b', 0u8][rng.below(3) as usize])
+                .collect()
+        }
         // Fixed long prefix + short tail: forces layering.
-        proptest::collection::vec(any::<u8>(), 0..6).prop_map(|tail| {
+        _ => {
             let mut k = b"sharedprefix0123sharedprefix0123".to_vec();
-            k.extend(tail);
+            let len = rng.below(6) as usize;
+            k.extend((0..len).map(|_| rng.next_u64() as u8));
             k
-        }),
-    ]
+        }
+    }
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (key_strategy(), any::<u64>()).prop_map(|(k, v)| Op::Put(k, v)),
-        key_strategy().prop_map(Op::Remove),
-        key_strategy().prop_map(Op::Get),
-        (key_strategy(), 0usize..20).prop_map(|(k, n)| Op::Range(k, n)),
-    ]
+fn gen_op(rng: &mut Rng) -> Op {
+    match rng.below(4) {
+        0 => Op::Put(gen_key(rng), rng.next_u64()),
+        1 => Op::Remove(gen_key(rng)),
+        2 => Op::Get(gen_key(rng)),
+        _ => Op::Range(gen_key(rng), rng.below(20) as usize),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn tree_matches_model(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+#[test]
+fn tree_matches_model() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x7ee5 + case);
+        let nops = 1 + rng.below(400) as usize;
+        let ops: Vec<Op> = (0..nops).map(|_| gen_op(&mut rng)).collect();
         let mut tree: Masstree<u64> = Masstree::new();
         let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
         let g = masstree::pin();
@@ -55,17 +73,17 @@ proptest! {
                 Op::Put(k, v) => {
                     let want = model.insert(k.clone(), *v);
                     let got = tree.put(k, *v, &g).copied();
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want, "case {case}");
                 }
                 Op::Remove(k) => {
                     let want = model.remove(k);
                     let got = tree.remove(k, &g).copied();
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want, "case {case}");
                 }
                 Op::Get(k) => {
                     let want = model.get(k).copied();
                     let got = tree.get(k, &g).copied();
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want, "case {case}");
                 }
                 Op::Range(k, n) => {
                     let got: Vec<(Vec<u8>, u64)> = tree
@@ -78,31 +96,45 @@ proptest! {
                         .take(*n)
                         .map(|(key, v)| (key.clone(), *v))
                         .collect();
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want, "case {case}");
                 }
             }
         }
         // Final state equivalence + structural invariants.
         let mut scanned = Vec::new();
-        tree.scan(b"", &g, |k, v| { scanned.push((k.to_vec(), *v)); true });
+        tree.scan(b"", &g, |k, v| {
+            scanned.push((k.to_vec(), *v));
+            true
+        });
         let want: Vec<(Vec<u8>, u64)> = model.iter().map(|(k, v)| (k.clone(), *v)).collect();
-        prop_assert_eq!(scanned, want);
+        assert_eq!(scanned, want, "case {case}");
         drop(g);
-        let report = tree.validate().map_err(TestCaseError::fail)?;
-        prop_assert_eq!(report.keys, model.len());
+        let report = tree
+            .validate()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(report.keys, model.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn maintain_preserves_semantics(
-        ops in proptest::collection::vec(op_strategy(), 1..200),
-    ) {
+#[test]
+fn maintain_preserves_semantics() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xa11c + case);
+        let nops = 1 + rng.below(200) as usize;
+        let ops: Vec<Op> = (0..nops).map(|_| gen_op(&mut rng)).collect();
         let mut tree: Masstree<u64> = Masstree::new();
         let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
         let g = masstree::pin();
         for (i, op) in ops.iter().enumerate() {
             match op {
-                Op::Put(k, v) => { model.insert(k.clone(), *v); tree.put(k, *v, &g); }
-                Op::Remove(k) => { model.remove(k); tree.remove(k, &g); }
+                Op::Put(k, v) => {
+                    model.insert(k.clone(), *v);
+                    tree.put(k, *v, &g);
+                }
+                Op::Remove(k) => {
+                    model.remove(k);
+                    tree.remove(k, &g);
+                }
                 _ => {}
             }
             if i % 50 == 25 {
@@ -111,43 +143,56 @@ proptest! {
         }
         tree.maintain(&g);
         for (k, v) in &model {
-            prop_assert_eq!(tree.get(k, &g), Some(v));
+            assert_eq!(tree.get(k, &g), Some(v), "case {case}");
         }
-        prop_assert_eq!(tree.count_keys(&g), model.len());
+        assert_eq!(tree.count_keys(&g), model.len(), "case {case}");
         drop(g);
-        tree.validate().map_err(TestCaseError::fail)?;
+        tree.validate()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
+}
 
-    #[test]
-    fn permutation_insert_remove_algebra(
-        positions in proptest::collection::vec((0usize..WIDTH, any::<bool>()), 0..64),
-    ) {
+#[test]
+fn permutation_insert_remove_algebra() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x9e47 + case);
+        let steps = rng.below(64) as usize;
         let mut p = Permutation::empty();
         let mut live: Vec<usize> = Vec::new(); // model: slot per sorted pos
-        for (pos, is_insert) in positions {
+        for _ in 0..steps {
+            let pos = rng.below(WIDTH as u64) as usize;
+            let is_insert = rng.below(2) == 0;
             if is_insert && live.len() < WIDTH {
                 let pos = pos.min(live.len());
                 let (np, slot) = p.insert_from_back(pos);
-                prop_assert!(!live.contains(&slot), "fresh slot");
+                assert!(!live.contains(&slot), "fresh slot (case {case})");
                 live.insert(pos, slot);
                 p = np;
             } else if !live.is_empty() {
                 let pos = pos % live.len();
                 let (np, slot) = p.remove_at(pos);
-                prop_assert_eq!(live.remove(pos), slot);
+                assert_eq!(live.remove(pos), slot, "case {case}");
                 p = np;
             }
-            prop_assert!(p.is_valid());
-            prop_assert_eq!(p.nkeys(), live.len());
+            assert!(p.is_valid(), "case {case}");
+            assert_eq!(p.nkeys(), live.len(), "case {case}");
             let got: Vec<usize> = p.live_slots().collect();
-            prop_assert_eq!(&got, &live);
+            assert_eq!(&got, &live, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn slice_order_equals_byte_order(a in proptest::collection::vec(any::<u8>(), 0..16),
-                                     b in proptest::collection::vec(any::<u8>(), 0..16)) {
-        use masstree::key::slice_at;
+#[test]
+fn slice_order_equals_byte_order() {
+    use masstree::key::slice_at;
+    let mut rng = Rng::new(0x51ce);
+    for _ in 0..CASES * 64 {
+        let a: Vec<u8> = (0..rng.below(16) as usize)
+            .map(|_| rng.next_u64() as u8)
+            .collect();
+        let b: Vec<u8> = (0..rng.below(16) as usize)
+            .map(|_| rng.next_u64() as u8)
+            .collect();
         // For keys up to 8 bytes, integer order must match byte order
         // exactly (modulo length ties resolved by keylen).
         let (sa, sb) = (slice_at(&a, 0), slice_at(&b, 0));
@@ -156,26 +201,38 @@ proptest! {
             // bytes differ; check byte order agrees on the first slice.
             let pa = &a[..a.len().min(8)];
             let pb = &b[..b.len().min(8)];
-            prop_assert!(pa <= pb, "slice order contradicts byte order");
+            assert!(pa <= pb, "slice order contradicts byte order");
         }
     }
+}
 
-    #[test]
-    fn keys_survive_roundtrip(keys in proptest::collection::btree_set(key_strategy(), 1..80)) {
+#[test]
+fn keys_survive_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x6e15 + case);
+        let mut keys: BTreeSet<Vec<u8>> = BTreeSet::new();
+        let target = 1 + rng.below(80) as usize;
+        while keys.len() < target {
+            keys.insert(gen_key(&mut rng));
+        }
         let mut tree: Masstree<u64> = Masstree::new();
         let g = masstree::pin();
         for (i, k) in keys.iter().enumerate() {
             tree.put(k, i as u64, &g);
         }
         for (i, k) in keys.iter().enumerate() {
-            prop_assert_eq!(tree.get(k, &g), Some(&(i as u64)));
+            assert_eq!(tree.get(k, &g), Some(&(i as u64)), "case {case}");
         }
         // Scan yields exactly the sorted key set.
         let mut got = Vec::new();
-        tree.scan(b"", &g, |k, _| { got.push(k.to_vec()); true });
+        tree.scan(b"", &g, |k, _| {
+            got.push(k.to_vec());
+            true
+        });
         let want: Vec<Vec<u8>> = keys.iter().cloned().collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
         drop(g);
-        tree.validate().map_err(TestCaseError::fail)?;
+        tree.validate()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
 }

@@ -10,7 +10,9 @@ fn decimal_keys(n: usize, seed: u64) -> Vec<Vec<u8>> {
     let mut s = seed | 1;
     (0..n)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) % 2_147_483_648).to_string().into_bytes()
         })
         .collect()
@@ -35,22 +37,29 @@ fn check_rev(t: &Masstree<u64>, m: &BTreeMap<Vec<u8>, u64>, start: &[u8], limit:
         .map(|(k, v)| (k, *v))
         .collect();
     let want: Vec<(Vec<u8>, u64)> = m
-        .range::<[u8], _>((
-            std::ops::Bound::Unbounded,
-            std::ops::Bound::Included(start),
-        ))
+        .range::<[u8], _>((std::ops::Bound::Unbounded, std::ops::Bound::Included(start)))
         .rev()
         .take(limit)
         .map(|(k, v)| (k.clone(), *v))
         .collect();
-    assert_eq!(got, want, "start={:?} limit={limit}", String::from_utf8_lossy(start));
+    assert_eq!(
+        got,
+        want,
+        "start={:?} limit={limit}",
+        String::from_utf8_lossy(start)
+    );
 }
 
 #[test]
 fn full_reverse_scan_matches_model() {
     let keys = decimal_keys(20_000, 5);
     let (t, m) = build(&keys);
-    check_rev(&t, &m, b"\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff", usize::MAX >> 1);
+    check_rev(
+        &t,
+        &m,
+        b"\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff",
+        usize::MAX >> 1,
+    );
 }
 
 #[test]
@@ -124,20 +133,32 @@ fn reverse_scan_during_concurrent_inserts_stays_sorted() {
             t.put(format!("base{i:06}").as_bytes(), i, &g);
         }
     }
+    // Scale contention to the machine (spinning writers starve the
+    // scanner on small containers), re-pin periodically so epoch
+    // reclamation keeps up, and wrap the keyspace so the tree stays
+    // bounded while scans race inserts *and* updates.
+    let writers_n = std::thread::available_parallelism()
+        .map_or(2, |n| n.get())
+        .saturating_sub(1)
+        .clamp(1, 4);
     std::thread::scope(|s| {
-        for w in 0..4 {
+        for w in 0..writers_n {
             let t = Arc::clone(&t);
             let stop = Arc::clone(&stop);
             s.spawn(move || {
-                let g = masstree::pin();
                 let mut i = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    t.put(format!("new{w}/{i:08}").as_bytes(), i, &g);
-                    i += 1;
+                    let g = masstree::pin();
+                    for _ in 0..1024 {
+                        t.put(format!("new{w}/{:08}", i % 100_000).as_bytes(), i, &g);
+                        i += 1;
+                    }
+                    drop(g);
+                    std::thread::yield_now();
                 }
             });
         }
-        for _ in 0..20 {
+        for _ in 0..10 {
             let g = masstree::pin();
             let mut prev: Option<Vec<u8>> = None;
             let mut base_seen = 0;

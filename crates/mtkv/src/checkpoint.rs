@@ -81,7 +81,7 @@ pub fn write_checkpoint(
     base: &Path,
     threads: usize,
 ) -> std::io::Result<CheckpointMeta> {
-    let threads = threads.max(1).min(256);
+    let threads = threads.clamp(1, 256);
     let start_ts = clock::now();
     let dir = ckpt_dir(base, start_ts);
     std::fs::create_dir_all(&dir)?;
@@ -250,7 +250,10 @@ pub fn latest_checkpoint(base: &Path) -> Option<(PathBuf, CheckpointMeta)> {
         let Some(meta) = CheckpointMeta::parse(&manifest) else {
             continue;
         };
-        if best.as_ref().is_none_or(|(_, m)| meta.start_ts > m.start_ts) {
+        if best
+            .as_ref()
+            .is_none_or(|(_, m)| meta.start_ts > m.start_ts)
+        {
             best = Some((path, meta));
         }
     }
@@ -321,7 +324,9 @@ mod tests {
         assert_eq!(meta.keys, 0);
         let (path, _) = latest_checkpoint(&dir).unwrap();
         for t in 0..3 {
-            assert!(read_part(&path.join(format!("part-{t:04}"))).unwrap().is_empty());
+            assert!(read_part(&path.join(format!("part-{t:04}")))
+                .unwrap()
+                .is_empty());
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -26,5 +26,5 @@ pub mod value;
 pub use checkpoint::{latest_checkpoint, write_checkpoint, CheckpointMeta};
 pub use log::{LogRecord, LogWriter};
 pub use recovery::{recover, RecoveryReport};
-pub use store::{Session, Store};
+pub use store::{split_batch_runs, PutOp, RunKind, Session, Store};
 pub use value::ColValue;

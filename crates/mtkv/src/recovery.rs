@@ -158,10 +158,7 @@ pub fn recover(log_dir: &Path, ckpt_dir: &Path) -> std::io::Result<(Arc<Store>, 
                     maxv = maxv.max(rec.version());
                     match rec {
                         LogRecord::Put {
-                            version,
-                            key,
-                            cols,
-                            ..
+                            version, key, cols, ..
                         } => {
                             tree.put_with(
                                 key,
@@ -170,8 +167,9 @@ pub fn recover(log_dir: &Path, ckpt_dir: &Path) -> std::io::Result<(Arc<Store>, 
                                         // Already newer: keep (rebuild the
                                         // same value; put_with must return
                                         // one).
-                                        let refs: Vec<&[u8]> =
-                                            (0..prev.ncols()).map(|i| prev.col(i).unwrap()).collect();
+                                        let refs: Vec<&[u8]> = (0..prev.ncols())
+                                            .map(|i| prev.col(i).unwrap())
+                                            .collect();
                                         ColValue::new(prev.version(), &refs)
                                     }
                                     Some(prev) => {
@@ -270,7 +268,10 @@ mod tests {
             let store = Store::persistent(&dir).unwrap();
             let s = store.session().unwrap();
             for i in 0..1000u32 {
-                s.put(format!("key{i:04}").as_bytes(), &[(0, &i.to_le_bytes()[..])]);
+                s.put(
+                    format!("key{i:04}").as_bytes(),
+                    &[(0, &i.to_le_bytes()[..])],
+                );
             }
             s.remove(b"key0007");
             s.force_log();
@@ -279,8 +280,14 @@ mod tests {
         assert!(!report.used_checkpoint);
         assert!(report.replayed >= 1000);
         let s = store.session().unwrap();
-        assert_eq!(s.get(b"key0000", Some(&[0])).unwrap()[0], 0u32.to_le_bytes());
-        assert_eq!(s.get(b"key0999", Some(&[0])).unwrap()[0], 999u32.to_le_bytes());
+        assert_eq!(
+            s.get(b"key0000", Some(&[0])).unwrap()[0],
+            0u32.to_le_bytes()
+        );
+        assert_eq!(
+            s.get(b"key0999", Some(&[0])).unwrap()[0],
+            999u32.to_le_bytes()
+        );
         assert_eq!(s.get(b"key0007", None), None, "remove replayed");
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -320,13 +327,19 @@ mod tests {
             let store = Store::persistent(&dir).unwrap();
             let s = store.session().unwrap();
             for i in 0..2_000u32 {
-                s.put(format!("key{i:05}").as_bytes(), &[(0, &i.to_le_bytes()[..])]);
+                s.put(
+                    format!("key{i:05}").as_bytes(),
+                    &[(0, &i.to_le_bytes()[..])],
+                );
             }
             s.force_log();
             write_checkpoint(&store, &dir, 3).unwrap();
             // Post-checkpoint tail.
             for i in 2_000..2_500u32 {
-                s.put(format!("key{i:05}").as_bytes(), &[(0, &i.to_le_bytes()[..])]);
+                s.put(
+                    format!("key{i:05}").as_bytes(),
+                    &[(0, &i.to_le_bytes()[..])],
+                );
             }
             s.put(b"key00000", &[(0, &u32::MAX.to_le_bytes()[..])]);
             s.force_log();
@@ -335,7 +348,10 @@ mod tests {
         assert!(report.used_checkpoint);
         assert_eq!(report.checkpoint_keys, 2_000);
         let s = store.session().unwrap();
-        assert_eq!(s.get(b"key02499", Some(&[0])).unwrap()[0], 2499u32.to_le_bytes());
+        assert_eq!(
+            s.get(b"key02499", Some(&[0])).unwrap()[0],
+            2499u32.to_le_bytes()
+        );
         assert_eq!(
             s.get(b"key00000", Some(&[0])).unwrap()[0],
             u32::MAX.to_le_bytes(),

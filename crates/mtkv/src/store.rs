@@ -97,6 +97,60 @@ impl Store {
     }
 }
 
+/// One batched put: a key and its column updates.
+pub type PutOp<'a> = (&'a [u8], &'a [(usize, &'a [u8])]);
+
+/// How one operation in a mixed batch is executed by the batched path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunKind {
+    /// Point read — groupable into an interleaved `multi_get`.
+    Get,
+    /// Point write — groupable into an interleaved `multi_put`, but a
+    /// run must not contain the same key twice (within one interleaved
+    /// group, duplicate-key order is unspecified).
+    Put,
+    /// Everything else — executed one at a time, in place.
+    Other,
+}
+
+/// Splits a mixed batch into maximal runs executable as one interleaved
+/// group, preserving batch semantics: runs never span different kinds,
+/// and a `Put` run is split at a duplicate key so per-key batch order
+/// holds. Returns `(kind, index range)` pairs covering `ops` in order.
+///
+/// Shared by the network server's batch executor and the batched-YCSB
+/// driver so both apply the same grouping rules.
+pub fn split_batch_runs<T>(
+    ops: &[T],
+    kind: impl Fn(&T) -> RunKind,
+    key: impl Fn(&T) -> &[u8],
+) -> Vec<(RunKind, std::ops::Range<usize>)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < ops.len() {
+        let k = kind(&ops[i]);
+        let mut j = i + 1;
+        match k {
+            RunKind::Get => {
+                while j < ops.len() && kind(&ops[j]) == RunKind::Get {
+                    j += 1;
+                }
+            }
+            RunKind::Put => {
+                let mut seen: std::collections::HashSet<&[u8]> =
+                    std::collections::HashSet::from([key(&ops[i])]);
+                while j < ops.len() && kind(&ops[j]) == RunKind::Put && seen.insert(key(&ops[j])) {
+                    j += 1;
+                }
+            }
+            RunKind::Other => {}
+        }
+        out.push((k, i..j));
+        i = j;
+    }
+    out
+}
+
 /// A per-worker handle: operations + this worker's log.
 pub struct Session {
     store: Arc<Store>,
@@ -162,15 +216,96 @@ impl Session {
         self.put(key, &[(0, data)])
     }
 
+    /// Batched `get_c`: looks up every key with one interleaved,
+    /// software-pipelined tree traversal (see `masstree::batch`), under a
+    /// single epoch pin. Results are positionally matched to `keys`;
+    /// column selection follows [`Session::get`].
+    pub fn multi_get(&self, keys: &[&[u8]], cols: Option<&[usize]>) -> Vec<Option<Vec<Vec<u8>>>> {
+        self.multi_get_project(keys, |_, v| match cols {
+            None => v.cols(),
+            Some(ids) => ids
+                .iter()
+                .map(|&i| v.col(i).unwrap_or(&[]).to_vec())
+                .collect(),
+        })
+    }
+
+    /// Batched whole-value `get_c` (all columns).
+    pub fn multi_get_full(&self, keys: &[&[u8]]) -> Vec<Option<Vec<Vec<u8>>>> {
+        self.multi_get(keys, None)
+    }
+
+    /// Batched lookup with per-key column projection: `project(i, value)`
+    /// runs against the live value (no intermediate whole-value copy), so
+    /// callers with heterogeneous column selections — the network server —
+    /// copy only the bytes each request asked for.
+    pub fn multi_get_project<F>(&self, keys: &[&[u8]], mut project: F) -> Vec<Option<Vec<Vec<u8>>>>
+    where
+        F: FnMut(usize, &ColValue) -> Vec<Vec<u8>>,
+    {
+        let guard = masstree::pin();
+        self.store
+            .tree
+            .multi_get(keys, &guard)
+            .into_iter()
+            .enumerate()
+            .map(|(i, hit)| hit.map(|v| project(i, v)))
+            .collect()
+    }
+
+    /// Batched `put_c`: applies every `(key, column updates)` pair with
+    /// one interleaved tree traversal, drawing each value version inside
+    /// that key's critical section (so version order still equals the
+    /// tree's serialization order, as replay requires — §5). Returns one
+    /// version per op, positionally matched.
+    ///
+    /// Within one batch the order in which *duplicate* keys apply is
+    /// unspecified; callers needing per-key ordering (the network server)
+    /// split batches at duplicates. Log records carry versions, and
+    /// replay is version-ordered, so recovery is unaffected either way.
+    pub fn multi_put(&self, ops: &[PutOp<'_>]) -> Vec<u64> {
+        let keys: Vec<&[u8]> = ops.iter().map(|&(k, _)| k).collect();
+        let mut versions = vec![0u64; ops.len()];
+        {
+            let guard = masstree::pin();
+            self.store.tree.multi_put_with(
+                &keys,
+                |i, old| {
+                    let version = self.store.draw_version();
+                    versions[i] = version;
+                    match old {
+                        None => ColValue::from_updates(version, ops[i].1),
+                        Some(prev) => prev.with_updates(version, ops[i].1),
+                    }
+                },
+                &guard,
+            );
+        }
+        if let Some(log) = &self.log {
+            for (&(key, updates), &version) in ops.iter().zip(&versions) {
+                log.append_now(|timestamp| LogRecord::Put {
+                    timestamp,
+                    version,
+                    key: key.to_vec(),
+                    cols: updates
+                        .iter()
+                        .map(|&(i, d)| (i as u16, d.to_vec()))
+                        .collect(),
+                });
+            }
+        }
+        versions
+    }
+
     /// `remove(k)`. Returns true if the key existed.
     pub fn remove(&self, key: &[u8]) -> bool {
         let guard = masstree::pin();
         // Draw the version at the removal's linearization point (under
         // the node lock) so replay ordering matches live ordering.
-        let removed =
-            self.store
-                .tree
-                .remove_with(key, |_| self.store.draw_version(), &guard);
+        let removed = self
+            .store
+            .tree
+            .remove_with(key, |_| self.store.draw_version(), &guard);
         match removed {
             None => false,
             Some((_, version)) => {
@@ -275,6 +410,102 @@ mod tests {
         assert_eq!(rows[0].0, b"key010");
         assert_eq!(rows[4].0, b"key014");
         assert_eq!(rows[2].1[0], 12u32.to_le_bytes());
+    }
+
+    #[test]
+    fn split_batch_runs_groups_and_splits() {
+        // (kind, key) pairs: g=Get, p=Put, o=Other.
+        let ops: Vec<(char, &[u8])> = vec![
+            ('g', b"a"),
+            ('g', b"b"),
+            ('p', b"x"),
+            ('p', b"y"),
+            ('p', b"x"), // duplicate: forces a split
+            ('o', b""),
+            ('g', b"c"),
+        ];
+        let runs = split_batch_runs(
+            &ops,
+            |&(k, _)| match k {
+                'g' => RunKind::Get,
+                'p' => RunKind::Put,
+                _ => RunKind::Other,
+            },
+            |&(_, key)| key,
+        );
+        assert_eq!(
+            runs,
+            vec![
+                (RunKind::Get, 0..2),
+                (RunKind::Put, 2..4),
+                (RunKind::Put, 4..5),
+                (RunKind::Other, 5..6),
+                (RunKind::Get, 6..7),
+            ]
+        );
+        assert!(split_batch_runs(
+            &Vec::<(char, &[u8])>::new(),
+            |_| RunKind::Get,
+            |_| b"".as_slice()
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn multi_get_matches_sequential_get() {
+        let store = Store::in_memory();
+        let s = store.session().unwrap();
+        for i in 0..200u32 {
+            s.put(
+                format!("mk{i:04}").as_bytes(),
+                &[(0, &i.to_le_bytes()), (1, b"x")],
+            );
+        }
+        let keys: Vec<Vec<u8>> = (0..250u32)
+            .map(|i| format!("mk{i:04}").into_bytes())
+            .collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let batch = s.multi_get(&refs, Some(&[0]));
+        for (k, got) in refs.iter().zip(batch) {
+            assert_eq!(got, s.get(k, Some(&[0])));
+        }
+        // Full-value variant matches too.
+        let full = s.multi_get_full(&refs);
+        for (k, got) in refs.iter().zip(full) {
+            assert_eq!(got, s.get(k, None));
+        }
+    }
+
+    #[test]
+    fn multi_put_draws_increasing_versions_and_applies() {
+        let store = Store::in_memory();
+        let s = store.session().unwrap();
+        let keys: Vec<Vec<u8>> = (0..64u32)
+            .map(|i| format!("bp{i:03}").into_bytes())
+            .collect();
+        let payloads: Vec<[u8; 4]> = (0..64u32).map(|i| i.to_le_bytes()).collect();
+        let updates: Vec<[(usize, &[u8]); 1]> =
+            payloads.iter().map(|p| [(0usize, p.as_slice())]).collect();
+        let ops: Vec<PutOp<'_>> = keys
+            .iter()
+            .zip(&updates)
+            .map(|(k, u)| (k.as_slice(), u.as_slice()))
+            .collect();
+        let versions = s.multi_put(&ops);
+        assert_eq!(versions.len(), 64);
+        let mut sorted = versions.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 64, "every op drew a distinct version");
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(
+                s.get(k, Some(&[0])),
+                Some(vec![(i as u32).to_le_bytes().to_vec()])
+            );
+        }
+        // A second batch over the same keys updates and draws later versions.
+        let versions2 = s.multi_put(&ops);
+        assert!(versions2.iter().min() > versions.iter().max());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use std::fs::OpenOptions;
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use mtkv::{recover, write_checkpoint, Store};
 
@@ -16,16 +16,19 @@ fn tmpdir(tag: &str) -> PathBuf {
     d
 }
 
-fn build_store(dir: &PathBuf, keys: u32) {
+fn build_store(dir: &Path, keys: u32) {
     let store = Store::persistent(dir).unwrap();
     let s = store.session().unwrap();
     for i in 0..keys {
-        s.put(format!("key{i:06}").as_bytes(), &[(0, &i.to_le_bytes()[..])]);
+        s.put(
+            format!("key{i:06}").as_bytes(),
+            &[(0, &i.to_le_bytes()[..])],
+        );
     }
     s.force_log();
 }
 
-fn log_paths(dir: &PathBuf) -> Vec<PathBuf> {
+fn log_paths(dir: &Path) -> Vec<PathBuf> {
     let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
         .unwrap()
         .flatten()
@@ -53,7 +56,10 @@ fn torn_log_tail_keeps_prefix() {
     // is lost.
     assert!(report.replayed >= 1_990, "{report:?}");
     let s = store.session().unwrap();
-    assert_eq!(s.get(b"key000000", Some(&[0])).unwrap()[0], 0u32.to_le_bytes());
+    assert_eq!(
+        s.get(b"key000000", Some(&[0])).unwrap()[0],
+        0u32.to_le_bytes()
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -72,7 +78,10 @@ fn corrupt_mid_log_record_truncates_from_there() {
     assert!(report.replayed > 100, "prefix survived: {report:?}");
     assert!(report.replayed < 2_000, "corrupt tail dropped: {report:?}");
     let s = store.session().unwrap();
-    assert_eq!(s.get(b"key000000", Some(&[0])).unwrap()[0], 0u32.to_le_bytes());
+    assert_eq!(
+        s.get(b"key000000", Some(&[0])).unwrap()[0],
+        0u32.to_le_bytes()
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -108,7 +117,10 @@ fn checkpoint_without_manifest_is_ignored() {
     assert!(!report.used_checkpoint, "incomplete checkpoint ignored");
     // Logs alone still reconstruct everything.
     let s = store.session().unwrap();
-    assert_eq!(s.get(b"key000499", Some(&[0])).unwrap()[0], 499u32.to_le_bytes());
+    assert_eq!(
+        s.get(b"key000499", Some(&[0])).unwrap()[0],
+        499u32.to_le_bytes()
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -121,7 +133,10 @@ fn truncated_checkpoint_part_falls_back_to_logs() {
         let store = Store::persistent(&dir).unwrap();
         let s = store.session().unwrap();
         for i in 0..2_000u32 {
-            s.put(format!("key{i:06}").as_bytes(), &[(0, &i.to_le_bytes()[..])]);
+            s.put(
+                format!("key{i:06}").as_bytes(),
+                &[(0, &i.to_le_bytes()[..])],
+            );
         }
         s.force_log();
         let _ = write_checkpoint(&store, &dir, 2).unwrap();
@@ -145,8 +160,14 @@ fn truncated_checkpoint_part_falls_back_to_logs() {
     assert!(!report.used_checkpoint, "{report:?}");
     assert!(report.replayed >= 2_000, "{report:?}");
     let s = store.session().unwrap();
-    assert_eq!(s.get(b"key000000", Some(&[0])).unwrap()[0], 0u32.to_le_bytes());
-    assert_eq!(s.get(b"key001999", Some(&[0])).unwrap()[0], 1999u32.to_le_bytes());
+    assert_eq!(
+        s.get(b"key000000", Some(&[0])).unwrap()[0],
+        0u32.to_le_bytes()
+    );
+    assert_eq!(
+        s.get(b"key001999", Some(&[0])).unwrap()[0],
+        1999u32.to_le_bytes()
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -179,6 +200,9 @@ fn appended_junk_after_valid_records() {
     let (store, report) = recover(&dir, &dir).unwrap();
     assert!(report.replayed >= 1_000);
     let s = store.session().unwrap();
-    assert_eq!(s.get(b"key000999", Some(&[0])).unwrap()[0], 999u32.to_le_bytes());
+    assert_eq!(
+        s.get(b"key000999", Some(&[0])).unwrap()[0],
+        999u32.to_le_bytes()
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -12,6 +12,12 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::proto::{frame_batch, read_batch, Request, Response};
 
+/// One `(key, columns)` row returned by scans.
+pub type Row = (Vec<u8>, Vec<Vec<u8>>);
+
+/// One `(key, column updates)` put within a client batch.
+pub type PutSpec = (Vec<u8>, Vec<(u16, Vec<u8>)>);
+
 /// A synchronous connection to a Masstree server.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -93,7 +99,11 @@ impl Client {
 
     // ---- convenience single-operation wrappers ----
 
-    pub fn get(&mut self, key: &[u8], cols: Option<Vec<u16>>) -> std::io::Result<Option<Vec<Vec<u8>>>> {
+    pub fn get(
+        &mut self,
+        key: &[u8],
+        cols: Option<Vec<u16>>,
+    ) -> std::io::Result<Option<Vec<Vec<u8>>>> {
         self.queue(&Request::Get {
             key: key.to_vec(),
             cols,
@@ -115,6 +125,45 @@ impl Client {
         }
     }
 
+    /// Sends one batch of gets and returns the positionally matched
+    /// values. The server executes the whole batch through its
+    /// interleaved traversal engine, so this is the fastest way to read
+    /// many keys.
+    pub fn multi_get(
+        &mut self,
+        keys: &[&[u8]],
+        cols: Option<Vec<u16>>,
+    ) -> std::io::Result<Vec<Option<Vec<Vec<u8>>>>> {
+        for key in keys {
+            self.queue(&Request::Get {
+                key: key.to_vec(),
+                cols: cols.clone(),
+            });
+        }
+        self.execute_batch()?
+            .into_iter()
+            .map(|r| match r {
+                Response::Value(v) => Ok(v),
+                _ => Err(std::io::Error::other("unexpected response")),
+            })
+            .collect()
+    }
+
+    /// Sends one batch of single-column puts and returns the assigned
+    /// value versions, positionally matched.
+    pub fn multi_put(&mut self, ops: Vec<PutSpec>) -> std::io::Result<Vec<u64>> {
+        for (key, cols) in ops {
+            self.queue(&Request::Put { key, cols });
+        }
+        self.execute_batch()?
+            .into_iter()
+            .map(|r| match r {
+                Response::PutOk(v) => Ok(v),
+                _ => Err(std::io::Error::other("unexpected response")),
+            })
+            .collect()
+    }
+
     pub fn remove(&mut self, key: &[u8]) -> std::io::Result<bool> {
         self.queue(&Request::Remove { key: key.to_vec() });
         match self.execute_batch()?.pop() {
@@ -128,7 +177,7 @@ impl Client {
         key: &[u8],
         count: u32,
         cols: Option<Vec<u16>>,
-    ) -> std::io::Result<Vec<(Vec<u8>, Vec<Vec<u8>>)>> {
+    ) -> std::io::Result<Vec<Row>> {
         self.queue(&Request::Scan {
             key: key.to_vec(),
             count,

@@ -10,4 +10,4 @@ pub mod server;
 
 pub use client::Client;
 pub use proto::{Request, Response};
-pub use server::{Backend, ConnState, Server};
+pub use server::{execute, execute_batch, Backend, ConnState, Server};

@@ -295,7 +295,9 @@ mod tests {
             key: b"key\0binary".to_vec(),
             cols: vec![(0, b"a".to_vec()), (7, vec![])],
         });
-        roundtrip_req(Request::Remove { key: b"gone".to_vec() });
+        roundtrip_req(Request::Remove {
+            key: b"gone".to_vec(),
+        });
         roundtrip_req(Request::Scan {
             key: b"start".to_vec(),
             count: 100,

@@ -29,6 +29,13 @@ pub trait Backend: Send + Sync + 'static {
 /// Connection-scoped executor produced by a [`Backend`].
 pub trait ConnState: Send {
     fn execute(&mut self, req: Request) -> Response;
+
+    /// Executes one wire batch. The default runs each request in turn;
+    /// the Masstree store overrides this to feed runs of gets/puts
+    /// through the interleaved batch traversal engine.
+    fn execute_batch(&mut self, reqs: Vec<Request>) -> Vec<Response> {
+        reqs.into_iter().map(|r| self.execute(r)).collect()
+    }
 }
 
 /// The default backend: an `mtkv` store; each connection gets a session
@@ -45,6 +52,10 @@ impl Backend for StoreBackend {
 impl ConnState for Session {
     fn execute(&mut self, req: Request) -> Response {
         execute(self, req)
+    }
+
+    fn execute_batch(&mut self, reqs: Vec<Request>) -> Vec<Response> {
+        execute_batch(self, reqs)
     }
 }
 
@@ -82,11 +93,12 @@ impl Server {
                     let Ok(conn) = conn else { continue };
                     let state = backend.connect();
                     let ops3 = Arc::clone(&ops2);
-                    let _ = std::thread::Builder::new()
-                        .name("mtnet-conn".into())
-                        .spawn(move || {
-                            let _ = serve_connection(conn, state, &ops3);
-                        });
+                    let _ =
+                        std::thread::Builder::new()
+                            .name("mtnet-conn".into())
+                            .spawn(move || {
+                                let _ = serve_connection(conn, state, &ops3);
+                            });
                 }
             })?;
         Ok(Server {
@@ -124,8 +136,10 @@ impl Drop for Server {
     }
 }
 
-/// Handles one connection: read a batch, execute every query, write the
-/// response batch (one write per batch — the batching §7 shows matters).
+/// Handles one connection: read a batch, decode it whole, execute it as
+/// one unit (letting the backend interleave traversals across the
+/// batch), write the response batch (one write per batch — the batching
+/// §7 shows matters).
 fn serve_connection(
     conn: TcpStream,
     mut state: Box<dyn ConnState>,
@@ -136,17 +150,24 @@ fn serve_connection(
     let mut writer = BufWriter::with_capacity(1 << 20, conn);
     while let Some((count, body)) = read_batch(&mut reader)? {
         let mut p = &body[..];
-        let mut out = Vec::with_capacity(body.len());
-        let mut served = 0u64;
+        let mut reqs = Vec::with_capacity(count as usize);
         for _ in 0..count {
             let Some(req) = Request::decode(&mut p) else {
                 return Err(std::io::Error::other("malformed request"));
             };
-            let resp = state.execute(req);
-            resp.encode(&mut out);
-            served += 1;
+            reqs.push(req);
         }
-        ops.fetch_add(served, Ordering::Relaxed);
+        let resps = state.execute_batch(reqs);
+        if resps.len() != count as usize {
+            // A misbehaving backend must not desync the framed protocol:
+            // fail the connection instead of sending a lying count.
+            return Err(std::io::Error::other("backend response count mismatch"));
+        }
+        let mut out = Vec::with_capacity(body.len());
+        for resp in &resps {
+            resp.encode(&mut out);
+        }
+        ops.fetch_add(count as u64, Ordering::Relaxed);
         let framed = frame_batch(count as usize, &out);
         writer.write_all(&framed)?;
         writer.flush()?;
@@ -154,12 +175,97 @@ fn serve_connection(
     Ok(())
 }
 
+/// Executes a whole wire batch against a store session, routing runs of
+/// consecutive gets and puts through the interleaved batch traversal
+/// engine (`masstree::batch`) instead of N sequential descents.
+///
+/// Batch semantics are preserved exactly: responses are positionally
+/// matched, requests of different kinds never reorder across each other,
+/// and a run of puts is split at a duplicate key so writes to the same
+/// key apply in batch order (within an interleaved group, duplicate-key
+/// order would otherwise be unspecified).
+pub fn execute_batch(session: &Session, mut reqs: Vec<Request>) -> Vec<Response> {
+    let runs = mtkv::split_batch_runs(
+        &reqs,
+        |r| match r {
+            Request::Get { .. } => mtkv::RunKind::Get,
+            Request::Put { .. } => mtkv::RunKind::Put,
+            _ => mtkv::RunKind::Other,
+        },
+        |r| match r {
+            Request::Get { key, .. } | Request::Put { key, .. } => key.as_slice(),
+            _ => &[],
+        },
+    );
+    let mut out = Vec::with_capacity(reqs.len());
+    for (kind, range) in runs {
+        let run = &reqs[range.clone()];
+        match kind {
+            mtkv::RunKind::Get if run.len() >= 2 => {
+                let keys: Vec<&[u8]> = run
+                    .iter()
+                    .map(|r| match r {
+                        Request::Get { key, .. } => key.as_slice(),
+                        _ => unreachable!("run holds only gets"),
+                    })
+                    .collect();
+                // Project each request's own column selection straight
+                // from the live value — no whole-value intermediate copy.
+                let hits = session.multi_get_project(&keys, |i, v| {
+                    let Request::Get { cols, .. } = &run[i] else {
+                        unreachable!("run holds only gets")
+                    };
+                    match cols {
+                        None => v.cols(),
+                        Some(ids) => ids
+                            .iter()
+                            .map(|&c| v.col(c as usize).unwrap_or(&[]).to_vec())
+                            .collect(),
+                    }
+                });
+                out.extend(hits.into_iter().map(Response::Value));
+            }
+            mtkv::RunKind::Put if run.len() >= 2 => {
+                let updates: Vec<Vec<(usize, &[u8])>> = run
+                    .iter()
+                    .map(|r| match r {
+                        Request::Put { cols, .. } => cols
+                            .iter()
+                            .map(|(i, d)| (*i as usize, d.as_slice()))
+                            .collect(),
+                        _ => unreachable!("run holds only puts"),
+                    })
+                    .collect();
+                let ops: Vec<mtkv::PutOp<'_>> = run
+                    .iter()
+                    .zip(&updates)
+                    .map(|(r, u)| match r {
+                        Request::Put { key, .. } => (key.as_slice(), u.as_slice()),
+                        _ => unreachable!("run holds only puts"),
+                    })
+                    .collect();
+                out.extend(session.multi_put(&ops).into_iter().map(Response::PutOk));
+            }
+            _ => {
+                // Singleton or non-groupable run: execute in place. The
+                // placeholder swap lets us move the request out without
+                // cloning its payload.
+                for idx in range {
+                    let req =
+                        std::mem::replace(&mut reqs[idx], Request::Remove { key: Vec::new() });
+                    out.push(execute(session, req));
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Executes one request against a store session.
 pub fn execute(session: &Session, req: Request) -> Response {
     match req {
         Request::Get { key, cols } => {
-            let ids: Option<Vec<usize>> =
-                cols.map(|c| c.iter().map(|&i| i as usize).collect());
+            let ids: Option<Vec<usize>> = cols.map(|c| c.iter().map(|&i| i as usize).collect());
             Response::Value(session.get(&key, ids.as_deref()))
         }
         Request::Put { key, cols } => {
@@ -171,8 +277,7 @@ pub fn execute(session: &Session, req: Request) -> Response {
         }
         Request::Remove { key } => Response::RemoveOk(session.remove(&key)),
         Request::Scan { key, count, cols } => {
-            let ids: Option<Vec<usize>> =
-                cols.map(|c| c.iter().map(|&i| i as usize).collect());
+            let ids: Option<Vec<usize>> = cols.map(|c| c.iter().map(|&i| i as usize).collect());
             Response::Rows(session.get_range(&key, count as usize, ids.as_deref()))
         }
     }

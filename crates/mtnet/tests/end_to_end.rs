@@ -13,13 +13,18 @@ fn single_ops() {
     let server = start_in_memory();
     let mut c = Client::connect(server.addr()).unwrap();
     assert_eq!(c.get(b"k", None).unwrap(), None);
-    let v1 = c.put(b"k", vec![(0, b"hello".to_vec()), (1, b"world".to_vec())]).unwrap();
+    let v1 = c
+        .put(b"k", vec![(0, b"hello".to_vec()), (1, b"world".to_vec())])
+        .unwrap();
     assert!(v1 > 0);
     assert_eq!(
         c.get(b"k", None).unwrap(),
         Some(vec![b"hello".to_vec(), b"world".to_vec()])
     );
-    assert_eq!(c.get(b"k", Some(vec![1])).unwrap(), Some(vec![b"world".to_vec()]));
+    assert_eq!(
+        c.get(b"k", Some(vec![1])).unwrap(),
+        Some(vec![b"world".to_vec()])
+    );
     assert!(c.remove(b"k").unwrap());
     assert!(!c.remove(b"k").unwrap());
     assert_eq!(c.get(b"k", None).unwrap(), None);
@@ -60,8 +65,11 @@ fn scans_over_network() {
     let server = start_in_memory();
     let mut c = Client::connect(server.addr()).unwrap();
     for i in 0..50u32 {
-        c.put(format!("user{i:04}").as_bytes(), vec![(0, vec![i as u8]), (1, vec![7])])
-            .unwrap();
+        c.put(
+            format!("user{i:04}").as_bytes(),
+            vec![(0, vec![i as u8]), (1, vec![7])],
+        )
+        .unwrap();
     }
     let rows = c.scan(b"user0010", 5, Some(vec![0])).unwrap();
     assert_eq!(rows.len(), 5);
@@ -101,11 +109,16 @@ fn many_concurrent_clients() {
             std::thread::spawn(move || {
                 let mut c = Client::connect(addr).unwrap();
                 for i in 0..500u32 {
-                    c.put(format!("t{t}i{i}").as_bytes(), vec![(0, i.to_le_bytes().to_vec())])
-                        .unwrap();
+                    c.put(
+                        format!("t{t}i{i}").as_bytes(),
+                        vec![(0, i.to_le_bytes().to_vec())],
+                    )
+                    .unwrap();
                 }
                 for i in 0..500u32 {
-                    let got = c.get(format!("t{t}i{i}").as_bytes(), Some(vec![0])).unwrap();
+                    let got = c
+                        .get(format!("t{t}i{i}").as_bytes(), Some(vec![0]))
+                        .unwrap();
                     assert_eq!(got.unwrap()[0], i.to_le_bytes());
                 }
             })
@@ -126,8 +139,11 @@ fn persistent_server_recovers() {
         let server = Server::start(store, "127.0.0.1:0").unwrap();
         let mut c = Client::connect(server.addr()).unwrap();
         for i in 0..200u32 {
-            c.put(format!("dur{i:04}").as_bytes(), vec![(0, i.to_le_bytes().to_vec())])
-                .unwrap();
+            c.put(
+                format!("dur{i:04}").as_bytes(),
+                vec![(0, i.to_le_bytes().to_vec())],
+            )
+            .unwrap();
         }
         // Drop client first so the connection session flushes its log.
         drop(c);
@@ -137,7 +153,119 @@ fn persistent_server_recovers() {
     let (store, report) = mtkv::recover(&dir, &dir).unwrap();
     assert!(report.replayed >= 190, "most records on disk: {report:?}");
     let s = store.session().unwrap();
-    assert_eq!(s.get(b"dur0000", Some(&[0])).unwrap()[0], 0u32.to_le_bytes());
-    assert_eq!(s.get(b"dur0199", Some(&[0])).unwrap()[0], 199u32.to_le_bytes());
+    assert_eq!(
+        s.get(b"dur0000", Some(&[0])).unwrap()[0],
+        0u32.to_le_bytes()
+    );
+    assert_eq!(
+        s.get(b"dur0199", Some(&[0])).unwrap()[0],
+        199u32.to_le_bytes()
+    );
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn interleaved_batch_path_matches_sequential_semantics() {
+    // Mixed batches — gets, puts (including duplicate keys within one
+    // batch), removes, scans — must behave exactly as if executed one at
+    // a time in batch order, even though the server routes runs of gets
+    // and puts through the interleaved traversal engine.
+    let server = start_in_memory();
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    // A put run with a duplicate key: per-key order must hold, so the
+    // later write wins.
+    c.queue(&Request::Put {
+        key: b"dup".to_vec(),
+        cols: vec![(0, b"first".to_vec())],
+    });
+    c.queue(&Request::Put {
+        key: b"other".to_vec(),
+        cols: vec![(0, b"o".to_vec())],
+    });
+    c.queue(&Request::Put {
+        key: b"dup".to_vec(),
+        cols: vec![(0, b"second".to_vec())],
+    });
+    let resp = c.execute_batch().unwrap();
+    assert_eq!(resp.len(), 3);
+    let versions: Vec<u64> = resp
+        .iter()
+        .map(|r| match r {
+            Response::PutOk(v) => *v,
+            other => panic!("unexpected {other:?}"),
+        })
+        .collect();
+    assert!(versions[2] > versions[0], "batch order preserved per key");
+    assert_eq!(c.get(b"dup", None).unwrap(), Some(vec![b"second".to_vec()]));
+
+    // A mixed batch: get-run, remove, get-run again; responses stay
+    // positionally matched and read-your-writes holds across runs.
+    c.queue(&Request::Get {
+        key: b"dup".to_vec(),
+        cols: None,
+    });
+    c.queue(&Request::Get {
+        key: b"other".to_vec(),
+        cols: None,
+    });
+    c.queue(&Request::Remove {
+        key: b"dup".to_vec(),
+    });
+    c.queue(&Request::Get {
+        key: b"dup".to_vec(),
+        cols: None,
+    });
+    c.queue(&Request::Get {
+        key: b"missing".to_vec(),
+        cols: None,
+    });
+    let resp = c.execute_batch().unwrap();
+    assert_eq!(resp.len(), 5);
+    assert_eq!(resp[0], Response::Value(Some(vec![b"second".to_vec()])));
+    assert_eq!(resp[1], Response::Value(Some(vec![b"o".to_vec()])));
+    assert_eq!(resp[2], Response::RemoveOk(true));
+    assert_eq!(resp[3], Response::Value(None), "sees the remove before it");
+    assert_eq!(resp[4], Response::Value(None));
+
+    // A large uniform get batch (the multiget fast path) with per-request
+    // column selections mixed in.
+    let mut put_ops = Vec::new();
+    for i in 0..300u32 {
+        put_ops.push((
+            format!("bulk{i:04}").into_bytes(),
+            vec![(0, i.to_le_bytes().to_vec()), (1, b"col1".to_vec())],
+        ));
+    }
+    c.multi_put(put_ops).unwrap();
+    for i in 0..300u32 {
+        let cols = if i % 2 == 0 { None } else { Some(vec![1]) };
+        c.queue(&Request::Get {
+            key: format!("bulk{i:04}").into_bytes(),
+            cols,
+        });
+    }
+    let resp = c.execute_batch().unwrap();
+    for (i, r) in resp.iter().enumerate() {
+        match (i % 2, r) {
+            (0, Response::Value(Some(cols))) => {
+                assert_eq!(cols.len(), 2);
+                assert_eq!(cols[0], (i as u32).to_le_bytes());
+            }
+            (_, Response::Value(Some(cols))) => {
+                assert_eq!(cols, &vec![b"col1".to_vec()]);
+            }
+            (_, other) => panic!("unexpected {other:?}"),
+        }
+    }
+
+    // The client-side multiget convenience.
+    let keys: Vec<Vec<u8>> = (0..40u32)
+        .map(|i| format!("bulk{i:04}").into_bytes())
+        .collect();
+    let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+    let hits = c.multi_get(&refs, Some(vec![0])).unwrap();
+    for (i, h) in hits.iter().enumerate() {
+        assert_eq!(h.as_ref().unwrap()[0], (i as u32).to_le_bytes());
+    }
 }

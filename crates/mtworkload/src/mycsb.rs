@@ -63,7 +63,11 @@ pub enum MycsbOp {
         data: [u8; COLUMN_LEN],
     },
     /// Read one column of up to `count` adjacent keys starting at `key`.
-    GetRange { key: Vec<u8>, count: usize, column: usize },
+    GetRange {
+        key: Vec<u8>,
+        count: usize,
+        column: usize,
+    },
 }
 
 /// A reproducible MYCSB operation stream.
@@ -106,6 +110,15 @@ impl MycsbWorkload {
     fn popular_record(&mut self) -> u64 {
         let rank = self.zipf.sample(&mut self.rng);
         self.zipf.scatter(rank)
+    }
+
+    /// Draws the next `n` operations as one client batch (the batched
+    /// MYCSB mode): the stream is identical to calling
+    /// [`MycsbWorkload::next_op`] `n` times, so batched and sequential
+    /// drivers replay the same operations and differ only in how they
+    /// execute them (interleaved multi-get/multi-put vs one at a time).
+    pub fn next_ops(&mut self, n: usize) -> Vec<MycsbOp> {
+        (0..n).map(|_| self.next_op()).collect()
     }
 
     /// The next operation in the stream.
@@ -171,6 +184,15 @@ mod tests {
             }
         }
         assert!(scans > 9_000, "{scans} scans");
+    }
+
+    #[test]
+    fn next_ops_matches_sequential_stream() {
+        let mut a = MycsbWorkload::new(Mix::A, 10_000, 9);
+        let mut b = MycsbWorkload::new(Mix::A, 10_000, 9);
+        let batched: Vec<MycsbOp> = a.next_ops(16).into_iter().chain(a.next_ops(16)).collect();
+        let sequential: Vec<MycsbOp> = (0..32).map(|_| b.next_op()).collect();
+        assert_eq!(batched, sequential);
     }
 
     #[test]

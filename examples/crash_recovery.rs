@@ -44,7 +44,10 @@ fn main() {
         // More writes after the checkpoint — these live only in the logs.
         let s0 = &sessions[0];
         for i in 0..5_000u64 {
-            s0.put(format!("post/key{i:06}").as_bytes(), &[(0, &i.to_le_bytes()[..])]);
+            s0.put(
+                format!("post/key{i:06}").as_bytes(),
+                &[(0, &i.to_le_bytes()[..])],
+            );
         }
         // Overwrite some checkpointed values: replay must prefer the
         // higher-version log records.
@@ -79,13 +82,19 @@ fn main() {
         4999u64.to_le_bytes()
     );
     // Overwrites win over checkpointed versions:
-    assert_eq!(session.get(b"w0/key000050", Some(&[0])).unwrap()[0], b"overwritten");
+    assert_eq!(
+        session.get(b"w0/key000050", Some(&[0])).unwrap()[0],
+        b"overwritten"
+    );
     // Second column survived the column-0 overwrite (copy-on-write §4.7):
     assert_eq!(session.get(b"w0/key000050", Some(&[1])).unwrap()[0], b"0");
     // The remove replayed (tombstone, then swept):
     assert_eq!(session.get(b"w1/key000000", None), None);
     let guard = masstree::pin();
-    println!("total keys after recovery: {}", store.tree().count_keys(&guard));
+    println!(
+        "total keys after recovery: {}",
+        store.tree().count_keys(&guard)
+    );
     drop(guard);
 
     let _ = std::fs::remove_dir_all(&dir);

@@ -12,7 +12,10 @@ use mtnet::{Client, Request, Response};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let addr = args.get(1).cloned().unwrap_or_else(|| "127.0.0.1:7700".into());
+    let addr = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7700".into());
     let cmd = args.get(2).map(String::as_str).unwrap_or("help");
     let mut client = Client::connect(&addr).expect("connect");
 

@@ -16,7 +16,10 @@ use mtnet::Server;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let addr = args.get(1).cloned().unwrap_or_else(|| "127.0.0.1:7700".into());
+    let addr = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7700".into());
     let dir = PathBuf::from(args.get(2).cloned().unwrap_or_else(|| "/tmp/mtdata".into()));
     std::fs::create_dir_all(&dir).expect("create data dir");
 

@@ -17,7 +17,10 @@ fn main() {
     let guard = masstree::pin();
     tree.put(b"greeting", "hello world".to_string(), &guard);
     tree.put(b"answer", "42".to_string(), &guard);
-    assert_eq!(tree.get(b"greeting", &guard).map(String::as_str), Some("hello world"));
+    assert_eq!(
+        tree.get(b"greeting", &guard).map(String::as_str),
+        Some("hello world")
+    );
 
     // Writers lock only the nodes they touch; readers never lock at all.
     // Hammer the tree from 8 threads:

@@ -4,19 +4,33 @@
 //!
 //! ```sh
 //! cargo run --release --example ycsb [records] [seconds]
+//! cargo run --release --example ycsb -- --batch [records] [seconds]
 //! ```
+//!
+//! With `--batch`, each mix is additionally driven in batched mode: every
+//! worker draws operations in groups and executes runs of gets/puts
+//! through the interleaved multi-get/multi-put path (`masstree::batch`),
+//! sweeping batch sizes {1, 4, 8, 16, 32} so the sequential-vs-pipelined
+//! comparison is printed per mix.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use mtkv::Store;
+use mtkv::{Session, Store};
 use mtworkload::{Mix, MycsbOp, MycsbWorkload};
 
+/// Batch sizes swept by `--batch` (1 = the sequential baseline).
+const BATCH_SIZES: [usize; 5] = [1, 4, 8, 16, 32];
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let records: u64 = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(200_000);
-    let secs: f64 = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(2.0);
-    let threads = std::thread::available_parallelism().map_or(8, |n| n.get()).min(16);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let batch_mode = args.iter().any(|a| a == "--batch");
+    args.retain(|a| a != "--batch");
+    let records: u64 = args.first().and_then(|v| v.parse().ok()).unwrap_or(200_000);
+    let secs: f64 = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(2.0);
+    let threads = std::thread::available_parallelism()
+        .map_or(8, |n| n.get())
+        .min(16);
 
     let dir = std::env::temp_dir().join(format!("ycsb-example-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -41,44 +55,131 @@ fn main() {
     });
 
     for mix in [Mix::A, Mix::B, Mix::C, Mix::E] {
-        let stop = AtomicBool::new(false);
-        let total = AtomicU64::new(0);
-        std::thread::scope(|s| {
-            for t in 0..threads as u64 {
-                let store = &store;
-                let stop = &stop;
-                let total = &total;
-                s.spawn(move || {
-                    let session = store.session().unwrap();
-                    let mut wl = MycsbWorkload::new(mix, records, 7 + t);
-                    let mut n = 0u64;
-                    while !stop.load(Ordering::Relaxed) {
-                        match wl.next_op() {
-                            MycsbOp::Get { key } => {
-                                std::hint::black_box(session.get(&key, None));
-                            }
-                            MycsbOp::Put { key, column, data } => {
-                                session.put(&key, &[(column, &data)]);
-                            }
-                            MycsbOp::GetRange { key, count, column } => {
-                                std::hint::black_box(
-                                    session.get_range(&key, count, Some(&[column])),
-                                );
-                            }
-                        }
-                        n += 1;
-                    }
-                    total.fetch_add(n, Ordering::Relaxed);
-                });
+        if batch_mode {
+            for batch in BATCH_SIZES {
+                let mops = run_mix(&store, mix, records, secs, threads, batch);
+                println!("{:<8} batch={batch:<3} {mops:>8.2} Mops/s", mix.name());
             }
-            std::thread::sleep(std::time::Duration::from_secs_f64(secs));
-            stop.store(true, Ordering::Relaxed);
-        });
-        println!(
-            "{:<8} {:>8.2} Mops/s",
-            mix.name(),
-            total.load(Ordering::Relaxed) as f64 / secs / 1e6
-        );
+        } else {
+            let mops = run_mix(&store, mix, records, secs, threads, 1);
+            println!("{:<8} {mops:>8.2} Mops/s", mix.name());
+        }
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Runs one mix for `secs`; `batch == 1` executes operations one at a
+/// time, larger batches group them and route get/put runs through the
+/// interleaved engine. Returns Mops/s.
+fn run_mix(
+    store: &Arc<Store>,
+    mix: Mix,
+    records: u64,
+    secs: f64,
+    threads: usize,
+    batch: usize,
+) -> f64 {
+    let stop = AtomicBool::new(false);
+    let total = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..threads as u64 {
+            let store = &store;
+            let stop = &stop;
+            let total = &total;
+            s.spawn(move || {
+                let session = store.session().unwrap();
+                let mut wl = MycsbWorkload::new(mix, records, 7 + t);
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if batch <= 1 {
+                        execute_one(&session, wl.next_op());
+                        n += 1;
+                    } else {
+                        let ops = wl.next_ops(batch);
+                        n += ops.len() as u64;
+                        execute_batched(&session, ops);
+                    }
+                }
+                total.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+        stop.store(true, Ordering::Relaxed);
+    });
+    total.load(Ordering::Relaxed) as f64 / secs / 1e6
+}
+
+fn execute_one(session: &Session, op: MycsbOp) {
+    execute_one_ref(session, &op)
+}
+
+/// Executes one drawn batch, feeding runs of gets and puts through the
+/// interleaved engine. Run grouping (and put-run splitting at duplicate
+/// keys, which preserves per-key order) is shared with the network
+/// server via [`mtkv::split_batch_runs`].
+fn execute_batched(session: &Session, ops: Vec<MycsbOp>) {
+    let runs = mtkv::split_batch_runs(
+        &ops,
+        |o| match o {
+            MycsbOp::Get { .. } => mtkv::RunKind::Get,
+            MycsbOp::Put { .. } => mtkv::RunKind::Put,
+            MycsbOp::GetRange { .. } => mtkv::RunKind::Other,
+        },
+        |o| match o {
+            MycsbOp::Get { key } | MycsbOp::Put { key, .. } => key.as_slice(),
+            MycsbOp::GetRange { .. } => &[],
+        },
+    );
+    for (kind, range) in runs {
+        let run = &ops[range];
+        match kind {
+            mtkv::RunKind::Get if run.len() >= 2 => {
+                let keys: Vec<&[u8]> = run
+                    .iter()
+                    .map(|o| match o {
+                        MycsbOp::Get { key } => key.as_slice(),
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                std::hint::black_box(session.multi_get(&keys, None));
+            }
+            mtkv::RunKind::Put if run.len() >= 2 => {
+                let updates: Vec<[(usize, &[u8]); 1]> = run
+                    .iter()
+                    .map(|o| match o {
+                        MycsbOp::Put { column, data, .. } => [(*column, data.as_slice())],
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                let puts: Vec<mtkv::PutOp<'_>> = run
+                    .iter()
+                    .zip(&updates)
+                    .map(|(o, u)| match o {
+                        MycsbOp::Put { key, .. } => (key.as_slice(), u.as_slice()),
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                session.multi_put(&puts);
+            }
+            _ => {
+                for op in run {
+                    execute_one_ref(session, op);
+                }
+            }
+        }
+    }
+}
+
+fn execute_one_ref(session: &Session, op: &MycsbOp) {
+    match op {
+        MycsbOp::Get { key } => {
+            std::hint::black_box(session.get(key, None));
+        }
+        MycsbOp::Put { key, column, data } => {
+            session.put(key, &[(*column, data)]);
+        }
+        MycsbOp::GetRange { key, count, column } => {
+            std::hint::black_box(session.get_range(key, *count, Some(&[*column])));
+        }
+    }
 }

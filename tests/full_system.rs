@@ -35,7 +35,10 @@ fn network_store_matches_model() {
             }
             _ => {
                 let want = model.get(&key).cloned();
-                let got = client.get(&key, Some(vec![0])).unwrap().map(|mut c| c.remove(0));
+                let got = client
+                    .get(&key, Some(vec![0]))
+                    .unwrap()
+                    .map(|mut c| c.remove(0));
                 assert_eq!(got, want);
             }
         }
@@ -135,8 +138,14 @@ fn checkpoint_log_recovery_composition() {
     assert!(report.used_checkpoint);
     let s = store.session().unwrap();
     assert_eq!(s.get(b"k00000", Some(&[0])).unwrap()[0], b"updated");
-    assert_eq!(s.get(b"k02999", Some(&[0])).unwrap()[0], 2999u32.to_le_bytes());
-    assert_eq!(s.get(b"k03499", Some(&[0])).unwrap()[0], 3499u32.to_le_bytes());
+    assert_eq!(
+        s.get(b"k02999", Some(&[0])).unwrap()[0],
+        2999u32.to_le_bytes()
+    );
+    assert_eq!(
+        s.get(b"k03499", Some(&[0])).unwrap()[0],
+        3499u32.to_le_bytes()
+    );
     assert_eq!(s.get(b"k01200", None), None, "post-checkpoint remove wins");
     let guard = masstree::pin();
     assert_eq!(store.tree().count_keys(&guard), 3_000 + 500 - 500);
@@ -151,7 +160,10 @@ fn double_crash_recovery_is_stable() {
         let store = Store::persistent(&dir).unwrap();
         let s = store.session().unwrap();
         for i in 0..1_000u32 {
-            s.put(format!("gen1/{i:04}").as_bytes(), &[(0, &i.to_le_bytes()[..])]);
+            s.put(
+                format!("gen1/{i:04}").as_bytes(),
+                &[(0, &i.to_le_bytes()[..])],
+            );
         }
         s.force_log();
     }
@@ -159,14 +171,23 @@ fn double_crash_recovery_is_stable() {
         let (store, _) = recover(&dir, &dir).unwrap();
         let s = store.session().unwrap();
         for i in 0..1_000u32 {
-            s.put(format!("gen2/{i:04}").as_bytes(), &[(0, &i.to_le_bytes()[..])]);
+            s.put(
+                format!("gen2/{i:04}").as_bytes(),
+                &[(0, &i.to_le_bytes()[..])],
+            );
         }
         s.force_log();
     }
     let (store, _) = recover(&dir, &dir).unwrap();
     let s = store.session().unwrap();
-    assert_eq!(s.get(b"gen1/0500", Some(&[0])).unwrap()[0], 500u32.to_le_bytes());
-    assert_eq!(s.get(b"gen2/0500", Some(&[0])).unwrap()[0], 500u32.to_le_bytes());
+    assert_eq!(
+        s.get(b"gen1/0500", Some(&[0])).unwrap()[0],
+        500u32.to_le_bytes()
+    );
+    assert_eq!(
+        s.get(b"gen2/0500", Some(&[0])).unwrap()[0],
+        500u32.to_le_bytes()
+    );
     let guard = masstree::pin();
     assert_eq!(store.tree().count_keys(&guard), 2_000);
     let _ = std::fs::remove_dir_all(&dir);
@@ -181,10 +202,8 @@ fn workload_generators_drive_all_structures() {
     let g = crossbeam::epoch::pin();
     let mass: masstree::Masstree<u64> = masstree::Masstree::new();
     let four = baselines::FourTree::new();
-    let bin = baselines::BinaryTree::new(
-        baselines::Compare::IntPrefix,
-        baselines::NodeAlloc::Global,
-    );
+    let bin =
+        baselines::BinaryTree::new(baselines::Compare::IntPrefix, baselines::NodeAlloc::Global);
     let occ = baselines::OccBtree::new(baselines::OccBtreeConfig::permuter());
     for (i, k) in keys.iter().enumerate() {
         mass.put(k, i as u64, &g);
