@@ -560,24 +560,33 @@ impl<'k, V: Send + Sync + 'static> Cursor<'k, V> {
     }
 }
 
-/// Round-robin scheduler: advances every unfinished cursor once per
-/// sweep, so each cursor's prefetch overlaps all other cursors' work.
+/// Round-robin scheduler core: calls `step(i)` for every unfinished
+/// slot `0..n` per sweep until all have reported completion, so each
+/// cursor's prefetch overlaps all other cursors' work. Completion
+/// tracking is a bitmask (groups are capped at [`MAX_GROUP`] ≤ 64), so
+/// scheduling allocates nothing. Shared by the put path (`run_group`
+/// over a cursor slice) and the get path (`multi_get_with` over its
+/// fixed cursor array).
+fn run_round_robin(n: usize, mut step: impl FnMut(usize) -> bool) {
+    debug_assert!(n <= 64);
+    let mut pending: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    while pending != 0 {
+        for i in 0..n {
+            if pending & (1 << i) != 0 && step(i) {
+                pending &= !(1 << i);
+            }
+        }
+    }
+}
+
+/// Round-robin scheduler over a cursor slice.
 fn run_group<V: Send + Sync + 'static>(
     tree: &Masstree<V>,
     cursors: &mut [Cursor<'_, V>],
     factory: &mut dyn FnMut(usize, Option<&V>) -> V,
     guard: &Guard,
 ) {
-    let mut pending = cursors.len();
-    let mut done = vec![false; cursors.len()];
-    while pending > 0 {
-        for (i, c) in cursors.iter_mut().enumerate() {
-            if !done[i] && c.step(tree, factory, guard) {
-                done[i] = true;
-                pending -= 1;
-            }
-        }
-    }
+    run_round_robin(cursors.len(), |i| cursors[i].step(tree, factory, guard));
 }
 
 impl<V: Send + Sync + 'static> Masstree<V> {
@@ -590,30 +599,51 @@ impl<V: Send + Sync + 'static> Masstree<V> {
     /// operations' compute (§4.2 applied across operations).
     pub fn multi_get<'g>(&self, keys: &[&[u8]], guard: &'g Guard) -> Vec<Option<&'g V>> {
         let mut out = Vec::with_capacity(keys.len());
+        self.multi_get_with(keys, guard, |_, hit| out.push(hit));
+        out
+    }
+
+    /// Visitor form of [`Masstree::multi_get`]: calls `f(i, hit)` once
+    /// per key, in input order, with the looked-up value borrowed under
+    /// the guard. This is the zero-copy batch read path: cursors live in
+    /// a fixed stack array and results are handed out as they are
+    /// collected, so a steady-state call performs **no heap allocation**
+    /// — callers (the storage layer's `multi_get_with`, the network
+    /// server's response serializer) consume the borrowed values in
+    /// place.
+    pub fn multi_get_with<'g, F>(&self, keys: &[&[u8]], guard: &'g Guard, mut f: F)
+    where
+        F: FnMut(usize, Option<&'g V>),
+    {
         if keys.len() < 2 {
             if let Some(k) = keys.first() {
-                out.push(self.get(k, guard));
+                f(0, self.get(k, guard));
             }
-            return out;
+            return;
         }
         let mut noop = |_: usize, _: Option<&V>| unreachable!("get cursors take no values");
-        for chunk in keys.chunks(MAX_GROUP) {
-            let mut cursors: Vec<Cursor<'_, V>> = chunk
-                .iter()
-                .enumerate()
-                .map(|(i, k)| Cursor::new(i, Mode::Get, k, self))
-                .collect();
-            run_group(self, &mut cursors, &mut noop, guard);
+        for (ci, chunk) in keys.chunks(MAX_GROUP).enumerate() {
+            let base = ci * MAX_GROUP;
+            let mut cursors: [Option<Cursor<'_, V>>; MAX_GROUP] = [const { None }; MAX_GROUP];
+            for (i, k) in chunk.iter().enumerate() {
+                cursors[i] = Some(Cursor::new(base + i, Mode::Get, k, self));
+            }
+            run_round_robin(chunk.len(), |i| {
+                cursors[i]
+                    .as_mut()
+                    .expect("chunk cursors are initialized")
+                    .step(self, &mut noop, guard)
+            });
             self.stats
                 .batched_ops
                 .fetch_add(chunk.len() as u64, Ordering::Relaxed);
-            for c in cursors {
+            for (i, slot) in cursors[..chunk.len()].iter().enumerate() {
+                let c = slot.as_ref().expect("chunk cursors are initialized");
                 // SAFETY: a validated value pointer for this key; epoch
                 // reclamation keeps it live for `'g`.
-                out.push(c.result.map(|p| unsafe { &*p.cast::<V>() }));
+                f(base + i, c.result.map(|p| unsafe { &*p.cast::<V>() }));
             }
         }
-        out
     }
 
     /// Inserts or updates a batch of keys with interleaved descents.
@@ -699,6 +729,26 @@ mod tests {
             assert_eq!(*got, tree.get(k, &g));
         }
         assert!(tree.stats().snapshot().batched_ops >= 600);
+    }
+
+    #[test]
+    fn multi_get_with_visits_in_order() {
+        let tree: Masstree<u64> = Masstree::new();
+        let g = crate::pin();
+        for i in 0..200u64 {
+            tree.put(format!("ord{i:04}").as_bytes(), i, &g);
+        }
+        let keys: Vec<Vec<u8>> = (0..100u64)
+            .map(|i| format!("ord{:04}", i * 3).into_bytes())
+            .collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let mut seen = Vec::new();
+        tree.multi_get_with(&refs, &g, |i, v| seen.push((i, v.copied())));
+        assert_eq!(seen.len(), refs.len());
+        for (pos, (i, v)) in seen.iter().enumerate() {
+            assert_eq!(pos, *i, "visited in input order");
+            assert_eq!(*v, tree.get(&keys[pos], &g).copied());
+        }
     }
 
     #[test]

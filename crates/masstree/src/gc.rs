@@ -42,9 +42,12 @@ pub(crate) unsafe fn retire_suffix(guard: &Guard, p: *mut KeySuffix) {
     }
 }
 
-/// Schedules a tree node for destruction after the current epoch. Frees
-/// only the node allocation — values, suffixes and children must have been
-/// moved or retired separately.
+/// Schedules a tree node for reclamation after the current epoch. The
+/// deferred destruction returns the node's memory to the slab free lists
+/// (`slab.rs`) rather than the system allocator, so the epoch GC is what
+/// refills the per-thread node pools that `put`'s splits draw from.
+/// Values, suffixes and children must have been moved or retired
+/// separately.
 ///
 /// # Safety
 ///

@@ -53,9 +53,11 @@ mod put;
 mod remove;
 mod scan;
 mod scan_rev;
+mod slab;
 mod tree;
 
 pub use maintain::TreeReport;
+pub use scan::ScanScratch;
 pub use stats::{Stats, StatsSnapshot};
 pub use tree::Masstree;
 

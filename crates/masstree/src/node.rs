@@ -17,6 +17,7 @@
 //! possible) keeps the whole structure free of `UnsafeCell` aliasing
 //! hazards at negligible x86 cost.
 
+use core::alloc::Layout;
 use core::marker::PhantomData;
 use core::ptr;
 use core::sync::atomic::{AtomicPtr, AtomicU16, AtomicU64, AtomicU8, Ordering};
@@ -107,24 +108,29 @@ fn atomic_u8_array<const N: usize>() -> [AtomicU8; N] {
 }
 
 impl<V> BorderNode<V> {
-    /// Allocates an empty border node.
+    /// Allocates an empty border node from the slab (`slab.rs`).
     pub fn alloc(is_root: bool, locked: bool, lowkey: u64) -> *mut BorderNode<V> {
-        Box::into_raw(Box::new(BorderNode {
-            header: NodeHeader {
-                version: VersionCell::new(true, is_root, locked),
-            },
-            freed_mask: AtomicU16::new(0),
-            keylen: atomic_u8_array(),
-            permutation: AtomicU64::new(Permutation::empty().raw()),
-            keyslice: atomic_u64_array(),
-            lv: atomic_ptr_array(),
-            suffix: atomic_ptr_array(),
-            next: AtomicPtr::new(ptr::null_mut()),
-            prev: AtomicPtr::new(ptr::null_mut()),
-            parent: AtomicPtr::new(ptr::null_mut()),
-            lowkey: AtomicU64::new(lowkey),
-            _marker: PhantomData,
-        }))
+        let p = crate::slab::alloc_node(Layout::new::<BorderNode<V>>()).cast::<BorderNode<V>>();
+        // SAFETY: fresh slab memory sized and aligned for `BorderNode<V>`.
+        unsafe {
+            p.write(BorderNode {
+                header: NodeHeader {
+                    version: VersionCell::new(true, is_root, locked),
+                },
+                freed_mask: AtomicU16::new(0),
+                keylen: atomic_u8_array(),
+                permutation: AtomicU64::new(Permutation::empty().raw()),
+                keyslice: atomic_u64_array(),
+                lv: atomic_ptr_array(),
+                suffix: atomic_ptr_array(),
+                next: AtomicPtr::new(ptr::null_mut()),
+                prev: AtomicPtr::new(ptr::null_mut()),
+                parent: AtomicPtr::new(ptr::null_mut()),
+                lowkey: AtomicU64::new(lowkey),
+                _marker: PhantomData,
+            });
+        }
+        p
     }
 
     /// Allocates the right sibling for a split of `src` (Figure 5's
@@ -246,18 +252,24 @@ impl<V> BorderNode<V> {
 }
 
 impl<V> InteriorNode<V> {
-    /// Allocates an interior node with no keys and no children.
+    /// Allocates an interior node with no keys and no children from the
+    /// slab (`slab.rs`).
     pub fn alloc(is_root: bool, locked: bool) -> *mut InteriorNode<V> {
-        Box::into_raw(Box::new(InteriorNode {
-            header: NodeHeader {
-                version: VersionCell::new(false, is_root, locked),
-            },
-            nkeys: AtomicU8::new(0),
-            keyslice: atomic_u64_array(),
-            child: atomic_ptr_array(),
-            parent: AtomicPtr::new(ptr::null_mut()),
-            _marker: PhantomData,
-        }))
+        let p = crate::slab::alloc_node(Layout::new::<InteriorNode<V>>()).cast::<InteriorNode<V>>();
+        // SAFETY: fresh slab memory sized and aligned for `InteriorNode<V>`.
+        unsafe {
+            p.write(InteriorNode {
+                header: NodeHeader {
+                    version: VersionCell::new(false, is_root, locked),
+                },
+                nkeys: AtomicU8::new(0),
+                keyslice: atomic_u64_array(),
+                child: atomic_ptr_array(),
+                parent: AtomicPtr::new(ptr::null_mut()),
+                _marker: PhantomData,
+            });
+        }
+        p
     }
 
     /// Allocates the right sibling for an interior split (locked and
@@ -456,7 +468,10 @@ impl<V> NodePtr<V> {
         prefetch(self.0.cast::<BorderNode<V>>().cast_const());
     }
 
-    /// Frees the node allocation itself (not values/suffixes/children).
+    /// Returns the node allocation to the slab free lists (not its
+    /// values/suffixes/children). In steady state this is reached only
+    /// through the epoch GC (`gc.rs`), which is what refills the
+    /// per-thread free lists that `alloc` draws from.
     ///
     /// # Safety
     ///
@@ -464,12 +479,15 @@ impl<V> NodePtr<V> {
     /// `InteriorNode::alloc`, must be unreachable, and must not be freed
     /// again.
     pub unsafe fn free(self) {
-        // SAFETY: per caller contract; Box::from_raw reverses the alloc.
+        // SAFETY: per caller contract; the layout matches the alloc call
+        // for the node's concrete type. Neither node type has drop glue
+        // (atomics and PhantomData only), so returning the raw memory is
+        // the whole destruction.
         unsafe {
             if self.is_border() {
-                drop(Box::from_raw(self.0.cast::<BorderNode<V>>()));
+                crate::slab::free_node(self.0.cast::<u8>(), Layout::new::<BorderNode<V>>());
             } else {
-                drop(Box::from_raw(self.0.cast::<InteriorNode<V>>()));
+                crate::slab::free_node(self.0.cast::<u8>(), Layout::new::<InteriorNode<V>>());
             }
         }
     }

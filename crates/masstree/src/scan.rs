@@ -9,35 +9,108 @@
 //! Multi-layer traversal recurses through layer links depth-first; the
 //! current key prefix is threaded down so emitted keys are reconstructed
 //! without storing full keys in the tree.
+//!
+//! # Allocation discipline
+//!
+//! The scan hot path performs **no heap allocation in steady state**:
+//! border snapshots land in a fixed `[Entry; WIDTH]` on the stack, the
+//! key prefix, per-layer lower bound and restart key live in a
+//! [`ScanScratch`] whose buffers keep their capacity across calls, and
+//! the visitor borrows `(&[u8], &V)` under the epoch guard instead of
+//! materializing owned pairs. `scan` draws a thread-local scratch;
+//! callers that want explicit reuse (or several scratches) use
+//! [`Masstree::scan_with`].
 
 use core::sync::atomic::Ordering;
+use std::cell::RefCell;
 
 use crossbeam::epoch::Guard;
 
 use crate::key::{slice_at, KEYLEN_LAYER, KEYLEN_SUFFIX, SLICE_LEN};
 use crate::node::{BorderNode, ExtractedLv, NodePtr};
+use crate::permutation::WIDTH;
 use crate::stats::Stats;
 use crate::suffix::KeySuffix;
 use crate::tree::{Masstree, Restart};
 
 /// One decoded border-node entry captured in a validated snapshot.
-struct Entry {
-    ikey: u64,
+/// Shared with the reverse scanner (`scan_rev.rs`).
+#[derive(Clone, Copy)]
+pub(crate) struct Entry {
+    pub(crate) ikey: u64,
     /// Inline length 0..=8, [`KEYLEN_SUFFIX`] or [`KEYLEN_LAYER`].
-    code: u8,
-    lv: *mut (),
-    suffix: *mut KeySuffix,
+    pub(crate) code: u8,
+    pub(crate) lv: *mut (),
+    pub(crate) suffix: *mut KeySuffix,
 }
 
-/// Outcome of a (sub-)scan.
-enum ScanStatus {
+impl Entry {
+    pub(crate) const EMPTY: Entry = Entry {
+        ikey: 0,
+        code: 0,
+        lv: core::ptr::null_mut(),
+        suffix: core::ptr::null_mut(),
+    };
+}
+
+/// Outcome of a (sub-)scan. Shared with the reverse scanner.
+pub(crate) enum ScanStatus {
     /// Layer exhausted; continue with the caller's next entry.
     Done,
     /// The callback asked to stop.
     Stopped,
-    /// A deleted node/layer was encountered; restart the whole scan at
-    /// this full key (inclusive).
-    RestartAt(Vec<u8>),
+    /// A deleted node/layer was encountered; the full restart key
+    /// (enclosing prefix + layer remainder) has been written to
+    /// [`ScanScratch::restart`] and the whole scan restarts there.
+    Restart,
+}
+
+/// Reusable scratch state for scans.
+///
+/// Holds the key-prefix, per-layer bound and restart-key buffers a scan
+/// threads through its layer recursion. All buffers retain their
+/// capacity across scans, so a warmed-up scratch makes
+/// [`Masstree::scan_with`] / [`Masstree::scan_rev_with`] allocation-free
+/// in steady state. [`Masstree::scan`] and [`Masstree::scan_rev`] use a
+/// thread-local scratch automatically; hold your own only when you want
+/// deterministic reuse (benchmarks, allocation tests) or run scans from
+/// inside another scan's visitor.
+#[derive(Default)]
+pub struct ScanScratch {
+    /// Key bytes of the enclosing trie layers.
+    pub(crate) prefix: Vec<u8>,
+    /// Bound for the key *remainder* within the current layer (inclusive
+    /// lower bound for forward scans, inclusive upper bound for reverse).
+    pub(crate) bound: Vec<u8>,
+    /// Full key to restart from after hitting a deleted node/layer.
+    pub(crate) restart: Vec<u8>,
+}
+
+impl ScanScratch {
+    /// A scratch with empty buffers (they grow on first use and are then
+    /// reused).
+    pub fn new() -> ScanScratch {
+        ScanScratch::default()
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<ScanScratch> = RefCell::new(ScanScratch::new());
+}
+
+/// Runs `f` with the thread-local scan scratch. Falls back to a fresh
+/// scratch when the thread-local one is busy (a scan started from
+/// another scan's visitor) or inaccessible (thread teardown).
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut ScanScratch) -> R) -> R {
+    let mut f = Some(f);
+    let attempt = SCRATCH.try_with(|s| match s.try_borrow_mut() {
+        Ok(mut scratch) => (f.take().expect("closure runs once"))(&mut scratch),
+        Err(_) => (f.take().expect("closure runs once"))(&mut ScanScratch::new()),
+    });
+    match attempt {
+        Ok(r) => r,
+        Err(_) => (f.take().expect("closure runs once"))(&mut ScanScratch::new()),
+    }
 }
 
 impl<V: Send + Sync + 'static> Masstree<V> {
@@ -48,23 +121,44 @@ impl<V: Send + Sync + 'static> Masstree<V> {
     /// The scan is not atomic: entries inserted or removed while it runs
     /// may or may not be observed, but order and uniqueness are
     /// guaranteed, and every entry present for the whole scan is visited.
+    ///
+    /// The key slice passed to `f` is assembled in a scratch buffer and
+    /// is only valid for that call; the value reference lives for the
+    /// guard's lifetime. Uses the thread-local [`ScanScratch`]; see
+    /// [`Masstree::scan_with`] to manage the scratch explicitly.
     pub fn scan<'g, F>(&self, start: &[u8], guard: &'g Guard, mut f: F) -> usize
     where
         F: FnMut(&[u8], &'g V) -> bool,
     {
+        with_scratch(|scratch| self.scan_with(start, scratch, guard, |k, v| f(k, v)))
+    }
+
+    /// [`Masstree::scan`] with an explicit [`ScanScratch`]. With a warm
+    /// scratch the scan performs no heap allocation.
+    pub fn scan_with<'g, F>(
+        &self,
+        start: &[u8],
+        scratch: &mut ScanScratch,
+        guard: &'g Guard,
+        mut f: F,
+    ) -> usize
+    where
+        F: FnMut(&[u8], &'g V) -> bool,
+    {
         let mut count = 0usize;
-        let mut bound = start.to_vec();
+        scratch.bound.clear();
+        scratch.bound.extend_from_slice(start);
         loop {
             let root = self.load_root();
-            let mut prefix = Vec::new();
-            match self.scan_layer(root, &mut prefix, bound.clone(), guard, &mut |k, v| {
+            scratch.prefix.clear();
+            match self.scan_layer(root, scratch, guard, &mut |k, v| {
                 count += 1;
                 f(k, v)
             }) {
                 ScanStatus::Done | ScanStatus::Stopped => return count,
-                ScanStatus::RestartAt(key) => {
+                ScanStatus::Restart => {
                     Stats::bump(&self.stats.op_restarts);
-                    bound = key;
+                    core::mem::swap(&mut scratch.bound, &mut scratch.restart);
                 }
             }
         }
@@ -94,41 +188,43 @@ impl<V: Send + Sync + 'static> Masstree<V> {
         self.scan(b"", guard, |_, _| true)
     }
 
-    /// Scans one trie layer rooted at `root`. `prefix` holds the key bytes
-    /// of enclosing layers; `bound` is the inclusive lower bound for the
-    /// key *remainder* within this layer. Restores `prefix` before
-    /// returning.
+    /// Scans one trie layer rooted at `root`. `scratch.prefix` holds the
+    /// key bytes of enclosing layers; `scratch.bound` is the inclusive
+    /// lower bound for the key *remainder* within this layer. Restores
+    /// `prefix` before returning; `bound` is consumed (the caller
+    /// rewrites it from its own resume point).
     fn scan_layer<'g>(
         &self,
         root: NodePtr<V>,
-        prefix: &mut Vec<u8>,
-        mut bound: Vec<u8>,
+        scratch: &mut ScanScratch,
         guard: &'g Guard,
         f: &mut dyn FnMut(&[u8], &'g V) -> bool,
     ) -> ScanStatus {
+        let mut entries = [Entry::EMPTY; WIDTH];
         'redescend: loop {
-            let bikey = slice_at(&bound, 0);
+            let bikey = slice_at(&scratch.bound, 0);
             let mut root = root;
             let (mut n, _v) = match self.find_border(&mut root, bikey, guard) {
                 Ok(x) => x,
                 Err(Restart) => {
-                    let mut key = prefix.clone();
-                    key.extend_from_slice(&bound);
-                    return ScanStatus::RestartAt(key);
+                    scratch.restart.clear();
+                    scratch.restart.extend_from_slice(&scratch.prefix);
+                    scratch.restart.extend_from_slice(&scratch.bound);
+                    return ScanStatus::Restart;
                 }
             };
             'nodes: loop {
-                let (entries, next) = match Self::snapshot_border(n) {
+                let (filled, next) = match Self::snapshot_border(n, &mut entries) {
                     Ok(x) => x,
                     Err(()) => continue 'redescend,
                 };
-                for e in &entries {
+                for e in &entries[..filled] {
                     // Inclusive lower-bound filter against the remainder.
-                    let bikey = slice_at(&bound, 0);
-                    let brank = if bound.len() > SLICE_LEN {
+                    let bikey = slice_at(&scratch.bound, 0);
+                    let brank = if scratch.bound.len() > SLICE_LEN {
                         KEYLEN_SUFFIX
                     } else {
-                        bound.len() as u8
+                        scratch.bound.len() as u8
                     };
                     if e.ikey < bikey {
                         continue;
@@ -142,20 +238,18 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                     let slice_bytes = e.ikey.to_be_bytes();
                     match e.code {
                         KEYLEN_LAYER => {
-                            let sub_bound = if in_rank9_boundary {
-                                bound[SLICE_LEN..].to_vec()
+                            // Sub-layer bound: the remainder past this
+                            // slice, or everything from the start.
+                            if in_rank9_boundary {
+                                scratch.bound.drain(..SLICE_LEN);
                             } else {
-                                Vec::new()
-                            };
-                            prefix.extend_from_slice(&slice_bytes);
-                            let st = self.scan_layer(
-                                NodePtr::from_raw(e.lv.cast()),
-                                prefix,
-                                sub_bound,
-                                guard,
-                                f,
-                            );
-                            prefix.truncate(prefix.len() - SLICE_LEN);
+                                scratch.bound.clear();
+                            }
+                            scratch.prefix.extend_from_slice(&slice_bytes);
+                            let st =
+                                self.scan_layer(NodePtr::from_raw(e.lv.cast()), scratch, guard, f);
+                            let plen = scratch.prefix.len() - SLICE_LEN;
+                            scratch.prefix.truncate(plen);
                             match st {
                                 ScanStatus::Done => {}
                                 other => return other,
@@ -163,8 +257,11 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                             // Resume strictly after the whole sub-layer. A
                             // layer under the maximum slice is the last
                             // possible entry of the whole layer.
-                            match next_slice_bound(e.ikey) {
-                                Some(b) => bound = b,
+                            match e.ikey.checked_add(1) {
+                                Some(nk) => {
+                                    scratch.bound.clear();
+                                    scratch.bound.extend_from_slice(&nk.to_be_bytes());
+                                }
                                 None => return ScanStatus::Done,
                             }
                         }
@@ -173,34 +270,36 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                             // SAFETY: captured in a validated snapshot;
                             // epoch keeps the block live for the guard.
                             let sb = unsafe { KeySuffix::bytes(e.suffix) };
-                            if in_rank9_boundary && sb < &bound[SLICE_LEN..] {
+                            if in_rank9_boundary && sb < &scratch.bound[SLICE_LEN..] {
                                 continue;
                             }
-                            let plen = prefix.len();
-                            prefix.extend_from_slice(&slice_bytes);
-                            prefix.extend_from_slice(sb);
+                            let plen = scratch.prefix.len();
+                            scratch.prefix.extend_from_slice(&slice_bytes);
+                            scratch.prefix.extend_from_slice(sb);
                             // SAFETY: validated value pointer, epoch-live.
-                            let keep = f(prefix, unsafe { &*e.lv.cast::<V>() });
-                            prefix.truncate(plen);
+                            let keep = f(&scratch.prefix, unsafe { &*e.lv.cast::<V>() });
+                            scratch.prefix.truncate(plen);
                             if !keep {
                                 return ScanStatus::Stopped;
                             }
-                            bound = slice_bytes.to_vec();
-                            bound.extend_from_slice(sb);
-                            bound.push(0);
+                            scratch.bound.clear();
+                            scratch.bound.extend_from_slice(&slice_bytes);
+                            scratch.bound.extend_from_slice(sb);
+                            scratch.bound.push(0);
                         }
                         len => {
                             let len = len as usize;
-                            let plen = prefix.len();
-                            prefix.extend_from_slice(&slice_bytes[..len]);
+                            let plen = scratch.prefix.len();
+                            scratch.prefix.extend_from_slice(&slice_bytes[..len]);
                             // SAFETY: validated value pointer, epoch-live.
-                            let keep = f(prefix, unsafe { &*e.lv.cast::<V>() });
-                            prefix.truncate(plen);
+                            let keep = f(&scratch.prefix, unsafe { &*e.lv.cast::<V>() });
+                            scratch.prefix.truncate(plen);
                             if !keep {
                                 return ScanStatus::Stopped;
                             }
-                            bound = slice_bytes[..len].to_vec();
-                            bound.push(0);
+                            scratch.bound.clear();
+                            scratch.bound.extend_from_slice(&slice_bytes[..len]);
+                            scratch.bound.push(0);
                         }
                     }
                 }
@@ -214,17 +313,21 @@ impl<V: Send + Sync + 'static> Masstree<V> {
         }
     }
 
-    /// Captures a consistent snapshot of a border node's live entries and
-    /// its `next` pointer. Local inserts retry in place; splits and
-    /// deletions return `Err` so the caller re-descends from its bound.
-    fn snapshot_border(n: &BorderNode<V>) -> Result<(Vec<Entry>, *mut BorderNode<V>), ()> {
+    /// Captures a consistent snapshot of a border node's live entries
+    /// (into the caller's fixed buffer, permutation order) and its `next`
+    /// pointer. Local inserts retry in place; splits and deletions return
+    /// `Err` so the caller re-descends from its bound.
+    fn snapshot_border(
+        n: &BorderNode<V>,
+        entries: &mut [Entry; WIDTH],
+    ) -> Result<(usize, *mut BorderNode<V>), ()> {
         loop {
             let v = n.version().stable();
             if v.is_deleted() {
                 return Err(());
             }
             let perm = n.permutation();
-            let mut entries = Vec::with_capacity(perm.nkeys());
+            let mut filled = 0usize;
             let mut unstable = false;
             for pos in 0..perm.nkeys() {
                 let slot = perm.get(pos);
@@ -235,31 +338,35 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                         unstable = true;
                         break;
                     }
-                    ExtractedLv::Layer(p) => entries.push(Entry {
-                        ikey,
-                        code: KEYLEN_LAYER,
-                        lv: p.cast::<()>(),
-                        suffix: core::ptr::null_mut(),
-                    }),
+                    ExtractedLv::Layer(p) => {
+                        entries[filled] = Entry {
+                            ikey,
+                            code: KEYLEN_LAYER,
+                            lv: p.cast::<()>(),
+                            suffix: core::ptr::null_mut(),
+                        };
+                        filled += 1;
+                    }
                     ExtractedLv::Value(p) => {
                         let suffix = if code == KEYLEN_SUFFIX {
                             n.suffix[slot].load(Ordering::Acquire)
                         } else {
                             core::ptr::null_mut()
                         };
-                        entries.push(Entry {
+                        entries[filled] = Entry {
                             ikey,
                             code,
                             lv: p,
                             suffix,
-                        });
+                        };
+                        filled += 1;
                     }
                 }
             }
             let next = n.next.load(Ordering::Acquire);
             let v2 = n.version().load(Ordering::Acquire);
             if !unstable && !v.has_changed(v2) {
-                return Ok((entries, next));
+                return Ok((filled, next));
             }
             if v.has_split(n.version().stable()) {
                 return Err(());
@@ -269,19 +376,56 @@ impl<V: Send + Sync + 'static> Masstree<V> {
     }
 }
 
-/// The smallest remainder strictly after every key whose slice is `ikey`:
-/// the next slice value with rank 0. `None` if `ikey` is the maximum.
-fn next_slice_bound(ikey: u64) -> Option<Vec<u8>> {
-    ikey.checked_add(1).map(|nk| nk.to_be_bytes().to_vec())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn next_slice_bound_increments() {
-        assert_eq!(next_slice_bound(0), Some(1u64.to_be_bytes().to_vec()));
-        assert_eq!(next_slice_bound(u64::MAX), None);
+    fn scratch_buffers_retain_capacity_across_scans() {
+        let tree: Masstree<u64> = Masstree::new();
+        let g = crate::pin();
+        for i in 0..200u64 {
+            tree.put(
+                format!("some/long/shared/prefix/key{i:04}").as_bytes(),
+                i,
+                &g,
+            );
+        }
+        let mut scratch = ScanScratch::new();
+        // Warm-up pass: buffers grow to their steady-state capacity.
+        assert_eq!(tree.scan_with(b"", &mut scratch, &g, |_, _| true), 200);
+        assert_eq!(
+            tree.scan_with(b"some/long", &mut scratch, &g, |_, _| true),
+            200
+        );
+        let cap_prefix = scratch.prefix.capacity();
+        let cap_bound = scratch.bound.capacity();
+        assert!(cap_prefix > 0 && cap_bound > 0, "warmed up");
+        // Steady state: identical scans reuse the warm buffers as-is.
+        assert_eq!(tree.scan_with(b"", &mut scratch, &g, |_, _| true), 200);
+        assert_eq!(
+            tree.scan_with(b"some/long", &mut scratch, &g, |_, _| true),
+            200
+        );
+        assert_eq!(scratch.prefix.capacity(), cap_prefix);
+        assert_eq!(scratch.bound.capacity(), cap_bound);
+    }
+
+    #[test]
+    fn reentrant_scan_from_visitor_works() {
+        let tree: Masstree<u64> = Masstree::new();
+        let g = crate::pin();
+        for i in 0..50u64 {
+            tree.put(format!("k{i:03}").as_bytes(), i, &g);
+        }
+        // A scan whose visitor runs another scan must not corrupt the
+        // outer scan's thread-local scratch.
+        let mut inner_total = 0usize;
+        let outer = tree.scan(b"", &g, |_, _| {
+            inner_total += tree.scan(b"k04", &g, |_, _| true);
+            true
+        });
+        assert_eq!(outer, 50);
+        assert_eq!(inner_total, 50 * 10, "each inner scan sees k040..k049");
     }
 }

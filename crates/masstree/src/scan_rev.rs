@@ -10,6 +10,12 @@
 //! weaker invariants than `next` (a node's prev may lag during splits),
 //! the backward walk revalidates by *key range* and falls back to a
 //! fresh descent instead of trusting the link.
+//!
+//! Like the forward scanner, the hot path is allocation-free in steady
+//! state: snapshots land in a stack array, and the prefix/bound/restart
+//! buffers live in a reusable [`ScanScratch`]. The upper bound is the
+//! scratch `bound` buffer plus an `everything` flag standing in for "no
+//! upper limit" (the old `Bound::Everything`).
 
 use core::sync::atomic::Ordering;
 
@@ -17,32 +23,11 @@ use crossbeam::epoch::Guard;
 
 use crate::key::{slice_at, KEYLEN_LAYER, KEYLEN_SUFFIX, SLICE_LEN};
 use crate::node::{BorderNode, ExtractedLv, NodePtr};
+use crate::permutation::WIDTH;
+use crate::scan::{with_scratch, Entry, ScanScratch, ScanStatus};
 use crate::stats::Stats;
 use crate::suffix::KeySuffix;
 use crate::tree::{Masstree, Restart};
-
-/// One decoded entry (mirrors the forward scanner's).
-struct Entry {
-    ikey: u64,
-    code: u8,
-    lv: *mut (),
-    suffix: *mut KeySuffix,
-}
-
-enum ScanStatus {
-    Done,
-    Stopped,
-    RestartAt(Vec<u8>),
-}
-
-/// An inclusive upper bound for a layer's remainder, or "everything".
-#[derive(Clone)]
-enum Bound {
-    /// Only keys ≤ this remainder.
-    AtMost(Vec<u8>),
-    /// The whole layer.
-    Everything,
-}
 
 impl<V: Send + Sync + 'static> Masstree<V> {
     /// Visits keys at or *below* `start` in descending lexicographic
@@ -50,24 +35,41 @@ impl<V: Send + Sync + 'static> Masstree<V> {
     /// tree is exhausted. Returns the number of entries visited.
     ///
     /// Like [`Masstree::scan`], not atomic with respect to concurrent
-    /// writers; order and uniqueness are guaranteed.
+    /// writers; order and uniqueness are guaranteed. Uses the
+    /// thread-local [`ScanScratch`]; see [`Masstree::scan_rev_with`].
     pub fn scan_rev<'g, F>(&self, start: &[u8], guard: &'g Guard, mut f: F) -> usize
     where
         F: FnMut(&[u8], &'g V) -> bool,
     {
+        with_scratch(|scratch| self.scan_rev_with(start, scratch, guard, |k, v| f(k, v)))
+    }
+
+    /// [`Masstree::scan_rev`] with an explicit [`ScanScratch`]. With a
+    /// warm scratch the scan performs no heap allocation.
+    pub fn scan_rev_with<'g, F>(
+        &self,
+        start: &[u8],
+        scratch: &mut ScanScratch,
+        guard: &'g Guard,
+        mut f: F,
+    ) -> usize
+    where
+        F: FnMut(&[u8], &'g V) -> bool,
+    {
         let mut count = 0usize;
-        let mut bound = Bound::AtMost(start.to_vec());
+        scratch.bound.clear();
+        scratch.bound.extend_from_slice(start);
         loop {
             let root = self.load_root();
-            let mut prefix = Vec::new();
-            match self.scan_rev_layer(root, &mut prefix, bound.clone(), guard, &mut |k, v| {
+            scratch.prefix.clear();
+            match self.scan_rev_layer(root, false, scratch, guard, &mut |k, v| {
                 count += 1;
                 f(k, v)
             }) {
                 ScanStatus::Done | ScanStatus::Stopped => return count,
-                ScanStatus::RestartAt(key) => {
+                ScanStatus::Restart => {
                     Stats::bump(&self.stats.op_restarts);
-                    bound = Bound::AtMost(key);
+                    core::mem::swap(&mut scratch.bound, &mut scratch.restart);
                 }
             }
         }
@@ -92,60 +94,60 @@ impl<V: Send + Sync + 'static> Masstree<V> {
         out
     }
 
-    /// Scans one layer in descending order. `bound` is the inclusive
-    /// upper bound for key remainders within this layer.
+    /// Scans one layer in descending order. `scratch.bound` is the
+    /// inclusive upper bound for key remainders within this layer,
+    /// unless `everything` says the layer is unbounded above.
     fn scan_rev_layer<'g>(
         &self,
         root: NodePtr<V>,
-        prefix: &mut Vec<u8>,
-        mut bound: Bound,
+        mut everything: bool,
+        scratch: &mut ScanScratch,
         guard: &'g Guard,
         f: &mut dyn FnMut(&[u8], &'g V) -> bool,
     ) -> ScanStatus {
+        let mut entries = [Entry::EMPTY; WIDTH];
         'redescend: loop {
-            let bikey = match &bound {
-                Bound::AtMost(b) => slice_at(b, 0),
-                Bound::Everything => u64::MAX,
+            let bikey = if everything {
+                u64::MAX
+            } else {
+                slice_at(&scratch.bound, 0)
             };
             let mut root_var = root;
             let (mut n, _v) = match self.find_border(&mut root_var, bikey, guard) {
                 Ok(x) => x,
                 Err(Restart) => {
-                    let mut key = prefix.clone();
-                    if let Bound::AtMost(b) = &bound {
-                        key.extend_from_slice(b);
-                    } else {
+                    scratch.restart.clear();
+                    scratch.restart.extend_from_slice(&scratch.prefix);
+                    if everything {
                         // Restarting an unbounded layer: resume from the
                         // maximal remainder (prefix + 8 × 0xff covers any
                         // slice; deeper bytes are bounded by re-descent).
-                        key.extend_from_slice(&[0xff; SLICE_LEN]);
+                        scratch.restart.extend_from_slice(&[0xff; SLICE_LEN]);
+                    } else {
+                        scratch.restart.extend_from_slice(&scratch.bound);
                     }
-                    return ScanStatus::RestartAt(key);
+                    return ScanStatus::Restart;
                 }
             };
             loop {
-                let (entries, prev, lowkey) = match Self::snapshot_border_rev(n) {
+                let (filled, prev, lowkey) = match Self::snapshot_border_rev(n, &mut entries) {
                     Ok(x) => x,
                     Err(()) => continue 'redescend,
                 };
                 // Process this node's entries from highest to lowest.
-                for e in entries.iter().rev() {
+                for e in entries[..filled].iter().rev() {
                     // Upper-bound filter.
-                    let (bikey, brank, bsuffix): (u64, u8, Option<&[u8]>) = match &bound {
-                        Bound::Everything => (u64::MAX, KEYLEN_SUFFIX, None),
-                        Bound::AtMost(b) => (
-                            slice_at(b, 0),
-                            if b.len() > SLICE_LEN {
+                    let (bikey, brank) = if everything {
+                        (u64::MAX, KEYLEN_SUFFIX)
+                    } else {
+                        (
+                            slice_at(&scratch.bound, 0),
+                            if scratch.bound.len() > SLICE_LEN {
                                 KEYLEN_SUFFIX
                             } else {
-                                b.len() as u8
+                                scratch.bound.len() as u8
                             },
-                            if b.len() > SLICE_LEN {
-                                Some(&b[SLICE_LEN..])
-                            } else {
-                                None
-                            },
-                        ),
+                        )
                     };
                     if e.ikey > bikey {
                         continue;
@@ -155,26 +157,28 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                         continue;
                     }
                     let at_boundary = e.ikey == bikey && erank == brank;
+                    let bounded_suffix = at_boundary && brank == KEYLEN_SUFFIX && !everything;
                     let slice_bytes = e.ikey.to_be_bytes();
                     match e.code {
                         KEYLEN_LAYER => {
-                            let sub_bound = if at_boundary && brank == KEYLEN_SUFFIX {
-                                match bsuffix {
-                                    Some(s) => Bound::AtMost(s.to_vec()),
-                                    None => Bound::Everything,
-                                }
+                            // Sub-layer bound: the bound's remainder past
+                            // this slice, else the whole sub-layer.
+                            let sub_everything = if bounded_suffix {
+                                scratch.bound.drain(..SLICE_LEN);
+                                false
                             } else {
-                                Bound::Everything
+                                true
                             };
-                            prefix.extend_from_slice(&slice_bytes);
+                            scratch.prefix.extend_from_slice(&slice_bytes);
                             let st = self.scan_rev_layer(
                                 NodePtr::from_raw(e.lv.cast()),
-                                prefix,
-                                sub_bound,
+                                sub_everything,
+                                scratch,
                                 guard,
                                 f,
                             );
-                            prefix.truncate(prefix.len() - SLICE_LEN);
+                            let plen = scratch.prefix.len() - SLICE_LEN;
+                            scratch.prefix.truncate(plen);
                             match st {
                                 ScanStatus::Done => {}
                                 other => return other,
@@ -182,7 +186,9 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                             // Resume strictly below the whole sub-layer:
                             // the next candidate is the inline key of the
                             // same slice with rank 8, bounded inclusively.
-                            bound = Bound::AtMost(slice_bytes.to_vec());
+                            scratch.bound.clear();
+                            scratch.bound.extend_from_slice(&slice_bytes);
+                            everything = false;
                             // (rank 8 == full slice, which sorts just
                             // below the layer's rank-9 position.)
                         }
@@ -191,40 +197,37 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                             // SAFETY: captured under a validated snapshot;
                             // epoch keeps the block live for the guard.
                             let sb = unsafe { KeySuffix::bytes(e.suffix) };
-                            if at_boundary && brank == KEYLEN_SUFFIX {
-                                match bsuffix {
-                                    Some(bs) if sb > bs => continue,
-                                    _ => {}
-                                }
+                            if bounded_suffix && sb > &scratch.bound[SLICE_LEN..] {
+                                continue;
                             }
-                            let plen = prefix.len();
-                            prefix.extend_from_slice(&slice_bytes);
-                            prefix.extend_from_slice(sb);
+                            let plen = scratch.prefix.len();
+                            scratch.prefix.extend_from_slice(&slice_bytes);
+                            scratch.prefix.extend_from_slice(sb);
                             // SAFETY: validated value pointer, epoch-live.
-                            let keep = f(prefix, unsafe { &*e.lv.cast::<V>() });
-                            prefix.truncate(plen);
+                            let keep = f(&scratch.prefix, unsafe { &*e.lv.cast::<V>() });
+                            scratch.prefix.truncate(plen);
                             if !keep {
                                 return ScanStatus::Stopped;
                             }
-                            match prev_bound(e.ikey, e.code, Some(sb)) {
-                                Some(b) => bound = b,
-                                None => return ScanStatus::Done,
+                            if !prev_bound_into(e.ikey, e.code, Some(sb), &mut scratch.bound) {
+                                return ScanStatus::Done;
                             }
+                            everything = false;
                         }
                         len => {
                             let len = len as usize;
-                            let plen = prefix.len();
-                            prefix.extend_from_slice(&slice_bytes[..len]);
+                            let plen = scratch.prefix.len();
+                            scratch.prefix.extend_from_slice(&slice_bytes[..len]);
                             // SAFETY: validated value pointer, epoch-live.
-                            let keep = f(prefix, unsafe { &*e.lv.cast::<V>() });
-                            prefix.truncate(plen);
+                            let keep = f(&scratch.prefix, unsafe { &*e.lv.cast::<V>() });
+                            scratch.prefix.truncate(plen);
                             if !keep {
                                 return ScanStatus::Stopped;
                             }
-                            match prev_bound(e.ikey, e.code, None) {
-                                Some(b) => bound = b,
-                                None => return ScanStatus::Done,
+                            if !prev_bound_into(e.ikey, e.code, None, &mut scratch.bound) {
+                                return ScanStatus::Done;
                             }
+                            everything = false;
                         }
                     }
                 }
@@ -240,9 +243,10 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                     Some(pk) => {
                         // Bound: every remainder whose slice ≤ lowkey-1
                         // (inclusive at the suffix level).
-                        let mut b = pk.to_be_bytes().to_vec();
-                        b.extend_from_slice(&[0xff; 8]); // rank-9 ceiling
-                        bound = Bound::AtMost(b);
+                        scratch.bound.clear();
+                        scratch.bound.extend_from_slice(&pk.to_be_bytes());
+                        scratch.bound.extend_from_slice(&[0xff; 8]); // rank-9 ceiling
+                        everything = false;
                     }
                 }
                 // SAFETY: leaf-list pointers stay live under the epoch.
@@ -257,16 +261,20 @@ impl<V: Send + Sync + 'static> Masstree<V> {
         }
     }
 
-    /// Snapshot including the node's `prev` pointer and lowkey.
+    /// Snapshot (into the caller's fixed buffer) including the node's
+    /// `prev` pointer and lowkey.
     #[allow(clippy::type_complexity)]
-    fn snapshot_border_rev(n: &BorderNode<V>) -> Result<(Vec<Entry>, *mut BorderNode<V>, u64), ()> {
+    fn snapshot_border_rev(
+        n: &BorderNode<V>,
+        entries: &mut [Entry; WIDTH],
+    ) -> Result<(usize, *mut BorderNode<V>, u64), ()> {
         loop {
             let v = n.version().stable();
             if v.is_deleted() {
                 return Err(());
             }
             let perm = n.permutation();
-            let mut entries = Vec::with_capacity(perm.nkeys());
+            let mut filled = 0usize;
             let mut unstable = false;
             for pos in 0..perm.nkeys() {
                 let slot = perm.get(pos);
@@ -277,24 +285,28 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                         unstable = true;
                         break;
                     }
-                    ExtractedLv::Layer(p) => entries.push(Entry {
-                        ikey,
-                        code: KEYLEN_LAYER,
-                        lv: p.cast::<()>(),
-                        suffix: core::ptr::null_mut(),
-                    }),
+                    ExtractedLv::Layer(p) => {
+                        entries[filled] = Entry {
+                            ikey,
+                            code: KEYLEN_LAYER,
+                            lv: p.cast::<()>(),
+                            suffix: core::ptr::null_mut(),
+                        };
+                        filled += 1;
+                    }
                     ExtractedLv::Value(p) => {
                         let suffix = if code == KEYLEN_SUFFIX {
                             n.suffix[slot].load(Ordering::Acquire)
                         } else {
                             core::ptr::null_mut()
                         };
-                        entries.push(Entry {
+                        entries[filled] = Entry {
                             ikey,
                             code,
                             lv: p,
                             suffix,
-                        });
+                        };
+                        filled += 1;
                     }
                 }
             }
@@ -302,7 +314,7 @@ impl<V: Send + Sync + 'static> Masstree<V> {
             let lowkey = n.lowkey.load(Ordering::Relaxed);
             let v2 = n.version().load(Ordering::Acquire);
             if !unstable && !v.has_changed(v2) {
-                return Ok((entries, prev, lowkey));
+                return Ok((filled, prev, lowkey));
             }
             if v.has_split(n.version().stable()) {
                 return Err(());
@@ -312,7 +324,8 @@ impl<V: Send + Sync + 'static> Masstree<V> {
     }
 }
 
-/// The largest remainder strictly below entry `(ikey, code)`:
+/// Writes the largest remainder strictly below entry `(ikey, code)` into
+/// `out`, returning `false` when the layer is exhausted below the entry:
 /// * below an inline key of length `l > 0`: the same bytes with the last
 ///   one decremented, padded to the rank-9 ceiling; or the next-shorter
 ///   prefix when the last byte is 0x00;
@@ -320,49 +333,49 @@ impl<V: Send + Sync + 'static> Masstree<V> {
 ///   slice leftward) is exhausted below `ikey`;
 /// * below a suffixed key: the same slice with a smaller suffix — we
 ///   conservatively resume at the slice's inline rank-8 position.
-fn prev_bound(ikey: u64, code: u8, suffix: Option<&[u8]>) -> Option<Bound> {
+fn prev_bound_into(ikey: u64, code: u8, suffix: Option<&[u8]>, out: &mut Vec<u8>) -> bool {
     if code == KEYLEN_SUFFIX {
         let sb = suffix.unwrap_or(&[]);
+        out.clear();
+        out.extend_from_slice(&ikey.to_be_bytes());
         if sb.is_empty() {
             // Below "slice + empty suffix" comes the inline rank-8 key.
-            return Some(Bound::AtMost(ikey.to_be_bytes().to_vec()));
+            return true;
         }
         // Below "slice + sb" come suffixes strictly smaller than sb:
         // bound = slice + (sb minus one step).
-        let mut b = ikey.to_be_bytes().to_vec();
-        let mut s = sb.to_vec();
-        if s.last() == Some(&0) {
-            s.pop();
+        if sb.last() == Some(&0) {
+            out.extend_from_slice(&sb[..sb.len() - 1]);
         } else {
-            let last = s.last_mut().unwrap();
-            *last -= 1;
-            s.extend_from_slice(&[0xff; 16]);
+            out.extend_from_slice(sb);
+            *out.last_mut().expect("suffix is non-empty") -= 1;
+            out.extend_from_slice(&[0xff; 16]);
         }
-        b.extend_from_slice(&s);
-        return Some(Bound::AtMost(b));
+        return true;
     }
     let len = code as usize;
     let bytes = ikey.to_be_bytes();
     if len == 0 {
         // Below the empty remainder: previous slice entirely.
         return match ikey.checked_sub(1) {
-            None => None,
+            None => false,
             Some(pk) => {
-                let mut b = pk.to_be_bytes().to_vec();
-                b.extend_from_slice(&[0xff; 8]);
-                Some(Bound::AtMost(b))
+                out.clear();
+                out.extend_from_slice(&pk.to_be_bytes());
+                out.extend_from_slice(&[0xff; 8]);
+                true
             }
         };
     }
-    let mut k = bytes[..len].to_vec();
-    if k.last() == Some(&0) {
-        k.pop(); // e.g. below "ab\0" comes "ab"
+    out.clear();
+    out.extend_from_slice(&bytes[..len]);
+    if out.last() == Some(&0) {
+        out.pop(); // e.g. below "ab\0" comes "ab"
     } else {
-        let last = k.last_mut().unwrap();
-        *last -= 1;
-        k.extend_from_slice(&[0xff; 16]); // ceiling under the new prefix
+        *out.last_mut().expect("non-empty inline key") -= 1;
+        out.extend_from_slice(&[0xff; 16]); // ceiling under the new prefix
     }
-    Some(Bound::AtMost(k))
+    true
 }
 
 #[cfg(test)]
@@ -371,20 +384,15 @@ mod tests {
 
     #[test]
     fn prev_bound_inline() {
+        let mut b = Vec::new();
         // Below "b" (1 byte) comes "a…\xff".
-        match prev_bound(slice_at(b"b", 0), 1, None) {
-            Some(Bound::AtMost(b)) => {
-                assert!(b.starts_with(b"a"));
-                assert!(b.len() > 8);
-            }
-            _ => panic!(),
-        }
+        assert!(prev_bound_into(slice_at(b"b", 0), 1, None, &mut b));
+        assert!(b.starts_with(b"a"));
+        assert!(b.len() > 8);
         // Below "a\0" comes "a".
-        match prev_bound(slice_at(b"a\0", 0), 2, None) {
-            Some(Bound::AtMost(b)) => assert_eq!(b, b"a"),
-            _ => panic!(),
-        }
+        assert!(prev_bound_into(slice_at(b"a\0", 0), 2, None, &mut b));
+        assert_eq!(b, b"a");
         // Below the empty key: nothing.
-        assert!(prev_bound(0, 0, None).is_none());
+        assert!(!prev_bound_into(0, 0, None, &mut b));
     }
 }

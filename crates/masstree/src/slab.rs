@@ -1,0 +1,257 @@
+//! Slab allocation for tree nodes (§4.2 / §4.7: DRAM traffic is the
+//! enemy, so node memory is recycled instead of round-tripping through
+//! the general-purpose allocator).
+//!
+//! Nodes are served from cache-line-aligned **size-class slabs**: a
+//! class per whole number of 64-byte lines, refilled by carving chunks
+//! of [`CHUNK_NODES`] nodes from the system allocator. Each thread keeps
+//! a small free list per class; `free` pushes locally and spills batches
+//! to a global pool when the local list fills, `alloc` pops locally and
+//! refills from the global pool, so nodes freed by one thread's epoch GC
+//! are reused by every other thread. The hot put/split path therefore
+//! touches no allocator locks at all, and recycled nodes come back
+//! cache-warm with their lines already resident.
+//!
+//! Node memory never returns to the operating system: it cycles between
+//! the per-thread lists and the global pool for the life of the process.
+//! That is the classic slab trade — the working set of nodes is bounded
+//! by the high-water mark of the tree, and reuse is what makes node
+//! allocation O(1) and contention-free.
+//!
+//! Reclamation safety is unchanged from the `Box` days: a node reaches
+//! [`free`] only through the epoch GC (`gc.rs`), after every reader that
+//! could hold a reference has unpinned, so recycling its memory for a
+//! new node cannot produce a use-after-free.
+
+use core::alloc::Layout;
+use std::alloc::{alloc, dealloc, handle_alloc_error};
+use std::cell::RefCell;
+use std::sync::Mutex;
+
+/// Cache-line size all classes are aligned to.
+const LINE: usize = 64;
+/// Number of size classes: `class c` serves `(c + 1) * 64` bytes, so
+/// classes cover 64 B ..= 1 KiB — comfortably past both node types.
+const NUM_CLASSES: usize = 16;
+/// Nodes carved from the system allocator per refill chunk.
+const CHUNK_NODES: usize = 64;
+/// Per-thread free-list cap per class; beyond it, a batch spills to the
+/// global pool so cross-thread producer/consumer patterns don't hoard.
+const LOCAL_MAX: usize = 256;
+/// Nodes moved per local<->global exchange.
+const TRANSFER: usize = 64;
+
+#[inline]
+fn class_of(layout: Layout) -> Option<usize> {
+    if layout.align() > LINE || layout.size() == 0 {
+        return None;
+    }
+    let lines = layout.size().div_ceil(LINE);
+    (lines <= NUM_CLASSES).then(|| lines - 1)
+}
+
+#[inline]
+fn class_size(class: usize) -> usize {
+    (class + 1) * LINE
+}
+
+/// Global per-class overflow pools (uncontended except when a local
+/// list spills or refills).
+static GLOBAL: [Mutex<Vec<usize>>; NUM_CLASSES] = [const { Mutex::new(Vec::new()) }; NUM_CLASSES];
+
+/// Per-thread free lists. On thread exit the remaining nodes flush to
+/// the global pool so nothing strands.
+struct LocalLists([Vec<usize>; NUM_CLASSES]);
+
+impl Drop for LocalLists {
+    fn drop(&mut self) {
+        for (class, list) in self.0.iter_mut().enumerate() {
+            if !list.is_empty() {
+                GLOBAL[class].lock().unwrap().append(list);
+            }
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalLists> =
+        RefCell::new(LocalLists(std::array::from_fn(|_| Vec::new())));
+}
+
+/// Carves a fresh chunk for `class`, pushing all but one node onto
+/// `spare` and returning the remaining node.
+fn carve(class: usize, spare: &mut Vec<usize>) -> usize {
+    let size = class_size(class);
+    let layout =
+        Layout::from_size_align(size * CHUNK_NODES, LINE).expect("slab chunk layout overflow");
+    // SAFETY: the layout has non-zero size.
+    let base = unsafe { alloc(layout) };
+    if base.is_null() {
+        handle_alloc_error(layout);
+    }
+    spare.reserve(CHUNK_NODES - 1);
+    for i in 1..CHUNK_NODES {
+        spare.push(base as usize + i * size);
+    }
+    base as usize
+}
+
+/// Slow path used when thread-local storage is unavailable (a deferred
+/// destructor running during thread teardown): go straight to the
+/// global pool.
+fn alloc_global(class: usize) -> usize {
+    let mut pool = GLOBAL[class].lock().unwrap();
+    match pool.pop() {
+        Some(p) => p,
+        None => {
+            let mut spare = Vec::new();
+            let p = carve(class, &mut spare);
+            pool.append(&mut spare);
+            p
+        }
+    }
+}
+
+/// Allocates node memory for `layout` (uninitialized). Layouts outside
+/// the class range fall back to the system allocator.
+pub(crate) fn alloc_node(layout: Layout) -> *mut u8 {
+    let Some(class) = class_of(layout) else {
+        // SAFETY: non-zero size guaranteed by the node types.
+        let p = unsafe { alloc(layout) };
+        if p.is_null() {
+            handle_alloc_error(layout);
+        }
+        return p;
+    };
+    LOCAL
+        .try_with(|l| {
+            let mut lists = l.borrow_mut();
+            let list = &mut lists.0[class];
+            if let Some(p) = list.pop() {
+                return p;
+            }
+            // Refill from the global pool before carving fresh memory.
+            {
+                let mut pool = GLOBAL[class].lock().unwrap();
+                let take = pool.len().min(TRANSFER);
+                if take > 0 {
+                    let at = pool.len() - take;
+                    list.extend(pool.drain(at..));
+                }
+            }
+            match list.pop() {
+                Some(p) => p,
+                None => carve(class, list),
+            }
+        })
+        .unwrap_or_else(|_| alloc_global(class)) as *mut u8
+}
+
+/// Returns node memory to the slab. `layout` must be the layout passed
+/// to the matching [`alloc_node`] call.
+///
+/// # Safety
+///
+/// `p` must have come from [`alloc_node`] with this `layout`, must be
+/// unreachable, and must not be freed twice.
+pub(crate) unsafe fn free_node(p: *mut u8, layout: Layout) {
+    let Some(class) = class_of(layout) else {
+        // SAFETY: per caller contract, `p` came from the fallback
+        // system-allocator path with this layout.
+        unsafe { dealloc(p, layout) };
+        return;
+    };
+    let addr = p as usize;
+    let pushed_local = LOCAL
+        .try_with(|l| {
+            let mut lists = l.borrow_mut();
+            let list = &mut lists.0[class];
+            list.push(addr);
+            if list.len() > LOCAL_MAX {
+                // Spill from the *front*: the list is LIFO, so the front
+                // holds the coldest nodes — ship those to the global
+                // pool and keep the recently freed (cache-warm) ones for
+                // this thread's next alloc.
+                GLOBAL[class].lock().unwrap().extend(list.drain(..TRANSFER));
+            }
+        })
+        .is_ok();
+    if !pushed_local {
+        GLOBAL[class].lock().unwrap().push(addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_class_reuses_memory() {
+        let layout = Layout::from_size_align(3 * LINE, LINE).unwrap();
+        let a = alloc_node(layout);
+        // SAFETY: freeing what we just allocated.
+        unsafe { free_node(a, layout) };
+        let b = alloc_node(layout);
+        assert_eq!(a, b, "LIFO free list hands the node straight back");
+        // SAFETY: freeing the live allocation once.
+        unsafe { free_node(b, layout) };
+    }
+
+    #[test]
+    fn classes_are_line_aligned_and_disjoint() {
+        let small = Layout::from_size_align(LINE, LINE).unwrap();
+        let big = Layout::from_size_align(9 * LINE, LINE).unwrap();
+        let a = alloc_node(small);
+        let b = alloc_node(big);
+        assert_eq!(a as usize % LINE, 0);
+        assert_eq!(b as usize % LINE, 0);
+        assert_ne!(a, b);
+        // SAFETY: freeing both live allocations once.
+        unsafe {
+            free_node(a, small);
+            free_node(b, big);
+        }
+    }
+
+    #[test]
+    fn oversized_layout_falls_back() {
+        let huge = Layout::from_size_align(64 * 1024, LINE).unwrap();
+        assert!(class_of(huge).is_none());
+        let p = alloc_node(huge);
+        assert!(!p.is_null());
+        // SAFETY: freeing the fallback allocation once.
+        unsafe { free_node(p, huge) };
+    }
+
+    #[test]
+    fn cross_thread_free_recycles_through_global_pool() {
+        let layout = Layout::from_size_align(2 * LINE, LINE).unwrap();
+        // Allocate enough on a worker that its exit flushes the nodes to
+        // the global pool, then verify this thread can drain them.
+        let handle = std::thread::spawn(move || {
+            let ptrs: Vec<usize> = (0..CHUNK_NODES)
+                .map(|_| alloc_node(layout) as usize)
+                .collect();
+            for p in &ptrs {
+                // SAFETY: freeing each worker allocation once.
+                unsafe { free_node(*p as *mut u8, layout) };
+            }
+            ptrs
+        });
+        let freed = handle.join().unwrap();
+        let mut recycled = 0;
+        let mut got = Vec::new();
+        for _ in 0..CHUNK_NODES * 4 {
+            let p = alloc_node(layout);
+            if freed.contains(&(p as usize)) {
+                recycled += 1;
+            }
+            got.push(p);
+        }
+        assert!(recycled > 0, "worker's nodes were reused on this thread");
+        for p in got {
+            // SAFETY: freeing each live allocation once.
+            unsafe { free_node(p, layout) };
+        }
+    }
+}

@@ -52,6 +52,15 @@ pub enum LogRecord {
     /// each flush so an idle worker's log does not hold back the recovery
     /// cutoff `t` (§5). Skipped during replay.
     Heartbeat { timestamp: u64 },
+    /// Clean-close sentinel: "this log is **complete** — its worker shut
+    /// down cleanly and will never write again". Written as the final
+    /// record when a [`LogWriter`] is dropped. A log ending in this
+    /// record is excluded from the recovery cutoff `min` entirely: its
+    /// silence after `timestamp` is complete knowledge, not missing
+    /// data, so it must not freeze the cutoff at its close time and drop
+    /// everything other workers logged afterwards. Skipped during
+    /// replay.
+    CleanClose { timestamp: u64 },
 }
 
 impl LogRecord {
@@ -59,22 +68,32 @@ impl LogRecord {
         match self {
             LogRecord::Put { timestamp, .. }
             | LogRecord::Remove { timestamp, .. }
-            | LogRecord::Heartbeat { timestamp } => *timestamp,
+            | LogRecord::Heartbeat { timestamp }
+            | LogRecord::CleanClose { timestamp } => *timestamp,
         }
     }
 
     pub fn version(&self) -> u64 {
         match self {
             LogRecord::Put { version, .. } | LogRecord::Remove { version, .. } => *version,
-            LogRecord::Heartbeat { .. } => 0,
+            LogRecord::Heartbeat { .. } | LogRecord::CleanClose { .. } => 0,
         }
     }
 
     pub fn key(&self) -> &[u8] {
         match self {
             LogRecord::Put { key, .. } | LogRecord::Remove { key, .. } => key,
-            LogRecord::Heartbeat { .. } => &[],
+            LogRecord::Heartbeat { .. } | LogRecord::CleanClose { .. } => &[],
         }
+    }
+
+    /// True for marker records (heartbeats, clean-close sentinels) that
+    /// carry no data and are skipped during replay.
+    pub fn is_marker(&self) -> bool {
+        matches!(
+            self,
+            LogRecord::Heartbeat { .. } | LogRecord::CleanClose { .. }
+        )
     }
 
     /// Serializes into `out` (framing + CRC).
@@ -115,6 +134,13 @@ impl LogRecord {
             }
             LogRecord::Heartbeat { timestamp } => {
                 out.push(3);
+                out.extend_from_slice(&timestamp.to_le_bytes());
+                out.extend_from_slice(&0u64.to_le_bytes());
+                out.extend_from_slice(&0u32.to_le_bytes());
+                out.extend_from_slice(&0u16.to_le_bytes());
+            }
+            LogRecord::CleanClose { timestamp } => {
+                out.push(4);
                 out.extend_from_slice(&timestamp.to_le_bytes());
                 out.extend_from_slice(&0u64.to_le_bytes());
                 out.extend_from_slice(&0u32.to_le_bytes());
@@ -179,6 +205,7 @@ impl LogRecord {
                 key,
             },
             3 => LogRecord::Heartbeat { timestamp },
+            4 => LogRecord::CleanClose { timestamp },
             _ => return None,
         };
         Some((rec, 4 + len + 4))
@@ -198,6 +225,10 @@ struct LogShared {
     wake: Condvar,
     done: Condvar,
     stop: AtomicBool,
+    /// Set (under the buffer lock) once the clean-close sentinel has
+    /// been appended; the logger thread stops heart-beating so the
+    /// sentinel stays the log's final record.
+    closed: AtomicBool,
 }
 
 /// One worker's log: in-memory buffer + background logger thread.
@@ -220,6 +251,7 @@ impl LogWriter {
             wake: Condvar::new(),
             done: Condvar::new(),
             stop: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
         });
         let s2 = Arc::clone(&shared);
         let thread = std::thread::Builder::new()
@@ -277,6 +309,20 @@ impl LogWriter {
 
 impl Drop for LogWriter {
     fn drop(&mut self) {
+        // Append the clean-close sentinel as this log's final record:
+        // `closed` is set under the buffer lock, and the logger thread
+        // checks it under the same lock before heart-beating, so nothing
+        // can be stamped after the sentinel. A cleanly closed log is
+        // thereby *complete* — recovery excludes it from the cutoff
+        // `min` instead of letting its close time drop every record
+        // other workers logged later (§5 cutoff vs short-lived
+        // sessions).
+        {
+            let mut buf = self.shared.buffer.lock();
+            self.shared.closed.store(true, Ordering::Release);
+            let ts = crate::clock::now();
+            LogRecord::CleanClose { timestamp: ts }.encode(&mut buf.data);
+        }
         self.force();
         self.shared.stop.store(true, Ordering::Release);
         self.shared.wake.notify_one();
@@ -302,11 +348,15 @@ fn logger_loop(shared: Arc<LogShared>, file: File) {
             }
             // Liveness marker (see `append_now`), drawn under the lock:
             // whenever there is data, a sync was requested, or the
-            // heartbeat interval lapsed on an idle log.
-            if !buf.data.is_empty()
-                || buf.sync_requested > buf.sync_completed
-                || last_heartbeat.elapsed() >= FORCE_INTERVAL
-                || shared.stop.load(Ordering::Acquire)
+            // heartbeat interval lapsed on an idle log. Once the writer
+            // has appended its clean-close sentinel (`closed`, checked
+            // under the same lock) heart-beating stops so the sentinel
+            // remains the final record.
+            if !shared.closed.load(Ordering::Acquire)
+                && (!buf.data.is_empty()
+                    || buf.sync_requested > buf.sync_completed
+                    || last_heartbeat.elapsed() >= FORCE_INTERVAL
+                    || shared.stop.load(Ordering::Acquire))
             {
                 let ts = crate::clock::now();
                 LogRecord::Heartbeat { timestamp: ts }.encode(&mut buf.data);
@@ -442,16 +492,28 @@ mod tests {
             w.force();
         }
         let records = read_log(&path).unwrap();
-        let puts: Vec<&LogRecord> = records
-            .iter()
-            .filter(|r| !matches!(r, LogRecord::Heartbeat { .. }))
-            .collect();
+        let puts: Vec<&LogRecord> = records.iter().filter(|r| !r.is_marker()).collect();
         assert_eq!(puts.len(), 100);
         assert_eq!(*puts[42], rec(42));
         assert!(
             records.len() > puts.len(),
             "liveness heartbeats are interleaved"
         );
+        assert!(
+            matches!(records.last(), Some(LogRecord::CleanClose { .. })),
+            "a dropped writer seals its log with the clean-close sentinel"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clean_close_roundtrip() {
+        let mut buf = Vec::new();
+        LogRecord::CleanClose { timestamp: 888 }.encode(&mut buf);
+        let (r, used) = LogRecord::decode(&buf).unwrap();
+        assert_eq!(r, LogRecord::CleanClose { timestamp: 888 });
+        assert_eq!(used, buf.len());
+        assert_eq!(r.timestamp(), 888);
+        assert!(r.is_marker());
     }
 }

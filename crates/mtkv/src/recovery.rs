@@ -1,9 +1,13 @@
 //! Crash recovery (§5 of the paper).
 //!
-//! Recovery first computes the cutoff `t = min over logs ℓ of
+//! Recovery first computes the cutoff `t = min over *crashed* logs ℓ of
 //! max over records u ∈ ℓ of u.timestamp`: records after `t` may be
 //! missing from other logs (their group commits never completed), so they
-//! are dropped to keep the recovered state prefix-consistent. It then
+//! are dropped to keep the recovered state prefix-consistent. Logs whose
+//! final record is a clean-close sentinel are complete by construction
+//! and are excluded from the `min` — a cleanly closed session must not
+//! freeze the cutoff at its close time (see `LogRecord::CleanClose`). It
+//! then
 //! loads the newest checkpoint that *began* before `t` and replays the
 //! logs from the checkpoint's start timestamp, applying each value's
 //! updates in increasing version order (replays are idempotent: a record
@@ -22,7 +26,8 @@ use crate::value::ColValue;
 /// Outcome of a recovery run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
-    /// The cutoff timestamp `t` (0 if no logs existed).
+    /// The cutoff timestamp `t` (`u64::MAX` when unconstrained — no
+    /// logs, or every log closed cleanly).
     pub cutoff: u64,
     /// Records replayed (within the cutoff and checkpoint window).
     pub replayed: u64,
@@ -65,21 +70,25 @@ pub fn recover(log_dir: &Path, ckpt_dir: &Path) -> std::io::Result<(Arc<Store>, 
         logs.push(read_log(&path)?);
     }
 
-    // Cutoff: min over non-empty logs of their max timestamp. A log with
-    // no records contributes nothing (its worker never logged, so no
-    // record can depend on it).
+    // Cutoff: min over *live* (crashed) non-empty logs of their max
+    // timestamp. A log with no records contributes nothing (its worker
+    // never logged, so no record can depend on it), and a log ending in
+    // a clean-close sentinel contributes nothing either: its worker shut
+    // down cleanly, so its silence past the sentinel is complete
+    // knowledge — not missing data — and must not freeze the cutoff at
+    // the close time (which would drop everything other sessions logged
+    // afterwards). If every log closed cleanly there is no cutoff at
+    // all (`u64::MAX`): nothing was lost, everything replays.
     let cutoff = logs
         .iter()
-        .filter(|l| !l.is_empty())
+        .filter(|l| !l.is_empty() && !matches!(l.last(), Some(LogRecord::CleanClose { .. })))
         .map(|l| l.iter().map(|r| r.timestamp()).max().unwrap())
         .min()
-        .unwrap_or(0);
+        .unwrap_or(u64::MAX);
     report.cutoff = cutoff;
 
-    // Newest complete checkpoint that began before the cutoff (if there
-    // are no logs at all, any complete checkpoint stands alone).
-    let ckpt = latest_checkpoint(ckpt_dir)
-        .filter(|(_, meta)| logs.iter().all(|l| l.is_empty()) || meta.start_ts <= cutoff);
+    // Newest complete checkpoint that began before the cutoff.
+    let ckpt = latest_checkpoint(ckpt_dir).filter(|(_, meta)| meta.start_ts <= cutoff);
 
     let mut tree: Masstree<ColValue> = Masstree::new();
     let mut max_version = 0u64;
@@ -140,8 +149,8 @@ pub fn recover(log_dir: &Path, ckpt_dir: &Path) -> std::io::Result<(Arc<Store>, 
                 let mut dropped = 0u64;
                 let mut maxv = 0u64;
                 for rec in records {
-                    if matches!(rec, LogRecord::Heartbeat { .. }) {
-                        continue; // liveness marker only
+                    if rec.is_marker() {
+                        continue; // heartbeat / clean-close marker only
                     }
                     let ts = rec.timestamp();
                     if ts > cutoff {
@@ -212,7 +221,9 @@ pub fn recover(log_dir: &Path, ckpt_dir: &Path) -> std::io::Result<(Arc<Store>, 
                             );
                             replayed += 1;
                         }
-                        LogRecord::Heartbeat { .. } => unreachable!("skipped above"),
+                        LogRecord::Heartbeat { .. } | LogRecord::CleanClose { .. } => {
+                            unreachable!("markers skipped above")
+                        }
                     }
                 }
                 (replayed, dropped, maxv)
@@ -357,6 +368,148 @@ mod tests {
             u32::MAX.to_le_bytes(),
             "post-checkpoint update wins over checkpointed value"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn puts_after_session_close_survive_recovery() {
+        // Regression for the ROADMAP "recovery cutoff vs short-lived
+        // sessions" bug: session A closes early; without the clean-close
+        // sentinel the cutoff froze at A's close time, dropping
+        // everything session B logged afterwards and rejecting the later
+        // checkpoint (observed live: 50k-key checkpoint + 50k logged
+        // puts recovered as 1 key).
+        let dir = tmpdir("cutoff");
+        {
+            let store = Store::persistent(&dir).unwrap();
+            {
+                // Session A: one early put, then a clean close.
+                let a = store.session().unwrap();
+                a.put(b"early", &[(0, b"from-A")]);
+                a.force_log();
+            }
+            // Session B logs on, well past A's close.
+            let b = store.session().unwrap();
+            for i in 0..2_000u32 {
+                b.put(
+                    format!("late{i:05}").as_bytes(),
+                    &[(0, &i.to_le_bytes()[..])],
+                );
+            }
+            b.force_log();
+            // A checkpoint *begun after A closed* must stay usable.
+            write_checkpoint(&store, &dir, 2).unwrap();
+            for i in 2_000..2_500u32 {
+                b.put(
+                    format!("late{i:05}").as_bytes(),
+                    &[(0, &i.to_le_bytes()[..])],
+                );
+            }
+            b.force_log();
+        }
+        let (store, report) = recover(&dir, &dir).unwrap();
+        assert!(
+            report.used_checkpoint,
+            "checkpoint began after A's clean close and must not be \
+             rejected by a frozen cutoff"
+        );
+        assert_eq!(report.dropped_past_cutoff, 0, "no session crashed");
+        let s = store.session().unwrap();
+        assert_eq!(s.get(b"early", Some(&[0])).unwrap()[0], b"from-A");
+        for i in [0u32, 1_999, 2_000, 2_499] {
+            assert_eq!(
+                s.get(format!("late{i:05}").as_bytes(), Some(&[0]))
+                    .unwrap_or_else(|| panic!("late{i:05} lost"))[0],
+                i.to_le_bytes(),
+                "post-close put late{i:05} must survive recovery"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crashed_log_still_bounds_cleanly_closed_ones() {
+        // A torn (crashed) log must keep constraining the cutoff even
+        // when other logs closed cleanly: records stamped after the
+        // crash point are dropped everywhere.
+        let dir = tmpdir("crashed");
+        let crashed_path;
+        {
+            let store = Store::persistent(&dir).unwrap();
+            let a = store.session().unwrap();
+            let b = store.session().unwrap();
+            a.put(b"a-key", &[(0, b"1")]);
+            a.force_log();
+            b.put(b"b-key", &[(0, b"1")]);
+            b.force_log();
+            crashed_path = log_files(&dir)[0].clone();
+        }
+        // Simulate a crash of log A: truncate off its clean-close
+        // sentinel (and anything after the first record).
+        let data = std::fs::read(&crashed_path).unwrap();
+        let (_, first) = crate::log::LogRecord::decode(&data).unwrap();
+        std::fs::write(&crashed_path, &data[..first]).unwrap();
+        let (_, report) = recover(&dir, &dir).unwrap();
+        assert!(
+            report.cutoff < u64::MAX,
+            "a crashed log must still impose a finite cutoff"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn new_store_lifetimes_never_reuse_closed_log_files() {
+        // A clean-close sentinel is trusted to be the final record of a
+        // *complete* log, so a later store lifetime must not append to
+        // the file: a crash before its first flush would leave the stale
+        // sentinel terminal and recovery would wrongly exclude the
+        // crashed log from the cutoff. Fresh lifetimes (both
+        // `Store::persistent` and post-`recover` stores) therefore
+        // allocate log ids past every existing file.
+        let dir = tmpdir("reuse");
+        {
+            let store = Store::persistent(&dir).unwrap();
+            let s = store.session().unwrap();
+            s.put_single(b"k1", b"run1");
+            s.force_log();
+        }
+        {
+            let store = Store::persistent(&dir).unwrap();
+            let s = store.session().unwrap();
+            s.put_single(b"k2", b"run2");
+            s.force_log();
+        }
+        let (store, _) = recover(&dir, &dir).unwrap();
+        {
+            let s = store.session().unwrap();
+            s.put_single(b"k3", b"run3");
+            s.force_log();
+        }
+        let logs = log_files(&dir);
+        assert_eq!(logs.len(), 3, "one fresh log file per lifetime");
+        for path in &logs {
+            let records = crate::log::read_log(path).unwrap();
+            let closes = records
+                .iter()
+                .filter(|r| matches!(r, LogRecord::CleanClose { .. }))
+                .count();
+            assert!(closes <= 1, "{path:?}: one writer, at most one sentinel");
+            if closes == 1 {
+                assert!(
+                    matches!(records.last(), Some(LogRecord::CleanClose { .. })),
+                    "{path:?}: a sentinel can only be the final record"
+                );
+            }
+        }
+        let (store, _) = recover(&dir, &dir).unwrap();
+        let s = store.session().unwrap();
+        for (k, v) in [
+            (&b"k1"[..], &b"run1"[..]),
+            (b"k2", b"run2"),
+            (b"k3", b"run3"),
+        ] {
+            assert_eq!(s.get(k, Some(&[0])).unwrap()[0], v);
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

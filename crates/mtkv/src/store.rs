@@ -42,8 +42,8 @@ impl Store {
         Ok(Arc::new(Store {
             tree: Masstree::new(),
             next_version: AtomicU64::new(1),
+            next_log_id: AtomicU64::new(next_log_id_in(dir)),
             log_dir: Some(dir.to_path_buf()),
-            next_log_id: AtomicU64::new(0),
         }))
     }
 
@@ -58,6 +58,8 @@ impl Store {
 
     /// Re-attaches logging (used after recovery).
     pub(crate) fn set_log_dir(&mut self, dir: PathBuf) {
+        self.next_log_id
+            .store(next_log_id_in(&dir), Ordering::Relaxed);
         self.log_dir = Some(dir);
     }
 
@@ -95,6 +97,30 @@ impl Store {
         let guard = masstree::pin();
         self.tree.maintain(&guard);
     }
+}
+
+/// First unused log id in `dir`: one past the highest existing `log-N`.
+///
+/// Log files are **never reused** across store lifetimes: recovery
+/// trusts a trailing clean-close sentinel to mean "this file is
+/// complete", so appending a new session to an old file would be
+/// unsound — a crash before the new writer's first flush would leave
+/// the previous lifetime's sentinel as the final on-disk record,
+/// wrongly excluding the (actually crashed) log from the recovery
+/// cutoff.
+fn next_log_id_in(dir: &Path) -> u64 {
+    crate::recovery::log_files(dir)
+        .iter()
+        .filter_map(|p| {
+            p.file_name()?
+                .to_str()?
+                .strip_prefix("log-")?
+                .parse::<u64>()
+                .ok()
+        })
+        .map(|n| n + 1)
+        .max()
+        .unwrap_or(0)
 }
 
 /// One batched put: a key and its column updates.
@@ -164,16 +190,35 @@ impl Session {
 
     /// `get_c(k)`: reads the requested columns (all if `cols` is `None`).
     /// Returns `None` if the key is absent.
+    ///
+    /// Copies every selected column; use [`Session::get_with`] on hot
+    /// paths that only need to *look at* the value.
     pub fn get(&self, key: &[u8], cols: Option<&[usize]>) -> Option<Vec<Vec<u8>>> {
-        let guard = masstree::pin();
-        let v = self.store.tree.get(key, &guard)?;
-        Some(match cols {
-            None => v.cols(),
-            Some(ids) => ids
-                .iter()
-                .map(|&i| v.col(i).unwrap_or(&[]).to_vec())
-                .collect(),
+        self.get_with(key, |hit| {
+            hit.map(|v| match cols {
+                None => v.cols(),
+                Some(ids) => ids
+                    .iter()
+                    .map(|&i| v.col(i).unwrap_or(&[]).to_vec())
+                    .collect(),
+            })
         })
+    }
+
+    /// Borrowed `get_c(k)`: runs `f` against the live [`ColValue`] (or
+    /// `None` if the key is absent) **without copying anything** — column
+    /// slices come straight out of the value's single allocation
+    /// (§4.7).
+    ///
+    /// The borrow is scoped to the callback because it is protected by an
+    /// epoch guard pinned for the duration of the call: the value cannot
+    /// be reclaimed while `f` runs, even if a concurrent put replaces it
+    /// or a remove unlinks it, and it may be reclaimed as soon as `f`
+    /// returns. In steady state this path performs **zero heap
+    /// allocations** (see `tests/alloc_count.rs`).
+    pub fn get_with<R>(&self, key: &[u8], f: impl FnOnce(Option<&ColValue>) -> R) -> R {
+        let guard = masstree::pin();
+        f(self.store.tree.get(key, &guard))
     }
 
     /// `put_c(k, v)`: atomically updates the given columns, copying the
@@ -243,14 +288,28 @@ impl Session {
     where
         F: FnMut(usize, &ColValue) -> Vec<Vec<u8>>,
     {
+        let mut out = Vec::with_capacity(keys.len());
+        self.multi_get_with(keys, |i, hit| out.push(hit.map(|v| project(i, v))));
+        out
+    }
+
+    /// Borrowed batched `get_c`: one interleaved, software-pipelined tree
+    /// traversal under a single epoch pin, visiting `f(i, hit)` once per
+    /// key in input order with the value borrowed in place — the batch
+    /// analogue of [`Session::get_with`], and like it **zero-allocation**
+    /// in steady state (cursors live on the stack, nothing is copied).
+    /// The network server serializes responses straight out of this
+    /// visitor.
+    ///
+    /// Each borrowed value is valid only for its `f` call (the guard is
+    /// released when `multi_get_with` returns; copy out anything that
+    /// must outlive it).
+    pub fn multi_get_with<F>(&self, keys: &[&[u8]], f: F)
+    where
+        F: FnMut(usize, Option<&ColValue>),
+    {
         let guard = masstree::pin();
-        self.store
-            .tree
-            .multi_get(keys, &guard)
-            .into_iter()
-            .enumerate()
-            .map(|(i, hit)| hit.map(|v| project(i, v)))
-            .collect()
+        self.store.tree.multi_get_with(keys, &guard, f);
     }
 
     /// Batched `put_c`: applies every `(key, column updates)` pair with
@@ -323,15 +382,16 @@ impl Session {
 
     /// `getrange_c(k, n)`: up to `n` key/column rows at or after `key`,
     /// in key order. Not atomic w.r.t. concurrent writers (§3).
+    ///
+    /// Copies every row; use [`Session::get_range_with`] on hot paths.
     pub fn get_range(
         &self,
         key: &[u8],
         n: usize,
         cols: Option<&[usize]>,
     ) -> Vec<(Vec<u8>, Vec<Vec<u8>>)> {
-        let guard = masstree::pin();
         let mut out = Vec::with_capacity(n.min(1024));
-        self.store.tree.scan(key, &guard, |k, v| {
+        self.get_range_with(key, n, |k, v| {
             let row = match cols {
                 None => v.cols(),
                 Some(ids) => ids
@@ -340,9 +400,34 @@ impl Session {
                     .collect(),
             };
             out.push((k.to_vec(), row));
-            out.len() < n
         });
         out
+    }
+
+    /// Borrowed `getrange_c(k, n)`: visits up to `n` rows at or after
+    /// `key` in key order as `f(key, value)`, with both the key bytes
+    /// (assembled in the scan's reusable scratch) and the value borrowed
+    /// — nothing is copied and, with a warm scratch, nothing is
+    /// allocated. Returns the number of rows visited.
+    ///
+    /// Both borrows are valid only for the duration of each `f` call.
+    /// Not atomic w.r.t. concurrent writers (§3), like
+    /// [`Session::get_range`].
+    pub fn get_range_with<F>(&self, key: &[u8], n: usize, mut f: F) -> usize
+    where
+        F: FnMut(&[u8], &ColValue),
+    {
+        if n == 0 {
+            return 0;
+        }
+        let guard = masstree::pin();
+        let mut seen = 0usize;
+        self.store.tree.scan(key, &guard, |k, v| {
+            f(k, v);
+            seen += 1;
+            seen < n
+        });
+        seen
     }
 
     /// Blocks until everything this session logged is durable.

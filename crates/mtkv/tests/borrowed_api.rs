@@ -1,0 +1,91 @@
+//! Equivalence of the borrowed (`*_with`) session accessors and the
+//! owning APIs they back: same hits, same columns, same ordering, over
+//! multi-column values, column extension, overwrites and removes.
+
+use mtkv::Store;
+
+fn populated() -> std::sync::Arc<Store> {
+    let store = Store::in_memory();
+    let s = store.session().unwrap();
+    for i in 0..500u32 {
+        // Variable column counts: 1..=3 columns, with some columns empty.
+        match i % 3 {
+            0 => s.put(format!("bk{i:04}").as_bytes(), &[(0, &i.to_le_bytes()[..])]),
+            1 => s.put(
+                format!("bk{i:04}").as_bytes(),
+                &[(0, b"x"), (1, &i.to_le_bytes()[..])],
+            ),
+            _ => s.put(
+                format!("bk{i:04}").as_bytes(),
+                &[(0, b""), (2, &i.to_le_bytes()[..])],
+            ),
+        };
+    }
+    s.remove(b"bk0100");
+    s.put(b"bk0101", &[(1, b"overwritten")]);
+    store
+}
+
+#[test]
+fn get_with_matches_get() {
+    let store = populated();
+    let s = store.session().unwrap();
+    for key in [&b"bk0000"[..], b"bk0001", b"bk0002", b"bk0100", b"missing"] {
+        let owned = s.get(key, None);
+        let borrowed = s.get_with(key, |hit| hit.map(|v| v.cols()));
+        assert_eq!(owned, borrowed, "key {key:?}");
+        // Column projection agrees too, including out-of-range columns.
+        let owned = s.get(key, Some(&[2, 0]));
+        let borrowed = s.get_with(key, |hit| {
+            hit.map(|v| {
+                [2usize, 0]
+                    .iter()
+                    .map(|&c| v.col(c).unwrap_or(&[]).to_vec())
+                    .collect::<Vec<_>>()
+            })
+        });
+        assert_eq!(owned, borrowed, "key {key:?}");
+    }
+}
+
+#[test]
+fn multi_get_with_matches_multi_get_and_get() {
+    let store = populated();
+    let s = store.session().unwrap();
+    let keys: Vec<Vec<u8>> = (0..120u32)
+        .map(|i| format!("bk{:04}", i * 5).into_bytes())
+        .collect();
+    let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+    let owned = s.multi_get(&refs, None);
+    let mut borrowed: Vec<Option<Vec<Vec<u8>>>> = Vec::new();
+    s.multi_get_with(&refs, |i, hit| {
+        assert_eq!(i, borrowed.len(), "visited in input order");
+        borrowed.push(hit.map(|v| v.cols()));
+    });
+    assert_eq!(owned, borrowed);
+    for (k, got) in refs.iter().zip(&borrowed) {
+        assert_eq!(*got, s.get(k, None));
+    }
+}
+
+#[test]
+fn get_range_with_matches_get_range() {
+    let store = populated();
+    let s = store.session().unwrap();
+    for (start, n) in [
+        (&b"bk0000"[..], 40usize),
+        (b"bk0099", 7),
+        (b"zzz", 5),
+        (b"", 1000),
+    ] {
+        let owned = s.get_range(start, n, None);
+        let mut borrowed: Vec<(Vec<u8>, Vec<Vec<u8>>)> = Vec::new();
+        let seen = s.get_range_with(start, n, |k, v| {
+            borrowed.push((k.to_vec(), v.cols()));
+        });
+        assert_eq!(owned, borrowed, "start {start:?}");
+        assert_eq!(seen, borrowed.len());
+        assert!(seen <= n);
+    }
+    assert_eq!(s.get_range_with(b"", 0, |_, _| panic!("limit 0")), 0);
+}

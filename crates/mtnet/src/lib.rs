@@ -10,4 +10,6 @@ pub mod server;
 
 pub use client::Client;
 pub use proto::{Request, Response};
-pub use server::{execute, execute_batch, Backend, ConnState, Server};
+pub use server::{
+    execute, execute_batch, execute_batch_into, execute_into, Backend, ConnState, Server,
+};

@@ -242,6 +242,93 @@ pub fn frame_batch(count: usize, body: &[u8]) -> Vec<u8> {
     out
 }
 
+// ---- zero-copy response writers ----
+//
+// The server's hot read path serializes responses *directly* from
+// value slices borrowed under the store's epoch guard into the
+// connection's reusable output buffer. These helpers write the same
+// wire bytes as `Response::encode` / `frame_batch` without ever
+// building a `Response` (and its owned `Vec<Vec<u8>>` payload copies):
+// the frame header is reserved up front and **length-patched** once the
+// batch is fully encoded.
+
+/// Reserves a batch frame header (`u32 len, u32 count`) in `out`,
+/// returning the patch mark to pass to [`finish_batch`].
+pub fn begin_batch(out: &mut Vec<u8>) -> usize {
+    let mark = out.len();
+    out.extend_from_slice(&[0u8; 8]);
+    mark
+}
+
+/// Patches the header reserved by [`begin_batch`] once the `count`
+/// responses have been encoded after it. The resulting bytes are
+/// exactly what `frame_batch(count, body)` would have produced.
+#[allow(clippy::ptr_arg)] // symmetry with begin_batch, which must grow the Vec
+pub fn finish_batch(out: &mut Vec<u8>, mark: usize, count: usize) {
+    let len = (out.len() - mark - 4) as u32;
+    out[mark..mark + 4].copy_from_slice(&len.to_le_bytes());
+    out[mark + 4..mark + 8].copy_from_slice(&(count as u32).to_le_bytes());
+}
+
+/// Encodes `Response::Value(None)` (key absent).
+pub fn write_value_none(out: &mut Vec<u8>) {
+    out.push(0x80);
+}
+
+/// Encodes `Response::Value(Some(..))` straight from borrowed column
+/// slices. `ncols` must equal the number of items `cols` yields.
+pub fn write_value_borrowed<'a>(
+    out: &mut Vec<u8>,
+    ncols: usize,
+    cols: impl Iterator<Item = &'a [u8]>,
+) {
+    out.push(0x81);
+    out.extend_from_slice(&(ncols as u16).to_le_bytes());
+    let mut written = 0usize;
+    for c in cols {
+        put_bytes(out, c);
+        written += 1;
+    }
+    debug_assert_eq!(written, ncols, "column count must match the iterator");
+}
+
+/// Incremental encoder for `Response::Rows`, writing each row straight
+/// from borrowed key/column slices; the row count is length-patched on
+/// [`RowsWriter::finish`].
+pub struct RowsWriter<'a> {
+    out: &'a mut Vec<u8>,
+    mark: usize,
+    rows: u32,
+}
+
+impl<'a> RowsWriter<'a> {
+    pub fn begin(out: &'a mut Vec<u8>) -> RowsWriter<'a> {
+        out.push(0x84);
+        let mark = out.len();
+        out.extend_from_slice(&0u32.to_le_bytes());
+        RowsWriter { out, mark, rows: 0 }
+    }
+
+    /// Appends one row. `ncols` must equal the number of items `cols`
+    /// yields.
+    pub fn push_row<'b>(&mut self, key: &[u8], ncols: usize, cols: impl Iterator<Item = &'b [u8]>) {
+        put_bytes(self.out, key);
+        self.out.extend_from_slice(&(ncols as u16).to_le_bytes());
+        let mut written = 0usize;
+        for c in cols {
+            put_bytes(self.out, c);
+            written += 1;
+        }
+        debug_assert_eq!(written, ncols, "column count must match the iterator");
+        self.rows += 1;
+    }
+
+    /// Patches the row count into the header written by `begin`.
+    pub fn finish(self) {
+        self.out[self.mark..self.mark + 4].copy_from_slice(&self.rows.to_le_bytes());
+    }
+}
+
 /// Reads a whole batch frame from a stream; `Ok(None)` on clean EOF.
 pub fn read_batch<R: std::io::Read>(r: &mut R) -> std::io::Result<Option<(u32, Vec<u8>)>> {
     let mut len4 = [0u8; 4];
@@ -329,6 +416,63 @@ mod tests {
         assert_eq!(got, body);
         // EOF afterwards.
         assert!(read_batch(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn borrowed_writers_match_owned_encoding() {
+        // Value(Some): byte-identical to Response::encode.
+        let cols = [b"alpha".as_slice(), b"".as_slice(), b"gamma".as_slice()];
+        let mut owned = Vec::new();
+        Response::Value(Some(cols.iter().map(|c| c.to_vec()).collect())).encode(&mut owned);
+        let mut borrowed = Vec::new();
+        write_value_borrowed(&mut borrowed, cols.len(), cols.iter().copied());
+        assert_eq!(owned, borrowed);
+
+        // Value(None).
+        let mut owned = Vec::new();
+        Response::Value(None).encode(&mut owned);
+        let mut borrowed = Vec::new();
+        write_value_none(&mut borrowed);
+        assert_eq!(owned, borrowed);
+
+        // Rows: byte-identical including the patched row count.
+        let rows = [
+            (b"k1".as_slice(), vec![b"v1".as_slice()]),
+            (b"k2".as_slice(), vec![b"v2".as_slice(), b"w2".as_slice()]),
+        ];
+        let mut owned = Vec::new();
+        Response::Rows(
+            rows.iter()
+                .map(|(k, cs)| (k.to_vec(), cs.iter().map(|c| c.to_vec()).collect()))
+                .collect(),
+        )
+        .encode(&mut owned);
+        let mut borrowed = Vec::new();
+        let mut w = RowsWriter::begin(&mut borrowed);
+        for (k, cs) in &rows {
+            w.push_row(k, cs.len(), cs.iter().copied());
+        }
+        w.finish();
+        assert_eq!(owned, borrowed);
+    }
+
+    #[test]
+    fn patched_frame_matches_frame_batch() {
+        let mut body = Vec::new();
+        Request::Remove { key: b"x".to_vec() }.encode(&mut body);
+        Request::Remove { key: b"y".to_vec() }.encode(&mut body);
+        let eager = frame_batch(2, &body);
+        let mut patched = Vec::new();
+        let mark = begin_batch(&mut patched);
+        patched.extend_from_slice(&body);
+        finish_batch(&mut patched, mark, 2);
+        assert_eq!(eager, patched);
+        // Patching also works mid-buffer (a non-zero mark).
+        let mut buf = b"junk".to_vec();
+        let mark = begin_batch(&mut buf);
+        buf.extend_from_slice(&body);
+        finish_batch(&mut buf, mark, 2);
+        assert_eq!(&buf[4..], &eager[..]);
     }
 
     #[test]

@@ -15,7 +15,10 @@ use std::sync::Arc;
 
 use mtkv::{Session, Store};
 
-use crate::proto::{frame_batch, read_batch, Request, Response};
+use crate::proto::{
+    begin_batch, finish_batch, read_batch, write_value_borrowed, write_value_none, Request,
+    Response, RowsWriter,
+};
 
 /// Per-connection request executor. The Masstree store is the primary
 /// implementation; the benchmark harness plugs stand-in systems (hash
@@ -35,6 +38,20 @@ pub trait ConnState: Send {
     /// through the interleaved batch traversal engine.
     fn execute_batch(&mut self, reqs: Vec<Request>) -> Vec<Response> {
         reqs.into_iter().map(|r| self.execute(r)).collect()
+    }
+
+    /// Executes one wire batch, encoding the responses directly into the
+    /// connection's (reusable) output buffer, and returns the number of
+    /// responses written. The default materializes [`Response`]s and
+    /// encodes them; the Masstree store overrides this to serialize
+    /// straight from value slices borrowed under the epoch guard —
+    /// the zero-copy read path.
+    fn execute_batch_into(&mut self, reqs: Vec<Request>, out: &mut Vec<u8>) -> usize {
+        let resps = self.execute_batch(reqs);
+        for resp in &resps {
+            resp.encode(out);
+        }
+        resps.len()
     }
 }
 
@@ -56,6 +73,10 @@ impl ConnState for Session {
 
     fn execute_batch(&mut self, reqs: Vec<Request>) -> Vec<Response> {
         execute_batch(self, reqs)
+    }
+
+    fn execute_batch_into(&mut self, reqs: Vec<Request>, out: &mut Vec<u8>) -> usize {
+        execute_batch_into(self, reqs, out)
     }
 }
 
@@ -140,6 +161,13 @@ impl Drop for Server {
 /// one unit (letting the backend interleave traversals across the
 /// batch), write the response batch (one write per batch — the batching
 /// §7 shows matters).
+///
+/// Responses are encoded into one output buffer that is **reused across
+/// batches** (capacity sticks at the connection's high-water mark): the
+/// frame header is reserved, the backend serializes every response after
+/// it — for the store backend, straight from borrowed value slices —
+/// and the header is length-patched before the single `write_all`. No
+/// intermediate `Vec<Response>` or per-payload copies on the hot path.
 fn serve_connection(
     conn: TcpStream,
     mut state: Box<dyn ConnState>,
@@ -148,6 +176,7 @@ fn serve_connection(
     conn.set_nodelay(true)?;
     let mut reader = BufReader::with_capacity(1 << 20, conn.try_clone()?);
     let mut writer = BufWriter::with_capacity(1 << 20, conn);
+    let mut out: Vec<u8> = Vec::with_capacity(1 << 16);
     while let Some((count, body)) = read_batch(&mut reader)? {
         let mut p = &body[..];
         let mut reqs = Vec::with_capacity(count as usize);
@@ -157,34 +186,96 @@ fn serve_connection(
             };
             reqs.push(req);
         }
-        let resps = state.execute_batch(reqs);
-        if resps.len() != count as usize {
+        out.clear();
+        let mark = begin_batch(&mut out);
+        let written = state.execute_batch_into(reqs, &mut out);
+        if written != count as usize {
             // A misbehaving backend must not desync the framed protocol:
             // fail the connection instead of sending a lying count.
             return Err(std::io::Error::other("backend response count mismatch"));
         }
-        let mut out = Vec::with_capacity(body.len());
-        for resp in &resps {
-            resp.encode(&mut out);
-        }
+        finish_batch(&mut out, mark, written);
         ops.fetch_add(count as u64, Ordering::Relaxed);
-        let framed = frame_batch(count as usize, &out);
-        writer.write_all(&framed)?;
+        writer.write_all(&out)?;
         writer.flush()?;
     }
     Ok(())
 }
 
-/// Executes a whole wire batch against a store session, routing runs of
-/// consecutive gets and puts through the interleaved batch traversal
-/// engine (`masstree::batch`) instead of N sequential descents.
+/// Where a batch executor's responses go: owned [`Response`]s (the
+/// compatibility path) or wire bytes written straight from borrowed
+/// value slices (the zero-copy path). One implementation of the run
+/// loop ([`execute_batch_runs`]) serves both, so the grouping semantics
+/// cannot drift apart.
+trait ResponseSink {
+    /// Emits one get result from the borrowed value and the request's
+    /// column selection.
+    fn get_result(&mut self, hit: Option<&mtkv::ColValue>, cols: Option<&[u16]>);
+    /// Emits one put result.
+    fn put_ok(&mut self, version: u64);
+    /// Executes and emits one non-groupable request.
+    fn single(&mut self, session: &Session, req: Request);
+}
+
+/// Materializes owned [`Response`]s (copying the selected columns).
+struct OwnedSink(Vec<Response>);
+
+impl ResponseSink for OwnedSink {
+    fn get_result(&mut self, hit: Option<&mtkv::ColValue>, cols: Option<&[u16]>) {
+        self.0.push(Response::Value(hit.map(|v| {
+            match cols {
+                None => v.cols(),
+                Some(ids) => ids
+                    .iter()
+                    .map(|&c| v.col(c as usize).unwrap_or(&[]).to_vec())
+                    .collect(),
+            }
+        })));
+    }
+
+    fn put_ok(&mut self, version: u64) {
+        self.0.push(Response::PutOk(version));
+    }
+
+    fn single(&mut self, session: &Session, req: Request) {
+        self.0.push(execute(session, req));
+    }
+}
+
+/// Serializes responses directly into the connection's output buffer.
+struct WireSink<'a> {
+    out: &'a mut Vec<u8>,
+    written: usize,
+}
+
+impl ResponseSink for WireSink<'_> {
+    fn get_result(&mut self, hit: Option<&mtkv::ColValue>, cols: Option<&[u16]>) {
+        write_get_response(self.out, hit, cols);
+        self.written += 1;
+    }
+
+    fn put_ok(&mut self, version: u64) {
+        Response::PutOk(version).encode(self.out);
+        self.written += 1;
+    }
+
+    fn single(&mut self, session: &Session, req: Request) {
+        execute_into(session, req, self.out);
+        self.written += 1;
+    }
+}
+
+/// The shared batch run loop: splits the batch into maximal groupable
+/// runs, feeds get/put runs through the interleaved batch traversal
+/// engine (`masstree::batch`) instead of N sequential descents, and
+/// hands every result to `sink`.
 ///
 /// Batch semantics are preserved exactly: responses are positionally
 /// matched, requests of different kinds never reorder across each other,
 /// and a run of puts is split at a duplicate key so writes to the same
 /// key apply in batch order (within an interleaved group, duplicate-key
 /// order would otherwise be unspecified).
-pub fn execute_batch(session: &Session, mut reqs: Vec<Request>) -> Vec<Response> {
+fn execute_batch_runs<S: ResponseSink>(session: &Session, mut reqs: Vec<Request>, sink: &mut S) {
     let runs = mtkv::split_batch_runs(
         &reqs,
         |r| match r {
@@ -197,7 +288,6 @@ pub fn execute_batch(session: &Session, mut reqs: Vec<Request>) -> Vec<Response>
             _ => &[],
         },
     );
-    let mut out = Vec::with_capacity(reqs.len());
     for (kind, range) in runs {
         let run = &reqs[range.clone()];
         match kind {
@@ -209,21 +299,15 @@ pub fn execute_batch(session: &Session, mut reqs: Vec<Request>) -> Vec<Response>
                         _ => unreachable!("run holds only gets"),
                     })
                     .collect();
-                // Project each request's own column selection straight
-                // from the live value — no whole-value intermediate copy.
-                let hits = session.multi_get_project(&keys, |i, v| {
+                // Each request's own column selection is applied against
+                // the live value inside the visitor — the sink decides
+                // whether that means copying (owned) or encoding (wire).
+                session.multi_get_with(&keys, |i, hit| {
                     let Request::Get { cols, .. } = &run[i] else {
                         unreachable!("run holds only gets")
                     };
-                    match cols {
-                        None => v.cols(),
-                        Some(ids) => ids
-                            .iter()
-                            .map(|&c| v.col(c as usize).unwrap_or(&[]).to_vec())
-                            .collect(),
-                    }
+                    sink.get_result(hit, cols.as_deref());
                 });
-                out.extend(hits.into_iter().map(Response::Value));
             }
             mtkv::RunKind::Put if run.len() >= 2 => {
                 let updates: Vec<Vec<(usize, &[u8])>> = run
@@ -244,7 +328,9 @@ pub fn execute_batch(session: &Session, mut reqs: Vec<Request>) -> Vec<Response>
                         _ => unreachable!("run holds only puts"),
                     })
                     .collect();
-                out.extend(session.multi_put(&ops).into_iter().map(Response::PutOk));
+                for version in session.multi_put(&ops) {
+                    sink.put_ok(version);
+                }
             }
             _ => {
                 // Singleton or non-groupable run: execute in place. The
@@ -253,12 +339,88 @@ pub fn execute_batch(session: &Session, mut reqs: Vec<Request>) -> Vec<Response>
                 for idx in range {
                     let req =
                         std::mem::replace(&mut reqs[idx], Request::Remove { key: Vec::new() });
-                    out.push(execute(session, req));
+                    sink.single(session, req);
                 }
             }
         }
     }
-    out
+}
+
+/// Executes a whole wire batch against a store session, returning owned
+/// responses. See [`execute_batch_runs`] for the grouping semantics.
+pub fn execute_batch(session: &Session, reqs: Vec<Request>) -> Vec<Response> {
+    let mut sink = OwnedSink(Vec::with_capacity(reqs.len()));
+    execute_batch_runs(session, reqs, &mut sink);
+    sink.0
+}
+
+/// Executes a whole wire batch against a store session, serializing
+/// responses directly into `out` — the zero-copy read path. Runs of
+/// consecutive gets go through the interleaved batch traversal engine
+/// and their responses are encoded **inside the `multi_get_with`
+/// visitor**, with column slices borrowed straight out of each live
+/// `ColValue` under the epoch guard; nothing is copied into intermediate
+/// `Vec<Response>` payloads. Returns the number of responses written.
+pub fn execute_batch_into(session: &Session, reqs: Vec<Request>, out: &mut Vec<u8>) -> usize {
+    let mut sink = WireSink { out, written: 0 };
+    execute_batch_runs(session, reqs, &mut sink);
+    sink.written
+}
+
+/// Executes one request against a store session, serializing the
+/// response directly into `out`. Gets and scans write column slices
+/// borrowed under the epoch guard (via `get_with` / `get_range_with`);
+/// puts and removes encode their small fixed-size replies.
+pub fn execute_into(session: &Session, req: Request, out: &mut Vec<u8>) {
+    match req {
+        Request::Get { key, cols } => {
+            session.get_with(&key, |hit| write_get_response(out, hit, cols.as_deref()));
+        }
+        Request::Put { key, cols } => {
+            let updates: Vec<(usize, &[u8])> = cols
+                .iter()
+                .map(|(i, d)| (*i as usize, d.as_slice()))
+                .collect();
+            Response::PutOk(session.put(&key, &updates)).encode(out);
+        }
+        Request::Remove { key } => Response::RemoveOk(session.remove(&key)).encode(out),
+        Request::Scan { key, count, cols } => {
+            let mut rows = RowsWriter::begin(out);
+            session.get_range_with(&key, count as usize, |k, v| match &cols {
+                None => rows.push_row(
+                    k,
+                    v.ncols(),
+                    (0..v.ncols()).map(|c| v.col(c).unwrap_or(&[])),
+                ),
+                Some(ids) => rows.push_row(
+                    k,
+                    ids.len(),
+                    ids.iter().map(|&c| v.col(c as usize).unwrap_or(&[])),
+                ),
+            });
+            rows.finish();
+        }
+    }
+}
+
+/// Writes a get's `Response::Value` wire bytes from a borrowed value,
+/// applying the request's column selection slice-by-slice.
+fn write_get_response(out: &mut Vec<u8>, hit: Option<&mtkv::ColValue>, cols: Option<&[u16]>) {
+    match hit {
+        None => write_value_none(out),
+        Some(v) => match cols {
+            None => write_value_borrowed(
+                out,
+                v.ncols(),
+                (0..v.ncols()).map(|c| v.col(c).unwrap_or(&[])),
+            ),
+            Some(ids) => write_value_borrowed(
+                out,
+                ids.len(),
+                ids.iter().map(|&c| v.col(c as usize).unwrap_or(&[])),
+            ),
+        },
+    }
 }
 
 /// Executes one request against a store session.

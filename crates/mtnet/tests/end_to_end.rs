@@ -269,3 +269,76 @@ fn interleaved_batch_path_matches_sequential_semantics() {
         assert_eq!(h.as_ref().unwrap()[0], (i as u32).to_le_bytes());
     }
 }
+
+#[test]
+fn zero_copy_batch_encoding_matches_owned_path() {
+    // The borrowed serializer (`execute_batch_into`) must produce byte-
+    // identical wire output to encoding the owned `execute_batch`
+    // responses, across every request kind, duplicate-put splits, column
+    // selections, and misses.
+    let store = Store::in_memory();
+    let session = store.session().unwrap();
+    for i in 0..64u32 {
+        session.put(
+            format!("zc{i:03}").as_bytes(),
+            &[(0, &i.to_le_bytes()[..]), (1, b"second")],
+        );
+    }
+    let batch = || -> Vec<Request> {
+        let mut reqs = Vec::new();
+        for i in 0..8u32 {
+            reqs.push(Request::Get {
+                key: format!("zc{i:03}").into_bytes(),
+                cols: if i % 2 == 0 {
+                    None
+                } else {
+                    Some(vec![1, 0, 9])
+                },
+            });
+        }
+        reqs.push(Request::Get {
+            key: b"missing".to_vec(),
+            cols: None,
+        });
+        reqs.push(Request::Scan {
+            key: b"zc".to_vec(),
+            count: 5,
+            cols: Some(vec![0]),
+        });
+        reqs.push(Request::Put {
+            key: b"dup".to_vec(),
+            cols: vec![(0, b"a".to_vec())],
+        });
+        reqs.push(Request::Put {
+            key: b"dup".to_vec(),
+            cols: vec![(0, b"b".to_vec())],
+        });
+        reqs.push(Request::Remove {
+            key: b"zc000".to_vec(),
+        });
+        reqs
+    };
+    // Owned path first (it mutates state), then reset the mutated keys
+    // and replay the same batch through the borrowed path on a twin
+    // store so both observe identical state.
+    let owned_store = Store::in_memory();
+    let owned_session = owned_store.session().unwrap();
+    for i in 0..64u32 {
+        owned_session.put(
+            format!("zc{i:03}").as_bytes(),
+            &[(0, &i.to_le_bytes()[..]), (1, b"second")],
+        );
+    }
+    let owned_resps = mtnet::execute_batch(&owned_session, batch());
+    let mut owned_bytes = Vec::new();
+    for r in &owned_resps {
+        r.encode(&mut owned_bytes);
+    }
+    let mut borrowed_bytes = Vec::new();
+    let written = mtnet::execute_batch_into(&session, batch(), &mut borrowed_bytes);
+    assert_eq!(written, owned_resps.len());
+    // PutOk carries a store-global version; those differ between the twin
+    // stores only if version draws diverge — identical op sequences keep
+    // them aligned, so the full byte streams must match.
+    assert_eq!(owned_bytes, borrowed_bytes);
+}
