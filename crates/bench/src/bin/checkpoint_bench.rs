@@ -1,15 +1,20 @@
-//! **§5** — checkpoint and recovery measurements: time to write a
-//! checkpoint of the whole store, time to recover from it, and put
+//! **§4.4 / §5** — online durability measurements: time to write a
+//! checkpoint of the whole store, time to recover from it, put
 //! throughput while a checkpoint runs concurrently (the paper: 58 s to
 //! checkpoint 140M pairs, 38 s to recover, and 72% of ordinary put
-//! throughput during a concurrent checkpoint).
+//! throughput during a concurrent checkpoint), and — the online
+//! subsystem — put throughput with the **background checkpointer**
+//! (checkpoint → group-commit barrier → segment truncation → pruning)
+//! on vs. off, with the resulting bounded log footprint.
+//!
+//! Writes `BENCH_checkpoint.json` at the repository root.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bench::{run_timed, Params};
-use mtkv::{recover, write_checkpoint, Store};
+use mtkv::{recover, write_checkpoint, DurabilityConfig, Store};
 use mtworkload::{decimal_key, Rng64};
 
 fn main() {
@@ -19,53 +24,56 @@ fn main() {
     std::fs::create_dir_all(&dir).unwrap();
 
     println!(
-        "# §5: checkpoint / recovery — {} keys, {} threads",
+        "# §4.4/§5: online durability — {} keys, {} threads",
         p.keys, p.threads
     );
 
-    // Build the store (8-byte values as in the small-value experiments).
-    // Sessions are long-lived, as in a real server: their logs keep
-    // heartbeating, so the recovery cutoff tracks real time.
-    let store = Store::persistent(&dir).unwrap();
-    let sessions: Vec<_> = (0..p.threads).map(|_| store.session().unwrap()).collect();
-    let per = p.keys / p.threads;
-    std::thread::scope(|s| {
-        for (t, session) in sessions.iter().enumerate() {
-            s.spawn(move || {
-                let mut rng = Rng64::new(t as u64 + 1);
-                for i in 0..per {
-                    session.put_single(&decimal_key(rng.next_u64()), &(i as u64).to_le_bytes());
-                }
-                session.force_log();
-            });
-        }
-    });
-    let guard = masstree::pin();
-    let live_keys = store.tree().count_keys(&guard);
-    drop(guard);
-    let data_bytes = live_keys * (10 + 8);
-    println!(
-        "store built: {live_keys} live keys (~{:.1} MB of key/value data)",
-        data_bytes as f64 / 1e6
-    );
+    // ---- build the store (8-byte values as in the small-value
+    // experiments), then close every session cleanly so the directory is
+    // quiescent: recovery takes exclusive ownership of the logs it
+    // consumes (it seals them).
+    let live_keys;
+    let write_secs;
+    let ckpt_keys;
+    {
+        let store = Store::persistent(&dir).unwrap();
+        let sessions: Vec<_> = (0..p.threads).map(|_| store.session().unwrap()).collect();
+        let per = p.keys / p.threads;
+        std::thread::scope(|s| {
+            for (t, session) in sessions.iter().enumerate() {
+                s.spawn(move || {
+                    let mut rng = Rng64::new(t as u64 + 1);
+                    for i in 0..per {
+                        session.put_single(&decimal_key(rng.next_u64()), &(i as u64).to_le_bytes());
+                    }
+                    session.force_log();
+                });
+            }
+        });
+        let guard = masstree::pin();
+        live_keys = store.tree().count_keys(&guard);
+        drop(guard);
+        println!(
+            "store built: {live_keys} live keys (~{:.1} MB of key/value data)",
+            (live_keys * (10 + 8)) as f64 / 1e6
+        );
 
-    // ---- checkpoint write time.
-    let t0 = Instant::now();
-    let meta = write_checkpoint(&store, &dir, p.threads).unwrap();
-    let write_secs = t0.elapsed().as_secs_f64();
-    println!(
-        "checkpoint: {} keys in {:.2}s ({:.2} Mkeys/s)",
-        meta.keys,
-        write_secs,
-        meta.keys as f64 / write_secs / 1e6
-    );
-
-    // Fresh heartbeats push the cutoff past the checkpoint's end.
-    for s in &sessions {
-        s.force_log();
+        // ---- checkpoint write time.
+        let t0 = Instant::now();
+        let meta = write_checkpoint(&store, &dir, p.threads).unwrap();
+        write_secs = t0.elapsed().as_secs_f64();
+        ckpt_keys = meta.keys;
+        println!(
+            "checkpoint: {} keys in {:.2}s ({:.2} Mkeys/s)",
+            meta.keys,
+            write_secs,
+            meta.keys as f64 / write_secs / 1e6
+        );
+        // Sessions close cleanly here (clean-close sentinels, final
+        // force) — the cutoff covers everything.
     }
 
-    // ---- recovery time (checkpoint + logs).
+    // ---- recovery time (checkpoint + logs), on the quiescent dir.
     let t0 = Instant::now();
     let (recovered, report) = recover(&dir, &dir).unwrap();
     let rec_secs = t0.elapsed().as_secs_f64();
@@ -73,16 +81,19 @@ fn main() {
     let rec_keys = recovered.tree().count_keys(&guard);
     drop(guard);
     println!(
-        "recovery:   {rec_keys} keys in {rec_secs:.2}s ({:.2} Mkeys/s; ckpt {} keys + {} log records, cutoff {})",
+        "recovery:   {rec_keys} keys in {rec_secs:.2}s ({:.2} Mkeys/s; ckpt {} keys + {} log records over {} segments, cutoff {})",
         rec_keys as f64 / rec_secs / 1e6,
         report.checkpoint_keys,
         report.replayed,
+        report.log_segments,
         report.cutoff
     );
     assert_eq!(rec_keys, live_keys, "recovered store must match");
-    drop(recovered);
 
-    // ---- put throughput with and without a concurrent checkpoint.
+    // ---- put throughput with and without a concurrent checkpoint
+    // (paper: 72%), on the recovered store.
+    let store = recovered;
+    let sessions: Vec<_> = (0..p.threads).map(|_| store.session().unwrap()).collect();
     let run_seed = std::sync::atomic::AtomicU64::new(1);
     let put_rate = |label: &str, concurrent_ckpt: bool| -> f64 {
         // Distinct keys each run: otherwise later runs would redo the
@@ -141,5 +152,115 @@ fn main() {
         "# during/normal = {:.0}% (paper: 72%)",
         100.0 * during / normal
     );
+    drop(sessions);
+    drop(store);
+    // Clear the (large) main directory before the background phase so
+    // its dirty-page writeback does not tax the runs below.
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // ---- the online subsystem: put throughput with the background
+    // checkpointer running its full cycle (checkpoint + truncation +
+    // pruning) vs. off, each on a fresh store, plus the log footprint it
+    // maintains.
+    let interval = Duration::from_secs_f64((p.secs / 3.0).clamp(0.25, 10.0));
+    let bg_rate = |background: bool| -> (f64, mtkv::DurabilityStats) {
+        let bdir = std::env::temp_dir().join(format!(
+            "ckpt-bench-bg{}-{}",
+            background as u8,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&bdir);
+        let mut config = DurabilityConfig::tiny_segments(4 << 20);
+        config.checkpoint_threads = p.threads.min(4);
+        if background {
+            config.checkpoint_interval = Some(interval);
+        }
+        let store = Store::persistent_with(&bdir, config).unwrap();
+        let sessions: Vec<_> = (0..p.threads).map(|_| store.session().unwrap()).collect();
+        let workload = |tid: usize, stop: &std::sync::atomic::AtomicBool| {
+            let session = &sessions[tid];
+            let mut rng = Rng64::new(0xb6 + tid as u64);
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                session.put_single(&decimal_key(rng.next_u64()), &n.to_le_bytes());
+                n += 1;
+            }
+            n
+        };
+        run_timed(p.threads, (p.secs / 4.0).max(0.25), workload); // warm up
+        let t = run_timed(p.threads, p.secs, workload);
+        if background {
+            // The cycle in flight at the window's end still counts: wait
+            // for at least one full epoch before snapshotting.
+            let deadline = Instant::now() + interval * 3;
+            while store.checkpoint_epoch() == 0 && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        let stats = store.durability_stats();
+        drop(sessions);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&bdir);
+        (t.mreq_per_sec(), stats)
+    };
+    // Interleave on/off like the checkpoint comparison above.
+    let (off1, _) = bg_rate(false);
+    let (on1, on_stats) = bg_rate(true);
+    let (off2, off_stats) = bg_rate(false);
+    let (on2, _) = bg_rate(true);
+    let bg_off = (off1 + off2) / 2.0;
+    let bg_on = (on1 + on2) / 2.0;
+    println!(
+        "puts (background checkpointer off): {bg_off:.2} Mreq/s ({} segments, {:.1} MB logs)",
+        off_stats.log_segments,
+        off_stats.log_bytes as f64 / 1e6
+    );
+    println!(
+        "puts (background checkpointer on):  {bg_on:.2} Mreq/s ({} checkpoints, {} segments truncated, {} segments / {:.1} MB logs left)",
+        on_stats.checkpoints,
+        on_stats.segments_truncated,
+        on_stats.log_segments,
+        on_stats.log_bytes as f64 / 1e6
+    );
+    println!(
+        "# background-on/off = {:.0}% (paper's concurrent-checkpoint figure: 72%)",
+        100.0 * bg_on / bg_off
+    );
+
+    // ---- BENCH_checkpoint.json ----
+    let json = format!(
+        "{{\n  \"keys\": {},\n  \"threads\": {},\n  \"checkpoint_write_secs\": {:.4},\n  \
+         \"checkpoint_keys\": {},\n  \"recovery_secs\": {:.4},\n  \"recovery_keys\": {},\n  \
+         \"recovery_replayed_records\": {},\n  \"recovery_log_segments\": {},\n  \
+         \"put_mreq_per_sec_normal\": {:.4},\n  \"put_mreq_per_sec_during_checkpoint\": {:.4},\n  \
+         \"during_over_normal\": {:.4},\n  \"put_mreq_per_sec_background_off\": {:.4},\n  \
+         \"put_mreq_per_sec_background_on\": {:.4},\n  \"background_on_over_off\": {:.4},\n  \
+         \"background_checkpoints\": {},\n  \"background_segments_truncated\": {},\n  \
+         \"background_final_log_bytes\": {},\n  \"background_off_final_log_bytes\": {}\n}}\n",
+        p.keys,
+        p.threads,
+        write_secs,
+        ckpt_keys,
+        rec_secs,
+        rec_keys,
+        report.replayed,
+        report.log_segments,
+        normal,
+        during,
+        during / normal,
+        bg_off,
+        bg_on,
+        bg_on / bg_off,
+        on_stats.checkpoints,
+        on_stats.segments_truncated,
+        on_stats.log_bytes,
+        off_stats.log_bytes,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_checkpoint.json");
+    std::fs::write(path, &json).expect("write BENCH_checkpoint.json");
+    println!("\nwrote {path}");
+    print!("{json}");
+
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,232 @@
+//! Concurrent `remove_with` vs. forward/reverse scan stress (§4.6.5).
+//!
+//! Removals during scans had no dedicated test: removals only rewrite
+//! the permutation (readers keep seeing consistent old state), empty
+//! border nodes are unlinked from the leaf list scans walk, and layers
+//! are deleted by the maintenance pass — every one of those transitions
+//! races a scan's cursor here. Writers continuously remove and re-insert
+//! keys (forcing node deletions and leaf-list splices) while scanners
+//! assert the §4 invariants: strict key ordering, no duplicates, values
+//! always consistent with their keys, and keys outside the churn window
+//! never missing.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use masstree::Masstree;
+
+const STABLE_KEYS: usize = 2_000;
+const CHURN_KEYS: usize = 2_000;
+const WRITERS: usize = 2;
+const SCAN_ROUNDS: usize = 400;
+
+fn stable_key(i: usize) -> Vec<u8> {
+    format!("stable{i:06}").into_bytes()
+}
+
+fn churn_key(i: usize) -> Vec<u8> {
+    // Interleaved with the stable keys (shared prefix) so removals
+    // delete nodes *inside* the range scans traverse, and long suffixes
+    // force multi-layer trees whose layer GC also races the scans.
+    format!("stable{i:06}churn-with-a-long-suffix-to-force-deeper-layers").into_bytes()
+}
+
+/// Value = hash of the key bytes, so a scanner can validate any (k, v)
+/// pair without knowing the write schedule.
+fn expected_value(key: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in key {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+#[test]
+fn concurrent_remove_with_vs_forward_and_reverse_scans() {
+    let tree = Arc::new(Masstree::<u64>::new());
+    {
+        let g = masstree::pin();
+        for i in 0..STABLE_KEYS {
+            let k = stable_key(i);
+            let v = expected_value(&k);
+            tree.put(&k, v, &g);
+        }
+        for i in 0..CHURN_KEYS {
+            let k = churn_key(i);
+            let v = expected_value(&k);
+            tree.put(&k, v, &g);
+        }
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let removals = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(WRITERS + 4));
+
+    let mut handles = Vec::new();
+
+    // Writers: remove_with + re-insert over the churn keys, drawing a
+    // "version" inside the removal's critical section exactly the way
+    // the storage layer does (§5) — the callback must run under the
+    // border-node lock without upsetting concurrent scans.
+    for w in 0..WRITERS {
+        let tree = Arc::clone(&tree);
+        let stop = Arc::clone(&stop);
+        let removals = Arc::clone(&removals);
+        let barrier = Arc::clone(&barrier);
+        handles.push(thread::spawn(move || {
+            barrier.wait();
+            let mut rng = 0x9e3779b97f4a7c15u64 ^ (w as u64);
+            let mut local = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                rng = mix64(rng);
+                let i = (rng as usize) % CHURN_KEYS;
+                let k = churn_key(i);
+                let g = masstree::pin();
+                if let Some((val, drawn)) = tree.remove_with(&k, |v| *v, &g) {
+                    assert_eq!(*val, expected_value(&k), "remove saw a foreign value");
+                    assert_eq!(drawn, expected_value(&k), "callback ran on the value");
+                    local += 1;
+                    // Re-insert so scanners keep having work near this key.
+                    tree.put(&k, expected_value(&k), &g);
+                }
+                drop(g);
+                if local.is_multiple_of(64) {
+                    let g = masstree::pin();
+                    tree.maintain(&g); // empty-layer GC races the scans too
+                }
+            }
+            removals.fetch_add(local, Ordering::Relaxed);
+        }));
+    }
+
+    // Forward scanners.
+    for s in 0..2 {
+        let tree = Arc::clone(&tree);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        handles.push(thread::spawn(move || {
+            barrier.wait();
+            let mut rng = 0xfeedface ^ (s as u64);
+            for round in 0..SCAN_ROUNDS {
+                rng = mix64(rng);
+                let start = stable_key((rng as usize) % STABLE_KEYS);
+                let g = masstree::pin();
+                let mut prev: Option<Vec<u8>> = None;
+                let mut stable_seen = 0usize;
+                let mut visited = 0usize;
+                tree.scan(&start, &g, |k, v| {
+                    if let Some(p) = &prev {
+                        assert!(
+                            k > p.as_slice(),
+                            "round {round}: forward scan went backwards or repeated: \
+                             {:?} after {:?}",
+                            String::from_utf8_lossy(k),
+                            String::from_utf8_lossy(p)
+                        );
+                    }
+                    assert_eq!(
+                        *v,
+                        expected_value(k),
+                        "round {round}: value inconsistent with key {:?}",
+                        String::from_utf8_lossy(k)
+                    );
+                    if !k.ends_with(b"layers") {
+                        stable_seen += 1;
+                    }
+                    prev = Some(k.to_vec());
+                    visited += 1;
+                    visited < 300
+                });
+                // Stable keys are never removed and interleave 1:1 with
+                // the churn keys, so any visited window must be at least
+                // half stable — a lower count means a scan lost keys.
+                assert!(
+                    stable_seen * 2 + 2 >= visited,
+                    "round {round}: stable keys went missing from a forward scan \
+                     ({stable_seen} of {visited})"
+                );
+                drop(g);
+            }
+            stop.store(true, Ordering::Relaxed);
+        }));
+    }
+
+    // Reverse scanners.
+    for s in 0..2 {
+        let tree = Arc::clone(&tree);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        handles.push(thread::spawn(move || {
+            barrier.wait();
+            let mut rng = 0xdecafbad ^ (s as u64);
+            for round in 0..SCAN_ROUNDS {
+                rng = mix64(rng);
+                let start = stable_key(STABLE_KEYS - 1 - (rng as usize) % (STABLE_KEYS / 2));
+                let g = masstree::pin();
+                let mut prev: Option<Vec<u8>> = None;
+                let mut stable_seen = 0usize;
+                let mut visited = 0usize;
+                tree.scan_rev(&start, &g, |k, v| {
+                    if let Some(p) = &prev {
+                        assert!(
+                            k < p.as_slice(),
+                            "round {round}: reverse scan went forwards or repeated: \
+                             {:?} after {:?}",
+                            String::from_utf8_lossy(k),
+                            String::from_utf8_lossy(p)
+                        );
+                    }
+                    assert_eq!(*v, expected_value(k), "round {round}");
+                    if !k.ends_with(b"layers") {
+                        stable_seen += 1;
+                    }
+                    prev = Some(k.to_vec());
+                    visited += 1;
+                    visited < 300
+                });
+                assert!(
+                    stable_seen * 2 + 2 >= visited,
+                    "round {round}: stable keys went missing from a reverse scan \
+                     ({stable_seen} of {visited})"
+                );
+                drop(g);
+            }
+            stop.store(true, Ordering::Relaxed);
+        }));
+    }
+
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(
+        removals.load(Ordering::Relaxed) > 1_000,
+        "writers must actually have churned ({} removals)",
+        removals.load(Ordering::Relaxed)
+    );
+
+    // Quiescent check: every key present with its expected value, full
+    // forward and reverse scans agree exactly.
+    let g = masstree::pin();
+    let mut fwd = Vec::new();
+    tree.scan(b"", &g, |k, v| {
+        assert_eq!(*v, expected_value(k));
+        fwd.push(k.to_vec());
+        true
+    });
+    assert_eq!(fwd.len(), STABLE_KEYS + CHURN_KEYS);
+    let mut rev = Vec::new();
+    tree.scan_rev(b"\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff", &g, |k, _| {
+        rev.push(k.to_vec());
+        true
+    });
+    rev.reverse();
+    assert_eq!(fwd, rev, "forward and reverse scans disagree at rest");
+}

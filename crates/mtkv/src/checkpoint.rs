@@ -260,6 +260,61 @@ pub fn latest_checkpoint(base: &Path) -> Option<(PathBuf, CheckpointMeta)> {
     best
 }
 
+/// Deletes superseded checkpoints, keeping the newest `keep` complete
+/// ones. Incomplete (manifest-less) directories older than the newest
+/// complete checkpoint are crash debris and are deleted too; newer ones
+/// are left alone — they may be a checkpoint currently being written.
+/// Returns the number of checkpoint directories removed.
+pub fn prune_checkpoints(base: &Path, keep: usize) -> std::io::Result<usize> {
+    let keep = keep.max(1);
+    let mut complete: Vec<(u64, PathBuf)> = Vec::new();
+    let mut incomplete: Vec<(u64, PathBuf)> = Vec::new();
+    let Ok(entries) = std::fs::read_dir(base) else {
+        return Ok(0);
+    };
+    for e in entries.flatten() {
+        let path = e.path();
+        if !path.is_dir() {
+            continue;
+        }
+        let Some(ts) = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(|n| n.strip_prefix("ckpt-"))
+            .and_then(|n| n.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let manifest_ok = std::fs::read_to_string(path.join("MANIFEST"))
+            .ok()
+            .and_then(|m| CheckpointMeta::parse(&m))
+            .is_some();
+        if manifest_ok {
+            complete.push((ts, path));
+        } else {
+            incomplete.push((ts, path));
+        }
+    }
+    complete.sort_by_key(|&(ts, _)| ts);
+    let mut removed = 0;
+    if complete.len() > keep {
+        let cut = complete.len() - keep;
+        for (_, path) in complete.drain(..cut) {
+            std::fs::remove_dir_all(&path)?;
+            removed += 1;
+        }
+    }
+    if let Some(&(newest_ts, _)) = complete.last() {
+        for (ts, path) in incomplete {
+            if ts < newest_ts {
+                std::fs::remove_dir_all(&path)?;
+                removed += 1;
+            }
+        }
+    }
+    Ok(removed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,6 +368,32 @@ mod tests {
         std::fs::create_dir_all(dir.join("ckpt-99999999999999999999")).unwrap();
         let (_, found) = latest_checkpoint(&dir).unwrap();
         assert_eq!(found, m2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_keeps_newest_and_sweeps_debris() {
+        let dir = tmpdir("prune");
+        let store = Store::in_memory();
+        let s = store.session().unwrap();
+        let mut metas = Vec::new();
+        for i in 0..4u32 {
+            s.put_single(format!("k{i}").as_bytes(), b"v");
+            metas.push(write_checkpoint(&store, &dir, 1).unwrap());
+        }
+        // Crash debris: an old incomplete dir and a newer-than-everything
+        // incomplete dir (a checkpoint "currently being written").
+        std::fs::create_dir_all(dir.join("ckpt-00000000000000000001")).unwrap();
+        let inflight = ckpt_dir(&dir, u64::MAX - 1);
+        std::fs::create_dir_all(&inflight).unwrap();
+        let removed = prune_checkpoints(&dir, 2).unwrap();
+        assert_eq!(removed, 3, "two old complete + one old incomplete");
+        let (_, newest) = latest_checkpoint(&dir).unwrap();
+        assert_eq!(newest, metas[3]);
+        assert!(inflight.is_dir(), "in-flight checkpoint left alone");
+        // The second-newest complete one also survived.
+        assert!(ckpt_dir(&dir, metas[2].start_ts).is_dir());
+        assert!(!ckpt_dir(&dir, metas[0].start_ts).is_dir());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

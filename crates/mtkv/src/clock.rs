@@ -27,9 +27,28 @@ pub fn now() -> u64 {
     }
 }
 
+/// The most recent timestamp issued by [`now`], **without** advancing
+/// the clock. Durability bookkeeping (checkpoint ages, stats) reads this
+/// so observation never perturbs the timestamp order that recovery's
+/// cutoff reasoning depends on. Returns 0 if no timestamp was issued
+/// yet.
+pub fn recent() -> u64 {
+    LAST.load(Ordering::Acquire)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn recent_does_not_advance() {
+        let t = now();
+        assert!(recent() >= t);
+        let r1 = recent();
+        let r2 = recent();
+        assert_eq!(r1, r2, "recent() must not tick the clock");
+        assert!(now() > r2);
+    }
 
     #[test]
     fn strictly_monotonic() {

@@ -23,8 +23,15 @@ pub mod recovery;
 pub mod store;
 pub mod value;
 
-pub use checkpoint::{latest_checkpoint, write_checkpoint, CheckpointMeta};
-pub use log::{LogRecord, LogWriter};
-pub use recovery::{recover, RecoveryReport};
-pub use store::{split_batch_runs, PutOp, RunKind, Session, Store};
+pub use checkpoint::{latest_checkpoint, prune_checkpoints, write_checkpoint, CheckpointMeta};
+pub use log::{
+    read_log, segment_path, truncate_covered_segments, CrashPoint, LogRecord, LogWriter,
+    TruncateReport,
+};
+pub use recovery::{
+    log_files, parse_log_name, recover, recover_with, session_segments, RecoveryReport,
+};
+pub use store::{
+    split_batch_runs, DurabilityConfig, DurabilityStats, PutOp, RunKind, Session, Store,
+};
 pub use value::ColValue;

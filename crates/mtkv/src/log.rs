@@ -1,10 +1,20 @@
-//! Value logging (§5 of the paper).
+//! Value logging (§5 of the paper) with online segment rotation.
 //!
-//! Each query worker owns a log file and an in-memory log buffer; a
-//! logging thread per worker writes the buffer out in the background, so
-//! a put appends and returns without waiting for storage. Loggers batch
-//! for sequential throughput but force data out at least every 200 ms
+//! Each query worker owns a log and an in-memory log buffer; a logging
+//! thread per worker writes the buffer out in the background, so a put
+//! appends and returns without waiting for storage. Loggers batch for
+//! sequential throughput but force data out at least every 200 ms
 //! ("for safety"). Different logs may live on different disks.
+//!
+//! A session's log is a chain of numbered **segments**
+//! (`log-<session>.<seg>`). When the active segment passes a size
+//! threshold the logger *rotates*: it creates the successor file, seals
+//! the current segment with a [`LogRecord::CleanClose`] sentinel, syncs
+//! it, and switches. A sealed segment is immutable and — once a
+//! checkpoint covers every record in it — can be deleted
+//! ([`truncate_covered_segments`]), which is what keeps log space and
+//! recovery time bounded while the store runs (§5: "log data older than
+//! a completed checkpoint is truncated").
 //!
 //! Record wire format (little-endian):
 //!
@@ -20,8 +30,8 @@
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
@@ -32,6 +42,8 @@ use crate::crc32::crc32;
 pub const FORCE_INTERVAL: Duration = Duration::from_millis(200);
 /// Background write poll interval.
 const WAKE_INTERVAL: Duration = Duration::from_millis(10);
+/// Default rotation threshold for segmented session logs.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 64 << 20;
 
 /// A logged operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,14 +64,15 @@ pub enum LogRecord {
     /// each flush so an idle worker's log does not hold back the recovery
     /// cutoff `t` (§5). Skipped during replay.
     Heartbeat { timestamp: u64 },
-    /// Clean-close sentinel: "this log is **complete** — its worker shut
-    /// down cleanly and will never write again". Written as the final
-    /// record when a [`LogWriter`] is dropped. A log ending in this
-    /// record is excluded from the recovery cutoff `min` entirely: its
-    /// silence after `timestamp` is complete knowledge, not missing
-    /// data, so it must not freeze the cutoff at its close time and drop
-    /// everything other workers logged afterwards. Skipped during
-    /// replay.
+    /// Clean-close sentinel: "this segment is **complete** — nothing will
+    /// ever be appended to it again". Written as the final record when a
+    /// [`LogWriter`] is dropped *and* when the logger rotates to a new
+    /// segment. A session whose newest segment ends in this record shut
+    /// down cleanly and is excluded from the recovery cutoff `min`
+    /// entirely: its silence after `timestamp` is complete knowledge, not
+    /// missing data, so it must not freeze the cutoff at its close time
+    /// and drop everything other workers logged afterwards. Skipped
+    /// during replay.
     CleanClose { timestamp: u64 },
 }
 
@@ -212,6 +225,11 @@ impl LogRecord {
     }
 }
 
+/// The on-disk path of segment `seg` of session `session` under `dir`.
+pub fn segment_path(dir: &Path, session: u64, seg: u64) -> PathBuf {
+    dir.join(format!("log-{session}.{seg}"))
+}
+
 struct LogBuf {
     data: Vec<u8>,
     /// Monotone counter of force() requests.
@@ -229,19 +247,81 @@ struct LogShared {
     /// been appended; the logger thread stops heart-beating so the
     /// sentinel stays the log's final record.
     closed: AtomicBool,
+    /// Simulated crash: the logger thread exits immediately, abandoning
+    /// its in-memory buffers exactly as a dying process would.
+    crashed: AtomicBool,
+    /// Active segment number.
+    segment: AtomicU64,
+    /// Bytes of the active segment known durable (synced). Sealed
+    /// segments are always fully durable.
+    durable: AtomicU64,
+    /// Segments sealed by rotation over this writer's lifetime.
+    sealed: AtomicU64,
+    /// Path of the active segment.
+    current_path: Mutex<PathBuf>,
+}
+
+/// Rotation configuration: `None` naming means a fixed single file that
+/// never rotates (legacy [`LogWriter::open`]).
+struct LoggerCfg {
+    rotate: Option<(PathBuf, u64)>, // (dir, session)
+    segment_bytes: u64,
+}
+
+/// Where the on-disk state of a crashed-and-abandoned log stands: the
+/// segment that was being appended, and how many of its bytes were known
+/// durable (synced) at the simulated crash. Earlier (sealed) segments
+/// are always fully durable. Crash-torture tests tear the active segment
+/// anywhere at or past `durable_len` to model the page-cache loss of a
+/// machine crash — never below it, which would un-happen an acked sync.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashPoint {
+    pub active_segment: PathBuf,
+    pub durable_len: u64,
 }
 
 /// One worker's log: in-memory buffer + background logger thread.
 pub struct LogWriter {
     shared: Arc<LogShared>,
     thread: Option<std::thread::JoinHandle<()>>,
+    /// Path of the first segment (or the fixed file for [`LogWriter::open`]).
     pub path: PathBuf,
 }
 
 impl LogWriter {
-    /// Opens (appending) the log file and starts its logger thread.
+    /// Opens (appending) a single fixed log file that never rotates and
+    /// starts its logger thread. Tests and bulk import use this; store
+    /// sessions use [`LogWriter::open_segmented`].
     pub fn open(path: PathBuf) -> std::io::Result<LogWriter> {
+        Self::start(
+            path,
+            LoggerCfg {
+                rotate: None,
+                segment_bytes: u64::MAX,
+            },
+        )
+    }
+
+    /// Opens segment 0 of session `session`'s log chain under `dir` and
+    /// starts its logger thread; the logger rotates to a fresh segment
+    /// whenever the active one passes `segment_bytes`.
+    pub fn open_segmented(
+        dir: &Path,
+        session: u64,
+        segment_bytes: u64,
+    ) -> std::io::Result<LogWriter> {
+        Self::start(
+            segment_path(dir, session, 0),
+            LoggerCfg {
+                rotate: Some((dir.to_path_buf(), session)),
+                segment_bytes: segment_bytes.max(1),
+            },
+        )
+    }
+
+    fn start(path: PathBuf, cfg: LoggerCfg) -> std::io::Result<LogWriter> {
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let existing = file.metadata().map(|m| m.len()).unwrap_or(0);
         let shared = Arc::new(LogShared {
             buffer: Mutex::new(LogBuf {
                 data: Vec::with_capacity(1 << 20),
@@ -252,11 +332,16 @@ impl LogWriter {
             done: Condvar::new(),
             stop: AtomicBool::new(false),
             closed: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
+            segment: AtomicU64::new(0),
+            durable: AtomicU64::new(existing),
+            sealed: AtomicU64::new(0),
+            current_path: Mutex::new(path.clone()),
         });
         let s2 = Arc::clone(&shared);
         let thread = std::thread::Builder::new()
             .name("mt-logger".into())
-            .spawn(move || logger_loop(s2, file))?;
+            .spawn(move || logger_loop(s2, file, cfg, existing))?;
         Ok(LogWriter {
             shared,
             thread: Some(thread),
@@ -296,19 +381,124 @@ impl LogWriter {
 
     /// Blocks until everything appended so far is durable (used by tests
     /// and clean shutdown; normal puts never wait, §5).
+    ///
+    /// Returns early (without the durability guarantee) if the logger
+    /// thread is dead — killed by [`LogWriter::simulate_crash`] or by an
+    /// I/O error. A dead logger can never make anything durable, so
+    /// waiting would hang forever.
     pub fn force(&self) {
         let mut buf = self.shared.buffer.lock();
+        if self.shared.crashed.load(Ordering::Acquire) {
+            return;
+        }
         buf.sync_requested += 1;
         let want = buf.sync_requested;
         self.shared.wake.notify_one();
         while buf.sync_completed < want {
-            self.shared.done.wait(&mut buf);
+            if self.shared.crashed.load(Ordering::Acquire) {
+                return;
+            }
+            self.shared.done.wait_for(&mut buf, WAKE_INTERVAL);
         }
+    }
+
+    /// Active segment number of this writer's chain.
+    pub fn current_segment(&self) -> u64 {
+        self.shared.segment.load(Ordering::Acquire)
+    }
+
+    /// Segments sealed by rotation so far.
+    pub fn segments_sealed(&self) -> u64 {
+        self.shared.sealed.load(Ordering::Relaxed)
+    }
+
+    /// A weak handle the store keeps so a durability cycle can
+    /// group-commit every live log before truncating (see
+    /// [`LogForceHandle::force_if_alive`]).
+    pub(crate) fn force_handle(&self) -> LogForceHandle {
+        LogForceHandle(Arc::downgrade(&self.shared))
+    }
+
+    /// Kills the logger thread **without** the clean-shutdown protocol:
+    /// no final drain, no flush, no clean-close sentinel — the in-memory
+    /// buffer and the `BufWriter`'s unflushed bytes are abandoned exactly
+    /// as a dying process would abandon them. Returns where the on-disk
+    /// state stands so crash-torture tests can additionally tear the
+    /// active segment's unsynced tail (simulating a machine crash).
+    pub fn simulate_crash(mut self) -> CrashPoint {
+        self.shared.crashed.store(true, Ordering::Release);
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.wake.notify_one();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        // Unblock anyone waiting on a force this logger will never ack.
+        self.shared.done.notify_all();
+        CrashPoint {
+            active_segment: self.shared.current_path.lock().clone(),
+            durable_len: self.shared.durable.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// Weak per-log handle held by the store's durability cycle: after a
+/// checkpoint completes, the cycle forces every live log so each one
+/// durably holds a record stamped after the checkpoint's `start_ts` —
+/// only then is truncation safe, because any *future* recovery cutoff is
+/// now at or past `start_ts` and the checkpoint can never be rejected
+/// after its covered segments are gone. (A log that is closing or
+/// crashed is skipped: a cleanly closed log is excluded from the cutoff
+/// anyway, and a crashed one can only exist in tests.)
+pub(crate) struct LogForceHandle(Weak<LogShared>);
+
+impl LogForceHandle {
+    /// Whether the writer behind this handle still exists (cheap; used
+    /// to sweep dead handles from the store's registry).
+    pub(crate) fn is_alive(&self) -> bool {
+        self.0.strong_count() > 0
+    }
+
+    /// Forces the log if its writer is still alive; returns false when
+    /// the writer is gone, closing, or crashed (the handle can then be
+    /// dropped).
+    pub(crate) fn force_if_alive(&self) -> bool {
+        let Some(shared) = self.0.upgrade() else {
+            return false;
+        };
+        let mut buf = shared.buffer.lock();
+        if shared.stop.load(Ordering::Acquire)
+            || shared.closed.load(Ordering::Acquire)
+            || shared.crashed.load(Ordering::Acquire)
+        {
+            return false;
+        }
+        buf.sync_requested += 1;
+        let want = buf.sync_requested;
+        shared.wake.notify_one();
+        while buf.sync_completed < want {
+            if shared.crashed.load(Ordering::Acquire) {
+                return false;
+            }
+            // Timed wait: a writer dropped or crashed mid-request never
+            // acks, and its drop path only notifies `done` on the happy
+            // path — poll the flags rather than hang.
+            shared.done.wait_for(&mut buf, WAKE_INTERVAL);
+            if shared.stop.load(Ordering::Acquire) && buf.sync_completed < want {
+                return false;
+            }
+        }
+        true
     }
 }
 
 impl Drop for LogWriter {
     fn drop(&mut self) {
+        if self.shared.crashed.load(Ordering::Acquire) {
+            if let Some(t) = self.thread.take() {
+                let _ = t.join();
+            }
+            return;
+        }
         // Append the clean-close sentinel as this log's final record:
         // `closed` is set under the buffer lock, and the logger thread
         // checks it under the same lock before heart-beating, so nothing
@@ -332,8 +522,19 @@ impl Drop for LogWriter {
     }
 }
 
-fn logger_loop(shared: Arc<LogShared>, file: File) {
+/// Marks the logger dead after an unrecoverable I/O error: `crashed`
+/// makes `force` / `force_if_alive` return instead of spinning forever
+/// on an ack that will never come (which would wedge every durability
+/// cycle behind the cycle lock), and the notify wakes current waiters.
+fn mark_logger_dead(shared: &LogShared) {
+    shared.crashed.store(true, Ordering::Release);
+    shared.done.notify_all();
+}
+
+fn logger_loop(shared: Arc<LogShared>, file: File, cfg: LoggerCfg, existing: u64) {
     let mut out = BufWriter::with_capacity(1 << 20, file);
+    let mut written = existing; // bytes handed to the active segment file
+    let mut seg = 0u64;
     let mut last_force = Instant::now();
     let mut last_heartbeat = Instant::now();
     let mut dirty = false;
@@ -353,6 +554,7 @@ fn logger_loop(shared: Arc<LogShared>, file: File) {
             // under the same lock) heart-beating stops so the sentinel
             // remains the final record.
             if !shared.closed.load(Ordering::Acquire)
+                && !shared.crashed.load(Ordering::Acquire)
                 && (!buf.data.is_empty()
                     || buf.sync_requested > buf.sync_completed
                     || last_heartbeat.elapsed() >= FORCE_INTERVAL
@@ -364,10 +566,55 @@ fn logger_loop(shared: Arc<LogShared>, file: File) {
             }
             (std::mem::take(&mut buf.data), buf.sync_requested)
         };
+        if shared.crashed.load(Ordering::Acquire) {
+            // Simulated crash: abandon the drained chunk and the
+            // BufWriter's unflushed bytes (a dying process loses both);
+            // only what already reached the file survives.
+            let (file, _lost) = out.into_parts();
+            drop(file);
+            return;
+        }
         if !drained.is_empty() {
-            // Batched sequential write (§5: loggers batch updates).
-            if out.write_all(&drained).is_err() {
-                return;
+            // Batched sequential write (§5: loggers batch updates) —
+            // split at record-frame boundaries wherever the segment
+            // threshold is crossed, sealing and rotating mid-chunk.
+            // Rotation stops once the writer closed (the clean-close
+            // sentinel must stay final).
+            let mut off = 0usize;
+            while off < drained.len() {
+                let may_rotate = cfg.rotate.is_some() && !shared.closed.load(Ordering::Acquire);
+                let rest = (drained.len() - off) as u64;
+                if !may_rotate || written + rest < cfg.segment_bytes {
+                    // The rest fits (or rotation is off): one write.
+                    if out.write_all(&drained[off..]).is_err() {
+                        mark_logger_dead(&shared);
+                        return;
+                    }
+                    written += (drained.len() - off) as u64;
+                    off = drained.len();
+                } else {
+                    let frame = frame_len(&drained[off..]);
+                    if out.write_all(&drained[off..off + frame]).is_err() {
+                        mark_logger_dead(&shared);
+                        return;
+                    }
+                    written += frame as u64;
+                    off += frame;
+                    if written >= cfg.segment_bytes {
+                        let (dir, session) = cfg.rotate.as_ref().unwrap();
+                        match rotate_segment(&shared, dir, *session, seg, &mut out) {
+                            Ok(hb_len) => {
+                                seg += 1;
+                                written = hb_len;
+                                last_force = Instant::now();
+                            }
+                            Err(_) => {
+                                mark_logger_dead(&shared);
+                                return;
+                            }
+                        }
+                    }
+                }
             }
             dirty = true;
         }
@@ -379,9 +626,11 @@ fn logger_loop(shared: Arc<LogShared>, file: File) {
         };
         if force_due || sync_due {
             if out.flush().is_err() {
+                mark_logger_dead(&shared);
                 return;
             }
             let _ = out.get_ref().sync_data();
+            shared.durable.store(written, Ordering::Release);
             last_force = Instant::now();
             dirty = false;
             acked = Some(sync_goal);
@@ -396,22 +645,205 @@ fn logger_loop(shared: Arc<LogShared>, file: File) {
         if shared.stop.load(Ordering::Acquire) {
             let _ = out.flush();
             let _ = out.get_ref().sync_data();
+            shared.durable.store(written, Ordering::Release);
+            // Everything drained above is now durable: ack any force
+            // still outstanding so no waiter hangs across shutdown.
+            let mut buf = shared.buffer.lock();
+            if buf.sync_completed < buf.sync_requested {
+                buf.sync_completed = buf.sync_requested;
+            }
+            shared.done.notify_all();
             return;
         }
     }
+}
+
+/// Byte length of the record frame at the head of `buf` (`u32` length
+/// prefix + payload + CRC). The log buffer only ever holds whole frames
+/// (records are encoded atomically under the buffer lock), so this is
+/// how the logger splits a drained chunk at record boundaries; the
+/// remainder is returned for a malformed head so a bad frame can never
+/// wedge the loop.
+fn frame_len(buf: &[u8]) -> usize {
+    if buf.len() < 4 {
+        return buf.len();
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    (4 + len + 4).min(buf.len())
+}
+
+/// Rotates the logger onto segment `seg + 1`, in the crash-safe order:
+///
+/// 1. **Create the successor file** (and sync it, plus the directory):
+///    once the seal below lands, the successor's existence is what tells
+///    recovery the session was still alive — a sealed newest segment
+///    means a cleanly closed session.
+/// 2. **Seal the current segment** with a [`LogRecord::CleanClose`]
+///    sentinel, flush, and sync: the segment is now immutable and wholly
+///    durable, so a later checkpoint can truncate it.
+/// 3. **Switch**, writing an opening heartbeat so the fresh segment
+///    carries liveness evidence as soon as the next force lands.
+///
+/// A crash inside this window only produces states recovery already
+/// handles: an unsealed current segment (the session reads as crashed,
+/// cutoff at its last record), or a sealed segment with an empty
+/// successor (cutoff at the session's last durable timestamp).
+///
+/// Returns the byte length of the opening heartbeat written to the new
+/// segment.
+fn rotate_segment(
+    shared: &LogShared,
+    dir: &Path,
+    session: u64,
+    seg: u64,
+    out: &mut BufWriter<File>,
+) -> std::io::Result<u64> {
+    let next_path = segment_path(dir, session, seg + 1);
+    let next_file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&next_path)?;
+    next_file.sync_all()?;
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all(); // make the new name durable (best effort)
+    }
+    let mut seal = Vec::with_capacity(64);
+    LogRecord::CleanClose {
+        timestamp: crate::clock::now(),
+    }
+    .encode(&mut seal);
+    out.write_all(&seal)?;
+    out.flush()?;
+    out.get_ref().sync_data()?;
+    *shared.current_path.lock() = next_path;
+    shared.segment.store(seg + 1, Ordering::Release);
+    shared.sealed.fetch_add(1, Ordering::Relaxed);
+    shared.durable.store(0, Ordering::Release);
+    *out = BufWriter::with_capacity(1 << 20, next_file);
+    let mut hb = Vec::with_capacity(64);
+    LogRecord::Heartbeat {
+        timestamp: crate::clock::now(),
+    }
+    .encode(&mut hb);
+    out.write_all(&hb)?;
+    Ok(hb.len() as u64)
+}
+
+/// Decodes every intact record in `data`, returning each with its end
+/// byte offset; parsing stops at the first torn or corrupt record.
+pub fn decode_all(data: &[u8]) -> Vec<(LogRecord, usize)> {
+    let mut records = Vec::new();
+    let mut off = 0;
+    while let Some((rec, used)) = LogRecord::decode(&data[off..]) {
+        off += used;
+        records.push((rec, off));
+    }
+    records
 }
 
 /// Reads every intact record from a log file, stopping at the first torn
 /// or corrupt record (§5 recovery).
 pub fn read_log(path: &Path) -> std::io::Result<Vec<LogRecord>> {
     let data = std::fs::read(path)?;
-    let mut records = Vec::new();
-    let mut off = 0;
-    while let Some((rec, used)) = LogRecord::decode(&data[off..]) {
-        records.push(rec);
-        off += used;
+    Ok(decode_all(&data).into_iter().map(|(r, _)| r).collect())
+}
+
+/// What [`truncate_covered_segments`] reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TruncateReport {
+    pub segments_deleted: u64,
+    pub bytes_deleted: u64,
+}
+
+/// Deletes every log segment wholly covered by a checkpoint that began
+/// at `cutoff_ts` — this is what keeps recovery bounded while the store
+/// runs (§5: log data older than a completed checkpoint is reclaimed).
+/// Equivalent to [`truncate_covered_segments_excluding`] with no live
+/// sessions; use this form only on a quiescent directory (recovery,
+/// tests).
+pub fn truncate_covered_segments(dir: &Path, cutoff_ts: u64) -> std::io::Result<TruncateReport> {
+    truncate_covered_segments_excluding(dir, cutoff_ts, &[])
+}
+
+/// [`truncate_covered_segments`] for a directory with live writers.
+///
+/// A segment is deleted only when all three hold:
+///
+/// - it is **sealed** (its final record is a [`LogRecord::CleanClose`]
+///   sentinel): the writer will never touch the file again;
+/// - every data record in it is stamped strictly before `cutoff_ts`, so
+///   replay from the checkpoint would skip all of them anyway;
+/// - it is either the newest segment of a session that is **not live**
+///   (the sentinel then means the session closed cleanly, so deleting
+///   its whole chain is fine) or some later segment of the session holds
+///   at least one record — a crashed session must always retain on-disk
+///   evidence of its last durable timestamp, which is what bounds the
+///   recovery cutoff.
+///
+/// `live_sessions` names the sessions whose writers are still running.
+/// The whole-chain rule is never applied to them: the directory listing
+/// can race a concurrent rotation, making a just-sealed segment look
+/// like the newest of a closed chain while the rotation's successor (and
+/// its unsynced opening heartbeat) is the session's only other trace —
+/// deleting it would erase exactly the evidence the third rule protects.
+///
+/// The caller must only pass `cutoff_ts` from a checkpoint whose
+/// manifest is already durable: truncation erases the only other copy of
+/// those records.
+pub fn truncate_covered_segments_excluding(
+    dir: &Path,
+    cutoff_ts: u64,
+    live_sessions: &[u64],
+) -> std::io::Result<TruncateReport> {
+    struct SegInfo {
+        path: PathBuf,
+        bytes: u64,
+        nonempty: bool,
+        sealed: bool,
+        covered: bool,
     }
-    Ok(records)
+    let mut report = TruncateReport::default();
+    for (session, segs) in crate::recovery::session_segments(dir) {
+        // One read + decode pass per segment feeds every decision below.
+        let infos: Vec<SegInfo> = segs
+            .iter()
+            .map(|(_, path)| {
+                let data = std::fs::read(path).unwrap_or_default();
+                let records = decode_all(&data);
+                SegInfo {
+                    path: path.clone(),
+                    bytes: data.len() as u64,
+                    nonempty: !records.is_empty(),
+                    sealed: matches!(records.last(), Some((LogRecord::CleanClose { .. }, _))),
+                    covered: records
+                        .iter()
+                        .filter(|(r, _)| !r.is_marker())
+                        .all(|(r, _)| r.timestamp() < cutoff_ts),
+                }
+            })
+            .collect();
+        let live = live_sessions.contains(&session);
+        for (i, info) in infos.iter().enumerate() {
+            if !info.sealed || !info.covered {
+                continue; // active, torn, or holding post-checkpoint data
+            }
+            let is_last = i + 1 == infos.len();
+            let deletable = if is_last {
+                !live // a live session's chain is still growing: the
+                      // listing may have raced a rotation
+            } else {
+                // Keep the session's last durable-timestamp evidence.
+                infos[i + 1..].iter().any(|s| s.nonempty)
+            };
+            if !deletable {
+                continue;
+            }
+            std::fs::remove_file(&info.path)?;
+            report.segments_deleted += 1;
+            report.bytes_deleted += info.bytes;
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -515,5 +947,138 @@ mod tests {
         assert_eq!(used, buf.len());
         assert_eq!(r.timestamp(), 888);
         assert!(r.is_marker());
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mtkv-logseg-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn segmented_writer_rotates_and_seals() {
+        let dir = tmpdir("rotate");
+        {
+            let w = LogWriter::open_segmented(&dir, 7, 2048).unwrap();
+            for i in 0..200 {
+                w.append(&rec(i));
+            }
+            w.force();
+            assert!(w.current_segment() > 0, "threshold crossed → rotated");
+            assert_eq!(w.segments_sealed(), w.current_segment());
+        }
+        let segs = crate::recovery::session_segments(&dir).remove(&7).unwrap();
+        assert!(segs.len() >= 2, "rotation produced multiple segments");
+        let mut total_puts = 0;
+        for (i, (seg, path)) in segs.iter().enumerate() {
+            assert_eq!(*seg, i as u64, "contiguous segment numbering");
+            let records = read_log(path).unwrap();
+            assert!(
+                matches!(records.last(), Some(LogRecord::CleanClose { .. })),
+                "every segment (sealed or dropped) ends with the sentinel"
+            );
+            assert_eq!(
+                records
+                    .iter()
+                    .filter(|r| matches!(r, LogRecord::CleanClose { .. }))
+                    .count(),
+                1,
+                "exactly one sentinel per segment"
+            );
+            total_puts += records.iter().filter(|r| !r.is_marker()).count();
+        }
+        assert_eq!(total_puts, 200, "no record lost across rotation");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn simulate_crash_abandons_buffer_without_sentinel() {
+        let dir = tmpdir("crash");
+        let w = LogWriter::open_segmented(&dir, 0, u64::MAX).unwrap();
+        for i in 0..50 {
+            w.append(&rec(i));
+        }
+        w.force();
+        // These records are appended but never forced: they may or may
+        // not reach the file, and no sentinel must appear.
+        for i in 50..60 {
+            w.append(&rec(i));
+        }
+        let cp = w.simulate_crash();
+        assert_eq!(cp.active_segment, segment_path(&dir, 0, 0));
+        let data = std::fs::read(&cp.active_segment).unwrap();
+        assert!(cp.durable_len <= data.len() as u64);
+        let records = decode_all(&data);
+        assert!(
+            !matches!(records.last(), Some((LogRecord::CleanClose { .. }, _))),
+            "a crashed log must not end in a clean-close sentinel"
+        );
+        let puts = records.iter().filter(|(r, _)| !r.is_marker()).count();
+        assert!(puts >= 50, "forced records survive the crash: {puts}");
+        // The durable watermark covers everything forced.
+        let durable = decode_all(&data[..cp.durable_len as usize]);
+        assert!(durable.iter().filter(|(r, _)| !r.is_marker()).count() >= 50);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_deletes_only_covered_sealed_segments() {
+        let dir = tmpdir("trunc");
+        {
+            let w = LogWriter::open_segmented(&dir, 3, 1024).unwrap();
+            for i in 0..120 {
+                w.append_now(|timestamp| LogRecord::Put {
+                    timestamp,
+                    version: i,
+                    key: format!("k{i}").into_bytes(),
+                    cols: vec![(0, vec![0u8; 32])],
+                });
+            }
+            w.force();
+        }
+        let segs = crate::recovery::session_segments(&dir).remove(&3).unwrap();
+        assert!(segs.len() >= 3, "need several segments: {}", segs.len());
+        // Cutoff past everything: every sealed segment is covered; the
+        // chain closed cleanly so even the newest may go.
+        let report = truncate_covered_segments(&dir, u64::MAX).unwrap();
+        assert_eq!(report.segments_deleted, segs.len() as u64);
+        assert!(crate::recovery::session_segments(&dir).is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_spares_active_and_evidence_segments() {
+        let dir = tmpdir("spare");
+        let w = LogWriter::open_segmented(&dir, 5, 1024).unwrap();
+        for i in 0..120 {
+            w.append_now(|timestamp| LogRecord::Put {
+                timestamp,
+                version: i,
+                key: format!("k{i}").into_bytes(),
+                cols: vec![(0, vec![0u8; 32])],
+            });
+        }
+        w.force();
+        let before = crate::recovery::session_segments(&dir)
+            .remove(&5)
+            .unwrap()
+            .len();
+        assert!(before >= 3);
+        // Writer still live: the active segment must survive, and
+        // covered sealed segments may go.
+        let report = truncate_covered_segments(&dir, u64::MAX).unwrap();
+        assert!(report.segments_deleted >= 1);
+        let after = crate::recovery::session_segments(&dir).remove(&5).unwrap();
+        let active = segment_path(&dir, 5, w.current_segment());
+        assert!(
+            after.iter().any(|(_, p)| *p == active),
+            "active segment never deleted"
+        );
+        // Cutoff below every record: nothing further is covered.
+        let report = truncate_covered_segments(&dir, 0).unwrap();
+        assert_eq!(report.segments_deleted, 0);
+        drop(w);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

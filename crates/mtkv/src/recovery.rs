@@ -1,33 +1,48 @@
-//! Crash recovery (§5 of the paper).
+//! Crash recovery (§5 of the paper), segment-aware.
 //!
-//! Recovery first computes the cutoff `t = min over *crashed* logs ℓ of
-//! max over records u ∈ ℓ of u.timestamp`: records after `t` may be
-//! missing from other logs (their group commits never completed), so they
-//! are dropped to keep the recovered state prefix-consistent. Logs whose
-//! final record is a clean-close sentinel are complete by construction
-//! and are excluded from the `min` — a cleanly closed session must not
-//! freeze the cutoff at its close time (see `LogRecord::CleanClose`). It
-//! then
+//! A session's log is a chain of segments (`log-<session>.<seg>`, see
+//! `log.rs`); within a session, records are timestamp-ordered across the
+//! chain, and every sealed segment ends in a clean-close sentinel.
+//!
+//! Recovery first computes the cutoff `t = min over *crashed* sessions
+//! of the session's max record timestamp (across all its surviving
+//! segments)`: records after `t` may be missing from other logs (their
+//! group commits never completed), so they are dropped to keep the
+//! recovered state prefix-consistent. A session whose **newest** segment
+//! ends in a clean-close sentinel is complete by construction and is
+//! excluded from the `min` — a cleanly closed session must not freeze
+//! the cutoff at its close time (see `LogRecord::CleanClose`). It then
 //! loads the newest checkpoint that *began* before `t` and replays the
-//! logs from the checkpoint's start timestamp, applying each value's
-//! updates in increasing version order (replays are idempotent: a record
-//! is applied only if its version exceeds the stored value's).
+//! surviving segments in parallel from the checkpoint's start timestamp,
+//! applying each value's updates in increasing version order (replays
+//! are idempotent: a record is applied only if its version exceeds the
+//! stored value's). Segments wholly covered by the checkpoint were
+//! already truncated online, so the replay work is bounded by the
+//! checkpoint cadence, not by process uptime.
+//!
+//! Finally, recovery **seals** what it consumed: every log file is
+//! trimmed to the records at or before the cutoff and terminated with a
+//! clean-close sentinel. This makes recovery repeatable — without it, a
+//! second crash would let this crash's torn logs clamp the *next*
+//! recovery's cutoff into the past (dropping acked writes), and records
+//! this recovery dropped past the cutoff could resurrect later.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use masstree::Masstree;
 
 use crate::checkpoint::{latest_checkpoint, read_part};
-use crate::log::{read_log, LogRecord};
-use crate::store::Store;
+use crate::log::{decode_all, LogRecord};
+use crate::store::{DurabilityConfig, Store};
 use crate::value::ColValue;
 
 /// Outcome of a recovery run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
     /// The cutoff timestamp `t` (`u64::MAX` when unconstrained — no
-    /// logs, or every log closed cleanly).
+    /// logs, or every session closed cleanly).
     pub cutoff: u64,
     /// Records replayed (within the cutoff and checkpoint window).
     pub replayed: u64,
@@ -37,6 +52,11 @@ pub struct RecoveryReport {
     pub checkpoint_keys: u64,
     /// Whether a checkpoint was used.
     pub used_checkpoint: bool,
+    /// Log segment files read.
+    pub log_segments: u64,
+    /// Log files rewritten by the post-recovery sealing pass (torn
+    /// tails trimmed, past-cutoff records dropped, sentinel appended).
+    pub sealed_logs: u64,
 }
 
 /// All log files in `dir` (files named `log-*`).
@@ -58,31 +78,107 @@ pub fn log_files(dir: &Path) -> Vec<PathBuf> {
     logs
 }
 
+/// Parses a log file name into `(session, segment)`. Both the segmented
+/// form `log-<session>.<seg>` and the legacy single-file form
+/// `log-<session>` (segment 0) are accepted.
+pub fn parse_log_name(name: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix("log-")?;
+    match rest.split_once('.') {
+        None => Some((rest.parse().ok()?, 0)),
+        Some((s, g)) => Some((s.parse().ok()?, g.parse().ok()?)),
+    }
+}
+
+/// Groups the log files in `dir` by session, each session's segments
+/// sorted by segment number.
+pub fn session_segments(dir: &Path) -> BTreeMap<u64, Vec<(u64, PathBuf)>> {
+    let mut out: BTreeMap<u64, Vec<(u64, PathBuf)>> = BTreeMap::new();
+    for path in log_files(dir) {
+        let Some((session, seg)) = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(parse_log_name)
+        else {
+            continue;
+        };
+        out.entry(session).or_default().push((seg, path));
+    }
+    for segs in out.values_mut() {
+        segs.sort_by_key(|&(seg, _)| seg);
+    }
+    out
+}
+
+/// One parsed segment file.
+struct Segment {
+    path: PathBuf,
+    records: Vec<(LogRecord, usize)>,
+}
+
 /// Rebuilds a store from `log_dir` (logs) and `ckpt_dir` (checkpoints;
 /// may equal `log_dir`). The returned store has logging re-attached to
 /// `log_dir` so new sessions keep appending.
+///
+/// Recovery requires exclusive ownership of `log_dir`: it rewrites
+/// (seals) the log files it consumed, so it must never run against a
+/// directory a live store is still logging into.
 pub fn recover(log_dir: &Path, ckpt_dir: &Path) -> std::io::Result<(Arc<Store>, RecoveryReport)> {
+    recover_with(log_dir, ckpt_dir, DurabilityConfig::default())
+}
+
+/// [`recover`], attaching `config` to the rebuilt store (and starting
+/// its background checkpointer when the config asks for one).
+pub fn recover_with(
+    log_dir: &Path,
+    ckpt_dir: &Path,
+    config: DurabilityConfig,
+) -> std::io::Result<(Arc<Store>, RecoveryReport)> {
     let mut report = RecoveryReport::default();
 
-    // Read every log fully (tolerating torn tails).
-    let mut logs: Vec<Vec<LogRecord>> = Vec::new();
-    for path in log_files(log_dir) {
-        logs.push(read_log(&path)?);
+    // Read every segment of every session fully (tolerating torn tails).
+    let mut sessions: Vec<Vec<Segment>> = Vec::new();
+    for (_session, segs) in session_segments(log_dir) {
+        let mut parsed = Vec::with_capacity(segs.len());
+        for (_seg, path) in segs {
+            let data = std::fs::read(&path)?;
+            parsed.push(Segment {
+                path,
+                records: decode_all(&data),
+            });
+            report.log_segments += 1;
+        }
+        sessions.push(parsed);
     }
 
-    // Cutoff: min over *live* (crashed) non-empty logs of their max
-    // timestamp. A log with no records contributes nothing (its worker
-    // never logged, so no record can depend on it), and a log ending in
-    // a clean-close sentinel contributes nothing either: its worker shut
-    // down cleanly, so its silence past the sentinel is complete
-    // knowledge — not missing data — and must not freeze the cutoff at
-    // the close time (which would drop everything other sessions logged
-    // afterwards). If every log closed cleanly there is no cutoff at
-    // all (`u64::MAX`): nothing was lost, everything replays.
-    let cutoff = logs
+    // Cutoff: min over *crashed* sessions of the session's max record
+    // timestamp across all surviving segments. A session with no records
+    // at all contributes nothing (its worker never logged, so no record
+    // can depend on it). A session whose newest segment ends in a
+    // clean-close sentinel closed cleanly: its silence past the sentinel
+    // is complete knowledge — not missing data — and must not freeze the
+    // cutoff at the close time (which would drop everything other
+    // sessions logged afterwards). Note the sentinel must terminate the
+    // *newest* segment: every sealed (rotated-out) segment also ends in
+    // one, which says nothing about how the session ended. If every
+    // session closed cleanly there is no cutoff at all (`u64::MAX`):
+    // nothing was lost, everything replays.
+    let cutoff = sessions
         .iter()
-        .filter(|l| !l.is_empty() && !matches!(l.last(), Some(LogRecord::CleanClose { .. })))
-        .map(|l| l.iter().map(|r| r.timestamp()).max().unwrap())
+        .filter_map(|segs| {
+            if segs.iter().all(|s| s.records.is_empty()) {
+                return None;
+            }
+            let newest = segs.last().unwrap();
+            if matches!(
+                newest.records.last(),
+                Some((LogRecord::CleanClose { .. }, _))
+            ) {
+                return None;
+            }
+            segs.iter()
+                .flat_map(|s| s.records.iter().map(|(r, _)| r.timestamp()))
+                .max()
+        })
         .min()
         .unwrap_or(u64::MAX);
     report.cutoff = cutoff;
@@ -135,20 +231,22 @@ pub fn recover(log_dir: &Path, ckpt_dir: &Path) -> std::io::Result<(Arc<Store>, 
         }
     }
 
-    // Replay the logs in parallel (one thread per log), applying each
-    // record only if it advances the key's value version — this makes
-    // replay order-insensitive across logs, as §5 requires.
+    // Replay the surviving segments in parallel (one thread per
+    // segment), applying each record only if it advances the key's value
+    // version — this makes replay order-insensitive across logs *and*
+    // across one session's segments, as §5 requires.
     let mut totals = (0u64, 0u64, 0u64); // replayed, dropped, max_version
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for records in &logs {
+        for segment in sessions.iter().flatten() {
             let tree = &tree;
+            let records = &segment.records;
             handles.push(scope.spawn(move || {
                 let guard = masstree::pin();
                 let mut replayed = 0u64;
                 let mut dropped = 0u64;
                 let mut maxv = 0u64;
-                for rec in records {
+                for (rec, _) in records {
                     if rec.is_marker() {
                         continue; // heartbeat / clean-close marker only
                     }
@@ -255,15 +353,92 @@ pub fn recover(log_dir: &Path, ckpt_dir: &Path) -> std::io::Result<(Arc<Store>, 
         }
     }
 
-    let mut store = Store::with_state(tree, max_version + 1);
+    // Seal what was consumed: trim every log file to the records at or
+    // before the cutoff (torn tails and junk included) and terminate it
+    // with a clean-close sentinel. The disk now states exactly what this
+    // recovery decided, so a *second* crash cannot re-litigate it: these
+    // files no longer constrain the next recovery's cutoff (which would
+    // drop writes acked after this recovery), and the records this
+    // recovery dropped past the cutoff can never resurrect.
+    report.sealed_logs = seal_segments_to_cutoff(sessions.iter().flatten(), cutoff)?;
+
+    let mut store = Store::with_state(tree, max_version + 1, config);
     store.set_log_dir(log_dir.to_path_buf());
-    Ok((Arc::new(store), report))
+    let store = Arc::new(store);
+    store.spawn_background_checkpointer();
+    Ok((store, report))
+}
+
+/// Rewrites each file as exactly its records stamped at or before
+/// `cutoff`, terminated by a clean-close sentinel, and reports how many
+/// files changed. The filter is per-record, not a prefix cut: a
+/// rotation's opening heartbeat is stamped out-of-band by the logger
+/// thread and may carry a timestamp *ahead* of data records drained
+/// after it, so a prefix cut at the cutoff could drop durable data the
+/// replay above kept. (Per-session *data* records are always in
+/// timestamp order — they are stamped under the buffer lock.)
+///
+/// The rewrite goes through a temp file + rename so a crash mid-seal
+/// can never lose the kept (acked, durable) records.
+fn seal_segments_to_cutoff<'a>(
+    segments: impl Iterator<Item = &'a Segment>,
+    cutoff: u64,
+) -> std::io::Result<u64> {
+    let mut sealed = 0u64;
+    for seg in segments {
+        let data = std::fs::read(&seg.path)?;
+        let records = decode_all(&data);
+        let mut kept = Vec::with_capacity(data.len());
+        let mut prev_end = 0usize;
+        let mut last_kept: Option<&LogRecord> = None;
+        for (rec, end) in &records {
+            if rec.timestamp() <= cutoff {
+                kept.extend_from_slice(&data[prev_end..*end]);
+                last_kept = Some(rec);
+            }
+            prev_end = *end;
+        }
+        let ends_clean = matches!(last_kept, Some(LogRecord::CleanClose { .. }));
+        if ends_clean && kept.len() == data.len() {
+            continue; // already exactly a sealed record sequence
+        }
+        if !ends_clean {
+            let ts = if cutoff != u64::MAX {
+                cutoff
+            } else {
+                crate::clock::now()
+            };
+            LogRecord::CleanClose { timestamp: ts }.encode(&mut kept);
+        }
+        // Dotfile prefix: a crash mid-seal must not leave a file the
+        // `log-*` listing would pick up.
+        let name = seg
+            .path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("seg");
+        let tmp = seg
+            .path
+            .parent()
+            .unwrap_or(Path::new("."))
+            .join(format!(".seal-{name}"));
+        {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&kept)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &seg.path)?;
+        sealed += 1;
+    }
+    Ok(sealed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::checkpoint::write_checkpoint;
+    use crate::log::read_log;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("mtkv-rec-{tag}-{}", std::process::id()));
@@ -488,7 +663,7 @@ mod tests {
         let logs = log_files(&dir);
         assert_eq!(logs.len(), 3, "one fresh log file per lifetime");
         for path in &logs {
-            let records = crate::log::read_log(path).unwrap();
+            let records = read_log(path).unwrap();
             let closes = records
                 .iter()
                 .filter(|r| matches!(r, LogRecord::CleanClose { .. }))
@@ -527,6 +702,128 @@ mod tests {
         let v = s.put_single(b"k", b"new");
         assert!(v > 1, "versions continue past recovered state");
         assert_eq!(s.get(b"k", Some(&[0])).unwrap()[0], b"new");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn log_name_parsing() {
+        assert_eq!(parse_log_name("log-0"), Some((0, 0)));
+        assert_eq!(parse_log_name("log-17"), Some((17, 0)));
+        assert_eq!(parse_log_name("log-3.9"), Some((3, 9)));
+        assert_eq!(parse_log_name("log-12.345"), Some((12, 345)));
+        assert_eq!(parse_log_name("log-x"), None);
+        assert_eq!(parse_log_name("log-1.b"), None);
+        assert_eq!(parse_log_name("ckpt-1"), None);
+    }
+
+    #[test]
+    fn rotated_session_recovers_across_segments() {
+        // Records written before and after rotations all survive, and
+        // the sealed mid-chain segments (which end in clean-close
+        // sentinels) do not make the *session* read as cleanly closed:
+        // only the newest segment's tail decides that.
+        let dir = tmpdir("segments");
+        {
+            let store = Store::persistent_with(&dir, DurabilityConfig::tiny_segments(512)).unwrap();
+            let s = store.session().unwrap();
+            for i in 0..400u32 {
+                s.put(
+                    format!("seg{i:05}").as_bytes(),
+                    &[(0, &i.to_le_bytes()[..])],
+                );
+            }
+            s.force_log();
+        }
+        assert!(
+            session_segments(&dir).values().next().unwrap().len() >= 3,
+            "rotation must have produced several segments"
+        );
+        let (store, report) = recover(&dir, &dir).unwrap();
+        assert!(report.log_segments >= 3);
+        let s = store.session().unwrap();
+        for i in [0u32, 199, 399] {
+            assert_eq!(
+                s.get(format!("seg{i:05}").as_bytes(), Some(&[0])).unwrap()[0],
+                i.to_le_bytes()
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_seals_crashed_logs_for_the_next_crash() {
+        // The repeated-crash hazard: a crashed (torn) log consumed by one
+        // recovery must not clamp the cutoff of the *next* recovery —
+        // otherwise every write acked after the first recovery would be
+        // dropped by the second.
+        let dir = tmpdir("reseal");
+        {
+            let store = Store::persistent(&dir).unwrap();
+            let s = store.session().unwrap();
+            s.put_single(b"old", b"1");
+            s.force_log();
+            // Crash: no sentinel, old log stays torn-looking.
+            s.simulate_crash();
+        }
+        let (store, r1) = recover(&dir, &dir).unwrap();
+        assert!(r1.cutoff < u64::MAX, "first recovery saw the crash");
+        assert!(r1.sealed_logs >= 1, "crashed log sealed: {r1:?}");
+        // Life goes on: new writes, then a second crash.
+        {
+            let s = store.session().unwrap();
+            s.put_single(b"new", b"2");
+            s.force_log();
+            s.simulate_crash();
+        }
+        drop(store);
+        let (store, r2) = recover(&dir, &dir).unwrap();
+        let s = store.session().unwrap();
+        assert_eq!(s.get(b"old", Some(&[0])).unwrap()[0], b"1");
+        assert_eq!(
+            s.get(b"new", Some(&[0]))
+                .expect("write acked after the first recovery must survive the second")[0],
+            b"2"
+        );
+        assert_eq!(r2.dropped_past_cutoff, 0, "{r2:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_is_repeatable_after_sealing() {
+        // Two consecutive recoveries of the same directory must agree:
+        // sealing pins the first recovery's cutoff decision to disk.
+        let dir = tmpdir("idem");
+        {
+            let store = Store::persistent(&dir).unwrap();
+            let a = store.session().unwrap();
+            let b = store.session().unwrap();
+            for i in 0..300u32 {
+                a.put(format!("a{i:04}").as_bytes(), &[(0, &i.to_le_bytes()[..])]);
+                b.put(format!("b{i:04}").as_bytes(), &[(0, &i.to_le_bytes()[..])]);
+            }
+            a.force_log();
+            b.force_log();
+            // a crashes mid-air, b unforced tail beyond the crash point.
+            a.simulate_crash();
+            b.simulate_crash();
+        }
+        // Tear b's tail mid-record to make it interesting.
+        let logs = log_files(&dir);
+        let data = std::fs::read(&logs[1]).unwrap();
+        std::fs::write(&logs[1], &data[..data.len() - 3]).unwrap();
+        let (store1, r1) = recover(&dir, &dir).unwrap();
+        let guard = masstree::pin();
+        let keys1 = store1.tree().count_keys(&guard);
+        drop(guard);
+        drop(store1);
+        let (store2, r2) = recover(&dir, &dir).unwrap();
+        let guard = masstree::pin();
+        let keys2 = store2.tree().count_keys(&guard);
+        drop(guard);
+        assert_eq!(keys1, keys2, "{r1:?} vs {r2:?}");
+        assert_eq!(r2.replayed, r1.replayed, "same records replay");
+        assert_eq!(r2.dropped_past_cutoff, 0, "nothing left past the seal");
+        assert_eq!(r2.sealed_logs, 0, "second recovery rewrites nothing");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,21 +1,105 @@
 //! The Masstree storage system (§3 and §5): `get_c`/`put_c`/`remove`/
-//! `getrange_c` over multi-column values, with per-worker value logging.
+//! `getrange_c` over multi-column values, with per-worker value logging
+//! and an **online durability subsystem**.
 //!
-//! Workers register a [`Session`]; each session owns one log (per-core
-//! logs in the paper). Puts apply to the shared tree, append to the
-//! session's log buffer, and return without waiting for storage; logging
-//! threads batch and force every 200 ms (`log.rs`).
+//! Workers register a [`Session`]; each session owns one segmented log
+//! chain (per-core logs in the paper). Puts apply to the shared tree,
+//! append to the session's log buffer, and return without waiting for
+//! storage; logging threads batch and force every 200 ms (`log.rs`).
+//!
+//! A store configured with a checkpoint interval also owns a
+//! **background checkpointer** thread (§4.4): it periodically writes a
+//! fuzzy checkpoint of the live tree with the existing multi-threaded
+//! checkpointer (writers keep logging throughout — no stalls), publishes
+//! the manifest atomically, truncates every log segment the checkpoint
+//! covers, and prunes superseded checkpoints. Log space and recovery
+//! time are thereby bounded by the checkpoint cadence instead of process
+//! uptime.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
 
 use masstree::Masstree;
+use parking_lot::{Condvar, Mutex};
 
-use crate::log::{LogRecord, LogWriter};
+use crate::checkpoint::{prune_checkpoints, write_checkpoint, CheckpointMeta};
+use crate::log::{CrashPoint, LogRecord, LogWriter};
 use crate::value::ColValue;
 
-/// The shared store: one Masstree of [`ColValue`]s plus logging state.
+/// Tuning for the online durability subsystem.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Rotation threshold for each session's log segments.
+    pub segment_bytes: u64,
+    /// How often the background checkpointer runs (`None`: no background
+    /// thread; checkpoints happen only via [`Store::checkpoint_now`]).
+    /// The paper checkpoints about once a minute.
+    pub checkpoint_interval: Option<Duration>,
+    /// Parallel writer threads per checkpoint.
+    pub checkpoint_threads: usize,
+    /// Complete checkpoints to keep on disk (older ones are pruned).
+    pub keep_checkpoints: usize,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            segment_bytes: crate::log::DEFAULT_SEGMENT_BYTES,
+            checkpoint_interval: None,
+            checkpoint_threads: 4,
+            keep_checkpoints: 2,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// A config with a small rotation threshold (tests, benchmarks).
+    pub fn tiny_segments(segment_bytes: u64) -> DurabilityConfig {
+        DurabilityConfig {
+            segment_bytes,
+            ..DurabilityConfig::default()
+        }
+    }
+
+    /// A config with the background checkpointer enabled.
+    pub fn with_interval(mut self, interval: Duration) -> DurabilityConfig {
+        self.checkpoint_interval = Some(interval);
+        self
+    }
+}
+
+/// A snapshot of the durability subsystem, served to clients through the
+/// network `Stats`/`Flush` admin requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Checkpoints completed this store lifetime.
+    pub checkpoints: u64,
+    /// `start_ts` of the newest completed checkpoint (0 if none yet).
+    pub last_checkpoint_start_ts: u64,
+    /// Total bytes across the live log segments.
+    pub log_bytes: u64,
+    /// Live log segment files.
+    pub log_segments: u64,
+    /// Segments deleted by checkpoint truncation this lifetime.
+    pub segments_truncated: u64,
+}
+
+/// The background checkpointer thread's handle.
+struct BgCheckpointer {
+    thread: Option<std::thread::JoinHandle<()>>,
+    thread_id: std::thread::ThreadId,
+    signal: Arc<BgSignal>,
+}
+
+struct BgSignal {
+    lock: Mutex<bool>, // true = stop requested
+    cond: Condvar,
+}
+
+/// The shared store: one Masstree of [`ColValue`]s plus logging and
+/// online durability state.
 pub struct Store {
     pub(crate) tree: Masstree<ColValue>,
     /// Global value-version source: per-value versions are strictly
@@ -23,37 +107,85 @@ pub struct Store {
     next_version: AtomicU64,
     log_dir: Option<PathBuf>,
     next_log_id: AtomicU64,
+    config: DurabilityConfig,
+    /// Checkpoints completed this lifetime (the "checkpoint epoch").
+    ckpt_epoch: AtomicU64,
+    /// `start_ts` of the newest completed checkpoint.
+    last_ckpt_start_ts: AtomicU64,
+    /// Segments deleted by truncation this lifetime.
+    truncated: AtomicU64,
+    /// Serializes durability cycles (background vs. `checkpoint_now`).
+    cycle_lock: Mutex<()>,
+    bg: Mutex<Option<BgCheckpointer>>,
+    /// Weak handles to every session's log (tagged with the session id),
+    /// so a durability cycle can group-commit all of them past a
+    /// checkpoint before truncating, and exempt live sessions from the
+    /// whole-chain truncation rule.
+    log_handles: Mutex<Vec<(u64, crate::log::LogForceHandle)>>,
 }
 
 impl Store {
     /// An in-memory store (no logging) — used for tree-only benchmarks.
     pub fn in_memory() -> Arc<Store> {
-        Arc::new(Store {
-            tree: Masstree::new(),
-            next_version: AtomicU64::new(1),
-            log_dir: None,
-            next_log_id: AtomicU64::new(0),
-        })
+        Arc::new(Store::new_with(
+            Masstree::new(),
+            1,
+            None,
+            DurabilityConfig::default(),
+        ))
     }
 
-    /// A persistent store logging into `dir` (one log file per session).
+    /// A persistent store logging into `dir` (one segmented log chain
+    /// per session), with default durability tuning (64 MiB segments, no
+    /// background checkpointer).
     pub fn persistent(dir: &Path) -> std::io::Result<Arc<Store>> {
-        std::fs::create_dir_all(dir)?;
-        Ok(Arc::new(Store {
-            tree: Masstree::new(),
-            next_version: AtomicU64::new(1),
-            next_log_id: AtomicU64::new(next_log_id_in(dir)),
-            log_dir: Some(dir.to_path_buf()),
-        }))
+        Self::persistent_with(dir, DurabilityConfig::default())
     }
 
-    pub(crate) fn with_state(tree: Masstree<ColValue>, next_version: u64) -> Store {
+    /// A persistent store with explicit durability tuning. When
+    /// `config.checkpoint_interval` is set, a background checkpointer
+    /// thread runs the checkpoint → truncate → prune cycle on that
+    /// cadence until the store is dropped.
+    pub fn persistent_with(dir: &Path, config: DurabilityConfig) -> std::io::Result<Arc<Store>> {
+        std::fs::create_dir_all(dir)?;
+        let store = Arc::new(Store::new_with(
+            Masstree::new(),
+            1,
+            Some(dir.to_path_buf()),
+            config,
+        ));
+        store.spawn_background_checkpointer();
+        Ok(store)
+    }
+
+    fn new_with(
+        tree: Masstree<ColValue>,
+        next_version: u64,
+        log_dir: Option<PathBuf>,
+        config: DurabilityConfig,
+    ) -> Store {
+        let next_log_id = log_dir.as_deref().map(next_log_id_in).unwrap_or(0);
         Store {
             tree,
             next_version: AtomicU64::new(next_version),
-            log_dir: None,
-            next_log_id: AtomicU64::new(0),
+            log_dir,
+            next_log_id: AtomicU64::new(next_log_id),
+            config,
+            ckpt_epoch: AtomicU64::new(0),
+            last_ckpt_start_ts: AtomicU64::new(0),
+            truncated: AtomicU64::new(0),
+            cycle_lock: Mutex::new(()),
+            bg: Mutex::new(None),
+            log_handles: Mutex::new(Vec::new()),
         }
+    }
+
+    pub(crate) fn with_state(
+        tree: Masstree<ColValue>,
+        next_version: u64,
+        config: DurabilityConfig,
+    ) -> Store {
+        Store::new_with(tree, next_version, None, config)
     }
 
     /// Re-attaches logging (used after recovery).
@@ -63,13 +195,157 @@ impl Store {
         self.log_dir = Some(dir);
     }
 
-    /// Registers a worker, creating its log if the store is persistent.
+    /// Starts the background checkpointer if the config asks for one.
+    /// The thread holds only a `Weak` reference, so it never keeps the
+    /// store alive; it exits when the store is dropped or stopped.
+    pub(crate) fn spawn_background_checkpointer(self: &Arc<Store>) {
+        let Some(interval) = self.config.checkpoint_interval else {
+            return;
+        };
+        if self.log_dir.is_none() {
+            return;
+        }
+        let signal = Arc::new(BgSignal {
+            lock: Mutex::new(false),
+            cond: Condvar::new(),
+        });
+        let sig2 = Arc::clone(&signal);
+        let weak: Weak<Store> = Arc::downgrade(self);
+        let thread = std::thread::Builder::new()
+            .name("mt-checkpointer".into())
+            .spawn(move || loop {
+                {
+                    let mut stop = sig2.lock.lock();
+                    if !*stop {
+                        sig2.cond.wait_for(&mut stop, interval);
+                    }
+                    if *stop {
+                        return;
+                    }
+                }
+                let Some(store) = weak.upgrade() else { return };
+                // Errors are not fatal to the loop: a transient I/O
+                // failure just means this cycle's checkpoint is skipped
+                // and the logs keep everything.
+                let _ = store.run_durability_cycle();
+            })
+            .expect("spawn checkpointer");
+        *self.bg.lock() = Some(BgCheckpointer {
+            thread_id: thread.thread().id(),
+            thread: Some(thread),
+            signal,
+        });
+    }
+
+    /// Stops the background checkpointer (idempotent). Called on drop;
+    /// also usable by tests that want a quiescent store.
+    pub fn stop_background_checkpointer(&self) {
+        let Some(mut bg) = self.bg.lock().take() else {
+            return;
+        };
+        *bg.signal.lock.lock() = true;
+        bg.signal.cond.notify_all();
+        if let Some(t) = bg.thread.take() {
+            // The last Arc can be dropped *by* the checkpointer thread
+            // itself (it upgrades its Weak for the duration of a cycle);
+            // a thread cannot join itself, so detach in that case — the
+            // stop flag above makes it exit on its next loop iteration.
+            if bg.thread_id == std::thread::current().id() {
+                drop(t);
+            } else {
+                let _ = t.join();
+            }
+        }
+    }
+
+    /// One durability cycle (§4.4, run by the background checkpointer
+    /// and by [`Store::checkpoint_now`]): write a fuzzy checkpoint of
+    /// the live tree in parallel with request processing, publish its
+    /// manifest atomically, truncate every log segment it covers, and
+    /// prune superseded checkpoints.
+    fn run_durability_cycle(self: &Arc<Self>) -> std::io::Result<CheckpointMeta> {
+        let dir = self
+            .log_dir
+            .clone()
+            .ok_or_else(|| std::io::Error::other("in-memory store has no durability"))?;
+        let _cycle = self.cycle_lock.lock();
+        let meta = write_checkpoint(self, &dir, self.config.checkpoint_threads)?;
+        // Publish the epoch only after the manifest rename: `Flush`
+        // waiters observing the new epoch may rely on the checkpoint
+        // being durable.
+        self.last_ckpt_start_ts
+            .store(meta.start_ts, Ordering::Release);
+        self.ckpt_epoch.fetch_add(1, Ordering::Release);
+        // Group-commit barrier before truncation: force every live log
+        // so each durably holds a record stamped after `start_ts`. Any
+        // future recovery cutoff is then ≥ start_ts, so the checkpoint
+        // we are about to make the *only* copy of the covered records
+        // can never be rejected. (Dead handles are pruned as a side
+        // effect; cleanly closed logs are excluded from the cutoff and
+        // need no barrier.)
+        let live_sessions: Vec<u64> = {
+            let mut handles = self.log_handles.lock();
+            handles.retain(|(_, h)| h.force_if_alive());
+            handles.iter().map(|&(id, _)| id).collect()
+        };
+        let tr =
+            crate::log::truncate_covered_segments_excluding(&dir, meta.start_ts, &live_sessions)?;
+        self.truncated
+            .fetch_add(tr.segments_deleted, Ordering::Relaxed);
+        prune_checkpoints(&dir, self.config.keep_checkpoints.max(1))?;
+        Ok(meta)
+    }
+
+    /// Runs one full durability cycle synchronously: checkpoint,
+    /// truncate covered segments, prune old checkpoints. Serialized with
+    /// the background checkpointer. Errors for in-memory stores.
+    pub fn checkpoint_now(self: &Arc<Self>) -> std::io::Result<CheckpointMeta> {
+        self.run_durability_cycle()
+    }
+
+    /// Checkpoints completed this store lifetime.
+    pub fn checkpoint_epoch(&self) -> u64 {
+        self.ckpt_epoch.load(Ordering::Acquire)
+    }
+
+    /// A snapshot of the durability subsystem (log bytes are measured
+    /// from the directory, so the numbers reflect truncation).
+    pub fn durability_stats(&self) -> DurabilityStats {
+        let mut stats = DurabilityStats {
+            checkpoints: self.ckpt_epoch.load(Ordering::Acquire),
+            last_checkpoint_start_ts: self.last_ckpt_start_ts.load(Ordering::Acquire),
+            segments_truncated: self.truncated.load(Ordering::Relaxed),
+            ..DurabilityStats::default()
+        };
+        if let Some(dir) = &self.log_dir {
+            for path in crate::recovery::log_files(dir) {
+                stats.log_segments += 1;
+                stats.log_bytes += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            }
+        }
+        stats
+    }
+
+    /// The directory this store logs into (`None` for in-memory stores).
+    pub fn log_dir(&self) -> Option<&Path> {
+        self.log_dir.as_deref()
+    }
+
+    /// Registers a worker, creating its segmented log chain if the store
+    /// is persistent.
     pub fn session(self: &Arc<Store>) -> std::io::Result<Session> {
         let log = match &self.log_dir {
             None => None,
             Some(dir) => {
                 let id = self.next_log_id.fetch_add(1, Ordering::Relaxed);
-                Some(LogWriter::open(dir.join(format!("log-{id}")))?)
+                let log = LogWriter::open_segmented(dir, id, self.config.segment_bytes)?;
+                let mut handles = self.log_handles.lock();
+                // Opportunistic sweep: without it a store that never
+                // checkpoints would accumulate one dead handle per
+                // session forever.
+                handles.retain(|(_, h)| h.is_alive());
+                handles.push((id, log.force_handle()));
+                Some(log)
             }
         };
         Ok(Session {
@@ -99,27 +375,28 @@ impl Store {
     }
 }
 
-/// First unused log id in `dir`: one past the highest existing `log-N`.
+impl Drop for Store {
+    fn drop(&mut self) {
+        self.stop_background_checkpointer();
+    }
+}
+
+/// First unused session id in `dir`: one past the highest session
+/// appearing in any existing `log-<session>.<seg>` (or legacy
+/// `log-<session>`) file.
 ///
-/// Log files are **never reused** across store lifetimes: recovery
-/// trusts a trailing clean-close sentinel to mean "this file is
-/// complete", so appending a new session to an old file would be
-/// unsound — a crash before the new writer's first flush would leave
-/// the previous lifetime's sentinel as the final on-disk record,
+/// Session ids (and so log files) are **never reused** across store
+/// lifetimes: recovery trusts a trailing clean-close sentinel to mean
+/// "this file is complete", so appending a new session to an old file
+/// would be unsound — a crash before the new writer's first flush would
+/// leave the previous lifetime's sentinel as the final on-disk record,
 /// wrongly excluding the (actually crashed) log from the recovery
 /// cutoff.
 fn next_log_id_in(dir: &Path) -> u64 {
-    crate::recovery::log_files(dir)
-        .iter()
-        .filter_map(|p| {
-            p.file_name()?
-                .to_str()?
-                .strip_prefix("log-")?
-                .parse::<u64>()
-                .ok()
-        })
-        .map(|n| n + 1)
-        .max()
+    crate::recovery::session_segments(dir)
+        .keys()
+        .last()
+        .map(|s| s + 1)
         .unwrap_or(0)
 }
 
@@ -435,6 +712,20 @@ impl Session {
         if let Some(log) = &self.log {
             log.force();
         }
+    }
+
+    /// Active log segment number (0 for in-memory sessions).
+    pub fn current_log_segment(&self) -> u64 {
+        self.log.as_ref().map(|l| l.current_segment()).unwrap_or(0)
+    }
+
+    /// Kills this session's logger **without** the clean-shutdown
+    /// protocol — no final drain, no clean-close sentinel — abandoning
+    /// the in-memory log buffer exactly as a dying process would. For
+    /// crash-torture tests; see [`LogWriter::simulate_crash`]. Returns
+    /// where the on-disk state stands (`None` for in-memory sessions).
+    pub fn simulate_crash(mut self) -> Option<CrashPoint> {
+        self.log.take().map(|l| l.simulate_crash())
     }
 }
 

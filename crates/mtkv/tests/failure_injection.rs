@@ -1,5 +1,6 @@
 //! Failure injection for the persistence layer: torn log tails, corrupted
-//! records, missing checkpoint parts, and incomplete checkpoints. §5's
+//! records, missing checkpoint parts, incomplete checkpoints, and —
+//! segment-era cases — crashes mid-rotation and mid-truncation. §5's
 //! recovery must degrade gracefully — never panic, never resurrect
 //! corrupt data, always keep the durable prefix.
 
@@ -7,7 +8,8 @@ use std::fs::OpenOptions;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-use mtkv::{recover, write_checkpoint, Store};
+use mtkv::log::decode_all;
+use mtkv::{recover, write_checkpoint, DurabilityConfig, LogRecord, Store};
 
 fn tmpdir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("mtkv-fi-{tag}-{}", std::process::id()));
@@ -167,6 +169,191 @@ fn truncated_checkpoint_part_falls_back_to_logs() {
     assert_eq!(
         s.get(b"key001999", Some(&[0])).unwrap()[0],
         1999u32.to_le_bytes()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Builds a store with tiny segments so the workload rotates several
+/// times; returns the number of keys written.
+fn build_segmented_store(dir: &Path, keys: u32) {
+    let store = Store::persistent_with(dir, DurabilityConfig::tiny_segments(2048)).unwrap();
+    let s = store.session().unwrap();
+    for i in 0..keys {
+        s.put(
+            format!("key{i:06}").as_bytes(),
+            &[(0, &i.to_le_bytes()[..])],
+        );
+    }
+    s.force_log();
+    s.simulate_crash();
+}
+
+#[test]
+fn crash_mid_rotation_unsealed_segment_keeps_prefix() {
+    // Crash between "create successor" and "seal current": the sealed
+    // segment's sentinel never hit the disk. Its data must still replay,
+    // and the session must read as crashed (finite cutoff).
+    let dir = tmpdir("midrotate");
+    build_segmented_store(&dir, 1_500);
+    let segs = mtkv::session_segments(&dir).remove(&0).unwrap();
+    assert!(segs.len() >= 3, "need rotations: {}", segs.len());
+    // Strip the sentinel off a mid-chain sealed segment.
+    let (_, victim) = &segs[segs.len() / 2];
+    let data = std::fs::read(victim).unwrap();
+    let recs = decode_all(&data);
+    assert!(matches!(
+        recs.last(),
+        Some((LogRecord::CleanClose { .. }, _))
+    ));
+    let sentinel_start = if recs.len() >= 2 {
+        recs[recs.len() - 2].1
+    } else {
+        0
+    };
+    std::fs::write(victim, &data[..sentinel_start]).unwrap();
+
+    let (store, report) = recover(&dir, &dir).unwrap();
+    assert!(
+        report.cutoff < u64::MAX,
+        "crashed session bounds the cutoff"
+    );
+    assert!(report.replayed >= 1_500, "{report:?}");
+    let s = store.session().unwrap();
+    for i in [0u32, 749, 1_499] {
+        assert_eq!(
+            s.get(format!("key{i:06}").as_bytes(), Some(&[0])).unwrap()[0],
+            i.to_le_bytes()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_mid_rotation_sealed_with_empty_successor() {
+    // The other mid-rotation window: current sealed, successor created
+    // but still empty. The session must read as crashed with the cutoff
+    // at its last durable timestamp — not as cleanly closed (the sealed
+    // segment ends in a sentinel, but it is not the newest).
+    let dir = tmpdir("emptysucc");
+    build_segmented_store(&dir, 800);
+    let segs = mtkv::session_segments(&dir).remove(&0).unwrap();
+    // Rebuild the on-disk state "as of" a rotation boundary: drop every
+    // segment after the first sealed one, add the empty successor.
+    let (first_seg, first_path) = &segs[0];
+    for (_, p) in &segs[1..] {
+        std::fs::remove_file(p).unwrap();
+    }
+    let succ = mtkv::segment_path(&dir, 0, first_seg + 1);
+    std::fs::write(&succ, b"").unwrap();
+    let kept = decode_all(&std::fs::read(first_path).unwrap())
+        .iter()
+        .filter(|(r, _)| !r.is_marker())
+        .count();
+
+    let (store, report) = recover(&dir, &dir).unwrap();
+    assert!(
+        report.cutoff < u64::MAX,
+        "an empty active segment is a crash, not a clean close: {report:?}"
+    );
+    assert_eq!(report.replayed, kept as u64, "{report:?}");
+    let s = store.session().unwrap();
+    assert_eq!(
+        s.get(b"key000000", Some(&[0])).unwrap()[0],
+        0u32.to_le_bytes()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_mid_truncation_partial_deletion_recovers() {
+    // Truncation deletes covered segments oldest-first; a crash partway
+    // leaves an arbitrary subset deleted. The checkpoint (whose manifest
+    // is durable before truncation starts) carries the deleted records.
+    let dir = tmpdir("midtrunc");
+    let meta;
+    {
+        let store = Store::persistent_with(&dir, DurabilityConfig::tiny_segments(2048)).unwrap();
+        let s = store.session().unwrap();
+        for i in 0..1_500u32 {
+            s.put(
+                format!("key{i:06}").as_bytes(),
+                &[(0, &i.to_le_bytes()[..])],
+            );
+        }
+        s.force_log();
+        meta = write_checkpoint(&store, &dir, 2).unwrap();
+        s.force_log(); // durable record past start_ts in every live log
+        s.simulate_crash();
+    }
+    // Delete every *other* covered sealed segment — a truncation pass
+    // that died in the middle.
+    let segs = mtkv::session_segments(&dir).remove(&0).unwrap();
+    let covered: Vec<&PathBuf> = segs
+        .iter()
+        .take(segs.len() - 1) // never the active segment
+        .filter(|(_, p)| {
+            let data = std::fs::read(p).unwrap();
+            let recs = decode_all(&data);
+            matches!(recs.last(), Some((LogRecord::CleanClose { .. }, _)))
+                && recs
+                    .iter()
+                    .filter(|(r, _)| !r.is_marker())
+                    .all(|(r, _)| r.timestamp() < meta.start_ts)
+        })
+        .map(|(_, p)| p)
+        .collect();
+    assert!(
+        covered.len() >= 2,
+        "need covered segments: {}",
+        covered.len()
+    );
+    for p in covered.iter().step_by(2) {
+        std::fs::remove_file(p).unwrap();
+    }
+    let (store, report) = recover(&dir, &dir).unwrap();
+    assert!(report.used_checkpoint, "{report:?}");
+    let s = store.session().unwrap();
+    for i in [0u32, 888, 1_499] {
+        assert_eq!(
+            s.get(format!("key{i:06}").as_bytes(), Some(&[0])).unwrap()[0],
+            i.to_le_bytes(),
+            "key{i:06}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_active_segment_after_rotations_keeps_sealed_data() {
+    // Tear the active segment mid-record: every sealed segment's data
+    // survives, only the active tail is lost.
+    let dir = tmpdir("tornactive");
+    build_segmented_store(&dir, 1_200);
+    let segs = mtkv::session_segments(&dir).remove(&0).unwrap();
+    assert!(segs.len() >= 2);
+    let (_, active) = segs.last().unwrap();
+    let data = std::fs::read(active).unwrap();
+    if data.len() > 9 {
+        std::fs::write(active, &data[..data.len() - 9]).unwrap();
+    }
+    let sealed_records: usize = segs[..segs.len() - 1]
+        .iter()
+        .map(|(_, p)| {
+            decode_all(&std::fs::read(p).unwrap())
+                .iter()
+                .filter(|(r, _)| !r.is_marker())
+                .count()
+        })
+        .sum();
+    let (store, report) = recover(&dir, &dir).unwrap();
+    assert!(
+        report.replayed >= sealed_records as u64,
+        "sealed segments fully replay: {report:?} (sealed {sealed_records})"
+    );
+    let s = store.session().unwrap();
+    assert_eq!(
+        s.get(b"key000000", Some(&[0])).unwrap()[0],
+        0u32.to_le_bytes()
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -10,7 +10,7 @@ use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::proto::{frame_batch, read_batch, Request, Response};
+use crate::proto::{frame_batch, read_batch, Request, Response, StatsReply};
 
 /// One `(key, columns)` row returned by scans.
 pub type Row = (Vec<u8>, Vec<Vec<u8>>);
@@ -168,6 +168,28 @@ impl Client {
         self.queue(&Request::Remove { key: key.to_vec() });
         match self.execute_batch()?.pop() {
             Some(Response::RemoveOk(e)) => Ok(e),
+            _ => Err(std::io::Error::other("unexpected response")),
+        }
+    }
+
+    /// Reads the server's durability stats (checkpoint epoch, log
+    /// bytes/segments). Tests poll this to wait for a background
+    /// checkpoint instead of sleeping.
+    pub fn stats(&mut self) -> std::io::Result<StatsReply> {
+        self.queue(&Request::Stats);
+        match self.execute_batch()?.pop() {
+            Some(Response::Stats(s)) => Ok(s),
+            _ => Err(std::io::Error::other("unexpected response")),
+        }
+    }
+
+    /// Forces this connection's log, runs a full durability cycle on the
+    /// server (checkpoint + log truncation + checkpoint pruning), and
+    /// returns the stats afterwards.
+    pub fn flush(&mut self) -> std::io::Result<StatsReply> {
+        self.queue(&Request::Flush);
+        match self.execute_batch()?.pop() {
+            Some(Response::Stats(s)) => Ok(s),
             _ => Err(std::io::Error::other("unexpected response")),
         }
     }

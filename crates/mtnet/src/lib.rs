@@ -9,7 +9,7 @@ pub mod proto;
 pub mod server;
 
 pub use client::Client;
-pub use proto::{Request, Response};
+pub use proto::{Request, Response, StatsReply};
 pub use server::{
     execute, execute_batch, execute_batch_into, execute_into, Backend, ConnState, Server,
 };

@@ -11,8 +11,17 @@
 //! put    := 0x02, key, u16 n, (u16 col, bytes)*
 //! remove := 0x03, key
 //! scan   := 0x04, key, u32 count, colset
+//! stats  := 0x05
+//! flush  := 0x06
 //! key    := u32 len, bytes        colset := u16 n (0xffff = all), u16*
 //! ```
+//!
+//! `stats` and `flush` are the durability admin requests: `stats`
+//! reports the server's checkpoint epoch and log footprint, and `flush`
+//! forces this connection's log, runs a full durability cycle
+//! (checkpoint + segment truncation + checkpoint pruning) and reports
+//! the stats afterwards — tests use it to wait for durability events
+//! instead of sleeping.
 
 /// A client request (one query within a batch).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +44,57 @@ pub enum Request {
         count: u32,
         cols: Option<Vec<u16>>,
     },
+    /// Durability stats snapshot (checkpoint epoch, log bytes).
+    Stats,
+    /// Force this connection's log, run a full durability cycle
+    /// (checkpoint + truncate + prune), and report the stats afterwards.
+    Flush,
+}
+
+/// The durability snapshot carried by [`Response::Stats`]; mirrors
+/// `mtkv::DurabilityStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Checkpoints completed this server lifetime (the epoch tests wait
+    /// on).
+    pub checkpoints: u64,
+    /// `start_ts` of the newest completed checkpoint (0 if none).
+    pub last_checkpoint_start_ts: u64,
+    /// Total bytes across live log segments.
+    pub log_bytes: u64,
+    /// Live log segment files.
+    pub log_segments: u64,
+    /// Segments deleted by checkpoint truncation this lifetime.
+    pub segments_truncated: u64,
+}
+
+impl StatsReply {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.checkpoints,
+            self.last_checkpoint_start_ts,
+            self.log_bytes,
+            self.log_segments,
+            self.segments_truncated,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn decode(p: &mut &[u8]) -> Option<StatsReply> {
+        let mut f = [0u64; 5];
+        for v in f.iter_mut() {
+            *v = u64::from_le_bytes(p.get(..8)?.try_into().ok()?);
+            *p = &p[8..];
+        }
+        Some(StatsReply {
+            checkpoints: f[0],
+            last_checkpoint_start_ts: f[1],
+            log_bytes: f[2],
+            log_segments: f[3],
+            segments_truncated: f[4],
+        })
+    }
 }
 
 /// A server response (positionally matched to the request batch).
@@ -48,6 +108,8 @@ pub enum Response {
     RemoveOk(bool),
     /// Scan result rows.
     Rows(Vec<(Vec<u8>, Vec<Vec<u8>>)>),
+    /// Durability stats (reply to `Stats` and `Flush`).
+    Stats(StatsReply),
 }
 
 fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
@@ -116,6 +178,8 @@ impl Request {
                 out.extend_from_slice(&count.to_le_bytes());
                 put_colset(out, cols);
             }
+            Request::Stats => out.push(0x05),
+            Request::Flush => out.push(0x06),
         }
     }
 
@@ -150,6 +214,8 @@ impl Request {
                     cols: get_colset(p)?,
                 })
             }
+            0x05 => Some(Request::Stats),
+            0x06 => Some(Request::Flush),
             _ => None,
         }
     }
@@ -184,6 +250,10 @@ impl Response {
                         put_bytes(out, c);
                     }
                 }
+            }
+            Response::Stats(stats) => {
+                out.push(0x85);
+                stats.encode(out);
             }
         }
     }
@@ -228,6 +298,7 @@ impl Response {
                 }
                 Some(Response::Rows(rows))
             }
+            0x85 => Some(Response::Stats(StatsReply::decode(p)?)),
             _ => None,
         }
     }
@@ -390,6 +461,8 @@ mod tests {
             count: 100,
             cols: Some(vec![2]),
         });
+        roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Flush);
     }
 
     #[test]
@@ -402,6 +475,14 @@ mod tests {
             (b"k1".to_vec(), vec![b"v1".to_vec()]),
             (b"k2".to_vec(), vec![b"v2".to_vec(), b"w2".to_vec()]),
         ]));
+        roundtrip_resp(Response::Stats(StatsReply {
+            checkpoints: 3,
+            last_checkpoint_start_ts: u64::MAX - 1,
+            log_bytes: 1 << 40,
+            log_segments: 17,
+            segments_truncated: 9,
+        }));
+        roundtrip_resp(Response::Stats(StatsReply::default()));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use mtkv::{Session, Store};
 
 use crate::proto::{
     begin_batch, finish_batch, read_batch, write_value_borrowed, write_value_none, Request,
-    Response, RowsWriter,
+    Response, RowsWriter, StatsReply,
 };
 
 /// Per-connection request executor. The Masstree store is the primary
@@ -400,6 +400,8 @@ pub fn execute_into(session: &Session, req: Request, out: &mut Vec<u8>) {
             });
             rows.finish();
         }
+        // Admin requests: small fixed-size replies, no zero-copy need.
+        req @ (Request::Stats | Request::Flush) => execute(session, req).encode(out),
     }
 }
 
@@ -442,5 +444,28 @@ pub fn execute(session: &Session, req: Request) -> Response {
             let ids: Option<Vec<usize>> = cols.map(|c| c.iter().map(|&i| i as usize).collect());
             Response::Rows(session.get_range(&key, count as usize, ids.as_deref()))
         }
+        Request::Stats => Response::Stats(gather_stats(session)),
+        Request::Flush => {
+            // Make this connection's log durable, then run one full
+            // durability cycle: checkpoint, truncate covered segments,
+            // prune old checkpoints. In-memory stores have nothing to
+            // flush — the error is deliberately swallowed so the request
+            // still answers with (all-zero) stats.
+            session.force_log();
+            let _ = session.store().checkpoint_now();
+            Response::Stats(gather_stats(session))
+        }
+    }
+}
+
+/// Snapshots the store's durability state into the wire reply.
+fn gather_stats(session: &Session) -> StatsReply {
+    let s = session.store().durability_stats();
+    StatsReply {
+        checkpoints: s.checkpoints,
+        last_checkpoint_start_ts: s.last_checkpoint_start_ts,
+        log_bytes: s.log_bytes,
+        log_segments: s.log_segments,
+        segments_truncated: s.segments_truncated,
     }
 }

@@ -1,11 +1,112 @@
 //! End-to-end network tests: a real server on loopback, clients with
-//! single operations, batches, and pipelined batches.
+//! single operations, batches, pipelined batches, and the durability
+//! admin requests (`Stats`/`Flush`).
 
-use mtkv::Store;
+use mtkv::{DurabilityConfig, Store};
 use mtnet::{Client, Request, Response, Server};
 
 fn start_in_memory() -> Server {
     Server::start(Store::in_memory(), "127.0.0.1:0").unwrap()
+}
+
+#[test]
+fn stats_and_flush_drive_durability_over_the_wire() {
+    let dir = std::env::temp_dir().join(format!("mtnet-e2e-dur-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        // Tiny segments so the workload below rotates; no background
+        // thread — the client's Flush requests drive the cycles.
+        let store = Store::persistent_with(&dir, DurabilityConfig::tiny_segments(2048)).unwrap();
+        let server = Server::start(store, "127.0.0.1:0").unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+
+        let s0 = c.stats().unwrap();
+        assert_eq!(s0.checkpoints, 0, "no checkpoint yet");
+        for i in 0..300u32 {
+            c.put(format!("dur{i:04}").as_bytes(), vec![(0, vec![0u8; 32])])
+                .unwrap();
+        }
+        // The logger drains on a ~10ms cadence; poll (bounded) until the
+        // rotation is visible on disk rather than racing it.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let s1 = loop {
+            let s = c.stats().unwrap();
+            if s.log_segments >= 2 || std::time::Instant::now() > deadline {
+                break s;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+        assert!(s1.log_segments >= 2, "rotation visible in stats: {s1:?}");
+        assert!(s1.log_bytes > 0);
+
+        // Flush: checkpoint epoch advances, covered segments vanish.
+        let s2 = c.flush().unwrap();
+        assert_eq!(s2.checkpoints, 1, "{s2:?}");
+        assert!(s2.last_checkpoint_start_ts > 0);
+        assert!(s2.segments_truncated >= 1, "{s2:?}");
+        assert!(
+            s2.log_bytes < s1.log_bytes,
+            "truncation shrank the logs: {} -> {}",
+            s1.log_bytes,
+            s2.log_bytes
+        );
+        // A second flush advances the epoch again.
+        let s3 = c.flush().unwrap();
+        assert_eq!(s3.checkpoints, 2);
+        assert!(s3.last_checkpoint_start_ts > s2.last_checkpoint_start_ts);
+    }
+    // Everything the client wrote survives recovery, and the replay work
+    // is bounded: segments the flush truncated are gone.
+    let (store, report) = mtkv::recover(&dir, &dir).unwrap();
+    assert!(report.used_checkpoint, "{report:?}");
+    let s = store.session().unwrap();
+    for i in [0u32, 137, 299] {
+        assert_eq!(
+            s.get(format!("dur{i:04}").as_bytes(), Some(&[0])).unwrap()[0],
+            vec![0u8; 32]
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stats_on_in_memory_store_is_all_zero() {
+    let server = start_in_memory();
+    let mut c = Client::connect(server.addr()).unwrap();
+    c.put(b"k", vec![(0, b"v".to_vec())]).unwrap();
+    let s = c.stats().unwrap();
+    assert_eq!(s, mtnet::StatsReply::default());
+    // Flush is a harmless no-op without a log dir.
+    let s = c.flush().unwrap();
+    assert_eq!(s.checkpoints, 0);
+    assert_eq!(c.get(b"k", None).unwrap(), Some(vec![b"v".to_vec()]));
+}
+
+#[test]
+fn admin_requests_mix_into_batches() {
+    let server = start_in_memory();
+    let mut c = Client::connect(server.addr()).unwrap();
+    // Gets / puts / stats interleaved in one batch: runs split around
+    // the admin request and responses stay positionally matched.
+    c.queue(&Request::Put {
+        key: b"a".to_vec(),
+        cols: vec![(0, b"1".to_vec())],
+    });
+    c.queue(&Request::Get {
+        key: b"a".to_vec(),
+        cols: None,
+    });
+    c.queue(&Request::Stats);
+    c.queue(&Request::Get {
+        key: b"a".to_vec(),
+        cols: None,
+    });
+    let responses = c.execute_batch().unwrap();
+    assert_eq!(responses.len(), 4);
+    assert!(matches!(responses[0], Response::PutOk(_)));
+    assert_eq!(responses[1], Response::Value(Some(vec![b"1".to_vec()])));
+    assert!(matches!(responses[2], Response::Stats(_)));
+    assert_eq!(responses[3], Response::Value(Some(vec![b"1".to_vec()])));
 }
 
 #[test]
