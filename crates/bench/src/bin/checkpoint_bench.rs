@@ -46,7 +46,7 @@ fn main() {
                     for i in 0..per {
                         session.put_single(&decimal_key(rng.next_u64()), &(i as u64).to_le_bytes());
                     }
-                    session.force_log();
+                    assert!(session.force_log());
                 });
             }
         });

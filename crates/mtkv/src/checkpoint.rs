@@ -168,10 +168,22 @@ pub fn write_checkpoint(
         parts: threads,
         keys,
     };
-    // Manifest written last, atomically: its presence = checkpoint valid.
+    // Manifest written last, atomically: its presence = checkpoint
+    // valid. Every step is fsynced — the manifest bytes before the
+    // rename, then the checkpoint directory (the rename) and the base
+    // directory (the ckpt-<ts> entry itself) — because the caller may
+    // truncate the covered log segments the moment this returns: a
+    // machine crash must never lose the manifest while the only other
+    // copy of the covered records is already gone.
     let tmp = dir.join("MANIFEST.tmp");
-    std::fs::write(&tmp, meta.manifest_bytes())?;
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(meta.manifest_bytes().as_bytes())?;
+        f.sync_all()?;
+    }
     std::fs::rename(&tmp, dir.join("MANIFEST"))?;
+    std::fs::File::open(&dir)?.sync_all()?;
+    std::fs::File::open(base)?.sync_all()?;
     Ok(meta)
 }
 
@@ -231,6 +243,19 @@ pub fn read_part(path: &Path) -> std::io::Result<Vec<CheckpointRow>> {
 
 /// Finds the newest complete checkpoint under `base`.
 pub fn latest_checkpoint(base: &Path) -> Option<(PathBuf, CheckpointMeta)> {
+    latest_checkpoint_at_or_before(base, u64::MAX)
+}
+
+/// Finds the newest complete checkpoint under `base` that *began* at or
+/// before `cutoff`. Recovery uses this rather than [`latest_checkpoint`]
+/// because newer checkpoints are not always usable: a store that stopped
+/// truncating after a logger death keeps writing checkpoints whose
+/// `start_ts` the eventual recovery cutoff may reject, while an older
+/// retained checkpoint still pairs exactly with the surviving segments.
+pub fn latest_checkpoint_at_or_before(
+    base: &Path,
+    cutoff: u64,
+) -> Option<(PathBuf, CheckpointMeta)> {
     let mut best: Option<(PathBuf, CheckpointMeta)> = None;
     let entries = std::fs::read_dir(base).ok()?;
     for e in entries.flatten() {
@@ -250,6 +275,9 @@ pub fn latest_checkpoint(base: &Path) -> Option<(PathBuf, CheckpointMeta)> {
         let Some(meta) = CheckpointMeta::parse(&manifest) else {
             continue;
         };
+        if meta.start_ts > cutoff {
+            continue; // began past the cutoff: recovery would reject it
+        }
         if best
             .as_ref()
             .is_none_or(|(_, m)| meta.start_ts > m.start_ts)

@@ -23,7 +23,10 @@ pub mod recovery;
 pub mod store;
 pub mod value;
 
-pub use checkpoint::{latest_checkpoint, prune_checkpoints, write_checkpoint, CheckpointMeta};
+pub use checkpoint::{
+    latest_checkpoint, latest_checkpoint_at_or_before, prune_checkpoints, write_checkpoint,
+    CheckpointMeta,
+};
 pub use log::{
     read_log, segment_path, truncate_covered_segments, CrashPoint, LogRecord, LogWriter,
     TruncateReport,

@@ -259,6 +259,17 @@ struct LogShared {
     sealed: AtomicU64,
     /// Path of the active segment.
     current_path: Mutex<PathBuf>,
+    /// Shared with the owning store: set (permanently) when this logger
+    /// dies without completing its shutdown protocol — I/O error or
+    /// simulated crash. A dead logger leaves a torn chain on disk whose
+    /// last durable timestamp may sit *below* any later checkpoint's
+    /// `start_ts`; a future recovery cutoff would then reject that
+    /// checkpoint, so the store must never again truncate log segments
+    /// (the logs stay the authoritative copy) until a recovery reseals
+    /// the directory. Tracked here — not per-handle — because the
+    /// writer can be dropped (its weak handles going dead) before the
+    /// store's next durability cycle ever observes the crash.
+    poison: Arc<AtomicBool>,
 }
 
 /// Rotation configuration: `None` naming means a fixed single file that
@@ -299,6 +310,7 @@ impl LogWriter {
                 rotate: None,
                 segment_bytes: u64::MAX,
             },
+            Arc::default(),
         )
     }
 
@@ -310,16 +322,30 @@ impl LogWriter {
         session: u64,
         segment_bytes: u64,
     ) -> std::io::Result<LogWriter> {
+        Self::open_segmented_poisoned(dir, session, segment_bytes, Arc::default())
+    }
+
+    /// [`LogWriter::open_segmented`] wired to the owning store's poison
+    /// flag: if this logger ever dies without completing its shutdown
+    /// protocol, `poison` is set so the store stops truncating log
+    /// segments (see `LogShared::poison`).
+    pub(crate) fn open_segmented_poisoned(
+        dir: &Path,
+        session: u64,
+        segment_bytes: u64,
+        poison: Arc<AtomicBool>,
+    ) -> std::io::Result<LogWriter> {
         Self::start(
             segment_path(dir, session, 0),
             LoggerCfg {
                 rotate: Some((dir.to_path_buf(), session)),
                 segment_bytes: segment_bytes.max(1),
             },
+            poison,
         )
     }
 
-    fn start(path: PathBuf, cfg: LoggerCfg) -> std::io::Result<LogWriter> {
+    fn start(path: PathBuf, cfg: LoggerCfg, poison: Arc<AtomicBool>) -> std::io::Result<LogWriter> {
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         let existing = file.metadata().map(|m| m.len()).unwrap_or(0);
         let shared = Arc::new(LogShared {
@@ -337,6 +363,7 @@ impl LogWriter {
             durable: AtomicU64::new(existing),
             sealed: AtomicU64::new(0),
             current_path: Mutex::new(path.clone()),
+            poison,
         });
         let s2 = Arc::clone(&shared);
         let thread = std::thread::Builder::new()
@@ -382,24 +409,28 @@ impl LogWriter {
     /// Blocks until everything appended so far is durable (used by tests
     /// and clean shutdown; normal puts never wait, §5).
     ///
-    /// Returns early (without the durability guarantee) if the logger
-    /// thread is dead — killed by [`LogWriter::simulate_crash`] or by an
-    /// I/O error. A dead logger can never make anything durable, so
-    /// waiting would hang forever.
-    pub fn force(&self) {
+    /// Returns `true` only when the sync actually completed. `false`
+    /// means the logger thread is dead — killed by
+    /// [`LogWriter::simulate_crash`] or by an I/O error — and the
+    /// appended records may never reach storage: a dead logger can never
+    /// make anything durable, so waiting would hang forever, and callers
+    /// acking durability to a client must propagate the failure instead.
+    #[must_use = "false means the records were NOT made durable"]
+    pub fn force(&self) -> bool {
         let mut buf = self.shared.buffer.lock();
         if self.shared.crashed.load(Ordering::Acquire) {
-            return;
+            return false;
         }
         buf.sync_requested += 1;
         let want = buf.sync_requested;
         self.shared.wake.notify_one();
         while buf.sync_completed < want {
             if self.shared.crashed.load(Ordering::Acquire) {
-                return;
+                return false;
             }
             self.shared.done.wait_for(&mut buf, WAKE_INTERVAL);
         }
+        true
     }
 
     /// Active segment number of this writer's chain.
@@ -414,7 +445,7 @@ impl LogWriter {
 
     /// A weak handle the store keeps so a durability cycle can
     /// group-commit every live log before truncating (see
-    /// [`LogForceHandle::force_if_alive`]).
+    /// [`LogForceHandle::barrier_force`]).
     pub(crate) fn force_handle(&self) -> LogForceHandle {
         LogForceHandle(Arc::downgrade(&self.shared))
     }
@@ -426,6 +457,7 @@ impl LogWriter {
     /// state stands so crash-torture tests can additionally tear the
     /// active segment's unsynced tail (simulating a machine crash).
     pub fn simulate_crash(mut self) -> CrashPoint {
+        self.shared.poison.store(true, Ordering::Release);
         self.shared.crashed.store(true, Ordering::Release);
         self.shared.stop.store(true, Ordering::Release);
         self.shared.wake.notify_one();
@@ -446,10 +478,29 @@ impl LogWriter {
 /// durably holds a record stamped after the checkpoint's `start_ts` —
 /// only then is truncation safe, because any *future* recovery cutoff is
 /// now at or past `start_ts` and the checkpoint can never be rejected
-/// after its covered segments are gone. (A log that is closing or
-/// crashed is skipped: a cleanly closed log is excluded from the cutoff
-/// anyway, and a crashed one can only exist in tests.)
+/// after its covered segments are gone.
 pub(crate) struct LogForceHandle(Weak<LogShared>);
+
+/// Result of the group-commit barrier on one log (see
+/// [`LogForceHandle::barrier_force`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BarrierOutcome {
+    /// Sync confirmed: the log durably holds a record stamped past the
+    /// checkpoint's `start_ts`. Truncation-safe.
+    Synced,
+    /// The writer is gone — its drop protocol made the clean-close
+    /// sentinel durable (a failed final sync would have set the store's
+    /// poison flag instead). The session is excluded from any future
+    /// cutoff, so it cannot reject the checkpoint; the handle can be
+    /// dropped.
+    Closed,
+    /// Durability could not be confirmed this cycle: the logger is dead
+    /// (I/O error, simulated crash) or a clean close is still in flight
+    /// and its final sync has not landed. Truncating now could erase the
+    /// only copy of records a future recovery cutoff would refuse the
+    /// checkpoint for — the cycle must skip truncation.
+    Unconfirmed,
+}
 
 impl LogForceHandle {
     /// Whether the writer behind this handle still exists (cheap; used
@@ -458,36 +509,40 @@ impl LogForceHandle {
         self.0.strong_count() > 0
     }
 
-    /// Forces the log if its writer is still alive; returns false when
-    /// the writer is gone, closing, or crashed (the handle can then be
-    /// dropped).
-    pub(crate) fn force_if_alive(&self) -> bool {
+    /// Group-commit barrier: forces the log and reports whether its
+    /// durability past the barrier point is *confirmed* — anything less
+    /// than [`BarrierOutcome::Synced`]/[`BarrierOutcome::Closed`] must
+    /// block truncation (see [`BarrierOutcome::Unconfirmed`]).
+    pub(crate) fn barrier_force(&self) -> BarrierOutcome {
         let Some(shared) = self.0.upgrade() else {
-            return false;
+            return BarrierOutcome::Closed;
         };
         let mut buf = shared.buffer.lock();
-        if shared.stop.load(Ordering::Acquire)
-            || shared.closed.load(Ordering::Acquire)
-            || shared.crashed.load(Ordering::Acquire)
-        {
-            return false;
+        if shared.crashed.load(Ordering::Acquire) {
+            return BarrierOutcome::Unconfirmed;
+        }
+        if shared.stop.load(Ordering::Acquire) || shared.closed.load(Ordering::Acquire) {
+            // Close in flight: the sentinel is appended but its sync may
+            // not have landed, and a machine crash before it lands would
+            // leave this chain torn below `start_ts`. Don't truncate on
+            // it this cycle; the next cycle sees the writer gone
+            // (`Closed`) or the poison flag (final sync failed).
+            return BarrierOutcome::Unconfirmed;
         }
         buf.sync_requested += 1;
         let want = buf.sync_requested;
         shared.wake.notify_one();
         while buf.sync_completed < want {
             if shared.crashed.load(Ordering::Acquire) {
-                return false;
+                return BarrierOutcome::Unconfirmed;
             }
-            // Timed wait: a writer dropped or crashed mid-request never
-            // acks, and its drop path only notifies `done` on the happy
-            // path — poll the flags rather than hang.
+            // Timed wait, polling the flags: every logger exit path
+            // either acks all outstanding requests (clean shutdown) or
+            // sets `crashed` — but only after this request was filed, so
+            // a concurrent drop cannot strand the wait.
             shared.done.wait_for(&mut buf, WAKE_INTERVAL);
-            if shared.stop.load(Ordering::Acquire) && buf.sync_completed < want {
-                return false;
-            }
         }
-        true
+        BarrierOutcome::Synced
     }
 }
 
@@ -513,7 +568,7 @@ impl Drop for LogWriter {
             let ts = crate::clock::now();
             LogRecord::CleanClose { timestamp: ts }.encode(&mut buf.data);
         }
-        self.force();
+        let _ = self.force(); // best effort: drop has no error channel
         self.shared.stop.store(true, Ordering::Release);
         self.shared.wake.notify_one();
         if let Some(t) = self.thread.take() {
@@ -523,10 +578,14 @@ impl Drop for LogWriter {
 }
 
 /// Marks the logger dead after an unrecoverable I/O error: `crashed`
-/// makes `force` / `force_if_alive` return instead of spinning forever
+/// makes `force` / `barrier_force` return instead of spinning forever
 /// on an ack that will never come (which would wedge every durability
-/// cycle behind the cycle lock), and the notify wakes current waiters.
+/// cycle behind the cycle lock), the poison flag permanently blocks the
+/// owning store's truncation (the torn chain this logger leaves behind
+/// may pin any future recovery cutoff below later checkpoints), and the
+/// notify wakes current waiters.
 fn mark_logger_dead(shared: &LogShared) {
+    shared.poison.store(true, Ordering::Release);
     shared.crashed.store(true, Ordering::Release);
     shared.done.notify_all();
 }
@@ -534,6 +593,24 @@ fn mark_logger_dead(shared: &LogShared) {
 fn logger_loop(shared: Arc<LogShared>, file: File, cfg: LoggerCfg, existing: u64) {
     let mut out = BufWriter::with_capacity(1 << 20, file);
     let mut written = existing; // bytes handed to the active segment file
+                                // Max timestamp among record frames written to this chain so far;
+                                // rotation markers are stamped with it (never `clock::now()`, which
+                                // would run ahead of records already stamped but not yet durable in
+                                // the successor segment — see `rotate_segment`). Seeded from the
+                                // pre-existing file when one is reopened, so the first rotation's
+                                // markers are sound even then.
+    let mut max_ts = match &cfg.rotate {
+        Some((dir, session)) if existing > 0 => std::fs::read(segment_path(dir, *session, 0))
+            .map(|data| {
+                decode_all(&data)
+                    .iter()
+                    .map(|(r, _)| r.timestamp())
+                    .max()
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0),
+        _ => 0,
+    };
     let mut seg = 0u64;
     let mut last_force = Instant::now();
     let mut last_heartbeat = Instant::now();
@@ -590,6 +667,9 @@ fn logger_loop(shared: Arc<LogShared>, file: File, cfg: LoggerCfg, existing: u64
                         mark_logger_dead(&shared);
                         return;
                     }
+                    if cfg.rotate.is_some() {
+                        max_ts = max_ts.max(max_frame_ts(&drained[off..]));
+                    }
                     written += (drained.len() - off) as u64;
                     off = drained.len();
                 } else {
@@ -598,11 +678,12 @@ fn logger_loop(shared: Arc<LogShared>, file: File, cfg: LoggerCfg, existing: u64
                         mark_logger_dead(&shared);
                         return;
                     }
+                    max_ts = max_ts.max(frame_timestamp(&drained[off..off + frame]));
                     written += frame as u64;
                     off += frame;
                     if written >= cfg.segment_bytes {
                         let (dir, session) = cfg.rotate.as_ref().unwrap();
-                        match rotate_segment(&shared, dir, *session, seg, &mut out) {
+                        match rotate_segment(&shared, dir, *session, seg, &mut out, max_ts) {
                             Ok(hb_len) => {
                                 seg += 1;
                                 written = hb_len;
@@ -625,11 +706,13 @@ fn logger_loop(shared: Arc<LogShared>, file: File, cfg: LoggerCfg, existing: u64
             buf.sync_completed < sync_goal
         };
         if force_due || sync_due {
-            if out.flush().is_err() {
+            // A failed flush *or* sync must kill the logger, not ack:
+            // acking would let `force` waiters report durability that
+            // never happened.
+            if out.flush().is_err() || out.get_ref().sync_data().is_err() {
                 mark_logger_dead(&shared);
                 return;
             }
-            let _ = out.get_ref().sync_data();
             shared.durable.store(written, Ordering::Release);
             last_force = Instant::now();
             dirty = false;
@@ -643,8 +726,12 @@ fn logger_loop(shared: Arc<LogShared>, file: File, cfg: LoggerCfg, existing: u64
             }
         }
         if shared.stop.load(Ordering::Acquire) {
-            let _ = out.flush();
-            let _ = out.get_ref().sync_data();
+            if out.flush().is_err() || out.get_ref().sync_data().is_err() {
+                // Shutdown sync failed: die without acking, so any
+                // concurrent `force` waiter reports the failure.
+                mark_logger_dead(&shared);
+                return;
+            }
             shared.durable.store(written, Ordering::Release);
             // Everything drained above is now durable: ack any force
             // still outstanding so no waiter hangs across shutdown.
@@ -672,6 +759,29 @@ fn frame_len(buf: &[u8]) -> usize {
     (4 + len + 4).min(buf.len())
 }
 
+/// Timestamp of the record frame at the head of `buf` (every record
+/// starts `u32 length, u8 op, u64 timestamp` — see the module docs); 0
+/// for a frame too short to carry one.
+fn frame_timestamp(buf: &[u8]) -> u64 {
+    buf.get(5..13)
+        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        .unwrap_or(0)
+}
+
+/// Max timestamp across all whole frames in `chunk`.
+fn max_frame_ts(mut chunk: &[u8]) -> u64 {
+    let mut max = 0u64;
+    while !chunk.is_empty() {
+        max = max.max(frame_timestamp(chunk));
+        let n = frame_len(chunk);
+        if n == 0 {
+            break;
+        }
+        chunk = &chunk[n..];
+    }
+    max
+}
+
 /// Rotates the logger onto segment `seg + 1`, in the crash-safe order:
 ///
 /// 1. **Create the successor file** (and sync it, plus the directory):
@@ -689,6 +799,17 @@ fn frame_len(buf: &[u8]) -> usize {
 /// cutoff at its last record), or a sealed segment with an empty
 /// successor (cutoff at the session's last durable timestamp).
 ///
+/// Both markers are stamped `marker_ts` — the max timestamp among
+/// frames already written to the chain — **never** `clock::now()`. A
+/// now-stamp would run ahead of records stamped at put time but still
+/// in flight to the (unsynced) successor: after a crash between the
+/// seal's fsync and the successor's first sync, the surviving sentinel
+/// would raise this session's contribution to the recovery cutoff past
+/// its last durable record, keeping other sessions' records that may
+/// depend on this session's lost ones (a prefix-consistency violation).
+/// `marker_ts` only restates knowledge the durable file already
+/// carries, so a crash at any point leaves the cutoff sound.
+///
 /// Returns the byte length of the opening heartbeat written to the new
 /// segment.
 fn rotate_segment(
@@ -697,6 +818,7 @@ fn rotate_segment(
     session: u64,
     seg: u64,
     out: &mut BufWriter<File>,
+    marker_ts: u64,
 ) -> std::io::Result<u64> {
     let next_path = segment_path(dir, session, seg + 1);
     let next_file = OpenOptions::new()
@@ -709,7 +831,7 @@ fn rotate_segment(
     }
     let mut seal = Vec::with_capacity(64);
     LogRecord::CleanClose {
-        timestamp: crate::clock::now(),
+        timestamp: marker_ts,
     }
     .encode(&mut seal);
     out.write_all(&seal)?;
@@ -722,7 +844,7 @@ fn rotate_segment(
     *out = BufWriter::with_capacity(1 << 20, next_file);
     let mut hb = Vec::with_capacity(64);
     LogRecord::Heartbeat {
-        timestamp: crate::clock::now(),
+        timestamp: marker_ts,
     }
     .encode(&mut hb);
     out.write_all(&hb)?;
@@ -921,7 +1043,7 @@ mod tests {
             for i in 0..100 {
                 w.append(&rec(i));
             }
-            w.force();
+            assert!(w.force());
         }
         let records = read_log(&path).unwrap();
         let puts: Vec<&LogRecord> = records.iter().filter(|r| !r.is_marker()).collect();
@@ -964,7 +1086,7 @@ mod tests {
             for i in 0..200 {
                 w.append(&rec(i));
             }
-            w.force();
+            assert!(w.force());
             assert!(w.current_segment() > 0, "threshold crossed → rotated");
             assert_eq!(w.segments_sealed(), w.current_segment());
         }
@@ -993,13 +1115,79 @@ mod tests {
     }
 
     #[test]
+    fn rotation_markers_never_outrun_written_records() {
+        // Regression: rotation used to stamp the seal sentinel and the
+        // successor's opening heartbeat with `clock::now()`, which runs
+        // ahead of records stamped at put time but still unsynced in the
+        // successor. After a crash between the seal's fsync and the
+        // successor's first sync, the surviving sentinel would inflate
+        // the session's recovery-cutoff contribution past its last
+        // durable record. Rotation markers must never carry a timestamp
+        // later than the records written before them.
+        let dir = tmpdir("marker-ts");
+        {
+            let w = LogWriter::open_segmented(&dir, 9, 1024).unwrap();
+            for i in 0..200u64 {
+                w.append_now(|timestamp| LogRecord::Put {
+                    timestamp,
+                    version: i,
+                    key: format!("k{i}").into_bytes(),
+                    cols: vec![(0, vec![0u8; 32])],
+                });
+            }
+            assert!(w.force());
+        }
+        let segs = crate::recovery::session_segments(&dir).remove(&9).unwrap();
+        assert!(segs.len() >= 3, "need several segments: {}", segs.len());
+        let mut prev_max = 0u64; // max ts across all earlier segments
+        for (i, (_, path)) in segs.iter().enumerate() {
+            let records = read_log(path).unwrap();
+            let is_last = i + 1 == segs.len();
+            if i > 0 {
+                let first = records.first().unwrap();
+                assert!(
+                    matches!(first, LogRecord::Heartbeat { .. }),
+                    "rotated segment opens with a heartbeat: {first:?}"
+                );
+                assert!(
+                    first.timestamp() <= prev_max,
+                    "opening heartbeat ({}) claims knowledge past the \
+                     records written before it ({prev_max})",
+                    first.timestamp()
+                );
+            }
+            let body_max = records
+                .iter()
+                .take(records.len() - 1)
+                .map(|r| r.timestamp())
+                .max()
+                .unwrap_or(0);
+            let seal = records.last().unwrap();
+            assert!(matches!(seal, LogRecord::CleanClose { .. }));
+            if !is_last {
+                // Rotation seal (the final, drop-written seal goes
+                // through the buffer in order, so now() is fine there).
+                assert!(
+                    seal.timestamp() <= prev_max.max(body_max),
+                    "rotation seal ({}) claims knowledge past the records \
+                     written before it ({})",
+                    seal.timestamp(),
+                    prev_max.max(body_max)
+                );
+            }
+            prev_max = prev_max.max(body_max).max(seal.timestamp());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn simulate_crash_abandons_buffer_without_sentinel() {
         let dir = tmpdir("crash");
         let w = LogWriter::open_segmented(&dir, 0, u64::MAX).unwrap();
         for i in 0..50 {
             w.append(&rec(i));
         }
-        w.force();
+        assert!(w.force());
         // These records are appended but never forced: they may or may
         // not reach the file, and no sentinel must appear.
         for i in 50..60 {
@@ -1035,7 +1223,7 @@ mod tests {
                     cols: vec![(0, vec![0u8; 32])],
                 });
             }
-            w.force();
+            assert!(w.force());
         }
         let segs = crate::recovery::session_segments(&dir).remove(&3).unwrap();
         assert!(segs.len() >= 3, "need several segments: {}", segs.len());
@@ -1059,7 +1247,7 @@ mod tests {
                 cols: vec![(0, vec![0u8; 32])],
             });
         }
-        w.force();
+        assert!(w.force());
         let before = crate::recovery::session_segments(&dir)
             .remove(&5)
             .unwrap()

@@ -33,7 +33,7 @@ use std::sync::Arc;
 
 use masstree::Masstree;
 
-use crate::checkpoint::{latest_checkpoint, read_part};
+use crate::checkpoint::{latest_checkpoint_at_or_before, read_part};
 use crate::log::{decode_all, LogRecord};
 use crate::store::{DurabilityConfig, Store};
 use crate::value::ColValue;
@@ -183,8 +183,15 @@ pub fn recover_with(
         .unwrap_or(u64::MAX);
     report.cutoff = cutoff;
 
-    // Newest complete checkpoint that began before the cutoff.
-    let ckpt = latest_checkpoint(ckpt_dir).filter(|(_, meta)| meta.start_ts <= cutoff);
+    // Newest complete checkpoint that began before the cutoff — NOT
+    // "the newest, if it qualifies": a store whose truncation froze
+    // after a logger death keeps writing checkpoints that a post-crash
+    // cutoff may reject, and only an older retained checkpoint pairs
+    // with segments truncated back when the store was healthy. Falling
+    // back to it is sound: truncation under checkpoint C only ever
+    // removes records stamped before C.start_ts, so the logs still hold
+    // everything from any retained checkpoint's start onward.
+    let ckpt = latest_checkpoint_at_or_before(ckpt_dir, cutoff);
 
     let mut tree: Masstree<ColValue> = Masstree::new();
     let mut max_version = 0u64;
@@ -371,20 +378,26 @@ pub fn recover_with(
 
 /// Rewrites each file as exactly its records stamped at or before
 /// `cutoff`, terminated by a clean-close sentinel, and reports how many
-/// files changed. The filter is per-record, not a prefix cut: a
-/// rotation's opening heartbeat is stamped out-of-band by the logger
-/// thread and may carry a timestamp *ahead* of data records drained
-/// after it, so a prefix cut at the cutoff could drop durable data the
-/// replay above kept. (Per-session *data* records are always in
-/// timestamp order — they are stamped under the buffer lock.)
+/// files changed. The filter is per-record, not a prefix cut: rotation
+/// markers are stamped with the max timestamp already written (never
+/// ahead of in-flight data — see `rotate_segment`), but logs written
+/// before that stamping rule may still carry an out-of-band marker
+/// ahead of data drained after it, and a prefix cut there could drop
+/// durable data the replay above kept. (Per-session *data* records are
+/// always in timestamp order — they are stamped under the buffer
+/// lock.)
 ///
-/// The rewrite goes through a temp file + rename so a crash mid-seal
-/// can never lose the kept (acked, durable) records.
+/// The rewrite goes through a temp file + rename, and each touched
+/// directory is fsynced before returning, so a machine crash at any
+/// point can neither lose the kept (acked, durable) records nor
+/// resurrect the pre-seal torn log (which would clamp the next
+/// recovery's cutoff).
 fn seal_segments_to_cutoff<'a>(
     segments: impl Iterator<Item = &'a Segment>,
     cutoff: u64,
 ) -> std::io::Result<u64> {
     let mut sealed = 0u64;
+    let mut dirs = std::collections::BTreeSet::new();
     for seg in segments {
         let data = std::fs::read(&seg.path)?;
         let records = decode_all(&data);
@@ -429,7 +442,18 @@ fn seal_segments_to_cutoff<'a>(
             f.sync_data()?;
         }
         std::fs::rename(&tmp, &seg.path)?;
+        if let Some(parent) = seg.path.parent() {
+            dirs.insert(parent.to_path_buf());
+        }
         sealed += 1;
+    }
+    // Fsync each touched directory once (not per rename), or a machine
+    // crash shortly after recovery can lose a rename and resurrect the
+    // pre-seal torn log — reintroducing the repeated-crash cutoff
+    // clamping this seal exists to prevent. Recovery has not returned
+    // yet, so no post-recovery write can be acked before this lands.
+    for dir in dirs {
+        std::fs::File::open(&dir)?.sync_all()?;
     }
     Ok(sealed)
 }
@@ -460,7 +484,7 @@ mod tests {
                 );
             }
             s.remove(b"key0007");
-            s.force_log();
+            assert!(s.force_log());
         }
         let (store, report) = recover(&dir, &dir).unwrap();
         assert!(!report.used_checkpoint);
@@ -493,8 +517,8 @@ mod tests {
                     s2.put(b"contended", &[(0, format!("{i}").as_bytes())]);
                 }
             }
-            s1.force_log();
-            s2.force_log();
+            assert!(s1.force_log());
+            assert!(s2.force_log());
         }
         let (store, report) = recover(&dir, &dir).unwrap();
         // Both logs heartbeat at shutdown, so the cutoff t covers every
@@ -518,7 +542,7 @@ mod tests {
                     &[(0, &i.to_le_bytes()[..])],
                 );
             }
-            s.force_log();
+            assert!(s.force_log());
             write_checkpoint(&store, &dir, 3).unwrap();
             // Post-checkpoint tail.
             for i in 2_000..2_500u32 {
@@ -528,7 +552,7 @@ mod tests {
                 );
             }
             s.put(b"key00000", &[(0, &u32::MAX.to_le_bytes()[..])]);
-            s.force_log();
+            assert!(s.force_log());
         }
         let (store, report) = recover(&dir, &dir).unwrap();
         assert!(report.used_checkpoint);
@@ -561,7 +585,7 @@ mod tests {
                 // Session A: one early put, then a clean close.
                 let a = store.session().unwrap();
                 a.put(b"early", &[(0, b"from-A")]);
-                a.force_log();
+                assert!(a.force_log());
             }
             // Session B logs on, well past A's close.
             let b = store.session().unwrap();
@@ -571,7 +595,7 @@ mod tests {
                     &[(0, &i.to_le_bytes()[..])],
                 );
             }
-            b.force_log();
+            assert!(b.force_log());
             // A checkpoint *begun after A closed* must stay usable.
             write_checkpoint(&store, &dir, 2).unwrap();
             for i in 2_000..2_500u32 {
@@ -580,7 +604,7 @@ mod tests {
                     &[(0, &i.to_le_bytes()[..])],
                 );
             }
-            b.force_log();
+            assert!(b.force_log());
         }
         let (store, report) = recover(&dir, &dir).unwrap();
         assert!(
@@ -614,9 +638,9 @@ mod tests {
             let a = store.session().unwrap();
             let b = store.session().unwrap();
             a.put(b"a-key", &[(0, b"1")]);
-            a.force_log();
+            assert!(a.force_log());
             b.put(b"b-key", &[(0, b"1")]);
-            b.force_log();
+            assert!(b.force_log());
             crashed_path = log_files(&dir)[0].clone();
         }
         // Simulate a crash of log A: truncate off its clean-close
@@ -646,19 +670,19 @@ mod tests {
             let store = Store::persistent(&dir).unwrap();
             let s = store.session().unwrap();
             s.put_single(b"k1", b"run1");
-            s.force_log();
+            assert!(s.force_log());
         }
         {
             let store = Store::persistent(&dir).unwrap();
             let s = store.session().unwrap();
             s.put_single(b"k2", b"run2");
-            s.force_log();
+            assert!(s.force_log());
         }
         let (store, _) = recover(&dir, &dir).unwrap();
         {
             let s = store.session().unwrap();
             s.put_single(b"k3", b"run3");
-            s.force_log();
+            assert!(s.force_log());
         }
         let logs = log_files(&dir);
         assert_eq!(logs.len(), 3, "one fresh log file per lifetime");
@@ -695,7 +719,7 @@ mod tests {
             let store = Store::persistent(&dir).unwrap();
             let s = store.session().unwrap();
             s.put_single(b"k", b"old");
-            s.force_log();
+            assert!(s.force_log());
         }
         let (store, _) = recover(&dir, &dir).unwrap();
         let s = store.session().unwrap();
@@ -732,7 +756,7 @@ mod tests {
                     &[(0, &i.to_le_bytes()[..])],
                 );
             }
-            s.force_log();
+            assert!(s.force_log());
         }
         assert!(
             session_segments(&dir).values().next().unwrap().len() >= 3,
@@ -761,7 +785,7 @@ mod tests {
             let store = Store::persistent(&dir).unwrap();
             let s = store.session().unwrap();
             s.put_single(b"old", b"1");
-            s.force_log();
+            assert!(s.force_log());
             // Crash: no sentinel, old log stays torn-looking.
             s.simulate_crash();
         }
@@ -772,7 +796,7 @@ mod tests {
         {
             let s = store.session().unwrap();
             s.put_single(b"new", b"2");
-            s.force_log();
+            assert!(s.force_log());
             s.simulate_crash();
         }
         drop(store);
@@ -801,8 +825,8 @@ mod tests {
                 a.put(format!("a{i:04}").as_bytes(), &[(0, &i.to_le_bytes()[..])]);
                 b.put(format!("b{i:04}").as_bytes(), &[(0, &i.to_le_bytes()[..])]);
             }
-            a.force_log();
-            b.force_log();
+            assert!(a.force_log());
+            assert!(b.force_log());
             // a crashes mid-air, b unforced tail beyond the crash point.
             a.simulate_crash();
             b.simulate_crash();

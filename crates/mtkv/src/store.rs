@@ -17,7 +17,7 @@
 //! uptime.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
@@ -122,6 +122,17 @@ pub struct Store {
     /// checkpoint before truncating, and exempt live sessions from the
     /// whole-chain truncation rule.
     log_handles: Mutex<Vec<(u64, crate::log::LogForceHandle)>>,
+    /// Set (permanently) when any session's logger dies without
+    /// completing its shutdown protocol — I/O error or simulated crash.
+    /// The dead session's torn chain stays on disk with a last durable
+    /// timestamp that may sit below any later checkpoint's `start_ts`,
+    /// so a future recovery cutoff could reject that checkpoint;
+    /// durability cycles therefore stop truncating log segments (the
+    /// logs remain the authoritative copy) until a recovery reseals the
+    /// directory. Shared with every logger via
+    /// `LogWriter::open_segmented_poisoned` because the writer can be
+    /// dropped before the next cycle would observe the crash.
+    log_poison: Arc<AtomicBool>,
 }
 
 impl Store {
@@ -177,6 +188,7 @@ impl Store {
             cycle_lock: Mutex::new(()),
             bg: Mutex::new(None),
             log_handles: Mutex::new(Vec::new()),
+            log_poison: Arc::default(),
         }
     }
 
@@ -280,19 +292,46 @@ impl Store {
         // so each durably holds a record stamped after `start_ts`. Any
         // future recovery cutoff is then ≥ start_ts, so the checkpoint
         // we are about to make the *only* copy of the covered records
-        // can never be rejected. (Dead handles are pruned as a side
-        // effect; cleanly closed logs are excluded from the cutoff and
-        // need no barrier.)
+        // can never be rejected. Cleanly closed logs are excluded from
+        // the cutoff and need no barrier (their handles are pruned as a
+        // side effect); a log whose durability the barrier could NOT
+        // confirm — dead on an I/O error, or a close whose final sync is
+        // still in flight — blocks truncation for this cycle, because a
+        // crash would leave its chain's last durable timestamp below
+        // `start_ts` and recovery would reject the checkpoint.
+        use crate::log::BarrierOutcome;
+        let mut barrier_confirmed = true;
         let live_sessions: Vec<u64> = {
             let mut handles = self.log_handles.lock();
-            handles.retain(|(_, h)| h.force_if_alive());
+            handles.retain(|(_, h)| match h.barrier_force() {
+                BarrierOutcome::Synced => true,
+                BarrierOutcome::Closed => false,
+                BarrierOutcome::Unconfirmed => {
+                    barrier_confirmed = false;
+                    true
+                }
+            });
             handles.iter().map(|&(id, _)| id).collect()
         };
-        let tr =
-            crate::log::truncate_covered_segments_excluding(&dir, meta.start_ts, &live_sessions)?;
-        self.truncated
-            .fetch_add(tr.segments_deleted, Ordering::Relaxed);
-        prune_checkpoints(&dir, self.config.keep_checkpoints.max(1))?;
+        // The poison flag covers crashes the barrier can no longer see
+        // (a logger that died and whose writer was already dropped): its
+        // torn chain pins future cutoffs, so truncation stays off until
+        // a recovery reseals the directory. Pruning stays off with it:
+        // records truncated in earlier *healthy* cycles now exist only
+        // in the checkpoints of that era, and an older checkpoint may be
+        // the only one whose `start_ts` a post-crash cutoff accepts
+        // (recovery falls back to the newest checkpoint at or before the
+        // cutoff) — deleting it would orphan those records.
+        if barrier_confirmed && !self.log_poison.load(Ordering::Acquire) {
+            let tr = crate::log::truncate_covered_segments_excluding(
+                &dir,
+                meta.start_ts,
+                &live_sessions,
+            )?;
+            self.truncated
+                .fetch_add(tr.segments_deleted, Ordering::Relaxed);
+            prune_checkpoints(&dir, self.config.keep_checkpoints.max(1))?;
+        }
         Ok(meta)
     }
 
@@ -338,7 +377,12 @@ impl Store {
             None => None,
             Some(dir) => {
                 let id = self.next_log_id.fetch_add(1, Ordering::Relaxed);
-                let log = LogWriter::open_segmented(dir, id, self.config.segment_bytes)?;
+                let log = LogWriter::open_segmented_poisoned(
+                    dir,
+                    id,
+                    self.config.segment_bytes,
+                    Arc::clone(&self.log_poison),
+                )?;
                 let mut handles = self.log_handles.lock();
                 // Opportunistic sweep: without it a store that never
                 // checkpoints would accumulate one dead handle per
@@ -708,9 +752,18 @@ impl Session {
     }
 
     /// Blocks until everything this session logged is durable.
-    pub fn force_log(&self) {
-        if let Some(log) = &self.log {
-            log.force();
+    ///
+    /// Returns `true` when the sync completed (trivially so for
+    /// in-memory sessions, which have nothing to flush). `false` means
+    /// the logger thread died — on an I/O error such as a full disk, or
+    /// a simulated crash — and the logged records may never reach
+    /// storage; callers acking durability (the network `Flush` handler)
+    /// must report the failure instead of swallowing it.
+    #[must_use = "false means the records were NOT made durable"]
+    pub fn force_log(&self) -> bool {
+        match &self.log {
+            Some(log) => log.force(),
+            None => true,
         }
     }
 

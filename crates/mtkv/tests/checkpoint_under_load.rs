@@ -99,10 +99,10 @@ fn checkpoint_under_concurrent_writers_recovers_version_ordered_state() {
                                 journal.push((key, v, Some(value)));
                             }
                             if i % 37 == 0 {
-                                session.force_log();
+                                assert!(session.force_log());
                             }
                         }
-                        session.force_log();
+                        assert!(session.force_log());
                         journal
                     })
                 })
@@ -176,7 +176,7 @@ fn truncation_bounds_recovery_replay() {
                 &[(0, &i.to_le_bytes()[..])],
             );
         }
-        s.force_log();
+        assert!(s.force_log());
         let segments_before = store.durability_stats().log_segments;
         assert!(
             segments_before >= 8,
@@ -199,7 +199,7 @@ fn truncation_bounds_recovery_replay() {
                 &[(0, &i.to_le_bytes()[..])],
             );
         }
-        s.force_log();
+        assert!(s.force_log());
         s.simulate_crash();
     }
     let (store, report) = recover(&dir, &dir).unwrap();
@@ -235,6 +235,78 @@ fn truncation_bounds_recovery_replay() {
 }
 
 #[test]
+fn logger_death_freezes_truncation_and_recovery_falls_back_to_older_checkpoint() {
+    // Regression for the poisoned-store data-loss chain: cycle 1
+    // (healthy) truncates segments covered by checkpoint C1 — those
+    // records now exist only in C1. A session's logger then dies,
+    // leaving a torn chain whose last durable timestamp sits below any
+    // later checkpoint's start_ts. Later cycles must neither truncate
+    // (the torn chain pins future cutoffs) nor prune C1 (an older
+    // checkpoint may be the only one a post-crash cutoff accepts), and
+    // recovery must fall back to the newest checkpoint at or before the
+    // cutoff instead of rejecting "the newest, period" and replaying
+    // logs that no longer reach back to the beginning.
+    const BULK: u32 = 1_500;
+    let dir = tmpdir("poisoned");
+    {
+        let store = Store::persistent_with(&dir, DurabilityConfig::tiny_segments(2048)).unwrap();
+        let a = store.session().unwrap();
+        for i in 0..BULK {
+            a.put(
+                format!("bulk{i:06}").as_bytes(),
+                &[(0, &i.to_le_bytes()[..])],
+            );
+        }
+        assert!(a.force_log());
+        store.checkpoint_now().unwrap(); // C1: healthy, truncates
+        let truncated_healthy = store.durability_stats().segments_truncated;
+        assert!(truncated_healthy >= 1, "cycle 1 truncated");
+
+        // Session B dies without its shutdown protocol: poison.
+        let b = store.session().unwrap();
+        b.put(b"bkey", &[(0, b"bval")]);
+        assert!(b.force_log());
+        b.simulate_crash();
+
+        // More writes and cycles: C2, C3 (keep_checkpoints = 2 would
+        // prune C1 if pruning kept running).
+        for i in 0..200u32 {
+            a.put(
+                format!("tail{i:04}").as_bytes(),
+                &[(0, &i.to_le_bytes()[..])],
+            );
+        }
+        assert!(a.force_log());
+        store.checkpoint_now().unwrap(); // C2
+        store.checkpoint_now().unwrap(); // C3
+        assert_eq!(
+            store.durability_stats().segments_truncated,
+            truncated_healthy,
+            "truncation frozen once poisoned"
+        );
+        a.simulate_crash();
+    }
+    let (store, report) = recover(&dir, &dir).unwrap();
+    // The cutoff is pinned by B's torn chain (< C2.start_ts), so only
+    // C1 qualifies — and it must still exist and be used.
+    assert!(
+        report.used_checkpoint,
+        "recovery must fall back to the older checkpoint: {report:?}"
+    );
+    assert_eq!(report.checkpoint_keys, BULK as u64, "{report:?}");
+    let s = store.session().unwrap();
+    for i in [0u32, BULK / 2, BULK - 1] {
+        assert_eq!(
+            s.get(format!("bulk{i:06}").as_bytes(), Some(&[0])).unwrap()[0],
+            i.to_le_bytes(),
+            "record truncated under C1 must come back from C1"
+        );
+    }
+    assert_eq!(s.get(b"bkey", Some(&[0])).unwrap()[0], b"bval");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn background_checkpointer_runs_and_bounds_log_growth() {
     // The paper's online mode: a background thread checkpoints on a
     // cadence; writers never wait on it; the log footprint stays bounded
@@ -247,12 +319,12 @@ fn background_checkpointer_runs_and_bounds_log_growth() {
         for i in 0..3_000u32 {
             s.put(format!("bg{i:06}").as_bytes(), &[(0, &i.to_le_bytes()[..])]);
             if i % 500 == 499 {
-                s.force_log();
+                assert!(s.force_log());
                 // Give the checkpointer a beat to land a cycle.
                 std::thread::sleep(Duration::from_millis(25));
             }
         }
-        s.force_log();
+        assert!(s.force_log());
         // Wait (bounded) for at least two background epochs.
         let mut waited = 0;
         while store.checkpoint_epoch() < 2 && waited < 200 {

@@ -174,8 +174,8 @@ fn run_round(dir: &Path, seed: u64) -> RoundOutcome {
                             }
                         }
                         if i % force_every == 0 {
-                            session.force_log(); // per-session force: realistic I/O,
-                                                 // but NOT an ack (see module docs)
+                            assert!(session.force_log()); // per-session force: realistic I/O,
+                                                          // but NOT an ack (see module docs)
                         }
                     }
                 });
@@ -188,7 +188,7 @@ fn run_round(dir: &Path, seed: u64) -> RoundOutcome {
         // Global ack barrier: every session forced after every op above
         // was issued. Only now do those ops count as acked.
         for s in sessions.iter().flatten() {
-            s.force_log();
+            assert!(s.force_log());
         }
         for j in journals.iter_mut() {
             j.1 = j.0.len();
@@ -362,7 +362,7 @@ fn run_one(round: u64) {
     {
         let s = store.session().unwrap();
         s.put(b"post-recovery", &[(0, b"alive")]);
-        s.force_log();
+        assert!(s.force_log());
         assert_eq!(s.get(b"post-recovery", Some(&[0])).unwrap()[0], b"alive");
         s.remove(b"post-recovery");
     }

@@ -27,7 +27,7 @@ fn build_store(dir: &Path, keys: u32) {
             &[(0, &i.to_le_bytes()[..])],
         );
     }
-    s.force_log();
+    assert!(s.force_log());
 }
 
 fn log_paths(dir: &Path) -> Vec<PathBuf> {
@@ -140,9 +140,9 @@ fn truncated_checkpoint_part_falls_back_to_logs() {
                 &[(0, &i.to_le_bytes()[..])],
             );
         }
-        s.force_log();
+        assert!(s.force_log());
         let _ = write_checkpoint(&store, &dir, 2).unwrap();
-        s.force_log();
+        assert!(s.force_log());
     }
     // Damage one part file's tail (lost page-cache data the manifest
     // rename survived — rare but possible without fsync barriers).
@@ -184,7 +184,7 @@ fn build_segmented_store(dir: &Path, keys: u32) {
             &[(0, &i.to_le_bytes()[..])],
         );
     }
-    s.force_log();
+    assert!(s.force_log());
     s.simulate_crash();
 }
 
@@ -280,9 +280,9 @@ fn crash_mid_truncation_partial_deletion_recovers() {
                 &[(0, &i.to_le_bytes()[..])],
             );
         }
-        s.force_log();
+        assert!(s.force_log());
         meta = write_checkpoint(&store, &dir, 2).unwrap();
-        s.force_log(); // durable record past start_ts in every live log
+        assert!(s.force_log()); // durable record past start_ts in every live log
         s.simulate_crash();
     }
     // Delete every *other* covered sealed segment — a truncation pass
@@ -367,7 +367,7 @@ fn empty_directory_recovers_to_empty_store() {
     // And the recovered store is usable + persistent.
     let s = store.session().unwrap();
     s.put(b"fresh", &[(0, b"start")]);
-    s.force_log();
+    assert!(s.force_log());
     assert_eq!(s.get(b"fresh", Some(&[0])).unwrap()[0], b"start");
     drop(s);
     let (store2, _) = recover(&dir, &dir).unwrap();

@@ -186,10 +186,15 @@ impl Client {
     /// Forces this connection's log, runs a full durability cycle on the
     /// server (checkpoint + log truncation + checkpoint pruning), and
     /// returns the stats afterwards.
+    ///
+    /// Errors if the server could not guarantee durability (its log
+    /// writer died on an I/O error, or the checkpoint cycle failed) —
+    /// a returned `StatsReply` really means the data is safe.
     pub fn flush(&mut self) -> std::io::Result<StatsReply> {
         self.queue(&Request::Flush);
         match self.execute_batch()?.pop() {
             Some(Response::Stats(s)) => Ok(s),
+            Some(Response::Err(msg)) => Err(std::io::Error::other(msg)),
             _ => Err(std::io::Error::other("unexpected response")),
         }
     }

@@ -48,6 +48,8 @@ pub enum Request {
     Stats,
     /// Force this connection's log, run a full durability cycle
     /// (checkpoint + truncate + prune), and report the stats afterwards.
+    /// Replies [`Response::Err`] instead when durability could not be
+    /// guaranteed (dead log, failed checkpoint).
     Flush,
 }
 
@@ -110,6 +112,11 @@ pub enum Response {
     Rows(Vec<(Vec<u8>, Vec<Vec<u8>>)>),
     /// Durability stats (reply to `Stats` and `Flush`).
     Stats(StatsReply),
+    /// Request failed server-side. Currently only `Flush` replies with
+    /// this — when the connection's log is dead (I/O error) or the
+    /// durability cycle failed — so a client never receives a stats
+    /// reply acknowledging durability that did not happen.
+    Err(String),
 }
 
 fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
@@ -255,6 +262,10 @@ impl Response {
                 out.push(0x85);
                 stats.encode(out);
             }
+            Response::Err(msg) => {
+                out.push(0x86);
+                put_bytes(out, msg.as_bytes());
+            }
         }
     }
 
@@ -299,6 +310,9 @@ impl Response {
                 Some(Response::Rows(rows))
             }
             0x85 => Some(Response::Stats(StatsReply::decode(p)?)),
+            0x86 => Some(Response::Err(
+                String::from_utf8_lossy(&get_bytes(p)?).into_owned(),
+            )),
             _ => None,
         }
     }
@@ -483,6 +497,8 @@ mod tests {
             segments_truncated: 9,
         }));
         roundtrip_resp(Response::Stats(StatsReply::default()));
+        roundtrip_resp(Response::Err("log dead: No space left on device".into()));
+        roundtrip_resp(Response::Err(String::new()));
     }
 
     #[test]

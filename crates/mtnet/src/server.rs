@@ -448,11 +448,18 @@ pub fn execute(session: &Session, req: Request) -> Response {
         Request::Flush => {
             // Make this connection's log durable, then run one full
             // durability cycle: checkpoint, truncate covered segments,
-            // prune old checkpoints. In-memory stores have nothing to
-            // flush — the error is deliberately swallowed so the request
-            // still answers with (all-zero) stats.
-            session.force_log();
-            let _ = session.store().checkpoint_now();
+            // prune old checkpoints. A flush reply acks durability, so
+            // any failure must surface as an error response — never as
+            // stats pretending the data is safe. In-memory stores have
+            // nothing to flush and answer with (all-zero) stats.
+            if !session.force_log() {
+                return Response::Err("flush failed: log writer is dead (I/O error)".into());
+            }
+            if session.store().log_dir().is_some() {
+                if let Err(e) = session.store().checkpoint_now() {
+                    return Response::Err(format!("flush failed: durability cycle: {e}"));
+                }
+            }
             Response::Stats(gather_stats(session))
         }
     }

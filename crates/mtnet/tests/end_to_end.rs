@@ -27,11 +27,14 @@ fn stats_and_flush_drive_durability_over_the_wire() {
                 .unwrap();
         }
         // The logger drains on a ~10ms cadence; poll (bounded) until the
-        // rotation is visible on disk rather than racing it.
+        // rotation is visible on disk rather than racing it. Poll for
+        // bytes too: rotation creates the (empty) successor file before
+        // flushing the sealed segment's buffered bytes, so there is an
+        // instant where two segment files total zero bytes.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         let s1 = loop {
             let s = c.stats().unwrap();
-            if s.log_segments >= 2 || std::time::Instant::now() > deadline {
+            if (s.log_segments >= 2 && s.log_bytes > 0) || std::time::Instant::now() > deadline {
                 break s;
             }
             std::thread::sleep(std::time::Duration::from_millis(5));

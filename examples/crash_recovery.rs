@@ -56,7 +56,7 @@ fn main() {
         }
         s0.remove(b"w1/key000000");
         for s in &sessions {
-            s.force_log();
+            assert!(s.force_log());
         }
         println!("5100 post-checkpoint updates + 1 remove logged");
         // "Crash": drop the store without writing another checkpoint.

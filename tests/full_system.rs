@@ -88,7 +88,7 @@ fn crash_recovery_equivalence_under_concurrency() {
             }
         });
         for s in &sessions {
-            s.force_log();
+            assert!(s.force_log());
         }
         for t in 0..4 {
             for i in 0..5_000u64 {
@@ -132,7 +132,7 @@ fn checkpoint_log_recovery_composition() {
         for i in 1_000..1_500u32 {
             s.remove(format!("k{i:05}").as_bytes());
         }
-        s.force_log();
+        assert!(s.force_log());
     }
     let (store, report) = recover(&dir, &dir).unwrap();
     assert!(report.used_checkpoint);
@@ -165,7 +165,7 @@ fn double_crash_recovery_is_stable() {
                 &[(0, &i.to_le_bytes()[..])],
             );
         }
-        s.force_log();
+        assert!(s.force_log());
     }
     {
         let (store, _) = recover(&dir, &dir).unwrap();
@@ -176,7 +176,7 @@ fn double_crash_recovery_is_stable() {
                 &[(0, &i.to_le_bytes()[..])],
             );
         }
-        s.force_log();
+        assert!(s.force_log());
     }
     let (store, _) = recover(&dir, &dir).unwrap();
     let s = store.session().unwrap();
