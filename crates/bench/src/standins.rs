@@ -267,7 +267,7 @@ impl ConnState for MemcachedConn {
             Request::Remove { .. } => Response::RemoveOk(false),
             // memcached has no range queries (§7: "N/A").
             Request::Scan { .. } => Response::Rows(vec![]),
-            Request::Stats | Request::Flush => Response::Stats(Default::default()),
+            Request::Stats | Request::Flush | Request::Sync => Response::Stats(Default::default()),
         }
     }
 }
@@ -334,7 +334,7 @@ impl ConnState for RedisConn {
             Request::Scan { .. } => Response::Rows(vec![]),
             // Stand-ins model data paths only; durability admin
             // requests answer with empty stats.
-            Request::Stats | Request::Flush => Response::Stats(Default::default()),
+            Request::Stats | Request::Flush | Request::Sync => Response::Stats(Default::default()),
         }
     }
 }
@@ -466,7 +466,7 @@ impl ConnState for TreeConn {
                 all.truncate(count as usize);
                 Response::Rows(all)
             }
-            Request::Stats | Request::Flush => Response::Stats(Default::default()),
+            Request::Stats | Request::Flush | Request::Sync => Response::Stats(Default::default()),
         }
     }
 }

@@ -42,6 +42,7 @@ use core::sync::atomic::Ordering;
 
 use crossbeam::epoch::Guard;
 
+use crate::hint::{HintResult, HintedGet, LeafHint};
 use crate::key::{keylen_rank, KeyCursor, KEYLEN_LAYER, KEYLEN_SUFFIX, KEYLEN_UNSTABLE};
 use crate::node::{BorderNode, BorderSearch, ExtractedLv, NodePtr, RootSlot};
 use crate::stats::Stats;
@@ -125,6 +126,9 @@ struct Cursor<'k, V> {
     slot: LayerSlot<V>,
     phase: Phase<V>,
     result: RawResult,
+    /// For get cursors: the leaf hint captured at the validated endpoint
+    /// (`hint.rs`), so hinted batch lookups can refresh their tables.
+    hint: Option<LeafHint<V>>,
 }
 
 impl<'k, V: Send + Sync + 'static> Cursor<'k, V> {
@@ -140,6 +144,7 @@ impl<'k, V: Send + Sync + 'static> Cursor<'k, V> {
             slot: LayerSlot::Tree,
             phase: Phase::EnterLayer,
             result: None,
+            hint: None,
         }
     }
 
@@ -346,8 +351,14 @@ impl<'k, V: Send + Sync + 'static> Cursor<'k, V> {
         let perm = bn.permutation();
         let rank = keylen_rank(self.k.keylen_code());
         let mut outcome = Outcome::NotFound;
+        // Slot/keylen of a Value outcome, for hint capture.
+        let mut found = (0usize, 0u8);
+        // See `get_capturing_hint`: suffix-mismatch absence is not
+        // fast-path-stable.
+        let mut absent_conclusive = true;
         if let BorderSearch::Found { slot, .. } = bn.search(perm, ikey, rank) {
             let (code, ex) = bn.extract_lv(slot);
+            found = (slot, code);
             outcome = match ex {
                 ExtractedLv::Unstable => Outcome::Unstable,
                 ExtractedLv::Layer(p) => Outcome::Layer(p),
@@ -365,6 +376,7 @@ impl<'k, V: Send + Sync + 'static> Cursor<'k, V> {
                             if sb == self.k.suffix() {
                                 Outcome::Value(p)
                             } else {
+                                absent_conclusive = false;
                                 Outcome::NotFound
                             }
                         }
@@ -409,10 +421,25 @@ impl<'k, V: Send + Sync + 'static> Cursor<'k, V> {
         match outcome {
             Outcome::NotFound => {
                 self.result = None;
+                self.hint = Some(LeafHint::capture_absent(
+                    bn,
+                    v,
+                    perm,
+                    self.k.offset(),
+                    absent_conclusive,
+                ));
                 Phase::Done
             }
             Outcome::Value(p) => {
                 self.result = Some(p);
+                self.hint = Some(LeafHint::capture(
+                    bn,
+                    v,
+                    perm,
+                    found.0,
+                    found.1,
+                    self.k.offset(),
+                ));
                 Phase::Done
             }
             Outcome::Layer(p) => {
@@ -642,6 +669,81 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                 // SAFETY: a validated value pointer for this key; epoch
                 // reclamation keeps it live for `'g`.
                 f(base + i, c.result.map(|p| unsafe { &*p.cast::<V>() }));
+            }
+        }
+    }
+
+    /// Hinted batch lookup: each key first tries its [`LeafHint`]
+    /// (validated with zero descent — see `hint.rs`); the misses run
+    /// through the interleaved batch traversal engine, capturing fresh
+    /// hints at their validated endpoints. `f(i, value, fate)` is called
+    /// once per key **in input order**; [`HintResult::Refreshed`]
+    /// carries the replacement hint the caller should remember for that
+    /// key.
+    ///
+    /// Results are identical to [`Masstree::multi_get_with`] under the
+    /// same guard — a validated hint is indistinguishable from a full
+    /// descent. Unlike `multi_get_with`, this path buffers results (two
+    /// small vectors per call) to preserve input-order emission while
+    /// hits and engine traversals complete at different times.
+    pub fn multi_get_hinted<'g, F>(
+        &self,
+        keys: &[&[u8]],
+        hints: &[Option<LeafHint<V>>],
+        guard: &'g Guard,
+        mut f: F,
+    ) where
+        F: FnMut(usize, Option<&'g V>, HintResult<V>),
+    {
+        assert_eq!(keys.len(), hints.len(), "one hint slot per key");
+        // Warm every hinted node before validating any of them, so the
+        // validations overlap each other's (rare) DRAM fetches.
+        for h in hints.iter().flatten() {
+            h.node().prefetch();
+        }
+        let mut results: Vec<Option<Option<&'g V>>> = vec![None; keys.len()];
+        let mut refreshed: Vec<Option<LeafHint<V>>> = vec![None; keys.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, (key, hint)) in keys.iter().zip(hints).enumerate() {
+            match hint {
+                Some(h) => match self.get_at_hint(key, h, guard) {
+                    HintedGet::Hit(v) => results[i] = Some(v),
+                    HintedGet::Stale => misses.push(i),
+                },
+                None => misses.push(i),
+            }
+        }
+        // The misses take the normal interleaved engine, one cursor per
+        // key, each capturing a fresh hint at its endpoint.
+        let mut noop = |_: usize, _: Option<&V>| unreachable!("get cursors take no values");
+        for chunk in misses.chunks(MAX_GROUP) {
+            let mut cursors: [Option<Cursor<'_, V>>; MAX_GROUP] = [const { None }; MAX_GROUP];
+            for (ci, &i) in chunk.iter().enumerate() {
+                cursors[ci] = Some(Cursor::new(i, Mode::Get, keys[i], self));
+            }
+            run_round_robin(chunk.len(), |ci| {
+                cursors[ci]
+                    .as_mut()
+                    .expect("chunk cursors are initialized")
+                    .step(self, &mut noop, guard)
+            });
+            self.stats
+                .batched_ops
+                .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            for (ci, &i) in chunk.iter().enumerate() {
+                let c = cursors[ci].as_ref().expect("chunk cursors are initialized");
+                // SAFETY: a validated value pointer for this key; epoch
+                // reclamation keeps it live for `'g`.
+                results[i] = Some(c.result.map(|p| unsafe { &*p.cast::<V>() }));
+                debug_assert!(c.hint.is_some(), "finished get cursors capture a hint");
+                refreshed[i] = c.hint;
+            }
+        }
+        for (i, (slot, fresh)) in results.into_iter().zip(refreshed).enumerate() {
+            let v = slot.expect("every key resolved");
+            match fresh {
+                Some(h) => f(i, v, HintResult::Refreshed(h)),
+                None => f(i, v, HintResult::Hit),
             }
         }
     }

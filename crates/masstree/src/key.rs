@@ -69,6 +69,16 @@ impl<'a> KeyCursor<'a> {
         KeyCursor { bytes, offset: 0 }
     }
 
+    /// Creates a cursor positioned at an arbitrary byte offset (must be a
+    /// multiple of [`SLICE_LEN`]). Used by hinted reads (`hint.rs`) to
+    /// resume at the trie layer a leaf hint was captured in; offsets at
+    /// or past the end of the key are legal (the slice is all padding).
+    #[inline]
+    pub fn with_offset(bytes: &'a [u8], offset: usize) -> Self {
+        debug_assert_eq!(offset % SLICE_LEN, 0, "offset must be layer-aligned");
+        KeyCursor { bytes, offset }
+    }
+
     /// The full key this cursor walks.
     #[inline]
     pub fn full_key(&self) -> &'a [u8] {

@@ -39,6 +39,7 @@
 //! ```
 
 pub mod batch;
+pub mod hint;
 pub mod key;
 pub mod permutation;
 pub mod prefetch;
@@ -56,6 +57,7 @@ mod scan_rev;
 mod slab;
 mod tree;
 
+pub use hint::{HintResult, HintedGet, LeafHint, NodeRef};
 pub use maintain::TreeReport;
 pub use scan::ScanScratch;
 pub use stats::{Stats, StatsSnapshot};

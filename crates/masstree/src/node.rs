@@ -28,10 +28,30 @@ use crate::prefetch::prefetch;
 use crate::suffix::KeySuffix;
 use crate::version::VersionCell;
 
-/// Common prefix of both node types: the version word.
+/// Common prefix of both node types: the version word and the slab
+/// reuse generation.
 #[repr(C)]
 pub struct NodeHeader {
     pub version: VersionCell,
+    /// Slab-reuse generation, read by hinted readers (`hint.rs`) to
+    /// detect that a remembered node was freed and its memory recycled.
+    /// Bumped (release) in [`NodePtr::free`] just before the memory goes
+    /// back to the slab free lists; **preserved** across reallocation
+    /// (node reinit never touches it), so a hint captured before a free
+    /// can never validate against whatever node the memory becomes next.
+    pub generation: AtomicU64,
+}
+
+impl NodeHeader {
+    /// Acquire-loads the reuse generation. The acquire pairs with the
+    /// release stores of node reinitialization: a hinted reader that
+    /// observes any post-reuse field value is guaranteed to observe the
+    /// generation bump too (the bump happens-before the reinit via the
+    /// slab free-list hand-off).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
 }
 
 /// A border (leaf) node: keys, values, suffixes and layer links, plus the
@@ -110,25 +130,61 @@ fn atomic_u8_array<const N: usize>() -> [AtomicU8; N] {
 impl<V> BorderNode<V> {
     /// Allocates an empty border node from the slab (`slab.rs`).
     pub fn alloc(is_root: bool, locked: bool, lowkey: u64) -> *mut BorderNode<V> {
-        let p = crate::slab::alloc_node(Layout::new::<BorderNode<V>>()).cast::<BorderNode<V>>();
-        // SAFETY: fresh slab memory sized and aligned for `BorderNode<V>`.
-        unsafe {
-            p.write(BorderNode {
-                header: NodeHeader {
-                    version: VersionCell::new(true, is_root, locked),
-                },
-                freed_mask: AtomicU16::new(0),
-                keylen: atomic_u8_array(),
-                permutation: AtomicU64::new(Permutation::empty().raw()),
-                keyslice: atomic_u64_array(),
-                lv: atomic_ptr_array(),
-                suffix: atomic_ptr_array(),
-                next: AtomicPtr::new(ptr::null_mut()),
-                prev: AtomicPtr::new(ptr::null_mut()),
-                parent: AtomicPtr::new(ptr::null_mut()),
-                lowkey: AtomicU64::new(lowkey),
-                _marker: PhantomData,
-            });
+        let (raw, fresh) = crate::slab::alloc_node(Layout::new::<BorderNode<V>>());
+        let p = raw.cast::<BorderNode<V>>();
+        if fresh {
+            // SAFETY: fresh slab memory sized and aligned for
+            // `BorderNode<V>`, never published — nothing can race the
+            // plain write.
+            unsafe {
+                p.write(BorderNode {
+                    header: NodeHeader {
+                        version: VersionCell::new(true, is_root, locked),
+                        generation: AtomicU64::new(0),
+                    },
+                    freed_mask: AtomicU16::new(0),
+                    keylen: atomic_u8_array(),
+                    permutation: AtomicU64::new(Permutation::empty().raw()),
+                    keyslice: atomic_u64_array(),
+                    lv: atomic_ptr_array(),
+                    suffix: atomic_ptr_array(),
+                    next: AtomicPtr::new(ptr::null_mut()),
+                    prev: AtomicPtr::new(ptr::null_mut()),
+                    parent: AtomicPtr::new(ptr::null_mut()),
+                    lowkey: AtomicU64::new(lowkey),
+                    _marker: PhantomData,
+                });
+            }
+        } else {
+            // Recycled node memory. A stale leaf hint (`hint.rs`) may
+            // still be concurrently *reading* these bytes — slab memory
+            // is type-stable and every field is an atomic, so shared
+            // reads are fine, but the reinitialization must therefore
+            // use atomic stores (a plain `p.write` would be a data
+            // race). Release ordering pairs with hinted readers' acquire
+            // loads: observing any reinit value implies observing the
+            // generation bump done when this memory was freed, so the
+            // stale hint bails. The generation itself is preserved.
+            //
+            // SAFETY: recycled slab memory of this size class holds a
+            // fully initialized node (every field an integer-like atomic
+            // valid for any bit pattern), so forming a shared reference
+            // is sound.
+            let n = unsafe { &*p };
+            n.header.version.reinit(true, is_root, locked);
+            n.freed_mask.store(0, Ordering::Release);
+            for i in 0..WIDTH {
+                n.keylen[i].store(0, Ordering::Release);
+                n.keyslice[i].store(0, Ordering::Release);
+                n.lv[i].store(ptr::null_mut(), Ordering::Release);
+                n.suffix[i].store(ptr::null_mut(), Ordering::Release);
+            }
+            n.permutation
+                .store(Permutation::empty().raw(), Ordering::Release);
+            n.next.store(ptr::null_mut(), Ordering::Release);
+            n.prev.store(ptr::null_mut(), Ordering::Release);
+            n.parent.store(ptr::null_mut(), Ordering::Release);
+            n.lowkey.store(lowkey, Ordering::Release);
         }
         p
     }
@@ -138,12 +194,17 @@ impl<V> BorderNode<V> {
     /// like its source, but is never a root.
     pub fn alloc_for_split(src: &VersionCell, lowkey: u64) -> *mut BorderNode<V> {
         let p = Self::alloc(false, false, lowkey);
-        // SAFETY: freshly allocated, private to this thread.
-        unsafe {
-            (*p).header.version = src.clone_for_split();
-            (*p).header.version.set_root(false);
-        }
+        // Atomic store (not a struct overwrite): the memory may be
+        // recycled and watched by a stale hinted reader.
+        // SAFETY: just allocated, valid node.
+        unsafe { (*p).header.version.reinit_for_split(src) };
         p
+    }
+
+    /// This node's slab-reuse generation (see [`NodeHeader::generation`]).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.header.generation()
     }
 
     #[inline]
@@ -255,19 +316,39 @@ impl<V> InteriorNode<V> {
     /// Allocates an interior node with no keys and no children from the
     /// slab (`slab.rs`).
     pub fn alloc(is_root: bool, locked: bool) -> *mut InteriorNode<V> {
-        let p = crate::slab::alloc_node(Layout::new::<InteriorNode<V>>()).cast::<InteriorNode<V>>();
-        // SAFETY: fresh slab memory sized and aligned for `InteriorNode<V>`.
-        unsafe {
-            p.write(InteriorNode {
-                header: NodeHeader {
-                    version: VersionCell::new(false, is_root, locked),
-                },
-                nkeys: AtomicU8::new(0),
-                keyslice: atomic_u64_array(),
-                child: atomic_ptr_array(),
-                parent: AtomicPtr::new(ptr::null_mut()),
-                _marker: PhantomData,
-            });
+        let (raw, fresh) = crate::slab::alloc_node(Layout::new::<InteriorNode<V>>());
+        let p = raw.cast::<InteriorNode<V>>();
+        if fresh {
+            // SAFETY: fresh slab memory sized and aligned for
+            // `InteriorNode<V>`, never published.
+            unsafe {
+                p.write(InteriorNode {
+                    header: NodeHeader {
+                        version: VersionCell::new(false, is_root, locked),
+                        generation: AtomicU64::new(0),
+                    },
+                    nkeys: AtomicU8::new(0),
+                    keyslice: atomic_u64_array(),
+                    child: atomic_ptr_array(),
+                    parent: AtomicPtr::new(ptr::null_mut()),
+                    _marker: PhantomData,
+                });
+            }
+        } else {
+            // Recycled memory: atomic reinit, generation preserved — see
+            // the matching branch in `BorderNode::alloc` for the full
+            // safety argument.
+            // SAFETY: as in `BorderNode::alloc`.
+            let n = unsafe { &*p };
+            n.header.version.reinit(false, is_root, locked);
+            n.nkeys.store(0, Ordering::Release);
+            for i in 0..WIDTH {
+                n.keyslice[i].store(0, Ordering::Release);
+            }
+            for c in &n.child {
+                c.store(ptr::null_mut(), Ordering::Release);
+            }
+            n.parent.store(ptr::null_mut(), Ordering::Release);
         }
         p
     }
@@ -276,11 +357,10 @@ impl<V> InteriorNode<V> {
     /// splitting like its source, never a root).
     pub fn alloc_for_split(src: &VersionCell) -> *mut InteriorNode<V> {
         let p = Self::alloc(false, false);
-        // SAFETY: freshly allocated, private to this thread.
-        unsafe {
-            (*p).header.version = src.clone_for_split();
-            (*p).header.version.set_root(false);
-        }
+        // Atomic store (not a struct overwrite): the memory may be
+        // recycled and watched by a stale hinted reader.
+        // SAFETY: just allocated, valid node.
+        unsafe { (*p).header.version.reinit_for_split(src) };
         p
     }
 
@@ -484,6 +564,11 @@ impl<V> NodePtr<V> {
         // (atomics and PhantomData only), so returning the raw memory is
         // the whole destruction.
         unsafe {
+            // Invalidate stale leaf hints before the memory can be
+            // recycled: hinted readers (`hint.rs`) compare this
+            // generation against their snapshot and bail on mismatch.
+            // Release pairs with their acquire loads.
+            (*self.0).generation.fetch_add(1, Ordering::Release);
             if self.is_border() {
                 crate::slab::free_node(self.0.cast::<u8>(), Layout::new::<BorderNode<V>>());
             } else {

@@ -98,37 +98,46 @@ fn carve(class: usize, spare: &mut Vec<usize>) -> usize {
 
 /// Slow path used when thread-local storage is unavailable (a deferred
 /// destructor running during thread teardown): go straight to the
-/// global pool.
-fn alloc_global(class: usize) -> usize {
+/// global pool. The second element reports whether the memory is fresh
+/// (see [`alloc_node`]).
+fn alloc_global(class: usize) -> (usize, bool) {
     let mut pool = GLOBAL[class].lock().unwrap();
     match pool.pop() {
-        Some(p) => p,
+        Some(p) => (p, false),
         None => {
             let mut spare = Vec::new();
             let p = carve(class, &mut spare);
             pool.append(&mut spare);
-            p
+            (p, true)
         }
     }
 }
 
-/// Allocates node memory for `layout` (uninitialized). Layouts outside
-/// the class range fall back to the system allocator.
-pub(crate) fn alloc_node(layout: Layout) -> *mut u8 {
+/// Allocates node memory for `layout`. Layouts outside the class range
+/// fall back to the system allocator.
+///
+/// Returns the pointer and whether the memory is **fresh** (just carved
+/// from the system allocator, never a node before) or **recycled** (a
+/// previously freed node of the same size class). The distinction
+/// matters to hinted readers (`hint.rs`): recycled memory may still be
+/// concurrently *read* through a stale [`crate::hint::NodeRef`], so its
+/// reinitialization must use atomic stores, while fresh memory has never
+/// been published and can be written plainly.
+pub(crate) fn alloc_node(layout: Layout) -> (*mut u8, bool) {
     let Some(class) = class_of(layout) else {
         // SAFETY: non-zero size guaranteed by the node types.
         let p = unsafe { alloc(layout) };
         if p.is_null() {
             handle_alloc_error(layout);
         }
-        return p;
+        return (p, true);
     };
-    LOCAL
+    let (addr, fresh) = LOCAL
         .try_with(|l| {
             let mut lists = l.borrow_mut();
             let list = &mut lists.0[class];
             if let Some(p) = list.pop() {
-                return p;
+                return (p, false);
             }
             // Refill from the global pool before carving fresh memory.
             {
@@ -140,11 +149,12 @@ pub(crate) fn alloc_node(layout: Layout) -> *mut u8 {
                 }
             }
             match list.pop() {
-                Some(p) => p,
-                None => carve(class, list),
+                Some(p) => (p, false),
+                None => (carve(class, list), true),
             }
         })
-        .unwrap_or_else(|_| alloc_global(class)) as *mut u8
+        .unwrap_or_else(|_| alloc_global(class));
+    (addr as *mut u8, fresh)
 }
 
 /// Returns node memory to the slab. `layout` must be the layout passed
@@ -188,11 +198,12 @@ mod tests {
     #[test]
     fn same_class_reuses_memory() {
         let layout = Layout::from_size_align(3 * LINE, LINE).unwrap();
-        let a = alloc_node(layout);
+        let (a, _) = alloc_node(layout);
         // SAFETY: freeing what we just allocated.
         unsafe { free_node(a, layout) };
-        let b = alloc_node(layout);
+        let (b, fresh) = alloc_node(layout);
         assert_eq!(a, b, "LIFO free list hands the node straight back");
+        assert!(!fresh, "recycled memory is reported as such");
         // SAFETY: freeing the live allocation once.
         unsafe { free_node(b, layout) };
     }
@@ -201,8 +212,8 @@ mod tests {
     fn classes_are_line_aligned_and_disjoint() {
         let small = Layout::from_size_align(LINE, LINE).unwrap();
         let big = Layout::from_size_align(9 * LINE, LINE).unwrap();
-        let a = alloc_node(small);
-        let b = alloc_node(big);
+        let (a, _) = alloc_node(small);
+        let (b, _) = alloc_node(big);
         assert_eq!(a as usize % LINE, 0);
         assert_eq!(b as usize % LINE, 0);
         assert_ne!(a, b);
@@ -217,8 +228,9 @@ mod tests {
     fn oversized_layout_falls_back() {
         let huge = Layout::from_size_align(64 * 1024, LINE).unwrap();
         assert!(class_of(huge).is_none());
-        let p = alloc_node(huge);
+        let (p, fresh) = alloc_node(huge);
         assert!(!p.is_null());
+        assert!(fresh, "fallback allocations are always fresh");
         // SAFETY: freeing the fallback allocation once.
         unsafe { free_node(p, huge) };
     }
@@ -230,7 +242,7 @@ mod tests {
         // the global pool, then verify this thread can drain them.
         let handle = std::thread::spawn(move || {
             let ptrs: Vec<usize> = (0..CHUNK_NODES)
-                .map(|_| alloc_node(layout) as usize)
+                .map(|_| alloc_node(layout).0 as usize)
                 .collect();
             for p in &ptrs {
                 // SAFETY: freeing each worker allocation once.
@@ -242,7 +254,7 @@ mod tests {
         let mut recycled = 0;
         let mut got = Vec::new();
         for _ in 0..CHUNK_NODES * 4 {
-            let p = alloc_node(layout);
+            let (p, _) = alloc_node(layout);
             if freed.contains(&(p as usize)) {
                 recycled += 1;
             }

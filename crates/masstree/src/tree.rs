@@ -6,6 +6,7 @@ use core::sync::atomic::{AtomicPtr, Ordering};
 
 use crossbeam::epoch::Guard;
 
+use crate::hint::LeafHint;
 use crate::key::{keylen_rank, KeyCursor, KEYLEN_SUFFIX};
 use crate::node::{BorderNode, BorderSearch, ExtractedLv, InteriorNode, NodeHeader, NodePtr};
 use crate::stats::Stats;
@@ -221,6 +222,19 @@ impl<V: Send + Sync + 'static> Masstree<V> {
     /// Looks up `key`, returning a reference valid for the guard's
     /// lifetime (Figure 7).
     pub fn get<'g>(&self, key: &[u8], guard: &'g Guard) -> Option<&'g V> {
+        self.get_capturing_hint(key, guard).0
+    }
+
+    /// Figure 7's `get`, additionally capturing a [`LeafHint`] at the
+    /// validated endpoint: the border node the lookup ended in, the
+    /// version that validated the read, and the trie-layer offset. Later
+    /// lookups of the same key can start there via
+    /// [`Masstree::get_at_hint`] and skip the descent entirely.
+    pub fn get_capturing_hint<'g>(
+        &self,
+        key: &[u8],
+        guard: &'g Guard,
+    ) -> (Option<&'g V>, LeafHint<V>) {
         'restart: loop {
             let mut k = KeyCursor::new(key);
             let mut root = self.load_root();
@@ -241,8 +255,15 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                     let perm = n.permutation();
                     let rank = keylen_rank(k.keylen_code());
                     let mut outcome = GetOutcome::NotFound;
+                    // Slot/keylen of a Value outcome, for hint capture.
+                    let mut found = (0usize, 0u8);
+                    // Absence concluded from a suffix mismatch is not
+                    // stable under an unchanged permutation (layer
+                    // conversion); the capture must record that.
+                    let mut absent_conclusive = true;
                     if let BorderSearch::Found { slot, .. } = n.search(perm, ikey, rank) {
                         let (code, ex) = n.extract_lv(slot);
+                        found = (slot, code);
                         outcome = match ex {
                             ExtractedLv::Unstable => GetOutcome::Unstable,
                             ExtractedLv::Layer(p) => GetOutcome::Layer(p),
@@ -261,6 +282,7 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                                         if sb == k.suffix() {
                                             GetOutcome::Value(p)
                                         } else {
+                                            absent_conclusive = false;
                                             GetOutcome::NotFound
                                         }
                                     }
@@ -301,10 +323,20 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                         continue 'forward;
                     }
                     match outcome {
-                        GetOutcome::NotFound => return None,
+                        GetOutcome::NotFound => {
+                            return (
+                                None,
+                                LeafHint::capture_absent(n, v, perm, k.offset(), absent_conclusive),
+                            );
+                        }
                         // SAFETY: a validated value pointer for this key;
                         // epoch reclamation keeps it live for `'g`.
-                        GetOutcome::Value(p) => return Some(unsafe { &*p.cast::<V>() }),
+                        GetOutcome::Value(p) => {
+                            return (
+                                Some(unsafe { &*p.cast::<V>() }),
+                                LeafHint::capture(n, v, perm, found.0, found.1, k.offset()),
+                            );
+                        }
                         GetOutcome::Layer(p) => {
                             root = NodePtr::from_raw(p);
                             k.advance();

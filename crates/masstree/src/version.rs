@@ -107,9 +107,9 @@ impl Version {
 pub struct VersionCell(AtomicU32);
 
 impl VersionCell {
-    /// Creates a version word for a fresh node.
+    /// The initial version bits for a node with the given shape.
     #[inline]
-    pub fn new(is_border: bool, is_root: bool, locked: bool) -> Self {
+    pub fn initial_bits(is_border: bool, is_root: bool, locked: bool) -> u32 {
         let mut bits = 0;
         if is_border {
             bits |= ISBORDER;
@@ -120,7 +120,40 @@ impl VersionCell {
         if locked {
             bits |= LOCKED;
         }
-        VersionCell(AtomicU32::new(bits))
+        bits
+    }
+
+    /// Creates a version word for a fresh node.
+    #[inline]
+    pub fn new(is_border: bool, is_root: bool, locked: bool) -> Self {
+        VersionCell(AtomicU32::new(Self::initial_bits(
+            is_border, is_root, locked,
+        )))
+    }
+
+    /// Reinitializes a **recycled** node's version word with an atomic
+    /// release store. Recycled slab memory may still be read through a
+    /// stale leaf hint (`hint.rs`); the release ordering pairs with the
+    /// hinted reader's acquire loads so that any reader observing this
+    /// (or any later) value also observes the generation bump performed
+    /// when the memory was freed, and bails out.
+    #[inline]
+    pub fn reinit(&self, is_border: bool, is_root: bool, locked: bool) {
+        self.0.store(
+            Self::initial_bits(is_border, is_root, locked),
+            Ordering::Release,
+        );
+    }
+
+    /// The split analogue of [`VersionCell::reinit`]: atomically adopts
+    /// the splitting source's version (Figure 5's `n'.version ←
+    /// n.version`), minus ISROOT (a split's new sibling is never a
+    /// root). Used on recycled memory where a plain struct overwrite
+    /// would race stale hinted readers.
+    #[inline]
+    pub fn reinit_for_split(&self, src: &VersionCell) {
+        let bits = src.0.load(Ordering::Relaxed) & !ISROOT;
+        self.0.store(bits, Ordering::Release);
     }
 
     /// Raw load with the given ordering.

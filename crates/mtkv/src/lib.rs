@@ -31,6 +31,7 @@ pub use log::{
     read_log, segment_path, truncate_covered_segments, CrashPoint, LogRecord, LogWriter,
     TruncateReport,
 };
+pub use mtcache::{CacheConfig, CacheStats};
 pub use recovery::{
     log_files, parse_log_name, recover, recover_with, session_segments, RecoveryReport,
 };

@@ -21,7 +21,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
-use masstree::Masstree;
+use masstree::hint::{HintResult, HintedGet};
+use masstree::{LeafHint, Masstree};
+use mtcache::{CacheConfig, CacheStats, CacheStatsShared, HintCache, Lookup};
 use parking_lot::{Condvar, Mutex};
 
 use crate::checkpoint::{prune_checkpoints, write_checkpoint, CheckpointMeta};
@@ -133,6 +135,12 @@ pub struct Store {
     /// `LogWriter::open_segmented_poisoned` because the writer can be
     /// dropped before the next cycle would observe the crash.
     log_poison: Arc<AtomicBool>,
+    /// Hot-path cache tier (`mtcache`): when set, every new [`Session`]
+    /// gets its own per-worker leaf-hint cache with this tuning.
+    session_cache: Mutex<Option<CacheConfig>>,
+    /// Store-wide aggregation sink for the per-session cache counters
+    /// (served through the network `Stats` request).
+    cache_shared: Arc<CacheStatsShared>,
 }
 
 impl Store {
@@ -189,6 +197,8 @@ impl Store {
             bg: Mutex::new(None),
             log_handles: Mutex::new(Vec::new()),
             log_poison: Arc::default(),
+            session_cache: Mutex::new(None),
+            cache_shared: Arc::default(),
         }
     }
 
@@ -303,14 +313,41 @@ impl Store {
         let mut barrier_confirmed = true;
         let live_sessions: Vec<u64> = {
             let mut handles = self.log_handles.lock();
-            handles.retain(|(_, h)| match h.barrier_force() {
-                BarrierOutcome::Synced => true,
-                BarrierOutcome::Closed => false,
-                BarrierOutcome::Unconfirmed => {
-                    barrier_confirmed = false;
-                    true
-                }
-            });
+            // The per-session forces are independent syncs on different
+            // files, so issue them **concurrently**: the barrier then
+            // costs the slowest single sync instead of the sum over all
+            // sessions (which used to serialize one force per session
+            // per cycle). The fan-out is bounded: the server holds one
+            // log per connection, so an unbounded spawn would burst one
+            // OS thread (and one in-flight fsync) per client every
+            // cycle. Scoped threads borrow the handles in place; a
+            // panicked force counts as Unconfirmed, which blocks
+            // truncation — the safe direction.
+            const BARRIER_FANOUT: usize = 16;
+            let mut outcomes: Vec<BarrierOutcome> = Vec::with_capacity(handles.len());
+            for chunk in handles.chunks(BARRIER_FANOUT) {
+                outcomes.extend(std::thread::scope(|s| {
+                    let joins: Vec<_> = chunk
+                        .iter()
+                        .map(|(_, h)| s.spawn(move || h.barrier_force()))
+                        .collect();
+                    joins
+                        .into_iter()
+                        .map(|j| j.join().unwrap_or(BarrierOutcome::Unconfirmed))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            let mut outcomes = outcomes.into_iter();
+            handles.retain(
+                |_| match outcomes.next().expect("one barrier outcome per handle") {
+                    BarrierOutcome::Synced => true,
+                    BarrierOutcome::Closed => false,
+                    BarrierOutcome::Unconfirmed => {
+                        barrier_confirmed = false;
+                        true
+                    }
+                },
+            );
             handles.iter().map(|&(id, _)| id).collect()
         };
         // The poison flag covers crashes the barrier can no longer see
@@ -370,6 +407,22 @@ impl Store {
         self.log_dir.as_deref()
     }
 
+    /// Enables (or disables, with `None`) the hot-path cache tier for
+    /// **future** sessions: each one gets its own per-worker leaf-hint
+    /// cache (`mtcache`) consulted by `get`/`get_with`/`multi_get*` and
+    /// maintained by `put`/`remove`. Existing sessions are unaffected;
+    /// the network server creates one session per connection, so setting
+    /// this before `Server::start` gives every connection a cache.
+    pub fn set_session_cache(&self, config: Option<CacheConfig>) {
+        *self.session_cache.lock() = config;
+    }
+
+    /// Aggregated cache counters across every session that has flushed
+    /// (sessions flush in batches and on drop).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache_shared.snapshot()
+    }
+
     /// Registers a worker, creating its segmented log chain if the store
     /// is persistent.
     pub fn session(self: &Arc<Store>) -> std::io::Result<Session> {
@@ -392,10 +445,15 @@ impl Store {
                 Some(log)
             }
         };
-        Ok(Session {
+        let mut session = Session {
             store: Arc::clone(self),
             log,
-        })
+            cache: None,
+        };
+        if let Some(cfg) = self.session_cache.lock().clone() {
+            session.enable_cache(cfg);
+        }
+        Ok(session)
     }
 
     /// Direct tree access (benchmarks, checkpointer).
@@ -498,15 +556,75 @@ pub fn split_batch_runs<T>(
     out
 }
 
-/// A per-worker handle: operations + this worker's log.
+/// A session's hint-cache state: the table plus a lock-free mirror of
+/// its adaptive-bypass recommendation, so reuse-free workloads pay one
+/// relaxed counter bump instead of a lock + probe per get.
+struct SessionCache {
+    /// Mirror of [`HintCache::bypass_recommended`], refreshed after
+    /// every locked cache interaction.
+    bypass: AtomicBool,
+    /// Sampling counter while bypassed: every 64th operation still goes
+    /// through the table so a workload that turns skewed is noticed.
+    probe_tick: AtomicU64,
+    /// The table itself. The mutex exists only to keep `Session: Sync`;
+    /// a session is a per-worker handle, so the lock is uncontended on
+    /// the hot path. It is never held while user callbacks run.
+    table: Mutex<HintCache<ColValue>>,
+}
+
+impl SessionCache {
+    /// True when this operation should skip the cache entirely (bypass
+    /// engaged and this is not one of the 1-in-64 samples).
+    #[inline]
+    fn skip_this_op(&self) -> bool {
+        self.bypass.load(Ordering::Relaxed)
+            && self.probe_tick.fetch_add(1, Ordering::Relaxed) & 63 != 0
+    }
+
+    #[inline]
+    fn sync_bypass(&self, table: &HintCache<ColValue>) {
+        self.bypass
+            .store(table.bypass_recommended(), Ordering::Relaxed);
+    }
+}
+
+/// A per-worker handle: operations + this worker's log + (optionally)
+/// this worker's hot-path hint cache.
 pub struct Session {
     store: Arc<Store>,
     log: Option<LogWriter>,
+    /// Per-worker leaf-hint cache (`mtcache`).
+    cache: Option<SessionCache>,
 }
 
 impl Session {
     pub fn store(&self) -> &Arc<Store> {
         &self.store
+    }
+
+    /// Attaches a per-worker hint cache to this session: point lookups
+    /// (`get`/`get_with`/`multi_get*`) consult it, fall back to a full
+    /// descent on validation failure, and refresh it with the descent's
+    /// endpoint. See `mtcache` for why hinted reads can never be stale.
+    pub fn enable_cache(&mut self, config: CacheConfig) {
+        self.cache = Some(SessionCache {
+            bypass: AtomicBool::new(false),
+            probe_tick: AtomicU64::new(0),
+            table: Mutex::new(HintCache::with_shared(
+                &config,
+                Arc::clone(&self.store.cache_shared),
+            )),
+        });
+    }
+
+    /// This session's local cache counters (`None` when no cache is
+    /// attached). Flushes to the store-wide sink as a side effect.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|sc| {
+            let mut c = sc.table.lock();
+            c.flush_stats();
+            c.stats()
+        })
     }
 
     /// `get_c(k)`: reads the requested columns (all if `cols` is `None`).
@@ -539,7 +657,43 @@ impl Session {
     /// allocations** (see `tests/alloc_count.rs`).
     pub fn get_with<R>(&self, key: &[u8], f: impl FnOnce(Option<&ColValue>) -> R) -> R {
         let guard = masstree::pin();
-        f(self.store.tree.get(key, &guard))
+        let Some(sc) = &self.cache else {
+            return f(self.store.tree.get(key, &guard));
+        };
+        if sc.skip_this_op() {
+            return f(self.store.tree.get(key, &guard));
+        }
+        // Hot-path cache tier: try the remembered border node first —
+        // a validated hint serves the value with zero descent; any
+        // validation failure falls back to the normal descent and
+        // refreshes the hint. The cache lock is released before `f`
+        // runs (callbacks may re-enter the session).
+        let mut c = sc.table.lock();
+        let hit = match c.lookup(key) {
+            Lookup::Hit(hint) => match self.store.tree.get_at_hint(key, &hint, &guard) {
+                HintedGet::Hit(v) => {
+                    c.note_hit();
+                    v
+                }
+                HintedGet::Stale => {
+                    c.note_stale();
+                    let (v, fresh) = self.store.tree.get_capturing_hint(key, &guard);
+                    c.record(key, fresh);
+                    v
+                }
+            },
+            // Admitted keys capture a hint on the way down; cold keys
+            // take the plain descent untaxed.
+            Lookup::Miss { admit: true } => {
+                let (v, fresh) = self.store.tree.get_capturing_hint(key, &guard);
+                c.record(key, fresh);
+                v
+            }
+            Lookup::Miss { admit: false } => self.store.tree.get(key, &guard),
+        };
+        sc.sync_bypass(&c);
+        drop(c);
+        f(hit)
     }
 
     /// `put_c(k, v)`: atomically updates the given columns, copying the
@@ -625,12 +779,63 @@ impl Session {
     /// Each borrowed value is valid only for its `f` call (the guard is
     /// released when `multi_get_with` returns; copy out anything that
     /// must outlive it).
-    pub fn multi_get_with<F>(&self, keys: &[&[u8]], f: F)
+    pub fn multi_get_with<F>(&self, keys: &[&[u8]], mut f: F)
     where
         F: FnMut(usize, Option<&ColValue>),
     {
         let guard = masstree::pin();
-        self.store.tree.multi_get_with(keys, &guard, f);
+        let Some(sc) = &self.cache else {
+            self.store.tree.multi_get_with(keys, &guard, f);
+            return;
+        };
+        if sc.skip_this_op() {
+            self.store.tree.multi_get_with(keys, &guard, f);
+            return;
+        }
+        // Hinted batch: keys with valid hints complete with zero
+        // descent; the misses run through the interleaved traversal
+        // engine and refresh their hints. Results are buffered (borrowed
+        // under the guard) so `f` runs in input order *after* the cache
+        // lock is released. This buffering allocates a few small vectors
+        // per batch — a deliberate trade: the borrowed results cannot
+        // outlive this call's guard, so they cannot live in a reusable
+        // scratch. The zero-allocation guarantee (tests/alloc_count.rs)
+        // belongs to the *uncached* path below, which is untouched.
+        let mut c = sc.table.lock();
+        let mut admits = vec![false; keys.len()];
+        let hints: Vec<Option<LeafHint<ColValue>>> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| match c.lookup(k) {
+                Lookup::Hit(h) => Some(h),
+                Lookup::Miss { admit } => {
+                    admits[i] = admit;
+                    None
+                }
+            })
+            .collect();
+        let mut out: Vec<Option<&ColValue>> = Vec::with_capacity(keys.len());
+        self.store
+            .tree
+            .multi_get_hinted(keys, &hints, &guard, |i, v, fate| {
+                match fate {
+                    HintResult::Hit => c.note_hit(),
+                    HintResult::Refreshed(h) => {
+                        if hints[i].is_some() {
+                            c.note_stale();
+                            c.record(keys[i], h);
+                        } else if admits[i] {
+                            c.record(keys[i], h);
+                        }
+                    }
+                }
+                out.push(v);
+            });
+        sc.sync_bypass(&c);
+        drop(c);
+        for (i, v) in out.into_iter().enumerate() {
+            f(i, v);
+        }
     }
 
     /// Batched `put_c`: applies every `(key, column updates)` pair with
@@ -678,7 +883,18 @@ impl Session {
     }
 
     /// `remove(k)`. Returns true if the key existed.
+    ///
+    /// Drops the key's hint-cache entry (if any): a removed key's hint
+    /// would never be *wrong* — hinted reads search the node's live
+    /// state, so they'd correctly report absence — but it is dead weight
+    /// in the table. Puts, by contrast, deliberately leave hints alone:
+    /// a value update keeps the hint valid (it points at the same border
+    /// node), and an insert that splits the node bumps the version the
+    /// next hinted read validates against.
     pub fn remove(&self, key: &[u8]) -> bool {
+        if let Some(sc) = &self.cache {
+            sc.table.lock().invalidate(key);
+        }
         let guard = masstree::pin();
         // Draw the version at the removal's linearization point (under
         // the node lock) so replay ordering matches live ordering.
@@ -935,6 +1151,96 @@ mod tests {
         // A second batch over the same keys updates and draws later versions.
         let versions2 = s.multi_put(&ops);
         assert!(versions2.iter().min() > versions.iter().max());
+    }
+
+    #[test]
+    fn cached_session_matches_uncached() {
+        let store = Store::in_memory();
+        let plain = store.session().unwrap();
+        store.set_session_cache(Some(CacheConfig {
+            admit_threshold: 1,
+            ..CacheConfig::default()
+        }));
+        let cached = store.session().unwrap();
+        assert!(cached.cache_stats().is_some(), "config applied to session");
+        assert!(plain.cache_stats().is_none(), "older session unaffected");
+        for i in 0..500u32 {
+            cached.put(format!("ck{i:04}").as_bytes(), &[(0, &i.to_le_bytes())]);
+        }
+        // Repeated point gets: second pass must be served by hints and
+        // agree with the uncached session.
+        for _pass in 0..2 {
+            for i in 0..500u32 {
+                let k = format!("ck{i:04}");
+                assert_eq!(
+                    plain.get(k.as_bytes(), None),
+                    cached.get(k.as_bytes(), None)
+                );
+            }
+        }
+        // Absent keys too.
+        assert_eq!(cached.get(b"ck9999", None), None);
+        // Batched path consults the same cache.
+        let keys: Vec<Vec<u8>> = (0..600u32)
+            .map(|i| format!("ck{i:04}").into_bytes())
+            .collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        assert_eq!(cached.multi_get_full(&refs), plain.multi_get_full(&refs));
+        let s = cached.cache_stats().unwrap();
+        assert!(s.hits > 0, "repeat gets must hit: {s:?}");
+        assert_eq!(s.lookups, s.hits + s.stale + s.misses);
+
+        // remove() drops the entry and subsequent reads agree.
+        assert!(cached.remove(b"ck0001"));
+        assert_eq!(cached.get(b"ck0001", None), None);
+        assert_eq!(plain.get(b"ck0001", None), None);
+        let s = cached.cache_stats().unwrap();
+        assert!(s.invalidated >= 1);
+
+        // Updates through ANOTHER session are visible to hinted reads
+        // immediately (version validation, not message passing).
+        plain.put(b"ck0002", &[(0, b"fresh")]);
+        assert_eq!(
+            cached.get(b"ck0002", Some(&[0])).unwrap()[0],
+            b"fresh".to_vec()
+        );
+
+        // Store-wide counters aggregate this session's flushed stats.
+        drop(cached);
+        let agg = store.cache_stats();
+        assert!(agg.lookups > 0 && agg.hits > 0, "{agg:?}");
+    }
+
+    #[test]
+    fn durability_cycle_with_many_sessions_uses_concurrent_barrier() {
+        let dir = std::env::temp_dir().join(format!("mtkv-conc-barrier-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::persistent_with(&dir, DurabilityConfig::tiny_segments(4096)).unwrap();
+        let sessions: Vec<Session> = (0..8).map(|_| store.session().unwrap()).collect();
+        for (i, s) in sessions.iter().enumerate() {
+            for j in 0..50u32 {
+                s.put(format!("b{i}-{j:03}").as_bytes(), &[(0, &[0u8; 64])]);
+            }
+        }
+        // The cycle's group-commit barrier forces all 8 live logs
+        // concurrently; the checkpoint must land and truncation stay
+        // safe (all barriers confirmed).
+        let meta = store.checkpoint_now().unwrap();
+        assert!(meta.start_ts > 0);
+        assert_eq!(store.checkpoint_epoch(), 1);
+        for (i, s) in sessions.iter().enumerate() {
+            assert!(s.force_log(), "session {i} log alive after barrier");
+        }
+        drop(sessions);
+        drop(store);
+        let (store, _report) = crate::recovery::recover(&dir, &dir).unwrap();
+        let s = store.session().unwrap();
+        for i in 0..8 {
+            assert!(s.get(format!("b{i}-049").as_bytes(), None).is_some());
+        }
+        drop(s);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -199,6 +199,23 @@ impl Client {
         }
     }
 
+    /// Group-commit barrier: forces this connection's log on the server
+    /// (everything this connection logged is durable when the reply
+    /// arrives) **without** running a checkpoint cycle — the lightweight
+    /// alternative to [`Client::flush`] for clients that only want
+    /// durability confirmation of their own writes.
+    ///
+    /// Errors if the server's log writer died (an I/O error) — a
+    /// returned `StatsReply` really means the writes are safe.
+    pub fn sync(&mut self) -> std::io::Result<StatsReply> {
+        self.queue(&Request::Sync);
+        match self.execute_batch()?.pop() {
+            Some(Response::Stats(s)) => Ok(s),
+            Some(Response::Err(msg)) => Err(std::io::Error::other(msg)),
+            _ => Err(std::io::Error::other("unexpected response")),
+        }
+    }
+
     pub fn scan(
         &mut self,
         key: &[u8],

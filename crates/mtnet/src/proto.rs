@@ -13,15 +13,19 @@
 //! scan   := 0x04, key, u32 count, colset
 //! stats  := 0x05
 //! flush  := 0x06
+//! sync   := 0x07
 //! key    := u32 len, bytes        colset := u16 n (0xffff = all), u16*
 //! ```
 //!
-//! `stats` and `flush` are the durability admin requests: `stats`
-//! reports the server's checkpoint epoch and log footprint, and `flush`
-//! forces this connection's log, runs a full durability cycle
+//! `stats`, `flush` and `sync` are the admin requests: `stats` reports
+//! the server's checkpoint epoch, log footprint and hot-cache counters;
+//! `flush` forces this connection's log, runs a full durability cycle
 //! (checkpoint + segment truncation + checkpoint pruning) and reports
 //! the stats afterwards — tests use it to wait for durability events
-//! instead of sleeping.
+//! instead of sleeping; `sync` is the lightweight group-commit barrier:
+//! it only forces this connection's log (no checkpoint, no truncation),
+//! serving clients that just want durability confirmation of their own
+//! writes without paying for a whole cycle.
 
 /// A client request (one query within a batch).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +55,11 @@ pub enum Request {
     /// Replies [`Response::Err`] instead when durability could not be
     /// guaranteed (dead log, failed checkpoint).
     Flush,
+    /// Group-commit barrier only: force this connection's log and report
+    /// the stats — no checkpoint, no truncation. Replies
+    /// [`Response::Err`] when the log is dead (durability cannot be
+    /// confirmed).
+    Sync,
 }
 
 /// The durability snapshot carried by [`Response::Stats`]; mirrors
@@ -68,6 +77,14 @@ pub struct StatsReply {
     pub log_segments: u64,
     /// Segments deleted by checkpoint truncation this lifetime.
     pub segments_truncated: u64,
+    /// Hot-path cache tier: hint-table lookups across all sessions.
+    pub cache_lookups: u64,
+    /// Hot-path cache tier: lookups served by a validated hint (zero
+    /// descent).
+    pub cache_hits: u64,
+    /// Hot-path cache tier: hints that failed validation (split, delete,
+    /// reuse) and fell back to a full descent.
+    pub cache_stale: u64,
 }
 
 impl StatsReply {
@@ -78,13 +95,16 @@ impl StatsReply {
             self.log_bytes,
             self.log_segments,
             self.segments_truncated,
+            self.cache_lookups,
+            self.cache_hits,
+            self.cache_stale,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
     }
 
     fn decode(p: &mut &[u8]) -> Option<StatsReply> {
-        let mut f = [0u64; 5];
+        let mut f = [0u64; 8];
         for v in f.iter_mut() {
             *v = u64::from_le_bytes(p.get(..8)?.try_into().ok()?);
             *p = &p[8..];
@@ -95,6 +115,9 @@ impl StatsReply {
             log_bytes: f[2],
             log_segments: f[3],
             segments_truncated: f[4],
+            cache_lookups: f[5],
+            cache_hits: f[6],
+            cache_stale: f[7],
         })
     }
 }
@@ -187,6 +210,7 @@ impl Request {
             }
             Request::Stats => out.push(0x05),
             Request::Flush => out.push(0x06),
+            Request::Sync => out.push(0x07),
         }
     }
 
@@ -223,6 +247,7 @@ impl Request {
             }
             0x05 => Some(Request::Stats),
             0x06 => Some(Request::Flush),
+            0x07 => Some(Request::Sync),
             _ => None,
         }
     }
@@ -477,6 +502,7 @@ mod tests {
         });
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::Flush);
+        roundtrip_req(Request::Sync);
     }
 
     #[test]
@@ -495,6 +521,9 @@ mod tests {
             log_bytes: 1 << 40,
             log_segments: 17,
             segments_truncated: 9,
+            cache_lookups: 1_000_000,
+            cache_hits: 900_000,
+            cache_stale: 123,
         }));
         roundtrip_resp(Response::Stats(StatsReply::default()));
         roundtrip_resp(Response::Err("log dead: No space left on device".into()));

@@ -401,7 +401,9 @@ pub fn execute_into(session: &Session, req: Request, out: &mut Vec<u8>) {
             rows.finish();
         }
         // Admin requests: small fixed-size replies, no zero-copy need.
-        req @ (Request::Stats | Request::Flush) => execute(session, req).encode(out),
+        req @ (Request::Stats | Request::Flush | Request::Sync) => {
+            execute(session, req).encode(out)
+        }
     }
 }
 
@@ -462,17 +464,34 @@ pub fn execute(session: &Session, req: Request) -> Response {
             }
             Response::Stats(gather_stats(session))
         }
+        Request::Sync => {
+            // Group-commit barrier only (§5's per-core log force): make
+            // this connection's log durable and report the stats — no
+            // checkpoint, no truncation. Like Flush, a success reply
+            // acks durability, so a dead log must surface as an error.
+            if !session.force_log() {
+                return Response::Err("sync failed: log writer is dead (I/O error)".into());
+            }
+            Response::Stats(gather_stats(session))
+        }
     }
 }
 
-/// Snapshots the store's durability state into the wire reply.
+/// Snapshots the store's durability and cache-tier state into the wire
+/// reply. Flushes this connection's local cache counters first so its
+/// own traffic is visible in the aggregate.
 fn gather_stats(session: &Session) -> StatsReply {
+    let _ = session.cache_stats(); // flush-to-shared side effect
     let s = session.store().durability_stats();
+    let c = session.store().cache_stats();
     StatsReply {
         checkpoints: s.checkpoints,
         last_checkpoint_start_ts: s.last_checkpoint_start_ts,
         log_bytes: s.log_bytes,
         log_segments: s.log_segments,
         segments_truncated: s.segments_truncated,
+        cache_lookups: c.lookups,
+        cache_hits: c.hits,
+        cache_stale: c.stale,
     }
 }

@@ -86,6 +86,85 @@ fn stats_on_in_memory_store_is_all_zero() {
 }
 
 #[test]
+fn sync_is_a_group_commit_barrier_without_a_checkpoint() {
+    let dir = std::env::temp_dir().join(format!("mtnet-e2e-sync-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let store = Store::persistent(&dir).unwrap();
+        let server = Server::start(store, "127.0.0.1:0").unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        for i in 0..50u32 {
+            c.put(format!("sy{i:03}").as_bytes(), vec![(0, vec![7u8; 64])])
+                .unwrap();
+        }
+        // Sync forces the connection's log: when the reply arrives the
+        // bytes are on disk — no polling for the 200 ms group-commit
+        // cadence needed — and NO checkpoint ran.
+        let s = c.sync().unwrap();
+        assert_eq!(s.checkpoints, 0, "sync must not checkpoint: {s:?}");
+        assert_eq!(s.last_checkpoint_start_ts, 0);
+        assert!(s.log_bytes > 0, "forced log is visible on disk: {s:?}");
+        assert!(s.log_segments >= 1);
+        // A later flush still runs the full cycle.
+        let s2 = c.flush().unwrap();
+        assert_eq!(s2.checkpoints, 1);
+    }
+    // Everything acked by sync survives a crash-style recovery.
+    let (store, _) = mtkv::recover(&dir, &dir).unwrap();
+    let s = store.session().unwrap();
+    for i in [0u32, 25, 49] {
+        assert_eq!(
+            s.get(format!("sy{i:03}").as_bytes(), Some(&[0])).unwrap()[0],
+            vec![7u8; 64]
+        );
+    }
+    drop(s);
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sync_mixes_into_batches_and_is_harmless_in_memory() {
+    let server = start_in_memory();
+    let mut c = Client::connect(server.addr()).unwrap();
+    c.queue(&Request::Put {
+        key: b"s".to_vec(),
+        cols: vec![(0, b"1".to_vec())],
+    });
+    c.queue(&Request::Sync);
+    c.queue(&Request::Get {
+        key: b"s".to_vec(),
+        cols: None,
+    });
+    let responses = c.execute_batch().unwrap();
+    assert_eq!(responses.len(), 3);
+    assert!(matches!(responses[0], Response::PutOk(_)));
+    assert!(matches!(responses[1], Response::Stats(_)));
+    assert_eq!(responses[2], Response::Value(Some(vec![b"1".to_vec()])));
+}
+
+#[test]
+fn wire_stats_report_hot_cache_counters() {
+    let store = Store::in_memory();
+    store.set_session_cache(Some(mtkv::CacheConfig {
+        admit_threshold: 1,
+        ..mtkv::CacheConfig::default()
+    }));
+    let server = Server::start(store, "127.0.0.1:0").unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    c.put(b"hot", vec![(0, b"v".to_vec())]).unwrap();
+    // Repeated point gets on one key: the per-connection session's hint
+    // cache serves the repeats with zero descent.
+    for _ in 0..100 {
+        assert_eq!(c.get(b"hot", None).unwrap(), Some(vec![b"v".to_vec()]));
+    }
+    let s = c.stats().unwrap();
+    assert!(s.cache_lookups >= 100, "{s:?}");
+    assert!(s.cache_hits > 0, "repeat gets served by hints: {s:?}");
+    assert_eq!(s.checkpoints, 0);
+}
+
+#[test]
 fn admin_requests_mix_into_batches() {
     let server = start_in_memory();
     let mut c = Client::connect(server.addr()).unwrap();

@@ -96,6 +96,45 @@ impl Zipfian {
     fn zeta2(&self) -> f64 {
         self.zeta2theta
     }
+
+    /// Draws a rank and scatters it over the item space in one step —
+    /// the usual way to turn a popularity draw into a key id.
+    #[inline]
+    pub fn sample_scattered(&self, rng: &mut crate::Rng64) -> u64 {
+        self.scatter(self.sample(rng))
+    }
+}
+
+/// A reproducible stream of point-get key ids over `[0, n)`: Zipfian
+/// with exponent `theta` (ranks scattered over the id space), or uniform
+/// when `theta == 0`. The hot-cache benchmark sweeps `theta` with this
+/// one generator so skewed and uniform runs share the key population.
+#[derive(Clone, Debug)]
+pub struct PointGets {
+    dist: Option<Zipfian>,
+    n: u64,
+    rng: crate::Rng64,
+}
+
+impl PointGets {
+    /// `theta == 0.0` means uniform; otherwise Zipfian (YCSB range,
+    /// `0 < theta < 1`).
+    pub fn new(n: u64, theta: f64, seed: u64) -> Self {
+        PointGets {
+            dist: (theta > 0.0).then(|| Zipfian::new(n, theta)),
+            n,
+            rng: crate::Rng64::new(seed),
+        }
+    }
+
+    /// The next key id in `[0, n)`.
+    #[inline]
+    pub fn next_key(&mut self) -> u64 {
+        match &self.dist {
+            Some(z) => z.sample_scattered(&mut self.rng),
+            None => self.rng.below(self.n),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +181,23 @@ mod tests {
         assert!(counts[0] > counts[1]);
         assert!(counts[1] > counts[10]);
         assert!(counts[10] > counts[100]);
+    }
+
+    #[test]
+    fn point_gets_uniform_and_zipf_stay_in_range() {
+        let mut u = PointGets::new(1000, 0.0, 1);
+        let mut z = PointGets::new(1000, Zipfian::YCSB_THETA, 1);
+        let mut ucounts = vec![0u64; 1000];
+        let mut zcounts = vec![0u64; 1000];
+        for _ in 0..200_000 {
+            ucounts[u.next_key() as usize] += 1;
+            zcounts[z.next_key() as usize] += 1;
+        }
+        // Uniform: no key dominates. Zipf: one (scattered) key does.
+        let umax = *ucounts.iter().max().unwrap();
+        let zmax = *zcounts.iter().max().unwrap();
+        assert!(umax < 1000, "uniform max {umax}");
+        assert!(zmax > 10_000, "zipf max {zmax}");
     }
 
     #[test]

@@ -33,6 +33,15 @@ fn main() {
         report.used_checkpoint, report.replayed, report.cutoff
     );
 
+    // Hot-path cache tier: MT_CACHE=<slots> gives every connection's
+    // session a per-worker leaf-hint cache (`mtcache`); the `stats`
+    // admin request reports its hit/stale counters.
+    if let Ok(slots) = std::env::var("MT_CACHE") {
+        let slots: usize = slots.parse().expect("MT_CACHE=<hint slots>");
+        store.set_session_cache(Some(mtkv::CacheConfig::with_capacity(slots)));
+        println!("hot-path hint cache enabled: {slots} slots per connection");
+    }
+
     let server = Server::start(store.clone(), &addr).expect("bind");
     println!("masstree server listening on {}", server.addr());
     println!("press ctrl-c to stop; data persists in {}", dir.display());
