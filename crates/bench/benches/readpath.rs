@@ -302,6 +302,7 @@ fn main() {
                 key: p.next().to_vec(),
                 count: RANGE as u32,
                 cols: None,
+                resume: None,
             });
         }
         reqs

@@ -253,6 +253,7 @@ fn drive(sys: &SystemUnderTest, wl: Wl, records: u64, p: &Params) -> f64 {
                             key,
                             count: count as u32,
                             cols: Some(vec![column as u16]),
+                            resume: None,
                         },
                     },
                 };

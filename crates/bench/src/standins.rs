@@ -442,7 +442,9 @@ impl ConnState for TreeConn {
                 let part = s.parts[p].lock();
                 Response::RemoveOk(part.remove(&key, &guard).is_some())
             }
-            Request::Scan { key, count, cols } => {
+            Request::Scan {
+                key, count, cols, ..
+            } => {
                 s.command_overhead("scan", &key);
                 // Cross-partition merge: collect `count` candidates from
                 // every partition, then merge-sort (partitioned ordered
@@ -526,6 +528,7 @@ mod tests {
             key: b"scan".to_vec(),
             count: 10,
             cols: Some(vec![0]),
+            resume: None,
         });
         if let Response::Rows(rows) = rows {
             assert_eq!(rows.len(), 10);
@@ -554,7 +557,8 @@ mod tests {
             conn.execute(Request::Scan {
                 key: vec![],
                 count: 5,
-                cols: None
+                cols: None,
+                resume: None,
             }),
             Response::Rows(vec![])
         );

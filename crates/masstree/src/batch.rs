@@ -43,11 +43,13 @@ use core::sync::atomic::Ordering;
 use crossbeam::epoch::Guard;
 
 use crate::hint::{HintResult, HintedGet, LeafHint};
-use crate::key::{keylen_rank, KeyCursor, KEYLEN_LAYER, KEYLEN_SUFFIX, KEYLEN_UNSTABLE};
+use crate::key::{keylen_rank, KeyCursor, KEYLEN_SUFFIX};
 use crate::node::{BorderNode, BorderSearch, ExtractedLv, NodePtr, RootSlot};
+use crate::put::{BorderWrite, ValueFactory};
 use crate::stats::Stats;
 use crate::suffix::KeySuffix;
 use crate::tree::Masstree;
+use crate::tree::Restart;
 use crate::version::Version;
 
 /// Maximum operations interleaved in one group. Larger groups add
@@ -463,8 +465,10 @@ impl<'k, V: Send + Sync + 'static> Cursor<'k, V> {
         }
     }
 
-    /// The locked write completion: `put_inner`'s border-level match,
-    /// executed within one step so no lock spans a yield.
+    /// The locked write completion: the walk-right plus the **shared**
+    /// border-level put completion (`put.rs`'s `put_at_border`, the same
+    /// code the sequential and anchored writes run), executed within one
+    /// step so no lock spans a yield.
     fn write_border(
         &mut self,
         tree: &Masstree<V>,
@@ -474,118 +478,81 @@ impl<'k, V: Send + Sync + 'static> Cursor<'k, V> {
     ) -> Phase<V> {
         // `lock_border_for_ikey`'s walk-right, starting already locked:
         // chase a concurrent split's leaf chain (rare — stay inline).
-        let ikey = self.k.ikey();
-        let mut bn = bn;
-        loop {
-            if bn.version().load(Ordering::Relaxed).is_deleted() {
-                bn.version().unlock();
-                return self.full_restart(tree);
-            }
-            let next = bn.next.load(Ordering::Acquire);
-            if !next.is_null() {
-                // SAFETY: leaf-list pointers reference live nodes under
-                // the pinned epoch.
-                let nx = unsafe { &*next };
-                if ikey >= nx.lowkey.load(Ordering::Relaxed) {
-                    bn.version().unlock();
-                    nx.version().lock();
-                    bn = nx;
-                    continue;
-                }
-            }
-            break;
-        }
-        // `bn` is locked and covers `ikey`.
-        let perm = bn.permutation();
-        let rank = keylen_rank(self.k.keylen_code());
-        match bn.search(perm, ikey, rank) {
-            BorderSearch::Found { slot, .. } => {
-                let code = bn.keylen[slot].load(Ordering::Acquire);
-                match code {
-                    KEYLEN_LAYER => {
-                        // Descend into the existing layer.
-                        let nl = bn.lv[slot].load(Ordering::Acquire);
-                        let bnp = bn as *const BorderNode<V>;
-                        bn.version().unlock();
-                        self.enter_layer(NodePtr::from_raw(nl.cast()), bnp, slot)
-                    }
-                    KEYLEN_UNSTABLE => unreachable!("UNSTABLE under the node lock"),
-                    KEYLEN_SUFFIX => {
-                        debug_assert!(self.k.has_suffix(), "rank matched 9");
-                        let sp = bn.suffix[slot].load(Ordering::Acquire);
-                        // SAFETY: a live suffix block for the slot (we
-                        // hold the lock; it cannot be retired
-                        // concurrently).
-                        let sb = unsafe { KeySuffix::bytes(sp) };
-                        if sb == self.k.suffix() {
-                            self.update_slot(tree, bn, slot, factory, guard)
-                        } else {
-                            // Two distinct keys share the slice: push the
-                            // resident down a layer, keep inserting there
-                            // (§4.6.3). The fresh layer root is
-                            // cache-hot; the usual EnterLayer transition
-                            // handles it.
-                            let new_root = tree.make_layer(bn, slot, sb, guard);
-                            let bnp = bn as *const BorderNode<V>;
-                            bn.version().unlock();
-                            self.enter_layer(NodePtr::from_border(new_root), bnp, slot)
-                        }
-                    }
-                    _ => {
-                        // Exact inline match: update in place.
-                        debug_assert_eq!(code as usize, self.k.slice_len());
-                        debug_assert!(!self.k.has_suffix());
-                        self.update_slot(tree, bn, slot, factory, guard)
-                    }
-                }
-            }
-            BorderSearch::Missing { pos } => {
-                let value = factory(self.idx, None);
-                let vptr = Box::into_raw(Box::new(value)).cast::<()>();
-                if !perm.is_full() {
-                    tree.insert_into_border(bn, perm, pos, &self.k, vptr);
-                    bn.version().unlock();
-                } else {
-                    let root_slot = self.slot.as_root_slot(tree);
-                    // SAFETY: `bn` is locked and full; `vptr` ownership
-                    // moves into the split.
-                    unsafe {
-                        tree.split_and_insert(bn, pos, &self.k, vptr, &root_slot, guard);
-                    }
-                }
-                self.result = None;
+        let bn = match tree.walk_right_locked(bn, self.k.ikey()) {
+            Ok(bn) => bn,
+            Err(Restart) => return self.full_restart(tree),
+        };
+        let mut fac = IdxFactory {
+            idx: self.idx,
+            f: factory,
+        };
+        let root_slot = self.slot.as_root_slot(tree);
+        match tree.put_at_border(bn, &self.k, &root_slot, &mut fac, guard) {
+            BorderWrite::Done { prev, hint } => {
+                self.result = prev.map(|p| p as *const V as *mut V as *mut ());
+                // Anchor-only capture (taken under the lock by the
+                // shared completion) so batched write misses can
+                // refresh a hint cache, exactly like the sequential
+                // write paths.
+                self.hint = hint;
                 Phase::Done
             }
+            BorderWrite::Layer { root, node, slot } => self.enter_layer(root, node, slot),
         }
-    }
-
-    /// Replaces the value in a matched slot under the lock (the §4.7
-    /// read-copy-update point: `factory` sees the old value and builds
-    /// the new one atomically with respect to other writers).
-    fn update_slot(
-        &mut self,
-        tree: &Masstree<V>,
-        bn: &BorderNode<V>,
-        slot: usize,
-        factory: &mut dyn FnMut(usize, Option<&V>) -> V,
-        guard: &Guard,
-    ) -> Phase<V> {
-        let old = bn.lv[slot].load(Ordering::Acquire);
-        // SAFETY: the slot's live value.
-        let value = factory(self.idx, Some(unsafe { &*old.cast::<V>() }));
-        let vptr = Box::into_raw(Box::new(value)).cast::<()>();
-        bn.lv[slot].store(vptr, Ordering::Release);
-        bn.version().unlock();
-        let _ = tree;
-        // SAFETY: `old` was this key's value and is now unreachable from
-        // the tree.
-        unsafe {
-            crate::gc::retire_value::<V>(guard, old);
-        }
-        self.result = Some(old);
-        Phase::Done
     }
 }
+
+/// Adapts the batch engine's indexed factory to `put.rs`'s
+/// [`ValueFactory`] (which boxes the produced value).
+struct IdxFactory<'a, V> {
+    idx: usize,
+    f: &'a mut dyn FnMut(usize, Option<&V>) -> V,
+}
+
+impl<V> ValueFactory<V> for IdxFactory<'_, V> {
+    fn make(&mut self, old: Option<&V>) -> *mut () {
+        Box::into_raw(Box::new((self.f)(self.idx, old))).cast::<()>()
+    }
+}
+
+/// Reusable buffers for [`Masstree::multi_get_hinted_with`]: raw result
+/// pointers (type-erased so the buffer can outlive any one call's epoch
+/// guard), refreshed hints, and the engine's miss list. All three keep
+/// their capacity across calls, so a warm scratch makes the hinted
+/// batch read allocation-free.
+///
+/// The raw pointers are only ever *read back* within the same call that
+/// wrote them — while that call's guard is pinned — and are cleared at
+/// the top of every call, so a stale pointer from a previous epoch can
+/// never be dereferenced.
+pub struct HintBatchScratch<V> {
+    results: Vec<*const V>,
+    refreshed: Vec<Option<LeafHint<V>>>,
+    misses: Vec<usize>,
+}
+
+impl<V> HintBatchScratch<V> {
+    /// An empty scratch (buffers grow on first use, then are reused).
+    pub fn new() -> HintBatchScratch<V> {
+        HintBatchScratch {
+            results: Vec::new(),
+            refreshed: Vec::new(),
+            misses: Vec::new(),
+        }
+    }
+}
+
+impl<V> Default for HintBatchScratch<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: the stored raw pointers are inert between calls (never
+// dereferenced outside the call that wrote them, under its own pinned
+// guard); moving the buffers across threads is therefore safe whenever
+// the value type itself is.
+unsafe impl<V: Send + Sync> Send for HintBatchScratch<V> {}
 
 /// Round-robin scheduler core: calls `step(i)` for every unfinished
 /// slot `0..n` per sweep until all have reported completion, so each
@@ -683,13 +650,33 @@ impl<V: Send + Sync + 'static> Masstree<V> {
     ///
     /// Results are identical to [`Masstree::multi_get_with`] under the
     /// same guard — a validated hint is indistinguishable from a full
-    /// descent. Unlike `multi_get_with`, this path buffers results (two
-    /// small vectors per call) to preserve input-order emission while
-    /// hits and engine traversals complete at different times.
+    /// descent. Allocates a fresh [`HintBatchScratch`] per call; hot
+    /// paths (the storage layer's cached batch reads) hold a reusable
+    /// scratch and call [`Masstree::multi_get_hinted_with`], which is
+    /// allocation-free in steady state.
     pub fn multi_get_hinted<'g, F>(
         &self,
         keys: &[&[u8]],
         hints: &[Option<LeafHint<V>>],
+        guard: &'g Guard,
+        f: F,
+    ) where
+        F: FnMut(usize, Option<&'g V>, HintResult<V>),
+    {
+        let mut scratch = HintBatchScratch::new();
+        self.multi_get_hinted_with(keys, hints, &mut scratch, guard, f);
+    }
+
+    /// [`Masstree::multi_get_hinted`] with an explicit, reusable
+    /// [`HintBatchScratch`]: the result and refreshed-hint buffers keep
+    /// their capacity across calls, so a warm scratch makes the whole
+    /// hinted batch read perform **zero heap allocations** — restoring
+    /// the uncached `multi_get_with` guarantee for the cached path.
+    pub fn multi_get_hinted_with<'g, F>(
+        &self,
+        keys: &[&[u8]],
+        hints: &[Option<LeafHint<V>>],
+        scratch: &mut HintBatchScratch<V>,
         guard: &'g Guard,
         mut f: F,
     ) where
@@ -701,22 +688,29 @@ impl<V: Send + Sync + 'static> Masstree<V> {
         for h in hints.iter().flatten() {
             h.node().prefetch();
         }
-        let mut results: Vec<Option<Option<&'g V>>> = vec![None; keys.len()];
-        let mut refreshed: Vec<Option<LeafHint<V>>> = vec![None; keys.len()];
-        let mut misses: Vec<usize> = Vec::new();
+        scratch.results.clear();
+        scratch.results.resize(keys.len(), core::ptr::null());
+        scratch.refreshed.clear();
+        scratch.refreshed.resize(keys.len(), None);
+        scratch.misses.clear();
         for (i, (key, hint)) in keys.iter().zip(hints).enumerate() {
             match hint {
                 Some(h) => match self.get_at_hint(key, h, guard) {
-                    HintedGet::Hit(v) => results[i] = Some(v),
-                    HintedGet::Stale => misses.push(i),
+                    // Present values keep their pointer; absent stays
+                    // null — `misses` records which nulls are pending.
+                    HintedGet::Hit(v) => {
+                        scratch.results[i] = v.map_or(core::ptr::null(), |r| r as *const V)
+                    }
+                    HintedGet::Stale => scratch.misses.push(i),
                 },
-                None => misses.push(i),
+                None => scratch.misses.push(i),
             }
         }
         // The misses take the normal interleaved engine, one cursor per
         // key, each capturing a fresh hint at its endpoint.
         let mut noop = |_: usize, _: Option<&V>| unreachable!("get cursors take no values");
-        for chunk in misses.chunks(MAX_GROUP) {
+        for ci in (0..scratch.misses.len()).step_by(MAX_GROUP) {
+            let chunk = &scratch.misses[ci..scratch.misses.len().min(ci + MAX_GROUP)];
             let mut cursors: [Option<Cursor<'_, V>>; MAX_GROUP] = [const { None }; MAX_GROUP];
             for (ci, &i) in chunk.iter().enumerate() {
                 cursors[ci] = Some(Cursor::new(i, Mode::Get, keys[i], self));
@@ -732,20 +726,93 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                 .fetch_add(chunk.len() as u64, Ordering::Relaxed);
             for (ci, &i) in chunk.iter().enumerate() {
                 let c = cursors[ci].as_ref().expect("chunk cursors are initialized");
-                // SAFETY: a validated value pointer for this key; epoch
-                // reclamation keeps it live for `'g`.
-                results[i] = Some(c.result.map(|p| unsafe { &*p.cast::<V>() }));
+                scratch.results[i] = c.result.map_or(core::ptr::null(), |p| p.cast::<V>());
                 debug_assert!(c.hint.is_some(), "finished get cursors capture a hint");
-                refreshed[i] = c.hint;
+                scratch.refreshed[i] = c.hint;
             }
         }
-        for (i, (slot, fresh)) in results.into_iter().zip(refreshed).enumerate() {
-            let v = slot.expect("every key resolved");
-            match fresh {
+        for i in 0..keys.len() {
+            let p = scratch.results[i];
+            // SAFETY: a validated value pointer for this key (written
+            // above, under this same guard); epoch reclamation keeps it
+            // live for `'g`. Stale pointers from previous calls were
+            // cleared by the resize.
+            let v = if p.is_null() {
+                None
+            } else {
+                Some(unsafe { &*p })
+            };
+            match scratch.refreshed[i] {
                 Some(h) => f(i, v, HintResult::Refreshed(h)),
                 None => f(i, v, HintResult::Hit),
             }
         }
+    }
+
+    /// Hinted batch write: each `(key, hint)` first attempts
+    /// [`Masstree::put_at_hint`] (locked anchor entry, zero descent);
+    /// the stale/unhinted ops run through the interleaved batch
+    /// traversal engine, capturing fresh anchors at their completion
+    /// nodes. `factory(i, old)` runs exactly once per op under its
+    /// border node's lock, as in [`Masstree::multi_put_with`]. `fate(i,
+    /// hinted_hit, refreshed)` reports, per op, whether its hint served
+    /// the write and any replacement hint to remember.
+    ///
+    /// Returns the previous value per op, in input order. As with
+    /// [`Masstree::multi_put`], the apply order of *duplicate* keys
+    /// within one batch is unspecified (hinted ops complete before
+    /// engine ops); callers needing per-key ordering split batches at
+    /// duplicates, as the network server does.
+    pub fn multi_put_hinted<'g, F, G>(
+        &self,
+        keys: &[&[u8]],
+        hints: &[Option<LeafHint<V>>],
+        mut factory: F,
+        guard: &'g Guard,
+        mut fate: G,
+    ) -> Vec<Option<&'g V>>
+    where
+        F: FnMut(usize, Option<&V>) -> V,
+        G: FnMut(usize, bool, Option<LeafHint<V>>),
+    {
+        assert_eq!(keys.len(), hints.len(), "one hint slot per key");
+        for h in hints.iter().flatten() {
+            h.node().prefetch();
+        }
+        let mut out: Vec<Option<&'g V>> = vec![None; keys.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, (key, hint)) in keys.iter().zip(hints).enumerate() {
+            match hint {
+                Some(h) => match self.put_at_hint(key, h, |old| factory(i, old), guard) {
+                    Ok((prev, fresh)) => {
+                        out[i] = prev;
+                        // A hinted hit can still stale the hint it used
+                        // (freed-slot insert, split): hand back the
+                        // under-lock capture so the caller refreshes.
+                        fate(i, true, fresh);
+                    }
+                    Err(crate::put::AnchorStale) => misses.push(i),
+                },
+                None => misses.push(i),
+            }
+        }
+        for chunk in misses.chunks(MAX_GROUP) {
+            let mut cursors: Vec<Cursor<'_, V>> = chunk
+                .iter()
+                .map(|&i| Cursor::new(i, Mode::Put, keys[i], self))
+                .collect();
+            run_group(self, &mut cursors, &mut factory, guard);
+            self.stats
+                .batched_ops
+                .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            for c in cursors {
+                // SAFETY: the previous value, kept live for `'g` by epoch
+                // reclamation (it was retired under this guard).
+                out[c.idx] = c.result.map(|p| unsafe { &*p.cast::<V>() });
+                fate(c.idx, false, c.hint);
+            }
+        }
+        out
     }
 
     /// Inserts or updates a batch of keys with interleaved descents.

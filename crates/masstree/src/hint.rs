@@ -8,6 +8,15 @@
 //! a later lookup of the same key can jump straight to that node,
 //! revalidate, and serve the value with **zero descent**.
 //!
+//! A `LeafHint` is a [`DescentAnchor`] (the shared validated-anchor
+//! core, `anchor.rs`) plus a permutation/slot snapshot powering an
+//! exact-match **fast path**. All generation/version validation — the
+//! leading check, the trailing Figure 7 bracket, the write-side locked
+//! entry — lives in `DescentAnchor`; this module only adds the
+//! read-specific slot logic. Hinted writes ([`Masstree::put_at_hint`])
+//! and resumable scans ([`crate::scan::ScanCursor`]) consume the same
+//! anchor, so a hint captured by any path serves every path.
+//!
 //! # Why hinted reads can never be stale
 //!
 //! A hint is a *conjecture*, never an authority. [`Masstree::get_at_hint`]
@@ -62,6 +71,8 @@ use core::sync::atomic::Ordering;
 
 use crossbeam::epoch::Guard;
 
+use crate::anchor::DescentAnchor;
+pub use crate::anchor::NodeRef;
 use crate::key::{keylen_rank, KeyCursor, KEYLEN_SUFFIX};
 use crate::node::{BorderNode, BorderSearch, ExtractedLv};
 use crate::permutation::Permutation;
@@ -69,7 +80,8 @@ use crate::suffix::KeySuffix;
 use crate::tree::Masstree;
 use crate::version::Version;
 
-/// Slot sentinel in a hint captured for an *absent* key.
+/// Slot sentinel in a hint captured for an *absent* key (or by a write,
+/// which records no slot at all).
 const NO_SLOT: u8 = u8::MAX;
 
 /// Permutation sentinel that can never equal a live permutation word
@@ -77,68 +89,18 @@ const NO_SLOT: u8 = u8::MAX;
 /// take the fast path. Used when absence was concluded from a *suffix
 /// mismatch* — such a slot can later be converted into a layer that
 /// contains the key without any version or permutation movement, so the
-/// absence must be re-established against live state on every use.
+/// absence must be re-established against live state on every use —
+/// and by write-captured hints, which snapshot no slot.
 const PERM_NEVER: u64 = u64::MAX;
 
-/// A generation-stamped reference to a border node, safe to hold across
-/// (and outside) epoch guards. Dereferenced only through the validation
-/// protocol in [`Masstree::get_at_hint`]; see the module docs for why
-/// the raw pointer can never be used after free.
-///
-/// The generation snapshot is truncated to 32 bits (a stale hint
-/// validates against recycled memory only if the node's memory was
-/// freed exactly a multiple of 2³² times between capture and use —
-/// the same flavor of assumption the version counters already make,
-/// with a far wider margin), which keeps a [`LeafHint`] at 32 bytes.
-pub struct NodeRef<V> {
-    pub(crate) ptr: *const BorderNode<V>,
-    pub(crate) gen: u32,
-    _marker: PhantomData<fn(V) -> V>,
-}
-
-impl<V> NodeRef<V> {
-    #[inline]
-    pub(crate) fn new(ptr: *const BorderNode<V>, gen: u32) -> Self {
-        NodeRef {
-            ptr,
-            gen,
-            _marker: PhantomData,
-        }
-    }
-
-    /// Prefetches the node's cache lines (useful before validating a
-    /// batch of hints).
-    #[inline]
-    pub fn prefetch(&self) {
-        crate::prefetch::prefetch(self.ptr);
-    }
-}
-
-impl<V> Clone for NodeRef<V> {
-    fn clone(&self) -> Self {
-        *self
-    }
-}
-impl<V> Copy for NodeRef<V> {}
-impl<V> core::fmt::Debug for NodeRef<V> {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "NodeRef({:p}@g{})", self.ptr, self.gen)
-    }
-}
-
-// SAFETY: a NodeRef is an opaque token; the pointer is only dereferenced
-// under the validation protocol, which is sound from any thread (all
-// node fields are atomics in type-stable memory).
-unsafe impl<V: Send + Sync> Send for NodeRef<V> {}
-// SAFETY: as above.
-unsafe impl<V: Send + Sync> Sync for NodeRef<V> {}
-
-/// A remembered lookup endpoint: border node + the version and
-/// permutation it validated under, the matched slot and its keylen code
-/// (or [`NO_SLOT`] for an absent key), and the trie-layer byte offset
-/// the node indexes. 32 bytes. Captured by
-/// [`Masstree::get_capturing_hint`] / [`Masstree::multi_get_hinted`];
-/// consumed by [`Masstree::get_at_hint`].
+/// A remembered lookup endpoint: a [`DescentAnchor`] (border node + the
+/// version it validated under + the trie-layer byte offset) plus the
+/// permutation snapshot, matched slot and keylen code (or [`NO_SLOT`]
+/// for an absent key). 32 bytes. Captured by
+/// [`Masstree::get_capturing_hint`] / [`Masstree::multi_get_hinted`] and
+/// (anchor-only) by the write paths; consumed by
+/// [`Masstree::get_at_hint`], [`Masstree::put_at_hint`] and
+/// [`Masstree::remove_at_hint`].
 ///
 /// The permutation/slot/keylen snapshot powers the **fast path**: if
 /// the node's version *and* permutation are exactly unchanged since
@@ -235,10 +197,50 @@ impl<V> LeafHint<V> {
         }
     }
 
+    /// Captures an **anchor-only** hint at the border node a write is
+    /// completing on, *while the write still holds the node's lock*: no
+    /// slot snapshot, so hinted reads through it always take the
+    /// live-search path — but both reads and writes still skip the
+    /// whole descent.
+    ///
+    /// The recorded version is the one the imminent `unlock` will
+    /// publish ([`crate::version::VersionCell::unlocked_value`]). This
+    /// must happen under the lock: it is the only moment the node
+    /// provably covers the written key, so "version unchanged since
+    /// capture" keeps meaning "the node still covers this key" — a
+    /// post-unlock snapshot could race another writer's split and stamp
+    /// a version under which the node never covered the key at all.
+    #[inline]
+    pub(crate) fn capture_locked_anchor(bn: &BorderNode<V>, offset: usize) -> Self {
+        LeafHint {
+            ptr: bn as *const BorderNode<V>,
+            perm: PERM_NEVER,
+            gen: bn.generation() as u32,
+            version: bn.version().unlocked_value(),
+            offset: offset as u32,
+            slot: NO_SLOT,
+            keylen: 0,
+            _marker: PhantomData,
+        }
+    }
+
     /// The generation-stamped node this hint remembers.
     #[inline]
     pub fn node(&self) -> NodeRef<V> {
         NodeRef::new(self.ptr, self.gen)
+    }
+
+    /// The shared validated-anchor view of this hint — what the write
+    /// paths and any other anchor consumer validate against.
+    #[inline]
+    pub fn anchor(&self) -> DescentAnchor<V> {
+        DescentAnchor {
+            ptr: self.ptr,
+            gen: self.gen,
+            version: self.version,
+            offset: self.offset,
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -253,22 +255,23 @@ pub enum HintedGet<'g, V> {
 }
 
 /// What happened to the hint during [`Masstree::get_with_hint`] /
-/// [`Masstree::multi_get_hinted`].
+/// [`Masstree::multi_get_hinted`] (and their write-path analogues).
 pub enum HintResult<V> {
-    /// The provided hint validated and served the lookup.
+    /// The provided hint validated and served the operation.
     Hit,
-    /// The lookup fell back to a full descent (no hint, or a stale one);
-    /// here is a fresh hint for this key, captured at the descent's
-    /// validated endpoint.
+    /// The operation fell back to a full descent (no hint, or a stale
+    /// one); here is a fresh hint for this key, captured at the
+    /// descent's validated endpoint.
     Refreshed(LeafHint<V>),
 }
 
 impl<V: Send + Sync + 'static> Masstree<V> {
     /// Attempts to serve `get(key)` from a leaf hint with **zero
     /// descent**: jump to the remembered border node, prove it unchanged
-    /// (generation + version), search its live permutation, re-validate.
-    /// Returns [`HintedGet::Stale`] if the proof fails; the result is
-    /// never silently stale (see the module docs).
+    /// (generation + version, via the shared [`DescentAnchor`] core),
+    /// search its live permutation, re-validate. Returns
+    /// [`HintedGet::Stale`] if the proof fails; the result is never
+    /// silently stale (see the module docs).
     ///
     /// The guard keeps any returned value alive; validation itself does
     /// not rely on it.
@@ -276,23 +279,14 @@ impl<V: Send + Sync + 'static> Masstree<V> {
         &self,
         key: &[u8],
         hint: &LeafHint<V>,
-        _guard: &'g Guard,
+        guard: &'g Guard,
     ) -> HintedGet<'g, V> {
-        // SAFETY: slab node memory is type-stable and only ever mutated
-        // with atomic stores after first initialization, so forming a
-        // shared reference and loading atomics is race-free even if the
-        // node was freed or its memory recycled; the generation/version
-        // checks below detect those cases before anything is trusted.
-        let bn = unsafe { &*hint.ptr };
-        // Fetch the whole node now: validation reads line 0 while the
-        // `lv`/suffix lines arrive in parallel — a hinted read must not
-        // pay the serial line-by-line stalls a prefetched descent never
-        // pays.
-        crate::prefetch::prefetch(hint.ptr);
-        let v = bn.version().load(Ordering::Acquire);
-        if hint.version.has_changed(v) || bn.generation() as u32 != hint.gen {
+        let anchor = hint.anchor();
+        // Leading validation (shared anchor core): same incarnation,
+        // version unchanged since capture.
+        let Some(bn) = anchor.enter(guard) else {
             return HintedGet::Stale;
-        }
+        };
         // The node is (still) the border node responsible for this key's
         // slice in its trie layer: unchanged version ⇒ no split, no
         // deletion (`lowkey` is constant for a node's lifetime, and only
@@ -376,13 +370,9 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                 }
             }
         }
-        // Re-validate (Figure 7's `n.version ⊕ v > locked`, plus the
-        // reuse generation): an exact match brackets every read above —
-        // in particular, a freed-slot reuse racing the fast path's `lv`
-        // read marks INSERTING before touching the slot, which this
-        // check observes.
-        let v2 = bn.version().load(Ordering::Acquire);
-        if hint.version.has_changed(v2) || bn.generation() as u32 != hint.gen {
+        // Trailing re-validation (shared anchor core): brackets every
+        // read above.
+        if !anchor.still_valid(bn) {
             return HintedGet::Stale;
         }
         // SAFETY: a validated value pointer read from a slot the live
@@ -506,6 +496,7 @@ mod tests {
             let (v, hint) = tree.get_capturing_hint(k, &g);
             assert_eq!(v.copied(), Some(i as u64));
             assert!(hint.offset >= 24, "hint captured in a deep layer");
+            assert_eq!(hint.anchor().offset(), hint.offset as usize);
             match tree.get_at_hint(k, &hint, &g) {
                 HintedGet::Hit(v) => assert_eq!(v.copied(), Some(i as u64)),
                 HintedGet::Stale => panic!("fresh deep-layer hint must validate"),

@@ -38,6 +38,7 @@
 //! assert!(tree.get(b"edu.harvard.seas.www/news", &guard).is_none());
 //! ```
 
+pub mod anchor;
 pub mod batch;
 pub mod hint;
 pub mod key;
@@ -57,9 +58,12 @@ mod scan_rev;
 mod slab;
 mod tree;
 
-pub use hint::{HintResult, HintedGet, LeafHint, NodeRef};
+pub use anchor::{DescentAnchor, NodeRef};
+pub use batch::HintBatchScratch;
+pub use hint::{HintResult, HintedGet, LeafHint};
 pub use maintain::TreeReport;
-pub use scan::ScanScratch;
+pub use put::AnchorStale;
+pub use scan::{ScanCursor, ScanResumeOutcome, ScanScratch};
 pub use stats::{Stats, StatsSnapshot};
 pub use tree::Masstree;
 

@@ -13,11 +13,22 @@ use core::sync::atomic::Ordering;
 use crossbeam::epoch::Guard;
 
 use crate::gc;
-use crate::key::{keylen_rank, KeyCursor, KEYLEN_LAYER, KEYLEN_SUFFIX, KEYLEN_UNSTABLE};
+use crate::hint::LeafHint;
+use crate::key::{keylen_rank, KeyCursor, KEYLEN_LAYER, KEYLEN_SUFFIX, KEYLEN_UNSTABLE, SLICE_LEN};
 use crate::node::{BorderNode, BorderSearch, NodePtr};
+use crate::put::AnchorStale;
 use crate::stats::Stats;
 use crate::suffix::KeySuffix;
 use crate::tree::{Masstree, Restart};
+
+/// Outcome of completing a remove at one locked border node (the lock
+/// is consumed either way).
+enum BorderRemove<'g, V, R> {
+    /// The remove completed (or the key was absent).
+    Done(Option<(&'g V, R)>),
+    /// The key continues in a deeper trie layer rooted here.
+    Layer(NodePtr<V>),
+}
 
 impl<V: Send + Sync + 'static> Masstree<V> {
     /// Removes `key`, returning its value if it was present (valid for the
@@ -48,62 +59,134 @@ impl<V: Send + Sync + 'static> Masstree<V> {
         f: &mut dyn FnMut(&V) -> R,
         guard: &'g Guard,
     ) -> Option<(&'g V, R)> {
-        'restart: loop {
+        loop {
             let mut k = KeyCursor::new(key);
-            let mut root = self.load_root();
-            'layer: loop {
-                let ikey = k.ikey();
-                let start = match self.find_border(&mut root, ikey, guard) {
-                    Ok((n, _)) => n,
-                    Err(Restart) => {
-                        Stats::bump(&self.stats.op_restarts);
-                        continue 'restart;
-                    }
-                };
-                let bn = match self.lock_border_for_ikey(start, ikey) {
-                    Ok(bn) => bn,
-                    Err(Restart) => continue 'restart,
-                };
-                let perm = bn.permutation();
-                let rank = keylen_rank(k.keylen_code());
-                match bn.search(perm, ikey, rank) {
-                    BorderSearch::Missing { .. } => {
+            match self.remove_descend(&mut k, self.load_root(), f, guard) {
+                Ok(removed) => return removed,
+                Err(Restart) => continue,
+            }
+        }
+    }
+
+    /// Hinted remove: removes `key` starting at the hint's **validated
+    /// anchor** instead of a root-to-leaf descent, entering through
+    /// [`crate::anchor::DescentAnchor::lock_for_write`] and completing
+    /// with the same locked border logic as [`Masstree::remove_with`]
+    /// (`f` runs under the lock at the linearization point). Errors with
+    /// [`AnchorStale`] — without consuming `f` — when the anchor fails
+    /// validation; the caller falls back to a full remove.
+    #[allow(clippy::type_complexity)]
+    pub fn remove_at_hint<'g, R>(
+        &self,
+        key: &[u8],
+        hint: &LeafHint<V>,
+        f: impl FnOnce(&V) -> R,
+        guard: &'g Guard,
+    ) -> Result<Option<(&'g V, R)>, AnchorStale> {
+        let anchor = hint.anchor();
+        let offset = anchor.offset();
+        debug_assert!(offset.is_multiple_of(SLICE_LEN));
+        let mut k = KeyCursor::with_offset(key, offset);
+        let Some(bn) = anchor.lock_for_write(guard) else {
+            return Err(AnchorStale);
+        };
+        let bn = match self.walk_right_locked(bn, k.ikey()) {
+            Ok(bn) => bn,
+            Err(Restart) => return Err(AnchorStale),
+        };
+        let mut f = Some(f);
+        let f: &mut dyn FnMut(&V) -> R = &mut |v| (f.take().expect("called once"))(v);
+        match self.remove_at_border(bn, &k, f, guard) {
+            BorderRemove::Done(removed) => Ok(removed),
+            BorderRemove::Layer(root) => {
+                k.advance();
+                match self.remove_descend(&mut k, root, f, guard) {
+                    Ok(removed) => Ok(removed),
+                    Err(Restart) => Err(AnchorStale),
+                }
+            }
+        }
+    }
+
+    /// The descending half of a remove: find and lock the responsible
+    /// border node of each layer, run the shared locked completion,
+    /// follow layer links down. `Err(Restart)` propagates **before**
+    /// `f` has run.
+    #[allow(clippy::type_complexity)]
+    fn remove_descend<'g, R>(
+        &self,
+        k: &mut KeyCursor<'_>,
+        mut root: NodePtr<V>,
+        f: &mut dyn FnMut(&V) -> R,
+        guard: &'g Guard,
+    ) -> Result<Option<(&'g V, R)>, Restart> {
+        loop {
+            let ikey = k.ikey();
+            let start = match self.find_border(&mut root, ikey, guard) {
+                Ok((n, _)) => n,
+                Err(Restart) => {
+                    Stats::bump(&self.stats.op_restarts);
+                    return Err(Restart);
+                }
+            };
+            let bn = self.lock_border_for_ikey(start, ikey)?;
+            match self.remove_at_border(bn, k, f, guard) {
+                BorderRemove::Done(removed) => return Ok(removed),
+                BorderRemove::Layer(link) => {
+                    root = link;
+                    k.advance();
+                }
+            }
+        }
+    }
+
+    /// The locked border-level completion of a remove — shared by
+    /// descending removes and anchored removes. `bn` must be locked and
+    /// cover the cursor's current `ikey`; the lock is consumed.
+    fn remove_at_border<'g, R>(
+        &self,
+        bn: &'g BorderNode<V>,
+        k: &KeyCursor<'_>,
+        f: &mut dyn FnMut(&V) -> R,
+        guard: &'g Guard,
+    ) -> BorderRemove<'g, V, R> {
+        let ikey = k.ikey();
+        let perm = bn.permutation();
+        let rank = keylen_rank(k.keylen_code());
+        match bn.search(perm, ikey, rank) {
+            BorderSearch::Missing { .. } => {
+                bn.version().unlock();
+                BorderRemove::Done(None)
+            }
+            BorderSearch::Found { pos, slot } => {
+                let code = bn.keylen[slot].load(Ordering::Acquire);
+                match code {
+                    KEYLEN_LAYER => {
+                        let nl = bn.lv[slot].load(Ordering::Acquire);
                         bn.version().unlock();
-                        return None;
+                        BorderRemove::Layer(NodePtr::from_raw(nl.cast()))
                     }
-                    BorderSearch::Found { pos, slot } => {
-                        let code = bn.keylen[slot].load(Ordering::Acquire);
-                        match code {
-                            KEYLEN_LAYER => {
-                                let nl = bn.lv[slot].load(Ordering::Acquire);
-                                bn.version().unlock();
-                                root = NodePtr::from_raw(nl.cast());
-                                k.advance();
-                                continue 'layer;
-                            }
-                            KEYLEN_UNSTABLE => unreachable!("UNSTABLE under the node lock"),
-                            KEYLEN_SUFFIX => {
-                                debug_assert!(k.has_suffix());
-                                let sp = bn.suffix[slot].load(Ordering::Acquire);
-                                // SAFETY: live suffix block; we hold the lock.
-                                let sb = unsafe { KeySuffix::bytes(sp) };
-                                if sb != k.suffix() {
-                                    bn.version().unlock();
-                                    return None;
-                                }
-                                // SAFETY: exact match established.
-                                return Some(unsafe {
-                                    self.remove_entry(bn, perm.remove_at(pos), f, guard)
-                                });
-                            }
-                            _ => {
-                                debug_assert_eq!(code as usize, k.slice_len());
-                                // SAFETY: exact match established.
-                                return Some(unsafe {
-                                    self.remove_entry(bn, perm.remove_at(pos), f, guard)
-                                });
-                            }
+                    KEYLEN_UNSTABLE => unreachable!("UNSTABLE under the node lock"),
+                    KEYLEN_SUFFIX => {
+                        debug_assert!(k.has_suffix());
+                        let sp = bn.suffix[slot].load(Ordering::Acquire);
+                        // SAFETY: live suffix block; we hold the lock.
+                        let sb = unsafe { KeySuffix::bytes(sp) };
+                        if sb != k.suffix() {
+                            bn.version().unlock();
+                            return BorderRemove::Done(None);
                         }
+                        // SAFETY: exact match established.
+                        BorderRemove::Done(Some(unsafe {
+                            self.remove_entry(bn, perm.remove_at(pos), f, guard)
+                        }))
+                    }
+                    _ => {
+                        debug_assert_eq!(code as usize, k.slice_len());
+                        // SAFETY: exact match established.
+                        BorderRemove::Done(Some(unsafe {
+                            self.remove_entry(bn, perm.remove_at(pos), f, guard)
+                        }))
                     }
                 }
             }

@@ -1,4 +1,5 @@
-//! Range queries (`getrange`/"scan", §3 of the paper).
+//! Range queries (`getrange`/"scan", §3 of the paper) and **resumable
+//! scans**.
 //!
 //! Scans are forward, in lexicographic key order, and — per the paper —
 //! not atomic with respect to concurrent inserts and removes: each border
@@ -10,6 +11,22 @@
 //! current key prefix is threaded down so emitted keys are reconstructed
 //! without storing full keys in the tree.
 //!
+//! # Resumable scans
+//!
+//! A chunked range read (`getrange(k, n)` repeated with advancing `k`)
+//! pays a full root-to-leaf descent per chunk even though each chunk
+//! starts exactly where the last one stopped. A [`ScanCursor`] remembers
+//! that stop point — the border node as a validated
+//! [`DescentAnchor`](crate::anchor::DescentAnchor) plus the full-key
+//! bound — and [`Masstree::scan_resume`] re-enters the tree there with
+//! **zero descent** when the anchor still validates
+//! (`DescentAnchor::enter_for_scan`: same slab incarnation, no split, no
+//! deletion; concurrent inserts are fine because every border node is
+//! re-snapshotted under its own version bracket anyway). A failed
+//! validation falls back to a normal descent from the recorded bound, so
+//! a resumed scan is always exactly equivalent to a fresh scan from that
+//! bound — never stale, never duplicated, never out of order.
+//!
 //! # Allocation discipline
 //!
 //! The scan hot path performs **no heap allocation in steady state**:
@@ -19,19 +36,22 @@
 //! the visitor borrows `(&[u8], &V)` under the epoch guard instead of
 //! materializing owned pairs. `scan` draws a thread-local scratch;
 //! callers that want explicit reuse (or several scratches) use
-//! [`Masstree::scan_with`].
+//! [`Masstree::scan_with`]. A warm [`ScanCursor`] likewise reuses its
+//! bound buffer across resumes.
 
 use core::sync::atomic::Ordering;
 use std::cell::RefCell;
 
 use crossbeam::epoch::Guard;
 
+use crate::anchor::DescentAnchor;
 use crate::key::{slice_at, KEYLEN_LAYER, KEYLEN_SUFFIX, SLICE_LEN};
 use crate::node::{BorderNode, ExtractedLv, NodePtr};
 use crate::permutation::WIDTH;
 use crate::stats::Stats;
 use crate::suffix::KeySuffix;
 use crate::tree::{Masstree, Restart};
+use crate::version::Version;
 
 /// One decoded border-node entry captured in a validated snapshot.
 /// Shared with the reverse scanner (`scan_rev.rs`).
@@ -57,12 +77,29 @@ impl Entry {
 pub(crate) enum ScanStatus {
     /// Layer exhausted; continue with the caller's next entry.
     Done,
-    /// The callback asked to stop.
+    /// The callback asked to stop. The resume point (full-key bound in
+    /// [`ScanScratch::restart`], plus an optional anchor) has been
+    /// written to the scan's [`StopPoint`] slot.
     Stopped,
     /// A deleted node/layer was encountered; the full restart key
     /// (enclosing prefix + layer remainder) has been written to
     /// [`ScanScratch::restart`] and the whole scan restarts there.
     Restart,
+}
+
+/// The in-layer node walk hit a split or deletion and the caller must
+/// re-descend from its bound. Shared with the reverse scanner.
+pub(crate) struct Redescend;
+
+/// Where a stopped scan resumes: written at the innermost stop site and
+/// propagated out untouched (the full-key bound travels in
+/// [`ScanScratch::restart`]). Shared with the reverse scanner.
+pub(crate) enum StopPoint<V> {
+    /// Resume at `scratch.restart`, optionally with a validated anchor
+    /// for the border node the scan stopped in.
+    At { anchor: Option<DescentAnchor<V>> },
+    /// Nothing remains past the stop position: the cursor is done.
+    Exhausted,
 }
 
 /// Reusable scratch state for scans.
@@ -82,7 +119,8 @@ pub struct ScanScratch {
     /// Bound for the key *remainder* within the current layer (inclusive
     /// lower bound for forward scans, inclusive upper bound for reverse).
     pub(crate) bound: Vec<u8>,
-    /// Full key to restart from after hitting a deleted node/layer.
+    /// Full key to restart from after hitting a deleted node/layer, and
+    /// the full-key resume bound written when a visitor stops.
     pub(crate) restart: Vec<u8>,
 }
 
@@ -111,6 +149,132 @@ pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut ScanScratch) -> R) -> R {
         Ok(r) => r,
         Err(_) => (f.take().expect("closure runs once"))(&mut ScanScratch::new()),
     }
+}
+
+/// A resumable scan position: the full-key bound the scan continues
+/// from, the direction, and (when the scan stopped inside a border node
+/// that may still be valid) a [`DescentAnchor`] that lets the next
+/// chunk re-enter that node with zero descent. Safe to hold across (and
+/// outside) epoch guards, like any anchor.
+///
+/// Obtain one with [`ScanCursor::forward`]/[`ScanCursor::reverse_from`],
+/// feed it to [`Masstree::scan_resume`] repeatedly; `is_done` reports
+/// tree exhaustion. The bound buffer is reused across resumes, so a
+/// warm cursor allocates nothing.
+pub struct ScanCursor<V> {
+    pub(crate) anchor: Option<DescentAnchor<V>>,
+    pub(crate) bound: Vec<u8>,
+    pub(crate) reverse: bool,
+    pub(crate) done: bool,
+}
+
+impl<V> ScanCursor<V> {
+    /// A cursor for an ascending scan starting at `start` (inclusive).
+    pub fn forward(start: &[u8]) -> ScanCursor<V> {
+        ScanCursor {
+            anchor: None,
+            bound: start.to_vec(),
+            reverse: false,
+            done: false,
+        }
+    }
+
+    /// A cursor for a descending scan starting at `start` (inclusive).
+    pub fn reverse_from(start: &[u8]) -> ScanCursor<V> {
+        ScanCursor {
+            anchor: None,
+            bound: start.to_vec(),
+            reverse: true,
+            done: false,
+        }
+    }
+
+    /// Re-aims this cursor at a fresh scan (dropping the anchor),
+    /// reusing the bound buffer's capacity.
+    pub fn reset(&mut self, start: &[u8], reverse: bool) {
+        self.anchor = None;
+        self.bound.clear();
+        self.bound.extend_from_slice(start);
+        self.reverse = reverse;
+        self.done = false;
+    }
+
+    /// The full-key bound the next resume continues from (inclusive).
+    pub fn bound(&self) -> &[u8] {
+        &self.bound
+    }
+
+    /// Whether this cursor scans in descending order.
+    pub fn is_reverse(&self) -> bool {
+        self.reverse
+    }
+
+    /// True once the scan has exhausted the tree; further resumes visit
+    /// nothing.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// True when the cursor holds a validated-anchor candidate (the
+    /// next resume will *attempt* a zero-descent re-entry).
+    pub fn has_anchor(&self) -> bool {
+        self.anchor.is_some()
+    }
+
+    /// Adopts the stop point a scan pass left in the scratch.
+    pub(crate) fn adopt_stop(&mut self, scratch: &ScanScratch, stop: Option<StopPoint<V>>) {
+        self.bound.clear();
+        self.bound.extend_from_slice(&scratch.restart);
+        match stop {
+            Some(StopPoint::At { anchor }) => self.anchor = anchor,
+            Some(StopPoint::Exhausted) => {
+                self.anchor = None;
+                self.done = true;
+            }
+            None => self.anchor = None,
+        }
+    }
+}
+
+impl<V> core::fmt::Debug for ScanCursor<V> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "ScanCursor({} {:?}, anchored: {}, done: {})",
+            if self.reverse { "rev" } else { "fwd" },
+            &self.bound,
+            self.anchor.is_some(),
+            self.done
+        )
+    }
+}
+
+/// What a [`Masstree::scan_resume`] pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanResumeOutcome {
+    /// Entries visited this pass.
+    pub visited: usize,
+    /// True when the pass re-entered the tree through the cursor's
+    /// validated anchor (zero descent); false when it had no anchor or
+    /// the anchor failed validation and a full descent ran instead.
+    pub resumed: bool,
+}
+
+/// Writes the smallest key strictly greater than every key carrying
+/// prefix `p` into `out`; returns `false` (out cleared) when no such
+/// key exists (`p` is empty or all `0xff`).
+fn increment_prefix(p: &[u8], out: &mut Vec<u8>) -> bool {
+    out.clear();
+    out.extend_from_slice(p);
+    while let Some(last) = out.last_mut() {
+        if *last == 0xff {
+            out.pop();
+        } else {
+            *last += 1;
+            return true;
+        }
+    }
+    false
 }
 
 impl<V: Send + Sync + 'static> Masstree<V> {
@@ -146,21 +310,202 @@ impl<V: Send + Sync + 'static> Masstree<V> {
         F: FnMut(&[u8], &'g V) -> bool,
     {
         let mut count = 0usize;
+        let mut stop = None;
         scratch.bound.clear();
         scratch.bound.extend_from_slice(start);
         loop {
             let root = self.load_root();
             scratch.prefix.clear();
-            match self.scan_layer(root, scratch, guard, &mut |k, v| {
-                count += 1;
-                f(k, v)
-            }) {
+            match self.scan_layer(
+                root,
+                scratch,
+                guard,
+                &mut |k, v| {
+                    count += 1;
+                    f(k, v)
+                },
+                &mut stop,
+            ) {
                 ScanStatus::Done | ScanStatus::Stopped => return count,
                 ScanStatus::Restart => {
                     Stats::bump(&self.stats.op_restarts);
                     core::mem::swap(&mut scratch.bound, &mut scratch.restart);
                 }
             }
+        }
+    }
+
+    /// Runs one pass of a resumable scan: visits entries from the
+    /// cursor's bound in the cursor's direction until `f` returns
+    /// `false` or the tree is exhausted, then records the new stop point
+    /// (bound + anchor) back into the cursor.
+    ///
+    /// When the cursor's anchor validates
+    /// ([`crate::anchor::DescentAnchor::enter_for_scan`]) the pass
+    /// starts at the remembered border node with **zero descent**;
+    /// otherwise it descends from the bound like a fresh scan. Either
+    /// way the visited sequence is exactly what [`Masstree::scan`] /
+    /// [`Masstree::scan_rev`] from the cursor's bound would produce.
+    ///
+    /// Uses the thread-local [`ScanScratch`]; see
+    /// [`Masstree::scan_resume_with`].
+    pub fn scan_resume<'g, F>(
+        &self,
+        cursor: &mut ScanCursor<V>,
+        guard: &'g Guard,
+        mut f: F,
+    ) -> ScanResumeOutcome
+    where
+        F: FnMut(&[u8], &'g V) -> bool,
+    {
+        with_scratch(|scratch| self.scan_resume_with(cursor, scratch, guard, |k, v| f(k, v)))
+    }
+
+    /// [`Masstree::scan_resume`] with an explicit scratch (warm scratch
+    /// + warm cursor ⇒ no heap allocation).
+    pub fn scan_resume_with<'g, F>(
+        &self,
+        cursor: &mut ScanCursor<V>,
+        scratch: &mut ScanScratch,
+        guard: &'g Guard,
+        mut f: F,
+    ) -> ScanResumeOutcome
+    where
+        F: FnMut(&[u8], &'g V) -> bool,
+    {
+        if cursor.done {
+            return ScanResumeOutcome {
+                visited: 0,
+                resumed: false,
+            };
+        }
+        let mut count = 0usize;
+        let mut stop: Option<StopPoint<V>> = None;
+        let mut stopped = false;
+        let mut resumed = false;
+        let mut counting = |k: &[u8], v: &'g V| {
+            count += 1;
+            f(k, v)
+        };
+
+        // Fast path: re-enter the tree at the anchored border node.
+        if let Some(anchor) = cursor.anchor.take() {
+            let off = anchor.offset();
+            if off <= cursor.bound.len() && off % SLICE_LEN == 0 {
+                if let Some(bn) = anchor.enter_for_scan(guard) {
+                    resumed = true;
+                    scratch.prefix.clear();
+                    scratch.prefix.extend_from_slice(&cursor.bound[..off]);
+                    scratch.bound.clear();
+                    scratch.bound.extend_from_slice(&cursor.bound[off..]);
+                    let status = if cursor.reverse {
+                        let mut everything = false;
+                        self.scan_rev_layer_nodes(
+                            bn,
+                            &mut everything,
+                            scratch,
+                            guard,
+                            &mut counting,
+                            &mut stop,
+                        )
+                    } else {
+                        self.scan_layer_nodes(bn, scratch, guard, &mut counting, &mut stop)
+                    };
+                    match status {
+                        Ok(ScanStatus::Stopped) => {
+                            cursor.adopt_stop(scratch, stop);
+                            return ScanResumeOutcome {
+                                visited: count,
+                                resumed,
+                            };
+                        }
+                        Ok(ScanStatus::Done) => {
+                            // The anchored layer is exhausted in the scan
+                            // direction; continue in the enclosing layers
+                            // via a fresh descent past/below the layer's
+                            // whole prefix.
+                            if off == 0 {
+                                cursor.done = true;
+                                cursor.anchor = None;
+                                return ScanResumeOutcome {
+                                    visited: count,
+                                    resumed,
+                                };
+                            }
+                            if cursor.reverse {
+                                // Everything < the prefixed keys: the
+                                // prefix itself is the inclusive ceiling
+                                // (any shorter prefix of it sorts below).
+                                cursor.bound.truncate(off);
+                            } else {
+                                if !increment_prefix(&cursor.bound[..off], &mut scratch.restart) {
+                                    cursor.done = true;
+                                    cursor.anchor = None;
+                                    return ScanResumeOutcome {
+                                        visited: count,
+                                        resumed,
+                                    };
+                                }
+                                cursor.bound.clear();
+                                cursor.bound.extend_from_slice(&scratch.restart);
+                            }
+                        }
+                        Ok(ScanStatus::Restart) => {
+                            // Deleted node/layer mid-walk: full restart
+                            // from the recorded key.
+                            cursor.bound.clear();
+                            cursor.bound.extend_from_slice(&scratch.restart);
+                        }
+                        Err(Redescend) => {
+                            // Split or deletion at the current node: fall
+                            // back to a descent from the current position
+                            // (prefix + advanced bound).
+                            scratch.restart.clear();
+                            scratch.restart.extend_from_slice(&scratch.prefix);
+                            scratch.restart.extend_from_slice(&scratch.bound);
+                            cursor.bound.clear();
+                            cursor.bound.extend_from_slice(&scratch.restart);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Full path: descend from the cursor's bound, like
+        // `scan_with`/`scan_rev_with`, but capturing the stop point.
+        loop {
+            let root = self.load_root();
+            scratch.prefix.clear();
+            scratch.bound.clear();
+            scratch.bound.extend_from_slice(&cursor.bound);
+            let status = if cursor.reverse {
+                self.scan_rev_layer(root, false, scratch, guard, &mut counting, &mut stop)
+            } else {
+                self.scan_layer(root, scratch, guard, &mut counting, &mut stop)
+            };
+            match status {
+                ScanStatus::Done => {
+                    cursor.done = true;
+                    cursor.anchor = None;
+                    break;
+                }
+                ScanStatus::Stopped => {
+                    stopped = true;
+                    break;
+                }
+                ScanStatus::Restart => {
+                    Stats::bump(&self.stats.op_restarts);
+                    cursor.bound.clear();
+                    cursor.bound.extend_from_slice(&scratch.restart);
+                }
+            }
+        }
+        if stopped {
+            cursor.adopt_stop(scratch, stop);
+        }
+        ScanResumeOutcome {
+            visited: count,
+            resumed,
         }
     }
 
@@ -193,18 +538,18 @@ impl<V: Send + Sync + 'static> Masstree<V> {
     /// lower bound for the key *remainder* within this layer. Restores
     /// `prefix` before returning; `bound` is consumed (the caller
     /// rewrites it from its own resume point).
-    fn scan_layer<'g>(
+    pub(crate) fn scan_layer<'g>(
         &self,
         root: NodePtr<V>,
         scratch: &mut ScanScratch,
         guard: &'g Guard,
         f: &mut dyn FnMut(&[u8], &'g V) -> bool,
+        stop: &mut Option<StopPoint<V>>,
     ) -> ScanStatus {
-        let mut entries = [Entry::EMPTY; WIDTH];
         'redescend: loop {
             let bikey = slice_at(&scratch.bound, 0);
             let mut root = root;
-            let (mut n, _v) = match self.find_border(&mut root, bikey, guard) {
+            let (n, _v) = match self.find_border(&mut root, bikey, guard) {
                 Ok(x) => x,
                 Err(Restart) => {
                     scratch.restart.clear();
@@ -213,114 +558,162 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                     return ScanStatus::Restart;
                 }
             };
-            'nodes: loop {
-                let (filled, next) = match Self::snapshot_border(n, &mut entries) {
-                    Ok(x) => x,
-                    Err(()) => continue 'redescend,
-                };
-                for e in &entries[..filled] {
-                    // Inclusive lower-bound filter against the remainder.
-                    let bikey = slice_at(&scratch.bound, 0);
-                    let brank = if scratch.bound.len() > SLICE_LEN {
-                        KEYLEN_SUFFIX
-                    } else {
-                        scratch.bound.len() as u8
-                    };
-                    if e.ikey < bikey {
-                        continue;
-                    }
-                    let erank = crate::key::keylen_rank(e.code);
-                    if e.ikey == bikey && erank < brank {
-                        continue;
-                    }
-                    let in_rank9_boundary =
-                        e.ikey == bikey && erank == KEYLEN_SUFFIX && brank == KEYLEN_SUFFIX;
-                    let slice_bytes = e.ikey.to_be_bytes();
-                    match e.code {
-                        KEYLEN_LAYER => {
-                            // Sub-layer bound: the remainder past this
-                            // slice, or everything from the start.
-                            if in_rank9_boundary {
-                                scratch.bound.drain(..SLICE_LEN);
-                            } else {
-                                scratch.bound.clear();
-                            }
-                            scratch.prefix.extend_from_slice(&slice_bytes);
-                            let st =
-                                self.scan_layer(NodePtr::from_raw(e.lv.cast()), scratch, guard, f);
-                            let plen = scratch.prefix.len() - SLICE_LEN;
-                            scratch.prefix.truncate(plen);
-                            match st {
-                                ScanStatus::Done => {}
-                                other => return other,
-                            }
-                            // Resume strictly after the whole sub-layer. A
-                            // layer under the maximum slice is the last
-                            // possible entry of the whole layer.
-                            match e.ikey.checked_add(1) {
-                                Some(nk) => {
-                                    scratch.bound.clear();
-                                    scratch.bound.extend_from_slice(&nk.to_be_bytes());
-                                }
-                                None => return ScanStatus::Done,
-                            }
-                        }
-                        KEYLEN_SUFFIX => {
-                            debug_assert!(!e.suffix.is_null());
-                            // SAFETY: captured in a validated snapshot;
-                            // epoch keeps the block live for the guard.
-                            let sb = unsafe { KeySuffix::bytes(e.suffix) };
-                            if in_rank9_boundary && sb < &scratch.bound[SLICE_LEN..] {
-                                continue;
-                            }
-                            let plen = scratch.prefix.len();
-                            scratch.prefix.extend_from_slice(&slice_bytes);
-                            scratch.prefix.extend_from_slice(sb);
-                            // SAFETY: validated value pointer, epoch-live.
-                            let keep = f(&scratch.prefix, unsafe { &*e.lv.cast::<V>() });
-                            scratch.prefix.truncate(plen);
-                            if !keep {
-                                return ScanStatus::Stopped;
-                            }
-                            scratch.bound.clear();
-                            scratch.bound.extend_from_slice(&slice_bytes);
-                            scratch.bound.extend_from_slice(sb);
-                            scratch.bound.push(0);
-                        }
-                        len => {
-                            let len = len as usize;
-                            let plen = scratch.prefix.len();
-                            scratch.prefix.extend_from_slice(&slice_bytes[..len]);
-                            // SAFETY: validated value pointer, epoch-live.
-                            let keep = f(&scratch.prefix, unsafe { &*e.lv.cast::<V>() });
-                            scratch.prefix.truncate(plen);
-                            if !keep {
-                                return ScanStatus::Stopped;
-                            }
-                            scratch.bound.clear();
-                            scratch.bound.extend_from_slice(&slice_bytes[..len]);
-                            scratch.bound.push(0);
-                        }
-                    }
-                }
-                if next.is_null() {
-                    return ScanStatus::Done;
-                }
-                // SAFETY: leaf-list pointers stay live under the epoch.
-                n = unsafe { &*next };
-                continue 'nodes;
+            match self.scan_layer_nodes(n, scratch, guard, f, stop) {
+                Ok(status) => return status,
+                Err(Redescend) => continue 'redescend,
             }
         }
     }
 
+    /// The in-layer node walk of [`Masstree::scan_layer`], starting at
+    /// border node `n` (reached by a descent **or** through a validated
+    /// scan anchor): snapshot each node, emit entries past the bound,
+    /// follow the leaf list right. `Err(Redescend)` reports a split or
+    /// deletion the caller must re-descend (or fall back) from.
+    pub(crate) fn scan_layer_nodes<'g>(
+        &self,
+        mut n: &'g BorderNode<V>,
+        scratch: &mut ScanScratch,
+        guard: &'g Guard,
+        f: &mut dyn FnMut(&[u8], &'g V) -> bool,
+        stop: &mut Option<StopPoint<V>>,
+    ) -> Result<ScanStatus, Redescend> {
+        let mut entries = [Entry::EMPTY; WIDTH];
+        loop {
+            let (filled, next, v) = match Self::snapshot_border(n, &mut entries) {
+                Ok(x) => x,
+                Err(()) => return Err(Redescend),
+            };
+            for e in &entries[..filled] {
+                // Inclusive lower-bound filter against the remainder.
+                let bikey = slice_at(&scratch.bound, 0);
+                let brank = if scratch.bound.len() > SLICE_LEN {
+                    KEYLEN_SUFFIX
+                } else {
+                    scratch.bound.len() as u8
+                };
+                if e.ikey < bikey {
+                    continue;
+                }
+                let erank = crate::key::keylen_rank(e.code);
+                if e.ikey == bikey && erank < brank {
+                    continue;
+                }
+                let in_rank9_boundary =
+                    e.ikey == bikey && erank == KEYLEN_SUFFIX && brank == KEYLEN_SUFFIX;
+                let slice_bytes = e.ikey.to_be_bytes();
+                match e.code {
+                    KEYLEN_LAYER => {
+                        // Sub-layer bound: the remainder past this
+                        // slice, or everything from the start.
+                        if in_rank9_boundary {
+                            scratch.bound.drain(..SLICE_LEN);
+                        } else {
+                            scratch.bound.clear();
+                        }
+                        scratch.prefix.extend_from_slice(&slice_bytes);
+                        let st = self.scan_layer(
+                            NodePtr::from_raw(e.lv.cast()),
+                            scratch,
+                            guard,
+                            f,
+                            stop,
+                        );
+                        let plen = scratch.prefix.len() - SLICE_LEN;
+                        scratch.prefix.truncate(plen);
+                        match st {
+                            ScanStatus::Done => {}
+                            other => return Ok(other),
+                        }
+                        // Resume strictly after the whole sub-layer. A
+                        // layer under the maximum slice is the last
+                        // possible entry of the whole layer.
+                        match e.ikey.checked_add(1) {
+                            Some(nk) => {
+                                scratch.bound.clear();
+                                scratch.bound.extend_from_slice(&nk.to_be_bytes());
+                            }
+                            None => return Ok(ScanStatus::Done),
+                        }
+                    }
+                    KEYLEN_SUFFIX => {
+                        debug_assert!(!e.suffix.is_null());
+                        // SAFETY: captured in a validated snapshot;
+                        // epoch keeps the block live for the guard.
+                        let sb = unsafe { KeySuffix::bytes(e.suffix) };
+                        if in_rank9_boundary && sb < &scratch.bound[SLICE_LEN..] {
+                            continue;
+                        }
+                        let plen = scratch.prefix.len();
+                        scratch.prefix.extend_from_slice(&slice_bytes);
+                        scratch.prefix.extend_from_slice(sb);
+                        // SAFETY: validated value pointer, epoch-live.
+                        let keep = f(&scratch.prefix, unsafe { &*e.lv.cast::<V>() });
+                        scratch.prefix.truncate(plen);
+                        // Advance the bound past the emitted key *before*
+                        // honoring a stop, so the stop point is always
+                        // "strictly after the last emitted entry".
+                        scratch.bound.clear();
+                        scratch.bound.extend_from_slice(&slice_bytes);
+                        scratch.bound.extend_from_slice(sb);
+                        scratch.bound.push(0);
+                        if !keep {
+                            return Ok(self.stopped_at(n, v, scratch, stop));
+                        }
+                    }
+                    len => {
+                        let len = len as usize;
+                        let plen = scratch.prefix.len();
+                        scratch.prefix.extend_from_slice(&slice_bytes[..len]);
+                        // SAFETY: validated value pointer, epoch-live.
+                        let keep = f(&scratch.prefix, unsafe { &*e.lv.cast::<V>() });
+                        scratch.prefix.truncate(plen);
+                        scratch.bound.clear();
+                        scratch.bound.extend_from_slice(&slice_bytes[..len]);
+                        scratch.bound.push(0);
+                        if !keep {
+                            return Ok(self.stopped_at(n, v, scratch, stop));
+                        }
+                    }
+                }
+            }
+            if next.is_null() {
+                return Ok(ScanStatus::Done);
+            }
+            // SAFETY: leaf-list pointers stay live under the epoch.
+            n = unsafe { &*next };
+        }
+    }
+
+    /// Records a forward scan's stop point: the full-key resume bound in
+    /// `scratch.restart` and a validated anchor for the node the scan
+    /// stopped in.
+    fn stopped_at(
+        &self,
+        n: &BorderNode<V>,
+        v: Version,
+        scratch: &mut ScanScratch,
+        stop: &mut Option<StopPoint<V>>,
+    ) -> ScanStatus {
+        scratch.restart.clear();
+        scratch.restart.extend_from_slice(&scratch.prefix);
+        scratch.restart.extend_from_slice(&scratch.bound);
+        *stop = Some(StopPoint::At {
+            anchor: Some(DescentAnchor::capture(n, v, scratch.prefix.len())),
+        });
+        ScanStatus::Stopped
+    }
+
     /// Captures a consistent snapshot of a border node's live entries
-    /// (into the caller's fixed buffer, permutation order) and its `next`
-    /// pointer. Local inserts retry in place; splits and deletions return
-    /// `Err` so the caller re-descends from its bound.
+    /// (into the caller's fixed buffer, permutation order), its `next`
+    /// pointer and the version that validated the snapshot. Local
+    /// inserts retry in place; splits and deletions return `Err` so the
+    /// caller re-descends from its bound.
+    #[allow(clippy::type_complexity)]
     fn snapshot_border(
         n: &BorderNode<V>,
         entries: &mut [Entry; WIDTH],
-    ) -> Result<(usize, *mut BorderNode<V>), ()> {
+    ) -> Result<(usize, *mut BorderNode<V>, Version), ()> {
         loop {
             let v = n.version().stable();
             if v.is_deleted() {
@@ -366,7 +759,7 @@ impl<V: Send + Sync + 'static> Masstree<V> {
             let next = n.next.load(Ordering::Acquire);
             let v2 = n.version().load(Ordering::Acquire);
             if !unstable && !v.has_changed(v2) {
-                return Ok((filled, next));
+                return Ok((filled, next, v));
             }
             if v.has_split(n.version().stable()) {
                 return Err(());
@@ -427,5 +820,114 @@ mod tests {
         });
         assert_eq!(outer, 50);
         assert_eq!(inner_total, 50 * 10, "each inner scan sees k040..k049");
+    }
+
+    #[test]
+    fn increment_prefix_carries_and_exhausts() {
+        let mut out = Vec::new();
+        assert!(increment_prefix(b"abc", &mut out));
+        assert_eq!(out, b"abd");
+        assert!(increment_prefix(b"ab\xff", &mut out));
+        assert_eq!(out, b"ac");
+        assert!(!increment_prefix(b"\xff\xff", &mut out));
+        assert!(!increment_prefix(b"", &mut out));
+    }
+
+    #[test]
+    fn chunked_resume_equals_full_scan() {
+        let tree: Masstree<u64> = Masstree::new();
+        let g = crate::pin();
+        // Mixed shapes: inline keys, suffixed keys, deep layers.
+        let mut keys: Vec<Vec<u8>> = Vec::new();
+        for i in 0..300u64 {
+            keys.push(format!("k{i:04}").into_bytes());
+            keys.push(format!("deep/shared/prefix/{i:04}").into_bytes());
+        }
+        for (i, k) in keys.iter().enumerate() {
+            tree.put(k, i as u64, &g);
+        }
+        let mut full = Vec::new();
+        tree.scan(b"", &g, |k, v| {
+            full.push((k.to_vec(), *v));
+            true
+        });
+        for chunk in [1usize, 3, 7, 64] {
+            let mut cur: ScanCursor<u64> = ScanCursor::forward(b"");
+            let mut got = Vec::new();
+            let mut resumes = 0;
+            while !cur.is_done() {
+                let mut left = chunk;
+                let out = tree.scan_resume(&mut cur, &g, |k, v| {
+                    got.push((k.to_vec(), *v));
+                    left -= 1;
+                    left > 0
+                });
+                resumes += out.resumed as usize;
+            }
+            assert_eq!(got, full, "chunk {chunk}");
+            assert!(
+                resumes > 0 || chunk >= full.len(),
+                "anchored resumes never validated at chunk {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_reverse_resume_equals_full_scan_rev() {
+        let tree: Masstree<u64> = Masstree::new();
+        let g = crate::pin();
+        for i in 0..300u64 {
+            tree.put(format!("r{i:04}").as_bytes(), i, &g);
+            tree.put(format!("deep/shared/prefix/{i:04}").as_bytes(), i, &g);
+        }
+        let mut full = Vec::new();
+        tree.scan_rev(b"\xff\xff\xff", &g, |k, v| {
+            full.push((k.to_vec(), *v));
+            true
+        });
+        for chunk in [1usize, 5, 50] {
+            let mut cur: ScanCursor<u64> = ScanCursor::reverse_from(b"\xff\xff\xff");
+            let mut got = Vec::new();
+            while !cur.is_done() {
+                let mut left = chunk;
+                tree.scan_resume(&mut cur, &g, |k, v| {
+                    got.push((k.to_vec(), *v));
+                    left -= 1;
+                    left > 0
+                });
+            }
+            assert_eq!(got, full, "reverse chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn resume_observes_intervening_writes_without_reordering() {
+        let tree: Masstree<u64> = Masstree::new();
+        let g = crate::pin();
+        for i in (0..400u64).step_by(2) {
+            tree.put(format!("w{i:04}").as_bytes(), i, &g);
+        }
+        let mut cur: ScanCursor<u64> = ScanCursor::forward(b"");
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        let mut round = 1u64;
+        while !cur.is_done() {
+            let mut left = 10usize;
+            tree.scan_resume(&mut cur, &g, |k, _| {
+                got.push(k.to_vec());
+                left -= 1;
+                left > 0
+            });
+            // Churn between chunks: insert odd keys ahead and behind,
+            // remove some already-visited keys (forcing splits, freed
+            // slots and anchor invalidations).
+            let b = round * 20 % 400;
+            tree.put(format!("w{:04}", b + 1).as_bytes(), b, &g);
+            tree.remove(format!("w{:04}", round * 4 % 200).as_bytes(), &g);
+            round += 1;
+        }
+        // Uniqueness + strict order despite churn.
+        for w in got.windows(2) {
+            assert!(w[0] < w[1], "resumed scan reordered: {:?} {:?}", w[0], w[1]);
+        }
     }
 }

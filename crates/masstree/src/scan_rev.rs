@@ -11,6 +11,12 @@
 //! the backward walk revalidates by *key range* and falls back to a
 //! fresh descent instead of trusting the link.
 //!
+//! Reverse scans are resumable through the same [`crate::scan::ScanCursor`]
+//! machinery as forward ones: a stopped scan records its border node as
+//! a validated anchor plus the descending full-key bound, and
+//! [`Masstree::scan_resume`](crate::tree::Masstree::scan_resume)
+//! re-enters there.
+//!
 //! Like the forward scanner, the hot path is allocation-free in steady
 //! state: snapshots land in a stack array, and the prefix/bound/restart
 //! buffers live in a reusable [`ScanScratch`]. The upper bound is the
@@ -21,13 +27,15 @@ use core::sync::atomic::Ordering;
 
 use crossbeam::epoch::Guard;
 
+use crate::anchor::DescentAnchor;
 use crate::key::{slice_at, KEYLEN_LAYER, KEYLEN_SUFFIX, SLICE_LEN};
 use crate::node::{BorderNode, ExtractedLv, NodePtr};
 use crate::permutation::WIDTH;
-use crate::scan::{with_scratch, Entry, ScanScratch, ScanStatus};
+use crate::scan::{with_scratch, Entry, Redescend, ScanScratch, ScanStatus, StopPoint};
 use crate::stats::Stats;
 use crate::suffix::KeySuffix;
 use crate::tree::{Masstree, Restart};
+use crate::version::Version;
 
 impl<V: Send + Sync + 'static> Masstree<V> {
     /// Visits keys at or *below* `start` in descending lexicographic
@@ -57,15 +65,23 @@ impl<V: Send + Sync + 'static> Masstree<V> {
         F: FnMut(&[u8], &'g V) -> bool,
     {
         let mut count = 0usize;
+        let mut stop = None;
         scratch.bound.clear();
         scratch.bound.extend_from_slice(start);
         loop {
             let root = self.load_root();
             scratch.prefix.clear();
-            match self.scan_rev_layer(root, false, scratch, guard, &mut |k, v| {
-                count += 1;
-                f(k, v)
-            }) {
+            match self.scan_rev_layer(
+                root,
+                false,
+                scratch,
+                guard,
+                &mut |k, v| {
+                    count += 1;
+                    f(k, v)
+                },
+                &mut stop,
+            ) {
                 ScanStatus::Done | ScanStatus::Stopped => return count,
                 ScanStatus::Restart => {
                     Stats::bump(&self.stats.op_restarts);
@@ -97,15 +113,15 @@ impl<V: Send + Sync + 'static> Masstree<V> {
     /// Scans one layer in descending order. `scratch.bound` is the
     /// inclusive upper bound for key remainders within this layer,
     /// unless `everything` says the layer is unbounded above.
-    fn scan_rev_layer<'g>(
+    pub(crate) fn scan_rev_layer<'g>(
         &self,
         root: NodePtr<V>,
         mut everything: bool,
         scratch: &mut ScanScratch,
         guard: &'g Guard,
         f: &mut dyn FnMut(&[u8], &'g V) -> bool,
+        stop: &mut Option<StopPoint<V>>,
     ) -> ScanStatus {
-        let mut entries = [Entry::EMPTY; WIDTH];
         'redescend: loop {
             let bikey = if everything {
                 u64::MAX
@@ -113,7 +129,7 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                 slice_at(&scratch.bound, 0)
             };
             let mut root_var = root;
-            let (mut n, _v) = match self.find_border(&mut root_var, bikey, guard) {
+            let (n, _v) = match self.find_border(&mut root_var, bikey, guard) {
                 Ok(x) => x,
                 Err(Restart) => {
                     scratch.restart.clear();
@@ -129,145 +145,203 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                     return ScanStatus::Restart;
                 }
             };
-            loop {
-                let (filled, prev, lowkey) = match Self::snapshot_border_rev(n, &mut entries) {
-                    Ok(x) => x,
-                    Err(()) => continue 'redescend,
-                };
-                // Process this node's entries from highest to lowest.
-                for e in entries[..filled].iter().rev() {
-                    // Upper-bound filter.
-                    let (bikey, brank) = if everything {
-                        (u64::MAX, KEYLEN_SUFFIX)
-                    } else {
-                        (
-                            slice_at(&scratch.bound, 0),
-                            if scratch.bound.len() > SLICE_LEN {
-                                KEYLEN_SUFFIX
-                            } else {
-                                scratch.bound.len() as u8
-                            },
-                        )
-                    };
-                    if e.ikey > bikey {
-                        continue;
-                    }
-                    let erank = crate::key::keylen_rank(e.code);
-                    if e.ikey == bikey && erank > brank {
-                        continue;
-                    }
-                    let at_boundary = e.ikey == bikey && erank == brank;
-                    let bounded_suffix = at_boundary && brank == KEYLEN_SUFFIX && !everything;
-                    let slice_bytes = e.ikey.to_be_bytes();
-                    match e.code {
-                        KEYLEN_LAYER => {
-                            // Sub-layer bound: the bound's remainder past
-                            // this slice, else the whole sub-layer.
-                            let sub_everything = if bounded_suffix {
-                                scratch.bound.drain(..SLICE_LEN);
-                                false
-                            } else {
-                                true
-                            };
-                            scratch.prefix.extend_from_slice(&slice_bytes);
-                            let st = self.scan_rev_layer(
-                                NodePtr::from_raw(e.lv.cast()),
-                                sub_everything,
-                                scratch,
-                                guard,
-                                f,
-                            );
-                            let plen = scratch.prefix.len() - SLICE_LEN;
-                            scratch.prefix.truncate(plen);
-                            match st {
-                                ScanStatus::Done => {}
-                                other => return other,
-                            }
-                            // Resume strictly below the whole sub-layer:
-                            // the next candidate is the inline key of the
-                            // same slice with rank 8, bounded inclusively.
-                            scratch.bound.clear();
-                            scratch.bound.extend_from_slice(&slice_bytes);
-                            everything = false;
-                            // (rank 8 == full slice, which sorts just
-                            // below the layer's rank-9 position.)
-                        }
-                        KEYLEN_SUFFIX => {
-                            debug_assert!(!e.suffix.is_null());
-                            // SAFETY: captured under a validated snapshot;
-                            // epoch keeps the block live for the guard.
-                            let sb = unsafe { KeySuffix::bytes(e.suffix) };
-                            if bounded_suffix && sb > &scratch.bound[SLICE_LEN..] {
-                                continue;
-                            }
-                            let plen = scratch.prefix.len();
-                            scratch.prefix.extend_from_slice(&slice_bytes);
-                            scratch.prefix.extend_from_slice(sb);
-                            // SAFETY: validated value pointer, epoch-live.
-                            let keep = f(&scratch.prefix, unsafe { &*e.lv.cast::<V>() });
-                            scratch.prefix.truncate(plen);
-                            if !keep {
-                                return ScanStatus::Stopped;
-                            }
-                            if !prev_bound_into(e.ikey, e.code, Some(sb), &mut scratch.bound) {
-                                return ScanStatus::Done;
-                            }
-                            everything = false;
-                        }
-                        len => {
-                            let len = len as usize;
-                            let plen = scratch.prefix.len();
-                            scratch.prefix.extend_from_slice(&slice_bytes[..len]);
-                            // SAFETY: validated value pointer, epoch-live.
-                            let keep = f(&scratch.prefix, unsafe { &*e.lv.cast::<V>() });
-                            scratch.prefix.truncate(plen);
-                            if !keep {
-                                return ScanStatus::Stopped;
-                            }
-                            if !prev_bound_into(e.ikey, e.code, None, &mut scratch.bound) {
-                                return ScanStatus::Done;
-                            }
-                            everything = false;
-                        }
-                    }
-                }
-                // Move left. The prev pointer may lag behind splits, so
-                // re-descend by bound instead when it looks inconsistent.
-                if prev.is_null() {
-                    return ScanStatus::Done;
-                }
-                // Resume below this node's range: its lowkey is a valid
-                // exclusive bound (constant for the node's lifetime).
-                match lowkey.checked_sub(1) {
-                    None => return ScanStatus::Done,
-                    Some(pk) => {
-                        // Bound: every remainder whose slice ≤ lowkey-1
-                        // (inclusive at the suffix level).
-                        scratch.bound.clear();
-                        scratch.bound.extend_from_slice(&pk.to_be_bytes());
-                        scratch.bound.extend_from_slice(&[0xff; 8]); // rank-9 ceiling
-                        everything = false;
-                    }
-                }
-                // SAFETY: leaf-list pointers stay live under the epoch.
-                let pn = unsafe { &*prev };
-                // Validate the link: the previous node must actually cover
-                // keys below ours; otherwise re-descend.
-                if pn.lowkey.load(Ordering::Relaxed) > lowkey {
-                    continue 'redescend;
-                }
-                n = pn;
+            match self.scan_rev_layer_nodes(n, &mut everything, scratch, guard, f, stop) {
+                Ok(status) => return status,
+                Err(Redescend) => continue 'redescend,
             }
         }
     }
 
+    /// The in-layer descending node walk of [`Masstree::scan_rev_layer`],
+    /// starting at border node `n` (reached by a descent **or** through
+    /// a validated scan anchor). `Err(Redescend)` reports a split,
+    /// deletion or lagging prev-link the caller must re-descend (or
+    /// fall back) from.
+    pub(crate) fn scan_rev_layer_nodes<'g>(
+        &self,
+        mut n: &'g BorderNode<V>,
+        everything: &mut bool,
+        scratch: &mut ScanScratch,
+        guard: &'g Guard,
+        f: &mut dyn FnMut(&[u8], &'g V) -> bool,
+        stop: &mut Option<StopPoint<V>>,
+    ) -> Result<ScanStatus, Redescend> {
+        let mut entries = [Entry::EMPTY; WIDTH];
+        loop {
+            let (filled, prev, lowkey, v) = match Self::snapshot_border_rev(n, &mut entries) {
+                Ok(x) => x,
+                Err(()) => return Err(Redescend),
+            };
+            // Process this node's entries from highest to lowest.
+            for e in entries[..filled].iter().rev() {
+                // Upper-bound filter.
+                let (bikey, brank) = if *everything {
+                    (u64::MAX, KEYLEN_SUFFIX)
+                } else {
+                    (
+                        slice_at(&scratch.bound, 0),
+                        if scratch.bound.len() > SLICE_LEN {
+                            KEYLEN_SUFFIX
+                        } else {
+                            scratch.bound.len() as u8
+                        },
+                    )
+                };
+                if e.ikey > bikey {
+                    continue;
+                }
+                let erank = crate::key::keylen_rank(e.code);
+                if e.ikey == bikey && erank > brank {
+                    continue;
+                }
+                let at_boundary = e.ikey == bikey && erank == brank;
+                let bounded_suffix = at_boundary && brank == KEYLEN_SUFFIX && !*everything;
+                let slice_bytes = e.ikey.to_be_bytes();
+                match e.code {
+                    KEYLEN_LAYER => {
+                        // Sub-layer bound: the bound's remainder past
+                        // this slice, else the whole sub-layer.
+                        let sub_everything = if bounded_suffix {
+                            scratch.bound.drain(..SLICE_LEN);
+                            false
+                        } else {
+                            true
+                        };
+                        scratch.prefix.extend_from_slice(&slice_bytes);
+                        let st = self.scan_rev_layer(
+                            NodePtr::from_raw(e.lv.cast()),
+                            sub_everything,
+                            scratch,
+                            guard,
+                            f,
+                            stop,
+                        );
+                        let plen = scratch.prefix.len() - SLICE_LEN;
+                        scratch.prefix.truncate(plen);
+                        match st {
+                            ScanStatus::Done => {}
+                            other => return Ok(other),
+                        }
+                        // Resume strictly below the whole sub-layer:
+                        // the next candidate is the inline key of the
+                        // same slice with rank 8, bounded inclusively.
+                        scratch.bound.clear();
+                        scratch.bound.extend_from_slice(&slice_bytes);
+                        *everything = false;
+                        // (rank 8 == full slice, which sorts just
+                        // below the layer's rank-9 position.)
+                    }
+                    KEYLEN_SUFFIX => {
+                        debug_assert!(!e.suffix.is_null());
+                        // SAFETY: captured under a validated snapshot;
+                        // epoch keeps the block live for the guard.
+                        let sb = unsafe { KeySuffix::bytes(e.suffix) };
+                        if bounded_suffix && sb > &scratch.bound[SLICE_LEN..] {
+                            continue;
+                        }
+                        let plen = scratch.prefix.len();
+                        scratch.prefix.extend_from_slice(&slice_bytes);
+                        scratch.prefix.extend_from_slice(sb);
+                        // SAFETY: validated value pointer, epoch-live.
+                        let keep = f(&scratch.prefix, unsafe { &*e.lv.cast::<V>() });
+                        scratch.prefix.truncate(plen);
+                        // Advance the bound below the emitted key before
+                        // honoring a stop, so the stop point is always
+                        // "strictly below the last emitted entry".
+                        let more = prev_bound_into(e.ikey, e.code, Some(sb), &mut scratch.bound);
+                        *everything = false;
+                        if !keep {
+                            return Ok(self.stopped_rev_at(n, v, more, scratch, stop));
+                        }
+                        if !more {
+                            return Ok(ScanStatus::Done);
+                        }
+                    }
+                    len => {
+                        let len = len as usize;
+                        let plen = scratch.prefix.len();
+                        scratch.prefix.extend_from_slice(&slice_bytes[..len]);
+                        // SAFETY: validated value pointer, epoch-live.
+                        let keep = f(&scratch.prefix, unsafe { &*e.lv.cast::<V>() });
+                        scratch.prefix.truncate(plen);
+                        let more = prev_bound_into(e.ikey, e.code, None, &mut scratch.bound);
+                        *everything = false;
+                        if !keep {
+                            return Ok(self.stopped_rev_at(n, v, more, scratch, stop));
+                        }
+                        if !more {
+                            return Ok(ScanStatus::Done);
+                        }
+                    }
+                }
+            }
+            // Move left. The prev pointer may lag behind splits, so
+            // re-descend by bound instead when it looks inconsistent.
+            if prev.is_null() {
+                return Ok(ScanStatus::Done);
+            }
+            // Resume below this node's range: its lowkey is a valid
+            // exclusive bound (constant for the node's lifetime).
+            match lowkey.checked_sub(1) {
+                None => return Ok(ScanStatus::Done),
+                Some(pk) => {
+                    // Bound: every remainder whose slice ≤ lowkey-1
+                    // (inclusive at the suffix level).
+                    scratch.bound.clear();
+                    scratch.bound.extend_from_slice(&pk.to_be_bytes());
+                    scratch.bound.extend_from_slice(&[0xff; 8]); // rank-9 ceiling
+                    *everything = false;
+                }
+            }
+            // SAFETY: leaf-list pointers stay live under the epoch.
+            let pn = unsafe { &*prev };
+            // Validate the link: the previous node must actually cover
+            // keys below ours; otherwise re-descend.
+            if pn.lowkey.load(Ordering::Relaxed) > lowkey {
+                return Err(Redescend);
+            }
+            n = pn;
+        }
+    }
+
+    /// Records a reverse scan's stop point. `more` says whether
+    /// `scratch.bound` holds a valid continuation within this layer; if
+    /// not, the continuation is everything at or below the enclosing
+    /// prefix (which is itself a key candidate — it lives in the parent
+    /// layer), or nothing at all when the stop exhausted layer 0.
+    fn stopped_rev_at(
+        &self,
+        n: &BorderNode<V>,
+        v: Version,
+        more: bool,
+        scratch: &mut ScanScratch,
+        stop: &mut Option<StopPoint<V>>,
+    ) -> ScanStatus {
+        if more {
+            scratch.restart.clear();
+            scratch.restart.extend_from_slice(&scratch.prefix);
+            scratch.restart.extend_from_slice(&scratch.bound);
+            *stop = Some(StopPoint::At {
+                anchor: Some(DescentAnchor::capture(n, v, scratch.prefix.len())),
+            });
+        } else if scratch.prefix.is_empty() {
+            scratch.restart.clear();
+            *stop = Some(StopPoint::Exhausted);
+        } else {
+            scratch.restart.clear();
+            scratch.restart.extend_from_slice(&scratch.prefix);
+            *stop = Some(StopPoint::At { anchor: None });
+        }
+        ScanStatus::Stopped
+    }
+
     /// Snapshot (into the caller's fixed buffer) including the node's
-    /// `prev` pointer and lowkey.
+    /// `prev` pointer, lowkey, and the validating version.
     #[allow(clippy::type_complexity)]
     fn snapshot_border_rev(
         n: &BorderNode<V>,
         entries: &mut [Entry; WIDTH],
-    ) -> Result<(usize, *mut BorderNode<V>, u64), ()> {
+    ) -> Result<(usize, *mut BorderNode<V>, u64, Version), ()> {
         loop {
             let v = n.version().stable();
             if v.is_deleted() {
@@ -314,7 +388,7 @@ impl<V: Send + Sync + 'static> Masstree<V> {
             let lowkey = n.lowkey.load(Ordering::Relaxed);
             let v2 = n.version().load(Ordering::Acquire);
             if !unstable && !v.has_changed(v2) {
-                return Ok((filled, prev, lowkey));
+                return Ok((filled, prev, lowkey, v));
             }
             if v.has_split(n.version().stable()) {
                 return Err(());

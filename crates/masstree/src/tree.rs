@@ -195,8 +195,24 @@ impl<V: Send + Sync + 'static> Masstree<V> {
         start: &'g BorderNode<V>,
         ikey: u64,
     ) -> Result<&'g BorderNode<V>, Restart> {
+        start.version().lock();
+        self.walk_right_locked(start, ikey)
+    }
+
+    /// The already-locked body of [`Masstree::lock_border_for_ikey`]:
+    /// given a locked border node whose `lowkey` once covered `ikey`,
+    /// walks the leaf list right (unlock-then-lock) until the node
+    /// responsible for `ikey` is held. Shared by descending writers, the
+    /// batch engine's write cursors, and anchored writes (which enter
+    /// with [`crate::anchor::DescentAnchor::lock_for_write`] instead of
+    /// a descent). Errors (releasing the lock) if the chain hits a
+    /// deleted node.
+    pub(crate) fn walk_right_locked<'g>(
+        &self,
+        start: &'g BorderNode<V>,
+        ikey: u64,
+    ) -> Result<&'g BorderNode<V>, Restart> {
         let mut bn = start;
-        bn.version().lock();
         loop {
             if bn.version().load(Ordering::Relaxed).is_deleted() {
                 bn.version().unlock();

@@ -210,6 +210,34 @@ impl VersionCell {
         }
     }
 
+    /// `lock`, refusing nodes marked DELETED: spins while the lock is
+    /// held, returns `None` the moment the latest version word carries
+    /// the DELETED bit.
+    ///
+    /// This is the write-side anchor-validation primitive
+    /// (`anchor.rs`): because the CAS is an RMW it always acts on the
+    /// **latest** value of the word, so a success proves the node was
+    /// not deleted at acquisition time — a property optimistic loads
+    /// cannot give on memory that may have been freed.
+    #[inline]
+    pub fn lock_unless_deleted(&self) -> Option<Version> {
+        loop {
+            let cur = self.0.load(Ordering::Relaxed);
+            if cur & DELETED != 0 {
+                return None;
+            }
+            if cur & LOCKED == 0
+                && self
+                    .0
+                    .compare_exchange_weak(cur, cur | LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return Some(Version(cur | LOCKED));
+            }
+            core::hint::spin_loop();
+        }
+    }
+
     /// Attempts to claim the lock without spinning.
     #[inline]
     pub fn try_lock(&self) -> Option<Version> {
@@ -258,13 +286,16 @@ impl VersionCell {
         self.0.store(nv, Ordering::Release);
     }
 
-    /// `unlock` (Figure 4): bumps vinsert/vsplit according to the dirty
-    /// bits, then clears LOCKED, INSERTING and SPLITTING in a single
-    /// release store.
+    /// The version word [`VersionCell::unlock`] will publish, given the
+    /// current (locked) value. Writers use this to capture an anchor's
+    /// version snapshot **under the lock** — the only moment the node
+    /// provably covers the key just written: an anchor stamped with this
+    /// value validates exactly when nothing at all happened to the node
+    /// after the write's unlock.
     #[inline]
-    pub fn unlock(&self) {
+    pub fn unlocked_value(&self) -> Version {
         let v = self.0.load(Ordering::Relaxed);
-        debug_assert!(v & LOCKED != 0, "unlock of unlocked node");
+        debug_assert!(v & LOCKED != 0, "caller must hold the lock");
         let mut nv = v;
         if v & INSERTING != 0 {
             // Wrapping add within the 8-bit field.
@@ -275,8 +306,19 @@ impl VersionCell {
             // add cannot leak into other fields.
             nv = (nv & !VSPLIT_MASK) | (nv.wrapping_add(VSPLIT_UNIT) & VSPLIT_MASK);
         }
-        nv &= !(LOCKED | INSERTING | SPLITTING);
-        self.0.store(nv, Ordering::Release);
+        Version(nv & !(LOCKED | INSERTING | SPLITTING))
+    }
+
+    /// `unlock` (Figure 4): bumps vinsert/vsplit according to the dirty
+    /// bits, then clears LOCKED, INSERTING and SPLITTING in a single
+    /// release store.
+    #[inline]
+    pub fn unlock(&self) {
+        debug_assert!(
+            self.0.load(Ordering::Relaxed) & LOCKED != 0,
+            "unlock of unlocked node"
+        );
+        self.0.store(self.unlocked_value().0, Ordering::Release);
     }
 
     /// Copies lock-independent state (dirty/shape bits and counters) from

@@ -100,6 +100,14 @@ pub struct CacheConfig {
     /// Whether the adaptive bypass governor may disengage the table on
     /// reuse-free workloads (see the module docs).
     pub adaptive_bypass: bool,
+    /// Whether the **write path** (`put`/`remove`/`multi_put`) consults
+    /// the table too: read and write anchors share slots (a hint
+    /// captured by either side serves both), so a hot key's updates
+    /// start `lock_border_for_ikey` at the anchored node and skip the
+    /// descent. Validation makes a stale anchor harmless — it is
+    /// rejected and the write falls back to a descent — so this is a
+    /// pure routing decision, not a safety one.
+    pub cache_writes: bool,
 }
 
 impl Default for CacheConfig {
@@ -130,6 +138,7 @@ impl CacheConfig {
             counters,
             age_every: (counters / 16).max(64) as u32,
             adaptive_bypass: true,
+            cache_writes: true,
         }
     }
 }
@@ -157,6 +166,20 @@ pub struct CacheStats {
     pub evicted: u64,
     /// Entries dropped by explicit invalidation (`remove`).
     pub invalidated: u64,
+    /// Write-path lookup attempts (`put`/`remove` consulting the
+    /// table). Disjoint from `lookups`, which counts reads:
+    /// `write_lookups = write_hits + write_stale + write misses`.
+    pub write_lookups: u64,
+    /// Writes served through a validated anchor (zero descent).
+    pub write_hits: u64,
+    /// Writes whose anchor failed validation and fell back to a full
+    /// descent.
+    pub write_stale: u64,
+    /// Scans resumed at a validated anchor (zero descent).
+    pub scan_resumes: u64,
+    /// Scan resumptions that fell back to a full descent (no anchor, or
+    /// a stale one).
+    pub scan_stale: u64,
 }
 
 impl CacheStats {
@@ -171,6 +194,11 @@ impl CacheStats {
             rejected: self.rejected - since.rejected,
             evicted: self.evicted - since.evicted,
             invalidated: self.invalidated - since.invalidated,
+            write_lookups: self.write_lookups - since.write_lookups,
+            write_hits: self.write_hits - since.write_hits,
+            write_stale: self.write_stale - since.write_stale,
+            scan_resumes: self.scan_resumes - since.scan_resumes,
+            scan_stale: self.scan_stale - since.scan_stale,
         }
     }
 }
@@ -191,6 +219,11 @@ pub struct CacheStatsShared {
     rejected: AtomicU64,
     evicted: AtomicU64,
     invalidated: AtomicU64,
+    write_lookups: AtomicU64,
+    write_hits: AtomicU64,
+    write_stale: AtomicU64,
+    scan_resumes: AtomicU64,
+    scan_stale: AtomicU64,
 }
 
 impl CacheStatsShared {
@@ -204,6 +237,13 @@ impl CacheStatsShared {
         self.rejected.fetch_add(d.rejected, Ordering::Relaxed);
         self.evicted.fetch_add(d.evicted, Ordering::Relaxed);
         self.invalidated.fetch_add(d.invalidated, Ordering::Relaxed);
+        self.write_lookups
+            .fetch_add(d.write_lookups, Ordering::Relaxed);
+        self.write_hits.fetch_add(d.write_hits, Ordering::Relaxed);
+        self.write_stale.fetch_add(d.write_stale, Ordering::Relaxed);
+        self.scan_resumes
+            .fetch_add(d.scan_resumes, Ordering::Relaxed);
+        self.scan_stale.fetch_add(d.scan_stale, Ordering::Relaxed);
     }
 
     /// A point-in-time aggregate across all flushed sessions.
@@ -218,6 +258,11 @@ impl CacheStatsShared {
             rejected: self.rejected.load(Ordering::Relaxed),
             evicted: self.evicted.load(Ordering::Relaxed),
             invalidated: self.invalidated.load(Ordering::Relaxed),
+            write_lookups: self.write_lookups.load(Ordering::Relaxed),
+            write_hits: self.write_hits.load(Ordering::Relaxed),
+            write_stale: self.write_stale.load(Ordering::Relaxed),
+            scan_resumes: self.scan_resumes.load(Ordering::Relaxed),
+            scan_stale: self.scan_stale.load(Ordering::Relaxed),
         }
     }
 }
@@ -423,19 +468,40 @@ impl<V> HintCache<V> {
         self.bypass
     }
 
-    /// Looks up a hint for `key`. A hit touches the tag line and one
-    /// slot line — the admission sketch is only consulted (and bumped)
-    /// on misses, where admission decisions happen. The caller validates
-    /// a returned hint and reports the outcome via
-    /// [`HintCache::note_hit`] / [`HintCache::note_stale`].
+    /// Looks up a hint for `key` on behalf of a **read**. A hit touches
+    /// the tag line and one slot line — the admission sketch is only
+    /// consulted (and bumped) on misses, where admission decisions
+    /// happen. The caller validates a returned hint and reports the
+    /// outcome via [`HintCache::note_hit`] / [`HintCache::note_stale`].
     pub fn lookup(&mut self, key: &[u8]) -> Lookup<V> {
-        self.stats.lookups += 1;
+        self.lookup_kind(key, false)
+    }
+
+    /// Looks up an anchor for `key` on behalf of a **write** (`put` /
+    /// `remove`). Identical probe — read and write anchors share slots,
+    /// so a hint captured by either side serves both — but accounted
+    /// under the `write_*` counters; report the validation outcome via
+    /// [`HintCache::note_write_hit`] / [`HintCache::note_write_stale`].
+    /// Write misses feed the shared admission sketch: a write-hot key
+    /// earns its slot just like a read-hot one.
+    pub fn lookup_write(&mut self, key: &[u8]) -> Lookup<V> {
+        self.lookup_kind(key, true)
+    }
+
+    fn lookup_kind(&mut self, key: &[u8], write: bool) -> Lookup<V> {
+        if write {
+            self.stats.write_lookups += 1;
+        } else {
+            self.stats.lookups += 1;
+        }
         self.tick();
         if key.len() > MAX_KEY {
             // Uncacheable: don't feed the sketch (it would earn useless
             // admission credit and send every later get through a
             // doomed `record`) and don't probe.
-            self.stats.misses += 1;
+            if !write {
+                self.stats.misses += 1;
+            }
             self.govern(false);
             return Lookup::Miss { admit: false };
         }
@@ -459,7 +525,9 @@ impl<V> HintCache<V> {
             return Lookup::Hit(unsafe { s.hint.assume_init() });
         }
         self.govern(false);
-        self.stats.misses += 1;
+        if !write {
+            self.stats.misses += 1;
+        }
         // Sampled hot-key accounting: saturating bump, periodic halving.
         let c = &mut self.counters[hash as usize & self.counter_mask];
         *c = c.saturating_add(1);
@@ -487,6 +555,27 @@ impl<V> HintCache<V> {
         // A stale probe was still a table hit structurally; feeding it
         // to the governor as a hit is correct — bypass is about table
         // coldness, not tree churn.
+    }
+
+    /// Counts a write served through a validated anchor (zero descent).
+    pub fn note_write_hit(&mut self) {
+        self.stats.write_hits += 1;
+    }
+
+    /// Counts a write whose anchor failed validation (fell back to a
+    /// full descent).
+    pub fn note_write_stale(&mut self) {
+        self.stats.write_stale += 1;
+    }
+
+    /// Counts a scan resumed at a validated anchor (zero descent).
+    pub fn note_scan_resumed(&mut self) {
+        self.stats.scan_resumes += 1;
+    }
+
+    /// Counts a scan resumption that fell back to a full descent.
+    pub fn note_scan_fallback(&mut self) {
+        self.stats.scan_stale += 1;
     }
 
     /// Offers a freshly captured hint. Present entries are refreshed in
@@ -568,6 +657,156 @@ impl<V> HintCache<V> {
 impl<V> Drop for HintCache<V> {
     fn drop(&mut self) {
         self.flush_stats();
+    }
+}
+
+/// Per-session cache of resumable scan positions: a handful of
+/// [`ScanCursor`]s keyed by the full-key bound the next chunk is
+/// expected to start from. Sequential chunked range reads (`getrange(k,
+/// n)` repeated with `k` = previous end) then transparently resume at
+/// the remembered border node instead of re-descending from the root.
+///
+/// Like the hint table, the cache is per-worker and validation-based: a
+/// cursor's anchor is revalidated by the tree on every resume, so a
+/// stale entry costs one fallback descent, never a wrong answer.
+///
+/// Entries recycle their buffers on takeover (the expected-bound string
+/// and the cursor's own bound vector keep their capacity), so a warm
+/// cursor cache allocates nothing in steady state.
+pub struct CursorCache<V> {
+    entries: Vec<CursorEntry<V>>,
+    clock: u64,
+}
+
+struct CursorEntry<V> {
+    /// Full-key start the cached cursor continues from (empty = vacant;
+    /// an empty *live* bound is representable via `live`).
+    expected: Vec<u8>,
+    cursor: masstree::ScanCursor<V>,
+    reverse: bool,
+    live: bool,
+    stamp: u64,
+}
+
+/// Cursors cached per session; chunked scans rarely interleave more
+/// than a couple of independent range streams per connection.
+const CURSOR_WAYS: usize = 4;
+
+impl<V> CursorCache<V> {
+    pub fn new() -> CursorCache<V> {
+        CursorCache {
+            entries: Vec::new(),
+            clock: 0,
+        }
+    }
+
+    /// Takes the cursor expected to continue at `start` in the given
+    /// direction, if one is cached (the entry becomes vacant — put the
+    /// cursor back with [`CursorCache::put`] when the chunk completes).
+    pub fn take(&mut self, start: &[u8], reverse: bool) -> Option<masstree::ScanCursor<V>> {
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.live && e.reverse == reverse && e.expected == start)?;
+        e.live = false;
+        // Swap in a placeholder (empty bounds allocate nothing).
+        Some(core::mem::replace(
+            &mut e.cursor,
+            masstree::ScanCursor::forward(&[]),
+        ))
+    }
+
+    /// Caches `cursor` under its current bound (the key the next chunk
+    /// of the same stream will start from). Exhausted cursors are not
+    /// worth a slot. Reuses a vacant entry's buffers, or evicts the
+    /// least-recently-stored entry once `CURSOR_WAYS` are live.
+    pub fn put(&mut self, cursor: masstree::ScanCursor<V>) {
+        if cursor.is_done() {
+            return;
+        }
+        self.clock += 1;
+        let stamp = self.clock;
+        let slot = match self.entries.iter_mut().position(|e| !e.live) {
+            Some(i) => i,
+            None if self.entries.len() < CURSOR_WAYS => {
+                self.entries.push(CursorEntry {
+                    expected: Vec::new(),
+                    cursor: masstree::ScanCursor::forward(&[]),
+                    reverse: false,
+                    live: false,
+                    stamp: 0,
+                });
+                self.entries.len() - 1
+            }
+            None => {
+                let (i, _) = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.stamp)
+                    .expect("ways is nonzero");
+                i
+            }
+        };
+        let e = &mut self.entries[slot];
+        e.expected.clear();
+        e.expected.extend_from_slice(cursor.bound());
+        e.reverse = cursor.is_reverse();
+        e.live = true;
+        e.stamp = stamp;
+        e.cursor = cursor;
+    }
+
+    /// [`CursorCache::take`], falling back to a cursor **re-aimed** at
+    /// `start` when no cached continuation matches. The fallback claims
+    /// a vacant entry's buffers first, then (below capacity) a fresh
+    /// cursor, and only at full capacity recycles the least-recently
+    /// stored live entry — so starting a new stream never destroys
+    /// another live stream's continuation while slots remain, and a
+    /// warm cache still allocates nothing (every entry's buffers keep
+    /// their capacity). The second return value reports whether a
+    /// cached continuation was found.
+    pub fn take_or_start(
+        &mut self,
+        start: &[u8],
+        reverse: bool,
+    ) -> (masstree::ScanCursor<V>, bool) {
+        if let Some(c) = self.take(start, reverse) {
+            return (c, true);
+        }
+        // Vacant entry (a previously taken/expired slot): reuse its
+        // cursor's buffers.
+        if let Some(e) = self.entries.iter_mut().find(|e| !e.live) {
+            let mut c = core::mem::replace(&mut e.cursor, masstree::ScanCursor::forward(&[]));
+            c.reset(start, reverse);
+            return (c, false);
+        }
+        if self.entries.len() >= CURSOR_WAYS {
+            // Full: recycle the least-recently stored live stream.
+            if let Some(e) = self.entries.iter_mut().min_by_key(|e| e.stamp) {
+                e.live = false;
+                let mut c = core::mem::replace(&mut e.cursor, masstree::ScanCursor::forward(&[]));
+                c.reset(start, reverse);
+                return (c, false);
+            }
+        }
+        let mut c = masstree::ScanCursor::forward(&[]);
+        c.reset(start, reverse);
+        (c, false)
+    }
+
+    /// Drops every cached cursor (e.g. after a bulk delete, where the
+    /// anchors are all dead weight).
+    pub fn clear(&mut self) {
+        for e in &mut self.entries {
+            e.live = false;
+        }
+    }
+}
+
+impl<V> Default for CursorCache<V> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -666,6 +905,7 @@ mod tests {
             counters: 64,
             age_every: 1_000_000,
             adaptive_bypass: false,
+            cache_writes: true,
         };
         let mut c: HintCache<u64> = HintCache::new(&cfg);
         // Overfill: every key hashes somewhere in the one set.
@@ -709,6 +949,7 @@ mod tests {
             counters: 256,
             age_every: 1024,
             adaptive_bypass: true,
+            cache_writes: true,
         };
         let mut c: HintCache<u64> = HintCache::new(&cfg);
         assert!(!c.bypass_recommended());

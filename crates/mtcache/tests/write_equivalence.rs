@@ -1,0 +1,268 @@
+//! Concurrent hinted-WRITE equivalence: puts and removes routed through
+//! validated anchors are linearizably equal to plain ones while other
+//! writers force splits, node deletions, freed-slot reuse and layer
+//! conversions underneath the cached anchors.
+//!
+//! Deterministic property-style rounds (seeded, no external proptest
+//! dependency — the container is offline), in the style of
+//! `equivalence.rs` but with the *writers* using the cache:
+//!
+//! * **Completed-put floors** — each writer publishes a per-key floor
+//!   *after* its put returns; a reader asserts every observed value is
+//!   at least the floor read *before* the lookup. A hinted write landing
+//!   on a stale border node (one a descent would no longer reach) would
+//!   strand its value outside the readers' view and violate the floor —
+//!   so the floors passing proves no hinted write ever lands on a stale
+//!   node.
+//! * **Disjoint-key model** — writers own disjoint key thirds, so each
+//!   can maintain its exact expected final state; after quiescing, the
+//!   tree must equal the union of the three models (a lost or misplaced
+//!   hinted write/remove would diverge).
+//! * **Fallback exercise** — the write validation-failure counters
+//!   (`write_stale`) are asserted nonzero: the churn really drove
+//!   anchors stale and the fallback path really ran.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use masstree::Masstree;
+use mtcache::{CacheConfig, CacheStats, HintCache, Lookup};
+use mtworkload::Rng64;
+
+const KEYS: u64 = 384;
+const NONE_YET: u64 = 0;
+
+/// Values encode `(key, seq)` so both are recoverable for checking.
+fn encode(key: u64, seq: u64) -> u64 {
+    seq * KEYS + key
+}
+
+fn key_bytes(k: u64) -> Vec<u8> {
+    // Mixed lengths: slices collide within thirds, so inserts force
+    // suffix → layer conversions; long shared prefixes force deep
+    // layers whose anchors have nonzero offsets.
+    match k % 3 {
+        0 => format!("wrstress-shared-prefix-layers-{k:06}").into_bytes(),
+        1 => format!("wr{k:04}").into_bytes(),
+        _ => format!("wrstress-{k:05}").into_bytes(),
+    }
+}
+
+#[test]
+fn hinted_writes_are_linearizable_under_concurrent_writers() {
+    for seed in 0..3u64 {
+        run_round(seed);
+    }
+}
+
+fn run_round(seed: u64) {
+    let tree: Arc<Masstree<u64>> = Arc::new(Masstree::new());
+    let floors: Arc<Vec<AtomicU64>> = Arc::new((0..KEYS).map(|_| AtomicU64::new(0)).collect());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Seed part of the key space so anchors exist from the start.
+    {
+        let g = masstree::pin();
+        for k in 0..KEYS / 2 {
+            tree.put(&key_bytes(k), encode(k, 1), &g);
+            floors[k as usize].store(1, Ordering::Release);
+        }
+    }
+
+    // 3 hinted writers over disjoint key thirds. Each owns a private
+    // HintCache (per-worker, like a store session) and routes every put
+    // and remove through `put_at_hint` / `remove_at_hint` whenever a
+    // cached anchor exists, falling back to the capturing descent on
+    // AnchorStale — exactly the Session write path.
+    let writers: Vec<_> = (0..3u64)
+        .map(|w| {
+            let tree = Arc::clone(&tree);
+            let floors = Arc::clone(&floors);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let cfg = CacheConfig {
+                    capacity: 512,
+                    admit_threshold: 1,
+                    counters: 1024,
+                    age_every: 1 << 20,
+                    adaptive_bypass: false,
+                    cache_writes: true,
+                };
+                let mut cache: HintCache<u64> = HintCache::new(&cfg);
+                // Model starts from the (pre-spawn) seeded state of this
+                // writer's third; only this writer mutates these keys.
+                let mut model: HashMap<u64, u64> = (w..KEYS)
+                    .step_by(3)
+                    .filter(|&k| k < KEYS / 2)
+                    .map(|k| (k, encode(k, 1)))
+                    .collect();
+                let mut rng = Rng64::new(seed * 131 + w);
+                let mut seq = 2u64;
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    ops += 1;
+                    if ops.is_multiple_of(512) {
+                        // Foreign-session sweep: remove a contiguous
+                        // window of this third WITHOUT invalidating the
+                        // cache — exactly what another session's removes
+                        // look like to this worker's table. Emptied
+                        // nodes get deleted, so surviving anchors into
+                        // them MUST fail validation on next use (the
+                        // write_stale counter asserted below).
+                        let base = rng.below(KEYS / 3);
+                        let g = masstree::pin();
+                        for j in 0..40u64 {
+                            let k = (((base + j) % (KEYS / 3)) * 3 + w) % KEYS;
+                            floors[k as usize].store(NONE_YET, Ordering::Release);
+                            tree.remove(&key_bytes(k), &g);
+                            model.remove(&k);
+                        }
+                        continue;
+                    }
+                    let k = ((rng.below(KEYS / 3)) * 3 + w) % KEYS;
+                    let kb = key_bytes(k);
+                    let g = masstree::pin();
+                    if rng.below(8) == 0 {
+                        // Hinted remove. The floor drops before the tree
+                        // changes, as in the read-equivalence test.
+                        floors[k as usize].store(NONE_YET, Ordering::Release);
+                        let hinted = match cache.lookup_write(&kb) {
+                            Lookup::Hit(h) => match tree.remove_at_hint(&kb, &h, |v| *v, &g) {
+                                Ok(r) => {
+                                    cache.note_write_hit();
+                                    Some(r.map(|(_, v)| v))
+                                }
+                                Err(_) => {
+                                    cache.note_write_stale();
+                                    None
+                                }
+                            },
+                            Lookup::Miss { .. } => None,
+                        };
+                        let removed = match hinted {
+                            Some(r) => r,
+                            None => tree.remove_with(&kb, |v| *v, &g).map(|(_, v)| v),
+                        };
+                        cache.invalidate(&kb);
+                        // Only this writer touches k: the remove outcome
+                        // must agree with the private model.
+                        assert_eq!(
+                            removed.is_some(),
+                            model.remove(&k).is_some(),
+                            "hinted remove diverged from model (key {k}, writer {w})"
+                        );
+                        if let Some(v) = removed {
+                            let expect = model_check(v, k);
+                            assert!(expect, "removed a foreign value {v} for key {k}");
+                        }
+                    } else {
+                        let value = encode(k, seq);
+                        model.insert(k, value);
+                        let hinted_done = match cache.lookup_write(&kb) {
+                            Lookup::Hit(h) => match tree.put_at_hint(&kb, &h, |_| value, &g) {
+                                Ok((_prev, fresh)) => {
+                                    cache.note_write_hit();
+                                    if let Some(h) = fresh {
+                                        cache.record(&kb, h);
+                                    }
+                                    true
+                                }
+                                Err(_) => {
+                                    cache.note_write_stale();
+                                    false
+                                }
+                            },
+                            Lookup::Miss { admit } => {
+                                let (_prev, fresh) = tree.put_with_capture(&kb, |_| value, &g);
+                                if admit {
+                                    if let Some(h) = fresh {
+                                        cache.record(&kb, h);
+                                    }
+                                }
+                                true
+                            }
+                        };
+                        if !hinted_done {
+                            let (_prev, fresh) = tree.put_with_capture(&kb, |_| value, &g);
+                            if let Some(h) = fresh {
+                                cache.record(&kb, h);
+                            }
+                        }
+                        // Floor publishes only after the put completed.
+                        floors[k as usize].store(seq, Ordering::Release);
+                    }
+                    seq += 1;
+                }
+                // Post-quiesce: the tree must equal this writer's model
+                // exactly over its third — a lost or misplaced hinted
+                // write/remove diverges here.
+                let g = masstree::pin();
+                for k in (w..KEYS).step_by(3) {
+                    let live = tree.get(&key_bytes(k), &g).copied();
+                    assert_eq!(
+                        live,
+                        model.get(&k).copied(),
+                        "post-quiesce divergence on key {k} (writer {w})"
+                    );
+                }
+                (cache.stats(), ops)
+            })
+        })
+        .collect();
+
+    // Reader: plain gets against the completed-put floors. A hinted
+    // write that landed on a stale node would be invisible here and
+    // trip the floor assertion.
+    let mut rng = Rng64::new(seed ^ 0xbeef);
+    for _ in 0..40_000 {
+        let k = rng.below(KEYS);
+        let kb = key_bytes(k);
+        let floor_before = floors[k as usize].load(Ordering::Acquire);
+        let g = masstree::pin();
+        let got = tree.get(&kb, &g).copied();
+        if let Some(v) = got {
+            let (vk, vseq) = (v % KEYS, v / KEYS);
+            assert_eq!(vk, k, "read another key's value");
+            if floor_before != NONE_YET {
+                assert!(
+                    vseq >= floor_before,
+                    "observed seq {vseq} older than completed hinted put {floor_before} (key {k})"
+                );
+            }
+        } else if floor_before != NONE_YET {
+            // Absence must be justified by a concurrent remove: the
+            // remove drops the floor before touching the tree.
+            let floor_now = floors[k as usize].load(Ordering::Acquire);
+            assert!(
+                floor_now == NONE_YET || floor_now != floor_before,
+                "lost key {k}: completed hinted put {floor_before} invisible with no remove"
+            );
+        }
+    }
+
+    stop.store(true, Ordering::Release);
+    let mut total = CacheStats::default();
+    let mut total_ops = 0u64;
+    for wr in writers {
+        let (s, ops) = wr.join().unwrap();
+        total.write_lookups += s.write_lookups;
+        total.write_hits += s.write_hits;
+        total.write_stale += s.write_stale;
+        total_ops += ops;
+    }
+    assert!(total_ops > 1_000, "writers made progress: {total_ops}");
+    assert!(
+        total.write_hits > 0,
+        "anchored writes never validated: {total:?}"
+    );
+    assert!(
+        total.write_stale > 0,
+        "write validation-failure path never exercised (no churn?): {total:?}"
+    );
+}
+
+/// Value sanity: encodes this key.
+fn model_check(v: u64, k: u64) -> bool {
+    v % KEYS == k
+}

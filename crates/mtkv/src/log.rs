@@ -74,6 +74,16 @@ pub enum LogRecord {
     /// and drop everything other workers logged afterwards. Skipped
     /// during replay.
     CleanClose { timestamp: u64 },
+    /// Session-create journal entry: written (and **synced**) by
+    /// `Store::session` before the session is handed to its worker, so
+    /// every operation the session can ever perform happens-after this
+    /// record is durable. Recovery's cutoff rule "an empty log chain
+    /// constrains nothing" then holds *by evidence*: an empty chain can
+    /// only mean session creation never completed, hence no operation —
+    /// logged or lost — ever ran on it. Without this record the rule
+    /// rested on trust (an empty file could equally be a session whose
+    /// entire buffered history was lost). Skipped during replay.
+    SessionCreate { timestamp: u64 },
 }
 
 impl LogRecord {
@@ -82,21 +92,26 @@ impl LogRecord {
             LogRecord::Put { timestamp, .. }
             | LogRecord::Remove { timestamp, .. }
             | LogRecord::Heartbeat { timestamp }
-            | LogRecord::CleanClose { timestamp } => *timestamp,
+            | LogRecord::CleanClose { timestamp }
+            | LogRecord::SessionCreate { timestamp } => *timestamp,
         }
     }
 
     pub fn version(&self) -> u64 {
         match self {
             LogRecord::Put { version, .. } | LogRecord::Remove { version, .. } => *version,
-            LogRecord::Heartbeat { .. } | LogRecord::CleanClose { .. } => 0,
+            LogRecord::Heartbeat { .. }
+            | LogRecord::CleanClose { .. }
+            | LogRecord::SessionCreate { .. } => 0,
         }
     }
 
     pub fn key(&self) -> &[u8] {
         match self {
             LogRecord::Put { key, .. } | LogRecord::Remove { key, .. } => key,
-            LogRecord::Heartbeat { .. } | LogRecord::CleanClose { .. } => &[],
+            LogRecord::Heartbeat { .. }
+            | LogRecord::CleanClose { .. }
+            | LogRecord::SessionCreate { .. } => &[],
         }
     }
 
@@ -105,7 +120,9 @@ impl LogRecord {
     pub fn is_marker(&self) -> bool {
         matches!(
             self,
-            LogRecord::Heartbeat { .. } | LogRecord::CleanClose { .. }
+            LogRecord::Heartbeat { .. }
+                | LogRecord::CleanClose { .. }
+                | LogRecord::SessionCreate { .. }
         )
     }
 
@@ -154,6 +171,13 @@ impl LogRecord {
             }
             LogRecord::CleanClose { timestamp } => {
                 out.push(4);
+                out.extend_from_slice(&timestamp.to_le_bytes());
+                out.extend_from_slice(&0u64.to_le_bytes());
+                out.extend_from_slice(&0u32.to_le_bytes());
+                out.extend_from_slice(&0u16.to_le_bytes());
+            }
+            LogRecord::SessionCreate { timestamp } => {
+                out.push(5);
                 out.extend_from_slice(&timestamp.to_le_bytes());
                 out.extend_from_slice(&0u64.to_le_bytes());
                 out.extend_from_slice(&0u32.to_le_bytes());
@@ -219,6 +243,7 @@ impl LogRecord {
             },
             3 => LogRecord::Heartbeat { timestamp },
             4 => LogRecord::CleanClose { timestamp },
+            5 => LogRecord::SessionCreate { timestamp },
             _ => return None,
         };
         Some((rec, 4 + len + 4))

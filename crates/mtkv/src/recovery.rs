@@ -152,8 +152,15 @@ pub fn recover_with(
 
     // Cutoff: min over *crashed* sessions of the session's max record
     // timestamp across all surviving segments. A session with no records
-    // at all contributes nothing (its worker never logged, so no record
-    // can depend on it). A session whose newest segment ends in a
+    // at all contributes nothing — **by evidence**, not trust: session
+    // creation durably syncs a `SessionCreate` journal entry before the
+    // session is handed out (`Store::session`), so an empty chain can
+    // only belong to a session whose creation never completed and that
+    // therefore never executed (let alone lost) any operation. A
+    // just-created session that crashed carries at least that entry, so
+    // its unaccounted window correctly clamps the cutoff at its creation
+    // time (until its heartbeats advance it). A session whose newest
+    // segment ends in a
     // clean-close sentinel closed cleanly: its silence past the sentinel
     // is complete knowledge — not missing data — and must not freeze the
     // cutoff at the close time (which would drop everything other
@@ -326,7 +333,9 @@ pub fn recover_with(
                             );
                             replayed += 1;
                         }
-                        LogRecord::Heartbeat { .. } | LogRecord::CleanClose { .. } => {
+                        LogRecord::Heartbeat { .. }
+                        | LogRecord::CleanClose { .. }
+                        | LogRecord::SessionCreate { .. } => {
                             unreachable!("markers skipped above")
                         }
                     }
@@ -567,6 +576,90 @@ mod tests {
             u32::MAX.to_le_bytes(),
             "post-checkpoint update wins over checkpointed value"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_chain_constrains_nothing_by_evidence() {
+        // A session whose creation never completed leaves an empty log
+        // chain (crash before the synced SessionCreate entry). With the
+        // create-journal protocol, such a chain is *proof* the session
+        // never ran anything, so it must not constrain the cutoff.
+        let dir = tmpdir("empty-evidence");
+        {
+            let store = Store::persistent(&dir).unwrap();
+            let s = store.session().unwrap();
+            s.put(b"survivor", &[(0, b"v")]);
+            assert!(s.force_log());
+            // Simulate the half-created session: an empty segment file
+            // with no records at all.
+            std::fs::write(crate::log::segment_path(&dir, 99, 0), b"").unwrap();
+        }
+        let (store, report) = recover(&dir, &dir).unwrap();
+        assert_eq!(
+            report.cutoff,
+            u64::MAX,
+            "an empty chain (and cleanly closed sessions) constrain nothing"
+        );
+        let s = store.session().unwrap();
+        assert_eq!(s.get(b"survivor", Some(&[0])).unwrap()[0], b"v");
+        drop(s);
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn session_create_entry_closes_the_cutoff_sliver() {
+        // The sliver the create journal closes: a session that crashes
+        // right after creation COULD have buffered (and lost) puts, so
+        // it must clamp the cutoff at its creation time — before the
+        // create entry, its empty file was indistinguishable from
+        // "never ran anything" and the cutoff wrongly ignored it,
+        // replaying other sessions' later (possibly dependent) records.
+        let dir = tmpdir("create-sliver");
+        {
+            let store = Store::persistent(&dir).unwrap();
+            let crashed = store.session().unwrap();
+            crashed.simulate_crash();
+            // Every record of the crashed session is now older than
+            // anything logged from here on.
+            let s = store.session().unwrap();
+            s.put(b"after-crash", &[(0, b"v")]);
+            assert!(s.force_log());
+        }
+        {
+            // The crashed chain holds its create entry (and possibly
+            // heartbeats) but no clean close.
+            let records = read_log(&crate::log::segment_path(&dir, 0, 0)).unwrap();
+            assert!(
+                records
+                    .iter()
+                    .any(|r| matches!(r, LogRecord::SessionCreate { .. })),
+                "creation journaled durably: {records:?}"
+            );
+            assert!(
+                !records
+                    .iter()
+                    .any(|r| matches!(r, LogRecord::CleanClose { .. })),
+                "simulated crash must not close cleanly"
+            );
+        }
+        let (store, report) = recover(&dir, &dir).unwrap();
+        assert_ne!(
+            report.cutoff,
+            u64::MAX,
+            "a crashed just-created session must constrain the cutoff"
+        );
+        // The put happened after every timestamp the crashed session
+        // durably wrote, so the (conservative, correct) cutoff drops it.
+        let s = store.session().unwrap();
+        assert_eq!(
+            s.get(b"after-crash", None),
+            None,
+            "records beyond a crashed session's evidence horizon are dropped"
+        );
+        drop(s);
+        drop(store);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -22,8 +22,8 @@ use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 use masstree::hint::{HintResult, HintedGet};
-use masstree::{LeafHint, Masstree};
-use mtcache::{CacheConfig, CacheStats, CacheStatsShared, HintCache, Lookup};
+use masstree::{AnchorStale, HintBatchScratch, LeafHint, Masstree};
+use mtcache::{CacheConfig, CacheStats, CacheStatsShared, CursorCache, HintCache, Lookup};
 use parking_lot::{Condvar, Mutex};
 
 use crate::checkpoint::{prune_checkpoints, write_checkpoint, CheckpointMeta};
@@ -141,6 +141,11 @@ pub struct Store {
     /// Store-wide aggregation sink for the per-session cache counters
     /// (served through the network `Stats` request).
     cache_shared: Arc<CacheStatsShared>,
+    /// Weak handles to every live session's cache, so a store-level
+    /// stats read ([`Store::cache_stats`]) can flush **all** sessions'
+    /// batched local counters into the shared sink — not just the
+    /// requesting session's.
+    cache_registry: Mutex<Vec<Weak<SessionCache>>>,
 }
 
 impl Store {
@@ -199,6 +204,7 @@ impl Store {
             log_poison: Arc::default(),
             session_cache: Mutex::new(None),
             cache_shared: Arc::default(),
+            cache_registry: Mutex::new(Vec::new()),
         }
     }
 
@@ -417,14 +423,41 @@ impl Store {
         *self.session_cache.lock() = config;
     }
 
-    /// Aggregated cache counters across every session that has flushed
-    /// (sessions flush in batches and on drop).
+    /// Aggregated cache counters across **every live session** plus
+    /// everything already-closed sessions flushed: live sessions'
+    /// batched local counters are flushed into the shared sink first
+    /// (via the registry of weak cache handles), so the snapshot
+    /// reflects all traffic up to this call — not just traffic that
+    /// happened to cross a session's 256-event flush threshold.
     pub fn cache_stats(&self) -> CacheStats {
+        self.flush_session_caches();
         self.cache_shared.snapshot()
+    }
+
+    /// Flushes every live session's local cache counters to the shared
+    /// sink. Each flush takes that session's (uncontended) cache lock
+    /// briefly; dead registry entries are pruned as a side effect.
+    pub fn flush_session_caches(&self) {
+        let mut registry = self.cache_registry.lock();
+        registry.retain(|weak| match weak.upgrade() {
+            Some(sc) => {
+                sc.table.lock().flush_stats();
+                true
+            }
+            None => false,
+        });
     }
 
     /// Registers a worker, creating its segmented log chain if the store
     /// is persistent.
+    ///
+    /// The new log chain opens with a **durably synced**
+    /// [`LogRecord::SessionCreate`] entry before this returns: every
+    /// operation the session can ever perform therefore happens-after a
+    /// nonempty chain exists on disk, which is what lets recovery treat
+    /// an *empty* chain as evidence (not trust) that the session never
+    /// ran anything — see `recovery.rs`'s cutoff rule. Errors if the
+    /// entry cannot be made durable (the session would be unaccountable).
     pub fn session(self: &Arc<Store>) -> std::io::Result<Session> {
         let log = match &self.log_dir {
             None => None,
@@ -436,6 +469,12 @@ impl Store {
                     self.config.segment_bytes,
                     Arc::clone(&self.log_poison),
                 )?;
+                log.append_now(|timestamp| LogRecord::SessionCreate { timestamp });
+                if !log.force() {
+                    return Err(std::io::Error::other(
+                        "session-create journal entry could not be made durable",
+                    ));
+                }
                 let mut handles = self.log_handles.lock();
                 // Opportunistic sweep: without it a store that never
                 // checkpoints would accumulate one dead handle per
@@ -556,9 +595,15 @@ pub fn split_batch_runs<T>(
     out
 }
 
+/// A resumable-scan cursor over the store's tree (see
+/// [`Session::scan_cursor`] / [`Session::get_range_resumed`]).
+pub type ScanCursor = masstree::ScanCursor<ColValue>;
+
 /// A session's hint-cache state: the table plus a lock-free mirror of
 /// its adaptive-bypass recommendation, so reuse-free workloads pay one
-/// relaxed counter bump instead of a lock + probe per get.
+/// relaxed counter bump instead of a lock + probe per get — and the
+/// per-session scan-cursor cache and reusable batch scratch that ride
+/// along with it.
 struct SessionCache {
     /// Mirror of [`HintCache::bypass_recommended`], refreshed after
     /// every locked cache interaction.
@@ -570,7 +615,35 @@ struct SessionCache {
     /// a session is a per-worker handle, so the lock is uncontended on
     /// the hot path. It is never held while user callbacks run.
     table: Mutex<HintCache<ColValue>>,
+    /// Whether writes consult the table ([`CacheConfig::cache_writes`]).
+    cache_writes: bool,
+    /// Reusable buffers for the cached batch read path (guarded
+    /// separately from the table so results can outlive the table
+    /// lock); `try_lock`-ed, with an allocating fallback for reentrant
+    /// batch reads from inside a visitor.
+    batch: Mutex<BatchScratch>,
+    /// Per-session resumable-scan cursors, keyed by expected start key.
+    cursors: Mutex<CursorCache<ColValue>>,
 }
+
+/// Reusable buffers for the cached `multi_get_with`: lookup results
+/// (hints + admission flags), the tree-side hinted-batch scratch, and
+/// the type-erased result pointers handed to the visitor after the
+/// cache lock is released. All retain capacity across batches, making
+/// the cached batch read allocation-free in steady state (the raw
+/// pointers are written and read back within one epoch-pinned call, and
+/// cleared at the top of the next — see `tests/alloc_count.rs`).
+#[derive(Default)]
+struct BatchScratch {
+    admits: Vec<bool>,
+    hints: Vec<Option<LeafHint<ColValue>>>,
+    engine: HintBatchScratch<ColValue>,
+    out: Vec<*const ColValue>,
+}
+
+// SAFETY: the raw pointers are inert between calls (never dereferenced
+// outside the pinned call that wrote them); ColValue is Send + Sync.
+unsafe impl Send for BatchScratch {}
 
 impl SessionCache {
     /// True when this operation should skip the cache entirely (bypass
@@ -593,8 +666,9 @@ impl SessionCache {
 pub struct Session {
     store: Arc<Store>,
     log: Option<LogWriter>,
-    /// Per-worker leaf-hint cache (`mtcache`).
-    cache: Option<SessionCache>,
+    /// Per-worker leaf-hint cache (`mtcache`). `Arc` so the store's
+    /// registry can flush counters without owning the session.
+    cache: Option<Arc<SessionCache>>,
 }
 
 impl Session {
@@ -603,18 +677,40 @@ impl Session {
     }
 
     /// Attaches a per-worker hint cache to this session: point lookups
-    /// (`get`/`get_with`/`multi_get*`) consult it, fall back to a full
-    /// descent on validation failure, and refresh it with the descent's
-    /// endpoint. See `mtcache` for why hinted reads can never be stale.
+    /// (`get`/`get_with`/`multi_get*`) consult it, writes
+    /// (`put`/`remove`/`multi_put`, when [`CacheConfig::cache_writes`])
+    /// start their locked border entry at cached anchors, and chunked
+    /// range reads resume at cached scan cursors — all falling back to
+    /// a full descent on validation failure and refreshing the cache
+    /// with the descent's endpoint. See `mtcache` and
+    /// `masstree::anchor` for why no hinted operation can ever be
+    /// stale.
     pub fn enable_cache(&mut self, config: CacheConfig) {
-        self.cache = Some(SessionCache {
+        let sc = Arc::new(SessionCache {
             bypass: AtomicBool::new(false),
             probe_tick: AtomicU64::new(0),
             table: Mutex::new(HintCache::with_shared(
                 &config,
                 Arc::clone(&self.store.cache_shared),
             )),
+            cache_writes: config.cache_writes,
+            batch: Mutex::new(BatchScratch::default()),
+            cursors: Mutex::new(CursorCache::new()),
         });
+        let mut registry = self.store.cache_registry.lock();
+        registry.retain(|w| w.strong_count() > 0);
+        registry.push(Arc::downgrade(&sc));
+        self.cache = Some(sc);
+    }
+
+    /// The session cache, if writes should route through it this op.
+    #[inline]
+    fn write_cache(&self) -> Option<&SessionCache> {
+        let sc = self.cache.as_deref()?;
+        if !sc.cache_writes || sc.skip_this_op() {
+            return None;
+        }
+        Some(sc)
     }
 
     /// This session's local cache counters (`None` when no cache is
@@ -703,20 +799,65 @@ impl Session {
     /// so version order equals the tree's serialization order — which is
     /// what makes version-ordered log replay reconstruct exactly the
     /// pre-crash state (§5).
+    ///
+    /// With a write-enabled session cache, the put first tries the
+    /// key's cached anchor ([`masstree::Masstree::put_at_hint`]): a
+    /// validated anchor starts the locked border entry directly at the
+    /// remembered node, skipping the descent; a stale one falls back to
+    /// a full put that refreshes the cache.
     pub fn put(&self, key: &[u8], updates: &[(usize, &[u8])]) -> u64 {
         let mut version = 0;
-        let guard = masstree::pin();
-        self.store.tree.put_with(
-            key,
-            |old| {
+        {
+            let guard = masstree::pin();
+            let mut write = |old: Option<&ColValue>| {
                 version = self.store.draw_version();
                 match old {
                     None => ColValue::from_updates(version, updates),
                     Some(prev) => prev.with_updates(version, updates),
                 }
-            },
-            &guard,
-        );
+            };
+            match self.write_cache() {
+                None => {
+                    self.store.tree.put_with(key, &mut write, &guard);
+                }
+                Some(sc) => {
+                    let mut c = sc.table.lock();
+                    match c.lookup_write(key) {
+                        Lookup::Hit(h) => {
+                            match self.store.tree.put_at_hint(key, &h, &mut write, &guard) {
+                                Ok((_prev, fresh)) => {
+                                    c.note_write_hit();
+                                    // The write itself can stale the hint
+                                    // it used (freed-slot insert, split);
+                                    // keep the entry fresh for readers.
+                                    if let Some(h) = fresh {
+                                        c.record(key, h);
+                                    }
+                                }
+                                Err(AnchorStale) => {
+                                    c.note_write_stale();
+                                    let (_, fresh) =
+                                        self.store.tree.put_with_capture(key, &mut write, &guard);
+                                    if let Some(h) = fresh {
+                                        c.record(key, h);
+                                    }
+                                }
+                            }
+                        }
+                        Lookup::Miss { admit } => {
+                            let (_, fresh) =
+                                self.store.tree.put_with_capture(key, &mut write, &guard);
+                            if admit {
+                                if let Some(h) = fresh {
+                                    c.record(key, h);
+                                }
+                            }
+                        }
+                    }
+                    sc.sync_bypass(&c);
+                }
+            }
+        }
         if let Some(log) = &self.log {
             log.append_now(|timestamp| LogRecord::Put {
                 timestamp,
@@ -794,13 +935,81 @@ impl Session {
         }
         // Hinted batch: keys with valid hints complete with zero
         // descent; the misses run through the interleaved traversal
-        // engine and refresh their hints. Results are buffered (borrowed
-        // under the guard) so `f` runs in input order *after* the cache
-        // lock is released. This buffering allocates a few small vectors
-        // per batch — a deliberate trade: the borrowed results cannot
-        // outlive this call's guard, so they cannot live in a reusable
-        // scratch. The zero-allocation guarantee (tests/alloc_count.rs)
-        // belongs to the *uncached* path below, which is untouched.
+        // engine and refresh their hints. Results are buffered as
+        // type-erased pointers in the session's reusable batch scratch
+        // (they are only read back below, under this same guard) so `f`
+        // runs in input order *after* the cache lock is released —
+        // keeping the cached batch path **zero-allocation** in steady
+        // state, like the uncached one (tests/alloc_count.rs covers
+        // both). A reentrant batch read from inside a visitor finds the
+        // scratch busy and takes the allocating fallback.
+        let Some(mut bs) = sc.batch.try_lock() else {
+            self.multi_get_with_cached_alloc(keys, sc, &guard, f);
+            return;
+        };
+        let BatchScratch {
+            admits,
+            hints,
+            engine,
+            out,
+        } = &mut *bs;
+        admits.clear();
+        admits.resize(keys.len(), false);
+        hints.clear();
+        hints.resize(keys.len(), None);
+        out.clear();
+        {
+            let mut c = sc.table.lock();
+            for (i, k) in keys.iter().enumerate() {
+                match c.lookup(k) {
+                    Lookup::Hit(h) => hints[i] = Some(h),
+                    Lookup::Miss { admit } => admits[i] = admit,
+                }
+            }
+            self.store
+                .tree
+                .multi_get_hinted_with(keys, hints, engine, &guard, |i, v, fate| {
+                    match fate {
+                        HintResult::Hit => c.note_hit(),
+                        HintResult::Refreshed(h) => {
+                            if hints[i].is_some() {
+                                c.note_stale();
+                                c.record(keys[i], h);
+                            } else if admits[i] {
+                                c.record(keys[i], h);
+                            }
+                        }
+                    }
+                    out.push(v.map_or(core::ptr::null(), |r| r as *const ColValue));
+                });
+            sc.sync_bypass(&c);
+        }
+        for (i, p) in out.iter().enumerate() {
+            // SAFETY: written above under this call's pinned guard;
+            // epoch reclamation keeps the value live until it drops.
+            f(
+                i,
+                if p.is_null() {
+                    None
+                } else {
+                    Some(unsafe { &**p })
+                },
+            );
+        }
+    }
+
+    /// The allocating fallback of the cached batch read, used when the
+    /// reusable scratch is busy (a visitor re-entered `multi_get_with`).
+    #[cold]
+    fn multi_get_with_cached_alloc<F>(
+        &self,
+        keys: &[&[u8]],
+        sc: &SessionCache,
+        guard: &masstree::Guard,
+        mut f: F,
+    ) where
+        F: FnMut(usize, Option<&ColValue>),
+    {
         let mut c = sc.table.lock();
         let mut admits = vec![false; keys.len()];
         let hints: Vec<Option<LeafHint<ColValue>>> = keys
@@ -817,7 +1026,7 @@ impl Session {
         let mut out: Vec<Option<&ColValue>> = Vec::with_capacity(keys.len());
         self.store
             .tree
-            .multi_get_hinted(keys, &hints, &guard, |i, v, fate| {
+            .multi_get_hinted(keys, &hints, guard, |i, v, fate| {
                 match fate {
                     HintResult::Hit => c.note_hit(),
                     HintResult::Refreshed(h) => {
@@ -853,18 +1062,64 @@ impl Session {
         let mut versions = vec![0u64; ops.len()];
         {
             let guard = masstree::pin();
-            self.store.tree.multi_put_with(
-                &keys,
-                |i, old| {
-                    let version = self.store.draw_version();
-                    versions[i] = version;
-                    match old {
-                        None => ColValue::from_updates(version, ops[i].1),
-                        Some(prev) => prev.with_updates(version, ops[i].1),
-                    }
-                },
-                &guard,
-            );
+            let store = &self.store;
+            let mut factory = |i: usize, old: Option<&ColValue>| {
+                let version = store.draw_version();
+                versions[i] = version;
+                match old {
+                    None => ColValue::from_updates(version, ops[i].1),
+                    Some(prev) => prev.with_updates(version, ops[i].1),
+                }
+            };
+            match self.write_cache() {
+                None => {
+                    self.store.tree.multi_put_with(&keys, &mut factory, &guard);
+                }
+                Some(sc) => {
+                    // Hinted batch write: anchored ops skip their
+                    // descents; the rest run through the interleaved
+                    // engine and refresh their anchors.
+                    let mut c = sc.table.lock();
+                    let mut admits = vec![false; keys.len()];
+                    let hints: Vec<Option<LeafHint<ColValue>>> = keys
+                        .iter()
+                        .enumerate()
+                        .map(|(i, k)| match c.lookup_write(k) {
+                            Lookup::Hit(h) => Some(h),
+                            Lookup::Miss { admit } => {
+                                admits[i] = admit;
+                                None
+                            }
+                        })
+                        .collect();
+                    self.store.tree.multi_put_hinted(
+                        &keys,
+                        &hints,
+                        &mut factory,
+                        &guard,
+                        |i, hinted_hit, fresh| {
+                            if hinted_hit {
+                                c.note_write_hit();
+                                // Refresh in place: the hit may have
+                                // staled its own hint (see put_at_hint).
+                                if let Some(h) = fresh {
+                                    c.record(keys[i], h);
+                                }
+                            } else if hints[i].is_some() {
+                                c.note_write_stale();
+                                if let Some(h) = fresh {
+                                    c.record(keys[i], h);
+                                }
+                            } else if admits[i] {
+                                if let Some(h) = fresh {
+                                    c.record(keys[i], h);
+                                }
+                            }
+                        },
+                    );
+                    sc.sync_bypass(&c);
+                }
+            }
         }
         if let Some(log) = &self.log {
             for (&(key, updates), &version) in ops.iter().zip(&versions) {
@@ -892,16 +1147,52 @@ impl Session {
     /// node), and an insert that splits the node bumps the version the
     /// next hinted read validates against.
     pub fn remove(&self, key: &[u8]) -> bool {
-        if let Some(sc) = &self.cache {
-            sc.table.lock().invalidate(key);
-        }
         let guard = masstree::pin();
         // Draw the version at the removal's linearization point (under
         // the node lock) so replay ordering matches live ordering.
-        let removed = self
-            .store
-            .tree
-            .remove_with(key, |_| self.store.draw_version(), &guard);
+        let removed = match self.write_cache() {
+            None => {
+                if let Some(sc) = &self.cache {
+                    sc.table.lock().invalidate(key);
+                }
+                self.store
+                    .tree
+                    .remove_with(key, |_| self.store.draw_version(), &guard)
+            }
+            Some(sc) => {
+                // Hinted remove: the cached anchor locates the border
+                // node with zero descent; a stale anchor falls back.
+                // Either way the entry is dropped afterwards.
+                let mut c = sc.table.lock();
+                let removed = match c.lookup_write(key) {
+                    Lookup::Hit(h) => match self.store.tree.remove_at_hint(
+                        key,
+                        &h,
+                        |_| self.store.draw_version(),
+                        &guard,
+                    ) {
+                        Ok(r) => {
+                            c.note_write_hit();
+                            r
+                        }
+                        Err(AnchorStale) => {
+                            c.note_write_stale();
+                            self.store
+                                .tree
+                                .remove_with(key, |_| self.store.draw_version(), &guard)
+                        }
+                    },
+                    Lookup::Miss { .. } => {
+                        self.store
+                            .tree
+                            .remove_with(key, |_| self.store.draw_version(), &guard)
+                    }
+                };
+                c.invalidate(key);
+                sc.sync_bypass(&c);
+                removed
+            }
+        };
         match removed {
             None => false,
             Some((_, version)) => {
@@ -947,6 +1238,15 @@ impl Session {
     /// — nothing is copied and, with a warm scratch, nothing is
     /// allocated. Returns the number of rows visited.
     ///
+    /// With a session cache attached, chunked sequential range reads
+    /// resume transparently: each call leaves a [`ScanCursor`] in the
+    /// per-session cursor cache keyed by the key the *next* chunk is
+    /// expected to start from, and a call starting exactly there
+    /// re-enters the tree at the remembered border node (validated
+    /// anchor, zero descent) instead of descending from the root. A
+    /// failed validation — or a non-sequential start — is just a normal
+    /// descent; results are always identical to an uncached scan.
+    ///
     /// Both borrows are valid only for the duration of each `f` call.
     /// Not atomic w.r.t. concurrent writers (§3), like
     /// [`Session::get_range`].
@@ -958,12 +1258,91 @@ impl Session {
             return 0;
         }
         let guard = masstree::pin();
+        if let Some(sc) = &self.cache {
+            if !sc.skip_this_op() {
+                // The cursor is taken OUT of the cache for the duration
+                // (lock released before the visitor runs); a reentrant
+                // scan from inside `f` simply misses and descends.
+                let taken = sc
+                    .cursors
+                    .try_lock()
+                    .map(|mut cc| cc.take_or_start(key, false));
+                if let Some((mut cur, matched)) = taken {
+                    let mut seen = 0usize;
+                    let out = self.store.tree.scan_resume(&mut cur, &guard, |k, v| {
+                        f(k, v);
+                        seen += 1;
+                        seen < n
+                    });
+                    {
+                        let mut c = sc.table.lock();
+                        if out.resumed {
+                            c.note_scan_resumed();
+                        } else if matched {
+                            c.note_scan_fallback();
+                        }
+                    }
+                    if let Some(mut cc) = sc.cursors.try_lock() {
+                        cc.put(cur);
+                    }
+                    return seen;
+                }
+            }
+        }
         let mut seen = 0usize;
         self.store.tree.scan(key, &guard, |k, v| {
             f(k, v);
             seen += 1;
             seen < n
         });
+        seen
+    }
+
+    /// Creates an explicit resumable-scan cursor starting at `start`
+    /// (inclusive, ascending). Feed it to
+    /// [`Session::get_range_resumed`] repeatedly to stream a range in
+    /// chunks without paying a descent per chunk.
+    pub fn scan_cursor(&self, start: &[u8]) -> ScanCursor {
+        ScanCursor::forward(start)
+    }
+
+    /// A descending resumable-scan cursor starting at `start`
+    /// (inclusive).
+    pub fn scan_cursor_rev(&self, start: &[u8]) -> ScanCursor {
+        ScanCursor::reverse_from(start)
+    }
+
+    /// Borrowed chunked `getrange_c`: visits up to `n` rows continuing
+    /// from `cursor` (in the cursor's direction), advancing it to the
+    /// new stop point. When the cursor's validated anchor holds, the
+    /// chunk starts at the remembered border node with zero descent;
+    /// otherwise it descends from the cursor's bound — either way the
+    /// rows are exactly what a fresh scan from that bound would yield.
+    /// Returns the number of rows visited (0 once the cursor
+    /// [`ScanCursor::is_done`]).
+    pub fn get_range_resumed<F>(&self, cursor: &mut ScanCursor, n: usize, mut f: F) -> usize
+    where
+        F: FnMut(&[u8], &ColValue),
+    {
+        if n == 0 || cursor.is_done() {
+            return 0;
+        }
+        let guard = masstree::pin();
+        let had_anchor = cursor.has_anchor();
+        let mut seen = 0usize;
+        let out = self.store.tree.scan_resume(cursor, &guard, |k, v| {
+            f(k, v);
+            seen += 1;
+            seen < n
+        });
+        if let Some(sc) = &self.cache {
+            let mut c = sc.table.lock();
+            if out.resumed {
+                c.note_scan_resumed();
+            } else if had_anchor {
+                c.note_scan_fallback();
+            }
+        }
         seen
     }
 

@@ -132,3 +132,85 @@ fn steady_state_borrowed_reads_do_not_allocate() {
          perform zero heap allocations, found {allocs}"
     );
 }
+
+#[test]
+fn steady_state_cached_session_reads_do_not_allocate() {
+    // The cache-enabled read paths must hold the same zero-allocation
+    // guarantee as the plain ones: the hinted batch read buffers its
+    // results in the session's reusable scratch (guard-scoped raw
+    // pointers, capacity kept across calls), and chunked range reads
+    // recycle their scan cursors through the per-session cursor cache.
+    let store = Store::in_memory();
+    // adaptive_bypass off: the uniform one-shot population phase below
+    // would otherwise engage bypass and leave the measured reads mostly
+    // routed around the cache (the cached paths are what this test is
+    // about; bypass's plain paths are covered by the test above).
+    store.set_session_cache(Some(mtkv::CacheConfig {
+        admit_threshold: 1,
+        adaptive_bypass: false,
+        ..mtkv::CacheConfig::default()
+    }));
+    let session = store.session().unwrap();
+
+    let payload = [0xa5u8; 64];
+    for i in 0..10_000u32 {
+        session.put(
+            format!("c{i:06}").as_bytes(),
+            &[(0, &payload[..]), (1, &i.to_le_bytes()[..])],
+        );
+    }
+    for i in 0..2_000u32 {
+        session.put(
+            format!("cached/long/prefix/pushes/layers/{i:06}").as_bytes(),
+            &[(0, &payload[..])],
+        );
+    }
+
+    let point_key = b"c004242".as_slice();
+    let batch_keys: Vec<Vec<u8>> = (0..16u32)
+        .map(|i| format!("c{:06}", i * 577).into_bytes())
+        .collect();
+    let batch_refs: Vec<&[u8]> = batch_keys.iter().map(|k| k.as_slice()).collect();
+    let range_start = b"cached/long/prefix/pushes/layers/000100".as_slice();
+
+    let mut sink = 0usize;
+    let run_reads = |sink: &mut usize| {
+        session.get_with(point_key, |hit| {
+            *sink += hit.map_or(0, |v| v.col(0).map_or(0, <[u8]>::len));
+        });
+        session.multi_get_with(&batch_refs, |_, hit| {
+            *sink += hit.map_or(0, |v| v.col(1).map_or(0, <[u8]>::len));
+        });
+        session.get_range_with(range_start, 50, |k, v| {
+            *sink += k.len() + v.ncols();
+        });
+    };
+
+    // Warm-up: admission (threshold 1 still needs a miss before the
+    // capture), hint-table fill, batch scratch growth, cursor-cache
+    // fill, epoch registration. Then drain deferred garbage.
+    for _ in 0..8 {
+        run_reads(&mut sink);
+    }
+    drain_gc();
+    run_reads(&mut sink);
+    drain_gc();
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for _ in 0..200 {
+        run_reads(&mut sink);
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+
+    // The batch must actually be served by hints, not by luck.
+    let stats = session.cache_stats().expect("cache attached");
+    assert!(stats.hits > 0, "cached reads never hit: {stats:?}");
+    assert!(sink > 0, "reads actually observed data");
+    assert_eq!(
+        allocs, 0,
+        "steady-state cache-enabled get_with / multi_get_with / \
+         get_range_with must perform zero heap allocations, found {allocs}"
+    );
+}

@@ -226,6 +226,37 @@ impl Client {
             key: key.to_vec(),
             count,
             cols,
+            resume: None,
+        });
+        match self.execute_batch()?.pop() {
+            Some(Response::Rows(rows)) => Ok(rows),
+            _ => Err(std::io::Error::other("unexpected response")),
+        }
+    }
+
+    /// Resumable chunked scan: all chunks of one range stream carry the
+    /// same client-chosen `token`, and the server keeps a validated
+    /// scan cursor under it — follow-up chunks then continue at the
+    /// remembered border node (zero descent) instead of re-descending
+    /// from the root. `key` is the **fallback start**, used when the
+    /// token has no cursor (first chunk, or a server-side eviction —
+    /// per-connection cursors are capped): pass the stream's current
+    /// continuation key (one past the last row received) on follow-up
+    /// chunks so an eviction costs one descent, never a silent
+    /// re-stream. A short (< `count`) result means the range is
+    /// exhausted. Tokens are scoped to this connection.
+    pub fn scan_resume(
+        &mut self,
+        key: &[u8],
+        count: u32,
+        cols: Option<Vec<u16>>,
+        token: u64,
+    ) -> std::io::Result<Vec<Row>> {
+        self.queue(&Request::Scan {
+            key: key.to_vec(),
+            count,
+            cols,
+            resume: Some(token),
         });
         match self.execute_batch()?.pop() {
             Some(Response::Rows(rows)) => Ok(rows),

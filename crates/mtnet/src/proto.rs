@@ -10,7 +10,7 @@
 //! get    := 0x01, key, colset
 //! put    := 0x02, key, u16 n, (u16 col, bytes)*
 //! remove := 0x03, key
-//! scan   := 0x04, key, u32 count, colset
+//! scan   := 0x04, key, u32 count, colset, resume(u8 0 | u8 1 + u64 token)
 //! stats  := 0x05
 //! flush  := 0x06
 //! sync   := 0x07
@@ -42,11 +42,30 @@ pub enum Request {
     },
     /// `remove(k)`.
     Remove { key: Vec<u8> },
-    /// `getrange_c(k, n)`.
+    /// `getrange_c(k, n)`, optionally resumable: a client streaming a
+    /// long range in chunks tags each chunk with the same `resume`
+    /// token, and the server keeps a per-connection [`ScanCursor`]
+    /// (validated anchor + bound) under that token — follow-up chunks
+    /// then re-enter the tree at the remembered border node instead of
+    /// descending from the root.
+    ///
+    /// `key` is the **fallback start**: it is used when the token has
+    /// no server-side cursor — the first chunk of a stream, or a
+    /// cursor the server evicted (per-connection cursors are capped).
+    /// When the cursor exists it takes precedence and `key` is not
+    /// consulted. Clients that may run many concurrent streams should
+    /// therefore pass their current continuation key (one past the
+    /// last row received) rather than the stream's original start, so
+    /// an eviction costs one descent instead of silently re-streaming
+    /// from the beginning. Tokens are client-chosen and
+    /// connection-scoped.
+    ///
+    /// [`ScanCursor`]: mtkv::ScanCursor
     Scan {
         key: Vec<u8>,
         count: u32,
         cols: Option<Vec<u16>>,
+        resume: Option<u64>,
     },
     /// Durability stats snapshot (checkpoint epoch, log bytes).
     Stats,
@@ -85,6 +104,15 @@ pub struct StatsReply {
     /// Hot-path cache tier: hints that failed validation (split, delete,
     /// reuse) and fell back to a full descent.
     pub cache_stale: u64,
+    /// Validated-anchor write path: writes served through a cached
+    /// anchor (zero descent).
+    pub cache_write_hits: u64,
+    /// Validated-anchor write path: writes whose anchor failed
+    /// validation and fell back to a full descent.
+    pub cache_write_stale: u64,
+    /// Resumable scans: chunks resumed at a validated anchor (zero
+    /// descent).
+    pub cache_scan_resumes: u64,
 }
 
 impl StatsReply {
@@ -98,13 +126,16 @@ impl StatsReply {
             self.cache_lookups,
             self.cache_hits,
             self.cache_stale,
+            self.cache_write_hits,
+            self.cache_write_stale,
+            self.cache_scan_resumes,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
     }
 
     fn decode(p: &mut &[u8]) -> Option<StatsReply> {
-        let mut f = [0u64; 8];
+        let mut f = [0u64; 11];
         for v in f.iter_mut() {
             *v = u64::from_le_bytes(p.get(..8)?.try_into().ok()?);
             *p = &p[8..];
@@ -118,6 +149,9 @@ impl StatsReply {
             cache_lookups: f[5],
             cache_hits: f[6],
             cache_stale: f[7],
+            cache_write_hits: f[8],
+            cache_write_stale: f[9],
+            cache_scan_resumes: f[10],
         })
     }
 }
@@ -202,11 +236,23 @@ impl Request {
                 out.push(0x03);
                 put_bytes(out, key);
             }
-            Request::Scan { key, count, cols } => {
+            Request::Scan {
+                key,
+                count,
+                cols,
+                resume,
+            } => {
                 out.push(0x04);
                 put_bytes(out, key);
                 out.extend_from_slice(&count.to_le_bytes());
                 put_colset(out, cols);
+                match resume {
+                    None => out.push(0),
+                    Some(token) => {
+                        out.push(1);
+                        out.extend_from_slice(&token.to_le_bytes());
+                    }
+                }
             }
             Request::Stats => out.push(0x05),
             Request::Flush => out.push(0x06),
@@ -239,10 +285,23 @@ impl Request {
                 let key = get_bytes(p)?;
                 let count = u32::from_le_bytes(p.get(..4)?.try_into().ok()?);
                 *p = &p[4..];
+                let cols = get_colset(p)?;
+                let tag = *p.first()?;
+                *p = &p[1..];
+                let resume = match tag {
+                    0 => None,
+                    1 => {
+                        let t = u64::from_le_bytes(p.get(..8)?.try_into().ok()?);
+                        *p = &p[8..];
+                        Some(t)
+                    }
+                    _ => return None,
+                };
                 Some(Request::Scan {
                     key,
                     count,
-                    cols: get_colset(p)?,
+                    cols,
+                    resume,
                 })
             }
             0x05 => Some(Request::Stats),
@@ -499,6 +558,13 @@ mod tests {
             key: b"start".to_vec(),
             count: 100,
             cols: Some(vec![2]),
+            resume: None,
+        });
+        roundtrip_req(Request::Scan {
+            key: b"start".to_vec(),
+            count: 7,
+            cols: None,
+            resume: Some(0xdead_beef_cafe_f00d),
         });
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::Flush);
@@ -524,6 +590,9 @@ mod tests {
             cache_lookups: 1_000_000,
             cache_hits: 900_000,
             cache_stale: 123,
+            cache_write_hits: 55_000,
+            cache_write_stale: 77,
+            cache_scan_resumes: 4_321,
         }));
         roundtrip_resp(Response::Stats(StatsReply::default()));
         roundtrip_resp(Response::Err("log dead: No space left on device".into()));

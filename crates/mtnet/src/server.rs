@@ -8,12 +8,13 @@
 //! per connection, each with its own store [`Session`] (and therefore its
 //! own log, preserving the per-core-log design).
 
+use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use mtkv::{Session, Store};
+use mtkv::{ScanCursor, Session, Store};
 
 use crate::proto::{
     begin_batch, finish_batch, read_batch, write_value_borrowed, write_value_none, Request,
@@ -62,7 +63,54 @@ struct StoreBackend(Arc<Store>);
 impl Backend for StoreBackend {
     fn connect(&self) -> Box<dyn ConnState> {
         let session = self.0.session().expect("open session log");
-        Box::new(session)
+        Box::new(StoreConn::new(session))
+    }
+}
+
+/// Scan cursors held per connection for the wire `Scan` resume tokens,
+/// capped so a client cannot grow server memory unboundedly.
+type ScanTokens = HashMap<u64, ScanCursor>;
+
+/// The most token cursors one connection may pin (an arbitrary victim
+/// is dropped beyond this; a dropped cursor just costs one descent).
+const MAX_SCAN_TOKENS: usize = 64;
+
+/// A connection's server-side state: the store session plus the
+/// resumable-scan cursors addressed by the wire `Scan` resume tokens.
+pub struct StoreConn {
+    session: Session,
+    scan_tokens: ScanTokens,
+}
+
+impl StoreConn {
+    pub fn new(session: Session) -> StoreConn {
+        StoreConn {
+            session,
+            scan_tokens: ScanTokens::new(),
+        }
+    }
+
+    /// The underlying store session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+}
+
+impl ConnState for StoreConn {
+    fn execute(&mut self, req: Request) -> Response {
+        execute_tokens(&self.session, &mut self.scan_tokens, req)
+    }
+
+    fn execute_batch(&mut self, reqs: Vec<Request>) -> Vec<Response> {
+        let mut sink = OwnedSink(Vec::with_capacity(reqs.len()));
+        execute_batch_runs(&self.session, &mut self.scan_tokens, reqs, &mut sink);
+        sink.0
+    }
+
+    fn execute_batch_into(&mut self, reqs: Vec<Request>, out: &mut Vec<u8>) -> usize {
+        let mut sink = WireSink { out, written: 0 };
+        execute_batch_runs(&self.session, &mut self.scan_tokens, reqs, &mut sink);
+        sink.written
     }
 }
 
@@ -214,7 +262,7 @@ trait ResponseSink {
     /// Emits one put result.
     fn put_ok(&mut self, version: u64);
     /// Executes and emits one non-groupable request.
-    fn single(&mut self, session: &Session, req: Request);
+    fn single(&mut self, session: &Session, tokens: &mut ScanTokens, req: Request);
 }
 
 /// Materializes owned [`Response`]s (copying the selected columns).
@@ -237,8 +285,8 @@ impl ResponseSink for OwnedSink {
         self.0.push(Response::PutOk(version));
     }
 
-    fn single(&mut self, session: &Session, req: Request) {
-        self.0.push(execute(session, req));
+    fn single(&mut self, session: &Session, tokens: &mut ScanTokens, req: Request) {
+        self.0.push(execute_tokens(session, tokens, req));
     }
 }
 
@@ -259,8 +307,8 @@ impl ResponseSink for WireSink<'_> {
         self.written += 1;
     }
 
-    fn single(&mut self, session: &Session, req: Request) {
-        execute_into(session, req, self.out);
+    fn single(&mut self, session: &Session, tokens: &mut ScanTokens, req: Request) {
+        execute_into_tokens(session, tokens, req, self.out);
         self.written += 1;
     }
 }
@@ -275,7 +323,12 @@ impl ResponseSink for WireSink<'_> {
 /// and a run of puts is split at a duplicate key so writes to the same
 /// key apply in batch order (within an interleaved group, duplicate-key
 /// order would otherwise be unspecified).
-fn execute_batch_runs<S: ResponseSink>(session: &Session, mut reqs: Vec<Request>, sink: &mut S) {
+fn execute_batch_runs<S: ResponseSink>(
+    session: &Session,
+    tokens: &mut ScanTokens,
+    mut reqs: Vec<Request>,
+    sink: &mut S,
+) {
     let runs = mtkv::split_batch_runs(
         &reqs,
         |r| match r {
@@ -339,7 +392,7 @@ fn execute_batch_runs<S: ResponseSink>(session: &Session, mut reqs: Vec<Request>
                 for idx in range {
                     let req =
                         std::mem::replace(&mut reqs[idx], Request::Remove { key: Vec::new() });
-                    sink.single(session, req);
+                    sink.single(session, tokens, req);
                 }
             }
         }
@@ -350,7 +403,7 @@ fn execute_batch_runs<S: ResponseSink>(session: &Session, mut reqs: Vec<Request>
 /// responses. See [`execute_batch_runs`] for the grouping semantics.
 pub fn execute_batch(session: &Session, reqs: Vec<Request>) -> Vec<Response> {
     let mut sink = OwnedSink(Vec::with_capacity(reqs.len()));
-    execute_batch_runs(session, reqs, &mut sink);
+    execute_batch_runs(session, &mut ScanTokens::new(), reqs, &mut sink);
     sink.0
 }
 
@@ -363,7 +416,7 @@ pub fn execute_batch(session: &Session, reqs: Vec<Request>) -> Vec<Response> {
 /// `Vec<Response>` payloads. Returns the number of responses written.
 pub fn execute_batch_into(session: &Session, reqs: Vec<Request>, out: &mut Vec<u8>) -> usize {
     let mut sink = WireSink { out, written: 0 };
-    execute_batch_runs(session, reqs, &mut sink);
+    execute_batch_runs(session, &mut ScanTokens::new(), reqs, &mut sink);
     sink.written
 }
 
@@ -372,6 +425,18 @@ pub fn execute_batch_into(session: &Session, reqs: Vec<Request>, out: &mut Vec<u
 /// borrowed under the epoch guard (via `get_with` / `get_range_with`);
 /// puts and removes encode their small fixed-size replies.
 pub fn execute_into(session: &Session, req: Request, out: &mut Vec<u8>) {
+    execute_into_tokens(session, &mut ScanTokens::new(), req, out)
+}
+
+/// [`execute_into`] with the connection's scan-token cursors, so
+/// resumable `Scan` requests re-enter the tree at their remembered
+/// border nodes.
+fn execute_into_tokens(
+    session: &Session,
+    tokens: &mut ScanTokens,
+    req: Request,
+    out: &mut Vec<u8>,
+) {
     match req {
         Request::Get { key, cols } => {
             session.get_with(&key, |hit| write_get_response(out, hit, cols.as_deref()));
@@ -384,9 +449,14 @@ pub fn execute_into(session: &Session, req: Request, out: &mut Vec<u8>) {
             Response::PutOk(session.put(&key, &updates)).encode(out);
         }
         Request::Remove { key } => Response::RemoveOk(session.remove(&key)).encode(out),
-        Request::Scan { key, count, cols } => {
+        Request::Scan {
+            key,
+            count,
+            cols,
+            resume,
+        } => {
             let mut rows = RowsWriter::begin(out);
-            session.get_range_with(&key, count as usize, |k, v| match &cols {
+            scan_with_tokens(session, tokens, &key, count, resume, |k, v| match &cols {
                 None => rows.push_row(
                     k,
                     v.ncols(),
@@ -404,6 +474,43 @@ pub fn execute_into(session: &Session, req: Request, out: &mut Vec<u8>) {
         req @ (Request::Stats | Request::Flush | Request::Sync) => {
             execute(session, req).encode(out)
         }
+    }
+}
+
+/// Runs one scan chunk, resuming from the connection's token cursor
+/// when `resume` names one. `key` is the fallback start, used only
+/// when the token has no cursor — the stream's first chunk, or a
+/// cursor evicted at the [`MAX_SCAN_TOKENS`] cap (which is why clients
+/// are told to pass their continuation key on follow-ups: an eviction
+/// then degrades to one descent, not a silent re-stream). Token-less
+/// scans take the session's transparent start-key-matched cursor cache
+/// instead.
+fn scan_with_tokens<F>(
+    session: &Session,
+    tokens: &mut ScanTokens,
+    key: &[u8],
+    count: u32,
+    resume: Option<u64>,
+    f: F,
+) where
+    F: FnMut(&[u8], &mtkv::ColValue),
+{
+    let Some(token) = resume else {
+        session.get_range_with(key, count as usize, f);
+        return;
+    };
+    let mut cursor = tokens
+        .remove(&token)
+        .unwrap_or_else(|| session.scan_cursor(key));
+    session.get_range_resumed(&mut cursor, count as usize, f);
+    if !cursor.is_done() {
+        if tokens.len() >= MAX_SCAN_TOKENS {
+            // Drop an arbitrary victim; its stream just re-descends.
+            if let Some(&victim) = tokens.keys().next() {
+                tokens.remove(&victim);
+            }
+        }
+        tokens.insert(token, cursor);
     }
 }
 
@@ -427,8 +534,15 @@ fn write_get_response(out: &mut Vec<u8>, hit: Option<&mtkv::ColValue>, cols: Opt
     }
 }
 
-/// Executes one request against a store session.
+/// Executes one request against a store session (token-less: resumable
+/// `Scan` requests fall back to fresh scans; the server's per-connection
+/// state routes them through [`StoreConn`] instead).
 pub fn execute(session: &Session, req: Request) -> Response {
+    execute_tokens(session, &mut ScanTokens::new(), req)
+}
+
+/// [`execute`] with the connection's scan-token cursors.
+fn execute_tokens(session: &Session, tokens: &mut ScanTokens, req: Request) -> Response {
     match req {
         Request::Get { key, cols } => {
             let ids: Option<Vec<usize>> = cols.map(|c| c.iter().map(|&i| i as usize).collect());
@@ -442,9 +556,25 @@ pub fn execute(session: &Session, req: Request) -> Response {
             Response::PutOk(session.put(&key, &updates))
         }
         Request::Remove { key } => Response::RemoveOk(session.remove(&key)),
-        Request::Scan { key, count, cols } => {
+        Request::Scan {
+            key,
+            count,
+            cols,
+            resume,
+        } => {
             let ids: Option<Vec<usize>> = cols.map(|c| c.iter().map(|&i| i as usize).collect());
-            Response::Rows(session.get_range(&key, count as usize, ids.as_deref()))
+            let mut rows = Vec::with_capacity((count as usize).min(1024));
+            scan_with_tokens(session, tokens, &key, count, resume, |k, v| {
+                let row = match &ids {
+                    None => v.cols(),
+                    Some(ids) => ids
+                        .iter()
+                        .map(|&i| v.col(i).unwrap_or(&[]).to_vec())
+                        .collect(),
+                };
+                rows.push((k.to_vec(), row));
+            });
+            Response::Rows(rows)
         }
         Request::Stats => Response::Stats(gather_stats(session)),
         Request::Flush => {
@@ -478,10 +608,16 @@ pub fn execute(session: &Session, req: Request) -> Response {
 }
 
 /// Snapshots the store's durability and cache-tier state into the wire
-/// reply. Flushes this connection's local cache counters first so its
-/// own traffic is visible in the aggregate.
+/// reply.
+///
+/// The cache counters aggregate **every** session's traffic as of this
+/// call: `Store::cache_stats` walks the store's registry of live
+/// session caches and flushes each one's batched local counters into
+/// the shared sink before snapshotting it. (Sessions otherwise flush
+/// only every 256 events and on drop, so a `Stats` request used to see
+/// other connections' traffic late — and only its own connection's
+/// counters freshly.)
 fn gather_stats(session: &Session) -> StatsReply {
-    let _ = session.cache_stats(); // flush-to-shared side effect
     let s = session.store().durability_stats();
     let c = session.store().cache_stats();
     StatsReply {
@@ -493,5 +629,8 @@ fn gather_stats(session: &Session) -> StatsReply {
         cache_lookups: c.lookups,
         cache_hits: c.hits,
         cache_stale: c.stale,
+        cache_write_hits: c.write_hits,
+        cache_write_stale: c.write_stale,
+        cache_scan_resumes: c.scan_resumes,
     }
 }

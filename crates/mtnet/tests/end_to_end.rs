@@ -30,11 +30,15 @@ fn stats_and_flush_drive_durability_over_the_wire() {
         // rotation is visible on disk rather than racing it. Poll for
         // bytes too: rotation creates the (empty) successor file before
         // flushing the sealed segment's buffered bytes, so there is an
-        // instant where two segment files total zero bytes.
+        // instant where the files hold only the session-create journal
+        // entry and an opening heartbeat; a rotation is only really
+        // durable once the sealed segment's payload (≥ the 2048-byte
+        // rotation threshold) has landed.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         let s1 = loop {
             let s = c.stats().unwrap();
-            if (s.log_segments >= 2 && s.log_bytes > 0) || std::time::Instant::now() > deadline {
+            if (s.log_segments >= 2 && s.log_bytes >= 2048) || std::time::Instant::now() > deadline
+            {
                 break s;
             }
             std::thread::sleep(std::time::Duration::from_millis(5));
@@ -487,6 +491,7 @@ fn zero_copy_batch_encoding_matches_owned_path() {
             key: b"zc".to_vec(),
             count: 5,
             cols: Some(vec![0]),
+            resume: None,
         });
         reqs.push(Request::Put {
             key: b"dup".to_vec(),
@@ -524,4 +529,142 @@ fn zero_copy_batch_encoding_matches_owned_path() {
     // stores only if version draws diverge — identical op sequences keep
     // them aligned, so the full byte streams must match.
     assert_eq!(owned_bytes, borrowed_bytes);
+}
+
+#[test]
+fn stats_aggregate_every_connections_cache_counters() {
+    // A `Stats` reply must reflect ALL connections' cache traffic as of
+    // the request: the store flushes every live session's batched local
+    // counters before snapshotting the shared sink (the old behavior
+    // flushed only the requesting connection's, so another connection's
+    // traffic was invisible until it crossed its own 256-event flush
+    // threshold or closed).
+    let store = Store::in_memory();
+    store.set_session_cache(Some(mtkv::CacheConfig {
+        admit_threshold: 1,
+        adaptive_bypass: false,
+        ..mtkv::CacheConfig::default()
+    }));
+    let server = Server::start(store, "127.0.0.1:0").unwrap();
+    let mut a = Client::connect(server.addr()).unwrap();
+    let mut b = Client::connect(server.addr()).unwrap();
+
+    for i in 0..20u32 {
+        a.put(format!("agg{i:02}").as_bytes(), vec![(0, b"v".to_vec())])
+            .unwrap();
+    }
+    // Reads on BOTH connections — well under the 256-event batch flush.
+    for _ in 0..2 {
+        for i in 0..20u32 {
+            let k = format!("agg{i:02}");
+            assert!(a.get(k.as_bytes(), None).unwrap().is_some());
+            assert!(b.get(k.as_bytes(), None).unwrap().is_some());
+        }
+    }
+    // One Stats from connection A must already see B's lookups too:
+    // 80 read lookups total across both connections.
+    let s = a.stats().unwrap();
+    assert!(
+        s.cache_lookups >= 80,
+        "stats must aggregate both connections' lookups: {s:?}"
+    );
+    assert!(s.cache_hits > 0, "repeat gets hit: {s:?}");
+    // Writes through cached anchors are visible in the write counters.
+    for i in 0..20u32 {
+        a.put(format!("agg{i:02}").as_bytes(), vec![(0, b"w".to_vec())])
+            .unwrap();
+    }
+    let s = b.stats().unwrap();
+    assert!(
+        s.cache_write_hits > 0,
+        "hot-key updates must be served by write anchors: {s:?}"
+    );
+}
+
+#[test]
+fn scan_resume_token_streams_a_range_in_chunks() {
+    let store = Store::in_memory();
+    store.set_session_cache(Some(mtkv::CacheConfig::default()));
+    let server = Server::start(store, "127.0.0.1:0").unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    for i in 0..500u32 {
+        c.put(
+            format!("sr{i:04}").as_bytes(),
+            vec![(0, i.to_le_bytes().to_vec())],
+        )
+        .unwrap();
+    }
+    let full = c.scan(b"sr", 10_000, None).unwrap();
+    assert_eq!(full.len(), 500);
+
+    // Stream the same range in chunks under one token: every chunk
+    // continues exactly where the previous stopped, with no duplicates
+    // and no gaps, until a short chunk signals exhaustion.
+    let mut streamed = Vec::new();
+    loop {
+        let rows = c.scan_resume(b"sr", 64, None, 7).unwrap();
+        let n = rows.len();
+        streamed.extend(rows);
+        if n < 64 {
+            break;
+        }
+    }
+    assert_eq!(streamed, full, "chunked token stream equals one big scan");
+
+    // Interleaved second stream under a different token is independent.
+    let first_a = c.scan_resume(b"sr0100", 5, None, 1).unwrap();
+    let first_b = c.scan_resume(b"sr0200", 5, None, 2).unwrap();
+    let second_a = c.scan_resume(b"", 5, None, 1).unwrap();
+    assert_eq!(first_a[0].0, b"sr0100");
+    assert_eq!(first_b[0].0, b"sr0200");
+    assert_eq!(second_a[0].0, b"sr0105", "token 1 continued, key ignored");
+
+    // The resumes actually took the validated-anchor fast path.
+    let s = c.stats().unwrap();
+    assert!(
+        s.cache_scan_resumes > 0,
+        "token chunks must resume at anchors: {s:?}"
+    );
+}
+
+#[test]
+fn scan_resume_token_survives_interleaved_writes() {
+    let store = Store::in_memory();
+    store.set_session_cache(Some(mtkv::CacheConfig::default()));
+    let server = Server::start(store, "127.0.0.1:0").unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    for i in (0..400u32).step_by(2) {
+        c.put(format!("iw{i:04}").as_bytes(), vec![(0, b"v".to_vec())])
+            .unwrap();
+    }
+    let mut seen: Vec<Vec<u8>> = Vec::new();
+    let mut round = 0u32;
+    loop {
+        let rows = c.scan_resume(b"iw", 16, None, 99).unwrap();
+        let n = rows.len();
+        seen.extend(rows.into_iter().map(|(k, _)| k));
+        // Churn between chunks: inserts ahead/behind and removes force
+        // splits and anchor invalidations mid-stream.
+        c.put(
+            format!("iw{:04}", (round * 37) % 400 + 1).as_bytes(),
+            vec![(0, b"x".to_vec())],
+        )
+        .unwrap();
+        c.remove(format!("iw{:04}", (round * 26) % 100).as_bytes())
+            .unwrap();
+        round += 1;
+        if n < 16 {
+            break;
+        }
+    }
+    // Non-atomic scan guarantees hold across resumed chunks: strict
+    // order, no duplicates.
+    for w in seen.windows(2) {
+        assert!(
+            w[0] < w[1],
+            "resumed stream reordered: {:?} {:?}",
+            w[0],
+            w[1]
+        );
+    }
 }
