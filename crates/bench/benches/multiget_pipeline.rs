@@ -144,6 +144,7 @@ fn main() {
     // ---- BENCH_multiget.json ----
     let mut json = String::new();
     json.push_str("{\n");
+    json.push_str(&bench::host_meta_json(1));
     json.push_str(&format!("  \"tree_keys\": {TREE_KEYS},\n"));
     json.push_str("  \"workload\": \"uniform decimal keys\",\n");
     json.push_str(&format!(

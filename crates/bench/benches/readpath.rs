@@ -342,6 +342,7 @@ fn main() {
     // ---- BENCH_readpath.json ----
     let mut json = String::new();
     json.push_str("{\n");
+    json.push_str(&bench::host_meta_json(1));
     json.push_str(&format!("  \"store_keys\": {STORE_KEYS},\n"));
     json.push_str(&format!("  \"value_bytes\": {VALUE_BYTES},\n"));
     json.push_str(&format!("  \"batch\": {BATCH},\n"));

@@ -310,6 +310,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
+    json.push_str(&bench::host_meta_json(1));
     json.push_str(&format!("  \"store_keys\": {STORE_KEYS},\n"));
     json.push_str(&format!("  \"cache_capacity\": {CACHE_CAPACITY},\n"));
     json.push_str("  \"key_shape\": \"ycsb: 'user' + 19-digit hashed id (23-24 bytes)\",\n");

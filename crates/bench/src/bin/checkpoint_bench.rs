@@ -230,7 +230,7 @@ fn main() {
 
     // ---- BENCH_checkpoint.json ----
     let json = format!(
-        "{{\n  \"keys\": {},\n  \"threads\": {},\n  \"checkpoint_write_secs\": {:.4},\n  \
+        "{{\n{}  \"keys\": {},\n  \"threads\": {},\n  \"checkpoint_write_secs\": {:.4},\n  \
          \"checkpoint_keys\": {},\n  \"recovery_secs\": {:.4},\n  \"recovery_keys\": {},\n  \
          \"recovery_replayed_records\": {},\n  \"recovery_log_segments\": {},\n  \
          \"put_mreq_per_sec_normal\": {:.4},\n  \"put_mreq_per_sec_during_checkpoint\": {:.4},\n  \
@@ -238,6 +238,7 @@ fn main() {
          \"put_mreq_per_sec_background_on\": {:.4},\n  \"background_on_over_off\": {:.4},\n  \
          \"background_checkpoints\": {},\n  \"background_segments_truncated\": {},\n  \
          \"background_final_log_bytes\": {},\n  \"background_off_final_log_bytes\": {}\n}}\n",
+        bench::host_meta_json(p.threads),
         p.keys,
         p.threads,
         write_secs,

@@ -1,0 +1,216 @@
+//! Many-connection server benchmark: does the event-loop server's
+//! cross-connection batch aggregation recover the interleaved batch
+//! engine's throughput when *clients don't batch*?
+//!
+//! Hundreds of connections each pipeline single-get frames (depth 4) —
+//! the worst case §7 warns about, where per-op network overhead and
+//! one-at-a-time root-to-leaf descents dominate. The sweep crosses
+//! worker counts {1, 2, 4} with aggregation on/off; with aggregation on,
+//! each worker merges all ready connections' pending point gets into one
+//! `multi_get` run per wakeup (interleaved prefetching across the batch)
+//! instead of executing hundreds of one-op frames back to back.
+//!
+//! Writes `BENCH_server.json` at the repository root and **fails
+//! (exit 1)** if aggregation does not beat the unaggregated path on the
+//! ≥128-pipelined-client point-get workload — that win is the tentpole
+//! claim of the event-loop server and is asserted, not just reported.
+//!
+//! Runtime knobs (env or flags, see `bench::Params`): `MT_SECS` scales
+//! the per-cell measurement window.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use mtkv::Store;
+use mtnet::{Client, Request, Response, Server, ServerConfig};
+use mtworkload::Rng64;
+
+const STORE_KEYS: u64 = 100_000;
+const CLIENTS: usize = 256;
+const CLIENT_THREADS: usize = 8;
+const DEPTH: usize = 4;
+
+fn key(i: u64) -> Vec<u8> {
+    format!("user{i:010}").into_bytes()
+}
+
+/// Drives `CLIENTS` pipelined connections against `addr` for `secs`,
+/// returning (client-side completed gets per second, elapsed seconds).
+fn run_cell(addr: std::net::SocketAddr, secs: f64) -> (f64, f64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let completed = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..CLIENT_THREADS {
+            let stop = Arc::clone(&stop);
+            let completed = Arc::clone(&completed);
+            s.spawn(move || {
+                let mut rng = Rng64::new(0x5eed + t as u64);
+                let mut clients: Vec<Client> = (0..CLIENTS / CLIENT_THREADS)
+                    .map(|_| Client::connect(addr).expect("connect"))
+                    .collect();
+                let send_get = |c: &mut Client, rng: &mut Rng64| {
+                    c.send_one(&Request::Get {
+                        key: key(rng.next_u64() % STORE_KEYS),
+                        cols: Some(vec![0]),
+                    })
+                    .expect("send");
+                };
+                for c in &mut clients {
+                    for _ in 0..DEPTH {
+                        send_get(c, &mut rng);
+                    }
+                }
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for c in &mut clients {
+                        match c.recv_one().expect("recv") {
+                            Response::Value(Some(_)) => {}
+                            other => panic!("unexpected response: {other:?}"),
+                        }
+                        local += 1;
+                        send_get(c, &mut rng);
+                    }
+                }
+                // Drain the pipelines so every connection closes with no
+                // response in flight.
+                for c in &mut clients {
+                    while c.in_flight() > 0 {
+                        let _ = c.recv_one().expect("drain");
+                        local += 1;
+                    }
+                }
+                completed.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    (completed.load(Ordering::Relaxed) as f64 / elapsed, elapsed)
+}
+
+struct Cell {
+    workers: usize,
+    aggregate: bool,
+    gets_per_sec: f64,
+    server_ops: u64,
+    secs: f64,
+}
+
+fn main() {
+    let p = bench::Params::from_args();
+    let secs = (p.secs * 0.75).clamp(0.5, 10.0);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // One shared store, prefilled once; each cell gets a fresh server
+    // (its own worker pool and sessions) over it.
+    let store = Store::in_memory();
+    {
+        let session = store.session().unwrap();
+        let payload = vec![0xabu8; 64];
+        for i in 0..STORE_KEYS {
+            session.put(&key(i), &[(0, &payload)]);
+        }
+    }
+
+    eprintln!(
+        "server_bench: {CLIENTS} connections x depth-{DEPTH} single-get \
+         frames, {secs:.2}s/cell, {cores} core(s)"
+    );
+    let mut cells: Vec<Cell> = Vec::new();
+    for &workers in &[1usize, 2, 4] {
+        for &aggregate in &[false, true] {
+            let mut server = Server::start_with(
+                Arc::clone(&store),
+                "127.0.0.1:0",
+                ServerConfig { workers, aggregate },
+            )
+            .expect("start server");
+            // Throwaway warm cell to populate worker caches and client
+            // buffers off the measured path.
+            run_cell(server.addr(), (secs * 0.2).max(0.2));
+            let ops_before = server.ops_served();
+            let (gets_per_sec, elapsed) = run_cell(server.addr(), secs);
+            let server_ops = server.ops_served() - ops_before;
+            server.stop();
+            eprintln!(
+                "  workers={workers} aggregate={aggregate:<5} -> {:.3} Mgets/s",
+                gets_per_sec / 1e6
+            );
+            cells.push(Cell {
+                workers,
+                aggregate,
+                gets_per_sec,
+                server_ops,
+                secs: elapsed,
+            });
+        }
+    }
+
+    // ---- BENCH_server.json ----
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str(&format!("  \"store_keys\": {STORE_KEYS},\n"));
+    json.push_str(&format!("  \"clients\": {CLIENTS},\n"));
+    json.push_str(&format!("  \"pipeline_depth\": {DEPTH},\n"));
+    json.push_str("  \"workload\": \"uniform single-get frames, 64B values\",\n");
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"workers\": {}, \"aggregate\": {}, \"gets_per_sec\": {:.0}, \
+             \"server_ops\": {}, \"secs\": {:.3} }}{}\n",
+            c.workers,
+            c.aggregate,
+            c.gets_per_sec,
+            c.server_ops,
+            c.secs,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    let mut gate_ok = true;
+    json.push_str("  \"aggregation_speedup_by_workers\": {\n");
+    let worker_counts = [1usize, 2, 4];
+    for (i, &w) in worker_counts.iter().enumerate() {
+        let on = cells
+            .iter()
+            .find(|c| c.workers == w && c.aggregate)
+            .unwrap()
+            .gets_per_sec;
+        let off = cells
+            .iter()
+            .find(|c| c.workers == w && !c.aggregate)
+            .unwrap()
+            .gets_per_sec;
+        let ratio = on / off;
+        if ratio <= 1.0 {
+            gate_ok = false;
+        }
+        json.push_str(&format!(
+            "    \"{w}\": {:.3}{}\n",
+            ratio,
+            if i + 1 < worker_counts.len() { "," } else { "" }
+        ));
+        eprintln!("  workers={w}: aggregated / unaggregated = {ratio:.3}x");
+    }
+    json.push_str("  }\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    std::fs::write(path, &json).expect("write BENCH_server.json");
+    eprintln!("wrote BENCH_server.json");
+    print!("{json}");
+
+    if !gate_ok {
+        eprintln!(
+            "GATE FAILED: cross-connection aggregation must beat the \
+             unaggregated path at every worker count on the {CLIENTS}\
+             -pipelined-client point-get workload"
+        );
+        std::process::exit(1);
+    }
+}

@@ -22,11 +22,73 @@
 pub mod epoch {
     use std::cell::{Cell, RefCell};
     use std::marker::PhantomData;
+    use std::mem::MaybeUninit;
     use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
     use std::sync::Mutex;
 
-    /// A deferred destruction.
-    struct Deferred(Box<dyn FnOnce()>);
+    /// Words of inline storage in a [`Deferred`]. Every retire closure in
+    /// this workspace captures a single raw pointer, so three words is
+    /// already generous; anything larger falls back to a box.
+    const DEFERRED_DATA_WORDS: usize = 3;
+
+    /// A deferred destruction: an unboxed `(fn, data)` pair. The closure
+    /// is stored **inline** when it fits (every update's retire closure
+    /// captures one pointer, so the old `Box<dyn FnOnce()>` added a heap
+    /// allocation to every put — on the hot path the tree otherwise keeps
+    /// allocation-free); oversized closures fall back to a box, keeping
+    /// the trampoline shape uniform.
+    struct Deferred {
+        /// Monomorphized trampoline: reads the closure out of `data` (or
+        /// out of the boxed fallback whose pointer is in `data`) and runs
+        /// it exactly once.
+        call: unsafe fn(*mut u8),
+        data: MaybeUninit<[usize; DEFERRED_DATA_WORDS]>,
+    }
+
+    impl Deferred {
+        fn new<F: FnOnce() + 'static>(f: F) -> Deferred {
+            unsafe fn call_inline<F: FnOnce()>(raw: *mut u8) {
+                // SAFETY: `raw` points at a valid `F` written by `new`,
+                // read (and thereby consumed) exactly once.
+                let f: F = unsafe { std::ptr::read(raw.cast::<F>()) };
+                f();
+            }
+            unsafe fn call_boxed<F: FnOnce()>(raw: *mut u8) {
+                // SAFETY: `raw` holds a `*mut F` from `Box::into_raw`,
+                // written by `new` and consumed exactly once.
+                let b: Box<F> = unsafe { Box::from_raw(std::ptr::read(raw.cast::<*mut F>())) };
+                (*b)();
+            }
+            let mut data = MaybeUninit::<[usize; DEFERRED_DATA_WORDS]>::uninit();
+            if size_of::<F>() <= size_of::<[usize; DEFERRED_DATA_WORDS]>()
+                && align_of::<F>() <= align_of::<[usize; DEFERRED_DATA_WORDS]>()
+            {
+                // SAFETY: size and alignment were just checked; the value
+                // is moved into the inline storage and owned by `self`
+                // until the trampoline reads it back out.
+                unsafe { std::ptr::write(data.as_mut_ptr().cast::<F>(), f) };
+                Deferred {
+                    call: call_inline::<F>,
+                    data,
+                }
+            } else {
+                let raw = Box::into_raw(Box::new(f));
+                // SAFETY: a thin pointer always fits the inline words.
+                unsafe { std::ptr::write(data.as_mut_ptr().cast::<*mut F>(), raw) };
+                Deferred {
+                    call: call_boxed::<F>,
+                    data,
+                }
+            }
+        }
+
+        /// Runs the deferred destruction (consuming `self`).
+        fn call(mut self) {
+            // SAFETY: `data` holds whatever the matching trampoline
+            // expects; `self` is consumed so it runs exactly once.
+            unsafe { (self.call)(self.data.as_mut_ptr().cast::<u8>()) }
+        }
+    }
 
     // SAFETY: deferred closures capture only raw pointers (as integers) to
     // heap objects that are unreachable from shared structures; running
@@ -193,7 +255,7 @@ pub mod epoch {
             p = r.next.load(Ordering::Acquire);
         }
         for d in ready {
-            (d.0)();
+            d.call();
         }
     }
 
@@ -268,9 +330,9 @@ pub mod epoch {
             let mut bag = r.garbage.lock().unwrap();
             let bucket_len = bag.push(
                 epoch,
-                Deferred(Box::new(move || {
+                Deferred::new(move || {
                     f();
-                })),
+                }),
             );
             // Amortize: attempt reclamation once per threshold of new
             // garbage, not on every retirement.

@@ -180,6 +180,11 @@ pub struct CacheStats {
     /// Scan resumptions that fell back to a full descent (no anchor, or
     /// a stale one).
     pub scan_stale: u64,
+    /// Server-side scan-token cursors evicted (LRU) at the
+    /// per-connection cap. Counted by the network layer — the cache
+    /// carries the field so evictions aggregate through the same
+    /// per-worker-flush path as every other counter.
+    pub scan_evictions: u64,
 }
 
 impl CacheStats {
@@ -199,6 +204,7 @@ impl CacheStats {
             write_stale: self.write_stale - since.write_stale,
             scan_resumes: self.scan_resumes - since.scan_resumes,
             scan_stale: self.scan_stale - since.scan_stale,
+            scan_evictions: self.scan_evictions - since.scan_evictions,
         }
     }
 }
@@ -224,6 +230,7 @@ pub struct CacheStatsShared {
     write_stale: AtomicU64,
     scan_resumes: AtomicU64,
     scan_stale: AtomicU64,
+    scan_evictions: AtomicU64,
 }
 
 impl CacheStatsShared {
@@ -244,6 +251,15 @@ impl CacheStatsShared {
         self.scan_resumes
             .fetch_add(d.scan_resumes, Ordering::Relaxed);
         self.scan_stale.fetch_add(d.scan_stale, Ordering::Relaxed);
+        self.scan_evictions
+            .fetch_add(d.scan_evictions, Ordering::Relaxed);
+    }
+
+    /// Direct bump for counters owned by layers above the cache (the
+    /// network server's scan-token LRU) that have no per-session local
+    /// batch to flush through.
+    pub fn add_scan_evictions(&self, n: u64) {
+        self.scan_evictions.fetch_add(n, Ordering::Relaxed);
     }
 
     /// A point-in-time aggregate across all flushed sessions.
@@ -263,6 +279,7 @@ impl CacheStatsShared {
             write_stale: self.write_stale.load(Ordering::Relaxed),
             scan_resumes: self.scan_resumes.load(Ordering::Relaxed),
             scan_stale: self.scan_stale.load(Ordering::Relaxed),
+            scan_evictions: self.scan_evictions.load(Ordering::Relaxed),
         }
     }
 }

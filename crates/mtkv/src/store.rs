@@ -434,6 +434,13 @@ impl Store {
         self.cache_shared.snapshot()
     }
 
+    /// Counts scan-token cursor evictions (the network server's
+    /// per-connection LRU cap) into the store-wide cache stats, where
+    /// they surface as `cache_scan_evictions`.
+    pub fn note_scan_evictions(&self, n: u64) {
+        self.cache_shared.add_scan_evictions(n);
+    }
+
     /// Flushes every live session's local cache counters to the shared
     /// sink. Each flush takes that session's (uncontended) cache lock
     /// briefly; dead registry entries are pruned as a side effect.

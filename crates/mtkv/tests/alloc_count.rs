@@ -134,6 +134,61 @@ fn steady_state_borrowed_reads_do_not_allocate() {
 }
 
 #[test]
+fn steady_state_overwrites_do_not_box_their_retirements() {
+    // The update path retires the replaced value through the epoch GC.
+    // With the unboxed `(fn, data)` deferred representation the retire
+    // itself is allocation-free (the closure — one captured pointer —
+    // is stored inline in the bag slot), so a steady-state overwrite
+    // costs only the new value's own allocations plus amortized bag /
+    // collection bookkeeping. The boxed representation this replaced
+    // added exactly +1.0 allocations per put; the bound here sits well
+    // below that delta, so a regression to boxing trips the assert.
+    let store = Store::in_memory();
+    let session = store.session().unwrap();
+
+    let payload = [0x3cu8; 64];
+    for i in 0..4_096u32 {
+        session.put(format!("w{i:06}").as_bytes(), &[(0, &payload[..])]);
+    }
+
+    let keys: Vec<Vec<u8>> = (0..4_096u32)
+        .map(|i| format!("w{i:06}").into_bytes())
+        .collect();
+
+    // Warm-up overwrites: epoch registration, bag bucket growth, slab
+    // free lists; then drain retired garbage off the measured path.
+    for k in &keys {
+        session.put(k, &[(0, &payload[..])]);
+    }
+    drain_gc();
+
+    const ROUNDS: u64 = 4;
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for _ in 0..ROUNDS {
+        for k in &keys {
+            session.put(k, &[(0, &payload[..])]);
+        }
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    drain_gc();
+
+    let puts = ROUNDS * keys.len() as u64;
+    let per_put = allocs as f64 / puts as f64;
+    // Measured baseline: ~3.3/put (the new value's own storage plus
+    // amortized bag/collection bookkeeping). Boxing the deferred again
+    // would add exactly +1.0/put (~4.3), so 3.8 cleanly separates the
+    // two without being flaky about the amortized remainder.
+    assert!(
+        per_put < 3.8,
+        "steady-state overwrite allocates too much: {allocs} allocations \
+         over {puts} puts ({per_put:.3}/put) — did the epoch retire path \
+         start boxing its deferreds again?"
+    );
+}
+
+#[test]
 fn steady_state_cached_session_reads_do_not_allocate() {
     // The cache-enabled read paths must hold the same zero-allocation
     // guarantee as the plain ones: the hinted batch read buffers its

@@ -2,9 +2,13 @@
 //!
 //! §7 of the paper: "Batched query support is vital on these benchmarks."
 //! The client accumulates requests into a batch, sends them in one write,
-//! and reads the positionally-matched responses. `Pipeline` keeps several
-//! batches in flight to hide round-trip latency, the way the paper's
-//! client aggregators drive the server.
+//! and reads the positionally-matched responses. Keeping several batches
+//! in flight ([`Client::send_batch`] without an immediate
+//! [`Client::recv_batch`], or the [`Client::send_one`] /
+//! [`Client::recv_one`] pair for single-op frames) hides round-trip
+//! latency the way the paper's client aggregators drive the server —
+//! and hands the event-loop server simultaneously-pending frames it can
+//! aggregate across connections.
 
 use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
@@ -89,6 +93,32 @@ impl Client {
     /// Number of batches currently in flight.
     pub fn in_flight(&self) -> usize {
         self.in_flight.len()
+    }
+
+    /// Sends `req` immediately as its own single-request frame without
+    /// waiting for the response — the building block of a pipelined
+    /// point-op stream: prime `depth` frames with this, then alternate
+    /// [`Client::recv_one`] / `send_one` to hold the depth steady. (A
+    /// stream of single-op frames is also exactly the shape the
+    /// event-loop server's cross-connection aggregation recovers batch
+    /// throughput from.)
+    pub fn send_one(&mut self, req: &Request) -> std::io::Result<()> {
+        debug_assert_eq!(self.pending_count, 0, "send_one atop a queued batch");
+        self.queue(req);
+        self.send_batch()?;
+        Ok(())
+    }
+
+    /// Receives the oldest in-flight single-request frame's response
+    /// (counterpart of [`Client::send_one`]).
+    pub fn recv_one(&mut self) -> std::io::Result<Response> {
+        let mut resps = self.recv_batch()?;
+        match resps.len() {
+            1 => Ok(resps.pop().expect("len checked")),
+            n => Err(std::io::Error::other(format!(
+                "recv_one on a {n}-request frame"
+            ))),
+        }
     }
 
     /// Sends the current batch and waits for its responses.

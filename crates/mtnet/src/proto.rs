@@ -113,6 +113,10 @@ pub struct StatsReply {
     /// Resumable scans: chunks resumed at a validated anchor (zero
     /// descent).
     pub cache_scan_resumes: u64,
+    /// Resumable scans: token cursors evicted least-recently-used at the
+    /// per-connection cap (each eviction costs its stream one descent on
+    /// resume).
+    pub cache_scan_evictions: u64,
 }
 
 impl StatsReply {
@@ -129,13 +133,14 @@ impl StatsReply {
             self.cache_write_hits,
             self.cache_write_stale,
             self.cache_scan_resumes,
+            self.cache_scan_evictions,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
     }
 
     fn decode(p: &mut &[u8]) -> Option<StatsReply> {
-        let mut f = [0u64; 11];
+        let mut f = [0u64; 12];
         for v in f.iter_mut() {
             *v = u64::from_le_bytes(p.get(..8)?.try_into().ok()?);
             *p = &p[8..];
@@ -152,6 +157,7 @@ impl StatsReply {
             cache_write_hits: f[8],
             cache_write_stale: f[9],
             cache_scan_resumes: f[10],
+            cache_scan_evictions: f[11],
         })
     }
 }
@@ -498,6 +504,28 @@ impl<'a> RowsWriter<'a> {
     }
 }
 
+/// Parses one complete batch frame from the front of `buf` without
+/// consuming or copying: `Ok(Some((consumed, count)))` when a whole
+/// frame is present — its `count` messages are the bytes
+/// `buf[8..consumed]` — `Ok(None)` when more bytes are needed, and
+/// `Err` on a corrupt length prefix. The event-loop server's frame
+/// accumulator; the byte layout is exactly what [`read_batch`] reads
+/// from a stream.
+pub fn parse_batch_frame(buf: &[u8]) -> std::io::Result<Option<(usize, u32)>> {
+    let Some(len4) = buf.get(..4) else {
+        return Ok(None);
+    };
+    let len = u32::from_le_bytes(len4.try_into().unwrap()) as usize;
+    if !(4..=256 << 20).contains(&len) {
+        return Err(std::io::Error::other("bad frame length"));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let count = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    Ok(Some((4 + len, count)))
+}
+
 /// Reads a whole batch frame from a stream; `Ok(None)` on clean EOF.
 pub fn read_batch<R: std::io::Read>(r: &mut R) -> std::io::Result<Option<(u32, Vec<u8>)>> {
     let mut len4 = [0u8; 4];
@@ -593,6 +621,7 @@ mod tests {
             cache_write_hits: 55_000,
             cache_write_stale: 77,
             cache_scan_resumes: 4_321,
+            cache_scan_evictions: 12,
         }));
         roundtrip_resp(Response::Stats(StatsReply::default()));
         roundtrip_resp(Response::Err("log dead: No space left on device".into()));

@@ -1,23 +1,47 @@
 //! The Masstree network server (§5 of the paper).
 //!
-//! The paper uses per-core NIC receive queues; in a container we serve
-//! long-lived TCP connections from few client aggregators — the paper's
-//! own benchmark configuration ("long-lived TCP query connections from
-//! few clients (or client aggregators), a common operating mode that is
-//! equally effective at avoiding network overhead"). One worker thread
-//! per connection, each with its own store [`Session`] (and therefore its
-//! own log, preserving the per-core-log design).
+//! A shard-per-core event-loop server. A small fixed pool of worker
+//! threads (default `available_parallelism`) each runs a readiness loop
+//! (see [`crate::poll`]) over nonblocking sockets it exclusively
+//! **owns**: connections are assigned to a worker at accept time and
+//! never migrate, so each worker privately holds its store [`Session`]
+//! (and therefore its own log — the paper's per-core logs), its
+//! scan-cursor map, and its reusable input/output scratch. No
+//! per-request cross-core synchronization exists outside the tree
+//! itself.
+//!
+//! On each readiness wakeup a worker drains and decodes every complete
+//! frame from every ready connection, then **aggregates across
+//! connections**: point gets (and puts) from different connections are
+//! merged into one run through the interleaved batch traversal engine
+//! (`multi_get`/`multi_put` on the worker session), and the responses
+//! are demultiplexed back into each connection's output buffer with the
+//! zero-copy `execute_batch_into` framing. The paper's §7 observation —
+//! "batched query support is vital" — then holds even when each client
+//! sends one-op frames: the server constructs the batches itself.
+//!
+//! Aggregation never reorders one connection's stream: a connection
+//! joins the merged get (put) run only when every frame it has pending
+//! is pure gets (puts, with no intra-connection duplicate key); anything
+//! mixed executes per-frame, in order, through the same engine as
+//! before. Cross-connection order carries no obligation — concurrent
+//! clients already race — and per-session logs make the merged put run
+//! safe: every write is still logged by the one worker session that
+//! owns the connection.
 
 use std::collections::HashMap;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use mtkv::{ScanCursor, Session, Store};
 
+use crate::poll::{Event, Interest, Poller};
 use crate::proto::{
-    begin_batch, finish_batch, read_batch, write_value_borrowed, write_value_none, Request,
+    begin_batch, finish_batch, parse_batch_frame, write_value_borrowed, write_value_none, Request,
     Response, RowsWriter, StatsReply,
 };
 
@@ -56,27 +80,56 @@ pub trait ConnState: Send {
     }
 }
 
-/// The default backend: an `mtkv` store; each connection gets a session
-/// (and therefore its own log, preserving the per-core-log design).
-struct StoreBackend(Arc<Store>);
+/// The most token cursors one connection may pin; beyond it the
+/// least-recently-used cursor is evicted (an eviction costs its stream
+/// one descent — clients pass their continuation key on follow-ups —
+/// and is surfaced as `cache_scan_evictions` in [`StatsReply`]).
+const MAX_SCAN_TOKENS: usize = 64;
 
-impl Backend for StoreBackend {
-    fn connect(&self) -> Box<dyn ConnState> {
-        let session = self.0.session().expect("open session log");
-        Box::new(StoreConn::new(session))
+/// Resumable-scan cursors for one connection, addressed by the wire
+/// `Scan` resume token, with LRU eviction at [`MAX_SCAN_TOKENS`].
+#[derive(Default)]
+struct ScanTokens {
+    /// token → (last-use tick, cursor).
+    entries: HashMap<u64, (u64, ScanCursor)>,
+    tick: u64,
+}
+
+impl ScanTokens {
+    fn new() -> ScanTokens {
+        ScanTokens::default()
+    }
+
+    fn take(&mut self, token: u64) -> Option<ScanCursor> {
+        self.entries.remove(&token).map(|(_, c)| c)
+    }
+
+    /// Inserts (refreshing recency); returns `true` when an LRU victim
+    /// was evicted to make room.
+    fn insert(&mut self, token: u64, cursor: ScanCursor) -> bool {
+        self.tick += 1;
+        let mut evicted = false;
+        if self.entries.len() >= MAX_SCAN_TOKENS && !self.entries.contains_key(&token) {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (tick, _))| *tick)
+                .map(|(&t, _)| t)
+            {
+                self.entries.remove(&victim);
+                evicted = true;
+            }
+        }
+        self.entries.insert(token, (self.tick, cursor));
+        evicted
     }
 }
 
-/// Scan cursors held per connection for the wire `Scan` resume tokens,
-/// capped so a client cannot grow server memory unboundedly.
-type ScanTokens = HashMap<u64, ScanCursor>;
-
-/// The most token cursors one connection may pin (an arbitrary victim
-/// is dropped beyond this; a dropped cursor just costs one descent).
-const MAX_SCAN_TOKENS: usize = 64;
-
 /// A connection's server-side state: the store session plus the
 /// resumable-scan cursors addressed by the wire `Scan` resume tokens.
+/// This is the embeddable single-connection executor (benchmarks, the
+/// generic [`Backend`] path); the event-loop server itself holds one
+/// session per **worker** and a per-worker cursor map instead.
 pub struct StoreConn {
     session: Session,
     scan_tokens: ScanTokens,
@@ -128,52 +181,183 @@ impl ConnState for Session {
     }
 }
 
+/// Event-loop server tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker (event-loop) threads; `0` means `available_parallelism`.
+    pub workers: usize,
+    /// Cross-connection batch aggregation on store workers. On by
+    /// default; benchmarks switch it off to measure the per-frame path.
+    pub aggregate: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 0,
+            aggregate: true,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
 /// A running server; dropping it (or calling [`Server::stop`]) shuts the
-/// listener down.
+/// listener and every worker down, closing all worker sessions (their
+/// logs flush cleanly on drop).
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<WorkerHandle>,
     ops: Arc<AtomicU64>,
+}
+
+struct WorkerHandle {
+    thread: Option<std::thread::JoinHandle<()>>,
+    wake_tx: UnixStream,
 }
 
 impl Server {
     /// Starts serving `store` on `addr` (use port 0 for an ephemeral
     /// port; the bound address is available via [`Server::addr`]).
     pub fn start(store: Arc<Store>, addr: &str) -> std::io::Result<Server> {
-        Self::start_backend(Arc::new(StoreBackend(store)), addr)
+        Self::start_with(store, addr, ServerConfig::default())
+    }
+
+    /// [`Server::start`] with explicit worker-pool tunables.
+    pub fn start_with(
+        store: Arc<Store>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let n = config.resolved_workers();
+        let mut kinds = Vec::with_capacity(n);
+        for _ in 0..n {
+            // One session — one log — per worker, opened before serving
+            // so a failure surfaces here, not on some later connection.
+            let session = store.session()?;
+            kinds.push(WorkerKind::Store {
+                session,
+                aggregate: config.aggregate,
+                cursors: HashMap::new(),
+            });
+        }
+        Self::launch(kinds, addr)
     }
 
     /// Starts serving an arbitrary [`Backend`].
     pub fn start_backend(backend: Arc<dyn Backend>, addr: &str) -> std::io::Result<Server> {
+        Self::start_backend_with(backend, addr, ServerConfig::default())
+    }
+
+    /// [`Server::start_backend`] with explicit worker-pool tunables.
+    /// Generic backends keep per-connection state ([`Backend::connect`]
+    /// at adoption time) and execute per-frame — aggregation is a store
+    /// capability.
+    pub fn start_backend_with(
+        backend: Arc<dyn Backend>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let n = config.resolved_workers();
+        let kinds = (0..n)
+            .map(|_| WorkerKind::Backend(Arc::clone(&backend)))
+            .collect();
+        Self::launch(kinds, addr)
+    }
+
+    fn launch(kinds: Vec<WorkerKind>, addr: &str) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let ops = Arc::new(AtomicU64::new(0));
+        let mut handles: Vec<WorkerHandle> = Vec::new();
+        let mut mailboxes: Vec<(Arc<Mutex<Vec<TcpStream>>>, UnixStream)> = Vec::new();
+        // Stops and joins the workers launched so far (partial-launch
+        // failure cleanup).
+        let abort = |handles: &mut Vec<WorkerHandle>, e: std::io::Error| -> std::io::Error {
+            stop.store(true, Ordering::Release);
+            for h in handles.iter_mut() {
+                wake(&h.wake_tx);
+                if let Some(t) = h.thread.take() {
+                    let _ = t.join();
+                }
+            }
+            e
+        };
+        for (id, kind) in kinds.into_iter().enumerate() {
+            let launched = (|| -> std::io::Result<(WorkerHandle, _)> {
+                let (wake_tx, wake_rx) = UnixStream::pair()?;
+                wake_tx.set_nonblocking(true)?;
+                wake_rx.set_nonblocking(true)?;
+                let inbox = Arc::new(Mutex::new(Vec::new()));
+                let worker = Worker {
+                    id,
+                    poller: Poller::new()?,
+                    wake_rx,
+                    inbox: Arc::clone(&inbox),
+                    stop: Arc::clone(&stop),
+                    ops: Arc::clone(&ops),
+                    kind,
+                    conns: Vec::new(),
+                    free: Vec::new(),
+                    next_conn_seq: 0,
+                };
+                let thread = std::thread::Builder::new()
+                    .name(format!("mtnet-worker-{id}"))
+                    .spawn(move || worker.run())?;
+                let mailbox = (inbox, wake_tx.try_clone()?);
+                Ok((
+                    WorkerHandle {
+                        thread: Some(thread),
+                        wake_tx,
+                    },
+                    mailbox,
+                ))
+            })();
+            match launched {
+                Ok((handle, mailbox)) => {
+                    handles.push(handle);
+                    mailboxes.push(mailbox);
+                }
+                Err(e) => return Err(abort(&mut handles, e)),
+            }
+        }
         let stop2 = Arc::clone(&stop);
-        let ops2 = Arc::clone(&ops);
         let accept_thread = std::thread::Builder::new()
             .name("mtnet-accept".into())
             .spawn(move || {
+                let n = mailboxes.len();
+                let mut next = 0usize;
                 for conn in listener.incoming() {
                     if stop2.load(Ordering::Acquire) {
                         break;
                     }
                     let Ok(conn) = conn else { continue };
-                    let state = backend.connect();
-                    let ops3 = Arc::clone(&ops2);
-                    let _ =
-                        std::thread::Builder::new()
-                            .name("mtnet-conn".into())
-                            .spawn(move || {
-                                let _ = serve_connection(conn, state, &ops3);
-                            });
+                    // Round-robin assignment; the connection then belongs
+                    // to that worker for its whole life (session affinity).
+                    let (inbox, wake_tx) = &mailboxes[next];
+                    next = (next + 1) % n;
+                    inbox.lock().unwrap().push(conn);
+                    wake(wake_tx);
                 }
             })?;
         Ok(Server {
             addr: local,
             stop,
             accept_thread: Some(accept_thread),
+            workers: handles,
             ops,
         })
     }
@@ -188,13 +372,21 @@ impl Server {
         self.ops.load(Ordering::Relaxed)
     }
 
-    /// Stops accepting. Existing connections drain when clients close.
+    /// Stops accepting, shuts every worker down (closing its
+    /// connections), and joins them — worker sessions are dropped (and
+    /// their logs flushed) before this returns.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::Release);
         // Unblock the accept loop.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        for w in &mut self.workers {
+            wake(&w.wake_tx);
+            if let Some(t) = w.thread.take() {
+                let _ = t.join();
+            }
         }
     }
 }
@@ -205,49 +397,661 @@ impl Drop for Server {
     }
 }
 
-/// Handles one connection: read a batch, decode it whole, execute it as
-/// one unit (letting the backend interleave traversals across the
-/// batch), write the response batch (one write per batch — the batching
-/// §7 shows matters).
-///
-/// Responses are encoded into one output buffer that is **reused across
-/// batches** (capacity sticks at the connection's high-water mark): the
-/// frame header is reserved, the backend serializes every response after
-/// it — for the store backend, straight from borrowed value slices —
-/// and the header is length-patched before the single `write_all`. No
-/// intermediate `Vec<Response>` or per-payload copies on the hot path.
-fn serve_connection(
-    conn: TcpStream,
-    mut state: Box<dyn ConnState>,
-    ops: &AtomicU64,
-) -> std::io::Result<()> {
-    conn.set_nodelay(true)?;
-    let mut reader = BufReader::with_capacity(1 << 20, conn.try_clone()?);
-    let mut writer = BufWriter::with_capacity(1 << 20, conn);
-    let mut out: Vec<u8> = Vec::with_capacity(1 << 16);
-    while let Some((count, body)) = read_batch(&mut reader)? {
-        let mut p = &body[..];
-        let mut reqs = Vec::with_capacity(count as usize);
-        for _ in 0..count {
-            let Some(req) = Request::decode(&mut p) else {
-                return Err(std::io::Error::other("malformed request"));
-            };
-            reqs.push(req);
-        }
-        out.clear();
-        let mark = begin_batch(&mut out);
-        let written = state.execute_batch_into(reqs, &mut out);
-        if written != count as usize {
-            // A misbehaving backend must not desync the framed protocol:
-            // fail the connection instead of sending a lying count.
-            return Err(std::io::Error::other("backend response count mismatch"));
-        }
-        finish_batch(&mut out, mark, written);
-        ops.fetch_add(count as u64, Ordering::Relaxed);
-        writer.write_all(&out)?;
-        writer.flush()?;
+/// Nudges a worker out of its poll wait. A full pipe means a wake is
+/// already pending, which is all the byte signals anyway.
+fn wake(tx: &UnixStream) {
+    let _ = (&*tx).write(&[1u8]);
+}
+
+/// Poll token of the worker's wake pipe (connection slots count up from
+/// zero and can never reach it).
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Pending-output high-water mark: above this a connection stops being
+/// read (its readable interest is dropped, so the level-triggered poller
+/// stays quiet) until the client drains responses — the event-loop
+/// equivalent of the old blocking-write backpressure.
+const HIGH_WATER: usize = 1 << 20;
+
+/// Per-connection read budget per wakeup, so one firehose connection
+/// cannot starve its worker's other connections.
+const READ_BUDGET: usize = 1 << 20;
+
+struct Conn {
+    stream: TcpStream,
+    /// Globally unique, shard-routable id: `worker << 32 | seq`. Scan
+    /// cursors live in the **worker's** cursor map keyed by this id, so
+    /// the worker that owns a resume token is recoverable from the id
+    /// alone (`id >> 32`) — the routing invariant the torture test
+    /// checks across workers.
+    id: u64,
+    /// Input accumulation: bytes `[rd_pos..]` are not yet parsed.
+    rd: Vec<u8>,
+    rd_pos: usize,
+    /// Output accumulation: bytes `[wr_pos..]` are not yet written.
+    wr: Vec<u8>,
+    wr_pos: usize,
+    interest: Interest,
+    /// Clean end-of-stream seen; drain what's left, then close.
+    eof: bool,
+    /// Protocol or I/O failure; close without draining.
+    dead: bool,
+    /// Generic-backend path only: the per-connection executor.
+    state: Option<Box<dyn ConnState>>,
+}
+
+impl Conn {
+    fn pending_wr(&self) -> usize {
+        self.wr.len() - self.wr_pos
     }
-    Ok(())
+}
+
+enum WorkerKind {
+    Store {
+        session: Session,
+        aggregate: bool,
+        /// The per-worker cursor map (replacing the per-connection one):
+        /// connection id → that connection's resume-token cursors.
+        cursors: HashMap<u64, ScanTokens>,
+    },
+    Backend(Arc<dyn Backend>),
+}
+
+/// One decoded frame: `len` requests at `start` in the wakeup's flat
+/// request arena, owed to connection slot `slot` in arrival order.
+struct Frame {
+    slot: usize,
+    start: usize,
+    len: usize,
+}
+
+/// The wakeup's decoded input, flat so capacity is reused across
+/// wakeups: all frames' requests in one arena, frames grouped per
+/// connection in arrival order.
+#[derive(Default)]
+struct FrameBuf {
+    reqs: Vec<Request>,
+    frames: Vec<Frame>,
+}
+
+impl FrameBuf {
+    fn clear(&mut self) {
+        self.reqs.clear();
+        self.frames.clear();
+    }
+}
+
+struct Worker {
+    id: usize,
+    poller: Poller,
+    wake_rx: UnixStream,
+    inbox: Arc<Mutex<Vec<TcpStream>>>,
+    stop: Arc<AtomicBool>,
+    ops: Arc<AtomicU64>,
+    kind: WorkerKind,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_conn_seq: u64,
+}
+
+impl Worker {
+    fn run(mut self) {
+        if self
+            .poller
+            .register(self.wake_rx.as_raw_fd(), WAKE_TOKEN, Interest::READ)
+            .is_err()
+        {
+            return;
+        }
+        let mut events: Vec<Event> = Vec::with_capacity(256);
+        let mut scratch = vec![0u8; 64 * 1024];
+        let mut buf = FrameBuf::default();
+        loop {
+            if self.poller.wait(&mut events, -1).is_err() {
+                return;
+            }
+            let mut woke = false;
+            for ev in &events {
+                if ev.token == WAKE_TOKEN {
+                    woke = true;
+                    continue;
+                }
+                let slot = ev.token as usize;
+                let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                    continue;
+                };
+                if ev.writable {
+                    flush_conn(conn);
+                }
+                if ev.readable || ev.hangup {
+                    read_conn(conn, &mut scratch);
+                }
+            }
+            if woke {
+                self.drain_wake();
+                self.adopt_new_conns();
+            }
+            if self.stop.load(Ordering::Acquire) {
+                // Dropping `self` closes every connection and the worker
+                // session (flushing its log).
+                return;
+            }
+            // Parse → execute → flush until quiescent. Backpressured
+            // connections stop parsing at the high-water mark; the
+            // writable readiness that drains them re-enters this loop.
+            loop {
+                self.collect_frames(&mut buf);
+                if buf.frames.is_empty() {
+                    break;
+                }
+                self.execute_frames(&mut buf);
+                for f in &buf.frames {
+                    if let Some(conn) = self.conns[f.slot].as_mut() {
+                        flush_conn(conn);
+                    }
+                }
+                buf.clear();
+            }
+            self.sweep();
+        }
+    }
+
+    fn drain_wake(&mut self) {
+        let mut b = [0u8; 64];
+        loop {
+            match self.wake_rx.read(&mut b) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn adopt_new_conns(&mut self) {
+        let incoming = std::mem::take(&mut *self.inbox.lock().unwrap());
+        for stream in incoming {
+            if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                continue;
+            }
+            let state = match &self.kind {
+                WorkerKind::Backend(b) => Some(b.connect()),
+                WorkerKind::Store { .. } => None,
+            };
+            let slot = self.free.pop().unwrap_or_else(|| {
+                self.conns.push(None);
+                self.conns.len() - 1
+            });
+            if self
+                .poller
+                .register(stream.as_raw_fd(), slot as u64, Interest::READ)
+                .is_err()
+            {
+                self.free.push(slot);
+                continue;
+            }
+            let id = ((self.id as u64) << 32) | self.next_conn_seq;
+            self.next_conn_seq += 1;
+            self.conns[slot] = Some(Conn {
+                stream,
+                id,
+                rd: Vec::new(),
+                rd_pos: 0,
+                wr: Vec::new(),
+                wr_pos: 0,
+                interest: Interest::READ,
+                eof: false,
+                dead: false,
+                state,
+            });
+        }
+    }
+
+    /// Decodes every complete frame buffered on every connection into
+    /// `buf` (frames stay grouped per connection, in arrival order).
+    fn collect_frames(&mut self, buf: &mut FrameBuf) {
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                continue;
+            };
+            if conn.dead {
+                continue;
+            }
+            while conn.pending_wr() < HIGH_WATER {
+                match parse_batch_frame(&conn.rd[conn.rd_pos..]) {
+                    Ok(Some((consumed, count))) => {
+                        let start = buf.reqs.len();
+                        let mut p = &conn.rd[conn.rd_pos + 8..conn.rd_pos + consumed];
+                        let mut ok = true;
+                        for _ in 0..count {
+                            match Request::decode(&mut p) {
+                                Some(req) => buf.reqs.push(req),
+                                None => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if !ok {
+                            buf.reqs.truncate(start);
+                            conn.dead = true;
+                            break;
+                        }
+                        conn.rd_pos += consumed;
+                        buf.frames.push(Frame {
+                            slot,
+                            start,
+                            len: count as usize,
+                        });
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            if conn.rd_pos == conn.rd.len() {
+                conn.rd.clear();
+                conn.rd_pos = 0;
+            } else if conn.rd_pos > 64 * 1024 {
+                conn.rd.drain(..conn.rd_pos);
+                conn.rd_pos = 0;
+            }
+        }
+    }
+
+    fn execute_frames(&mut self, buf: &mut FrameBuf) {
+        match &mut self.kind {
+            WorkerKind::Store {
+                session,
+                aggregate,
+                cursors,
+            } => execute_frames_store(
+                self.id,
+                session,
+                cursors,
+                *aggregate,
+                &mut self.conns,
+                buf,
+                &self.ops,
+            ),
+            WorkerKind::Backend(_) => {
+                for f in &buf.frames {
+                    let Some(conn) = self.conns[f.slot].as_mut() else {
+                        continue;
+                    };
+                    if conn.dead {
+                        continue;
+                    }
+                    let reqs = take_frame_reqs(&mut buf.reqs, f);
+                    let Conn { state, wr, .. } = conn;
+                    let mark = begin_batch(wr);
+                    let written = state
+                        .as_mut()
+                        .expect("backend connections carry state")
+                        .execute_batch_into(reqs, wr);
+                    if written != f.len {
+                        // A misbehaving backend must not desync the framed
+                        // protocol: fail the connection, not the count.
+                        conn.wr.truncate(mark);
+                        conn.dead = true;
+                        continue;
+                    }
+                    finish_batch(wr, mark, written);
+                    self.ops.fetch_add(f.len as u64, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Post-wakeup housekeeping: opportunistic write flush, interest
+    /// reconciliation (read gated by backpressure, write by pending
+    /// output), and closing finished connections.
+    fn sweep(&mut self) {
+        for slot in 0..self.conns.len() {
+            let close = {
+                let Some(conn) = self.conns[slot].as_mut() else {
+                    continue;
+                };
+                if !conn.dead && conn.pending_wr() > 0 {
+                    flush_conn(conn);
+                }
+                conn.dead || (conn.eof && conn.pending_wr() == 0)
+            };
+            if close {
+                self.close_conn(slot);
+                continue;
+            }
+            let conn = self.conns[slot].as_mut().expect("checked above");
+            let desired = Interest {
+                readable: !conn.eof && conn.pending_wr() < HIGH_WATER,
+                writable: conn.pending_wr() > 0,
+            };
+            if desired != conn.interest {
+                if self
+                    .poller
+                    .reregister(conn.stream.as_raw_fd(), slot as u64, desired)
+                    .is_ok()
+                {
+                    conn.interest = desired;
+                } else {
+                    self.close_conn(slot);
+                }
+            }
+        }
+    }
+
+    fn close_conn(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            if let WorkerKind::Store { cursors, .. } = &mut self.kind {
+                // The connection's scan cursors die with it.
+                cursors.remove(&conn.id);
+            }
+            self.free.push(slot);
+        }
+    }
+}
+
+fn read_conn(conn: &mut Conn, scratch: &mut [u8]) {
+    if conn.eof || conn.dead {
+        return;
+    }
+    let mut budget = READ_BUDGET;
+    while budget > 0 {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                conn.eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.rd.extend_from_slice(&scratch[..n]);
+                budget = budget.saturating_sub(n);
+                if n < scratch.len() {
+                    // Socket buffer drained (level-triggered readiness
+                    // covers the rare refill race).
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+}
+
+fn flush_conn(conn: &mut Conn) {
+    if conn.dead {
+        return;
+    }
+    while conn.wr_pos < conn.wr.len() {
+        match conn.stream.write(&conn.wr[conn.wr_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => conn.wr_pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    if conn.wr_pos == conn.wr.len() {
+        // Fully drained: reset in place, keeping the connection's
+        // high-water capacity for the next batch.
+        conn.wr.clear();
+        conn.wr_pos = 0;
+    } else if conn.wr_pos > HIGH_WATER {
+        conn.wr.drain(..conn.wr_pos);
+        conn.wr_pos = 0;
+    }
+}
+
+/// Moves one frame's requests out of the arena (placeholder swap — no
+/// payload clone).
+fn take_frame_reqs(reqs: &mut [Request], f: &Frame) -> Vec<Request> {
+    reqs[f.start..f.start + f.len]
+        .iter_mut()
+        .map(|r| std::mem::replace(r, Request::Remove { key: Vec::new() }))
+        .collect()
+}
+
+/// How one connection's wakeup contribution executes.
+#[derive(Clone, Copy, PartialEq)]
+enum Plan {
+    /// Every pending frame is pure gets: join the cross-connection get
+    /// aggregate.
+    GetAgg,
+    /// Every pending frame is pure puts with no intra-connection
+    /// duplicate key: join the cross-connection put aggregate.
+    PutAgg,
+    /// Anything else: execute per-frame, in order (the per-frame path
+    /// still feeds runs through the batch engine).
+    Seq,
+}
+
+/// One connection's contiguous frame range in the wakeup buffer (each
+/// frame carries its own slot).
+struct ConnGroup {
+    frames: std::ops::Range<usize>,
+    plan: Plan,
+}
+
+/// The store worker's wakeup executor: classifies each connection's
+/// pending frames, feeds the cross-connection get and put aggregates
+/// through the worker session's interleaved batch engine, and
+/// demultiplexes responses back into each connection's output buffer
+/// (zero-copy for gets). See the module docs for the ordering argument.
+fn execute_frames_store(
+    worker_id: usize,
+    session: &Session,
+    cursors: &mut HashMap<u64, ScanTokens>,
+    aggregate: bool,
+    conns: &mut [Option<Conn>],
+    buf: &mut FrameBuf,
+    ops: &AtomicU64,
+) {
+    // Group frames per connection (they are contiguous by construction).
+    let mut groups: Vec<ConnGroup> = Vec::new();
+    {
+        let mut i = 0;
+        while i < buf.frames.len() {
+            let slot = buf.frames[i].slot;
+            let mut j = i + 1;
+            while j < buf.frames.len() && buf.frames[j].slot == slot {
+                j += 1;
+            }
+            let plan = if !aggregate || conns[slot].as_ref().is_none_or(|c| c.dead) {
+                Plan::Seq
+            } else {
+                classify(buf, i..j)
+            };
+            groups.push(ConnGroup { frames: i..j, plan });
+            i = j;
+        }
+    }
+
+    // ---- cross-connection put aggregate ----
+    // Flatten every PutAgg connection's puts (connection frames stay in
+    // order; cross-connection order carries no obligation), one
+    // multi_put through the interleaved engine, then demux the assigned
+    // versions back per frame.
+    let put_frames: Vec<&Frame> = groups
+        .iter()
+        .filter(|g| g.plan == Plan::PutAgg)
+        .flat_map(|g| &buf.frames[g.frames.clone()])
+        .collect();
+    if !put_frames.is_empty() {
+        let flat: Vec<&Request> = put_frames
+            .iter()
+            .flat_map(|f| &buf.reqs[f.start..f.start + f.len])
+            .collect();
+        let updates: Vec<Vec<(usize, &[u8])>> = flat
+            .iter()
+            .map(|r| match r {
+                Request::Put { cols, .. } => cols
+                    .iter()
+                    .map(|(i, d)| (*i as usize, d.as_slice()))
+                    .collect(),
+                _ => unreachable!("PutAgg groups hold only puts"),
+            })
+            .collect();
+        let put_ops: Vec<mtkv::PutOp<'_>> = flat
+            .iter()
+            .zip(&updates)
+            .map(|(r, u)| match r {
+                Request::Put { key, .. } => (key.as_slice(), u.as_slice()),
+                _ => unreachable!("PutAgg groups hold only puts"),
+            })
+            .collect();
+        let versions = session.multi_put(&put_ops);
+        let mut v = versions.iter();
+        for f in &put_frames {
+            let conn = conns[f.slot].as_mut().expect("live aggregated conn");
+            let mark = begin_batch(&mut conn.wr);
+            for _ in 0..f.len {
+                Response::PutOk(*v.next().expect("one version per put")).encode(&mut conn.wr);
+            }
+            finish_batch(&mut conn.wr, mark, f.len);
+            ops.fetch_add(f.len as u64, Ordering::Relaxed);
+        }
+    }
+
+    // ---- cross-connection get aggregate ----
+    // One multi_get over every GetAgg connection's keys; the visitor
+    // runs in input order, so frame boundaries advance monotonically and
+    // each response is serialized zero-copy straight into its owning
+    // connection's output buffer.
+    let mut get_keys: Vec<&[u8]> = Vec::new();
+    let mut get_cols: Vec<Option<&[u16]>> = Vec::new();
+    // Per aggregated frame: (slot, end index in get_keys).
+    let mut get_frames: Vec<(usize, usize)> = Vec::new();
+    for g in groups.iter().filter(|g| g.plan == Plan::GetAgg) {
+        for f in &buf.frames[g.frames.clone()] {
+            for r in &buf.reqs[f.start..f.start + f.len] {
+                match r {
+                    Request::Get { key, cols } => {
+                        get_keys.push(key.as_slice());
+                        get_cols.push(cols.as_deref());
+                    }
+                    _ => unreachable!("GetAgg groups hold only gets"),
+                }
+            }
+            get_frames.push((f.slot, get_keys.len()));
+            ops.fetch_add(f.len as u64, Ordering::Relaxed);
+        }
+    }
+    if !get_keys.is_empty() {
+        let mut fidx = 0usize;
+        let mut count = 0usize;
+        let mut mark = {
+            let conn = conns[get_frames[0].0]
+                .as_mut()
+                .expect("live aggregated conn");
+            begin_batch(&mut conn.wr)
+        };
+        session.multi_get_with(&get_keys, |i, hit| {
+            while i >= get_frames[fidx].1 {
+                let conn = conns[get_frames[fidx].0].as_mut().expect("live conn");
+                finish_batch(&mut conn.wr, mark, count);
+                fidx += 1;
+                count = 0;
+                let conn = conns[get_frames[fidx].0].as_mut().expect("live conn");
+                mark = begin_batch(&mut conn.wr);
+            }
+            let conn = conns[get_frames[fidx].0].as_mut().expect("live conn");
+            write_get_response(&mut conn.wr, hit, get_cols[i]);
+            count += 1;
+        });
+        let conn = conns[get_frames[fidx].0].as_mut().expect("live conn");
+        finish_batch(&mut conn.wr, mark, count);
+    }
+
+    // ---- per-frame path ----
+    for g in groups.iter().filter(|g| g.plan == Plan::Seq) {
+        for fi in g.frames.clone() {
+            let f = &buf.frames[fi];
+            let Some(conn) = conns[f.slot].as_mut() else {
+                continue;
+            };
+            if conn.dead {
+                continue;
+            }
+            debug_assert_eq!(
+                (conn.id >> 32) as usize,
+                worker_id,
+                "session affinity: a connection's frames execute on its owning worker"
+            );
+            let reqs = take_frame_reqs(&mut buf.reqs, f);
+            let tokens = cursors.entry(conn.id).or_default();
+            let mark = begin_batch(&mut conn.wr);
+            let mut sink = WireSink {
+                out: &mut conn.wr,
+                written: 0,
+            };
+            execute_batch_runs(session, tokens, reqs, &mut sink);
+            let written = sink.written;
+            if written != f.len {
+                conn.wr.truncate(mark);
+                conn.dead = true;
+                continue;
+            }
+            finish_batch(&mut conn.wr, mark, written);
+            ops.fetch_add(f.len as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Classifies one connection's pending frames for aggregation. The rule
+/// that keeps aggregation invisible to clients: a connection only joins
+/// a merged run when doing so cannot reorder its own stream — all-get
+/// contributions commute with each other, and all-put contributions
+/// commute unless the same key appears twice (then frame order fixes
+/// the winner, so such a connection executes sequentially).
+fn classify(buf: &FrameBuf, frames: std::ops::Range<usize>) -> Plan {
+    let mut all_get = true;
+    let mut all_put = true;
+    for f in &buf.frames[frames.clone()] {
+        if f.len == 0 {
+            // Degenerate empty frame: the per-frame path answers it.
+            return Plan::Seq;
+        }
+        for r in &buf.reqs[f.start..f.start + f.len] {
+            match r {
+                Request::Get { .. } => all_put = false,
+                Request::Put { .. } => all_get = false,
+                _ => return Plan::Seq,
+            }
+        }
+        if !all_get && !all_put {
+            return Plan::Seq;
+        }
+    }
+    if all_get {
+        return Plan::GetAgg;
+    }
+    // All puts: reject intra-connection duplicate keys (batch order must
+    // decide the surviving write; the merged run leaves it unspecified).
+    let mut keys: Vec<&[u8]> = buf.frames[frames]
+        .iter()
+        .flat_map(|f| &buf.reqs[f.start..f.start + f.len])
+        .map(|r| match r {
+            Request::Put { key, .. } => key.as_slice(),
+            _ => unreachable!("checked all-put above"),
+        })
+        .collect();
+    keys.sort_unstable();
+    if keys.windows(2).any(|w| w[0] == w[1]) {
+        return Plan::Seq;
+    }
+    Plan::PutAgg
 }
 
 /// Where a batch executor's responses go: owned [`Response`]s (the
@@ -482,9 +1286,10 @@ fn execute_into_tokens(
 /// when the token has no cursor — the stream's first chunk, or a
 /// cursor evicted at the [`MAX_SCAN_TOKENS`] cap (which is why clients
 /// are told to pass their continuation key on follow-ups: an eviction
-/// then degrades to one descent, not a silent re-stream). Token-less
-/// scans take the session's transparent start-key-matched cursor cache
-/// instead.
+/// then degrades to one descent, not a silent re-stream). Evictions are
+/// least-recently-used and counted (`cache_scan_evictions` in the wire
+/// stats). Token-less scans take the session's transparent
+/// start-key-matched cursor cache instead.
 fn scan_with_tokens<F>(
     session: &Session,
     tokens: &mut ScanTokens,
@@ -500,17 +1305,11 @@ fn scan_with_tokens<F>(
         return;
     };
     let mut cursor = tokens
-        .remove(&token)
+        .take(token)
         .unwrap_or_else(|| session.scan_cursor(key));
     session.get_range_resumed(&mut cursor, count as usize, f);
-    if !cursor.is_done() {
-        if tokens.len() >= MAX_SCAN_TOKENS {
-            // Drop an arbitrary victim; its stream just re-descends.
-            if let Some(&victim) = tokens.keys().next() {
-                tokens.remove(&victim);
-            }
-        }
-        tokens.insert(token, cursor);
+    if !cursor.is_done() && tokens.insert(token, cursor) {
+        session.store().note_scan_evictions(1);
     }
 }
 
@@ -632,5 +1431,6 @@ fn gather_stats(session: &Session) -> StatsReply {
         cache_write_hits: c.write_hits,
         cache_write_stale: c.write_stale,
         cache_scan_resumes: c.scan_resumes,
+        cache_scan_evictions: c.scan_evictions,
     }
 }

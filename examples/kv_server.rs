@@ -12,7 +12,7 @@
 use std::path::PathBuf;
 
 use mtkv::recover;
-use mtnet::Server;
+use mtnet::{Server, ServerConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -57,8 +57,34 @@ fn main() {
         );
     }
 
-    let server = Server::start(store.clone(), &addr).expect("bind");
+    // Event-loop worker pool: MT_SERVER_WORKERS=<n> fixes the worker
+    // count (0/unset = available_parallelism); MT_SERVER_AGGREGATE=0|1
+    // (default 1) gates cross-connection batch aggregation, so the
+    // per-frame path stays reachable for comparison and debugging.
+    let workers: usize = std::env::var("MT_SERVER_WORKERS")
+        .ok()
+        .map(|v| v.parse().expect("MT_SERVER_WORKERS=<count>"))
+        .unwrap_or(0);
+    let aggregate = match std::env::var("MT_SERVER_AGGREGATE").as_deref() {
+        Ok("0") => false,
+        Ok("1") | Err(_) => true,
+        Ok(other) => panic!("MT_SERVER_AGGREGATE must be 0 or 1, got {other:?}"),
+    };
+    let config = ServerConfig { workers, aggregate };
+    let server = Server::start_with(store.clone(), &addr, config).expect("bind");
     println!("masstree server listening on {}", server.addr());
+    println!(
+        "event-loop workers: {} (cross-connection aggregation {})",
+        if workers == 0 {
+            format!(
+                "{} (available_parallelism)",
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            )
+        } else {
+            workers.to_string()
+        },
+        if aggregate { "on" } else { "off" }
+    );
     println!("press ctrl-c to stop; data persists in {}", dir.display());
 
     // Periodic maintenance: empty-layer GC (§4.6.5) plus a checkpoint
