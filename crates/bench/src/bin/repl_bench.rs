@@ -1,0 +1,154 @@
+//! Replication bench: how fast does a cold follower catch up, and how
+//! far behind does a live follower trail a write-saturated primary?
+//!
+//! Two measurements over a loopback primary→follower pair:
+//!
+//! * **Cold catch-up**: prefill the primary's log, then start a fresh
+//!   follower and time mirror + replay until its reported lag is zero —
+//!   the "restore a read replica" path (MB/s of log applied).
+//! * **Steady-state tail lag**: keep writing at full speed while a
+//!   caught-up follower streams the live tail; sample its lag (bytes
+//!   and primary-clock microseconds) to report the staleness bound a
+//!   read actually sees.
+//!
+//! Writes `BENCH_repl.json` at the repository root. Fails (exit 1) only
+//! if the follower cannot catch up at all — lag numbers are reported,
+//! not gated, since loopback staleness is hardware-dependent.
+//!
+//! Runtime knobs (env or flags, see `bench::Params`): `MT_SECS` scales
+//! the steady-state window.
+
+use std::time::{Duration, Instant};
+
+use mtkv::{DurabilityConfig, Store};
+use mtnet::{Follower, ReplSource};
+
+const PREFILL_KEYS: u64 = 100_000;
+const VALUE_BYTES: usize = 64;
+
+fn key(i: u64) -> Vec<u8> {
+    format!("repl{i:010}").into_bytes()
+}
+
+fn main() {
+    let p = bench::Params::from_args();
+    let secs = (p.secs * 0.75).clamp(0.5, 10.0);
+
+    let base = std::env::temp_dir().join(format!("mt-repl-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let primary_dir = base.join("primary");
+    std::fs::create_dir_all(&primary_dir).expect("create dirs");
+
+    let store = Store::persistent_with(&primary_dir, DurabilityConfig::tiny_segments(4 << 20))
+        .expect("primary store");
+    let source = ReplSource::start(&store, "127.0.0.1:0").expect("repl source");
+    let session = store.session().unwrap();
+
+    // ---- prefill, group-committed so it ships ----
+    let payload = vec![0xabu8; VALUE_BYTES];
+    for i in 0..PREFILL_KEYS {
+        session.put(&key(i), &[(0, &payload)]);
+    }
+    assert!(session.force_log(), "group commit");
+
+    // ---- cold catch-up ----
+    // Target: every durable log byte the prefill produced (the
+    // follower's heartbeat-derived lag only turns nonzero after the
+    // first heartbeat, so poll applied bytes against the real total).
+    let target_bytes = store.durability_stats().log_bytes;
+    eprintln!(
+        "repl_bench: cold catch-up of {PREFILL_KEYS} keys x {VALUE_BYTES}B values \
+         ({:.1} MB of log)",
+        target_bytes as f64 / 1e6
+    );
+    let t0 = Instant::now();
+    let follower =
+        Follower::start(&base.join("follower"), &source.addr().to_string()).expect("follower");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while follower.applied_bytes() < target_bytes || follower.lag().0 != 0 {
+        if Instant::now() > deadline {
+            eprintln!(
+                "GATE FAILED: follower never caught up (lag {:?}, applied {} bytes)",
+                follower.lag(),
+                follower.applied_bytes()
+            );
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let catchup_secs = t0.elapsed().as_secs_f64();
+    let catchup_bytes = follower.applied_bytes();
+    let catchup_mb_s = catchup_bytes as f64 / 1e6 / catchup_secs;
+    eprintln!(
+        "  caught up: {:.1} MB applied in {catchup_secs:.3}s ({catchup_mb_s:.1} MB/s)",
+        catchup_bytes as f64 / 1e6
+    );
+
+    // ---- steady-state tail lag under write pressure ----
+    eprintln!("repl_bench: steady-state lag, {secs:.2}s of saturated puts");
+    let mut lag_samples: Vec<(u64, u64)> = Vec::new();
+    let mut puts = 0u64;
+    let t0 = Instant::now();
+    let mut last_sample = Instant::now();
+    while t0.elapsed().as_secs_f64() < secs {
+        for _ in 0..256 {
+            session.put(&key(puts % PREFILL_KEYS), &[(0, &payload)]);
+            puts += 1;
+        }
+        assert!(session.force_log(), "group commit");
+        if last_sample.elapsed() >= Duration::from_millis(10) {
+            lag_samples.push(follower.lag());
+            last_sample = Instant::now();
+        }
+    }
+    assert!(session.force_log(), "group commit");
+    let write_secs = t0.elapsed().as_secs_f64();
+
+    // Let the tail drain to measure post-burst convergence.
+    let t1 = Instant::now();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while follower.lag().0 != 0 {
+        if Instant::now() > deadline {
+            eprintln!("GATE FAILED: follower never drained the tail");
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let drain_secs = t1.elapsed().as_secs_f64();
+
+    let max_lag_bytes = lag_samples.iter().map(|&(b, _)| b).max().unwrap_or(0);
+    let max_lag_us = lag_samples.iter().map(|&(_, t)| t).max().unwrap_or(0);
+    let avg_lag_bytes = if lag_samples.is_empty() {
+        0.0
+    } else {
+        lag_samples.iter().map(|&(b, _)| b as f64).sum::<f64>() / lag_samples.len() as f64
+    };
+    eprintln!(
+        "  {puts} puts in {write_secs:.2}s ({:.3} Mputs/s); lag max {max_lag_bytes} B / \
+         {max_lag_us} us, avg {avg_lag_bytes:.0} B; tail drained in {drain_secs:.3}s",
+        puts as f64 / write_secs / 1e6
+    );
+
+    // ---- BENCH_repl.json ----
+    let json = format!(
+        "{{\n  \"prefill_keys\": {PREFILL_KEYS},\n  \"value_bytes\": {VALUE_BYTES},\n  \
+         \"catchup_bytes\": {catchup_bytes},\n  \"catchup_secs\": {catchup_secs:.3},\n  \
+         \"catchup_mb_per_sec\": {catchup_mb_s:.1},\n  \"steady_puts\": {puts},\n  \
+         \"steady_secs\": {write_secs:.3},\n  \"steady_puts_per_sec\": {:.0},\n  \
+         \"lag_samples\": {},\n  \"max_lag_bytes\": {max_lag_bytes},\n  \
+         \"max_lag_us\": {max_lag_us},\n  \"avg_lag_bytes\": {avg_lag_bytes:.0},\n  \
+         \"drain_secs\": {drain_secs:.3}\n}}\n",
+        puts as f64 / write_secs,
+        lag_samples.len(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repl.json");
+    std::fs::write(path, &json).expect("write BENCH_repl.json");
+    eprintln!("wrote BENCH_repl.json");
+    print!("{json}");
+
+    follower.stop();
+    drop(source);
+    drop(session);
+    drop(store);
+    let _ = std::fs::remove_dir_all(&base);
+}

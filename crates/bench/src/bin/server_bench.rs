@@ -127,7 +127,11 @@ fn main() {
             let mut server = Server::start_with(
                 Arc::clone(&store),
                 "127.0.0.1:0",
-                ServerConfig { workers, aggregate },
+                ServerConfig {
+                    workers,
+                    aggregate,
+                    ..Default::default()
+                },
             )
             .expect("start server");
             // Throwaway warm cell to populate worker caches and client

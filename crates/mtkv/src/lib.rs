@@ -36,6 +36,7 @@ pub use recovery::{
     log_files, parse_log_name, recover, recover_with, session_segments, RecoveryReport,
 };
 pub use store::{
-    split_batch_runs, DurabilityConfig, DurabilityStats, PutOp, RunKind, ScanCursor, Session, Store,
+    split_batch_runs, DurabilityConfig, DurabilityStats, PutOp, ReplStats, RunKind, ScanCursor,
+    Session, Store,
 };
 pub use value::ColValue;

@@ -293,14 +293,13 @@ pub fn recover_with(
                                             .collect();
                                         ColValue::new(prev.version(), &refs)
                                     }
-                                    Some(prev) => {
-                                        let updates: Vec<(usize, &[u8])> = cols
-                                            .iter()
-                                            .map(|(i, d)| (*i as usize, d.as_slice()))
-                                            .collect();
-                                        prev.with_updates(*version, &updates)
-                                    }
-                                    None => {
+                                    // Records carry the full resulting
+                                    // value (not an update delta), so a
+                                    // newer record replaces outright —
+                                    // this is what makes out-of-order
+                                    // replay across segments and
+                                    // sessions safe.
+                                    _ => {
                                         let updates: Vec<(usize, &[u8])> = cols
                                             .iter()
                                             .map(|(i, d)| (*i as usize, d.as_slice()))

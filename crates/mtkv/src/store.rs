@@ -88,6 +88,40 @@ pub struct DurabilityStats {
     pub segments_truncated: u64,
 }
 
+/// Replication observability, shared between a store and the
+/// replication endpoint attached to it (`mtnet`'s log-shipping source
+/// or follower). Plain atomics so the hot paths that update them
+/// (heartbeat/ack processing) never take a lock, and so the network
+/// `Stats` request can snapshot them from any worker session.
+#[derive(Debug, Default)]
+pub struct ReplStats {
+    /// 0 = replication off, 1 = primary (shipping), 2 = follower.
+    pub role: AtomicU64,
+    /// Connected followers (primary only).
+    pub followers: AtomicU64,
+    /// Replica lag in log bytes: on a primary, the worst lag across
+    /// connected followers; on a follower, durable primary bytes not
+    /// yet applied locally.
+    pub lag_bytes: AtomicU64,
+    /// Replica lag in primary clock microseconds (0 when fully caught
+    /// up): on a primary, measured against follower ack echoes; on a
+    /// follower, the newest primary heartbeat timestamp minus the
+    /// timestamp of the last applied record.
+    pub lag_ts_us: AtomicU64,
+}
+
+impl ReplStats {
+    /// `(role, followers, lag_bytes, lag_ts_us)` in one call.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.role.load(Ordering::Relaxed),
+            self.followers.load(Ordering::Relaxed),
+            self.lag_bytes.load(Ordering::Relaxed),
+            self.lag_ts_us.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// The background checkpointer thread's handle.
 struct BgCheckpointer {
     thread: Option<std::thread::JoinHandle<()>>,
@@ -146,6 +180,14 @@ pub struct Store {
     /// batched local counters into the shared sink — not just the
     /// requesting session's.
     cache_registry: Mutex<Vec<Weak<SessionCache>>>,
+    /// Replication observability (role, follower count, lag), written
+    /// by the attached replication endpoint and served through `Stats`.
+    repl: Arc<ReplStats>,
+    /// Set while a log-shipping source is attached: durability cycles
+    /// keep checkpointing but skip segment truncation, because the log
+    /// chains are the replication feed — a truncated segment could be
+    /// exactly the one a reconnecting follower still needs.
+    repl_pin: AtomicBool,
 }
 
 impl Store {
@@ -205,6 +247,8 @@ impl Store {
             session_cache: Mutex::new(None),
             cache_shared: Arc::default(),
             cache_registry: Mutex::new(Vec::new()),
+            repl: Arc::default(),
+            repl_pin: AtomicBool::new(false),
         }
     }
 
@@ -365,7 +409,10 @@ impl Store {
         // the only one whose `start_ts` a post-crash cutoff accepts
         // (recovery falls back to the newest checkpoint at or before the
         // cutoff) — deleting it would orphan those records.
-        if barrier_confirmed && !self.log_poison.load(Ordering::Acquire) {
+        if barrier_confirmed
+            && !self.log_poison.load(Ordering::Acquire)
+            && !self.repl_pin.load(Ordering::Acquire)
+        {
             let tr = crate::log::truncate_covered_segments_excluding(
                 &dir,
                 meta.start_ts,
@@ -411,6 +458,98 @@ impl Store {
     /// The directory this store logs into (`None` for in-memory stores).
     pub fn log_dir(&self) -> Option<&Path> {
         self.log_dir.as_deref()
+    }
+
+    /// Replication observability counters (role / followers / lag),
+    /// written by the attached replication endpoint.
+    pub fn repl_stats(&self) -> Arc<ReplStats> {
+        Arc::clone(&self.repl)
+    }
+
+    /// Pins (or unpins) checkpoint-driven log truncation. A log-shipping
+    /// source pins while attached: the segment chains are its feed, and
+    /// a reconnecting follower may still need any of them.
+    pub fn pin_log_truncation(&self, pinned: bool) {
+        self.repl_pin.store(pinned, Ordering::Release);
+    }
+
+    /// Per-session durable shipping watermarks for every *live* log:
+    /// `(session id, active segment, durable bytes of that segment)`.
+    /// Segments below the active one are sealed and fully durable.
+    /// Sessions whose writer is gone are omitted — their whole chain is
+    /// static on disk and can be shipped at full length.
+    pub fn shipping_watermarks(&self) -> Vec<(u64, u64, u64)> {
+        self.log_handles
+            .lock()
+            .iter()
+            .filter_map(|(id, h)| h.progress().map(|(seg, durable)| (*id, seg, durable)))
+            .collect()
+    }
+
+    /// Applies a replicated put. Version-gated exactly like recovery
+    /// replay: a value already at or past `version` is kept, so
+    /// re-replaying a re-sent log tail is idempotent. Log records carry
+    /// the full resulting value (not a delta), so a newer record simply
+    /// replaces whatever is resident. Only a replica's single apply
+    /// thread calls this — the store has no local writers.
+    pub fn replay_put(&self, key: &[u8], version: u64, cols: &[(u16, Vec<u8>)]) {
+        let guard = masstree::pin();
+        self.tree.put_with(
+            key,
+            |old| match old {
+                Some(prev) if prev.version() >= version => {
+                    let refs: Vec<&[u8]> =
+                        (0..prev.ncols()).map(|i| prev.col(i).unwrap()).collect();
+                    ColValue::new(prev.version(), &refs)
+                }
+                _ => {
+                    let updates: Vec<(usize, &[u8])> = cols
+                        .iter()
+                        .map(|(i, d)| (*i as usize, d.as_slice()))
+                        .collect();
+                    ColValue::from_updates(version, &updates)
+                }
+            },
+            &guard,
+        );
+        self.next_version.fetch_max(version + 1, Ordering::Relaxed);
+    }
+
+    /// Applies a replicated remove: drops the key iff the resident value
+    /// is older than the remove's `version`. Unlike recovery replay this
+    /// leaves **no tombstone** — the replica's apply thread is the only
+    /// writer and keeps its own anti-resurrection map keyed by remove
+    /// version, so scans never have to filter zero-column values.
+    pub fn replay_remove(&self, key: &[u8], version: u64) {
+        let guard = masstree::pin();
+        let newer = self
+            .tree
+            .get(key, &guard)
+            .is_some_and(|v| v.version() >= version);
+        if !newer {
+            self.tree.remove(key, &guard);
+        }
+        self.next_version.fetch_max(version + 1, Ordering::Relaxed);
+    }
+
+    /// Empties the tree in place (replica full-resync after a primary
+    /// epoch change: the old replicated state may not be a prefix of the
+    /// new primary's log, so it is discarded wholesale).
+    pub fn reset_replica(&self) {
+        let guard = masstree::pin();
+        loop {
+            let mut keys: Vec<Vec<u8>> = Vec::new();
+            self.tree.scan(b"", &guard, |k, _| {
+                keys.push(k.to_vec());
+                keys.len() < 4096
+            });
+            if keys.is_empty() {
+                return;
+            }
+            for k in &keys {
+                self.tree.remove(k, &guard);
+            }
+        }
     }
 
     /// Enables (or disables, with `None`) the hot-path cache tier for
@@ -814,14 +953,26 @@ impl Session {
     /// a full put that refreshes the cache.
     pub fn put(&self, key: &[u8], updates: &[(usize, &[u8])]) -> u64 {
         let mut version = 0;
+        // Log the full resulting value, not the update delta: replay is
+        // version-gated and order-insensitive (parallel recovery,
+        // replica apply), and a delta applied without the records it
+        // merged over would silently drop the other columns.
+        let logging = self.log.is_some();
+        let mut logged_cols: Vec<(u16, Vec<u8>)> = Vec::new();
         {
             let guard = masstree::pin();
             let mut write = |old: Option<&ColValue>| {
                 version = self.store.draw_version();
-                match old {
+                let newval = match old {
                     None => ColValue::from_updates(version, updates),
                     Some(prev) => prev.with_updates(version, updates),
+                };
+                if logging {
+                    logged_cols = (0..newval.ncols())
+                        .map(|i| (i as u16, newval.col(i).unwrap_or(&[]).to_vec()))
+                        .collect();
                 }
+                newval
             };
             match self.write_cache() {
                 None => {
@@ -870,10 +1021,7 @@ impl Session {
                 timestamp,
                 version,
                 key: key.to_vec(),
-                cols: updates
-                    .iter()
-                    .map(|&(i, d)| (i as u16, d.to_vec()))
-                    .collect(),
+                cols: std::mem::take(&mut logged_cols),
             });
         }
         version
@@ -1067,16 +1215,25 @@ impl Session {
     pub fn multi_put(&self, ops: &[PutOp<'_>]) -> Vec<u64> {
         let keys: Vec<&[u8]> = ops.iter().map(|&(k, _)| k).collect();
         let mut versions = vec![0u64; ops.len()];
+        // Full resulting values for the log, not deltas (see `put`).
+        let logging = self.log.is_some();
+        let mut logged_cols: Vec<Vec<(u16, Vec<u8>)>> = vec![Vec::new(); ops.len()];
         {
             let guard = masstree::pin();
             let store = &self.store;
             let mut factory = |i: usize, old: Option<&ColValue>| {
                 let version = store.draw_version();
                 versions[i] = version;
-                match old {
+                let newval = match old {
                     None => ColValue::from_updates(version, ops[i].1),
                     Some(prev) => prev.with_updates(version, ops[i].1),
+                };
+                if logging {
+                    logged_cols[i] = (0..newval.ncols())
+                        .map(|c| (c as u16, newval.col(c).unwrap_or(&[]).to_vec()))
+                        .collect();
                 }
+                newval
             };
             match self.write_cache() {
                 None => {
@@ -1129,15 +1286,12 @@ impl Session {
             }
         }
         if let Some(log) = &self.log {
-            for (&(key, updates), &version) in ops.iter().zip(&versions) {
+            for (i, (&(key, _), &version)) in ops.iter().zip(&versions).enumerate() {
                 log.append_now(|timestamp| LogRecord::Put {
                     timestamp,
                     version,
                     key: key.to_vec(),
-                    cols: updates
-                        .iter()
-                        .map(|&(i, d)| (i as u16, d.to_vec()))
-                        .collect(),
+                    cols: std::mem::take(&mut logged_cols[i]),
                 });
             }
         }

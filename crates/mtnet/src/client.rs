@@ -14,7 +14,7 @@ use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::proto::{frame_batch, read_batch, Request, Response, StatsReply};
+use crate::proto::{frame_batch, read_batch, Request, Response, ScanResume, StatsReply};
 
 /// One `(key, columns)` row returned by scans.
 pub type Row = (Vec<u8>, Vec<Vec<u8>>);
@@ -144,6 +144,8 @@ impl Client {
         }
     }
 
+    /// Errors with the server's redirect payload (naming the primary)
+    /// when the target is a read-only replica.
     pub fn put(&mut self, key: &[u8], cols: Vec<(u16, Vec<u8>)>) -> std::io::Result<u64> {
         self.queue(&Request::Put {
             key: key.to_vec(),
@@ -151,6 +153,9 @@ impl Client {
         });
         match self.execute_batch()?.pop() {
             Some(Response::PutOk(v)) => Ok(v),
+            Some(Response::Redirect(msg)) | Some(Response::Err(msg)) => {
+                Err(std::io::Error::other(msg))
+            }
             _ => Err(std::io::Error::other("unexpected response")),
         }
     }
@@ -189,15 +194,21 @@ impl Client {
             .into_iter()
             .map(|r| match r {
                 Response::PutOk(v) => Ok(v),
+                Response::Redirect(msg) | Response::Err(msg) => Err(std::io::Error::other(msg)),
                 _ => Err(std::io::Error::other("unexpected response")),
             })
             .collect()
     }
 
+    /// Errors with the server's redirect payload (naming the primary)
+    /// when the target is a read-only replica.
     pub fn remove(&mut self, key: &[u8]) -> std::io::Result<bool> {
         self.queue(&Request::Remove { key: key.to_vec() });
         match self.execute_batch()?.pop() {
             Some(Response::RemoveOk(e)) => Ok(e),
+            Some(Response::Redirect(msg)) | Some(Response::Err(msg)) => {
+                Err(std::io::Error::other(msg))
+            }
             _ => Err(std::io::Error::other("unexpected response")),
         }
     }
@@ -224,7 +235,9 @@ impl Client {
         self.queue(&Request::Flush);
         match self.execute_batch()?.pop() {
             Some(Response::Stats(s)) => Ok(s),
-            Some(Response::Err(msg)) => Err(std::io::Error::other(msg)),
+            Some(Response::Redirect(msg)) | Some(Response::Err(msg)) => {
+                Err(std::io::Error::other(msg))
+            }
             _ => Err(std::io::Error::other("unexpected response")),
         }
     }
@@ -241,7 +254,9 @@ impl Client {
         self.queue(&Request::Sync);
         match self.execute_batch()?.pop() {
             Some(Response::Stats(s)) => Ok(s),
-            Some(Response::Err(msg)) => Err(std::io::Error::other(msg)),
+            Some(Response::Redirect(msg)) | Some(Response::Err(msg)) => {
+                Err(std::io::Error::other(msg))
+            }
             _ => Err(std::io::Error::other("unexpected response")),
         }
     }
@@ -264,17 +279,31 @@ impl Client {
         }
     }
 
-    /// Resumable chunked scan: all chunks of one range stream carry the
-    /// same client-chosen `token`, and the server keeps a validated
-    /// scan cursor under it — follow-up chunks then continue at the
-    /// remembered border node (zero descent) instead of re-descending
-    /// from the root. `key` is the **fallback start**, used when the
-    /// token has no cursor (first chunk, or a server-side eviction —
-    /// per-connection cursors are capped): pass the stream's current
-    /// continuation key (one past the last row received) on follow-up
-    /// chunks so an eviction costs one descent, never a silent
-    /// re-stream. A short (< `count`) result means the range is
+    /// Opens (or restarts) a resumable chunked scan: descends from
+    /// `key` and registers the server-side cursor under the
+    /// client-chosen `token`, overwriting any cursor the token already
+    /// named. Follow-up chunks use [`Client::scan_resume`] with the
+    /// same token. A short (< `count`) result means the range is
     /// exhausted. Tokens are scoped to this connection.
+    pub fn scan_start(
+        &mut self,
+        key: &[u8],
+        count: u32,
+        cols: Option<Vec<u16>>,
+        token: u64,
+    ) -> std::io::Result<Vec<Row>> {
+        self.scan_chunk(key, count, cols, ScanResume::Start(token))
+    }
+
+    /// Continues a resumable chunked scan opened with
+    /// [`Client::scan_start`]: the server re-enters the tree at the
+    /// remembered border node (zero descent). Strict: if the token has
+    /// no live cursor — never started on this connection (e.g. after a
+    /// reconnect; tokens are connection-scoped) or evicted at the
+    /// server's per-connection cursor cap — this errors with
+    /// `"unknown scan token"` instead of silently restarting. Recover
+    /// by calling `scan_start` at the stream's continuation key (one
+    /// past the last row received), which costs one descent.
     pub fn scan_resume(
         &mut self,
         key: &[u8],
@@ -282,14 +311,25 @@ impl Client {
         cols: Option<Vec<u16>>,
         token: u64,
     ) -> std::io::Result<Vec<Row>> {
+        self.scan_chunk(key, count, cols, ScanResume::Resume(token))
+    }
+
+    fn scan_chunk(
+        &mut self,
+        key: &[u8],
+        count: u32,
+        cols: Option<Vec<u16>>,
+        resume: ScanResume,
+    ) -> std::io::Result<Vec<Row>> {
         self.queue(&Request::Scan {
             key: key.to_vec(),
             count,
             cols,
-            resume: Some(token),
+            resume: Some(resume),
         });
         match self.execute_batch()?.pop() {
             Some(Response::Rows(rows)) => Ok(rows),
+            Some(Response::Err(msg)) => Err(std::io::Error::other(msg)),
             _ => Err(std::io::Error::other("unexpected response")),
         }
     }

@@ -8,10 +8,12 @@
 pub mod client;
 pub mod poll;
 pub mod proto;
+pub mod repl;
 pub mod server;
 
 pub use client::Client;
-pub use proto::{Request, Response, StatsReply};
+pub use proto::{Request, Response, ScanResume, StatsReply};
+pub use repl::{Follower, FollowerConfig, FollowerStatus, ReplConfig, ReplSource};
 pub use server::{
     execute, execute_batch, execute_batch_into, execute_into, Backend, ConnState, Server,
     ServerConfig,

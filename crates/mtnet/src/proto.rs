@@ -10,7 +10,8 @@
 //! get    := 0x01, key, colset
 //! put    := 0x02, key, u16 n, (u16 col, bytes)*
 //! remove := 0x03, key
-//! scan   := 0x04, key, u32 count, colset, resume(u8 0 | u8 1 + u64 token)
+//! scan   := 0x04, key, u32 count, colset,
+//!           resume(u8 0 | u8 1 + u64 token | u8 2 + u64 token)
 //! stats  := 0x05
 //! flush  := 0x06
 //! sync   := 0x07
@@ -26,6 +27,41 @@
 //! it only forces this connection's log (no checkpoint, no truncation),
 //! serving clients that just want durability confirmation of their own
 //! writes without paying for a whole cycle.
+
+/// How a `Scan` request relates to a server-side cursor token.
+///
+/// The two variants make the client's intent explicit on the wire so a
+/// reconnected client can never silently adopt another connection's
+/// cursor (tokens are connection-scoped, and a fresh connection starts
+/// with none):
+///
+/// * [`ScanResume::Start`] — begin (or restart) a stream under this
+///   token: the server descends from the request key and **overwrites**
+///   any cursor previously registered under the token.
+/// * [`ScanResume::Resume`] — continue a stream: the server requires a
+///   live cursor under the token and replies [`Response::Err`]
+///   (`"unknown scan token"`) when there is none — first chunk never
+///   sent `Start`, cursor evicted at the per-connection LRU cap, or the
+///   connection was re-established. The request key is *not* used as a
+///   fallback start; the client must recover explicitly with `Start` at
+///   its continuation key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanResume {
+    /// Register/overwrite the cursor under the token, starting at the
+    /// request key.
+    Start(u64),
+    /// Continue from the cursor under the token; error if absent.
+    Resume(u64),
+}
+
+impl ScanResume {
+    /// The client-chosen token, whichever the variant.
+    pub fn token(self) -> u64 {
+        match self {
+            ScanResume::Start(t) | ScanResume::Resume(t) => t,
+        }
+    }
+}
 
 /// A client request (one query within a batch).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,21 +79,16 @@ pub enum Request {
     /// `remove(k)`.
     Remove { key: Vec<u8> },
     /// `getrange_c(k, n)`, optionally resumable: a client streaming a
-    /// long range in chunks tags each chunk with the same `resume`
-    /// token, and the server keeps a per-connection [`ScanCursor`]
-    /// (validated anchor + bound) under that token — follow-up chunks
-    /// then re-enter the tree at the remembered border node instead of
-    /// descending from the root.
-    ///
-    /// `key` is the **fallback start**: it is used when the token has
-    /// no server-side cursor — the first chunk of a stream, or a
-    /// cursor the server evicted (per-connection cursors are capped).
-    /// When the cursor exists it takes precedence and `key` is not
-    /// consulted. Clients that may run many concurrent streams should
-    /// therefore pass their current continuation key (one past the
-    /// last row received) rather than the stream's original start, so
-    /// an eviction costs one descent instead of silently re-streaming
-    /// from the beginning. Tokens are client-chosen and
+    /// long range in chunks opens the stream with
+    /// [`ScanResume::Start`] and continues it with
+    /// [`ScanResume::Resume`] under the same client-chosen token. The
+    /// server keeps a per-connection [`ScanCursor`] (validated anchor
+    /// plus bound) under that token — `Resume` chunks re-enter the tree
+    /// at the remembered border node instead of descending from the
+    /// root. `Resume` with no live cursor (evicted, never started, or
+    /// a new connection) is a typed error, never a silent restart —
+    /// the client recovers with `Start` at its continuation key (one
+    /// past the last row received), costing one descent. Tokens are
     /// connection-scoped.
     ///
     /// [`ScanCursor`]: mtkv::ScanCursor
@@ -65,7 +96,7 @@ pub enum Request {
         key: Vec<u8>,
         count: u32,
         cols: Option<Vec<u16>>,
-        resume: Option<u64>,
+        resume: Option<ScanResume>,
     },
     /// Durability stats snapshot (checkpoint epoch, log bytes).
     Stats,
@@ -82,8 +113,9 @@ pub enum Request {
 }
 
 /// The durability snapshot carried by [`Response::Stats`]; mirrors
-/// `mtkv::DurabilityStats`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// `mtkv::DurabilityStats` plus replication (`mtkv::ReplStats`) and
+/// per-worker connection counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StatsReply {
     /// Checkpoints completed this server lifetime (the epoch tests wait
     /// on).
@@ -117,6 +149,24 @@ pub struct StatsReply {
     /// per-connection cap (each eviction costs its stream one descent on
     /// resume).
     pub cache_scan_evictions: u64,
+    /// Replication role: 0 = none, 1 = primary, 2 = follower.
+    pub repl_role: u64,
+    /// Primary: live (un-shed) followers currently attached.
+    pub repl_followers: u64,
+    /// Bounded-staleness lag in **bytes**. On the primary: the worst
+    /// (largest) gap between total durable log bytes and any live
+    /// follower's acked apply watermark. On a follower: bytes between
+    /// the primary's advertised durable total and what this replica has
+    /// applied.
+    pub repl_lag_bytes: u64,
+    /// Bounded-staleness lag in **primary clock microseconds**: how far
+    /// behind the primary's write timeline the laggiest replica (on the
+    /// primary) or this replica (on a follower) is. 0 when caught up.
+    pub repl_lag_ts_us: u64,
+    /// Live connection count per event-loop worker (index = worker id);
+    /// the accept-time rebalancer keeps these near-equal under uniform
+    /// load. Empty when the backend is not the event-loop server.
+    pub worker_conns: Vec<u64>,
 }
 
 impl StatsReply {
@@ -134,15 +184,30 @@ impl StatsReply {
             self.cache_write_stale,
             self.cache_scan_resumes,
             self.cache_scan_evictions,
+            self.repl_role,
+            self.repl_followers,
+            self.repl_lag_bytes,
+            self.repl_lag_ts_us,
         ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.worker_conns.len() as u32).to_le_bytes());
+        for v in &self.worker_conns {
             out.extend_from_slice(&v.to_le_bytes());
         }
     }
 
     fn decode(p: &mut &[u8]) -> Option<StatsReply> {
-        let mut f = [0u64; 12];
+        let mut f = [0u64; 16];
         for v in f.iter_mut() {
             *v = u64::from_le_bytes(p.get(..8)?.try_into().ok()?);
+            *p = &p[8..];
+        }
+        let n = u32::from_le_bytes(p.get(..4)?.try_into().ok()?) as usize;
+        *p = &p[4..];
+        let mut worker_conns = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            worker_conns.push(u64::from_le_bytes(p.get(..8)?.try_into().ok()?));
             *p = &p[8..];
         }
         Some(StatsReply {
@@ -158,6 +223,11 @@ impl StatsReply {
             cache_write_stale: f[9],
             cache_scan_resumes: f[10],
             cache_scan_evictions: f[11],
+            repl_role: f[12],
+            repl_followers: f[13],
+            repl_lag_bytes: f[14],
+            repl_lag_ts_us: f[15],
+            worker_conns,
         })
     }
 }
@@ -175,11 +245,17 @@ pub enum Response {
     Rows(Vec<(Vec<u8>, Vec<Vec<u8>>)>),
     /// Durability stats (reply to `Stats` and `Flush`).
     Stats(StatsReply),
-    /// Request failed server-side. Currently only `Flush` replies with
-    /// this — when the connection's log is dead (I/O error) or the
-    /// durability cycle failed — so a client never receives a stats
-    /// reply acknowledging durability that did not happen.
+    /// Request failed server-side: a `Flush`/`Sync` whose log is dead
+    /// (I/O error) or whose durability cycle failed — so a client never
+    /// receives a stats reply acknowledging durability that did not
+    /// happen — a `Scan` resuming an unknown token, or a batch frame
+    /// the server refused to parse (oversized or corrupt).
     Err(String),
+    /// The request is a write but this server is a read-only replica.
+    /// The payload names the primary's client address when known
+    /// (`"read-only replica; primary at <addr>"`) so clients can
+    /// re-target without out-of-band configuration.
+    Redirect(String),
 }
 
 fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
@@ -254,8 +330,12 @@ impl Request {
                 put_colset(out, cols);
                 match resume {
                     None => out.push(0),
-                    Some(token) => {
+                    Some(ScanResume::Resume(token)) => {
                         out.push(1);
+                        out.extend_from_slice(&token.to_le_bytes());
+                    }
+                    Some(ScanResume::Start(token)) => {
+                        out.push(2);
                         out.extend_from_slice(&token.to_le_bytes());
                     }
                 }
@@ -296,10 +376,14 @@ impl Request {
                 *p = &p[1..];
                 let resume = match tag {
                     0 => None,
-                    1 => {
+                    1 | 2 => {
                         let t = u64::from_le_bytes(p.get(..8)?.try_into().ok()?);
                         *p = &p[8..];
-                        Some(t)
+                        Some(if tag == 1 {
+                            ScanResume::Resume(t)
+                        } else {
+                            ScanResume::Start(t)
+                        })
                     }
                     _ => return None,
                 };
@@ -356,6 +440,10 @@ impl Response {
                 out.push(0x86);
                 put_bytes(out, msg.as_bytes());
             }
+            Response::Redirect(msg) => {
+                out.push(0x87);
+                put_bytes(out, msg.as_bytes());
+            }
         }
     }
 
@@ -401,6 +489,9 @@ impl Response {
             }
             0x85 => Some(Response::Stats(StatsReply::decode(p)?)),
             0x86 => Some(Response::Err(
+                String::from_utf8_lossy(&get_bytes(p)?).into_owned(),
+            )),
+            0x87 => Some(Response::Redirect(
                 String::from_utf8_lossy(&get_bytes(p)?).into_owned(),
             )),
             _ => None,
@@ -592,7 +683,13 @@ mod tests {
             key: b"start".to_vec(),
             count: 7,
             cols: None,
-            resume: Some(0xdead_beef_cafe_f00d),
+            resume: Some(ScanResume::Resume(0xdead_beef_cafe_f00d)),
+        });
+        roundtrip_req(Request::Scan {
+            key: b"start".to_vec(),
+            count: 7,
+            cols: None,
+            resume: Some(ScanResume::Start(42)),
         });
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::Flush);
@@ -622,10 +719,18 @@ mod tests {
             cache_write_stale: 77,
             cache_scan_resumes: 4_321,
             cache_scan_evictions: 12,
+            repl_role: 1,
+            repl_followers: 2,
+            repl_lag_bytes: 1 << 33,
+            repl_lag_ts_us: 250_000,
+            worker_conns: vec![3, 0, 7, 1],
         }));
         roundtrip_resp(Response::Stats(StatsReply::default()));
         roundtrip_resp(Response::Err("log dead: No space left on device".into()));
         roundtrip_resp(Response::Err(String::new()));
+        roundtrip_resp(Response::Redirect(
+            "read-only replica; primary at 127.0.0.1:7070".into(),
+        ));
     }
 
     #[test]

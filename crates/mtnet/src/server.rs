@@ -20,14 +20,31 @@
 //! "batched query support is vital" — then holds even when each client
 //! sends one-op frames: the server constructs the batches itself.
 //!
-//! Aggregation never reorders one connection's stream: a connection
-//! joins the merged get (put) run only when every frame it has pending
-//! is pure gets (puts, with no intra-connection duplicate key); anything
-//! mixed executes per-frame, in order, through the same engine as
-//! before. Cross-connection order carries no obligation — concurrent
-//! clients already race — and per-session logs make the merged put run
-//! safe: every write is still logged by the one worker session that
-//! owns the connection.
+//! Aggregation never reorders one connection's stream: each
+//! connection's pending requests are first split into maximal
+//! same-kind **runs** (`mtkv::split_batch_runs` — a put run also splits
+//! at an intra-connection duplicate key), and the wakeup then executes
+//! run *phases*: every connection's phase-`p` run executes before any
+//! connection's phase-`p+1` run, with same-kind runs of one phase
+//! merged across connections into a single `multi_get`/`multi_put`.
+//! A connection's own stream therefore executes strictly in order even
+//! when its wakeup mixes kinds (`get,get,put,get` contributes its get
+//! run to phase 0, its put to phase 1, its trailing get to phase 2),
+//! while cross-connection order — which carries no obligation,
+//! concurrent clients already race — is exploited for aggregation.
+//! Per-session logs make the merged put run safe: every write is still
+//! logged by the one worker session that owns the connection.
+//!
+//! Connections are assigned at accept time to the **lightest** worker
+//! (fewest pending output bytes, then fewest connections) rather than
+//! round-robin, so a worker stuck behind slow clients does not keep
+//! collecting new ones; per-worker connection counts are surfaced in
+//! the wire stats.
+//!
+//! A server can also run as a read-only **replica** (see
+//! [`crate::repl`]): configured with a redirect target, every write
+//! (`put`/`remove`/`flush`/`sync`) answers [`Response::Redirect`]
+//! naming the primary, while gets, scans and stats serve locally.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -42,7 +59,7 @@ use mtkv::{ScanCursor, Session, Store};
 use crate::poll::{Event, Interest, Poller};
 use crate::proto::{
     begin_batch, finish_batch, parse_batch_frame, write_value_borrowed, write_value_none, Request,
-    Response, RowsWriter, StatsReply,
+    Response, RowsWriter, ScanResume, StatsReply,
 };
 
 /// Per-connection request executor. The Masstree store is the primary
@@ -125,6 +142,48 @@ impl ScanTokens {
     }
 }
 
+/// Accept-time rebalancing state, one per worker: live connections and
+/// the worker's pending (unsent) output bytes as of its last sweep. The
+/// accept thread assigns each new connection to the worker with the
+/// smallest `(pending, conns)` — a worker wedged behind slow clients
+/// stops collecting new ones.
+#[derive(Default)]
+struct WorkerLoad {
+    conns: AtomicU64,
+    pending: AtomicU64,
+}
+
+/// Execution context threaded through the request executors: the
+/// connection's scan-token cursors plus server-level state the wire
+/// operations consult — the follower-mode redirect target and the
+/// per-worker load counters reported by `Stats`.
+struct ExecCtx<'a> {
+    tokens: &'a mut ScanTokens,
+    /// `Some(primary address)` on a read-only replica: writes answer
+    /// [`Response::Redirect`] instead of executing.
+    redirect: Option<&'a str>,
+    /// Per-worker live-connection counters (empty outside the
+    /// event-loop server).
+    loads: &'a [WorkerLoad],
+}
+
+impl<'a> ExecCtx<'a> {
+    fn standalone(tokens: &'a mut ScanTokens) -> ExecCtx<'a> {
+        ExecCtx {
+            tokens,
+            redirect: None,
+            loads: &[],
+        }
+    }
+
+    /// Writes are refused on a read-only replica; the redirect payload
+    /// names the primary so clients can re-target.
+    fn refuse_write(&self) -> Option<Response> {
+        self.redirect
+            .map(|primary| Response::Redirect(format!("read-only replica; primary at {primary}")))
+    }
+}
+
 /// A connection's server-side state: the store session plus the
 /// resumable-scan cursors addressed by the wire `Scan` resume tokens.
 /// This is the embeddable single-connection executor (benchmarks, the
@@ -151,18 +210,32 @@ impl StoreConn {
 
 impl ConnState for StoreConn {
     fn execute(&mut self, req: Request) -> Response {
-        execute_tokens(&self.session, &mut self.scan_tokens, req)
+        execute_tokens(
+            &self.session,
+            &mut ExecCtx::standalone(&mut self.scan_tokens),
+            req,
+        )
     }
 
     fn execute_batch(&mut self, reqs: Vec<Request>) -> Vec<Response> {
         let mut sink = OwnedSink(Vec::with_capacity(reqs.len()));
-        execute_batch_runs(&self.session, &mut self.scan_tokens, reqs, &mut sink);
+        execute_batch_runs(
+            &self.session,
+            &mut ExecCtx::standalone(&mut self.scan_tokens),
+            reqs,
+            &mut sink,
+        );
         sink.0
     }
 
     fn execute_batch_into(&mut self, reqs: Vec<Request>, out: &mut Vec<u8>) -> usize {
         let mut sink = WireSink { out, written: 0 };
-        execute_batch_runs(&self.session, &mut self.scan_tokens, reqs, &mut sink);
+        execute_batch_runs(
+            &self.session,
+            &mut ExecCtx::standalone(&mut self.scan_tokens),
+            reqs,
+            &mut sink,
+        );
         sink.written
     }
 }
@@ -182,13 +255,17 @@ impl ConnState for Session {
 }
 
 /// Event-loop server tunables.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Worker (event-loop) threads; `0` means `available_parallelism`.
     pub workers: usize,
     /// Cross-connection batch aggregation on store workers. On by
     /// default; benchmarks switch it off to measure the per-frame path.
     pub aggregate: bool,
+    /// Read-only replica mode: `Some(primary address)` makes every
+    /// write request answer [`Response::Redirect`] naming the primary
+    /// instead of executing. Reads, scans and stats serve locally.
+    pub redirect: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -196,6 +273,7 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 0,
             aggregate: true,
+            redirect: None,
         }
     }
 }
@@ -250,6 +328,7 @@ impl Server {
             kinds.push(WorkerKind::Store {
                 session,
                 aggregate: config.aggregate,
+                redirect: config.redirect.clone(),
                 cursors: HashMap::new(),
             });
         }
@@ -282,6 +361,8 @@ impl Server {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let ops = Arc::new(AtomicU64::new(0));
+        let loads: Arc<Vec<WorkerLoad>> =
+            Arc::new((0..kinds.len()).map(|_| WorkerLoad::default()).collect());
         let mut handles: Vec<WorkerHandle> = Vec::new();
         let mut mailboxes: Vec<(Arc<Mutex<Vec<TcpStream>>>, UnixStream)> = Vec::new();
         // Stops and joins the workers launched so far (partial-launch
@@ -309,6 +390,7 @@ impl Server {
                     inbox: Arc::clone(&inbox),
                     stop: Arc::clone(&stop),
                     ops: Arc::clone(&ops),
+                    loads: Arc::clone(&loads),
                     kind,
                     conns: Vec::new(),
                     free: Vec::new(),
@@ -335,20 +417,35 @@ impl Server {
             }
         }
         let stop2 = Arc::clone(&stop);
+        let loads2 = Arc::clone(&loads);
         let accept_thread = std::thread::Builder::new()
             .name("mtnet-accept".into())
             .spawn(move || {
-                let n = mailboxes.len();
-                let mut next = 0usize;
                 for conn in listener.incoming() {
                     if stop2.load(Ordering::Acquire) {
                         break;
                     }
                     let Ok(conn) = conn else { continue };
-                    // Round-robin assignment; the connection then belongs
-                    // to that worker for its whole life (session affinity).
-                    let (inbox, wake_tx) = &mailboxes[next];
-                    next = (next + 1) % n;
+                    // Assign to the lightest worker — fewest pending
+                    // output bytes, connection count as the tiebreak —
+                    // then the connection belongs to that worker for its
+                    // whole life (session affinity). The count is bumped
+                    // here, before adoption, so a burst of accepts
+                    // spreads instead of piling onto one worker.
+                    let mut best = 0usize;
+                    let mut best_key = (u64::MAX, u64::MAX);
+                    for (i, l) in loads2.iter().enumerate() {
+                        let key = (
+                            l.pending.load(Ordering::Relaxed),
+                            l.conns.load(Ordering::Relaxed),
+                        );
+                        if key < best_key {
+                            best_key = key;
+                            best = i;
+                        }
+                    }
+                    loads2[best].conns.fetch_add(1, Ordering::Relaxed);
+                    let (inbox, wake_tx) = &mailboxes[best];
                     inbox.lock().unwrap().push(conn);
                     wake(wake_tx);
                 }
@@ -434,8 +531,13 @@ struct Conn {
     interest: Interest,
     /// Clean end-of-stream seen; drain what's left, then close.
     eof: bool,
-    /// Protocol or I/O failure; close without draining.
+    /// I/O failure; close without draining.
     dead: bool,
+    /// Protocol failure (oversized or undecodable frame): responses for
+    /// frames parsed before the poison are still delivered, then one
+    /// typed [`Response::Err`] naming the failure, then a clean close —
+    /// never a silent drop that leaves the client hung.
+    poisoned: Option<String>,
     /// Generic-backend path only: the per-connection executor.
     state: Option<Box<dyn ConnState>>,
 }
@@ -444,12 +546,23 @@ impl Conn {
     fn pending_wr(&self) -> usize {
         self.wr.len() - self.wr_pos
     }
+
+    /// Marks a protocol failure: further input is discarded and never
+    /// parsed; the sweep appends the typed error reply and schedules a
+    /// drain-then-close.
+    fn poison(&mut self, msg: &str) {
+        self.poisoned = Some(msg.to_string());
+        self.rd.clear();
+        self.rd_pos = 0;
+    }
 }
 
 enum WorkerKind {
     Store {
         session: Session,
         aggregate: bool,
+        /// Follower mode: the primary address writes are redirected to.
+        redirect: Option<String>,
         /// The per-worker cursor map (replacing the per-connection one):
         /// connection id → that connection's resume-token cursors.
         cursors: HashMap<u64, ScanTokens>,
@@ -488,6 +601,7 @@ struct Worker {
     inbox: Arc<Mutex<Vec<TcpStream>>>,
     stop: Arc<AtomicBool>,
     ops: Arc<AtomicU64>,
+    loads: Arc<Vec<WorkerLoad>>,
     kind: WorkerKind,
     conns: Vec<Option<Conn>>,
     free: Vec<usize>,
@@ -571,7 +685,10 @@ impl Worker {
     fn adopt_new_conns(&mut self) {
         let incoming = std::mem::take(&mut *self.inbox.lock().unwrap());
         for stream in incoming {
+            // The accept thread counted this connection when it picked
+            // us; un-count it on any adoption failure.
             if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                self.loads[self.id].conns.fetch_sub(1, Ordering::Relaxed);
                 continue;
             }
             let state = match &self.kind {
@@ -588,6 +705,7 @@ impl Worker {
                 .is_err()
             {
                 self.free.push(slot);
+                self.loads[self.id].conns.fetch_sub(1, Ordering::Relaxed);
                 continue;
             }
             let id = ((self.id as u64) << 32) | self.next_conn_seq;
@@ -602,6 +720,7 @@ impl Worker {
                 interest: Interest::READ,
                 eof: false,
                 dead: false,
+                poisoned: None,
                 state,
             });
         }
@@ -614,7 +733,7 @@ impl Worker {
             let Some(conn) = self.conns[slot].as_mut() else {
                 continue;
             };
-            if conn.dead {
+            if conn.dead || conn.poisoned.is_some() {
                 continue;
             }
             while conn.pending_wr() < HIGH_WATER {
@@ -634,7 +753,7 @@ impl Worker {
                         }
                         if !ok {
                             buf.reqs.truncate(start);
-                            conn.dead = true;
+                            conn.poison("bad batch frame: undecodable request");
                             break;
                         }
                         conn.rd_pos += consumed;
@@ -645,8 +764,8 @@ impl Worker {
                         });
                     }
                     Ok(None) => break,
-                    Err(_) => {
-                        conn.dead = true;
+                    Err(e) => {
+                        conn.poison(&format!("bad batch frame: {e}"));
                         break;
                     }
                 }
@@ -666,12 +785,15 @@ impl Worker {
             WorkerKind::Store {
                 session,
                 aggregate,
+                redirect,
                 cursors,
             } => execute_frames_store(
                 self.id,
                 session,
                 cursors,
                 *aggregate,
+                redirect.as_deref(),
+                &self.loads,
                 &mut self.conns,
                 buf,
                 &self.ops,
@@ -714,6 +836,18 @@ impl Worker {
                 let Some(conn) = self.conns[slot].as_mut() else {
                     continue;
                 };
+                if !conn.dead {
+                    if let Some(msg) = conn.poisoned.take() {
+                        // Protocol failure: responses for the frames
+                        // parsed before the poison are already encoded;
+                        // append the typed error as its own one-response
+                        // batch, then drain and close.
+                        let mark = begin_batch(&mut conn.wr);
+                        Response::Err(msg).encode(&mut conn.wr);
+                        finish_batch(&mut conn.wr, mark, 1);
+                        conn.eof = true;
+                    }
+                }
                 if !conn.dead && conn.pending_wr() > 0 {
                     flush_conn(conn);
                 }
@@ -740,6 +874,16 @@ impl Worker {
                 }
             }
         }
+        // Publish this worker's backlog for the accept-time rebalancer.
+        let pending: u64 = self
+            .conns
+            .iter()
+            .flatten()
+            .map(|c| c.pending_wr() as u64)
+            .sum();
+        self.loads[self.id]
+            .pending
+            .store(pending, Ordering::Relaxed);
     }
 
     fn close_conn(&mut self, slot: usize) {
@@ -750,12 +894,13 @@ impl Worker {
                 cursors.remove(&conn.id);
             }
             self.free.push(slot);
+            self.loads[self.id].conns.fetch_sub(1, Ordering::Relaxed);
         }
     }
 }
 
 fn read_conn(conn: &mut Conn, scratch: &mut [u8]) {
-    if conn.eof || conn.dead {
+    if conn.eof || conn.dead || conn.poisoned.is_some() {
         return;
     }
     let mut budget = READ_BUDGET;
@@ -823,235 +968,294 @@ fn take_frame_reqs(reqs: &mut [Request], f: &Frame) -> Vec<Request> {
         .collect()
 }
 
-/// How one connection's wakeup contribution executes.
-#[derive(Clone, Copy, PartialEq)]
-enum Plan {
-    /// Every pending frame is pure gets: join the cross-connection get
-    /// aggregate.
-    GetAgg,
-    /// Every pending frame is pure puts with no intra-connection
-    /// duplicate key: join the cross-connection put aggregate.
-    PutAgg,
-    /// Anything else: execute per-frame, in order (the per-frame path
-    /// still feeds runs through the batch engine).
-    Seq,
-}
-
-/// One connection's contiguous frame range in the wakeup buffer (each
-/// frame carries its own slot).
-struct ConnGroup {
+/// One connection's wakeup contribution: its requests split into
+/// maximal same-kind runs (run `p` executes in cross-connection phase
+/// `p`), plus the emitter state that demultiplexes responses back into
+/// the connection's frames as they are produced.
+///
+/// The emitter exploits two invariants: a connection's frames are
+/// contiguous in the wakeup buffer (and their requests contiguous in
+/// the arena), and every execution path below produces exactly one
+/// response per request, **in request order** for any one connection.
+/// It therefore just counts responses, opening a batch header at each
+/// frame boundary and length-patching it when the frame's count is
+/// reached.
+struct ConnPlan {
+    slot: usize,
+    /// `(kind, range in the request arena)` per run, in stream order.
+    runs: Vec<(mtkv::RunKind, std::ops::Range<usize>)>,
+    /// This connection's frames (indices into `buf.frames`).
     frames: std::ops::Range<usize>,
-    plan: Plan,
+    /// Emitter: current frame, responses emitted into it, its
+    /// `begin_batch` mark, and whether the header is open.
+    fidx: usize,
+    emitted: usize,
+    mark: usize,
+    open: bool,
 }
 
-/// The store worker's wakeup executor: classifies each connection's
-/// pending frames, feeds the cross-connection get and put aggregates
-/// through the worker session's interleaved batch engine, and
-/// demultiplexes responses back into each connection's output buffer
-/// (zero-copy for gets). See the module docs for the ordering argument.
+impl ConnPlan {
+    /// Opens the current frame's batch header if needed (flushing any
+    /// leading zero-request frames as empty batches).
+    fn begin_response(&mut self, wr: &mut Vec<u8>, frames: &[Frame]) {
+        if !self.open {
+            while self.fidx < self.frames.end && frames[self.fidx].len == 0 {
+                let mark = begin_batch(wr);
+                finish_batch(wr, mark, 0);
+                self.fidx += 1;
+            }
+            self.mark = begin_batch(wr);
+            self.open = true;
+        }
+    }
+
+    /// Counts one emitted response, closing the frame when full.
+    fn end_response(&mut self, wr: &mut Vec<u8>, frames: &[Frame], ops: &AtomicU64) {
+        self.emitted += 1;
+        if self.emitted == frames[self.fidx].len {
+            finish_batch(wr, self.mark, self.emitted);
+            ops.fetch_add(self.emitted as u64, Ordering::Relaxed);
+            self.fidx += 1;
+            self.emitted = 0;
+            self.open = false;
+        }
+    }
+
+    /// Flushes trailing zero-request frames after all runs executed.
+    fn finish(&mut self, wr: &mut Vec<u8>, frames: &[Frame]) {
+        debug_assert!(!self.open, "every started frame must have completed");
+        while self.fidx < self.frames.end && frames[self.fidx].len == 0 {
+            let mark = begin_batch(wr);
+            finish_batch(wr, mark, 0);
+            self.fidx += 1;
+        }
+        debug_assert_eq!(self.fidx, self.frames.end, "all frames answered");
+    }
+}
+
+/// The store worker's wakeup executor: splits each connection's pending
+/// requests into runs, executes the runs in cross-connection **phases**
+/// (every connection's run `p` before any run `p+1`, same-kind runs of
+/// one phase merged into a single `multi_get`/`multi_put` through the
+/// interleaved batch engine), and demultiplexes responses back into
+/// each connection's output buffer (zero-copy for gets). See the module
+/// docs for the ordering argument.
+#[allow(clippy::too_many_arguments)]
 fn execute_frames_store(
     worker_id: usize,
     session: &Session,
     cursors: &mut HashMap<u64, ScanTokens>,
     aggregate: bool,
+    redirect: Option<&str>,
+    loads: &[WorkerLoad],
     conns: &mut [Option<Conn>],
     buf: &mut FrameBuf,
     ops: &AtomicU64,
 ) {
-    // Group frames per connection (they are contiguous by construction).
-    let mut groups: Vec<ConnGroup> = Vec::new();
-    {
-        let mut i = 0;
-        while i < buf.frames.len() {
-            let slot = buf.frames[i].slot;
-            let mut j = i + 1;
-            while j < buf.frames.len() && buf.frames[j].slot == slot {
-                j += 1;
-            }
-            let plan = if !aggregate || conns[slot].as_ref().is_none_or(|c| c.dead) {
-                Plan::Seq
-            } else {
-                classify(buf, i..j)
-            };
-            groups.push(ConnGroup { frames: i..j, plan });
-            i = j;
+    // Group frames per connection (contiguous by construction) and
+    // split each connection's concatenated requests into runs. On a
+    // read-only replica puts classify as Other so they route through
+    // the single-request path, which answers the typed redirect.
+    let kind_of = |r: &Request| match r {
+        Request::Get { .. } => mtkv::RunKind::Get,
+        Request::Put { .. } if redirect.is_none() => mtkv::RunKind::Put,
+        _ => mtkv::RunKind::Other,
+    };
+    let mut plans: Vec<ConnPlan> = Vec::new();
+    let mut i = 0;
+    while i < buf.frames.len() {
+        let slot = buf.frames[i].slot;
+        let mut j = i + 1;
+        while j < buf.frames.len() && buf.frames[j].slot == slot {
+            j += 1;
         }
-    }
-
-    // ---- cross-connection put aggregate ----
-    // Flatten every PutAgg connection's puts (connection frames stay in
-    // order; cross-connection order carries no obligation), one
-    // multi_put through the interleaved engine, then demux the assigned
-    // versions back per frame.
-    let put_frames: Vec<&Frame> = groups
-        .iter()
-        .filter(|g| g.plan == Plan::PutAgg)
-        .flat_map(|g| &buf.frames[g.frames.clone()])
-        .collect();
-    if !put_frames.is_empty() {
-        let flat: Vec<&Request> = put_frames
-            .iter()
-            .flat_map(|f| &buf.reqs[f.start..f.start + f.len])
-            .collect();
-        let updates: Vec<Vec<(usize, &[u8])>> = flat
-            .iter()
-            .map(|r| match r {
-                Request::Put { cols, .. } => cols
-                    .iter()
-                    .map(|(i, d)| (*i as usize, d.as_slice()))
-                    .collect(),
-                _ => unreachable!("PutAgg groups hold only puts"),
-            })
-            .collect();
-        let put_ops: Vec<mtkv::PutOp<'_>> = flat
-            .iter()
-            .zip(&updates)
-            .map(|(r, u)| match r {
-                Request::Put { key, .. } => (key.as_slice(), u.as_slice()),
-                _ => unreachable!("PutAgg groups hold only puts"),
-            })
-            .collect();
-        let versions = session.multi_put(&put_ops);
-        let mut v = versions.iter();
-        for f in &put_frames {
-            let conn = conns[f.slot].as_mut().expect("live aggregated conn");
-            let mark = begin_batch(&mut conn.wr);
-            for _ in 0..f.len {
-                Response::PutOk(*v.next().expect("one version per put")).encode(&mut conn.wr);
-            }
-            finish_batch(&mut conn.wr, mark, f.len);
-            ops.fetch_add(f.len as u64, Ordering::Relaxed);
-        }
-    }
-
-    // ---- cross-connection get aggregate ----
-    // One multi_get over every GetAgg connection's keys; the visitor
-    // runs in input order, so frame boundaries advance monotonically and
-    // each response is serialized zero-copy straight into its owning
-    // connection's output buffer.
-    let mut get_keys: Vec<&[u8]> = Vec::new();
-    let mut get_cols: Vec<Option<&[u16]>> = Vec::new();
-    // Per aggregated frame: (slot, end index in get_keys).
-    let mut get_frames: Vec<(usize, usize)> = Vec::new();
-    for g in groups.iter().filter(|g| g.plan == Plan::GetAgg) {
-        for f in &buf.frames[g.frames.clone()] {
-            for r in &buf.reqs[f.start..f.start + f.len] {
-                match r {
-                    Request::Get { key, cols } => {
-                        get_keys.push(key.as_slice());
-                        get_cols.push(cols.as_deref());
-                    }
-                    _ => unreachable!("GetAgg groups hold only gets"),
-                }
-            }
-            get_frames.push((f.slot, get_keys.len()));
-            ops.fetch_add(f.len as u64, Ordering::Relaxed);
-        }
-    }
-    if !get_keys.is_empty() {
-        let mut fidx = 0usize;
-        let mut count = 0usize;
-        let mut mark = {
-            let conn = conns[get_frames[0].0]
-                .as_mut()
-                .expect("live aggregated conn");
-            begin_batch(&mut conn.wr)
-        };
-        session.multi_get_with(&get_keys, |i, hit| {
-            while i >= get_frames[fidx].1 {
-                let conn = conns[get_frames[fidx].0].as_mut().expect("live conn");
-                finish_batch(&mut conn.wr, mark, count);
-                fidx += 1;
-                count = 0;
-                let conn = conns[get_frames[fidx].0].as_mut().expect("live conn");
-                mark = begin_batch(&mut conn.wr);
-            }
-            let conn = conns[get_frames[fidx].0].as_mut().expect("live conn");
-            write_get_response(&mut conn.wr, hit, get_cols[i]);
-            count += 1;
-        });
-        let conn = conns[get_frames[fidx].0].as_mut().expect("live conn");
-        finish_batch(&mut conn.wr, mark, count);
-    }
-
-    // ---- per-frame path ----
-    for g in groups.iter().filter(|g| g.plan == Plan::Seq) {
-        for fi in g.frames.clone() {
-            let f = &buf.frames[fi];
-            let Some(conn) = conns[f.slot].as_mut() else {
-                continue;
-            };
-            if conn.dead {
-                continue;
-            }
+        let alive = conns[slot].as_ref().is_some_and(|c| !c.dead);
+        if alive {
             debug_assert_eq!(
-                (conn.id >> 32) as usize,
+                (conns[slot].as_ref().expect("alive").id >> 32) as usize,
                 worker_id,
                 "session affinity: a connection's frames execute on its owning worker"
             );
-            let reqs = take_frame_reqs(&mut buf.reqs, f);
-            let tokens = cursors.entry(conn.id).or_default();
-            let mark = begin_batch(&mut conn.wr);
-            let mut sink = WireSink {
-                out: &mut conn.wr,
-                written: 0,
+            let base = buf.frames[i].start;
+            let last = &buf.frames[j - 1];
+            let reqs = &buf.reqs[base..last.start + last.len];
+            let runs = if aggregate {
+                mtkv::split_batch_runs(reqs, kind_of, |r| match r {
+                    Request::Get { key, .. } | Request::Put { key, .. } => key.as_slice(),
+                    _ => &[],
+                })
+                .into_iter()
+                .map(|(k, r)| (k, r.start + base..r.end + base))
+                .collect()
+            } else {
+                Vec::new() // per-frame path below
             };
-            execute_batch_runs(session, tokens, reqs, &mut sink);
-            let written = sink.written;
-            if written != f.len {
-                conn.wr.truncate(mark);
-                conn.dead = true;
-                continue;
-            }
-            finish_batch(&mut conn.wr, mark, written);
-            ops.fetch_add(f.len as u64, Ordering::Relaxed);
+            plans.push(ConnPlan {
+                slot,
+                runs,
+                frames: i..j,
+                fidx: i,
+                emitted: 0,
+                mark: 0,
+                open: false,
+            });
         }
+        i = j;
     }
-}
 
-/// Classifies one connection's pending frames for aggregation. The rule
-/// that keeps aggregation invisible to clients: a connection only joins
-/// a merged run when doing so cannot reorder its own stream — all-get
-/// contributions commute with each other, and all-put contributions
-/// commute unless the same key appears twice (then frame order fixes
-/// the winner, so such a connection executes sequentially).
-fn classify(buf: &FrameBuf, frames: std::ops::Range<usize>) -> Plan {
-    let mut all_get = true;
-    let mut all_put = true;
-    for f in &buf.frames[frames.clone()] {
-        if f.len == 0 {
-            // Degenerate empty frame: the per-frame path answers it.
-            return Plan::Seq;
-        }
-        for r in &buf.reqs[f.start..f.start + f.len] {
-            match r {
-                Request::Get { .. } => all_put = false,
-                Request::Put { .. } => all_get = false,
-                _ => return Plan::Seq,
+    // ---- aggregation off: the per-frame path ----
+    if !aggregate {
+        for plan in &plans {
+            for fi in plan.frames.clone() {
+                let f = &buf.frames[fi];
+                let conn = conns[f.slot].as_mut().expect("live conn");
+                if conn.dead {
+                    continue;
+                }
+                let reqs = take_frame_reqs(&mut buf.reqs, f);
+                let tokens = cursors.entry(conn.id).or_default();
+                let mut ctx = ExecCtx {
+                    tokens,
+                    redirect,
+                    loads,
+                };
+                let mark = begin_batch(&mut conn.wr);
+                let mut sink = WireSink {
+                    out: &mut conn.wr,
+                    written: 0,
+                };
+                execute_batch_runs(session, &mut ctx, reqs, &mut sink);
+                let written = sink.written;
+                if written != f.len {
+                    conn.wr.truncate(mark);
+                    conn.dead = true;
+                    continue;
+                }
+                finish_batch(&mut conn.wr, mark, written);
+                ops.fetch_add(f.len as u64, Ordering::Relaxed);
             }
         }
-        if !all_get && !all_put {
-            return Plan::Seq;
+        return;
+    }
+
+    // ---- phase loop ----
+    let phases = plans.iter().map(|p| p.runs.len()).max().unwrap_or(0);
+    for phase in 0..phases {
+        // Merged put run: flatten every connection's phase-`phase` put
+        // run (intra-connection duplicate keys were already split into
+        // later phases; cross-connection duplicates carry no ordering
+        // obligation), one multi_put, then demux the versions.
+        {
+            let mut flat: Vec<&Request> = Vec::new();
+            // (plan index, put count) per contributing connection.
+            let mut segs: Vec<(usize, usize)> = Vec::new();
+            for (pi, p) in plans.iter().enumerate() {
+                let Some((mtkv::RunKind::Put, r)) = p.runs.get(phase) else {
+                    continue;
+                };
+                flat.extend(buf.reqs[r.clone()].iter());
+                segs.push((pi, r.len()));
+            }
+            if !flat.is_empty() {
+                let updates: Vec<Vec<(usize, &[u8])>> = flat
+                    .iter()
+                    .map(|r| match r {
+                        Request::Put { cols, .. } => cols
+                            .iter()
+                            .map(|(i, d)| (*i as usize, d.as_slice()))
+                            .collect(),
+                        _ => unreachable!("put runs hold only puts"),
+                    })
+                    .collect();
+                let put_ops: Vec<mtkv::PutOp<'_>> = flat
+                    .iter()
+                    .zip(&updates)
+                    .map(|(r, u)| match r {
+                        Request::Put { key, .. } => (key.as_slice(), u.as_slice()),
+                        _ => unreachable!("put runs hold only puts"),
+                    })
+                    .collect();
+                let versions = session.multi_put(&put_ops);
+                let mut v = versions.iter();
+                for &(pi, count) in &segs {
+                    let plan = &mut plans[pi];
+                    let conn = conns[plan.slot].as_mut().expect("live conn");
+                    for _ in 0..count {
+                        plan.begin_response(&mut conn.wr, &buf.frames);
+                        Response::PutOk(*v.next().expect("one version per put"))
+                            .encode(&mut conn.wr);
+                        plan.end_response(&mut conn.wr, &buf.frames, ops);
+                    }
+                }
+            }
+        }
+
+        // Merged get run: one multi_get over every connection's
+        // phase-`phase` get run; the visitor runs in input order, so
+        // each response serializes zero-copy straight into its owning
+        // connection's output buffer via the emitter.
+        {
+            let mut get_keys: Vec<&[u8]> = Vec::new();
+            let mut get_cols: Vec<Option<&[u16]>> = Vec::new();
+            // (plan index, end index in get_keys) per contribution.
+            let mut segs: Vec<(usize, usize)> = Vec::new();
+            for (pi, p) in plans.iter().enumerate() {
+                let Some((mtkv::RunKind::Get, r)) = p.runs.get(phase) else {
+                    continue;
+                };
+                for req in &buf.reqs[r.clone()] {
+                    match req {
+                        Request::Get { key, cols } => {
+                            get_keys.push(key.as_slice());
+                            get_cols.push(cols.as_deref());
+                        }
+                        _ => unreachable!("get runs hold only gets"),
+                    }
+                }
+                segs.push((pi, get_keys.len()));
+            }
+            if !get_keys.is_empty() {
+                let mut si = 0usize;
+                session.multi_get_with(&get_keys, |i, hit| {
+                    while i >= segs[si].1 {
+                        si += 1;
+                    }
+                    let plan = &mut plans[segs[si].0];
+                    let conn = conns[plan.slot].as_mut().expect("live conn");
+                    plan.begin_response(&mut conn.wr, &buf.frames);
+                    write_get_response(&mut conn.wr, hit, get_cols[i]);
+                    plan.end_response(&mut conn.wr, &buf.frames, ops);
+                });
+            }
+        }
+
+        // Non-groupable runs: single-request execution, in place.
+        for plan in &mut plans {
+            let Some((mtkv::RunKind::Other, r)) = plan.runs.get(phase).cloned() else {
+                continue;
+            };
+            let conn = conns[plan.slot].as_mut().expect("live conn");
+            let tokens = cursors.entry(conn.id).or_default();
+            let mut ctx = ExecCtx {
+                tokens,
+                redirect,
+                loads,
+            };
+            for idx in r {
+                let req =
+                    std::mem::replace(&mut buf.reqs[idx], Request::Remove { key: Vec::new() });
+                plan.begin_response(&mut conn.wr, &buf.frames);
+                execute_into_tokens(session, &mut ctx, req, &mut conn.wr);
+                plan.end_response(&mut conn.wr, &buf.frames, ops);
+            }
         }
     }
-    if all_get {
-        return Plan::GetAgg;
+
+    // Trailing zero-request frames still owe their empty batch replies.
+    for plan in &mut plans {
+        let conn = conns[plan.slot].as_mut().expect("live conn");
+        plan.finish(&mut conn.wr, &buf.frames);
     }
-    // All puts: reject intra-connection duplicate keys (batch order must
-    // decide the surviving write; the merged run leaves it unspecified).
-    let mut keys: Vec<&[u8]> = buf.frames[frames]
-        .iter()
-        .flat_map(|f| &buf.reqs[f.start..f.start + f.len])
-        .map(|r| match r {
-            Request::Put { key, .. } => key.as_slice(),
-            _ => unreachable!("checked all-put above"),
-        })
-        .collect();
-    keys.sort_unstable();
-    if keys.windows(2).any(|w| w[0] == w[1]) {
-        return Plan::Seq;
-    }
-    Plan::PutAgg
 }
 
 /// Where a batch executor's responses go: owned [`Response`]s (the
@@ -1066,7 +1270,7 @@ trait ResponseSink {
     /// Emits one put result.
     fn put_ok(&mut self, version: u64);
     /// Executes and emits one non-groupable request.
-    fn single(&mut self, session: &Session, tokens: &mut ScanTokens, req: Request);
+    fn single(&mut self, session: &Session, ctx: &mut ExecCtx<'_>, req: Request);
 }
 
 /// Materializes owned [`Response`]s (copying the selected columns).
@@ -1089,8 +1293,8 @@ impl ResponseSink for OwnedSink {
         self.0.push(Response::PutOk(version));
     }
 
-    fn single(&mut self, session: &Session, tokens: &mut ScanTokens, req: Request) {
-        self.0.push(execute_tokens(session, tokens, req));
+    fn single(&mut self, session: &Session, ctx: &mut ExecCtx<'_>, req: Request) {
+        self.0.push(execute_tokens(session, ctx, req));
     }
 }
 
@@ -1111,8 +1315,8 @@ impl ResponseSink for WireSink<'_> {
         self.written += 1;
     }
 
-    fn single(&mut self, session: &Session, tokens: &mut ScanTokens, req: Request) {
-        execute_into_tokens(session, tokens, req, self.out);
+    fn single(&mut self, session: &Session, ctx: &mut ExecCtx<'_>, req: Request) {
+        execute_into_tokens(session, ctx, req, self.out);
         self.written += 1;
     }
 }
@@ -1129,15 +1333,18 @@ impl ResponseSink for WireSink<'_> {
 /// order would otherwise be unspecified).
 fn execute_batch_runs<S: ResponseSink>(
     session: &Session,
-    tokens: &mut ScanTokens,
+    ctx: &mut ExecCtx<'_>,
     mut reqs: Vec<Request>,
     sink: &mut S,
 ) {
+    // On a read-only replica puts classify as Other so the single path
+    // answers the typed redirect instead of writing.
+    let redirecting = ctx.redirect.is_some();
     let runs = mtkv::split_batch_runs(
         &reqs,
         |r| match r {
             Request::Get { .. } => mtkv::RunKind::Get,
-            Request::Put { .. } => mtkv::RunKind::Put,
+            Request::Put { .. } if !redirecting => mtkv::RunKind::Put,
             _ => mtkv::RunKind::Other,
         },
         |r| match r {
@@ -1196,7 +1403,7 @@ fn execute_batch_runs<S: ResponseSink>(
                 for idx in range {
                     let req =
                         std::mem::replace(&mut reqs[idx], Request::Remove { key: Vec::new() });
-                    sink.single(session, tokens, req);
+                    sink.single(session, ctx, req);
                 }
             }
         }
@@ -1207,7 +1414,12 @@ fn execute_batch_runs<S: ResponseSink>(
 /// responses. See [`execute_batch_runs`] for the grouping semantics.
 pub fn execute_batch(session: &Session, reqs: Vec<Request>) -> Vec<Response> {
     let mut sink = OwnedSink(Vec::with_capacity(reqs.len()));
-    execute_batch_runs(session, &mut ScanTokens::new(), reqs, &mut sink);
+    execute_batch_runs(
+        session,
+        &mut ExecCtx::standalone(&mut ScanTokens::new()),
+        reqs,
+        &mut sink,
+    );
     sink.0
 }
 
@@ -1220,7 +1432,12 @@ pub fn execute_batch(session: &Session, reqs: Vec<Request>) -> Vec<Response> {
 /// `Vec<Response>` payloads. Returns the number of responses written.
 pub fn execute_batch_into(session: &Session, reqs: Vec<Request>, out: &mut Vec<u8>) -> usize {
     let mut sink = WireSink { out, written: 0 };
-    execute_batch_runs(session, &mut ScanTokens::new(), reqs, &mut sink);
+    execute_batch_runs(
+        session,
+        &mut ExecCtx::standalone(&mut ScanTokens::new()),
+        reqs,
+        &mut sink,
+    );
     sink.written
 }
 
@@ -1229,88 +1446,123 @@ pub fn execute_batch_into(session: &Session, reqs: Vec<Request>, out: &mut Vec<u
 /// borrowed under the epoch guard (via `get_with` / `get_range_with`);
 /// puts and removes encode their small fixed-size replies.
 pub fn execute_into(session: &Session, req: Request, out: &mut Vec<u8>) {
-    execute_into_tokens(session, &mut ScanTokens::new(), req, out)
+    execute_into_tokens(
+        session,
+        &mut ExecCtx::standalone(&mut ScanTokens::new()),
+        req,
+        out,
+    )
 }
 
-/// [`execute_into`] with the connection's scan-token cursors, so
+/// [`execute_into`] with the connection's execution context, so
 /// resumable `Scan` requests re-enter the tree at their remembered
-/// border nodes.
-fn execute_into_tokens(
-    session: &Session,
-    tokens: &mut ScanTokens,
-    req: Request,
-    out: &mut Vec<u8>,
-) {
+/// border nodes and replica mode refuses writes.
+fn execute_into_tokens(session: &Session, ctx: &mut ExecCtx<'_>, req: Request, out: &mut Vec<u8>) {
     match req {
         Request::Get { key, cols } => {
             session.get_with(&key, |hit| write_get_response(out, hit, cols.as_deref()));
         }
         Request::Put { key, cols } => {
+            if let Some(resp) = ctx.refuse_write() {
+                return resp.encode(out);
+            }
             let updates: Vec<(usize, &[u8])> = cols
                 .iter()
                 .map(|(i, d)| (*i as usize, d.as_slice()))
                 .collect();
             Response::PutOk(session.put(&key, &updates)).encode(out);
         }
-        Request::Remove { key } => Response::RemoveOk(session.remove(&key)).encode(out),
+        Request::Remove { key } => {
+            if let Some(resp) = ctx.refuse_write() {
+                return resp.encode(out);
+            }
+            Response::RemoveOk(session.remove(&key)).encode(out)
+        }
         Request::Scan {
             key,
             count,
             cols,
             resume,
         } => {
-            let mut rows = RowsWriter::begin(out);
-            scan_with_tokens(session, tokens, &key, count, resume, |k, v| match &cols {
-                None => rows.push_row(
-                    k,
-                    v.ncols(),
-                    (0..v.ncols()).map(|c| v.col(c).unwrap_or(&[])),
-                ),
-                Some(ids) => rows.push_row(
-                    k,
-                    ids.len(),
-                    ids.iter().map(|&c| v.col(c as usize).unwrap_or(&[])),
-                ),
-            });
-            rows.finish();
+            let start = out.len();
+            let ok =
+                {
+                    let mut rows = RowsWriter::begin(out);
+                    let ok = scan_with_tokens(session, ctx.tokens, &key, count, resume, |k, v| {
+                        match &cols {
+                            None => rows.push_row(
+                                k,
+                                v.ncols(),
+                                (0..v.ncols()).map(|c| v.col(c).unwrap_or(&[])),
+                            ),
+                            Some(ids) => rows.push_row(
+                                k,
+                                ids.len(),
+                                ids.iter().map(|&c| v.col(c as usize).unwrap_or(&[])),
+                            ),
+                        }
+                    });
+                    if ok {
+                        rows.finish();
+                    }
+                    ok
+                };
+            if !ok {
+                out.truncate(start);
+                Response::Err(UNKNOWN_SCAN_TOKEN.into()).encode(out);
+            }
         }
         // Admin requests: small fixed-size replies, no zero-copy need.
         req @ (Request::Stats | Request::Flush | Request::Sync) => {
-            execute(session, req).encode(out)
+            execute_tokens(session, ctx, req).encode(out)
         }
     }
 }
 
-/// Runs one scan chunk, resuming from the connection's token cursor
-/// when `resume` names one. `key` is the fallback start, used only
-/// when the token has no cursor — the stream's first chunk, or a
-/// cursor evicted at the [`MAX_SCAN_TOKENS`] cap (which is why clients
-/// are told to pass their continuation key on follow-ups: an eviction
-/// then degrades to one descent, not a silent re-stream). Evictions are
-/// least-recently-used and counted (`cache_scan_evictions` in the wire
-/// stats). Token-less scans take the session's transparent
-/// start-key-matched cursor cache instead.
+/// The typed error a `Resume` with no live cursor receives.
+const UNKNOWN_SCAN_TOKEN: &str = "unknown scan token";
+
+/// Runs one scan chunk. `Start(token)` descends from `key` and
+/// registers (or overwrites) the cursor under the token; `Resume(token)`
+/// requires a live cursor and returns `false` — the caller answers
+/// [`Response::Err`] — when there is none (never started on this
+/// connection, or evicted at the [`MAX_SCAN_TOKENS`] LRU cap). The
+/// strictness matters across reconnects: tokens are connection-scoped,
+/// so a reconnected client resuming blindly gets a clean typed error
+/// instead of silently re-streaming — or worse, silently adopting
+/// state it never registered. Evictions are least-recently-used and
+/// counted (`cache_scan_evictions` in the wire stats). Token-less
+/// scans take the session's transparent start-key-matched cursor cache
+/// instead.
 fn scan_with_tokens<F>(
     session: &Session,
     tokens: &mut ScanTokens,
     key: &[u8],
     count: u32,
-    resume: Option<u64>,
+    resume: Option<ScanResume>,
     f: F,
-) where
+) -> bool
+where
     F: FnMut(&[u8], &mtkv::ColValue),
 {
-    let Some(token) = resume else {
-        session.get_range_with(key, count as usize, f);
-        return;
+    let (mut cursor, token) = match resume {
+        None => {
+            session.get_range_with(key, count as usize, f);
+            return true;
+        }
+        Some(ScanResume::Start(token)) => (session.scan_cursor(key), token),
+        Some(ScanResume::Resume(token)) => match tokens.take(token) {
+            Some(cursor) => (cursor, token),
+            None => return false,
+        },
     };
-    let mut cursor = tokens
-        .take(token)
-        .unwrap_or_else(|| session.scan_cursor(key));
     session.get_range_resumed(&mut cursor, count as usize, f);
-    if !cursor.is_done() && tokens.insert(token, cursor) {
+    // Exhausted cursors stay registered (as done) so a trailing Resume
+    // reads a clean empty chunk rather than an unknown-token error.
+    if tokens.insert(token, cursor) {
         session.store().note_scan_evictions(1);
     }
+    true
 }
 
 /// Writes a get's `Response::Value` wire bytes from a borrowed value,
@@ -1337,11 +1589,23 @@ fn write_get_response(out: &mut Vec<u8>, hit: Option<&mtkv::ColValue>, cols: Opt
 /// `Scan` requests fall back to fresh scans; the server's per-connection
 /// state routes them through [`StoreConn`] instead).
 pub fn execute(session: &Session, req: Request) -> Response {
-    execute_tokens(session, &mut ScanTokens::new(), req)
+    execute_tokens(
+        session,
+        &mut ExecCtx::standalone(&mut ScanTokens::new()),
+        req,
+    )
 }
 
-/// [`execute`] with the connection's scan-token cursors.
-fn execute_tokens(session: &Session, tokens: &mut ScanTokens, req: Request) -> Response {
+/// [`execute`] with the connection's execution context.
+fn execute_tokens(session: &Session, ctx: &mut ExecCtx<'_>, req: Request) -> Response {
+    if let Some(resp) = ctx.refuse_write() {
+        if matches!(
+            req,
+            Request::Put { .. } | Request::Remove { .. } | Request::Flush | Request::Sync
+        ) {
+            return resp;
+        }
+    }
     match req {
         Request::Get { key, cols } => {
             let ids: Option<Vec<usize>> = cols.map(|c| c.iter().map(|&i| i as usize).collect());
@@ -1363,7 +1627,7 @@ fn execute_tokens(session: &Session, tokens: &mut ScanTokens, req: Request) -> R
         } => {
             let ids: Option<Vec<usize>> = cols.map(|c| c.iter().map(|&i| i as usize).collect());
             let mut rows = Vec::with_capacity((count as usize).min(1024));
-            scan_with_tokens(session, tokens, &key, count, resume, |k, v| {
+            let ok = scan_with_tokens(session, ctx.tokens, &key, count, resume, |k, v| {
                 let row = match &ids {
                     None => v.cols(),
                     Some(ids) => ids
@@ -1373,9 +1637,12 @@ fn execute_tokens(session: &Session, tokens: &mut ScanTokens, req: Request) -> R
                 };
                 rows.push((k.to_vec(), row));
             });
+            if !ok {
+                return Response::Err(UNKNOWN_SCAN_TOKEN.into());
+            }
             Response::Rows(rows)
         }
-        Request::Stats => Response::Stats(gather_stats(session)),
+        Request::Stats => Response::Stats(gather_stats(session, ctx.loads)),
         Request::Flush => {
             // Make this connection's log durable, then run one full
             // durability cycle: checkpoint, truncate covered segments,
@@ -1391,7 +1658,7 @@ fn execute_tokens(session: &Session, tokens: &mut ScanTokens, req: Request) -> R
                     return Response::Err(format!("flush failed: durability cycle: {e}"));
                 }
             }
-            Response::Stats(gather_stats(session))
+            Response::Stats(gather_stats(session, ctx.loads))
         }
         Request::Sync => {
             // Group-commit barrier only (§5's per-core log force): make
@@ -1401,7 +1668,7 @@ fn execute_tokens(session: &Session, tokens: &mut ScanTokens, req: Request) -> R
             if !session.force_log() {
                 return Response::Err("sync failed: log writer is dead (I/O error)".into());
             }
-            Response::Stats(gather_stats(session))
+            Response::Stats(gather_stats(session, ctx.loads))
         }
     }
 }
@@ -1416,9 +1683,11 @@ fn execute_tokens(session: &Session, tokens: &mut ScanTokens, req: Request) -> R
 /// only every 256 events and on drop, so a `Stats` request used to see
 /// other connections' traffic late — and only its own connection's
 /// counters freshly.)
-fn gather_stats(session: &Session) -> StatsReply {
+fn gather_stats(session: &Session, loads: &[WorkerLoad]) -> StatsReply {
     let s = session.store().durability_stats();
     let c = session.store().cache_stats();
+    let (repl_role, repl_followers, repl_lag_bytes, repl_lag_ts_us) =
+        session.store().repl_stats().snapshot();
     StatsReply {
         checkpoints: s.checkpoints,
         last_checkpoint_start_ts: s.last_checkpoint_start_ts,
@@ -1432,5 +1701,13 @@ fn gather_stats(session: &Session) -> StatsReply {
         cache_write_stale: c.write_stale,
         cache_scan_resumes: c.scan_resumes,
         cache_scan_evictions: c.scan_evictions,
+        repl_role,
+        repl_followers,
+        repl_lag_bytes,
+        repl_lag_ts_us,
+        worker_conns: loads
+            .iter()
+            .map(|l| l.conns.load(Ordering::Relaxed))
+            .collect(),
     }
 }

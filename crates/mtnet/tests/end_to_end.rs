@@ -82,7 +82,14 @@ fn stats_on_in_memory_store_is_all_zero() {
     let mut c = Client::connect(server.addr()).unwrap();
     c.put(b"k", vec![(0, b"v".to_vec())]).unwrap();
     let s = c.stats().unwrap();
-    assert_eq!(s, mtnet::StatsReply::default());
+    // Everything durability/replication-related is zero; the live
+    // per-worker connection counts must still see this one connection.
+    assert_eq!(s.worker_conns.iter().sum::<u64>(), 1, "{s:?}");
+    let expect = mtnet::StatsReply {
+        worker_conns: s.worker_conns.clone(),
+        ..Default::default()
+    };
+    assert_eq!(s, expect);
     // Flush is a harmless no-op without a log dir.
     let s = c.flush().unwrap();
     assert_eq!(s.checkpoints, 0);
@@ -601,8 +608,14 @@ fn scan_resume_token_streams_a_range_in_chunks() {
     // continues exactly where the previous stopped, with no duplicates
     // and no gaps, until a short chunk signals exhaustion.
     let mut streamed = Vec::new();
+    let mut first = true;
     loop {
-        let rows = c.scan_resume(b"sr", 64, None, 7).unwrap();
+        let rows = if first {
+            first = false;
+            c.scan_start(b"sr", 64, None, 7).unwrap()
+        } else {
+            c.scan_resume(b"sr", 64, None, 7).unwrap()
+        };
         let n = rows.len();
         streamed.extend(rows);
         if n < 64 {
@@ -612,8 +625,8 @@ fn scan_resume_token_streams_a_range_in_chunks() {
     assert_eq!(streamed, full, "chunked token stream equals one big scan");
 
     // Interleaved second stream under a different token is independent.
-    let first_a = c.scan_resume(b"sr0100", 5, None, 1).unwrap();
-    let first_b = c.scan_resume(b"sr0200", 5, None, 2).unwrap();
+    let first_a = c.scan_start(b"sr0100", 5, None, 1).unwrap();
+    let first_b = c.scan_start(b"sr0200", 5, None, 2).unwrap();
     let second_a = c.scan_resume(b"", 5, None, 1).unwrap();
     assert_eq!(first_a[0].0, b"sr0100");
     assert_eq!(first_b[0].0, b"sr0200");
@@ -640,7 +653,11 @@ fn scan_resume_token_survives_interleaved_writes() {
     let mut seen: Vec<Vec<u8>> = Vec::new();
     let mut round = 0u32;
     loop {
-        let rows = c.scan_resume(b"iw", 16, None, 99).unwrap();
+        let rows = if round == 0 {
+            c.scan_start(b"iw", 16, None, 99).unwrap()
+        } else {
+            c.scan_resume(b"iw", 16, None, 99).unwrap()
+        };
         let n = rows.len();
         seen.extend(rows.into_iter().map(|(k, _)| k));
         // Churn between chunks: inserts ahead/behind and removes force
@@ -667,4 +684,126 @@ fn scan_resume_token_survives_interleaved_writes() {
             w[1]
         );
     }
+}
+
+#[test]
+fn oversized_frame_gets_typed_error_then_clean_close() {
+    use std::io::Write;
+    let server = start_in_memory();
+    let mut s = std::net::TcpStream::connect(server.addr()).unwrap();
+    // Declared frame length far past the 256 MiB cap. The old behavior
+    // was a silent drop: the worker marked the connection dead and the
+    // client hung waiting for a reply that never came.
+    s.write_all(&(300u32 << 20).to_le_bytes()).unwrap();
+    s.write_all(&1u32.to_le_bytes()).unwrap();
+    s.flush().unwrap();
+    let mut r = std::io::BufReader::new(s.try_clone().unwrap());
+    let (count, body) = mtnet::proto::read_batch(&mut r)
+        .unwrap()
+        .expect("a typed error batch must precede the close");
+    assert_eq!(count, 1);
+    let mut p = &body[..];
+    match Response::decode(&mut p) {
+        Some(Response::Err(msg)) => {
+            assert!(msg.contains("bad"), "error names the cause: {msg}")
+        }
+        other => panic!("expected Response::Err, got {other:?}"),
+    }
+    // Then a clean EOF — never a hung connection.
+    assert!(
+        mtnet::proto::read_batch(&mut r).unwrap().is_none(),
+        "server closes cleanly after the error reply"
+    );
+}
+
+#[test]
+fn undecodable_request_gets_typed_error_after_earlier_frames() {
+    use std::io::Write;
+    let server = start_in_memory();
+    let mut good = Client::connect(server.addr()).unwrap();
+    good.put(b"poison/keep", vec![(0, b"v".to_vec())]).unwrap();
+
+    let mut s = std::net::TcpStream::connect(server.addr()).unwrap();
+    // First a valid single-Get frame, then a frame whose body is not a
+    // decodable request. The valid frame's reply must still arrive
+    // before the typed error and the close (drain-then-close).
+    let mut body = Vec::new();
+    Request::Get {
+        key: b"poison/keep".to_vec(),
+        cols: None,
+    }
+    .encode(&mut body);
+    s.write_all(&mtnet::proto::frame_batch(1, &body)).unwrap();
+    let garbage = [0xFFu8, 0xEE, 0xDD];
+    s.write_all(&mtnet::proto::frame_batch(1, &garbage))
+        .unwrap();
+    s.flush().unwrap();
+
+    let mut r = std::io::BufReader::new(s.try_clone().unwrap());
+    let (count, body) = mtnet::proto::read_batch(&mut r)
+        .unwrap()
+        .expect("get reply");
+    assert_eq!(count, 1);
+    let mut p = &body[..];
+    assert!(
+        matches!(Response::decode(&mut p), Some(Response::Value(Some(_)))),
+        "frame parsed before the poison still gets its reply"
+    );
+    let (count, body) = mtnet::proto::read_batch(&mut r)
+        .unwrap()
+        .expect("error batch");
+    assert_eq!(count, 1);
+    let mut p = &body[..];
+    match Response::decode(&mut p) {
+        Some(Response::Err(msg)) => assert!(msg.contains("bad"), "{msg}"),
+        other => panic!("expected Response::Err, got {other:?}"),
+    }
+    assert!(mtnet::proto::read_batch(&mut r).unwrap().is_none());
+}
+
+#[test]
+fn scan_tokens_do_not_survive_reconnect() {
+    let server = start_in_memory();
+    let mut a = Client::connect(server.addr()).unwrap();
+    for i in 0..100u32 {
+        a.put(format!("tk{i:04}").as_bytes(), vec![(0, b"v".to_vec())])
+            .unwrap();
+    }
+    let rows = a.scan_start(b"tk", 10, None, 5).unwrap();
+    assert_eq!(rows.len(), 10);
+    drop(a);
+
+    // A reconnecting client presenting the old token must get a clean
+    // typed error — never another connection's cursor position.
+    let mut b = Client::connect(server.addr()).unwrap();
+    let err = b.scan_resume(b"tk", 10, None, 5).unwrap_err();
+    assert!(
+        err.to_string().contains("unknown scan token"),
+        "strict resume across reconnect: {err}"
+    );
+    // Recovery path: a fresh Start at the continuation key works.
+    let rows = b.scan_start(b"tk0010", 10, None, 5).unwrap();
+    assert_eq!(rows[0].0, b"tk0010");
+}
+
+#[test]
+fn evicted_scan_token_errors_instead_of_restarting() {
+    let server = start_in_memory();
+    let mut c = Client::connect(server.addr()).unwrap();
+    for i in 0..100u32 {
+        c.put(format!("ev{i:04}").as_bytes(), vec![(0, b"v".to_vec())])
+            .unwrap();
+    }
+    // Open one stream, then push it past the per-connection cursor cap.
+    c.scan_start(b"ev", 5, None, 0).unwrap();
+    for t in 1..=64u64 {
+        c.scan_start(b"ev", 5, None, t).unwrap();
+    }
+    let err = c.scan_resume(b"", 5, None, 0).unwrap_err();
+    assert!(
+        err.to_string().contains("unknown scan token"),
+        "evicted token must error, not restart: {err}"
+    );
+    let s = c.stats().unwrap();
+    assert!(s.cache_scan_evictions > 0, "{s:?}");
 }

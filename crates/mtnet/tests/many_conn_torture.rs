@@ -110,14 +110,19 @@ impl Driver {
                 if self.scan_pos >= SCAN_KEYS {
                     self.scan_pos = 0;
                 }
-                // Continuation key, as the protocol docs instruct: an
-                // evicted cursor then costs one descent, not a restart.
+                // Start (re-)descends at the stream head or after a
+                // wrap; Resume rides the registered cursor otherwise.
+                let resume = if self.scan_pos == 0 {
+                    mtnet::ScanResume::Start(self.tag)
+                } else {
+                    mtnet::ScanResume::Resume(self.tag)
+                };
                 self.client
                     .send_one(&Request::Scan {
                         key: scan_key(self.scan_pos),
                         count: SCAN_CHUNK as u32,
                         cols: None,
-                        resume: Some(self.tag),
+                        resume: Some(resume),
                     })
                     .unwrap();
                 let count = SCAN_CHUNK.min(SCAN_KEYS - self.scan_pos);
@@ -176,6 +181,7 @@ fn many_pipelined_connections_torture() {
             ServerConfig {
                 workers: WORKERS,
                 aggregate: true,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -245,7 +251,7 @@ fn many_pipelined_connections_torture() {
             let mut c = Client::connect(addr).unwrap();
             for token in 0..100u64 {
                 let rows = c
-                    .scan_resume(&scan_key(0), SCAN_CHUNK as u32, None, 1_000_000 + token)
+                    .scan_start(&scan_key(0), SCAN_CHUNK as u32, None, 1_000_000 + token)
                     .unwrap();
                 assert_eq!(rows.len(), SCAN_CHUNK);
             }

@@ -52,6 +52,26 @@ fn main() {
                 );
             }
         }
+        "stats" => {
+            // One line per field so scripts can grep a single value
+            // (CI polls `repl_lag_bytes` to wait for follower catch-up).
+            let s = client.stats().unwrap();
+            println!("checkpoints: {}", s.checkpoints);
+            println!("log_bytes: {}", s.log_bytes);
+            println!("log_segments: {}", s.log_segments);
+            println!("repl_role: {}", s.repl_role);
+            println!("repl_followers: {}", s.repl_followers);
+            println!("repl_lag_bytes: {}", s.repl_lag_bytes);
+            println!("repl_lag_ts_us: {}", s.repl_lag_ts_us);
+            println!(
+                "worker_conns: {}",
+                s.worker_conns
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+        }
         "bench" => {
             // Pipelined batched puts + gets: the paper's §7 client style.
             let n: u64 = args.get(3).and_then(|v| v.parse().ok()).unwrap_or(100_000);
@@ -95,7 +115,7 @@ fn main() {
             );
         }
         _ => {
-            eprintln!("usage: kv_client <addr> get|put|remove|scan|bench ...");
+            eprintln!("usage: kv_client <addr> get|put|remove|scan|stats|bench ...");
         }
     }
 }

@@ -8,20 +8,73 @@
 //! Then drive it with `kv_client`, or embed `mtnet::Client` in your own
 //! program. If the data directory already holds logs/checkpoints, the
 //! server recovers from them before serving.
+//!
+//! Replication:
+//!
+//! * `MT_REPL_LISTEN=<addr>` makes the server a **primary**: it streams
+//!   its log (sealed segments + live tail) to any follower that
+//!   connects to `<addr>`.
+//! * `--follow <primary-repl-addr>` makes the server a **follower**: a
+//!   read replica that replays the primary's log stream into its own
+//!   tree and serves gets/scans, answering every write with a typed
+//!   redirect naming the primary (`MT_REDIRECT=<addr>` overrides the
+//!   advertised address). The data directory holds the follower's
+//!   mirrored segments and replay watermark, so a restarted follower
+//!   resumes where it left off.
+//!
+//! ```sh
+//! MT_REPL_LISTEN=127.0.0.1:7800 cargo run --release --example kv_server \
+//!     -- 127.0.0.1:7700 /tmp/mtprimary
+//! cargo run --release --example kv_server \
+//!     -- 127.0.0.1:7701 /tmp/mtreplica --follow 127.0.0.1:7800
+//! ```
 
 use std::path::PathBuf;
 
 use mtkv::recover;
-use mtnet::{Server, ServerConfig};
+use mtnet::{Follower, ReplSource, Server, ServerConfig};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let addr = args
-        .get(1)
+    let mut follow: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--follow" {
+            follow = Some(args.next().expect("--follow <primary-repl-addr>"));
+        } else {
+            positional.push(arg);
+        }
+    }
+    let addr = positional
+        .first()
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:7700".into());
-    let dir = PathBuf::from(args.get(2).cloned().unwrap_or_else(|| "/tmp/mtdata".into()));
+    let dir = PathBuf::from(
+        positional
+            .get(1)
+            .cloned()
+            .unwrap_or_else(|| "/tmp/mtdata".into()),
+    );
     std::fs::create_dir_all(&dir).expect("create data dir");
+
+    // Event-loop worker pool: MT_SERVER_WORKERS=<n> fixes the worker
+    // count (0/unset = available_parallelism); MT_SERVER_AGGREGATE=0|1
+    // (default 1) gates cross-connection batch aggregation, so the
+    // per-frame path stays reachable for comparison and debugging.
+    let workers: usize = std::env::var("MT_SERVER_WORKERS")
+        .ok()
+        .map(|v| v.parse().expect("MT_SERVER_WORKERS=<count>"))
+        .unwrap_or(0);
+    let aggregate = match std::env::var("MT_SERVER_AGGREGATE").as_deref() {
+        Ok("0") => false,
+        Ok("1") | Err(_) => true,
+        Ok(other) => panic!("MT_SERVER_AGGREGATE must be 0 or 1, got {other:?}"),
+    };
+
+    if let Some(primary) = follow {
+        run_follower(&addr, &dir, &primary, workers, aggregate);
+        return;
+    }
 
     // Recover anything a previous run left behind (§5).
     let (store, report) = recover(&dir, &dir).expect("recovery");
@@ -57,20 +110,19 @@ fn main() {
         );
     }
 
-    // Event-loop worker pool: MT_SERVER_WORKERS=<n> fixes the worker
-    // count (0/unset = available_parallelism); MT_SERVER_AGGREGATE=0|1
-    // (default 1) gates cross-connection batch aggregation, so the
-    // per-frame path stays reachable for comparison and debugging.
-    let workers: usize = std::env::var("MT_SERVER_WORKERS")
-        .ok()
-        .map(|v| v.parse().expect("MT_SERVER_WORKERS=<count>"))
-        .unwrap_or(0);
-    let aggregate = match std::env::var("MT_SERVER_AGGREGATE").as_deref() {
-        Ok("0") => false,
-        Ok("1") | Err(_) => true,
-        Ok(other) => panic!("MT_SERVER_AGGREGATE must be 0 or 1, got {other:?}"),
+    // Primary replication endpoint: followers connect here and stream
+    // the log. Held for the server's lifetime.
+    let _repl_source = std::env::var("MT_REPL_LISTEN").ok().map(|repl_addr| {
+        let src = ReplSource::start(&store, &repl_addr).expect("replication listener");
+        println!("replication: primary streaming on {}", src.addr());
+        src
+    });
+
+    let config = ServerConfig {
+        workers,
+        aggregate,
+        redirect: None,
     };
-    let config = ServerConfig { workers, aggregate };
     let server = Server::start_with(store.clone(), &addr, config).expect("bind");
     println!("masstree server listening on {}", server.addr());
     println!(
@@ -99,6 +151,33 @@ fn main() {
                 Err(e) => eprintln!("checkpoint failed: {e}"),
             }
             last_ckpt = std::time::Instant::now();
+        }
+    }
+}
+
+/// Read-replica mode: replay the primary's log stream, serve reads,
+/// redirect writes.
+fn run_follower(addr: &str, dir: &std::path::Path, primary: &str, workers: usize, aggregate: bool) {
+    let follower = Follower::start(dir, primary).expect("start follower");
+    let redirect = std::env::var("MT_REDIRECT").unwrap_or_else(|_| primary.to_string());
+    let config = ServerConfig {
+        workers,
+        aggregate,
+        redirect: Some(redirect.clone()),
+    };
+    let server = Server::start_with(follower.store(), addr, config).expect("bind");
+    println!(
+        "masstree read replica listening on {} (following {}, writes redirect to {})",
+        server.addr(),
+        primary,
+        redirect
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(1));
+        follower.store().maintain();
+        let (lag_bytes, lag_ts_us) = follower.lag();
+        if lag_bytes > 0 {
+            println!("replica lag: {lag_bytes} bytes, {lag_ts_us} us");
         }
     }
 }
