@@ -57,6 +57,7 @@ mod scan;
 mod scan_rev;
 mod slab;
 mod tree;
+mod update;
 
 pub use anchor::{DescentAnchor, NodeRef};
 pub use batch::HintBatchScratch;
@@ -66,6 +67,7 @@ pub use put::AnchorStale;
 pub use scan::{ScanCursor, ScanResumeOutcome, ScanScratch};
 pub use stats::{Stats, StatsSnapshot};
 pub use tree::Masstree;
+pub use update::Update;
 
 pub use crossbeam::epoch::Guard;
 

@@ -1,0 +1,294 @@
+//! Conditional in-place updates: replace an **existing** key's value
+//! atomically, or decline without side effects.
+//!
+//! `put_with` cannot express "update only if still the value I saw" —
+//! its factory must produce a value even for an absent key, so a
+//! compare-and-swap built on it would resurrect a concurrently removed
+//! key. The value-separation GC relocates payloads out of mostly-dead
+//! segments and must install the relocated pointer **only** if the key
+//! still holds the exact version it read; these entry points give it
+//! that, riding the same locked border completion (and the same
+//! validated-anchor fast path) as every other write.
+
+use core::sync::atomic::Ordering;
+
+use crossbeam::epoch::Guard;
+
+use crate::gc;
+use crate::hint::LeafHint;
+use crate::key::{keylen_rank, KeyCursor, KEYLEN_LAYER, KEYLEN_SUFFIX, KEYLEN_UNSTABLE, SLICE_LEN};
+use crate::node::{BorderNode, BorderSearch, NodePtr};
+use crate::put::AnchorStale;
+use crate::suffix::KeySuffix;
+use crate::tree::{Masstree, Restart};
+
+/// Outcome of a conditional update ([`Masstree::update_with`] /
+/// [`Masstree::update_at_hint`]).
+#[derive(Debug)]
+pub enum Update<'g, V> {
+    /// The key was present and the closure produced a replacement; the
+    /// previous value is borrowed for the guard's lifetime.
+    Replaced(&'g V),
+    /// The key was present but the closure declined (returned `None`);
+    /// the resident value is untouched.
+    Kept,
+    /// The key is absent; the closure never ran and nothing changed.
+    Absent,
+}
+
+/// Border-level result: either the update finished here, or the key
+/// continues in a deeper trie layer.
+enum BorderUpdate<'g, V> {
+    Done(Update<'g, V>, Option<LeafHint<V>>),
+    Layer { root: NodePtr<V> },
+}
+
+impl<V: Send + Sync + 'static> Masstree<V> {
+    /// Atomically replaces `key`'s value with `f(current)` **iff the
+    /// key is present and `f` returns `Some`**. Unlike
+    /// [`Masstree::put_with`], an absent key is left absent — `f` runs
+    /// under the owning border node's lock at most once, so
+    /// `f(old)`-returns-`None` is a race-free way to express "only
+    /// update if the value is still the one I expect".
+    pub fn update_with<'g, F>(&self, key: &[u8], mut f: F, guard: &'g Guard) -> Update<'g, V>
+    where
+        F: FnMut(&V) -> Option<V>,
+    {
+        loop {
+            let mut k = KeyCursor::new(key);
+            match self.update_descend(&mut k, self.load_root(), &mut f, guard) {
+                Ok((u, _hint)) => return u,
+                Err(Restart) => continue,
+            }
+        }
+    }
+
+    /// [`Masstree::update_with`] entered at a hint's validated anchor
+    /// instead of a root-to-leaf descent (see
+    /// [`Masstree::put_at_hint`] for the anchor protocol). Also returns
+    /// the fresh anchor captured under the completion lock, when one
+    /// was capturable. Errors with [`AnchorStale`] — without running
+    /// `f` — when the anchor fails validation; fall back to
+    /// [`Masstree::update_with`].
+    #[allow(clippy::type_complexity)]
+    pub fn update_at_hint<'g, F>(
+        &self,
+        key: &[u8],
+        hint: &LeafHint<V>,
+        mut f: F,
+        guard: &'g Guard,
+    ) -> Result<(Update<'g, V>, Option<LeafHint<V>>), AnchorStale>
+    where
+        F: FnMut(&V) -> Option<V>,
+    {
+        let anchor = hint.anchor();
+        let offset = anchor.offset();
+        debug_assert!(offset.is_multiple_of(SLICE_LEN));
+        let mut k = KeyCursor::with_offset(key, offset);
+        let Some(bn) = anchor.lock_for_write(guard) else {
+            return Err(AnchorStale);
+        };
+        let bn = match self.walk_right_locked(bn, k.ikey()) {
+            Ok(bn) => bn,
+            Err(Restart) => return Err(AnchorStale),
+        };
+        match self.update_at_border(bn, &k, &mut f, guard) {
+            BorderUpdate::Done(u, h) => Ok((u, h)),
+            BorderUpdate::Layer { root } => {
+                k.advance();
+                match self.update_descend_from(&mut k, root, &mut f, guard) {
+                    Ok(r) => Ok(r),
+                    Err(Restart) => Err(AnchorStale),
+                }
+            }
+        }
+    }
+
+    /// Full-descent update loop (restartable from the tree root).
+    fn update_descend<'g>(
+        &self,
+        k: &mut KeyCursor<'_>,
+        root: NodePtr<V>,
+        f: &mut dyn FnMut(&V) -> Option<V>,
+        guard: &'g Guard,
+    ) -> Result<(Update<'g, V>, Option<LeafHint<V>>), Restart> {
+        self.update_descend_from(k, root, f, guard)
+    }
+
+    /// Descends from `root` (a tree or layer root), locking the
+    /// responsible border node of each layer and running the update
+    /// completion, following layer links down.
+    fn update_descend_from<'g>(
+        &self,
+        k: &mut KeyCursor<'_>,
+        mut root: NodePtr<V>,
+        f: &mut dyn FnMut(&V) -> Option<V>,
+        guard: &'g Guard,
+    ) -> Result<(Update<'g, V>, Option<LeafHint<V>>), Restart> {
+        loop {
+            let ikey = k.ikey();
+            let (start, _) = self.find_border(&mut root, ikey, guard)?;
+            let bn = self.lock_border_for_ikey(start, ikey)?;
+            match self.update_at_border(bn, k, f, guard) {
+                BorderUpdate::Done(u, h) => return Ok((u, h)),
+                BorderUpdate::Layer { root: link } => {
+                    root = link;
+                    k.advance();
+                }
+            }
+        }
+    }
+
+    /// The locked border-level completion of a conditional update.
+    /// `bn` must be locked and cover the cursor's `ikey`; the lock is
+    /// consumed. Mirrors `put_at_border` minus every mutation path
+    /// that could *create* state (no insert, no new layer, no split).
+    fn update_at_border<'g>(
+        &self,
+        bn: &'g BorderNode<V>,
+        k: &KeyCursor<'_>,
+        f: &mut dyn FnMut(&V) -> Option<V>,
+        guard: &'g Guard,
+    ) -> BorderUpdate<'g, V> {
+        let ikey = k.ikey();
+        let perm = bn.permutation();
+        let rank = keylen_rank(k.keylen_code());
+        match bn.search(perm, ikey, rank) {
+            BorderSearch::Found { slot, .. } => {
+                let code = bn.keylen[slot].load(Ordering::Acquire);
+                match code {
+                    KEYLEN_LAYER => {
+                        let nl = bn.lv[slot].load(Ordering::Acquire);
+                        bn.version().unlock();
+                        BorderUpdate::Layer {
+                            root: NodePtr::from_raw(nl.cast()),
+                        }
+                    }
+                    KEYLEN_UNSTABLE => unreachable!("UNSTABLE under the node lock"),
+                    KEYLEN_SUFFIX => {
+                        debug_assert!(k.has_suffix(), "rank matched 9");
+                        let sp = bn.suffix[slot].load(Ordering::Acquire);
+                        // SAFETY: a live suffix block for the slot (we
+                        // hold the lock; no concurrent retirement).
+                        let sb = unsafe { KeySuffix::bytes(sp) };
+                        if sb != k.suffix() {
+                            // A different key owns the slot: ours is
+                            // absent, and unlike a put we create no
+                            // layer for it.
+                            bn.version().unlock();
+                            return BorderUpdate::Done(Update::Absent, None);
+                        }
+                        self.replace_slot(bn, slot, k, f, guard)
+                    }
+                    _ => {
+                        debug_assert_eq!(code as usize, k.slice_len());
+                        debug_assert!(!k.has_suffix());
+                        self.replace_slot(bn, slot, k, f, guard)
+                    }
+                }
+            }
+            BorderSearch::Missing { .. } => {
+                bn.version().unlock();
+                BorderUpdate::Done(Update::Absent, None)
+            }
+        }
+    }
+
+    /// Runs `f` against the slot's live value under the lock and
+    /// installs the replacement if it produces one. Consumes the lock.
+    fn replace_slot<'g>(
+        &self,
+        bn: &'g BorderNode<V>,
+        slot: usize,
+        k: &KeyCursor<'_>,
+        f: &mut dyn FnMut(&V) -> Option<V>,
+        guard: &'g Guard,
+    ) -> BorderUpdate<'g, V> {
+        let old = bn.lv[slot].load(Ordering::Acquire);
+        // SAFETY: the slot's live value (lock held).
+        let old_ref = unsafe { &*old.cast::<V>() };
+        match f(old_ref) {
+            None => {
+                let hint = Some(LeafHint::capture_locked_anchor(bn, k.offset()));
+                bn.version().unlock();
+                BorderUpdate::Done(Update::Kept, hint)
+            }
+            Some(new) => {
+                let vptr = Box::into_raw(Box::new(new)).cast::<()>();
+                bn.lv[slot].store(vptr, Ordering::Release);
+                let hint = Some(LeafHint::capture_locked_anchor(bn, k.offset()));
+                bn.version().unlock();
+                // SAFETY: `old` was this key's value and is now
+                // unreachable from the tree.
+                unsafe {
+                    gc::retire_value::<V>(guard, old);
+                }
+                BorderUpdate::Done(Update::Replaced(old_ref), hint)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pin;
+
+    #[test]
+    fn update_present_absent_and_declined() {
+        let t: Masstree<u64> = Masstree::new();
+        let g = pin();
+        t.put(b"key-a", 1, &g);
+        // Present + accepted.
+        match t.update_with(b"key-a", |old| Some(old + 10), &g) {
+            Update::Replaced(prev) => assert_eq!(*prev, 1),
+            other => panic!("expected Replaced, got {other:?}"),
+        }
+        assert_eq!(t.get(b"key-a", &g), Some(&11));
+        // Present + declined.
+        assert!(matches!(
+            t.update_with(b"key-a", |_| None, &g),
+            Update::Kept
+        ));
+        assert_eq!(t.get(b"key-a", &g), Some(&11));
+        // Absent: never resurrects.
+        assert!(matches!(
+            t.update_with(b"key-b", |_| Some(99), &g),
+            Update::Absent
+        ));
+        assert_eq!(t.get(b"key-b", &g), None);
+        // Absent long key sharing a prefix with a resident suffix key.
+        t.put(b"prefix-shared-long-key-one", 5, &g);
+        assert!(matches!(
+            t.update_with(b"prefix-shared-long-key-two", |_| Some(6), &g),
+            Update::Absent
+        ));
+        assert_eq!(t.get(b"prefix-shared-long-key-two", &g), None);
+        assert_eq!(t.get(b"prefix-shared-long-key-one", &g), Some(&5));
+    }
+
+    #[test]
+    fn update_at_hint_fast_path_and_fallback() {
+        let t: Masstree<u64> = Masstree::new();
+        let g = pin();
+        for i in 0..500u64 {
+            t.put(format!("uk{i:04}").as_bytes(), i, &g);
+        }
+        let (v, hint) = t.get_capturing_hint(b"uk0042", &g);
+        assert_eq!(v, Some(&42));
+        let (u, fresh) = t
+            .update_at_hint(b"uk0042", &hint, |old| Some(old * 2), &g)
+            .expect("anchor valid");
+        assert!(matches!(u, Update::Replaced(&42)));
+        assert!(fresh.is_some());
+        assert_eq!(t.get(b"uk0042", &g), Some(&84));
+        // A removed key declines through the same anchor.
+        t.remove(b"uk0042", &g);
+        match t.update_at_hint(b"uk0042", &hint, |_| Some(1), &g) {
+            Ok((Update::Absent, _)) => {}
+            Ok((other, _)) => panic!("expected Absent, got {other:?}"),
+            Err(AnchorStale) => {} // also acceptable: remove staled it
+        }
+        assert_eq!(t.get(b"uk0042", &g), None);
+    }
+}

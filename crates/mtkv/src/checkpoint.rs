@@ -17,6 +17,12 @@ use std::sync::Arc;
 
 use crate::clock;
 use crate::store::Store;
+use crate::value::ValuePtr;
+
+/// Part-file row sentinel in the `ncols` field marking an **indirect**
+/// row: the 24-byte [`ValuePtr`] follows instead of column data. Inline
+/// rows can never reach this count (`ncols` is bounded far below it).
+const NCOLS_INDIRECT: u16 = u16::MAX;
 
 /// Description of a completed checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -134,12 +140,21 @@ pub fn write_checkpoint(
                 rec.extend_from_slice(&(key.len() as u32).to_le_bytes());
                 rec.extend_from_slice(key);
                 rec.extend_from_slice(&value.version().to_le_bytes());
-                let ncols = value.ncols();
-                rec.extend_from_slice(&(ncols as u16).to_le_bytes());
-                for i in 0..ncols {
-                    let c = value.col(i).unwrap();
-                    rec.extend_from_slice(&(c.len() as u32).to_le_bytes());
-                    rec.extend_from_slice(c);
+                if let Some(p) = value.ptr() {
+                    // Indirect row: the checkpoint records the pointer,
+                    // not the payload — the payload's segment is kept
+                    // alive by the GC deletion rule (no segment a
+                    // durable checkpoint references is ever reclaimed).
+                    rec.extend_from_slice(&NCOLS_INDIRECT.to_le_bytes());
+                    p.encode(&mut rec);
+                } else {
+                    let ncols = value.ncols();
+                    rec.extend_from_slice(&(ncols as u16).to_le_bytes());
+                    for i in 0..ncols {
+                        let c = value.col(i).unwrap();
+                        rec.extend_from_slice(&(c.len() as u32).to_le_bytes());
+                        rec.extend_from_slice(c);
+                    }
                 }
                 let crc = crate::crc32::crc32(&rec);
                 rec.extend_from_slice(&crc.to_le_bytes());
@@ -161,6 +176,13 @@ pub fn write_checkpoint(
     let mut keys = 0u64;
     for h in handles {
         keys += h.join().expect("checkpointer thread panicked")?;
+    }
+    // The parts may reference value-tier payloads appended after the
+    // last WAL-driven force; make the tier durable BEFORE the manifest
+    // rename publishes those references, or a crash could leave a valid
+    // checkpoint whose pointers name torn payloads.
+    if !store.force_value_tier() {
+        return Err(std::io::Error::other("value tier force failed"));
     }
     let meta = CheckpointMeta {
         start_ts,
@@ -187,8 +209,16 @@ pub fn write_checkpoint(
     Ok(meta)
 }
 
-/// One `(key, version, cols)` row from a checkpoint part file.
-pub type CheckpointRow = (Vec<u8>, u64, Vec<Vec<u8>>);
+/// A checkpoint row's payload: inline column data, or (for a
+/// value-separated row) the pointer into the value tier.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CheckpointPayload {
+    Inline(Vec<Vec<u8>>),
+    Indirect(ValuePtr),
+}
+
+/// One `(key, version, payload)` row from a checkpoint part file.
+pub type CheckpointRow = (Vec<u8>, u64, CheckpointPayload);
 
 /// Reads one part file; stops at the first corrupt record.
 pub fn read_part(path: &Path) -> std::io::Result<Vec<CheckpointRow>> {
@@ -209,25 +239,36 @@ pub fn read_part(path: &Path) -> std::io::Result<Vec<CheckpointRow>> {
         p = &p[klen..];
         let version = u64::from_le_bytes(p[..8].try_into().unwrap());
         p = &p[8..];
-        let ncols = u16::from_le_bytes(p[..2].try_into().unwrap()) as usize;
+        let ncols = u16::from_le_bytes(p[..2].try_into().unwrap());
         p = &p[2..];
-        let mut cols = Vec::with_capacity(ncols);
-        let mut ok = true;
-        for _ in 0..ncols {
-            if p.len() < 4 {
-                ok = false;
+        let payload = if ncols == NCOLS_INDIRECT {
+            match ValuePtr::decode(&mut p) {
+                Some(ptr) => CheckpointPayload::Indirect(ptr),
+                None => break,
+            }
+        } else {
+            let mut cols = Vec::with_capacity(ncols as usize);
+            let mut ok = true;
+            for _ in 0..ncols {
+                if p.len() < 4 {
+                    ok = false;
+                    break;
+                }
+                let dlen = u32::from_le_bytes(p[..4].try_into().unwrap()) as usize;
+                p = &p[4..];
+                if p.len() < dlen {
+                    ok = false;
+                    break;
+                }
+                cols.push(p[..dlen].to_vec());
+                p = &p[dlen..];
+            }
+            if !ok {
                 break;
             }
-            let dlen = u32::from_le_bytes(p[..4].try_into().unwrap()) as usize;
-            p = &p[4..];
-            if p.len() < dlen {
-                ok = false;
-                break;
-            }
-            cols.push(p[..dlen].to_vec());
-            p = &p[dlen..];
-        }
-        if !ok || p.len() < 4 {
+            CheckpointPayload::Inline(cols)
+        };
+        if p.len() < 4 {
             break;
         }
         let stored = u32::from_le_bytes(p[..4].try_into().unwrap());
@@ -236,7 +277,7 @@ pub fn read_part(path: &Path) -> std::io::Result<Vec<CheckpointRow>> {
             break;
         }
         p = &p[4..];
-        rows.push((key, version, cols));
+        rows.push((key, version, payload));
     }
     Ok(rows)
 }
@@ -378,7 +419,10 @@ mod tests {
         assert_eq!(rows.len(), 5_000);
         rows.sort();
         assert_eq!(rows[0].0, b"key000000");
-        assert_eq!(rows[0].2.len(), 2);
+        match &rows[0].2 {
+            CheckpointPayload::Inline(cols) => assert_eq!(cols.len(), 2),
+            other => panic!("expected inline row, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

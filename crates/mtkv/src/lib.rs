@@ -22,10 +22,11 @@ pub mod log;
 pub mod recovery;
 pub mod store;
 pub mod value;
+pub mod vtier;
 
 pub use checkpoint::{
     latest_checkpoint, latest_checkpoint_at_or_before, prune_checkpoints, write_checkpoint,
-    CheckpointMeta,
+    CheckpointMeta, CheckpointPayload,
 };
 pub use log::{
     read_log, segment_path, truncate_covered_segments, CrashPoint, LogRecord, LogWriter,
@@ -39,4 +40,5 @@ pub use store::{
     split_batch_runs, DurabilityConfig, DurabilityStats, PutOp, ReplStats, RunKind, ScanCursor,
     Session, Store,
 };
-pub use value::ColValue;
+pub use value::{ColValue, ValuePtr};
+pub use vtier::{ValueError, ValueTier, ValueTierStats};

@@ -20,7 +20,8 @@
 //!
 //! ```text
 //! u32  payload length (from op byte through last column)
-//! u8   op (1 = put, 2 = remove)
+//! u8   op (1 = put, 2 = remove, 6 = indirect put: 24-byte value pointer
+//!      tail in place of columns)
 //! u64  timestamp     u64 value-version
 //! u32  key length    key bytes
 //! u16  column count  (column id: u16, len: u32, bytes)*
@@ -37,6 +38,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 
 use crate::crc32::crc32;
+use crate::value::ValuePtr;
 
 /// Force-to-storage interval (§5: "at least every 200 ms").
 pub const FORCE_INTERVAL: Duration = Duration::from_millis(200);
@@ -58,6 +60,20 @@ pub enum LogRecord {
         /// applied without the records it merged over would drop the
         /// untouched columns.
         cols: Vec<(u16, Vec<u8>)>,
+    },
+    /// A put whose value lives in the value-separation tier: the record
+    /// carries the fixed-size [`ValuePtr`] instead of the column bytes.
+    /// The tier is forced **before** any WAL force that could make this
+    /// record durable, so a replayable pointer always names a payload
+    /// that was at least written; replay still read-verifies it (crc +
+    /// length) and skips the record — counting it — if the payload
+    /// cannot be proven intact, which by that ordering can only happen
+    /// to unacked tails.
+    PutIndirect {
+        timestamp: u64,
+        version: u64,
+        key: Vec<u8>,
+        ptr: ValuePtr,
     },
     Remove {
         timestamp: u64,
@@ -95,6 +111,7 @@ impl LogRecord {
     pub fn timestamp(&self) -> u64 {
         match self {
             LogRecord::Put { timestamp, .. }
+            | LogRecord::PutIndirect { timestamp, .. }
             | LogRecord::Remove { timestamp, .. }
             | LogRecord::Heartbeat { timestamp }
             | LogRecord::CleanClose { timestamp }
@@ -104,7 +121,9 @@ impl LogRecord {
 
     pub fn version(&self) -> u64 {
         match self {
-            LogRecord::Put { version, .. } | LogRecord::Remove { version, .. } => *version,
+            LogRecord::Put { version, .. }
+            | LogRecord::PutIndirect { version, .. }
+            | LogRecord::Remove { version, .. } => *version,
             LogRecord::Heartbeat { .. }
             | LogRecord::CleanClose { .. }
             | LogRecord::SessionCreate { .. } => 0,
@@ -113,7 +132,9 @@ impl LogRecord {
 
     pub fn key(&self) -> &[u8] {
         match self {
-            LogRecord::Put { key, .. } | LogRecord::Remove { key, .. } => key,
+            LogRecord::Put { key, .. }
+            | LogRecord::PutIndirect { key, .. }
+            | LogRecord::Remove { key, .. } => key,
             LogRecord::Heartbeat { .. }
             | LogRecord::CleanClose { .. }
             | LogRecord::SessionCreate { .. } => &[],
@@ -154,6 +175,20 @@ impl LogRecord {
                     out.extend_from_slice(&(data.len() as u32).to_le_bytes());
                     out.extend_from_slice(data);
                 }
+            }
+            LogRecord::PutIndirect {
+                timestamp,
+                version,
+                key,
+                ptr,
+            } => {
+                out.push(6);
+                out.extend_from_slice(&timestamp.to_le_bytes());
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                out.extend_from_slice(key);
+                out.extend_from_slice(&0u16.to_le_bytes());
+                ptr.encode(out);
             }
             LogRecord::Remove {
                 timestamp,
@@ -245,6 +280,12 @@ impl LogRecord {
                 timestamp,
                 version,
                 key,
+            },
+            6 => LogRecord::PutIndirect {
+                timestamp,
+                version,
+                key,
+                ptr: ValuePtr::decode(&mut p)?,
             },
             3 => LogRecord::Heartbeat { timestamp },
             4 => LogRecord::CleanClose { timestamp },
@@ -1051,6 +1092,31 @@ mod tests {
         let (r3, n3) = LogRecord::decode(&buf[n1 + n2..]).unwrap();
         assert_eq!(r3.key(), b"gone");
         assert_eq!(n1 + n2 + n3, buf.len());
+    }
+
+    #[test]
+    fn put_indirect_roundtrip() {
+        let mut buf = Vec::new();
+        let r = LogRecord::PutIndirect {
+            timestamp: 11,
+            version: 110,
+            key: b"cold-key".to_vec(),
+            ptr: ValuePtr {
+                seg: 2,
+                off: 8192,
+                len: 4096,
+                crc: 0x1234_5678,
+            },
+        };
+        r.encode(&mut buf);
+        rec(2).encode(&mut buf);
+        let (d, n) = LogRecord::decode(&buf).unwrap();
+        assert_eq!(d, r);
+        assert_eq!(d.version(), 110);
+        assert_eq!(d.key(), b"cold-key");
+        assert!(!d.is_marker());
+        let (d2, _) = LogRecord::decode(&buf[n..]).unwrap();
+        assert_eq!(d2, rec(2));
     }
 
     #[test]

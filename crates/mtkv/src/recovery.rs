@@ -33,7 +33,7 @@ use std::sync::Arc;
 
 use masstree::Masstree;
 
-use crate::checkpoint::{latest_checkpoint_at_or_before, read_part};
+use crate::checkpoint::{latest_checkpoint_at_or_before, read_part, CheckpointPayload};
 use crate::log::{decode_all, LogRecord};
 use crate::store::{DurabilityConfig, Store};
 use crate::value::ColValue;
@@ -57,6 +57,12 @@ pub struct RecoveryReport {
     /// Log files rewritten by the post-recovery sealing pass (torn
     /// tails trimmed, past-cutoff records dropped, sentinel appended).
     pub sealed_logs: u64,
+    /// Indirect (value-separated) records whose payload could not be
+    /// verified in the value tier and were therefore skipped. Always 0
+    /// for acked writes: every ack path forces the value tier before
+    /// the WAL, so a durable pointer record implies a durable payload —
+    /// an unresolved pointer can only come from an unacked tail.
+    pub values_unresolved: u64,
 }
 
 /// All log files in `dir` (files named `log-*`).
@@ -219,10 +225,20 @@ pub fn recover_with(
                     let guard = masstree::pin();
                     let mut maxv = 0u64;
                     let n = rows.len() as u64;
-                    for (key, version, cols) in rows {
+                    for (key, version, payload) in rows {
                         maxv = maxv.max(version);
-                        let refs: Vec<&[u8]> = cols.iter().map(|c| c.as_slice()).collect();
-                        tree.put(&key, ColValue::new(version, &refs), &guard);
+                        let value = match payload {
+                            CheckpointPayload::Inline(cols) => {
+                                let refs: Vec<&[u8]> = cols.iter().map(|c| c.as_slice()).collect();
+                                ColValue::new(version, &refs)
+                            }
+                            // The checkpoint forced the value tier
+                            // before publishing its manifest, so the
+                            // pointed-to payload is durable; reads
+                            // still re-verify its checksum.
+                            CheckpointPayload::Indirect(ptr) => ColValue::indirect(version, ptr),
+                        };
+                        tree.put(&key, value, &guard);
                     }
                     Ok((maxv, n))
                 }));
@@ -249,17 +265,25 @@ pub fn recover_with(
     // segment), applying each record only if it advances the key's value
     // version — this makes replay order-insensitive across logs *and*
     // across one session's segments, as §5 requires.
-    let mut totals = (0u64, 0u64, 0u64); // replayed, dropped, max_version
+    //
+    // Indirect records are **read-verified** against the value tier
+    // before their pointer is installed: the segments are never
+    // modified by recovery, so a pointer that verifies now verifies on
+    // every future recovery too (double recovery stays repeatable).
+    let vreader = crate::vtier::SegReader::new(log_dir);
+    let mut totals = (0u64, 0u64, 0u64, 0u64); // replayed, dropped, max_version, unresolved
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for segment in sessions.iter().flatten() {
             let tree = &tree;
             let records = &segment.records;
+            let vreader = &vreader;
             handles.push(scope.spawn(move || {
                 let guard = masstree::pin();
                 let mut replayed = 0u64;
                 let mut dropped = 0u64;
                 let mut maxv = 0u64;
+                let mut unresolved = 0u64;
                 for (rec, _) in records {
                     if rec.is_marker() {
                         continue; // heartbeat / clean-close marker only
@@ -284,15 +308,12 @@ pub fn recover_with(
                             tree.put_with(
                                 key,
                                 |old| match old {
-                                    Some(prev) if prev.version() >= *version => {
-                                        // Already newer: keep (rebuild the
-                                        // same value; put_with must return
-                                        // one).
-                                        let refs: Vec<&[u8]> = (0..prev.ncols())
-                                            .map(|i| prev.col(i).unwrap())
-                                            .collect();
-                                        ColValue::new(prev.version(), &refs)
-                                    }
+                                    // Already newer: keep. Clone, don't
+                                    // rebuild from columns — a rebuild
+                                    // would destroy an indirect pointer
+                                    // record (its payload lives in the
+                                    // value tier, not in columns).
+                                    Some(prev) if prev.version() >= *version => prev.clone(),
                                     // Records carry the full resulting
                                     // value (not an update delta), so a
                                     // newer record replaces outright —
@@ -311,21 +332,42 @@ pub fn recover_with(
                             );
                             replayed += 1;
                         }
+                        LogRecord::PutIndirect {
+                            version, key, ptr, ..
+                        } => {
+                            // Verify the payload exists and checks out
+                            // BEFORE installing the pointer: a pointer
+                            // whose payload is torn or missing belongs
+                            // to an unacked tail (every ack forces the
+                            // tier before the WAL) and is skipped, not
+                            // trusted.
+                            match vreader.read(*ptr) {
+                                Ok(_) => {
+                                    tree.put_with(
+                                        key,
+                                        |old| match old {
+                                            Some(prev) if prev.version() >= *version => {
+                                                prev.clone()
+                                            }
+                                            _ => ColValue::indirect(*version, *ptr),
+                                        },
+                                        &guard,
+                                    );
+                                    replayed += 1;
+                                }
+                                Err(_) => unresolved += 1,
+                            }
+                        }
                         LogRecord::Remove { version, key, .. } => {
                             // A remove must leave a versioned tombstone:
                             // another log's older put for the same key may
                             // be replayed *after* this remove, and must
                             // not resurrect it. Tombstones (zero-column
-                            // values) are swept after replay.
+                            // inline values) are swept after replay.
                             tree.put_with(
                                 key,
                                 |old| match old {
-                                    Some(prev) if prev.version() >= *version => {
-                                        let refs: Vec<&[u8]> = (0..prev.ncols())
-                                            .map(|i| prev.col(i).unwrap())
-                                            .collect();
-                                        ColValue::new(prev.version(), &refs)
-                                    }
+                                    Some(prev) if prev.version() >= *version => prev.clone(),
                                     _ => ColValue::new(*version, &[]),
                                 },
                                 &guard,
@@ -339,26 +381,34 @@ pub fn recover_with(
                         }
                     }
                 }
-                (replayed, dropped, maxv)
+                (replayed, dropped, maxv, unresolved)
             }));
         }
         for h in handles {
-            let (r, d, m) = h.join().expect("replayer panicked");
+            let (r, d, m, u) = h.join().expect("replayer panicked");
             totals.0 += r;
             totals.1 += d;
             totals.2 = totals.2.max(m);
+            totals.3 += u;
         }
     });
     report.replayed = totals.0;
     report.dropped_past_cutoff = totals.1;
     max_version = max_version.max(totals.2);
+    report.values_unresolved = totals.3;
+    drop(vreader);
 
     // Sweep remove tombstones (zero-column values) left by replay.
+    // Indirect values also report zero columns (their payload lives in
+    // the value tier) — they are live data, not tombstones.
+    let mut live_by_seg: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
     {
         let guard = masstree::pin();
         let mut dead: Vec<Vec<u8>> = Vec::new();
         tree.scan(b"", &guard, |k, v| {
-            if v.ncols() == 0 {
+            if let Some(p) = v.ptr() {
+                *live_by_seg.entry(p.seg).or_default() += u64::from(p.len);
+            } else if v.ncols() == 0 {
                 dead.push(k.to_vec());
             }
             true
@@ -379,7 +429,13 @@ pub fn recover_with(
 
     let mut store = Store::with_state(tree, max_version + 1, config);
     store.set_log_dir(log_dir.to_path_buf());
+    store.attach_value_tier()?;
     let store = Arc::new(store);
+    // Rebuild per-segment live-byte accounts from the recovered tree so
+    // GC's dead-fraction candidacy starts from truth, not zero.
+    if let Some(tier) = store.value_tier() {
+        tier.rebuild_accounts(&live_by_seg);
+    }
     store.spawn_background_checkpointer();
     Ok((store, report))
 }

@@ -28,7 +28,8 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::checkpoint::{prune_checkpoints, write_checkpoint, CheckpointMeta};
 use crate::log::{CrashPoint, LogRecord, LogWriter};
-use crate::value::ColValue;
+use crate::value::{ColValue, ValuePtr};
+use crate::vtier::{self, ValueError, ValueTier, ValueTierStats};
 
 /// Tuning for the online durability subsystem.
 #[derive(Debug, Clone)]
@@ -43,6 +44,19 @@ pub struct DurabilityConfig {
     pub checkpoint_threads: usize,
     /// Complete checkpoints to keep on disk (older ones are pruned).
     pub keep_checkpoints: usize,
+    /// Value-separation threshold: a put whose resulting value has at
+    /// least this many data bytes goes to the value tier (the leaf
+    /// keeps a fixed-size pointer record). `None` keeps every value
+    /// inline — the pre-separation write path, byte for byte.
+    pub value_threshold: Option<usize>,
+    /// Rotation threshold for value segments.
+    pub value_segment_bytes: u64,
+    /// Byte budget of the in-memory cache indirect reads go through
+    /// before touching disk.
+    pub value_cache_bytes: usize,
+    /// Dead fraction at which a sealed value segment becomes a GC
+    /// rewrite candidate.
+    pub gc_dead_fraction: f64,
 }
 
 impl Default for DurabilityConfig {
@@ -52,6 +66,10 @@ impl Default for DurabilityConfig {
             checkpoint_interval: None,
             checkpoint_threads: 4,
             keep_checkpoints: 2,
+            value_threshold: None,
+            value_segment_bytes: vtier::DEFAULT_VALUE_SEGMENT_BYTES,
+            value_cache_bytes: vtier::DEFAULT_VALUE_CACHE_BYTES,
+            gc_dead_fraction: 0.5,
         }
     }
 }
@@ -68,6 +86,15 @@ impl DurabilityConfig {
     /// A config with the background checkpointer enabled.
     pub fn with_interval(mut self, interval: Duration) -> DurabilityConfig {
         self.checkpoint_interval = Some(interval);
+        self
+    }
+
+    /// Enables the value-separation tier: values of at least
+    /// `threshold` data bytes spill to value segments, and indirect
+    /// reads go through a cache capped at `cache_bytes`.
+    pub fn with_value_separation(mut self, threshold: usize, cache_bytes: usize) -> Self {
+        self.value_threshold = Some(threshold);
+        self.value_cache_bytes = cache_bytes;
         self
     }
 }
@@ -188,6 +215,15 @@ pub struct Store {
     /// chains are the replication feed — a truncated segment could be
     /// exactly the one a reconnecting follower still needs.
     repl_pin: AtomicBool,
+    /// The value-separation tier (`vtier`): cold value segments, the
+    /// budgeted resolution cache, and segment liveness accounting.
+    /// `None` when separation is off and no value segments exist.
+    vtier: Option<Arc<ValueTier>>,
+    /// The GC relocator's own log chain, created lazily on the first
+    /// relocation: rewritten pointers are WAL-logged like any other
+    /// put, so a crash mid-GC replays them (version-gated) instead of
+    /// leaving the tree pointing into a segment a later pass deletes.
+    gc_log: Mutex<Option<LogWriter>>,
 }
 
 impl Store {
@@ -199,6 +235,17 @@ impl Store {
             None,
             DurabilityConfig::default(),
         ))
+    }
+
+    /// An in-memory replica store with a **reader-only** value tier
+    /// over `dir` (replication followers: the WAL and value-segment
+    /// mirrors live there, but the replica itself never logs). Indirect
+    /// values applied via [`Store::replay_put_indirect`] resolve
+    /// through the mirrored segments.
+    pub fn replica(dir: &Path) -> std::io::Result<Arc<Store>> {
+        let mut store = Store::new_with(Masstree::new(), 1, None, DurabilityConfig::default());
+        store.attach_value_reader(dir)?;
+        Ok(Arc::new(store))
     }
 
     /// A persistent store logging into `dir` (one segmented log chain
@@ -214,12 +261,9 @@ impl Store {
     /// cadence until the store is dropped.
     pub fn persistent_with(dir: &Path, config: DurabilityConfig) -> std::io::Result<Arc<Store>> {
         std::fs::create_dir_all(dir)?;
-        let store = Arc::new(Store::new_with(
-            Masstree::new(),
-            1,
-            Some(dir.to_path_buf()),
-            config,
-        ));
+        let mut store = Store::new_with(Masstree::new(), 1, Some(dir.to_path_buf()), config);
+        store.attach_value_tier()?;
+        let store = Arc::new(store);
         store.spawn_background_checkpointer();
         Ok(store)
     }
@@ -249,6 +293,8 @@ impl Store {
             cache_registry: Mutex::new(Vec::new()),
             repl: Arc::default(),
             repl_pin: AtomicBool::new(false),
+            vtier: None,
+            gc_log: Mutex::new(None),
         }
     }
 
@@ -265,6 +311,140 @@ impl Store {
         self.next_log_id
             .store(next_log_id_in(&dir), Ordering::Relaxed);
         self.log_dir = Some(dir);
+    }
+
+    /// Mounts the value tier over the log directory when the config
+    /// enables separation **or** value segments already exist on disk
+    /// (a recovered store must keep resolving old pointers even with
+    /// the threshold now off). No-op for in-memory stores and when
+    /// neither condition holds — the all-inline path stays untouched.
+    pub(crate) fn attach_value_tier(&mut self) -> std::io::Result<()> {
+        let Some(dir) = self.log_dir.clone() else {
+            return Ok(());
+        };
+        if self.config.value_threshold.is_none() && vtier::vseg_ids(&dir).is_empty() {
+            return Ok(());
+        }
+        self.vtier = Some(Arc::new(ValueTier::open(
+            &dir,
+            self.config.value_segment_bytes,
+            self.config.value_cache_bytes,
+            true,
+        )?));
+        Ok(())
+    }
+
+    /// Mounts a **reader-only** value tier over `dir` (replication
+    /// followers: segment bytes arrive by mirroring, never by local
+    /// appends, and local appends would collide with shipped ids).
+    pub fn attach_value_reader(&mut self, dir: &Path) -> std::io::Result<()> {
+        self.vtier = Some(Arc::new(ValueTier::open(
+            dir,
+            self.config.value_segment_bytes,
+            self.config.value_cache_bytes,
+            false,
+        )?));
+        Ok(())
+    }
+
+    /// The mounted value tier, if any.
+    pub fn value_tier(&self) -> Option<&Arc<ValueTier>> {
+        self.vtier.as_ref()
+    }
+
+    /// Value-tier observability counters (zeros when no tier mounted).
+    pub fn value_tier_stats(&self) -> ValueTierStats {
+        self.vtier.as_ref().map(|t| t.stats()).unwrap_or_default()
+    }
+
+    /// Resolves an indirect value's payload through the tier cache.
+    pub(crate) fn resolve_indirect(
+        &self,
+        ptr: ValuePtr,
+        version: u64,
+    ) -> Result<Arc<ColValue>, ValueError> {
+        match &self.vtier {
+            Some(t) => t.resolve(ptr, version),
+            None => Err(ValueError::TornOrMissing),
+        }
+    }
+
+    /// Forces the value tier (ordered **before** any WAL force on every
+    /// ack path: a durable pointer record then always names a durable
+    /// payload). Trivially true when no tier is mounted.
+    #[must_use]
+    pub fn force_value_tier(&self) -> bool {
+        self.vtier.as_ref().map(|t| t.force()).unwrap_or(true)
+    }
+
+    /// Builds the inline result of applying `updates` over `old`,
+    /// resolving an indirect base through the tier first so column
+    /// merges see the real columns (and reporting the superseded
+    /// pointer through `dead_ptr` for liveness accounting). An
+    /// unresolvable base — torn or corrupt payload — is treated as
+    /// absent rather than failing the put: the write is the newest
+    /// intent and wins.
+    fn build_value(
+        &self,
+        old: Option<&ColValue>,
+        updates: &[(usize, &[u8])],
+        version: u64,
+        dead_ptr: &mut Option<ValuePtr>,
+    ) -> ColValue {
+        match old {
+            None => ColValue::from_updates(version, updates),
+            Some(prev) => match prev.ptr() {
+                None => prev.with_updates(version, updates),
+                Some(p) => {
+                    *dead_ptr = Some(p);
+                    match self.resolve_indirect(p, prev.version()) {
+                        Ok(base) => base.with_updates(version, updates),
+                        Err(_) => ColValue::from_updates(version, updates),
+                    }
+                }
+            },
+        }
+    }
+
+    /// Spills `newval` to the value tier when separation is on and the
+    /// value's data bytes reach the threshold: the payload is appended
+    /// to the active value segment and an indirect pointer record is
+    /// installed in its place (reported through `out_ptr` so the WAL
+    /// logs a `PutIndirect`). Below the threshold — or with separation
+    /// off, or on an append failure — the value stays inline, which is
+    /// always correct.
+    fn separate_value(
+        &self,
+        newval: ColValue,
+        version: u64,
+        out_ptr: &mut Option<ValuePtr>,
+    ) -> ColValue {
+        *out_ptr = None;
+        let (Some(threshold), Some(tier)) = (self.config.value_threshold, &self.vtier) else {
+            return newval;
+        };
+        if newval.is_indirect() || newval.data_bytes() < threshold {
+            return newval;
+        }
+        let cols: Vec<&[u8]> = (0..newval.ncols())
+            .map(|i| newval.col(i).unwrap_or(&[]))
+            .collect();
+        let mut payload = Vec::with_capacity(newval.data_bytes() + 4 * cols.len() + 2);
+        vtier::encode_payload(&cols, &mut payload);
+        match tier.append(&payload) {
+            Ok(ptr) => {
+                *out_ptr = Some(ptr);
+                ColValue::indirect(version, ptr)
+            }
+            Err(_) => newval,
+        }
+    }
+
+    /// Credits a superseded pointer's bytes to its segment's dead count.
+    fn note_dead_ptr(&self, ptr: Option<ValuePtr>) {
+        if let (Some(p), Some(t)) = (ptr, &self.vtier) {
+            t.note_dead(p);
+        }
     }
 
     /// Starts the background checkpointer if the config asks for one.
@@ -360,6 +540,9 @@ impl Store {
         // crash would leave its chain's last durable timestamp below
         // `start_ts` and recovery would reject the checkpoint.
         use crate::log::BarrierOutcome;
+        // Payloads before pointers: any WAL record the barrier is about
+        // to make durable may carry a value pointer.
+        let tier_forced = self.force_value_tier();
         let mut barrier_confirmed = true;
         let live_sessions: Vec<u64> = {
             let mut handles = self.log_handles.lock();
@@ -409,10 +592,11 @@ impl Store {
         // the only one whose `start_ts` a post-crash cutoff accepts
         // (recovery falls back to the newest checkpoint at or before the
         // cutoff) — deleting it would orphan those records.
-        if barrier_confirmed
+        let gates_held = tier_forced
+            && barrier_confirmed
             && !self.log_poison.load(Ordering::Acquire)
-            && !self.repl_pin.load(Ordering::Acquire)
-        {
+            && !self.repl_pin.load(Ordering::Acquire);
+        if gates_held {
             let tr = crate::log::truncate_covered_segments_excluding(
                 &dir,
                 meta.start_ts,
@@ -422,7 +606,171 @@ impl Store {
                 .fetch_add(tr.segments_deleted, Ordering::Relaxed);
             prune_checkpoints(&dir, self.config.keep_checkpoints.max(1))?;
         }
+        // Value-segment GC rides the same cadence and the same gates.
+        self.run_value_gc(gates_held, meta.start_ts);
         Ok(meta)
+    }
+
+    /// One value-tier GC pass, run under the cycle lock after the
+    /// checkpoint publishes.
+    ///
+    /// **Deletion** (phase A) enforces the liveness rule: a condemned
+    /// segment is deleted only once a confirmed-barrier checkpoint with
+    /// `start_ts ≥` its condemn time has published — every relocation
+    /// out of it was then visible to that checkpoint's scan, its WAL
+    /// records are stamped before `start_ts`, and no future recovery
+    /// cutoff (all ≥ `start_ts` by the barrier) can replay a pointer
+    /// into it. The gates match truncation's exactly: an unconfirmed
+    /// barrier, a poisoned log, or a replication pin all mean old log
+    /// records — which may hold old pointers — can still replay.
+    ///
+    /// **Relocation** (phase B) rewrites the still-live values of
+    /// mostly-dead sealed segments to the active segment via hinted
+    /// conditional updates (`update_at_hint`: the pointer is installed
+    /// only if the key still holds the exact version the scan saw — a
+    /// plain put would resurrect concurrently removed keys), logs each
+    /// rewrite as a `PutIndirect` to the GC's own log chain, and
+    /// condemns segments that relocated cleanly.
+    fn run_value_gc(self: &Arc<Self>, gates_held: bool, covered_ts: u64) {
+        let Some(tier) = self.vtier.clone() else {
+            return;
+        };
+        if gates_held {
+            tier.delete_condemned(covered_ts);
+        }
+        let candidates = tier.gc_candidates(self.config.gc_dead_fraction);
+        if candidates.is_empty() {
+            return;
+        }
+        let cand: std::collections::HashSet<u64> = candidates.iter().copied().collect();
+        // One scan collects every live reference into a candidate
+        // segment; the relocations then validate per key.
+        let mut refs: Vec<(Vec<u8>, u64, ValuePtr)> = Vec::new();
+        {
+            let guard = masstree::pin();
+            self.tree.scan(b"", &guard, |k, v| {
+                if let Some(p) = v.ptr() {
+                    if cand.contains(&p.seg) {
+                        refs.push((k.to_vec(), v.version(), p));
+                    }
+                }
+                true
+            });
+        }
+        let mut clean: std::collections::HashMap<u64, bool> =
+            candidates.iter().map(|&s| (s, true)).collect();
+        let mut relocated = 0u64;
+        for (key, seen_version, p) in refs {
+            let payload = match tier.read_raw(p) {
+                Ok(b) => b,
+                Err(_) => {
+                    // Unreadable live value: the segment must survive
+                    // (the pointer still resolves nowhere else).
+                    clean.insert(p.seg, false);
+                    continue;
+                }
+            };
+            let np = match tier.append(&payload) {
+                Ok(np) => np,
+                Err(_) => {
+                    clean.insert(p.seg, false);
+                    continue;
+                }
+            };
+            let guard = masstree::pin();
+            let mut new_version = None;
+            let mut relocate = |old: &ColValue| {
+                if old.version() == seen_version && old.is_indirect() {
+                    let nv = self.draw_version();
+                    new_version = Some(nv);
+                    Some(ColValue::indirect(nv, np))
+                } else {
+                    None // a concurrent writer already superseded it
+                }
+            };
+            let (_, hint) = self.tree.get_capturing_hint(&key, &guard);
+            let outcome = match self.tree.update_at_hint(&key, &hint, &mut relocate, &guard) {
+                Ok((u, _)) => u,
+                Err(AnchorStale) => self.tree.update_with(&key, &mut relocate, &guard),
+            };
+            let replaced = matches!(outcome, masstree::Update::Replaced(_));
+            drop(guard);
+            if replaced {
+                let version = new_version.expect("replacement drew a version");
+                let logged = self.with_gc_log(|log| {
+                    log.append_now(|timestamp| LogRecord::PutIndirect {
+                        timestamp,
+                        version,
+                        key: key.clone(),
+                        ptr: np,
+                    });
+                });
+                if !logged {
+                    // Unlogged relocation: recovery would replay the
+                    // old pointer. Both copies stay; the segment
+                    // cannot be condemned this pass.
+                    clean.insert(p.seg, false);
+                    continue;
+                }
+                tier.note_dead(p);
+                tier.note_rewritten(p.len as u64);
+                relocated += 1;
+            } else {
+                // Lost the race (Kept/Absent): our fresh copy is
+                // garbage.
+                tier.note_dead(np);
+            }
+        }
+        if relocated > 0 {
+            // Durability order as on the ack path: payloads first, then
+            // the WAL records whose pointers name them. A failed force
+            // leaves both copies in place — safe, just not reclaimable.
+            if !tier.force() {
+                return;
+            }
+            let mut wal_ok = false;
+            if !self.with_gc_log(|log| wal_ok = log.force()) || !wal_ok {
+                return;
+            }
+        }
+        let now = crate::clock::now();
+        for seg in candidates {
+            if clean.get(&seg).copied().unwrap_or(false) {
+                tier.condemn(seg, now);
+            }
+        }
+    }
+
+    /// Runs `f` with the GC's log writer, creating the chain on first
+    /// use (its own session id, with the same durably-synced
+    /// `SessionCreate` journal entry as a worker session). Returns
+    /// false — and skips `f` — when the chain cannot be established.
+    fn with_gc_log(&self, f: impl FnOnce(&LogWriter)) -> bool {
+        let Some(dir) = &self.log_dir else {
+            return false;
+        };
+        let mut slot = self.gc_log.lock();
+        if slot.is_none() {
+            let id = self.next_log_id.fetch_add(1, Ordering::Relaxed);
+            let Ok(log) = LogWriter::open_segmented_poisoned(
+                dir,
+                id,
+                self.config.segment_bytes,
+                Arc::clone(&self.log_poison),
+            ) else {
+                return false;
+            };
+            log.append_now(|timestamp| LogRecord::SessionCreate { timestamp });
+            if !log.force() {
+                return false;
+            }
+            let mut handles = self.log_handles.lock();
+            handles.retain(|(_, h)| h.is_alive());
+            handles.push((id, log.force_handle()));
+            *slot = Some(log);
+        }
+        f(slot.as_ref().expect("created above"));
+        true
     }
 
     /// Runs one full durability cycle synchronously: checkpoint,
@@ -497,11 +845,10 @@ impl Store {
         self.tree.put_with(
             key,
             |old| match old {
-                Some(prev) if prev.version() >= version => {
-                    let refs: Vec<&[u8]> =
-                        (0..prev.ncols()).map(|i| prev.col(i).unwrap()).collect();
-                    ColValue::new(prev.version(), &refs)
-                }
+                // Keep-by-clone, not by column rebuild: the resident
+                // value may be an indirect pointer record (zero
+                // columns), which a rebuild would silently destroy.
+                Some(prev) if prev.version() >= version => prev.clone(),
                 _ => {
                     let updates: Vec<(usize, &[u8])> = cols
                         .iter()
@@ -509,6 +856,24 @@ impl Store {
                         .collect();
                     ColValue::from_updates(version, &updates)
                 }
+            },
+            &guard,
+        );
+        self.next_version.fetch_max(version + 1, Ordering::Relaxed);
+    }
+
+    /// Applies a replicated indirect put: installs the pointer record
+    /// version-gated, exactly like [`Store::replay_put`]. The payload
+    /// is **not** verified here — follower apply threads run behind
+    /// segment mirroring, and every read through the tier re-checks the
+    /// pointer's crc/length before serving a byte.
+    pub fn replay_put_indirect(&self, key: &[u8], version: u64, ptr: ValuePtr) {
+        let guard = masstree::pin();
+        self.tree.put_with(
+            key,
+            |old| match old {
+                Some(prev) if prev.version() >= version => prev.clone(),
+                _ => ColValue::indirect(version, ptr),
             },
             &guard,
         );
@@ -536,6 +901,12 @@ impl Store {
     /// epoch change: the old replicated state may not be a prefix of the
     /// new primary's log, so it is discarded wholesale).
     pub fn reset_replica(&self) {
+        // Epoch resync re-mirrors the value segments from scratch, and
+        // segment ids restart — a cached (seg, off) payload from the
+        // old epoch would serve wrong bytes for a new-epoch pointer.
+        if let Some(t) = &self.vtier {
+            t.purge_cache();
+        }
         let guard = masstree::pin();
         loop {
             let mut keys: Vec<Vec<u8>> = Vec::new();
@@ -869,6 +1240,47 @@ impl Session {
         })
     }
 
+    /// Completes a point read: an indirect hit is resolved through the
+    /// value tier before the callback sees it, so user callbacks only
+    /// ever observe real columns. An unresolvable payload (torn or
+    /// corrupt — counted in the tier's `unresolved_reads`) reads as
+    /// absent here; [`Session::get_checked`] surfaces the typed error.
+    /// Inline values pass straight through — one branch, no copy.
+    #[inline]
+    fn with_resolved<R>(
+        &self,
+        hit: Option<&ColValue>,
+        f: impl FnOnce(Option<&ColValue>) -> R,
+    ) -> R {
+        match hit {
+            Some(v) if v.is_indirect() => {
+                match v.ptr().map(|p| self.store.resolve_indirect(p, v.version())) {
+                    Some(Ok(arc)) => f(Some(&arc)),
+                    _ => f(None),
+                }
+            }
+            other => f(other),
+        }
+    }
+
+    /// Completes one scan row, resolving indirect values; returns
+    /// whether the row was visited (an unresolvable payload is skipped
+    /// — scans deliver only rows whose bytes are integrity-checked).
+    #[inline]
+    fn visit_row(&self, k: &[u8], v: &ColValue, f: &mut impl FnMut(&[u8], &ColValue)) -> bool {
+        if !v.is_indirect() {
+            f(k, v);
+            return true;
+        }
+        match v.ptr().map(|p| self.store.resolve_indirect(p, v.version())) {
+            Some(Ok(arc)) => {
+                f(k, &arc);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// `get_c(k)`: reads the requested columns (all if `cols` is `None`).
     /// Returns `None` if the key is absent.
     ///
@@ -900,10 +1312,10 @@ impl Session {
     pub fn get_with<R>(&self, key: &[u8], f: impl FnOnce(Option<&ColValue>) -> R) -> R {
         let guard = masstree::pin();
         let Some(sc) = &self.cache else {
-            return f(self.store.tree.get(key, &guard));
+            return self.with_resolved(self.store.tree.get(key, &guard), f);
         };
         if sc.skip_this_op() {
-            return f(self.store.tree.get(key, &guard));
+            return self.with_resolved(self.store.tree.get(key, &guard), f);
         }
         // Hot-path cache tier: try the remembered border node first —
         // a validated hint serves the value with zero descent; any
@@ -935,7 +1347,7 @@ impl Session {
         };
         sc.sync_bypass(&c);
         drop(c);
-        f(hit)
+        self.with_resolved(hit, f)
     }
 
     /// `put_c(k, v)`: atomically updates the given columns, copying the
@@ -959,15 +1371,15 @@ impl Session {
         // merged over would silently drop the other columns.
         let logging = self.log.is_some();
         let mut logged_cols: Vec<(u16, Vec<u8>)> = Vec::new();
+        let mut logged_ptr: Option<ValuePtr> = None;
+        let mut dead_ptr: Option<ValuePtr> = None;
         {
             let guard = masstree::pin();
             let mut write = |old: Option<&ColValue>| {
                 version = self.store.draw_version();
-                let newval = match old {
-                    None => ColValue::from_updates(version, updates),
-                    Some(prev) => prev.with_updates(version, updates),
-                };
-                if logging {
+                let newval = self.store.build_value(old, updates, version, &mut dead_ptr);
+                let newval = self.store.separate_value(newval, version, &mut logged_ptr);
+                if logging && logged_ptr.is_none() {
                     logged_cols = (0..newval.ncols())
                         .map(|i| (i as u16, newval.col(i).unwrap_or(&[]).to_vec()))
                         .collect();
@@ -1016,13 +1428,22 @@ impl Session {
                 }
             }
         }
+        self.store.note_dead_ptr(dead_ptr);
         if let Some(log) = &self.log {
-            log.append_now(|timestamp| LogRecord::Put {
-                timestamp,
-                version,
-                key: key.to_vec(),
-                cols: std::mem::take(&mut logged_cols),
-            });
+            match logged_ptr {
+                Some(ptr) => log.append_now(|timestamp| LogRecord::PutIndirect {
+                    timestamp,
+                    version,
+                    key: key.to_vec(),
+                    ptr,
+                }),
+                None => log.append_now(|timestamp| LogRecord::Put {
+                    timestamp,
+                    version,
+                    key: key.to_vec(),
+                    cols: std::mem::take(&mut logged_cols),
+                }),
+            };
         }
         version
     }
@@ -1081,11 +1502,15 @@ impl Session {
     {
         let guard = masstree::pin();
         let Some(sc) = &self.cache else {
-            self.store.tree.multi_get_with(keys, &guard, f);
+            self.store
+                .tree
+                .multi_get_with(keys, &guard, |i, hit| self.with_resolved(hit, |h| f(i, h)));
             return;
         };
         if sc.skip_this_op() {
-            self.store.tree.multi_get_with(keys, &guard, f);
+            self.store
+                .tree
+                .multi_get_with(keys, &guard, |i, hit| self.with_resolved(hit, |h| f(i, h)));
             return;
         }
         // Hinted batch: keys with valid hints complete with zero
@@ -1142,14 +1567,12 @@ impl Session {
         for (i, p) in out.iter().enumerate() {
             // SAFETY: written above under this call's pinned guard;
             // epoch reclamation keeps the value live until it drops.
-            f(
-                i,
-                if p.is_null() {
-                    None
-                } else {
-                    Some(unsafe { &**p })
-                },
-            );
+            let hit = if p.is_null() {
+                None
+            } else {
+                Some(unsafe { &**p })
+            };
+            self.with_resolved(hit, |h| f(i, h));
         }
     }
 
@@ -1198,7 +1621,7 @@ impl Session {
         sc.sync_bypass(&c);
         drop(c);
         for (i, v) in out.into_iter().enumerate() {
-            f(i, v);
+            self.with_resolved(v, |h| f(i, h));
         }
     }
 
@@ -1218,17 +1641,17 @@ impl Session {
         // Full resulting values for the log, not deltas (see `put`).
         let logging = self.log.is_some();
         let mut logged_cols: Vec<Vec<(u16, Vec<u8>)>> = vec![Vec::new(); ops.len()];
+        let mut logged_ptrs: Vec<Option<ValuePtr>> = vec![None; ops.len()];
+        let mut dead_ptrs: Vec<Option<ValuePtr>> = vec![None; ops.len()];
         {
             let guard = masstree::pin();
             let store = &self.store;
             let mut factory = |i: usize, old: Option<&ColValue>| {
                 let version = store.draw_version();
                 versions[i] = version;
-                let newval = match old {
-                    None => ColValue::from_updates(version, ops[i].1),
-                    Some(prev) => prev.with_updates(version, ops[i].1),
-                };
-                if logging {
+                let newval = store.build_value(old, ops[i].1, version, &mut dead_ptrs[i]);
+                let newval = store.separate_value(newval, version, &mut logged_ptrs[i]);
+                if logging && logged_ptrs[i].is_none() {
                     logged_cols[i] = (0..newval.ncols())
                         .map(|c| (c as u16, newval.col(c).unwrap_or(&[]).to_vec()))
                         .collect();
@@ -1285,14 +1708,25 @@ impl Session {
                 }
             }
         }
+        for dead in dead_ptrs {
+            self.store.note_dead_ptr(dead);
+        }
         if let Some(log) = &self.log {
             for (i, (&(key, _), &version)) in ops.iter().zip(&versions).enumerate() {
-                log.append_now(|timestamp| LogRecord::Put {
-                    timestamp,
-                    version,
-                    key: key.to_vec(),
-                    cols: std::mem::take(&mut logged_cols[i]),
-                });
+                match logged_ptrs[i] {
+                    Some(ptr) => log.append_now(|timestamp| LogRecord::PutIndirect {
+                        timestamp,
+                        version,
+                        key: key.to_vec(),
+                        ptr,
+                    }),
+                    None => log.append_now(|timestamp| LogRecord::Put {
+                        timestamp,
+                        version,
+                        key: key.to_vec(),
+                        cols: std::mem::take(&mut logged_cols[i]),
+                    }),
+                };
             }
         }
         versions
@@ -1356,7 +1790,9 @@ impl Session {
         };
         match removed {
             None => false,
-            Some((_, version)) => {
+            Some((prev, version)) => {
+                // A removed indirect value's payload bytes are dead.
+                self.store.note_dead_ptr(prev.ptr());
                 if let Some(log) = &self.log {
                     log.append_now(|timestamp| LogRecord::Remove {
                         timestamp,
@@ -1431,8 +1867,9 @@ impl Session {
                 if let Some((mut cur, matched)) = taken {
                     let mut seen = 0usize;
                     let out = self.store.tree.scan_resume(&mut cur, &guard, |k, v| {
-                        f(k, v);
-                        seen += 1;
+                        if self.visit_row(k, v, &mut f) {
+                            seen += 1;
+                        }
                         seen < n
                     });
                     {
@@ -1452,8 +1889,9 @@ impl Session {
         }
         let mut seen = 0usize;
         self.store.tree.scan(key, &guard, |k, v| {
-            f(k, v);
-            seen += 1;
+            if self.visit_row(k, v, &mut f) {
+                seen += 1;
+            }
             seen < n
         });
         seen
@@ -1492,8 +1930,9 @@ impl Session {
         let had_anchor = cursor.has_anchor();
         let mut seen = 0usize;
         let out = self.store.tree.scan_resume(cursor, &guard, |k, v| {
-            f(k, v);
-            seen += 1;
+            if self.visit_row(k, v, &mut f) {
+                seen += 1;
+            }
             seen < n
         });
         if let Some(sc) = &self.cache {
@@ -1517,9 +1956,46 @@ impl Session {
     /// must report the failure instead of swallowing it.
     #[must_use = "false means the records were NOT made durable"]
     pub fn force_log(&self) -> bool {
+        // Tier first, WAL second: when this ack lands, every durable
+        // pointer record names an already-durable payload. The converse
+        // order could ack a pointer whose payload a crash then tears —
+        // an acked-write loss the recovery read-verify can't repair.
+        if !self.store.force_value_tier() {
+            return false;
+        }
         match &self.log {
             Some(log) => log.force(),
             None => true,
+        }
+    }
+
+    /// `get_c(k)` with typed value-tier errors: like [`Session::get`],
+    /// but an indirect value whose payload cannot be verified reports
+    /// **which way it failed** ([`ValueError`]) instead of reading as
+    /// absent. The property suite drives every-byte corruption through
+    /// this: wrong bytes are never returned, only typed errors.
+    pub fn get_checked(
+        &self,
+        key: &[u8],
+        cols: Option<&[usize]>,
+    ) -> Result<Option<Vec<Vec<u8>>>, ValueError> {
+        let project = |v: &ColValue| match cols {
+            None => v.cols(),
+            Some(ids) => ids
+                .iter()
+                .map(|&i| v.col(i).unwrap_or(&[]).to_vec())
+                .collect(),
+        };
+        let guard = masstree::pin();
+        match self.store.tree.get(key, &guard) {
+            None => Ok(None),
+            Some(v) => match v.ptr() {
+                None => Ok(Some(project(v))),
+                Some(p) => {
+                    let arc = self.store.resolve_indirect(p, v.version())?;
+                    Ok(Some(project(&arc)))
+                }
+            },
         }
     }
 

@@ -7,12 +7,62 @@
 //! new block, copying unmodified columns from the old one, so concurrent
 //! readers see all or none of a multi-column modification.
 
+/// A fixed-size pointer into the value-separation tier (`vtier`): the
+/// leaf keeps this 24-byte record instead of the column bytes for
+/// values past the separation threshold (WiscKey-style key/value
+/// separation). `crc` covers the payload at `vseg-<seg>[off .. off+len]`
+/// so every resolution is integrity-checked before any byte is served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ValuePtr {
+    /// Value-segment id (`vseg-<seg>` in the store's log directory).
+    pub seg: u64,
+    /// Byte offset of the payload within the segment.
+    pub off: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// CRC32 of the payload bytes.
+    pub crc: u32,
+}
+
+impl ValuePtr {
+    /// Serializes into `out` (24 bytes, little-endian).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seg.to_le_bytes());
+        out.extend_from_slice(&self.off.to_le_bytes());
+        out.extend_from_slice(&self.len.to_le_bytes());
+        out.extend_from_slice(&self.crc.to_le_bytes());
+    }
+
+    /// Deserializes from the front of `p`, advancing it 24 bytes.
+    pub fn decode(p: &mut &[u8]) -> Option<ValuePtr> {
+        let seg = u64::from_le_bytes(p.get(..8)?.try_into().ok()?);
+        *p = &p[8..];
+        let off = u64::from_le_bytes(p.get(..8)?.try_into().ok()?);
+        *p = &p[8..];
+        let len = u32::from_le_bytes(p.get(..4)?.try_into().ok()?);
+        *p = &p[4..];
+        let crc = u32::from_le_bytes(p.get(..4)?.try_into().ok()?);
+        *p = &p[4..];
+        Some(ValuePtr { seg, off, len, crc })
+    }
+}
+
+/// Sentinel in the `ncols` field marking an **indirect** value: `buf`
+/// holds an encoded [`ValuePtr`] instead of column data. Indirect
+/// values never reach user callbacks — the session resolves them
+/// through the value tier first — so `col`/`cols` on one safely report
+/// "no columns" rather than misreading the pointer bytes as offsets.
+const INDIRECT_TAG: u32 = u32::MAX;
+
 /// A versioned, multi-column value in a single allocation.
 ///
 /// Layout of `buf`: `ncols × u32` column end-offsets, then the column
 /// bytes back to back. (The version lives in a separate field of this
 /// struct but the struct itself is one heap object inside the tree.)
-#[derive(Debug, PartialEq, Eq)]
+///
+/// When `ncols` is [`INDIRECT_TAG`] the value is *indirect*: `buf`
+/// instead holds a [`ValuePtr`] into the value-separation tier.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColValue {
     version: u64,
     ncols: u32,
@@ -45,12 +95,44 @@ impl ColValue {
         ColValue::new(version, &[data])
     }
 
+    /// Builds a value from column bytes packed back to back in `data`,
+    /// described by per-column lengths — the shape of a value-tier
+    /// payload. One allocation and one copy of `data`, versus the
+    /// slice-vector detour of decode-then-[`ColValue::new`]; this sits
+    /// on the cold-tier cache-miss path. `None` when the lengths do
+    /// not cover `data` exactly.
+    pub fn from_packed(
+        version: u64,
+        lens: impl ExactSizeIterator<Item = u32>,
+        data: &[u8],
+    ) -> Option<ColValue> {
+        let ncols = lens.len();
+        let mut buf = Vec::with_capacity(4 * ncols + data.len());
+        let mut end = 0u64;
+        for len in lens {
+            end += u64::from(len);
+            if end > data.len() as u64 {
+                return None;
+            }
+            buf.extend_from_slice(&(end as u32).to_le_bytes());
+        }
+        if end != data.len() as u64 {
+            return None;
+        }
+        buf.extend_from_slice(data);
+        Some(ColValue {
+            version,
+            ncols: ncols as u32,
+            buf: buf.into_boxed_slice(),
+        })
+    }
+
     /// Copy-on-write update: returns a new value with `updates` applied
     /// (extending the column array if an update targets a column past the
     /// current end) and the remaining columns copied from `self`.
     pub fn with_updates(&self, version: u64, updates: &[(usize, &[u8])]) -> ColValue {
         let max_updated = updates.iter().map(|(i, _)| i + 1).max().unwrap_or(0);
-        let ncols = (self.ncols as usize).max(max_updated);
+        let ncols = self.ncols().max(max_updated);
         let cols: Vec<&[u8]> = (0..ncols)
             .map(|i| {
                 updates
@@ -80,16 +162,58 @@ impl ColValue {
         ColValue::new(version, &cols)
     }
 
+    /// An indirect value: a fixed-size pointer record into the value
+    /// tier in place of the column bytes. `col`/`cols` report no
+    /// columns; callers resolve through [`crate::vtier::ValueTier`].
+    pub fn indirect(version: u64, ptr: ValuePtr) -> ColValue {
+        let mut buf = Vec::with_capacity(24);
+        ptr.encode(&mut buf);
+        ColValue {
+            version,
+            ncols: INDIRECT_TAG,
+            buf: buf.into_boxed_slice(),
+        }
+    }
+
+    /// True when this value is a pointer record (see [`ColValue::ptr`]).
+    #[inline]
+    pub fn is_indirect(&self) -> bool {
+        self.ncols == INDIRECT_TAG
+    }
+
+    /// The value-tier pointer of an indirect value (`None` for inline).
+    pub fn ptr(&self) -> Option<ValuePtr> {
+        if !self.is_indirect() {
+            return None;
+        }
+        let mut p: &[u8] = &self.buf;
+        ValuePtr::decode(&mut p)
+    }
+
     /// The value's version number (used by log replay ordering, §5).
     #[inline]
     pub fn version(&self) -> u64 {
         self.version
     }
 
-    /// Number of columns.
+    /// Number of columns (0 for an unresolved indirect value).
     #[inline]
     pub fn ncols(&self) -> usize {
-        self.ncols as usize
+        if self.is_indirect() {
+            0
+        } else {
+            self.ncols as usize
+        }
+    }
+
+    /// Total column-data bytes (for an indirect value, the payload
+    /// length the pointer names). Drives the separation threshold.
+    pub fn data_bytes(&self) -> usize {
+        if self.is_indirect() {
+            self.ptr().map(|p| p.len as usize).unwrap_or(0)
+        } else {
+            self.buf.len() - 4 * self.ncols as usize
+        }
     }
 
     #[inline]
@@ -100,7 +224,7 @@ impl ColValue {
 
     /// Column `i`'s bytes, or `None` if out of range.
     pub fn col(&self, i: usize) -> Option<&[u8]> {
-        if i >= self.ncols as usize {
+        if i >= self.ncols() {
             return None;
         }
         let data_base = 4 * self.ncols as usize;
@@ -173,6 +297,28 @@ mod tests {
         assert_eq!(v.col(0), Some(&b"zero"[..]));
         assert_eq!(v.col(1), Some(&b""[..]));
         assert_eq!(v.col(2), Some(&b"two"[..]));
+    }
+
+    #[test]
+    fn indirect_value_roundtrips_pointer() {
+        let p = ValuePtr {
+            seg: 3,
+            off: 4096,
+            len: 512,
+            crc: 0xdead_beef,
+        };
+        let v = ColValue::indirect(9, p);
+        assert!(v.is_indirect());
+        assert_eq!(v.version(), 9);
+        assert_eq!(v.ptr(), Some(p));
+        assert_eq!(v.ncols(), 0);
+        assert_eq!(v.col(0), None);
+        assert!(v.cols().is_empty());
+        assert_eq!(v.data_bytes(), 512);
+        let inline = ColValue::single(1, b"xy");
+        assert!(!inline.is_indirect());
+        assert_eq!(inline.ptr(), None);
+        assert_eq!(inline.data_bytes(), 2);
     }
 
     #[test]

@@ -1,0 +1,834 @@
+//! The value-separation tier: append-only **value segments** for
+//! values past the separation threshold (WiscKey-style key/value
+//! separation grafted onto Masstree).
+//!
+//! The tree leaf keeps a fixed-size [`ValuePtr`] record; the column
+//! bytes live in `vseg-<seg>` files in the store's log directory,
+//! reusing the segmented-log discipline: append-only writes, rotation
+//! at a size threshold, fsync-before-ack ordering (the tier is forced
+//! **before** the write-ahead log on every durability path, so a
+//! durable pointer record always names durable payload bytes), and
+//! evidence-based reclamation (a segment is deleted only once a
+//! durable checkpoint provably supersedes every pointer into it — see
+//! `Store::run_durability_cycle`).
+//!
+//! Payload encoding: `ncols u16 | ncols × (len u32) | column bytes`.
+//! The pointer carries the payload length and CRC32, so the segment
+//! files need no framing of their own and every read is
+//! integrity-checked end to end: a torn tail, a hole, or a flipped bit
+//! yields a typed [`ValueError`], never wrong bytes.
+//!
+//! Reads resolve through a budgeted **value cache** of decoded
+//! values, so a hot working set larger than RAM still serves point
+//! gets mostly from memory (ZipCache's DRAM-over-SSD model).
+
+use std::collections::{HashMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::crc32::crc32;
+use crate::value::{ColValue, ValuePtr};
+
+/// Default rotation threshold for value segments.
+pub const DEFAULT_VALUE_SEGMENT_BYTES: u64 = 64 << 20;
+/// Default decoded-value cache budget.
+pub const DEFAULT_VALUE_CACHE_BYTES: usize = 64 << 20;
+
+/// Why an indirect value could not be served. Every variant means the
+/// bytes were **refused**, never silently wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueError {
+    /// The segment file is missing, or the pointer reaches past its
+    /// end — the classic crash shape "pointer durable, payload fsync
+    /// lost", which by the tier-before-log force ordering can only
+    /// happen to writes that were never acked.
+    TornOrMissing,
+    /// The payload bytes are present and checksum-clean but their
+    /// column framing is inconsistent with the pointer's length.
+    BadLength,
+    /// The payload bytes disagree with the pointer's CRC32.
+    ChecksumMismatch,
+    /// The segment file could not be read (I/O error).
+    Io,
+}
+
+impl std::fmt::Display for ValueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValueError::TornOrMissing => write!(f, "value segment torn or missing"),
+            ValueError::BadLength => write!(f, "value payload length inconsistent"),
+            ValueError::ChecksumMismatch => write!(f, "value payload checksum mismatch"),
+            ValueError::Io => write!(f, "value segment read error"),
+        }
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+/// The on-disk path of value segment `seg` under `dir`. The `vseg-`
+/// prefix keeps these files invisible to `recovery::log_files` (log
+/// logic never touches them) while sharing the directory.
+pub fn vseg_path(dir: &Path, seg: u64) -> PathBuf {
+    dir.join(format!("vseg-{seg}"))
+}
+
+/// Makes a newly created segment's name durable.
+fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Value-segment ids present in `dir`, ascending.
+pub fn vseg_ids(dir: &Path) -> Vec<u64> {
+    let mut ids = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            if let Some(rest) = e.file_name().to_str().and_then(|n| n.strip_prefix("vseg-")) {
+                if let Ok(id) = rest.parse::<u64>() {
+                    ids.push(id);
+                }
+            }
+        }
+    }
+    ids.sort_unstable();
+    ids
+}
+
+/// Encodes a payload (`ncols u16 | ncols × len u32 | bytes`) from
+/// column slices.
+pub fn encode_payload(cols: &[&[u8]], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(cols.len() as u16).to_le_bytes());
+    for c in cols {
+        out.extend_from_slice(&(c.len() as u32).to_le_bytes());
+    }
+    for c in cols {
+        out.extend_from_slice(c);
+    }
+}
+
+/// Decodes a payload into borrowed column slices. `None` when the
+/// framing is inconsistent with the buffer length (surfaced as
+/// [`ValueError::BadLength`]).
+pub fn decode_payload(buf: &[u8]) -> Option<Vec<&[u8]>> {
+    let ncols = u16::from_le_bytes(buf.get(..2)?.try_into().ok()?) as usize;
+    let mut p = buf.get(2..)?;
+    let mut lens = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        lens.push(u32::from_le_bytes(p.get(..4)?.try_into().ok()?) as usize);
+        p = &p[4..];
+    }
+    let mut cols = Vec::with_capacity(ncols);
+    for len in lens {
+        cols.push(p.get(..len)?);
+        p = &p[len..];
+    }
+    if !p.is_empty() {
+        return None; // trailing garbage: framing inconsistent
+    }
+    Some(cols)
+}
+
+/// Decodes a payload straight into a [`ColValue`] — the bulk twin of
+/// [`decode_payload`] for the cache-miss read path: the column bytes
+/// are copied once from the read buffer into the value's single block,
+/// with no intermediate slice vector.
+fn decode_payload_value(buf: &[u8], version: u64) -> Option<ColValue> {
+    let ncols = u16::from_le_bytes(buf.get(..2)?.try_into().ok()?) as usize;
+    let lens = buf.get(2..2 + 4 * ncols)?;
+    let data = &buf[2 + 4 * ncols..];
+    ColValue::from_packed(
+        version,
+        lens.chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
+        data,
+    )
+}
+
+/// Per-segment payload byte accounting, driving GC candidate selection
+/// and the `live_segment_bytes` stat.
+#[derive(Debug, Default, Clone, Copy)]
+struct SegAccount {
+    /// Total payload bytes ever appended to the segment.
+    total: u64,
+    /// Bytes whose pointer record has been superseded (replaced,
+    /// removed, or relocated by GC).
+    dead: u64,
+}
+
+/// The active segment's appender.
+struct Appender {
+    file: File,
+    seg: u64,
+    /// Bytes written to the active segment (page cache; ≥ durable).
+    written: u64,
+    /// Bytes of the active segment known durable (post-fsync).
+    durable: u64,
+}
+
+/// A standalone value-segment reader with a per-segment handle cache —
+/// used by recovery (before a store exists) and embedded in
+/// [`ValueTier`] for the read path.
+pub struct SegReader {
+    dir: PathBuf,
+    handles: Mutex<FxMap<u64, Arc<File>>>,
+}
+
+impl SegReader {
+    pub fn new(dir: &Path) -> SegReader {
+        SegReader {
+            dir: dir.to_path_buf(),
+            handles: Mutex::new(FxMap::default()),
+        }
+    }
+
+    fn handle(&self, seg: u64) -> Result<Arc<File>, ValueError> {
+        let mut handles = self.handles.lock();
+        if let Some(f) = handles.get(&seg) {
+            return Ok(Arc::clone(f));
+        }
+        let f = match File::open(vseg_path(&self.dir, seg)) {
+            Ok(f) => Arc::new(f),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(ValueError::TornOrMissing)
+            }
+            Err(_) => return Err(ValueError::Io),
+        };
+        handles.insert(seg, Arc::clone(&f));
+        Ok(f)
+    }
+
+    /// Drops the cached handle for `seg` (after segment deletion, and
+    /// on follower resync so a re-created mirror reopens fresh).
+    pub fn forget(&self, seg: u64) {
+        self.handles.lock().remove(&seg);
+    }
+
+    /// Drops every cached handle.
+    pub fn forget_all(&self) {
+        self.handles.lock().clear();
+    }
+
+    /// Reads and integrity-checks the payload `ptr` names. The returned
+    /// bytes are exactly what was appended or a typed error — never a
+    /// prefix, never corrupt.
+    pub fn read(&self, ptr: ValuePtr) -> Result<Vec<u8>, ValueError> {
+        let f = self.handle(ptr.seg)?;
+        let mut buf = vec![0u8; ptr.len as usize];
+        match f.read_exact_at(&mut buf, ptr.off) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return Err(ValueError::TornOrMissing)
+            }
+            Err(_) => return Err(ValueError::Io),
+        }
+        if crc32(&buf) != ptr.crc {
+            return Err(ValueError::ChecksumMismatch);
+        }
+        Ok(buf)
+    }
+
+    /// [`SegReader::read`] decoded into a [`ColValue`] at `version`.
+    pub fn read_value(&self, ptr: ValuePtr, version: u64) -> Result<ColValue, ValueError> {
+        let buf = self.read(ptr)?;
+        decode_payload_value(&buf, version).ok_or(ValueError::BadLength)
+    }
+}
+
+/// The budgeted cache of decoded indirect values, keyed by
+/// `(seg, off)`. Segment ids are never reused within a store lifetime,
+/// so a key can never alias two different payloads; follower epoch
+/// resyncs (which may reuse ids) purge the cache wholesale.
+///
+/// Sharded second-chance (CLOCK) replacement rather than strict LRU:
+/// the hit path — the hot path of every indirect read — is one sharded
+/// lock, one hash lookup, and a flag store. A strict LRU's per-hit
+/// recency reordering costs two ordered-map updates under one global
+/// lock and dominates cache-hit latency at point-get rates.
+struct ValueCache {
+    shards: Vec<Mutex<CacheShard>>,
+}
+
+struct CacheShard {
+    map: FxMap<(u64, u64), CacheEntry>,
+    /// Clock ring of insertion order. May hold stale keys (evicted or
+    /// removed out of band) — they are skipped when the hand passes.
+    ring: VecDeque<(u64, u64)>,
+    bytes: usize,
+    budget: usize,
+}
+
+struct CacheEntry {
+    val: Arc<ColValue>,
+    bytes: usize,
+    /// Second-chance bit: set on hit, cleared (once) by the clock hand
+    /// before the entry becomes evictable.
+    referenced: bool,
+}
+
+const CACHE_SHARDS: usize = 16;
+
+/// Multiply-xor hasher (FxHash-style) for maps keyed by fixed-width
+/// internal ids. SipHash costs more than the rest of the lookup on the
+/// cache and segment-handle maps, which sit on the indirect read path.
+/// Not DoS-resistant — the keys are internally generated segment ids
+/// and offsets, never attacker-chosen bytes.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl std::hash::Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, i: u64) {
+        self.0 = (self.0.rotate_left(5) ^ i).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<FxHasher>>;
+
+fn shard_of(key: (u64, u64)) -> usize {
+    let mix = (key.0 ^ key.1.rotate_left(32)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    (mix >> 60) as usize % CACHE_SHARDS
+}
+
+impl ValueCache {
+    fn new(budget: usize) -> ValueCache {
+        let per_shard = budget / CACHE_SHARDS;
+        ValueCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| {
+                    Mutex::new(CacheShard {
+                        map: FxMap::default(),
+                        ring: VecDeque::new(),
+                        bytes: 0,
+                        budget: per_shard,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    fn get(&self, key: (u64, u64)) -> Option<Arc<ColValue>> {
+        let mut shard = self.shards[shard_of(key)].lock();
+        let e = shard.map.get_mut(&key)?;
+        e.referenced = true;
+        Some(Arc::clone(&e.val))
+    }
+
+    fn insert(&self, key: (u64, u64), val: Arc<ColValue>) {
+        let bytes = val.heap_bytes();
+        let mut shard = self.shards[shard_of(key)].lock();
+        if shard.budget == 0 {
+            return;
+        }
+        let old = shard.map.insert(
+            key,
+            CacheEntry {
+                val,
+                bytes,
+                referenced: false,
+            },
+        );
+        match old {
+            // Replacing in place: the key is already on the ring.
+            Some(old) => shard.bytes -= old.bytes,
+            None => shard.ring.push_back(key),
+        }
+        shard.bytes += bytes;
+        // Advance the clock hand until back under budget: a stale ring
+        // key is dropped, a referenced entry gets its second chance, an
+        // unreferenced one is evicted. Terminates: every step either
+        // shrinks the ring or clears a flag that is never re-set here.
+        let CacheShard {
+            map,
+            ring,
+            bytes,
+            budget,
+        } = &mut *shard;
+        while *bytes > *budget && map.len() > 1 {
+            let Some(k) = ring.pop_front() else {
+                break;
+            };
+            match map.entry(k) {
+                std::collections::hash_map::Entry::Vacant(_) => {}
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    if e.get().referenced {
+                        e.get_mut().referenced = false;
+                        ring.push_back(k);
+                    } else {
+                        *bytes -= e.remove().bytes;
+                    }
+                }
+            }
+        }
+    }
+
+    fn remove(&self, key: (u64, u64)) {
+        let mut shard = self.shards[shard_of(key)].lock();
+        if let Some(e) = shard.map.remove(&key) {
+            shard.bytes -= e.bytes;
+        }
+        // The ring entry goes stale and is skipped by the clock hand.
+    }
+
+    fn purge(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            s.map.clear();
+            s.ring.clear();
+            s.bytes = 0;
+        }
+    }
+}
+
+/// Value-tier observability counters, served through the network
+/// `Stats` request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ValueTierStats {
+    /// Reads that resolved an indirect value (cache hit or disk).
+    pub indirect_reads: u64,
+    /// Indirect reads served by the decoded-value cache.
+    pub value_cache_hits: u64,
+    /// Live payload bytes GC has relocated out of condemned segments.
+    pub gc_rewritten_bytes: u64,
+    /// Payload bytes still referenced across all value segments.
+    pub live_segment_bytes: u64,
+    /// Indirect reads that failed integrity checks (typed error).
+    pub unresolved_reads: u64,
+    /// Value segments on disk.
+    pub segments: u64,
+}
+
+/// The value tier attached to a store: appender + reader + cache +
+/// per-segment accounting.
+pub struct ValueTier {
+    dir: PathBuf,
+    segment_bytes: u64,
+    /// `None` for a reader-only tier (replication follower mirrors).
+    appender: Mutex<Option<Appender>>,
+    reader: SegReader,
+    cache: ValueCache,
+    accounts: Mutex<HashMap<u64, SegAccount>>,
+    /// GC-condemned segments: seg → condemn timestamp (`clock::now`).
+    /// Deleted once a durable checkpoint with `start_ts ≥` the stamp
+    /// exists (see `Store::run_durability_cycle` for the proof).
+    condemned: Mutex<HashMap<u64, u64>>,
+    /// Active segment id (shipping watermark for replication).
+    active_seg: AtomicU64,
+    /// Durable bytes of the active segment.
+    active_durable: AtomicU64,
+    indirect_reads: AtomicU64,
+    cache_hits: AtomicU64,
+    gc_rewritten: AtomicU64,
+    unresolved: AtomicU64,
+}
+
+impl ValueTier {
+    /// Mounts the tier over `dir`. A writable tier opens a **fresh**
+    /// active segment one past the highest existing id — old tails are
+    /// never appended to (their durable length is crash evidence, and
+    /// pointers into them must stay byte-stable for replication
+    /// mirrors). A reader-only tier (`writable: false`) serves
+    /// resolutions from whatever segment files are present.
+    pub fn open(
+        dir: &Path,
+        segment_bytes: u64,
+        cache_budget: usize,
+        writable: bool,
+    ) -> std::io::Result<ValueTier> {
+        std::fs::create_dir_all(dir)?;
+        let ids = vseg_ids(dir);
+        let mut accounts = HashMap::new();
+        for &id in &ids {
+            let total = std::fs::metadata(vseg_path(dir, id))
+                .map(|m| m.len())
+                .unwrap_or(0);
+            accounts.insert(id, SegAccount { total, dead: 0 });
+        }
+        let next = ids.last().map(|&i| i + 1).unwrap_or(0);
+        let appender = if writable {
+            let file = OpenOptions::new()
+                .create_new(true)
+                .append(true)
+                .open(vseg_path(dir, next))?;
+            fsync_dir(dir)?;
+            accounts.insert(next, SegAccount::default());
+            Some(Appender {
+                file,
+                seg: next,
+                written: 0,
+                durable: 0,
+            })
+        } else {
+            None
+        };
+        Ok(ValueTier {
+            dir: dir.to_path_buf(),
+            segment_bytes: segment_bytes.max(1),
+            active_seg: AtomicU64::new(appender.as_ref().map(|a| a.seg).unwrap_or(0)),
+            active_durable: AtomicU64::new(0),
+            appender: Mutex::new(appender),
+            reader: SegReader::new(dir),
+            cache: ValueCache::new(cache_budget),
+            accounts: Mutex::new(accounts),
+            condemned: Mutex::new(HashMap::new()),
+            indirect_reads: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            gc_rewritten: AtomicU64::new(0),
+            unresolved: AtomicU64::new(0),
+        })
+    }
+
+    /// Appends a payload to the active segment (page cache only — call
+    /// [`ValueTier::force`] before acking any pointer that names it).
+    /// Rotates past the size threshold, fsyncing the sealed segment so
+    /// "below the active segment" always means "fully durable".
+    pub fn append(&self, payload: &[u8]) -> std::io::Result<ValuePtr> {
+        let mut guard = self.appender.lock();
+        let ap = guard
+            .as_mut()
+            .ok_or_else(|| std::io::Error::other("value tier is reader-only"))?;
+        if ap.written > 0 && ap.written + payload.len() as u64 > self.segment_bytes {
+            ap.file.sync_data()?;
+            let next = ap.seg + 1;
+            let file = OpenOptions::new()
+                .create_new(true)
+                .append(true)
+                .open(vseg_path(&self.dir, next))?;
+            fsync_dir(&self.dir)?;
+            *ap = Appender {
+                file,
+                seg: next,
+                written: 0,
+                durable: 0,
+            };
+            self.accounts.lock().insert(next, SegAccount::default());
+            self.active_seg.store(next, Ordering::Release);
+            self.active_durable.store(0, Ordering::Release);
+        }
+        ap.file.write_all(payload)?;
+        let ptr = ValuePtr {
+            seg: ap.seg,
+            off: ap.written,
+            len: payload.len() as u32,
+            crc: crc32(payload),
+        };
+        ap.written += payload.len() as u64;
+        if let Some(acct) = self.accounts.lock().get_mut(&ap.seg) {
+            acct.total += payload.len() as u64;
+        }
+        Ok(ptr)
+    }
+
+    /// Forces the active segment to storage. Must complete **before**
+    /// the write-ahead log force on every durability-ack path: a
+    /// durable pointer record then always names durable payload bytes.
+    /// Returns false on failure (callers must not ack).
+    pub fn force(&self) -> bool {
+        let mut guard = self.appender.lock();
+        let Some(ap) = guard.as_mut() else {
+            return true; // reader-only tier: nothing to flush
+        };
+        if ap.durable == ap.written {
+            return true;
+        }
+        match ap.file.sync_data() {
+            Ok(()) => {
+                ap.durable = ap.written;
+                self.active_durable.store(ap.durable, Ordering::Release);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// `(active segment, durable bytes of it)` — the shipping watermark
+    /// for replication. Segments below the active one are sealed and
+    /// fully durable.
+    pub fn progress(&self) -> (u64, u64) {
+        (
+            self.active_seg.load(Ordering::Acquire),
+            self.active_durable.load(Ordering::Acquire),
+        )
+    }
+
+    /// Resolves an indirect value: decoded-value cache first, then an
+    /// integrity-checked segment read. Errors are typed and counted;
+    /// wrong bytes are impossible (CRC + length cover every path).
+    pub fn resolve(&self, ptr: ValuePtr, version: u64) -> Result<Arc<ColValue>, ValueError> {
+        self.indirect_reads.fetch_add(1, Ordering::Relaxed);
+        let key = (ptr.seg, ptr.off);
+        if let Some(v) = self.cache.get(key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(v);
+        }
+        match self.reader.read_value(ptr, version) {
+            Ok(v) => {
+                let arc = Arc::new(v);
+                self.cache.insert(key, Arc::clone(&arc));
+                Ok(arc)
+            }
+            Err(e) => {
+                self.unresolved.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Reads a payload without touching the cache (GC relocation).
+    pub fn read_raw(&self, ptr: ValuePtr) -> Result<Vec<u8>, ValueError> {
+        self.reader.read(ptr)
+    }
+
+    /// Marks the payload `ptr` names as dead (its pointer record was
+    /// replaced, removed, or relocated) and drops any cached copy.
+    pub fn note_dead(&self, ptr: ValuePtr) {
+        if let Some(acct) = self.accounts.lock().get_mut(&ptr.seg) {
+            acct.dead = (acct.dead + ptr.len as u64).min(acct.total);
+        }
+        self.cache.remove((ptr.seg, ptr.off));
+    }
+
+    /// Counts `n` relocated payload bytes (GC observability).
+    pub fn note_rewritten(&self, n: u64) {
+        self.gc_rewritten.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Replaces the per-segment live accounting wholesale (recovery:
+    /// totals come from the file lengths, live bytes from a tree scan).
+    pub fn rebuild_accounts(&self, live_by_seg: &HashMap<u64, u64>) {
+        let mut accounts = self.accounts.lock();
+        for (seg, acct) in accounts.iter_mut() {
+            let live = live_by_seg.get(seg).copied().unwrap_or(0).min(acct.total);
+            acct.dead = acct.total - live;
+        }
+    }
+
+    /// Sealed segments (below the active one) whose dead fraction is at
+    /// least `dead_fraction`, worst first — GC rewrite candidates.
+    /// Already-condemned segments are excluded.
+    pub fn gc_candidates(&self, dead_fraction: f64) -> Vec<u64> {
+        let active = self.active_seg.load(Ordering::Acquire);
+        let condemned = self.condemned.lock();
+        let accounts = self.accounts.lock();
+        let mut out: Vec<(u64, f64)> = accounts
+            .iter()
+            .filter(|(&seg, acct)| seg < active && acct.total > 0 && !condemned.contains_key(&seg))
+            .map(|(&seg, acct)| (seg, acct.dead as f64 / acct.total as f64))
+            .filter(|&(_, frac)| frac >= dead_fraction)
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out.into_iter().map(|(seg, _)| seg).collect()
+    }
+
+    /// Condemns `seg` at timestamp `now`: every live pointer into it
+    /// has been relocated (and the relocations logged), so once a
+    /// durable checkpoint with `start_ts ≥ now` exists, no recovery or
+    /// replay can reference it again and the file may be deleted.
+    pub fn condemn(&self, seg: u64, now: u64) {
+        self.condemned.lock().insert(seg, now);
+    }
+
+    /// Deletes condemned segments whose stamp is at or before
+    /// `covered_ts` (the just-published checkpoint's `start_ts`).
+    /// Returns the number of files removed.
+    pub fn delete_condemned(&self, covered_ts: u64) -> u64 {
+        let ripe: Vec<u64> = self
+            .condemned
+            .lock()
+            .iter()
+            .filter(|&(_, &ts)| ts <= covered_ts)
+            .map(|(&seg, _)| seg)
+            .collect();
+        let mut deleted = 0;
+        for seg in ripe {
+            if std::fs::remove_file(vseg_path(&self.dir, seg)).is_ok() {
+                deleted += 1;
+            }
+            self.condemned.lock().remove(&seg);
+            self.accounts.lock().remove(&seg);
+            self.reader.forget(seg);
+        }
+        deleted
+    }
+
+    /// Purges the decoded-value cache and reader handles (follower
+    /// epoch resync: a new primary epoch may reuse segment ids, and a
+    /// stale cached decode keyed by `(seg, off)` would serve the old
+    /// epoch's bytes).
+    pub fn purge_cache(&self) {
+        self.cache.purge();
+        self.reader.forget_all();
+    }
+
+    /// Current counters + derived live/segment totals.
+    pub fn stats(&self) -> ValueTierStats {
+        let accounts = self.accounts.lock();
+        let live: u64 = accounts.values().map(|a| a.total - a.dead).sum();
+        let segments = accounts.len() as u64;
+        ValueTierStats {
+            indirect_reads: self.indirect_reads.load(Ordering::Relaxed),
+            value_cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            gc_rewritten_bytes: self.gc_rewritten.load(Ordering::Relaxed),
+            live_segment_bytes: live,
+            unresolved_reads: self.unresolved.load(Ordering::Relaxed),
+            segments,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mtkv-vtier-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let mut buf = Vec::new();
+        encode_payload(&[b"alpha", b"", b"gamma-gamma"], &mut buf);
+        let cols = decode_payload(&buf).unwrap();
+        assert_eq!(cols, vec![&b"alpha"[..], &b""[..], &b"gamma-gamma"[..]]);
+        // Trailing garbage is refused, not ignored.
+        buf.push(0);
+        assert!(decode_payload(&buf).is_none());
+    }
+
+    #[test]
+    fn append_read_rotate() {
+        let dir = tmpdir("rot");
+        let tier = ValueTier::open(&dir, 64, 1 << 20, true).unwrap();
+        let mut ptrs = Vec::new();
+        for i in 0..10u32 {
+            let mut p = Vec::new();
+            encode_payload(&[&i.to_le_bytes(), &[i as u8; 30]], &mut p);
+            ptrs.push(tier.append(&p).unwrap());
+        }
+        assert!(tier.force());
+        assert!(
+            ptrs.last().unwrap().seg > ptrs[0].seg,
+            "rotation happened: {ptrs:?}"
+        );
+        for (i, ptr) in ptrs.iter().enumerate() {
+            let v = tier.resolve(*ptr, i as u64).unwrap();
+            assert_eq!(v.col(0), Some(&(i as u32).to_le_bytes()[..]));
+            assert_eq!(v.col(1), Some(&[i as u8; 30][..]));
+        }
+        let s = tier.stats();
+        assert_eq!(s.indirect_reads, 10);
+        assert!(s.segments >= 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn typed_errors_never_wrong_bytes() {
+        let dir = tmpdir("err");
+        let tier = ValueTier::open(&dir, 1 << 20, 0, true).unwrap();
+        let mut p = Vec::new();
+        encode_payload(&[b"payload-bytes"], &mut p);
+        let ptr = tier.append(&p).unwrap();
+        assert!(tier.force());
+        // Checksum mismatch.
+        let bad = ValuePtr {
+            crc: ptr.crc ^ 1,
+            ..ptr
+        };
+        assert_eq!(
+            tier.resolve(bad, 1).unwrap_err(),
+            ValueError::ChecksumMismatch
+        );
+        // Past the end of the segment.
+        let torn = ValuePtr {
+            off: ptr.off + 7,
+            ..ptr
+        };
+        assert!(matches!(
+            tier.resolve(torn, 1).unwrap_err(),
+            ValueError::TornOrMissing | ValueError::ChecksumMismatch
+        ));
+        // Missing segment.
+        let gone = ValuePtr {
+            seg: ptr.seg + 99,
+            ..ptr
+        };
+        assert_eq!(
+            tier.resolve(gone, 1).unwrap_err(),
+            ValueError::TornOrMissing
+        );
+        assert_eq!(tier.stats().unresolved_reads, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_budget_evicts_lru() {
+        let dir = tmpdir("lru");
+        // Budget fits roughly two decoded values.
+        let tier = ValueTier::open(&dir, 1 << 20, 700, true).unwrap();
+        let mut ptrs = Vec::new();
+        for i in 0..4u8 {
+            let mut p = Vec::new();
+            encode_payload(&[&[i; 256]], &mut p);
+            ptrs.push(tier.append(&p).unwrap());
+        }
+        assert!(tier.force());
+        for (i, ptr) in ptrs.iter().enumerate() {
+            tier.resolve(*ptr, i as u64).unwrap();
+        }
+        // Hot key stays cached; re-resolving the cold first one misses.
+        tier.resolve(ptrs[3], 3).unwrap();
+        let before = tier.stats().value_cache_hits;
+        tier.resolve(ptrs[3], 3).unwrap();
+        assert_eq!(tier.stats().value_cache_hits, before + 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn condemn_delete_cycle() {
+        let dir = tmpdir("gc");
+        let tier = ValueTier::open(&dir, 32, 0, true).unwrap();
+        let mut p = Vec::new();
+        encode_payload(&[&[7u8; 40]], &mut p);
+        let a = tier.append(&p).unwrap(); // fills segment, next append rotates
+        let b = tier.append(&p).unwrap();
+        assert!(tier.force());
+        assert_ne!(a.seg, b.seg);
+        tier.note_dead(a);
+        assert_eq!(tier.gc_candidates(0.99), vec![a.seg]);
+        tier.condemn(a.seg, 100);
+        assert_eq!(tier.delete_condemned(50), 0, "not yet covered");
+        assert_eq!(tier.delete_condemned(100), 1);
+        assert!(!vseg_path(&dir, a.seg).exists());
+        assert_eq!(
+            tier.resolve(a, 1).unwrap_err(),
+            ValueError::TornOrMissing,
+            "deleted segment reads are typed errors"
+        );
+        assert!(tier.resolve(b, 2).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

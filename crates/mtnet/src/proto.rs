@@ -163,6 +163,15 @@ pub struct StatsReply {
     /// behind the primary's write timeline the laggiest replica (on the
     /// primary) or this replica (on a follower) is. 0 when caught up.
     pub repl_lag_ts_us: u64,
+    /// Value tier: reads that resolved an indirect (value-separated)
+    /// pointer record. 0 when value separation is off.
+    pub indirect_reads: u64,
+    /// Value tier: indirect reads served from the decoded-value cache.
+    pub value_cache_hits: u64,
+    /// Value tier: payload bytes relocated by segment GC this lifetime.
+    pub gc_rewritten_bytes: u64,
+    /// Value tier: live (referenced) bytes across all value segments.
+    pub live_segment_bytes: u64,
     /// Live connection count per event-loop worker (index = worker id);
     /// the accept-time rebalancer keeps these near-equal under uniform
     /// load. Empty when the backend is not the event-loop server.
@@ -188,6 +197,10 @@ impl StatsReply {
             self.repl_followers,
             self.repl_lag_bytes,
             self.repl_lag_ts_us,
+            self.indirect_reads,
+            self.value_cache_hits,
+            self.gc_rewritten_bytes,
+            self.live_segment_bytes,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -198,7 +211,7 @@ impl StatsReply {
     }
 
     fn decode(p: &mut &[u8]) -> Option<StatsReply> {
-        let mut f = [0u64; 16];
+        let mut f = [0u64; 20];
         for v in f.iter_mut() {
             *v = u64::from_le_bytes(p.get(..8)?.try_into().ok()?);
             *p = &p[8..];
@@ -227,6 +240,10 @@ impl StatsReply {
             repl_followers: f[13],
             repl_lag_bytes: f[14],
             repl_lag_ts_us: f[15],
+            indirect_reads: f[16],
+            value_cache_hits: f[17],
+            gc_rewritten_bytes: f[18],
+            live_segment_bytes: f[19],
             worker_conns,
         })
     }
@@ -723,6 +740,10 @@ mod tests {
             repl_followers: 2,
             repl_lag_bytes: 1 << 33,
             repl_lag_ts_us: 250_000,
+            indirect_reads: 88_000,
+            value_cache_hits: 70_500,
+            gc_rewritten_bytes: 9 << 20,
+            live_segment_bytes: 3 << 30,
             worker_conns: vec![3, 0, 7, 1],
         }));
         roundtrip_resp(Response::Stats(StatsReply::default()));

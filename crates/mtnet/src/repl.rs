@@ -79,6 +79,15 @@ pub const ROLE_NONE: u64 = 0;
 pub const ROLE_PRIMARY: u64 = 1;
 pub const ROLE_FOLLOWER: u64 = 2;
 
+/// Pseudo-session carrying value-tier segment bytes (`vseg-<seg>`
+/// files) through the same `Data`-frame protocol as WAL chains. Real
+/// session ids are small counters and can never collide with it. Vseg
+/// bytes are mirrored verbatim (never decoded as log records), and each
+/// shipping pass sends them **before** any WAL chain: a shipped pointer
+/// record then always finds its payload bytes already mirrored (the
+/// primary orders its own durability the same way — tier before WAL).
+const VSEG_SESSION: u64 = u64::MAX - 1;
+
 // ---------------------------------------------------------------------
 // Frame plumbing shared by both ends.
 // ---------------------------------------------------------------------
@@ -376,6 +385,10 @@ impl Drop for ReplSource {
     }
 }
 
+/// One shippable chain for a feeder pass: `(session id, its sorted
+/// segment chain, durable limit of the active segment if any)`.
+type Feed<'a> = (u64, &'a Vec<(u64, PathBuf, u64)>, Option<u64>);
+
 /// Shipping limits for one pass over the primary's log directory:
 /// per-file durable byte counts plus their total.
 struct FeedView {
@@ -383,10 +396,17 @@ struct FeedView {
     chains: BTreeMap<u64, Vec<(u64, PathBuf, u64)>>,
     /// session → active segment, for sessions whose writer is live.
     active: HashMap<u64, u64>,
+    /// Value-tier segment chain (shipped first, as [`VSEG_SESSION`]),
+    /// plus the tier's active segment. Empty when no tier is mounted.
+    vsegs: Vec<(u64, PathBuf, u64)>,
+    vseg_active: Option<u64>,
     total_durable: u64,
 }
 
 fn feed_view(shared: &SrcShared) -> FeedView {
+    // WAL watermarks are snapshotted BEFORE the value tier's, and the
+    // tier is forced in between (below): any pointer inside these WAL
+    // limits then names a payload the (later-read) vseg limits cover.
     let live: HashMap<u64, (u64, u64)> = shared
         .store
         .shipping_watermarks()
@@ -415,9 +435,39 @@ fn feed_view(shared: &SrcShared) -> FeedView {
         }
         chains.insert(session, chain);
     }
+    let mut vsegs = Vec::new();
+    let mut vseg_active = None;
+    if let Some(tier) = shared.store.value_tier() {
+        // Force the tier before snapshotting its watermark. The ack
+        // paths already order tier-force before WAL-force, but the WAL's
+        // 200 ms *background* force advances the WAL watermark on its
+        // own — without this force, a store that never checkpoints or
+        // takes an explicit Flush/Sync would ship pointer records whose
+        // payload bytes stay below the vseg durable limit forever, and
+        // followers would answer misses for every separated key. Payload
+        // bytes are appended before their pointer record is logged, so
+        // forcing here (after the WAL snapshot above) covers every
+        // pointer inside those WAL limits. No-op when nothing is dirty.
+        let _ = tier.force();
+        let (active, durable) = tier.progress();
+        vseg_active = Some(active);
+        for seg in mtkv::vtier::vseg_ids(&shared.dir) {
+            let path = mtkv::vtier::vseg_path(&shared.dir, seg);
+            let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            let limit = match seg.cmp(&active) {
+                std::cmp::Ordering::Less => len, // sealed: static
+                std::cmp::Ordering::Equal => durable.min(len),
+                std::cmp::Ordering::Greater => 0,
+            };
+            total += limit;
+            vsegs.push((seg, path, limit));
+        }
+    }
     FeedView {
         chains,
         active: live.into_iter().map(|(id, (seg, _))| (id, seg)).collect(),
+        vsegs,
+        vseg_active,
         total_durable: total,
     }
 }
@@ -459,16 +509,37 @@ fn feed_follower(shared: &SrcShared, mut sock: TcpStream) {
         let view = feed_view(shared);
 
         // Ship: advance each session's cursor toward its durable limit,
-        // strictly in (segment, offset) order.
-        let mut shipped = 0usize;
+        // strictly in (segment, offset) order. The vseg pseudo-session
+        // goes FIRST so payload bytes always precede the WAL pointer
+        // records that name them.
+        let mut feeds: Vec<Feed> = Vec::new();
+        if !view.vsegs.is_empty() {
+            feeds.push((VSEG_SESSION, &view.vsegs, view.vseg_active));
+        }
         for (&session, chain) in &view.chains {
+            feeds.push((session, chain, view.active.get(&session).copied()));
+        }
+        let mut shipped = 0usize;
+        for (session, chain, live_active) in feeds {
             let cursor = cursors.entry(session).or_insert_with(|| {
                 let first = chain.first().map(|&(seg, _, _)| seg).unwrap_or(0);
                 (first, 0)
             });
-            let live_active = view.active.get(&session).copied();
             loop {
                 let Some(entry) = chain.iter().find(|&&(seg, _, _)| seg == cursor.0) else {
+                    if session == VSEG_SESSION {
+                        // GC deletes reclaimed value segments, so a
+                        // vseg chain legitimately has holes; skip the
+                        // cursor forward (relocated copies arrive
+                        // through the GC session's WAL records).
+                        match chain.iter().map(|&(s, _, _)| s).find(|&s| s > cursor.0) {
+                            Some(next) => {
+                                *cursor = (next, 0);
+                                continue;
+                            }
+                            None => break,
+                        }
+                    }
                     // The follower claims a segment this chain does not
                     // have. Same-epoch chains only grow, so this is a
                     // protocol violation (or pre-source truncation):
@@ -519,10 +590,17 @@ fn feed_follower(shared: &SrcShared, mut sock: TcpStream) {
                     Some(active) => *seg < active,
                     None => chain.iter().any(|&(s, _, _)| s > *seg),
                 };
-                if complete && cursor.1 >= *limit && chain.iter().any(|&(s, _, _)| s == seg + 1) {
-                    *cursor = (seg + 1, 0);
+                let successor = if session == VSEG_SESSION {
+                    // Vseg ids can be sparse (GC deletions).
+                    chain.iter().map(|&(s, _, _)| s).find(|&s| s > *seg)
+                } else if chain.iter().any(|&(s, _, _)| s == seg + 1) {
+                    Some(seg + 1)
                 } else {
-                    break;
+                    None
+                };
+                match successor {
+                    Some(next) if complete && cursor.1 >= *limit => *cursor = (next, 0),
+                    _ => break,
                 }
             }
         }
@@ -709,7 +787,10 @@ impl Follower {
 
     pub fn start_with(dir: &Path, primary: &str, cfg: FollowerConfig) -> std::io::Result<Follower> {
         std::fs::create_dir_all(dir)?;
-        let store = Store::in_memory();
+        // A replica store: in-memory tree plus a reader-only value tier
+        // over `dir`, where vseg mirrors land — replayed pointer
+        // records resolve against them.
+        let store = Store::replica(dir)?;
         let stats = store.repl_stats();
         stats.role.store(ROLE_FOLLOWER, Ordering::Relaxed);
         let shared = Arc::new(FolShared {
@@ -862,6 +943,17 @@ impl ApplyState {
                     }
                 }
             }
+            LogRecord::PutIndirect {
+                version, key, ptr, ..
+            } => match self.swept.get(key) {
+                Some(&swept_v) if *version <= swept_v => {}
+                other => {
+                    if other.is_some() {
+                        self.swept.remove(key);
+                    }
+                    store.replay_put_indirect(key, *version, *ptr);
+                }
+            },
             LogRecord::Remove { version, key, .. } => {
                 let e = self.swept.entry(key.clone()).or_insert(*version);
                 *e = (*e).max(*version);
@@ -906,7 +998,11 @@ impl ApplyState {
 }
 
 fn mirror_path(dir: &Path, session: u64, seg: u64) -> PathBuf {
-    mtkv::segment_path(dir, session, seg)
+    if session == VSEG_SESSION {
+        mtkv::vtier::vseg_path(dir, seg)
+    } else {
+        mtkv::segment_path(dir, session, seg)
+    }
 }
 
 fn journal_path(dir: &Path) -> PathBuf {
@@ -974,10 +1070,14 @@ fn read_journal(dir: &Path) -> Option<(u64, JournalEntries)> {
     Some((epoch, marks))
 }
 
-/// Deletes every mirror segment and the journal (full resync).
+/// Deletes every mirror segment (WAL and value-tier) and the journal
+/// (full resync).
 fn wipe_mirrors(dir: &Path) {
     for path in mtkv::log_files(dir) {
         let _ = std::fs::remove_file(&path);
+    }
+    for seg in mtkv::vtier::vseg_ids(dir) {
+        let _ = std::fs::remove_file(mtkv::vtier::vseg_path(dir, seg));
     }
     let _ = std::fs::remove_file(journal_path(dir));
 }
@@ -1020,12 +1120,62 @@ fn bootstrap(shared: &FolShared) -> ApplyState {
             }
         }
     }
+    // Value-segment mirrors get the same trim against the journaled
+    // vseg cursor.
+    let vmark = journal.get(&VSEG_SESSION).copied();
+    for seg in mtkv::vtier::vseg_ids(&shared.dir) {
+        let path = mtkv::vtier::vseg_path(&shared.dir, seg);
+        match vmark {
+            None => {
+                let _ = std::fs::remove_file(&path);
+            }
+            Some((jseg, japplied)) => {
+                if seg > jseg {
+                    let _ = std::fs::remove_file(&path);
+                } else if seg == jseg {
+                    if let Ok(f) = OpenOptions::new().write(true).open(&path) {
+                        let _ = f.set_len(japplied);
+                    }
+                }
+            }
+        }
+    }
     // Replay. Per-session chains must decode end-to-end; a short decode
     // means the mirror is corrupt and the whole state is discarded. A
     // journaled session with no files yet is valid only at a zero
     // watermark (the mirror file is created on first received byte).
     let chains = mtkv::session_segments(&shared.dir);
     for (&session, &(jseg, japplied)) in &journal {
+        if session == VSEG_SESSION {
+            // Mirrored verbatim, nothing to replay: count the mirrored
+            // bytes and restore the cursor. The journaled segment must
+            // hold exactly the bytes the journal asserted durable.
+            let active_len = std::fs::metadata(mtkv::vtier::vseg_path(&shared.dir, jseg))
+                .map(|m| m.len())
+                .unwrap_or(0);
+            if active_len != japplied {
+                wipe_mirrors(&shared.dir);
+                shared.store.reset_replica();
+                return ApplyState::new();
+            }
+            for seg in mtkv::vtier::vseg_ids(&shared.dir) {
+                let len = std::fs::metadata(mtkv::vtier::vseg_path(&shared.dir, seg))
+                    .map(|m| m.len())
+                    .unwrap_or(0);
+                state.applied_total += len;
+            }
+            state.sessions.insert(
+                VSEG_SESSION,
+                SessState {
+                    seg: jseg,
+                    applied: japplied,
+                    buf: Vec::new(),
+                    file: None,
+                    dirty: false,
+                },
+            );
+            continue;
+        }
         let chain = chains.get(&session).cloned().unwrap_or_default();
         let consistent = if chain.is_empty() {
             japplied == 0
@@ -1280,6 +1430,38 @@ fn apply_data(shared: &FolShared, state: &mut ApplyState, body: &[u8]) -> bool {
         file: None,
         dirty: false,
     });
+    if session == VSEG_SESSION {
+        // Value-segment bytes: mirrored verbatim at their true offset,
+        // never decoded. Segment ids can jump forward (GC deletions on
+        // the primary); the integrity of the bytes is re-checked per
+        // read (length + CRC in every pointer), so a mirror is never
+        // trusted, only stored.
+        if seg > s.seg && offset == 0 {
+            s.seg = seg;
+            s.applied = 0;
+            s.file = None;
+        }
+        if seg != s.seg || offset != s.applied {
+            return false;
+        }
+        if s.file.is_none() {
+            s.file = OpenOptions::new()
+                .create(true)
+                .truncate(false)
+                .write(true)
+                .read(true)
+                .open(mirror_path(&shared.dir, session, seg))
+                .ok();
+        }
+        if let Some(f) = &s.file {
+            if f.write_all_at(bytes, offset).is_ok() {
+                s.dirty = true;
+            }
+        }
+        s.applied += bytes.len() as u64;
+        state.applied_total += bytes.len() as u64;
+        return true;
+    }
     if seg == s.seg + 1 && offset == 0 && s.buf.is_empty() {
         // Primary rotated; the previous segment was fully applied.
         s.seg = seg;

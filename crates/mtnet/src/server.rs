@@ -1688,6 +1688,7 @@ fn gather_stats(session: &Session, loads: &[WorkerLoad]) -> StatsReply {
     let c = session.store().cache_stats();
     let (repl_role, repl_followers, repl_lag_bytes, repl_lag_ts_us) =
         session.store().repl_stats().snapshot();
+    let v = session.store().value_tier_stats();
     StatsReply {
         checkpoints: s.checkpoints,
         last_checkpoint_start_ts: s.last_checkpoint_start_ts,
@@ -1705,6 +1706,10 @@ fn gather_stats(session: &Session, loads: &[WorkerLoad]) -> StatsReply {
         repl_followers,
         repl_lag_bytes,
         repl_lag_ts_us,
+        indirect_reads: v.indirect_reads,
+        value_cache_hits: v.value_cache_hits,
+        gc_rewritten_bytes: v.gc_rewritten_bytes,
+        live_segment_bytes: v.live_segment_bytes,
         worker_conns: loads
             .iter()
             .map(|l| l.conns.load(Ordering::Relaxed))

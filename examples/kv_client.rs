@@ -63,6 +63,9 @@ fn main() {
             println!("repl_followers: {}", s.repl_followers);
             println!("repl_lag_bytes: {}", s.repl_lag_bytes);
             println!("repl_lag_ts_us: {}", s.repl_lag_ts_us);
+            println!("indirect_reads: {}", s.indirect_reads);
+            println!("value_cache_hits: {}", s.value_cache_hits);
+            println!("live_segment_bytes: {}", s.live_segment_bytes);
             println!(
                 "worker_conns: {}",
                 s.worker_conns
