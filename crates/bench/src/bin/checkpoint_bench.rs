@@ -14,6 +14,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bench::{run_timed, Params};
+use mtkv::mtobs::Kind;
 use mtkv::{recover, write_checkpoint, DurabilityConfig, Store};
 use mtworkload::{decimal_key, Rng64};
 
@@ -142,10 +143,26 @@ fn main() {
         n
     });
     // Interleave A/B/A/B to average out filesystem and growth drift.
+    // The observability delta over the whole comparison window yields
+    // put latency percentiles plus checkpoint-cycle and WAL-force
+    // timings from the same run (no separate instrumented pass).
+    let obs_before = store.obs().snapshot();
     let n1 = put_rate("puts (no checkpoint)  ", false);
     let d1 = put_rate("puts (with checkpoint)", true);
     let n2 = put_rate("puts (no checkpoint)  ", false);
     let d2 = put_rate("puts (with checkpoint)", true);
+    let obs_d = store.obs().snapshot().delta(&obs_before);
+    let put_h = *obs_d.kind(Kind::Put);
+    let ckpt_h = *obs_d.kind(Kind::Checkpoint);
+    println!(
+        "put latency: p50 {} p90 {} p99 {} ns ({} ops); checkpoint cycle p99 {} ns ({} cycles)",
+        put_h.percentile(0.5),
+        put_h.percentile(0.9),
+        put_h.percentile(0.99),
+        put_h.count(),
+        ckpt_h.percentile(0.99),
+        ckpt_h.count()
+    );
     let normal = (n1 + n2) / 2.0;
     let during = (d1 + d2) / 2.0;
     println!(
@@ -237,7 +254,9 @@ fn main() {
          \"during_over_normal\": {:.4},\n  \"put_mreq_per_sec_background_off\": {:.4},\n  \
          \"put_mreq_per_sec_background_on\": {:.4},\n  \"background_on_over_off\": {:.4},\n  \
          \"background_checkpoints\": {},\n  \"background_segments_truncated\": {},\n  \
-         \"background_final_log_bytes\": {},\n  \"background_off_final_log_bytes\": {}\n}}\n",
+         \"background_final_log_bytes\": {},\n  \"background_off_final_log_bytes\": {},\n  \
+         \"put_p50_ns\": {},\n  \"put_p90_ns\": {},\n  \"put_p99_ns\": {},\n  \
+         \"checkpoint_cycle_p99_ns\": {},\n  \"wal_force_p99_ns\": {}\n}}\n",
         bench::host_meta_json(p.threads),
         p.keys,
         p.threads,
@@ -257,6 +276,11 @@ fn main() {
         on_stats.segments_truncated,
         on_stats.log_bytes,
         off_stats.log_bytes,
+        put_h.percentile(0.5),
+        put_h.percentile(0.9),
+        put_h.percentile(0.99),
+        ckpt_h.percentile(0.99),
+        obs_d.kind(Kind::WalForce).percentile(0.99),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_checkpoint.json");
     std::fs::write(path, &json).expect("write BENCH_checkpoint.json");

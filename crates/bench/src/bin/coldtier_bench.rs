@@ -16,6 +16,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use bench::{run_timed, Params};
+use mtkv::mtobs::{HistSnapshot, Kind, Snapshot};
 use mtkv::{DurabilityConfig, Store};
 use mtworkload::decimal_key;
 use mtworkload::zipf::PointGets;
@@ -112,6 +113,19 @@ fn read_rate(store: &Arc<Store>, p: &Params, theta: f64, scan: bool, seed: u64) 
     run_timed(p.threads, p.secs, workload).mreq_per_sec()
 }
 
+/// One histogram per workload: merged point-get kinds (hit + descent +
+/// cold-resolve) for point workloads, the scan kind for scans.
+fn read_hist(d: &Snapshot, scan: bool) -> HistSnapshot {
+    if scan {
+        *d.kind(Kind::Scan)
+    } else {
+        let mut h = *d.kind(Kind::GetHit);
+        h.merge(d.kind(Kind::GetDescent));
+        h.merge(d.kind(Kind::GetCold));
+        h
+    }
+}
+
 fn main() {
     let p = Params::from_args();
     let base = std::env::temp_dir().join(format!("coldtier-bench-{}", std::process::id()));
@@ -143,7 +157,7 @@ fn main() {
         seeded.live_segment_bytes as f64 / 1e6
     );
 
-    let mut results: Vec<(&str, f64, f64)> = Vec::new();
+    let mut results: Vec<(&str, f64, f64, HistSnapshot)> = Vec::new();
     for (label, theta, scan, seed) in [
         ("zipf099_point", 0.99, false, 0x10u64),
         ("uniform_point", 0.0, false, 0x20),
@@ -152,16 +166,21 @@ fn main() {
     ] {
         let a = read_rate(&inline, &p, theta, scan, seed);
         let before = cold.value_tier_stats();
+        let obs_before = cold.obs().snapshot();
         let b = read_rate(&cold, &p, theta, scan, seed);
+        // The delta spans the warmup pass too; the measured pass
+        // dominates it and tail shape is what the field reports.
+        let h = read_hist(&cold.obs().snapshot().delta(&obs_before), scan);
         let after = cold.value_tier_stats();
         let reads = after.indirect_reads - before.indirect_reads;
         let hits = after.value_cache_hits - before.value_cache_hits;
         println!(
-            "{label:>16}: inline {a:.3} Mreq/s, cold {b:.3} Mreq/s ({:.0}%, {:.1}% cache hits)",
+            "{label:>16}: inline {a:.3} Mreq/s, cold {b:.3} Mreq/s ({:.0}%, {:.1}% cache hits, p99 {} ns)",
             100.0 * b / a,
-            100.0 * hits as f64 / reads.max(1) as f64
+            100.0 * hits as f64 / reads.max(1) as f64,
+            h.percentile(0.99)
         );
-        results.push((label, a, b));
+        results.push((label, a, b, h));
     }
 
     let stats = cold.value_tier_stats();
@@ -183,11 +202,15 @@ fn main() {
          \"total_value_bytes\": {total_value_bytes},\n  \"cache_bytes\": {cache_bytes},\n",
         p.keys
     ));
-    for (label, a, b) in &results {
+    for (label, a, b, h) in &results {
         json.push_str(&format!(
             "  \"{label}_inline_mreq_per_sec\": {a:.4},\n  \"{label}_cold_mreq_per_sec\": {b:.4},\n  \
-             \"{label}_cold_over_inline\": {:.4},\n",
-            b / a
+             \"{label}_cold_over_inline\": {:.4},\n  \"{label}_cold_p50_ns\": {},\n  \
+             \"{label}_cold_p90_ns\": {},\n  \"{label}_cold_p99_ns\": {},\n",
+            b / a,
+            h.percentile(0.5),
+            h.percentile(0.9),
+            h.percentile(0.99)
         ));
     }
     json.push_str(&format!(
@@ -205,7 +228,7 @@ fn main() {
     let _ = std::fs::remove_dir_all(&base);
 
     // ---- the acceptance gate ----
-    let (_, zi, zc) = results[0];
+    let (_, zi, zc, _) = results[0];
     if zc * 2.0 < zi {
         eprintln!(
             "FAIL: zipf-0.99 point gets on the cold tier ({zc:.3} Mreq/s) fell below \

@@ -20,6 +20,7 @@
 
 use std::time::{Duration, Instant};
 
+use mtkv::mtobs::Kind;
 use mtkv::{DurabilityConfig, Store};
 use mtnet::{Follower, ReplSource};
 
@@ -86,6 +87,11 @@ fn main() {
 
     // ---- steady-state tail lag under write pressure ----
     eprintln!("repl_bench: steady-state lag, {secs:.2}s of saturated puts");
+    // Latency percentiles for the window come from the observability
+    // histograms on both ends: primary-side put / WAL-force / ship
+    // timings, follower-side replay timings.
+    let pri_before = store.obs().snapshot();
+    let fol_before = follower.store().obs().snapshot();
     let mut lag_samples: Vec<(u64, u64)> = Vec::new();
     let mut puts = 0u64;
     let t0 = Instant::now();
@@ -115,6 +121,11 @@ fn main() {
         std::thread::sleep(Duration::from_millis(2));
     }
     let drain_secs = t1.elapsed().as_secs_f64();
+    let pri_d = store.obs().snapshot().delta(&pri_before);
+    let fol_d = follower.store().obs().snapshot().delta(&fol_before);
+    let put_h = *pri_d.kind(Kind::Put);
+    let ship_h = *pri_d.kind(Kind::ReplShip);
+    let replay_h = *fol_d.kind(Kind::ReplReplay);
 
     let max_lag_bytes = lag_samples.iter().map(|&(b, _)| b).max().unwrap_or(0);
     let max_lag_us = lag_samples.iter().map(|&(_, t)| t).max().unwrap_or(0);
@@ -137,9 +148,16 @@ fn main() {
          \"steady_secs\": {write_secs:.3},\n  \"steady_puts_per_sec\": {:.0},\n  \
          \"lag_samples\": {},\n  \"max_lag_bytes\": {max_lag_bytes},\n  \
          \"max_lag_us\": {max_lag_us},\n  \"avg_lag_bytes\": {avg_lag_bytes:.0},\n  \
-         \"drain_secs\": {drain_secs:.3}\n}}\n",
+         \"drain_secs\": {drain_secs:.3},\n  \"put_p50_ns\": {},\n  \"put_p99_ns\": {},\n  \
+         \"wal_force_p99_ns\": {},\n  \"ship_pass_p99_ns\": {},\n  \
+         \"replay_pass_p99_ns\": {}\n}}\n",
         puts as f64 / write_secs,
         lag_samples.len(),
+        put_h.percentile(0.5),
+        put_h.percentile(0.99),
+        pri_d.kind(Kind::WalForce).percentile(0.99),
+        ship_h.percentile(0.99),
+        replay_h.percentile(0.99),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repl.json");
     std::fs::write(path, &json).expect("write BENCH_repl.json");

@@ -70,6 +70,7 @@ impl ConnState for BinaryConn {
             Request::Remove { .. } => Response::RemoveOk(false),
             Request::Scan { .. } => Response::Rows(vec![]),
             Request::Stats | Request::Flush | Request::Sync => Response::Stats(Default::default()),
+            Request::StatsEx => Response::StatsEx(Default::default()),
         }
     }
 }

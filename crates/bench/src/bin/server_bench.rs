@@ -22,9 +22,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use mtkv::mtobs::Kind;
 use mtkv::Store;
 use mtnet::{Client, Request, Response, Server, ServerConfig};
-use mtworkload::Rng64;
+use mtworkload::{Rng64, Zipfian};
 
 const STORE_KEYS: u64 = 100_000;
 const CLIENTS: usize = 256;
@@ -37,7 +38,8 @@ fn key(i: u64) -> Vec<u8> {
 
 /// Drives `CLIENTS` pipelined connections against `addr` for `secs`,
 /// returning (client-side completed gets per second, elapsed seconds).
-fn run_cell(addr: std::net::SocketAddr, secs: f64) -> (f64, f64) {
+/// Key popularity is uniform, or Zipfian when `zipf` is given.
+fn run_cell(addr: std::net::SocketAddr, secs: f64, zipf: Option<&Zipfian>) -> (f64, f64) {
     let stop = Arc::new(AtomicBool::new(false));
     let completed = Arc::new(AtomicU64::new(0));
     let start = Instant::now();
@@ -51,8 +53,12 @@ fn run_cell(addr: std::net::SocketAddr, secs: f64) -> (f64, f64) {
                     .map(|_| Client::connect(addr).expect("connect"))
                     .collect();
                 let send_get = |c: &mut Client, rng: &mut Rng64| {
+                    let id = match zipf {
+                        Some(z) => z.sample_scattered(rng),
+                        None => rng.next_u64() % STORE_KEYS,
+                    };
                     c.send_one(&Request::Get {
-                        key: key(rng.next_u64() % STORE_KEYS),
+                        key: key(id),
                         cols: Some(vec![0]),
                     })
                     .expect("send");
@@ -97,6 +103,20 @@ struct Cell {
     gets_per_sec: f64,
     server_ops: u64,
     secs: f64,
+    /// Server-side latency percentiles over this cell's window (ns):
+    /// merged point-get kinds and the per-wakeup multi-get runs.
+    get_p50: u64,
+    get_p99: u64,
+    multiget_p99: u64,
+}
+
+/// Merged point-get histogram (hit + descent + cold) from a snapshot
+/// delta.
+fn merged_gets(d: &mtkv::mtobs::Snapshot) -> mtkv::mtobs::HistSnapshot {
+    let mut h = *d.kind(Kind::GetHit);
+    h.merge(d.kind(Kind::GetDescent));
+    h.merge(d.kind(Kind::GetCold));
+    h
 }
 
 fn main() {
@@ -123,37 +143,134 @@ fn main() {
     );
     let mut cells: Vec<Cell> = Vec::new();
     for &workers in &[1usize, 2, 4] {
-        for &aggregate in &[false, true] {
-            let mut server = Server::start_with(
-                Arc::clone(&store),
-                "127.0.0.1:0",
-                ServerConfig {
-                    workers,
-                    aggregate,
-                    ..Default::default()
-                },
-            )
-            .expect("start server");
-            // Throwaway warm cell to populate worker caches and client
-            // buffers off the measured path.
-            run_cell(server.addr(), (secs * 0.2).max(0.2));
-            let ops_before = server.ops_served();
-            let (gets_per_sec, elapsed) = run_cell(server.addr(), secs);
-            let server_ops = server.ops_served() - ops_before;
+        // Both variants' servers stay up over the same store and the
+        // measured runs interleave off/on/off/on, so a load spike on a
+        // busy shared host taxes both sides of the comparison instead
+        // of flipping the gate on common-mode drift; best-of-2 per
+        // variant then drops the more-disturbed round.
+        let mut servers: Vec<(bool, mtnet::Server)> = [false, true]
+            .iter()
+            .map(|&aggregate| {
+                let server = Server::start_with(
+                    Arc::clone(&store),
+                    "127.0.0.1:0",
+                    ServerConfig {
+                        workers,
+                        aggregate,
+                        ..Default::default()
+                    },
+                )
+                .expect("start server");
+                // Throwaway warm cell to populate worker caches and
+                // client buffers off the measured path.
+                run_cell(server.addr(), (secs * 0.2).max(0.2), None);
+                (aggregate, server)
+            })
+            .collect();
+        let mut best: [Option<(f64, f64, u64, mtkv::mtobs::Snapshot)>; 2] = [None, None];
+        for _ in 0..2 {
+            for (i, (_, server)) in servers.iter().enumerate() {
+                let ops_before = server.ops_served();
+                let obs_before = store.obs().snapshot();
+                let (rate, elapsed) = run_cell(server.addr(), secs, None);
+                let d = store.obs().snapshot().delta(&obs_before);
+                let ops = server.ops_served() - ops_before;
+                if best[i].as_ref().is_none_or(|b| rate > b.0) {
+                    best[i] = Some((rate, elapsed, ops, d));
+                }
+            }
+        }
+        for ((aggregate, server), best) in servers.iter_mut().zip(best) {
+            let (gets_per_sec, elapsed, server_ops, d) = best.unwrap();
             server.stop();
             eprintln!(
                 "  workers={workers} aggregate={aggregate:<5} -> {:.3} Mgets/s",
                 gets_per_sec / 1e6
             );
+            let gets = merged_gets(&d);
             cells.push(Cell {
                 workers,
-                aggregate,
+                aggregate: *aggregate,
                 gets_per_sec,
                 server_ops,
                 secs: elapsed,
+                get_p50: gets.percentile(0.5),
+                get_p99: gets.percentile(0.99),
+                multiget_p99: d.kind(Kind::MultiGet).percentile(0.99),
             });
         }
     }
+
+    // ---- zipf latency cell: skewed-popularity reads with recording
+    // on; the server-side histograms provide the percentiles.
+    // Unaggregated on purpose: per-frame execution records each get as
+    // a point-op kind (hit vs descent vs cold), so the reported p99 is
+    // a real per-get latency, not a merged-run time. ----
+    let zipf = Zipfian::new(STORE_KEYS, Zipfian::YCSB_THETA);
+    let (zipf_rate, zipf_gets, zipf_multiget_p99) = {
+        let mut server = Server::start_with(
+            Arc::clone(&store),
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 4,
+                aggregate: false,
+                ..Default::default()
+            },
+        )
+        .expect("start server");
+        run_cell(server.addr(), (secs * 0.2).max(0.2), Some(&zipf));
+        let obs_before = store.obs().snapshot();
+        let (rate, _) = run_cell(server.addr(), secs, Some(&zipf));
+        let d = store.obs().snapshot().delta(&obs_before);
+        server.stop();
+        (
+            rate,
+            merged_gets(&d),
+            d.kind(Kind::MultiGet).percentile(0.99),
+        )
+    };
+    eprintln!(
+        "  zipf(theta={:.2}): {:.3} Mgets/s, get p99 {} ns, multiget-run p99 {} ns",
+        Zipfian::YCSB_THETA,
+        zipf_rate / 1e6,
+        zipf_gets.percentile(0.99),
+        zipf_multiget_p99
+    );
+
+    // ---- observability overhead gate: identical aggregated cells with
+    // recording on vs off, interleaved, best-of-2 each ----
+    let (obs_on, obs_off) = {
+        let mut server = Server::start_with(
+            Arc::clone(&store),
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 4,
+                aggregate: true,
+                ..Default::default()
+            },
+        )
+        .expect("start server");
+        run_cell(server.addr(), (secs * 0.2).max(0.2), None);
+        let cell_secs = (secs * 0.5).max(0.5);
+        let (mut best_on, mut best_off) = (0.0f64, 0.0f64);
+        for _ in 0..3 {
+            store.obs().set_enabled(true);
+            best_on = best_on.max(run_cell(server.addr(), cell_secs, None).0);
+            store.obs().set_enabled(false);
+            best_off = best_off.max(run_cell(server.addr(), cell_secs, None).0);
+        }
+        store.obs().set_enabled(true);
+        server.stop();
+        (best_on, best_off)
+    };
+    let obs_overhead = 1.0 - obs_on / obs_off;
+    eprintln!(
+        "  observability overhead on batched read path: {:.2}% \
+         (on {:.3} / off {:.3} Mgets/s)",
+        obs_overhead * 100.0,
+        obs_on / 1e6,
+        obs_off / 1e6
+    );
 
     // ---- BENCH_server.json ----
     let mut json = String::new();
@@ -167,16 +284,34 @@ fn main() {
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(
             "    {{ \"workers\": {}, \"aggregate\": {}, \"gets_per_sec\": {:.0}, \
-             \"server_ops\": {}, \"secs\": {:.3} }}{}\n",
+             \"server_ops\": {}, \"secs\": {:.3}, \"get_p50_ns\": {}, \
+             \"get_p99_ns\": {}, \"multiget_run_p99_ns\": {} }}{}\n",
             c.workers,
             c.aggregate,
             c.gets_per_sec,
             c.server_ops,
             c.secs,
+            c.get_p50,
+            c.get_p99,
+            c.multiget_p99,
             if i + 1 < cells.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"zipf\": {{ \"theta\": {:.2}, \"gets_per_sec\": {:.0}, \
+         \"get_p50_ns\": {}, \"get_p99_ns\": {}, \"multiget_run_p99_ns\": {} }},\n",
+        Zipfian::YCSB_THETA,
+        zipf_rate,
+        zipf_gets.percentile(0.5),
+        zipf_gets.percentile(0.99),
+        zipf_multiget_p99
+    ));
+    json.push_str(&format!(
+        "  \"observability\": {{ \"enabled_gets_per_sec\": {:.0}, \
+         \"disabled_gets_per_sec\": {:.0}, \"overhead_frac\": {:.4} }},\n",
+        obs_on, obs_off, obs_overhead
+    ));
     let mut gate_ok = true;
     json.push_str("  \"aggregation_speedup_by_workers\": {\n");
     let worker_counts = [1usize, 2, 4];
@@ -214,6 +349,14 @@ fn main() {
             "GATE FAILED: cross-connection aggregation must beat the \
              unaggregated path at every worker count on the {CLIENTS}\
              -pipelined-client point-get workload"
+        );
+        std::process::exit(1);
+    }
+    if obs_overhead > 0.02 {
+        eprintln!(
+            "GATE FAILED: histogram recording costs {:.2}% on the batched \
+             read path (budget: 2%)",
+            obs_overhead * 100.0
         );
         std::process::exit(1);
     }

@@ -268,6 +268,7 @@ impl ConnState for MemcachedConn {
             // memcached has no range queries (§7: "N/A").
             Request::Scan { .. } => Response::Rows(vec![]),
             Request::Stats | Request::Flush | Request::Sync => Response::Stats(Default::default()),
+            Request::StatsEx => Response::StatsEx(Default::default()),
         }
     }
 }
@@ -335,6 +336,7 @@ impl ConnState for RedisConn {
             // Stand-ins model data paths only; durability admin
             // requests answer with empty stats.
             Request::Stats | Request::Flush | Request::Sync => Response::Stats(Default::default()),
+            Request::StatsEx => Response::StatsEx(Default::default()),
         }
     }
 }
@@ -469,6 +471,7 @@ impl ConnState for TreeConn {
                 Response::Rows(all)
             }
             Request::Stats | Request::Flush | Request::Sync => Response::Stats(Default::default()),
+            Request::StatsEx => Response::StatsEx(Default::default()),
         }
     }
 }

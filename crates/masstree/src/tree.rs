@@ -84,6 +84,11 @@ impl<V: Send + Sync + 'static> Masstree<V> {
         ikey: u64,
         _guard: &'g Guard,
     ) -> Result<(&'g BorderNode<V>, Version), Restart> {
+        // Sampled-trace stage mark: when the current request carries a
+        // span (1-in-N sampling, `mtobs::span`), the first descent
+        // records its start offset. One thread-local flag check when no
+        // span is armed — negligible against the descent itself.
+        mtobs::span::mark(mtobs::Stage::Descent);
         'retry: loop {
             let mut n = *root;
             n.prefetch();

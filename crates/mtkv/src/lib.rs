@@ -33,6 +33,7 @@ pub use log::{
     TruncateReport,
 };
 pub use mtcache::{CacheConfig, CacheStats};
+pub use mtobs;
 pub use recovery::{
     log_files, parse_log_name, recover, recover_with, session_segments, RecoveryReport,
 };

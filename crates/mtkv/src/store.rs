@@ -19,11 +19,12 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use masstree::hint::{HintResult, HintedGet};
 use masstree::{AnchorStale, HintBatchScratch, LeafHint, Masstree};
 use mtcache::{CacheConfig, CacheStats, CacheStatsShared, CursorCache, HintCache, Lookup};
+use mtobs::{Kind as ObsKind, Obs, Recorder, Stage};
 use parking_lot::{Condvar, Mutex};
 
 use crate::checkpoint::{prune_checkpoints, write_checkpoint, CheckpointMeta};
@@ -215,6 +216,12 @@ pub struct Store {
     /// chains are the replication feed — a truncated segment could be
     /// exactly the one a reconnecting follower still needs.
     repl_pin: AtomicBool,
+    /// Latency observability hub (`mtobs`): every session registers a
+    /// per-worker histogram recorder here (the [`Store::cache_stats`]
+    /// registry discipline), background subsystems record into its
+    /// global set, and wire-level `StatsEx` / the metrics endpoint
+    /// snapshot-merge the lot.
+    obs: Arc<Obs>,
     /// The value-separation tier (`vtier`): cold value segments, the
     /// budgeted resolution cache, and segment liveness accounting.
     /// `None` when separation is off and no value segments exist.
@@ -293,9 +300,16 @@ impl Store {
             cache_registry: Mutex::new(Vec::new()),
             repl: Arc::default(),
             repl_pin: AtomicBool::new(false),
+            obs: Arc::default(),
             vtier: None,
             gc_log: Mutex::new(None),
         }
+    }
+
+    /// The store's observability hub: per-worker latency histograms,
+    /// background-subsystem timings, sampled traces.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     pub(crate) fn with_state(
@@ -325,12 +339,14 @@ impl Store {
         if self.config.value_threshold.is_none() && vtier::vseg_ids(&dir).is_empty() {
             return Ok(());
         }
-        self.vtier = Some(Arc::new(ValueTier::open(
+        let tier = ValueTier::open(
             &dir,
             self.config.value_segment_bytes,
             self.config.value_cache_bytes,
             true,
-        )?));
+        )?;
+        tier.set_obs(Arc::clone(&self.obs));
+        self.vtier = Some(Arc::new(tier));
         Ok(())
     }
 
@@ -338,12 +354,14 @@ impl Store {
     /// followers: segment bytes arrive by mirroring, never by local
     /// appends, and local appends would collide with shipped ids).
     pub fn attach_value_reader(&mut self, dir: &Path) -> std::io::Result<()> {
-        self.vtier = Some(Arc::new(ValueTier::open(
+        let tier = ValueTier::open(
             dir,
             self.config.value_segment_bytes,
             self.config.value_cache_bytes,
             false,
-        )?));
+        )?;
+        tier.set_obs(Arc::clone(&self.obs));
+        self.vtier = Some(Arc::new(tier));
         Ok(())
     }
 
@@ -521,7 +539,11 @@ impl Store {
             .clone()
             .ok_or_else(|| std::io::Error::other("in-memory store has no durability"))?;
         let _cycle = self.cycle_lock.lock();
+        let ckpt_t0 = Instant::now();
         let meta = write_checkpoint(self, &dir, self.config.checkpoint_threads)?;
+        self.obs
+            .global()
+            .record(ObsKind::Checkpoint, ckpt_t0.elapsed().as_nanos() as u64);
         // Publish the epoch only after the manifest rename: `Flush`
         // waiters observing the new epoch may rely on the checkpoint
         // being durable.
@@ -543,6 +565,7 @@ impl Store {
         // Payloads before pointers: any WAL record the barrier is about
         // to make durable may carry a value pointer.
         let tier_forced = self.force_value_tier();
+        let barrier_t0 = Instant::now();
         let mut barrier_confirmed = true;
         let live_sessions: Vec<u64> = {
             let mut handles = self.log_handles.lock();
@@ -583,6 +606,9 @@ impl Store {
             );
             handles.iter().map(|&(id, _)| id).collect()
         };
+        self.obs
+            .global()
+            .record(ObsKind::Barrier, barrier_t0.elapsed().as_nanos() as u64);
         // The poison flag covers crashes the barrier can no longer see
         // (a logger that died and whose writer was already dropped): its
         // torn chain pins future cutoffs, so truncation stays off until
@@ -634,6 +660,15 @@ impl Store {
     fn run_value_gc(self: &Arc<Self>, gates_held: bool, covered_ts: u64) {
         let Some(tier) = self.vtier.clone() else {
             return;
+        };
+        let gc_t0 = Instant::now();
+        // The whole pass (delete + scan + relocate) counts as one GC
+        // timing sample, recorded even for trivial passes so the
+        // histogram reflects the real cadence.
+        let _gc_timer = ScopeTimer {
+            obs: &self.obs,
+            kind: ObsKind::GcPass,
+            t0: gc_t0,
         };
         if gates_held {
             tier.delete_condemned(covered_ts);
@@ -1005,6 +1040,7 @@ impl Store {
             store: Arc::clone(self),
             log,
             cache: None,
+            obs: self.obs.recorder(),
         };
         if let Some(cfg) = self.session_cache.lock().clone() {
             session.enable_cache(cfg);
@@ -1056,6 +1092,23 @@ fn next_log_id_in(dir: &Path) -> u64 {
         .last()
         .map(|s| s + 1)
         .unwrap_or(0)
+}
+
+/// Records one background timing sample into the store's global
+/// recorder on scope exit, so early returns inside the timed region
+/// still count.
+struct ScopeTimer<'a> {
+    obs: &'a Arc<Obs>,
+    kind: ObsKind,
+    t0: Instant,
+}
+
+impl Drop for ScopeTimer<'_> {
+    fn drop(&mut self) {
+        self.obs
+            .global()
+            .record(self.kind, self.t0.elapsed().as_nanos() as u64);
+    }
 }
 
 /// One batched put: a key and its column updates.
@@ -1186,11 +1239,23 @@ pub struct Session {
     /// Per-worker leaf-hint cache (`mtcache`). `Arc` so the store's
     /// registry can flush counters without owning the session.
     cache: Option<Arc<SessionCache>>,
+    /// Per-worker latency recorder (`mtobs`): wait-free histogram
+    /// recording on this worker's own cache lines; merged store-wide
+    /// on stats reads. Folds into the hub's retained sink on drop.
+    obs: Recorder,
 }
 
 impl Session {
     pub fn store(&self) -> &Arc<Store> {
         &self.store
+    }
+
+    /// This session's latency recorder — the network server records
+    /// its merged-run timings (`MultiGet`/`MultiPut`) here so they
+    /// land on the same per-worker cache lines as the session's own
+    /// op recordings.
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
     }
 
     /// Attaches a per-worker hint cache to this session: point lookups
@@ -1254,7 +1319,9 @@ impl Session {
     ) -> R {
         match hit {
             Some(v) if v.is_indirect() => {
-                match v.ptr().map(|p| self.store.resolve_indirect(p, v.version())) {
+                let resolved = v.ptr().map(|p| self.store.resolve_indirect(p, v.version()));
+                mtobs::span::mark(Stage::ValueResolve);
+                match resolved {
                     Some(Ok(arc)) => f(Some(&arc)),
                     _ => f(None),
                 }
@@ -1310,44 +1377,66 @@ impl Session {
     /// returns. In steady state this path performs **zero heap
     /// allocations** (see `tests/alloc_count.rs`).
     pub fn get_with<R>(&self, key: &[u8], f: impl FnOnce(Option<&ColValue>) -> R) -> R {
+        let t0 = Instant::now();
         let guard = masstree::pin();
-        let Some(sc) = &self.cache else {
-            return self.with_resolved(self.store.tree.get(key, &guard), f);
-        };
-        if sc.skip_this_op() {
-            return self.with_resolved(self.store.tree.get(key, &guard), f);
-        }
-        // Hot-path cache tier: try the remembered border node first —
-        // a validated hint serves the value with zero descent; any
-        // validation failure falls back to the normal descent and
-        // refreshes the hint. The cache lock is released before `f`
-        // runs (callbacks may re-enter the session).
-        let mut c = sc.table.lock();
-        let hit = match c.lookup(key) {
-            Lookup::Hit(hint) => match self.store.tree.get_at_hint(key, &hint, &guard) {
-                HintedGet::Hit(v) => {
-                    c.note_hit();
-                    v
-                }
-                HintedGet::Stale => {
-                    c.note_stale();
+        // `hinted` classifies the op for the latency histograms: a
+        // validated zero-descent hit records as `get_hit`, everything
+        // else as `get_descent` (or `get_cold` when the value resolves
+        // through the value tier).
+        let mut hinted = false;
+        let hit = 'probe: {
+            let Some(sc) = &self.cache else {
+                break 'probe self.store.tree.get(key, &guard);
+            };
+            if sc.skip_this_op() {
+                break 'probe self.store.tree.get(key, &guard);
+            }
+            // Hot-path cache tier: try the remembered border node first —
+            // a validated hint serves the value with zero descent; any
+            // validation failure falls back to the normal descent and
+            // refreshes the hint. The cache lock is released before `f`
+            // runs (callbacks may re-enter the session).
+            let mut c = sc.table.lock();
+            let probe = c.lookup(key);
+            mtobs::span::mark(Stage::CacheLookup);
+            let hit = match probe {
+                Lookup::Hit(hint) => match self.store.tree.get_at_hint(key, &hint, &guard) {
+                    HintedGet::Hit(v) => {
+                        c.note_hit();
+                        hinted = true;
+                        v
+                    }
+                    HintedGet::Stale => {
+                        c.note_stale();
+                        let (v, fresh) = self.store.tree.get_capturing_hint(key, &guard);
+                        c.record(key, fresh);
+                        v
+                    }
+                },
+                // Admitted keys capture a hint on the way down; cold keys
+                // take the plain descent untaxed.
+                Lookup::Miss { admit: true } => {
                     let (v, fresh) = self.store.tree.get_capturing_hint(key, &guard);
                     c.record(key, fresh);
                     v
                 }
-            },
-            // Admitted keys capture a hint on the way down; cold keys
-            // take the plain descent untaxed.
-            Lookup::Miss { admit: true } => {
-                let (v, fresh) = self.store.tree.get_capturing_hint(key, &guard);
-                c.record(key, fresh);
-                v
-            }
-            Lookup::Miss { admit: false } => self.store.tree.get(key, &guard),
+                Lookup::Miss { admit: false } => self.store.tree.get(key, &guard),
+            };
+            sc.sync_bypass(&c);
+            drop(c);
+            hit
         };
-        sc.sync_bypass(&c);
-        drop(c);
-        self.with_resolved(hit, f)
+        let cold = hit.is_some_and(|v| v.is_indirect());
+        let r = self.with_resolved(hit, f);
+        let kind = if cold {
+            ObsKind::GetCold
+        } else if hinted {
+            ObsKind::GetHit
+        } else {
+            ObsKind::GetDescent
+        };
+        self.obs.record_op(kind, t0.elapsed().as_nanos() as u64);
+        r
     }
 
     /// `put_c(k, v)`: atomically updates the given columns, copying the
@@ -1364,6 +1453,7 @@ impl Session {
     /// remembered node, skipping the descent; a stale one falls back to
     /// a full put that refreshes the cache.
     pub fn put(&self, key: &[u8], updates: &[(usize, &[u8])]) -> u64 {
+        let t0 = Instant::now();
         let mut version = 0;
         // Log the full resulting value, not the update delta: replay is
         // version-gated and order-insensitive (parallel recovery,
@@ -1445,6 +1535,8 @@ impl Session {
                 }),
             };
         }
+        self.obs
+            .record_op(ObsKind::Put, t0.elapsed().as_nanos() as u64);
         version
     }
 
@@ -1742,6 +1834,7 @@ impl Session {
     /// node), and an insert that splits the node bumps the version the
     /// next hinted read validates against.
     pub fn remove(&self, key: &[u8]) -> bool {
+        let t0 = Instant::now();
         let guard = masstree::pin();
         // Draw the version at the removal's linearization point (under
         // the node lock) so replay ordering matches live ordering.
@@ -1788,7 +1881,7 @@ impl Session {
                 removed
             }
         };
-        match removed {
+        let existed = match removed {
             None => false,
             Some((prev, version)) => {
                 // A removed indirect value's payload bytes are dead.
@@ -1802,7 +1895,10 @@ impl Session {
                 }
                 true
             }
-        }
+        };
+        self.obs
+            .record_op(ObsKind::Remove, t0.elapsed().as_nanos() as u64);
+        existed
     }
 
     /// `getrange_c(k, n)`: up to `n` key/column rows at or after `key`,
@@ -1854,6 +1950,7 @@ impl Session {
         if n == 0 {
             return 0;
         }
+        let t0 = Instant::now();
         let guard = masstree::pin();
         if let Some(sc) = &self.cache {
             if !sc.skip_this_op() {
@@ -1883,6 +1980,8 @@ impl Session {
                     if let Some(mut cc) = sc.cursors.try_lock() {
                         cc.put(cur);
                     }
+                    self.obs
+                        .record_op(ObsKind::Scan, t0.elapsed().as_nanos() as u64);
                     return seen;
                 }
             }
@@ -1894,6 +1993,8 @@ impl Session {
             }
             seen < n
         });
+        self.obs
+            .record_op(ObsKind::Scan, t0.elapsed().as_nanos() as u64);
         seen
     }
 
@@ -1926,6 +2027,7 @@ impl Session {
         if n == 0 || cursor.is_done() {
             return 0;
         }
+        let t0 = Instant::now();
         let guard = masstree::pin();
         let had_anchor = cursor.has_anchor();
         let mut seen = 0usize;
@@ -1943,6 +2045,8 @@ impl Session {
                 c.note_scan_fallback();
             }
         }
+        self.obs
+            .record_op(ObsKind::Scan, t0.elapsed().as_nanos() as u64);
         seen
     }
 
@@ -1956,6 +2060,7 @@ impl Session {
     /// must report the failure instead of swallowing it.
     #[must_use = "false means the records were NOT made durable"]
     pub fn force_log(&self) -> bool {
+        let t0 = Instant::now();
         // Tier first, WAL second: when this ack lands, every durable
         // pointer record names an already-durable payload. The converse
         // order could ack a pointer whose payload a crash then tears —
@@ -1963,10 +2068,14 @@ impl Session {
         if !self.store.force_value_tier() {
             return false;
         }
-        match &self.log {
+        let ok = match &self.log {
             Some(log) => log.force(),
             None => true,
-        }
+        };
+        mtobs::span::mark(Stage::WalAck);
+        self.obs
+            .record(ObsKind::WalForce, t0.elapsed().as_nanos() as u64);
+        ok
     }
 
     /// `get_c(k)` with typed value-tier errors: like [`Session::get`],

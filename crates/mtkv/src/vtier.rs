@@ -441,6 +441,10 @@ pub struct ValueTier {
     cache_hits: AtomicU64,
     gc_rewritten: AtomicU64,
     unresolved: AtomicU64,
+    /// Observability hub of the owning store (set at attach time):
+    /// cache-miss fills record their segment-read + decode latency as
+    /// `vseg_fill`.
+    obs: std::sync::OnceLock<Arc<mtobs::Obs>>,
 }
 
 impl ValueTier {
@@ -496,7 +500,13 @@ impl ValueTier {
             cache_hits: AtomicU64::new(0),
             gc_rewritten: AtomicU64::new(0),
             unresolved: AtomicU64::new(0),
+            obs: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Attaches the owning store's observability hub (first call wins).
+    pub fn set_obs(&self, obs: Arc<mtobs::Obs>) {
+        let _ = self.obs.set(obs);
     }
 
     /// Appends a payload to the active segment (page cache only — call
@@ -582,7 +592,8 @@ impl ValueTier {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(v);
         }
-        match self.reader.read_value(ptr, version) {
+        let fill_t0 = std::time::Instant::now();
+        let out = match self.reader.read_value(ptr, version) {
             Ok(v) => {
                 let arc = Arc::new(v);
                 self.cache.insert(key, Arc::clone(&arc));
@@ -592,7 +603,12 @@ impl ValueTier {
                 self.unresolved.fetch_add(1, Ordering::Relaxed);
                 Err(e)
             }
+        };
+        if let Some(obs) = self.obs.get() {
+            obs.global()
+                .record(mtobs::Kind::VsegFill, fill_t0.elapsed().as_nanos() as u64);
         }
+        out
     }
 
     /// Reads a payload without touching the cache (GC relocation).

@@ -134,6 +134,84 @@ fn steady_state_borrowed_reads_do_not_allocate() {
 }
 
 #[test]
+fn instrumented_reads_record_histograms_without_allocating() {
+    // The observability layer must be free on the read path: histogram
+    // recording is two relaxed fetch-adds, and even with tracing forced
+    // to sample EVERY op (production default is 1-in-1024) the span is
+    // a fixed thread-local and the trace ring a preallocated array —
+    // so instrumented steady-state reads stay at zero heap allocations
+    // while provably recording (the snapshot delta is checked, so a
+    // future change that silently disables recording also trips this).
+    use mtkv::mtobs::{span, Kind, Stage};
+
+    let store = Store::in_memory();
+    let session = store.session().unwrap();
+
+    let payload = [0x77u8; 64];
+    for i in 0..10_000u32 {
+        session.put(
+            format!("o{i:06}").as_bytes(),
+            &[(0, &payload[..]), (1, &i.to_le_bytes()[..])],
+        );
+    }
+
+    // Worst-case tracing pressure: every request sampled.
+    store.obs().set_sample_every(1);
+
+    let point_key = b"o004242".as_slice();
+    let batch_keys: Vec<Vec<u8>> = (0..16u32)
+        .map(|i| format!("o{:06}", i * 577).into_bytes())
+        .collect();
+    let batch_refs: Vec<&[u8]> = batch_keys.iter().map(|k| k.as_slice()).collect();
+
+    let mut sink = 0usize;
+    let run_reads = |sink: &mut usize| {
+        // The span root is what the server does per sampled request.
+        let _g = span::begin();
+        span::mark(Stage::Decode);
+        session.get_with(point_key, |hit| {
+            *sink += hit.map_or(0, |v| v.col(0).map_or(0, <[u8]>::len));
+        });
+        let _g = span::begin();
+        session.multi_get_with(&batch_refs, |_, hit| {
+            *sink += hit.map_or(0, |v| v.col(1).map_or(0, <[u8]>::len));
+        });
+    };
+
+    for _ in 0..8 {
+        run_reads(&mut sink);
+    }
+    drain_gc();
+    run_reads(&mut sink);
+    drain_gc();
+
+    let before = store.obs().snapshot();
+    const ROUNDS: u64 = 200;
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for _ in 0..ROUNDS {
+        run_reads(&mut sink);
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    let d = store.obs().snapshot().delta(&before);
+
+    // Recording was demonstrably live during the measured window.
+    // (Batch runs are timed at the server's run level, not per session
+    // call, so only the point gets show up as histogram entries here —
+    // the batch still exercises the instrumented read machinery.)
+    let gets = d.kind(Kind::GetHit).count() + d.kind(Kind::GetDescent).count();
+    assert_eq!(gets, ROUNDS, "every point get recorded: {d:?}");
+    assert!(d.traces_sampled >= ROUNDS, "spans collected: {d:?}");
+    assert!(sink > 0, "reads actually observed data");
+    assert_eq!(
+        allocs, 0,
+        "instrumented steady-state reads (histograms + 1-in-1 sampled \
+         tracing) must perform zero heap allocations, found {allocs}"
+    );
+}
+
+#[test]
 fn steady_state_overwrites_do_not_box_their_retirements() {
     // The update path retires the replaced value through the epoch GC.
     // With the unboxed `(fn, data)` deferred representation the retire

@@ -14,7 +14,9 @@ use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::proto::{frame_batch, read_batch, Request, Response, ScanResume, StatsReply};
+use crate::proto::{
+    frame_batch, read_batch, Request, Response, ScanResume, StatsExReply, StatsReply,
+};
 
 /// One `(key, columns)` row returned by scans.
 pub type Row = (Vec<u8>, Vec<Vec<u8>>);
@@ -220,6 +222,19 @@ impl Client {
         self.queue(&Request::Stats);
         match self.execute_batch()?.pop() {
             Some(Response::Stats(s)) => Ok(s),
+            _ => Err(std::io::Error::other("unexpected response")),
+        }
+    }
+
+    /// Reads the server's observability snapshot: merged per-op-kind
+    /// latency histograms (every worker's traffic, flushed on read)
+    /// plus tracing gauges. Render percentiles client-side with
+    /// `mtobs::HistSnapshot::percentile`, or deltas between two calls
+    /// with `mtobs::Snapshot::delta`.
+    pub fn stats_ex(&mut self) -> std::io::Result<StatsExReply> {
+        self.queue(&Request::StatsEx);
+        match self.execute_batch()?.pop() {
+            Some(Response::StatsEx(s)) => Ok(s),
             _ => Err(std::io::Error::other("unexpected response")),
         }
     }

@@ -12,7 +12,7 @@ pub mod repl;
 pub mod server;
 
 pub use client::Client;
-pub use proto::{Request, Response, ScanResume, StatsReply};
+pub use proto::{Request, Response, ScanResume, StatsExReply, StatsReply};
 pub use repl::{Follower, FollowerConfig, FollowerStatus, ReplConfig, ReplSource};
 pub use server::{
     execute, execute_batch, execute_batch_into, execute_into, Backend, ConnState, Server,

@@ -15,6 +15,7 @@
 //! stats  := 0x05
 //! flush  := 0x06
 //! sync   := 0x07
+//! statsex:= 0x08
 //! key    := u32 len, bytes        colset := u16 n (0xffff = all), u16*
 //! ```
 //!
@@ -110,6 +111,11 @@ pub enum Request {
     /// [`Response::Err`] when the log is dead (durability cannot be
     /// confirmed).
     Sync,
+    /// Extended observability snapshot: merged per-op-kind latency
+    /// histograms and tracing gauges ([`Response::StatsEx`]). Unlike
+    /// `Stats` this carries full distributions, so clients can render
+    /// p50/p90/p99/p999 and deltas without server-side aggregation.
+    StatsEx,
 }
 
 /// The durability snapshot carried by [`Response::Stats`]; mirrors
@@ -249,6 +255,95 @@ impl StatsReply {
     }
 }
 
+/// The observability snapshot carried by [`Response::StatsEx`]: one
+/// merged latency histogram per [`mtobs::Kind`] plus tracing gauges.
+///
+/// Wire format is sparse — latency histograms are mostly zeros (156
+/// log-spaced buckets, a handful populated), so each kind encodes only
+/// its nonzero buckets:
+///
+/// ```text
+/// statsex_reply := u64 traces_sampled, u64 slow_ops,
+///                  u8 nkinds, kind_hist*
+/// kind_hist     := u8 kind, u64 sum_ns, u16 nbuckets,
+///                  (u8 bucket_idx, u64 count)*
+/// ```
+///
+/// Kinds whose histogram is entirely empty are omitted; the decoder
+/// reconstructs them as empty, so encode→decode is identity on any
+/// snapshot with [`mtobs::Kind::COUNT`] histograms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsExReply {
+    /// Merged per-kind histograms and gauges (index = `mtobs::Kind`).
+    pub snap: mtobs::Snapshot,
+}
+
+impl Default for StatsExReply {
+    fn default() -> Self {
+        StatsExReply {
+            snap: mtobs::Snapshot::empty(),
+        }
+    }
+}
+
+impl StatsExReply {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.snap.traces_sampled.to_le_bytes());
+        out.extend_from_slice(&self.snap.slow_ops.to_le_bytes());
+        let kinds_mark = out.len();
+        out.push(0);
+        let mut nkinds = 0u8;
+        for (k, h) in self.snap.hists.iter().enumerate() {
+            if h.sum == 0 && h.count() == 0 {
+                continue;
+            }
+            out.push(k as u8);
+            out.extend_from_slice(&h.sum.to_le_bytes());
+            let nb_mark = out.len();
+            out.extend_from_slice(&0u16.to_le_bytes());
+            let mut nb = 0u16;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c != 0 {
+                    out.push(i as u8);
+                    out.extend_from_slice(&c.to_le_bytes());
+                    nb += 1;
+                }
+            }
+            out[nb_mark..nb_mark + 2].copy_from_slice(&nb.to_le_bytes());
+            nkinds += 1;
+        }
+        out[kinds_mark] = nkinds;
+    }
+
+    fn decode(p: &mut &[u8]) -> Option<StatsExReply> {
+        let mut snap = mtobs::Snapshot::empty();
+        snap.traces_sampled = u64::from_le_bytes(p.get(..8)?.try_into().ok()?);
+        *p = &p[8..];
+        snap.slow_ops = u64::from_le_bytes(p.get(..8)?.try_into().ok()?);
+        *p = &p[8..];
+        let nkinds = *p.first()?;
+        *p = &p[1..];
+        for _ in 0..nkinds {
+            let k = *p.first()? as usize;
+            *p = &p[1..];
+            let sum = u64::from_le_bytes(p.get(..8)?.try_into().ok()?);
+            *p = &p[8..];
+            let nb = u16::from_le_bytes(p.get(..2)?.try_into().ok()?);
+            *p = &p[2..];
+            let h = snap.hists.get_mut(k)?;
+            h.sum = sum;
+            for _ in 0..nb {
+                let i = *p.first()? as usize;
+                *p = &p[1..];
+                let c = u64::from_le_bytes(p.get(..8)?.try_into().ok()?);
+                *p = &p[8..];
+                *h.buckets.get_mut(i)? = c;
+            }
+        }
+        Some(StatsExReply { snap })
+    }
+}
+
 /// A server response (positionally matched to the request batch).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -262,6 +357,9 @@ pub enum Response {
     Rows(Vec<(Vec<u8>, Vec<Vec<u8>>)>),
     /// Durability stats (reply to `Stats` and `Flush`).
     Stats(StatsReply),
+    /// Observability snapshot (reply to `StatsEx`): per-kind latency
+    /// histograms plus tracing gauges.
+    StatsEx(StatsExReply),
     /// Request failed server-side: a `Flush`/`Sync` whose log is dead
     /// (I/O error) or whose durability cycle failed — so a client never
     /// receives a stats reply acknowledging durability that did not
@@ -360,6 +458,7 @@ impl Request {
             Request::Stats => out.push(0x05),
             Request::Flush => out.push(0x06),
             Request::Sync => out.push(0x07),
+            Request::StatsEx => out.push(0x08),
         }
     }
 
@@ -414,6 +513,7 @@ impl Request {
             0x05 => Some(Request::Stats),
             0x06 => Some(Request::Flush),
             0x07 => Some(Request::Sync),
+            0x08 => Some(Request::StatsEx),
             _ => None,
         }
     }
@@ -460,6 +560,10 @@ impl Response {
             Response::Redirect(msg) => {
                 out.push(0x87);
                 put_bytes(out, msg.as_bytes());
+            }
+            Response::StatsEx(stats) => {
+                out.push(0x88);
+                stats.encode(out);
             }
         }
     }
@@ -511,6 +615,7 @@ impl Response {
             0x87 => Some(Response::Redirect(
                 String::from_utf8_lossy(&get_bytes(p)?).into_owned(),
             )),
+            0x88 => Some(Response::StatsEx(StatsExReply::decode(p)?)),
             _ => None,
         }
     }
@@ -711,6 +816,7 @@ mod tests {
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::Flush);
         roundtrip_req(Request::Sync);
+        roundtrip_req(Request::StatsEx);
     }
 
     #[test]
@@ -747,11 +853,70 @@ mod tests {
             worker_conns: vec![3, 0, 7, 1],
         }));
         roundtrip_resp(Response::Stats(StatsReply::default()));
+        roundtrip_resp(Response::StatsEx(StatsExReply::default()));
         roundtrip_resp(Response::Err("log dead: No space left on device".into()));
         roundtrip_resp(Response::Err(String::new()));
         roundtrip_resp(Response::Redirect(
             "read-only replica; primary at 127.0.0.1:7070".into(),
         ));
+    }
+
+    #[test]
+    fn statsex_roundtrips_populated_snapshot() {
+        // Record into a real recorder so the snapshot exercises the
+        // sparse encoding with realistic bucket spreads per kind.
+        let obs = std::sync::Arc::new(mtobs::Obs::default());
+        let rec = obs.recorder();
+        for i in 0..1000u64 {
+            rec.record(mtobs::Kind::GetHit, 300 + i);
+            rec.record(mtobs::Kind::Put, 9_000 + i * 17);
+        }
+        rec.record(mtobs::Kind::Scan, 5_000_000);
+        obs.global().record(mtobs::Kind::Checkpoint, 120_000_000);
+        obs.global().record(mtobs::Kind::WalForce, u64::MAX); // saturates
+        let mut snap = obs.snapshot();
+        snap.traces_sampled = 42;
+        snap.slow_ops = 7;
+
+        let reply = StatsExReply { snap };
+        let mut buf = Vec::new();
+        Response::StatsEx(reply.clone()).encode(&mut buf);
+        let mut p = &buf[..];
+        let got = Response::decode(&mut p).expect("decodes");
+        assert!(p.is_empty());
+        let Response::StatsEx(got) = got else {
+            panic!("wrong variant: {got:?}");
+        };
+        assert_eq!(got, reply);
+        assert_eq!(got.snap.kind(mtobs::Kind::GetHit).count(), 1000);
+        assert_eq!(got.snap.kind(mtobs::Kind::Put).count(), 1000);
+        assert_eq!(got.snap.kind(mtobs::Kind::Scan).count(), 1);
+        // Untouched kinds decode back as empty.
+        assert_eq!(got.snap.kind(mtobs::Kind::GcPass).count(), 0);
+        // Sparse: the frame is far smaller than 15 kinds x 156 buckets
+        // of dense u64s would be.
+        assert!(buf.len() < 2048, "sparse frame too large: {}", buf.len());
+    }
+
+    #[test]
+    fn statsex_decode_rejects_truncated_and_bad_kind() {
+        let obs = std::sync::Arc::new(mtobs::Obs::default());
+        obs.global().record(mtobs::Kind::GetHit, 1234);
+        let reply = StatsExReply {
+            snap: obs.snapshot(),
+        };
+        let mut buf = Vec::new();
+        Response::StatsEx(reply).encode(&mut buf);
+        // Truncation anywhere inside the frame must fail cleanly.
+        for cut in 1..buf.len() {
+            let mut p = &buf[..cut];
+            assert_eq!(Response::decode(&mut p), None, "cut at {cut}");
+        }
+        // A kind index past Kind::COUNT must be rejected, not panic.
+        let mut bad = buf.clone();
+        bad[1 + 16 + 1] = 0xee; // opcode, gauges, nkinds, then first kind id
+        let mut p = &bad[..];
+        assert_eq!(Response::decode(&mut p), None);
     }
 
     #[test]

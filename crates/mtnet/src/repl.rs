@@ -520,6 +520,7 @@ fn feed_follower(shared: &SrcShared, mut sock: TcpStream) {
             feeds.push((session, chain, view.active.get(&session).copied()));
         }
         let mut shipped = 0usize;
+        let ship_t0 = Instant::now();
         for (session, chain, live_active) in feeds {
             let cursor = cursors.entry(session).or_insert_with(|| {
                 let first = chain.first().map(|&(seg, _, _)| seg).unwrap_or(0);
@@ -603,6 +604,16 @@ fn feed_follower(shared: &SrcShared, mut sock: TcpStream) {
                     _ => break,
                 }
             }
+        }
+
+        if shipped > 0 {
+            // One histogram sample per feeder pass that moved bytes —
+            // idle passes (the 2 ms sleep loop) would only pile counts
+            // into the lowest buckets.
+            shared.store.obs().global().record(
+                mtkv::mtobs::Kind::ReplShip,
+                ship_t0.elapsed().as_nanos() as u64,
+            );
         }
 
         // Drain acks.
@@ -1490,7 +1501,15 @@ fn apply_data(shared: &FolShared, state: &mut ApplyState, body: &[u8]) -> bool {
         }
     }
     s.buf.extend_from_slice(bytes);
+    let replay_t0 = Instant::now();
     state.drain_session(&shared.store, session);
+    // Replay latency per shipped WAL chunk: decode + apply into the
+    // replica store (mirroring I/O above is deliberately excluded — it
+    // overlaps the primary's view of ship time).
+    shared.store.obs().global().record(
+        mtkv::mtobs::Kind::ReplReplay,
+        replay_t0.elapsed().as_nanos() as u64,
+    );
     true
 }
 

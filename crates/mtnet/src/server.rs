@@ -59,7 +59,7 @@ use mtkv::{ScanCursor, Session, Store};
 use crate::poll::{Event, Interest, Poller};
 use crate::proto::{
     begin_batch, finish_batch, parse_batch_frame, write_value_borrowed, write_value_none, Request,
-    Response, RowsWriter, ScanResume, StatsReply,
+    Response, RowsWriter, ScanResume, StatsExReply, StatsReply,
 };
 
 /// Per-connection request executor. The Masstree store is the primary
@@ -1175,7 +1175,12 @@ fn execute_frames_store(
                         _ => unreachable!("put runs hold only puts"),
                     })
                     .collect();
+                let _span = maybe_span(session);
+                let t0 = std::time::Instant::now();
                 let versions = session.multi_put(&put_ops);
+                session
+                    .recorder()
+                    .record_op(mtkv::mtobs::Kind::MultiPut, t0.elapsed().as_nanos() as u64);
                 let mut v = versions.iter();
                 for &(pi, count) in &segs {
                     let plan = &mut plans[pi];
@@ -1215,6 +1220,11 @@ fn execute_frames_store(
                 segs.push((pi, get_keys.len()));
             }
             if !get_keys.is_empty() {
+                // One timing per merged wakeup-wide run (covers the
+                // interleaved traversal and the zero-copy serialization
+                // of every connection's responses).
+                let _span = maybe_span(session);
+                let t0 = std::time::Instant::now();
                 let mut si = 0usize;
                 session.multi_get_with(&get_keys, |i, hit| {
                     while i >= segs[si].1 {
@@ -1226,6 +1236,9 @@ fn execute_frames_store(
                     write_get_response(&mut conn.wr, hit, get_cols[i]);
                     plan.end_response(&mut conn.wr, &buf.frames, ops);
                 });
+                session
+                    .recorder()
+                    .record_op(mtkv::mtobs::Kind::MultiGet, t0.elapsed().as_nanos() as u64);
             }
         }
 
@@ -1363,6 +1376,11 @@ fn execute_batch_runs<S: ResponseSink>(
                         _ => unreachable!("run holds only gets"),
                     })
                     .collect();
+                // Timed at run granularity — two clock reads amortized
+                // over the whole interleaved group, so the ≤2% overhead
+                // budget on the batched read path holds.
+                let _span = maybe_span(session);
+                let t0 = std::time::Instant::now();
                 // Each request's own column selection is applied against
                 // the live value inside the visitor — the sink decides
                 // whether that means copying (owned) or encoding (wire).
@@ -1372,6 +1390,9 @@ fn execute_batch_runs<S: ResponseSink>(
                     };
                     sink.get_result(hit, cols.as_deref());
                 });
+                session
+                    .recorder()
+                    .record_op(mtkv::mtobs::Kind::MultiGet, t0.elapsed().as_nanos() as u64);
             }
             mtkv::RunKind::Put if run.len() >= 2 => {
                 let updates: Vec<Vec<(usize, &[u8])>> = run
@@ -1392,9 +1413,14 @@ fn execute_batch_runs<S: ResponseSink>(
                         _ => unreachable!("run holds only puts"),
                     })
                     .collect();
+                let _span = maybe_span(session);
+                let t0 = std::time::Instant::now();
                 for version in session.multi_put(&ops) {
                     sink.put_ok(version);
                 }
+                session
+                    .recorder()
+                    .record_op(mtkv::mtobs::Kind::MultiPut, t0.elapsed().as_nanos() as u64);
             }
             _ => {
                 // Singleton or non-groupable run: execute in place. The
@@ -1458,6 +1484,7 @@ pub fn execute_into(session: &Session, req: Request, out: &mut Vec<u8>) {
 /// resumable `Scan` requests re-enter the tree at their remembered
 /// border nodes and replica mode refuses writes.
 fn execute_into_tokens(session: &Session, ctx: &mut ExecCtx<'_>, req: Request, out: &mut Vec<u8>) {
+    let _span = maybe_span(session);
     match req {
         Request::Get { key, cols } => {
             session.get_with(&key, |hit| write_get_response(out, hit, cols.as_deref()));
@@ -1513,7 +1540,7 @@ fn execute_into_tokens(session: &Session, ctx: &mut ExecCtx<'_>, req: Request, o
             }
         }
         // Admin requests: small fixed-size replies, no zero-copy need.
-        req @ (Request::Stats | Request::Flush | Request::Sync) => {
+        req @ (Request::Stats | Request::Flush | Request::Sync | Request::StatsEx) => {
             execute_tokens(session, ctx, req).encode(out)
         }
     }
@@ -1521,6 +1548,23 @@ fn execute_into_tokens(session: &Session, ctx: &mut ExecCtx<'_>, req: Request, o
 
 /// The typed error a `Resume` with no live cursor receives.
 const UNKNOWN_SCAN_TOKEN: &str = "unknown scan token";
+
+/// Arms a trace span for 1-in-N requests (see `mtobs::Obs::
+/// set_sample_every`). The request's frame was already decoded, so the
+/// `Decode` mark lands immediately; the downstream session op marks
+/// cache-lookup/descent/value-resolve/WAL stages and its `record_op`
+/// completes the span into the trace ring. Unsampled requests pay one
+/// relaxed load here and one thread-local flag check per mark site.
+#[inline]
+fn maybe_span(session: &Session) -> Option<mtkv::mtobs::span::SpanGuard> {
+    if session.recorder().obs().should_sample() {
+        let g = mtkv::mtobs::span::begin();
+        mtkv::mtobs::span::mark(mtkv::mtobs::Stage::Decode);
+        Some(g)
+    } else {
+        None
+    }
+}
 
 /// Runs one scan chunk. `Start(token)` descends from `key` and
 /// registers (or overwrites) the cursor under the token; `Resume(token)`
@@ -1583,6 +1627,10 @@ fn write_get_response(out: &mut Vec<u8>, hit: Option<&mtkv::ColValue>, cols: Opt
             ),
         },
     }
+    // Zero-copy encoding runs *inside* the get's epoch guard (the
+    // `get_with` visitor), so a sampled span is still live here and the
+    // respond stage lands before `record_op` completes the trace.
+    mtkv::mtobs::span::mark(mtkv::mtobs::Stage::Respond);
 }
 
 /// Executes one request against a store session (token-less: resumable
@@ -1643,6 +1691,13 @@ fn execute_tokens(session: &Session, ctx: &mut ExecCtx<'_>, req: Request) -> Res
             Response::Rows(rows)
         }
         Request::Stats => Response::Stats(gather_stats(session, ctx.loads)),
+        Request::StatsEx => Response::StatsEx(StatsExReply {
+            // `Obs::snapshot` merges every live recorder (all sessions
+            // across all workers), retired recorders from closed
+            // connections, and the store's background/global set — the
+            // same flush-on-read discipline as the cache counters.
+            snap: session.store().obs().snapshot(),
+        }),
         Request::Flush => {
             // Make this connection's log durable, then run one full
             // durability cycle: checkpoint, truncate covered segments,

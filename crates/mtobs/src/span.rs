@@ -1,0 +1,296 @@
+//! Sampled request tracing: a thread-local span that rides one request
+//! through the pipeline stages, costing nothing but a thread-local flag
+//! check when inactive.
+//!
+//! The server (or any trace root) calls [`begin`] on the 1-in-N
+//! requests it samples; layers below it call [`mark`] as the request
+//! crosses each [`Stage`] boundary — no plumbed-through context
+//! argument, so instrumenting a deep call path (decode → cache lookup
+//! → descent → value-tier resolve → WAL ack → respond) never changes a
+//! signature. `Obs::finish_op` collects the completed span into the
+//! bounded [`TraceRing`] and force-dumps slow outliers.
+//!
+//! Marks record *elapsed-ns-since-begin* (first write wins per stage,
+//! so a batched op marking `Descent` per key keeps the first descent's
+//! timestamp). The whole span is a fixed ~64-byte thread-local — no
+//! allocation anywhere.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Pipeline stages a traced request crosses, in nominal order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Stage {
+    /// Wire frame parsed into a request.
+    Decode = 0,
+    /// Hint-cache probe finished.
+    CacheLookup = 1,
+    /// Tree descent started (marked from inside `masstree`).
+    Descent = 2,
+    /// Cold-value tier resolution finished.
+    ValueResolve = 3,
+    /// WAL group-commit force acknowledged the write.
+    WalAck = 4,
+    /// Response bytes encoded.
+    Respond = 5,
+}
+
+impl Stage {
+    pub const COUNT: usize = 6;
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Decode,
+        Stage::CacheLookup,
+        Stage::Descent,
+        Stage::ValueResolve,
+        Stage::WalAck,
+        Stage::Respond,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Decode => "decode",
+            Stage::CacheLookup => "cache_lookup",
+            Stage::Descent => "descent",
+            Stage::ValueResolve => "value_resolve",
+            Stage::WalAck => "wal_ack",
+            Stage::Respond => "respond",
+        }
+    }
+}
+
+const UNMARKED: u32 = u32::MAX;
+
+struct SpanState {
+    start: Option<Instant>,
+    /// Elapsed ns since `start` when each stage was first marked
+    /// (`UNMARKED` = never; saturates at ~4.3 s).
+    marks: [u32; Stage::COUNT],
+}
+
+impl Default for SpanState {
+    fn default() -> Self {
+        SpanState {
+            start: None,
+            marks: [UNMARKED; Stage::COUNT],
+        }
+    }
+}
+
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static SPAN: Cell<SpanState> = const {
+        Cell::new(SpanState { start: None, marks: [UNMARKED; Stage::COUNT] })
+    };
+}
+
+/// Arms the thread-local span for the current request. Call only on
+/// sampled requests; the returned guard disarms on drop if the span is
+/// never collected (panic safety).
+pub fn begin() -> SpanGuard {
+    SPAN.with(|s| {
+        s.set(SpanState {
+            start: Some(Instant::now()),
+            marks: [UNMARKED; Stage::COUNT],
+        })
+    });
+    ACTIVE.with(|a| a.set(true));
+    SpanGuard
+}
+
+/// Disarms the span when the traced request unwinds without reaching
+/// `finish_op` (error paths), so a stale span never attaches to the
+/// next request on this thread.
+pub struct SpanGuard;
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| a.set(false));
+    }
+}
+
+/// True while a span is armed on this thread.
+#[inline]
+pub fn is_active() -> bool {
+    ACTIVE.with(|a| a.get())
+}
+
+/// Records the elapsed time at a stage boundary. One thread-local flag
+/// check when no span is armed — cheap enough for the tree's descent
+/// path.
+#[inline]
+pub fn mark(stage: Stage) {
+    if !is_active() {
+        return;
+    }
+    mark_slow(stage);
+}
+
+#[cold]
+fn mark_slow(stage: Stage) {
+    SPAN.with(|s| {
+        let mut state = s.take();
+        if let Some(start) = state.start {
+            let i = stage as usize;
+            if state.marks[i] == UNMARKED {
+                state.marks[i] = start.elapsed().as_nanos().min(u32::MAX as u128 - 1) as u32;
+            }
+        }
+        s.set(state);
+    });
+}
+
+/// Collects and disarms the active span (if any) into a [`TraceRec`].
+pub(crate) fn take_active(kind: crate::Kind, total_ns: u64) -> Option<TraceRec> {
+    if !is_active() {
+        return None;
+    }
+    ACTIVE.with(|a| a.set(false));
+    let state = SPAN.with(|s| s.take());
+    state.start?;
+    Some(TraceRec {
+        kind,
+        total_ns,
+        marks: state.marks,
+    })
+}
+
+/// One completed sampled trace: the op kind, its total latency, and
+/// the elapsed-ns offset at which each stage was crossed.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceRec {
+    pub kind: crate::Kind,
+    pub total_ns: u64,
+    /// Elapsed ns since span start per [`Stage`] ([`u32::MAX`] =
+    /// stage never crossed by this op).
+    pub marks: [u32; Stage::COUNT],
+}
+
+impl TraceRec {
+    /// A record for a slow op that was not carrying a span (stage marks
+    /// absent — the sampling contract: stages only on sampled ops).
+    pub fn untraced(kind: crate::Kind, total_ns: u64) -> TraceRec {
+        TraceRec {
+            kind,
+            total_ns,
+            marks: [UNMARKED; Stage::COUNT],
+        }
+    }
+
+    /// One parseable `key=value` line, e.g.
+    /// `SLOWOP op=get_descent total_ns=12345 decode=1000 descent=9000`.
+    pub fn structured_line(&self, tag: &str) -> String {
+        let mut line = format!("{tag} op={} total_ns={}", self.kind.name(), self.total_ns);
+        for st in Stage::ALL {
+            let m = self.marks[st as usize];
+            if m != UNMARKED {
+                line.push_str(&format!(" {}={}", st.name(), m));
+            }
+        }
+        line
+    }
+}
+
+/// Spans kept per ring.
+pub const RING_CAP: usize = 64;
+
+/// A bounded ring of the most recent sampled traces. Pushes are rare
+/// (1-in-N sampled requests plus slow outliers), so a mutex is fine;
+/// the fixed backing array never reallocates.
+#[derive(Debug)]
+pub struct TraceRing {
+    slots: Mutex<Box<[Option<TraceRec>; RING_CAP]>>,
+    pushed: AtomicU64,
+}
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        TraceRing {
+            slots: Mutex::new(Box::new([None; RING_CAP])),
+            pushed: AtomicU64::new(0),
+        }
+    }
+}
+
+impl TraceRing {
+    pub fn push(&self, rec: TraceRec) {
+        let n = self.pushed.fetch_add(1, Ordering::Relaxed);
+        self.slots.lock().unwrap()[(n as usize) % RING_CAP] = Some(rec);
+    }
+
+    /// Total spans ever pushed (a counter, not the retained count).
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// The retained records, oldest first.
+    pub fn drain_recent(&self) -> Vec<TraceRec> {
+        let n = self.pushed.load(Ordering::Relaxed) as usize;
+        let slots = self.slots.lock().unwrap();
+        let mut out = Vec::with_capacity(RING_CAP.min(n));
+        for i in 0..RING_CAP {
+            let idx = (n + i) % RING_CAP;
+            if let Some(rec) = slots[idx] {
+                out.push(rec);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kind;
+
+    #[test]
+    fn marks_record_monotone_offsets_and_disarm() {
+        let _g = begin();
+        assert!(is_active());
+        mark(Stage::Decode);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        mark(Stage::Descent);
+        mark(Stage::Descent); // first write wins
+        let rec = take_active(Kind::GetDescent, 2_500_000).unwrap();
+        assert!(!is_active());
+        let d0 = rec.marks[Stage::Decode as usize];
+        let d2 = rec.marks[Stage::Descent as usize];
+        assert!(d0 != UNMARKED && d2 != UNMARKED);
+        assert!(d2 > d0, "descent marked after decode");
+        assert!(d2 >= 2_000_000, "sleep visible in the mark");
+        assert_eq!(rec.marks[Stage::WalAck as usize], UNMARKED);
+        let line = rec.structured_line("TRACE");
+        assert!(line.starts_with("TRACE op=get_descent total_ns=2500000"));
+        assert!(line.contains(" descent="));
+        assert!(!line.contains(" wal_ack="));
+    }
+
+    #[test]
+    fn unsampled_threads_never_collect() {
+        mark(Stage::Decode); // no span armed: must be a no-op
+        assert!(take_active(Kind::Put, 1).is_none());
+    }
+
+    #[test]
+    fn guard_disarms_on_unwind() {
+        {
+            let _g = begin();
+            assert!(is_active());
+        }
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn ring_wraps_and_counts() {
+        let ring = TraceRing::default();
+        for i in 0..(RING_CAP as u64 + 10) {
+            ring.push(TraceRec::untraced(Kind::Put, i));
+        }
+        assert_eq!(ring.pushed(), RING_CAP as u64 + 10);
+        let recent = ring.drain_recent();
+        assert_eq!(recent.len(), RING_CAP);
+        assert_eq!(recent.last().unwrap().total_ns, RING_CAP as u64 + 9);
+    }
+}

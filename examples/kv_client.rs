@@ -6,8 +6,16 @@
 //! cargo run --release --example kv_client -- 127.0.0.1:7700 get greeting
 //! cargo run --release --example kv_client -- 127.0.0.1:7700 scan "" 10
 //! cargo run --release --example kv_client -- 127.0.0.1:7700 bench 100000
+//! cargo run --release --example kv_client -- 127.0.0.1:7700 stats --histograms
+//! cargo run --release --example kv_client -- 127.0.0.1:7700 stats --watch
 //! ```
+//!
+//! `stats --histograms` renders the server's per-op-kind latency
+//! distributions (count, mean, p50/p90/p99/p999) from one `StatsEx`
+//! snapshot; `stats --watch` re-snapshots every second and renders the
+//! **delta** — live rates and latencies, not lifetime aggregates.
 
+use mtkv::mtobs::{self, Kind};
 use mtnet::{Client, Request, Response};
 
 fn main() {
@@ -50,6 +58,30 @@ fn main() {
                     String::from_utf8_lossy(&k),
                     String::from_utf8_lossy(&cols[0])
                 );
+            }
+        }
+        "stats" if args.get(3).map(String::as_str) == Some("--histograms") => {
+            let snap = client.stats_ex().unwrap().snap;
+            print_histograms(&snap);
+        }
+        "stats" if args.get(3).map(String::as_str) == Some("--watch") => {
+            // 1 Hz delta view: each line set shows only the interval's
+            // traffic, so latencies track what the server is doing now.
+            let mut prev = client.stats_ex().unwrap().snap;
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(1));
+                let snap = client.stats_ex().unwrap().snap;
+                let d = snap.delta(&prev);
+                println!(
+                    "-- {} ops/s, {} slow, {} traced --",
+                    d.foreground_ops()
+                        + d.kind(Kind::MultiGet).count()
+                        + d.kind(Kind::MultiPut).count(),
+                    d.slow_ops,
+                    d.traces_sampled
+                );
+                print_histograms(&d);
+                prev = snap;
             }
         }
         "stats" => {
@@ -118,7 +150,34 @@ fn main() {
             );
         }
         _ => {
-            eprintln!("usage: kv_client <addr> get|put|remove|scan|stats|bench ...");
+            eprintln!(
+                "usage: kv_client <addr> get|put|remove|scan|stats [--histograms|--watch]|bench ..."
+            );
         }
+    }
+}
+
+/// Renders every populated kind's latency distribution as one table
+/// row; kinds with no recorded ops are skipped.
+fn print_histograms(snap: &mtobs::Snapshot) {
+    println!(
+        "{:<14} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "op", "count", "mean", "p50", "p90", "p99", "p999"
+    );
+    for k in Kind::ALL {
+        let h = snap.kind(k);
+        if h.count() == 0 {
+            continue;
+        }
+        println!(
+            "{:<14} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            k.name(),
+            h.count(),
+            mtobs::fmt_ns(h.mean()),
+            mtobs::fmt_ns(h.percentile(0.5)),
+            mtobs::fmt_ns(h.percentile(0.9)),
+            mtobs::fmt_ns(h.percentile(0.99)),
+            mtobs::fmt_ns(h.percentile(0.999)),
+        );
     }
 }

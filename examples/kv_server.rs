@@ -34,10 +34,27 @@
 //! segments, keeping a fixed 24-byte pointer in the leaf (README:
 //! "Larger-than-RAM"). `kv_client <addr> stats` reports the tier's
 //! `indirect_reads` / `value_cache_hits` / `live_segment_bytes`.
+//!
+//! Observability:
+//!
+//! * `MT_METRICS_LISTEN=<addr>` serves Prometheus text exposition on
+//!   `GET /metrics`: per-op-kind latency histograms (`mt_op_latency_
+//!   seconds`) plus durability/replication/value-tier gauges.
+//! * `MT_STATS_INTERVAL=<secs>` prints one structured `STATS` line per
+//!   interval: op rates, p99 latencies, slow-op and trace counts,
+//!   replication lag, checkpoint and GC activity.
+//! * `MT_SLOW_OP_US=<micros>` force-samples any op at or over the
+//!   threshold as a structured `SLOWOP` line on stderr.
+//! * `MT_TRACE_SAMPLE=<n>` samples 1-in-n requests (rounded to a power
+//!   of two; 0 disables) through a staged trace span
+//!   (decode → cache lookup → descent → value resolve → WAL → respond).
 
+use std::io::{Read, Write};
 use std::path::PathBuf;
+use std::sync::Arc;
 
-use mtkv::{recover_with, DurabilityConfig};
+use mtkv::mtobs::{self, Kind};
+use mtkv::{recover_with, DurabilityConfig, Store};
 use mtnet::{Follower, ReplSource, Server, ServerConfig};
 
 fn main() {
@@ -141,6 +158,8 @@ fn main() {
         src
     });
 
+    let stats_interval = setup_observability(&store);
+
     let config = ServerConfig {
         workers,
         aggregate,
@@ -165,9 +184,13 @@ fn main() {
     // Periodic maintenance: empty-layer GC (§4.6.5) plus a checkpoint
     // every 30 seconds so restarts recover quickly.
     let mut last_ckpt = std::time::Instant::now();
+    let mut ticker = stats_interval.map(StatsTicker::new);
     loop {
         std::thread::sleep(std::time::Duration::from_secs(1));
         store.maintain();
+        if let Some(t) = ticker.as_mut() {
+            t.tick(&store);
+        }
         if last_ckpt.elapsed().as_secs() >= 30 {
             match mtkv::write_checkpoint(&store, &dir, 4) {
                 Ok(meta) => println!("checkpoint: {} keys", meta.keys),
@@ -178,11 +201,166 @@ fn main() {
     }
 }
 
+/// Applies the observability env knobs (`MT_SLOW_OP_US`,
+/// `MT_TRACE_SAMPLE`), starts the `MT_METRICS_LISTEN` endpoint when
+/// configured, and returns the `MT_STATS_INTERVAL` period, if any.
+fn setup_observability(store: &Arc<Store>) -> Option<std::time::Duration> {
+    if let Ok(us) = std::env::var("MT_SLOW_OP_US") {
+        let us: u64 = us.parse().expect("MT_SLOW_OP_US=<micros>");
+        store.obs().set_slow_threshold_us(Some(us));
+        println!("slow-op dump threshold: {us} us");
+    }
+    if let Ok(n) = std::env::var("MT_TRACE_SAMPLE") {
+        let n: u64 = n.parse().expect("MT_TRACE_SAMPLE=<1-in-n>");
+        store.obs().set_sample_every(n);
+        println!("trace sampling: 1 in {n} requests");
+    }
+    if let Ok(addr) = std::env::var("MT_METRICS_LISTEN") {
+        let listener = std::net::TcpListener::bind(&addr).expect("bind metrics endpoint");
+        println!(
+            "metrics: http://{}/metrics",
+            listener.local_addr().expect("metrics addr")
+        );
+        let store = Arc::clone(store);
+        std::thread::Builder::new()
+            .name("metrics".into())
+            .spawn(move || serve_metrics(listener, store))
+            .expect("spawn metrics thread");
+    }
+    std::env::var("MT_STATS_INTERVAL").ok().map(|s| {
+        let secs: u64 = s.parse().expect("MT_STATS_INTERVAL=<seconds>");
+        std::time::Duration::from_secs(secs.max(1))
+    })
+}
+
+/// A deliberately tiny HTTP/1.1 responder: one request per connection,
+/// `GET /metrics` (or `GET /`) answered with Prometheus text
+/// exposition, anything else with 404. Scrape cadence is seconds, so
+/// thread-per-request with `Connection: close` is plenty.
+fn serve_metrics(listener: std::net::TcpListener, store: Arc<Store>) {
+    for conn in listener.incoming() {
+        let Ok(mut conn) = conn else { continue };
+        let _ = conn.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+        let mut head = [0u8; 1024];
+        let mut n = 0;
+        while n < head.len() {
+            match conn.read(&mut head[n..]) {
+                Ok(0) | Err(_) => break,
+                Ok(m) => {
+                    n += m;
+                    if head[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+                        break;
+                    }
+                }
+            }
+        }
+        let line = std::str::from_utf8(&head[..n]).unwrap_or("");
+        let ok = line.starts_with("GET /metrics") || line.starts_with("GET / ");
+        let (status, reason, body) = if ok {
+            (200, "OK", render_metrics(&store))
+        } else {
+            (404, "Not Found", "not found\n".to_string())
+        };
+        let _ = write!(
+            conn,
+            "HTTP/1.1 {status} {reason}\r\n\
+             Content-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
+        );
+    }
+}
+
+/// One scrape: the merged histogram snapshot plus the store's
+/// durability / cache / replication / value-tier gauges.
+fn render_metrics(store: &Arc<Store>) -> String {
+    let snap = store.obs().snapshot();
+    let d = store.durability_stats();
+    let c = store.cache_stats();
+    let (repl_role, repl_followers, repl_lag_bytes, repl_lag_ts_us) = store.repl_stats().snapshot();
+    let v = store.value_tier_stats();
+    mtobs::render_prometheus(
+        &snap,
+        &[
+            ("mt_checkpoints_total", d.checkpoints),
+            ("mt_log_bytes", d.log_bytes),
+            ("mt_log_segments", d.log_segments),
+            ("mt_segments_truncated_total", d.segments_truncated),
+            ("mt_cache_lookups_total", c.lookups),
+            ("mt_cache_hits_total", c.hits),
+            ("mt_repl_role", repl_role),
+            ("mt_repl_followers", repl_followers),
+            ("mt_repl_lag_bytes", repl_lag_bytes),
+            ("mt_repl_lag_ts_us", repl_lag_ts_us),
+            ("mt_indirect_reads_total", v.indirect_reads),
+            ("mt_value_cache_hits_total", v.value_cache_hits),
+            ("mt_gc_rewritten_bytes_total", v.gc_rewritten_bytes),
+            ("mt_live_segment_bytes", v.live_segment_bytes),
+        ],
+    )
+}
+
+/// Emits one structured `STATS` line per `MT_STATS_INTERVAL`: interval
+/// deltas for rates and percentiles, plus instantaneous lag gauges.
+struct StatsTicker {
+    interval: std::time::Duration,
+    last: std::time::Instant,
+    prev: mtobs::Snapshot,
+}
+
+impl StatsTicker {
+    fn new(interval: std::time::Duration) -> StatsTicker {
+        StatsTicker {
+            interval,
+            last: std::time::Instant::now(),
+            prev: mtobs::Snapshot::empty(),
+        }
+    }
+
+    fn tick(&mut self, store: &Arc<Store>) {
+        if self.last.elapsed() < self.interval {
+            return;
+        }
+        let secs = self.last.elapsed().as_secs_f64();
+        let snap = store.obs().snapshot();
+        let d = snap.delta(&self.prev);
+        let mut gets = *d.kind(Kind::GetHit);
+        gets.merge(d.kind(Kind::GetDescent));
+        gets.merge(d.kind(Kind::GetCold));
+        let ops =
+            d.foreground_ops() + d.kind(Kind::MultiGet).count() + d.kind(Kind::MultiPut).count();
+        let (_, _, repl_lag_bytes, repl_lag_ts_us) = store.repl_stats().snapshot();
+        let dur = store.durability_stats();
+        let v = store.value_tier_stats();
+        println!(
+            "STATS ops={ops} ops_per_s={:.0} get_p99={} put_p99={} \
+             multiget_p99={} wal_force_p99={} checkpoint_p99={} gc_p99={} \
+             slow_ops={} traces={} repl_lag_bytes={repl_lag_bytes} \
+             repl_lag_us={repl_lag_ts_us} checkpoints={} gc_bytes={}",
+            ops as f64 / secs,
+            mtobs::fmt_ns(gets.percentile(0.99)),
+            mtobs::fmt_ns(d.kind(Kind::Put).percentile(0.99)),
+            mtobs::fmt_ns(d.kind(Kind::MultiGet).percentile(0.99)),
+            mtobs::fmt_ns(d.kind(Kind::WalForce).percentile(0.99)),
+            mtobs::fmt_ns(d.kind(Kind::Checkpoint).percentile(0.99)),
+            mtobs::fmt_ns(d.kind(Kind::GcPass).percentile(0.99)),
+            d.slow_ops,
+            d.traces_sampled,
+            dur.checkpoints,
+            v.gc_rewritten_bytes,
+        );
+        self.prev = snap;
+        self.last = std::time::Instant::now();
+    }
+}
+
 /// Read-replica mode: replay the primary's log stream, serve reads,
 /// redirect writes.
 fn run_follower(addr: &str, dir: &std::path::Path, primary: &str, workers: usize, aggregate: bool) {
     let follower = Follower::start(dir, primary).expect("start follower");
     let redirect = std::env::var("MT_REDIRECT").unwrap_or_else(|_| primary.to_string());
+    let stats_interval = setup_observability(&follower.store());
     let config = ServerConfig {
         workers,
         aggregate,
@@ -195,9 +373,13 @@ fn run_follower(addr: &str, dir: &std::path::Path, primary: &str, workers: usize
         primary,
         redirect
     );
+    let mut ticker = stats_interval.map(StatsTicker::new);
     loop {
         std::thread::sleep(std::time::Duration::from_secs(1));
         follower.store().maintain();
+        if let Some(t) = ticker.as_mut() {
+            t.tick(&follower.store());
+        }
         let (lag_bytes, lag_ts_us) = follower.lag();
         if lag_bytes > 0 {
             println!("replica lag: {lag_bytes} bytes, {lag_ts_us} us");
