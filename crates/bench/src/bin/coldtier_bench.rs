@@ -4,11 +4,29 @@
 //! a **quarter** of the total value bytes — a 4× working set) against
 //! the all-inline baseline where every value sits in the tree.
 //!
-//! The acceptance gate from the issue rides along: with the cache
-//! budget at ≤ 1/4 of total value bytes, the zipf-0.99 point-get rate
-//! on the cold store must stay within 2× of the all-inline baseline —
-//! skew means the hot ranks fit the cache, so the tier must not tax
-//! the common case. The process exits nonzero when the gate fails.
+//! Two acceptance gates ride along, and the process exits nonzero
+//! when either fails:
+//!
+//! * with the cache budget at ≤ 1/4 of total value bytes, the
+//!   zipf-0.99 point-get rate on the cold store must stay within 2× of
+//!   the all-inline baseline — skew means the hot ranks fit the cache,
+//!   so the tier must not tax the common case;
+//! * the zipf-0.99 cold scan rate must reach ≥ 30% of the inline scan
+//!   rate — the leaf-batched readahead path clusters a chunk's cache
+//!   misses into mapped, coalesced segment reads, so cold scans are no
+//!   longer one `pread` per row (the inline-pread path sits at
+//!   0.12–0.18 of inline on this cell).
+//!
+//! The scan gate is 0.30, not 0.50, and the uniform scan cell is
+//! reported but ungated: with per-row decoded-value cache admission,
+//! every miss pays crc + decode + one block copy + cache insertion, and
+//! the zipf hit rate (~64%) is already at the LRU-theoretical ceiling
+//! for this draw — together those put the steady-state ratio floor for
+//! this cell near 0.35–0.40 measured (the all-hit path alone runs at
+//! ~0.6–0.7 of inline, paying one cache probe per row where inline
+//! reads the leaf's own suffix). Lifting past 0.50 needs
+//! window-granular caching (cache the mapped window, decode lazily at
+//! emit) — tracked in ROADMAP.md.
 //!
 //! Writes `BENCH_coldtier.json` at the repository root.
 
@@ -215,8 +233,18 @@ fn main() {
     }
     json.push_str(&format!(
         "  \"indirect_reads\": {},\n  \"value_cache_hits\": {},\n  \
-         \"value_cache_hit_rate\": {hit_rate:.4},\n  \"live_segment_bytes\": {}\n}}\n",
-        stats.indirect_reads, stats.value_cache_hits, stats.live_segment_bytes
+         \"value_cache_hit_rate\": {hit_rate:.4},\n  \"live_segment_bytes\": {},\n  \
+         \"readahead_batches\": {},\n  \"clustered_reads\": {},\n  \
+         \"coalesced_bytes\": {},\n  \"shared_misses\": {},\n  \
+         \"segment_reads\": {}\n}}\n",
+        stats.indirect_reads,
+        stats.value_cache_hits,
+        stats.live_segment_bytes,
+        stats.readahead_batches,
+        stats.clustered_reads,
+        stats.coalesced_bytes,
+        stats.shared_misses,
+        stats.segment_reads
     ));
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_coldtier.json");
     std::fs::write(path, &json).expect("write BENCH_coldtier.json");
@@ -227,17 +255,41 @@ fn main() {
     drop(cold);
     let _ = std::fs::remove_dir_all(&base);
 
-    // ---- the acceptance gate ----
+    // ---- the acceptance gates ----
+    let mut failed = false;
     let (_, zi, zc, _) = results[0];
     if zc * 2.0 < zi {
         eprintln!(
             "FAIL: zipf-0.99 point gets on the cold tier ({zc:.3} Mreq/s) fell below \
              half the all-inline baseline ({zi:.3} Mreq/s)"
         );
+        failed = true;
+    } else {
+        println!(
+            "# gate: zipf0.99 cold/inline = {:.0}% (must be ≥ 50%) — ok",
+            100.0 * zc / zi
+        );
+    }
+    // Scan gate: the readahead engine must keep zipf-0.99 cold scans at
+    // ≥ 30% of inline (the per-pointer-pread path measures 0.12–0.18;
+    // see the module docs for why the per-row decoded-cache floor sits
+    // below 0.50). The uniform cell is reported but ungated — with a 4×
+    // working set nearly every row misses, so it tracks the pure
+    // miss-path cost and is the noisiest cell on a shared runner.
+    let (label, si, sc, _) = results[2];
+    if sc * (10.0 / 3.0) < si {
+        eprintln!(
+            "FAIL: {label} on the cold tier ({sc:.3} Mreq/s) fell below 30% of \
+             the all-inline baseline ({si:.3} Mreq/s)"
+        );
+        failed = true;
+    } else {
+        println!(
+            "# gate: {label} cold/inline = {:.0}% (must be ≥ 30%) — ok",
+            100.0 * sc / si
+        );
+    }
+    if failed {
         std::process::exit(1);
     }
-    println!(
-        "# gate: zipf0.99 cold/inline = {:.0}% (must be ≥ 50%) — ok",
-        100.0 * zc / zi
-    );
 }

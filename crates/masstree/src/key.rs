@@ -141,8 +141,16 @@ impl<'a> KeyCursor<'a> {
     }
 
     /// Descends one trie layer (8 bytes deeper into the key).
+    ///
+    /// Every point-op descent (get, put, remove, conditional update,
+    /// batch engine) crosses layers through here, so this is also the
+    /// per-layer stage mark for sampled request traces: the first
+    /// deeper-layer hop records `descent_deep`, separating layer-0
+    /// B+-tree time from trie-recursion time in SLOWOP lines. One
+    /// thread-local flag check when no span is armed.
     #[inline]
     pub fn advance(&mut self) {
+        mtobs::span::mark(mtobs::Stage::DescentDeep);
         self.offset += SLICE_LEN;
     }
 }

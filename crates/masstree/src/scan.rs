@@ -612,6 +612,11 @@ impl<V: Send + Sync + 'static> Masstree<V> {
                             scratch.bound.clear();
                         }
                         scratch.prefix.extend_from_slice(&slice_bytes);
+                        // Per-layer stage mark for sampled traces: the
+                        // scan's first recursion into a deeper trie
+                        // layer (mirrors `KeyCursor::advance` on the
+                        // point-op paths).
+                        mtobs::span::mark(mtobs::Stage::DescentDeep);
                         let st = self.scan_layer(
                             NodePtr::from_raw(e.lv.cast()),
                             scratch,

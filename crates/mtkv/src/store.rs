@@ -30,7 +30,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::checkpoint::{prune_checkpoints, write_checkpoint, CheckpointMeta};
 use crate::log::{CrashPoint, LogRecord, LogWriter};
 use crate::value::{ColValue, ValuePtr};
-use crate::vtier::{self, ValueError, ValueTier, ValueTierStats};
+use crate::vtier::{self, ResolveScratch, ValueError, ValueTier, ValueTierStats};
 
 /// Tuning for the online durability subsystem.
 #[derive(Debug, Clone)]
@@ -384,6 +384,25 @@ impl Store {
         match &self.vtier {
             Some(t) => t.resolve(ptr, version),
             None => Err(ValueError::TornOrMissing),
+        }
+    }
+
+    /// Batched [`Store::resolve_indirect`]: one cache probe per request,
+    /// misses coalesced into clustered segment reads (see
+    /// [`ValueTier::resolve_many`]). Without a mounted tier every
+    /// request resolves to `None`, matching the single-resolve error.
+    pub(crate) fn resolve_indirect_many(
+        &self,
+        reqs: &[(ValuePtr, u64)],
+        out: &mut Vec<Option<Arc<ColValue>>>,
+        scratch: &mut ResolveScratch,
+    ) {
+        match &self.vtier {
+            Some(t) => t.resolve_many(reqs, out, scratch),
+            None => {
+                out.clear();
+                out.resize(reqs.len(), None);
+            }
         }
     }
 
@@ -1041,6 +1060,7 @@ impl Store {
             log,
             cache: None,
             obs: self.obs.recorder(),
+            readahead: Mutex::new(ReadaheadScratch::default()),
         };
         if let Some(cfg) = self.session_cache.lock().clone() {
             session.enable_cache(cfg);
@@ -1209,11 +1229,49 @@ struct BatchScratch {
     hints: Vec<Option<LeafHint<ColValue>>>,
     engine: HintBatchScratch<ColValue>,
     out: Vec<*const ColValue>,
+    /// The batch's cold pointers, fed through one
+    /// [`ValueTier::resolve_many`] (clustered segment reads on misses)
+    /// instead of one segment read per key — the server's per-wakeup
+    /// merged get runs land here.
+    cold_reqs: Vec<(ValuePtr, u64)>,
+    cold_out: Vec<Option<Arc<ColValue>>>,
+    resolve: ResolveScratch,
 }
 
 // SAFETY: the raw pointers are inert between calls (never dereferenced
 // outside the pinned call that wrote them); ColValue is Send + Sync.
 unsafe impl Send for BatchScratch {}
+
+/// Reusable buffers for the leaf-batched scan readahead path
+/// ([`Session::get_range_with`] / [`Session::get_range_resumed`]): one
+/// chunk's row keys (copied out — the scan's assembled key bytes are
+/// valid only per visitor call), type-erased value pointers (written
+/// and read back under the collecting call's epoch guard, like
+/// [`BatchScratch::out`]), and the value tier's batched-resolution
+/// requests/results. All retain capacity across chunks, keeping warm
+/// readahead scans allocation-free (tests/alloc_count.rs).
+#[derive(Default)]
+struct ReadaheadScratch {
+    /// Collected row keys, concatenated; row `i` ends at `key_ends[i]`.
+    keys: Vec<u8>,
+    key_ends: Vec<usize>,
+    /// One pointer per collected row (null = indirect row with a
+    /// malformed pointer record, skipped at emit like the inline path).
+    vals: Vec<*const ColValue>,
+    /// The chunk's cold pointers and their row indices, in row order.
+    reqs: Vec<(ValuePtr, u64)>,
+    req_rows: Vec<u32>,
+    resolved: Vec<Option<Arc<ColValue>>>,
+    engine: ResolveScratch,
+    /// Reused cursor for cursor-less `get_range_with` calls (no cursor
+    /// cache attached): `ScanCursor::reset` keeps its bound buffer's
+    /// capacity, so one-shot scans stay allocation-free too.
+    spare_cursor: Option<ScanCursor>,
+}
+
+// SAFETY: same contract as BatchScratch — the raw pointers are inert
+// between calls.
+unsafe impl Send for ReadaheadScratch {}
 
 impl SessionCache {
     /// True when this operation should skip the cache entirely (bypass
@@ -1243,6 +1301,11 @@ pub struct Session {
     /// recording on this worker's own cache lines; merged store-wide
     /// on stats reads. Folds into the hub's retained sink on drop.
     obs: Recorder,
+    /// Reusable scan-readahead buffers (`try_lock`ed per range read; a
+    /// reentrant scan from inside a visitor falls back to row-at-a-time
+    /// resolution). Lives on the session, not the optional hint cache:
+    /// readahead applies to cache-less sessions too.
+    readahead: Mutex<ReadaheadScratch>,
 }
 
 impl Session {
@@ -1346,6 +1409,79 @@ impl Session {
             }
             _ => false,
         }
+    }
+
+    /// One leaf-batched readahead scan round: collects up to `want`
+    /// rows from `cursor` into the session's readahead scratch (key
+    /// bytes copied, value refs type-erased — both consumed below under
+    /// this call's `guard`), batch-resolves the chunk's cold pointers
+    /// through [`ValueTier::resolve_many`] (clustered segment reads on
+    /// misses), then emits the rows to `f` in original key order. Rows
+    /// whose payload cannot be verified are skipped, exactly as the
+    /// row-at-a-time path skips them. Returns `(rows collected, rows
+    /// emitted, scan resumed at its anchor)`; collected < want with an
+    /// un-done cursor never happens, so callers loop on the emit
+    /// deficit without re-checking.
+    fn scan_round_readahead<F>(
+        &self,
+        cursor: &mut ScanCursor,
+        want: usize,
+        ra: &mut ReadaheadScratch,
+        guard: &masstree::Guard,
+        f: &mut F,
+    ) -> (usize, usize, bool)
+    where
+        F: FnMut(&[u8], &ColValue),
+    {
+        ra.keys.clear();
+        ra.key_ends.clear();
+        ra.vals.clear();
+        ra.reqs.clear();
+        ra.req_rows.clear();
+        let out = self.store.tree.scan_resume(cursor, guard, |k, v| {
+            ra.keys.extend_from_slice(k);
+            ra.key_ends.push(ra.keys.len());
+            if v.is_indirect() {
+                match v.ptr() {
+                    Some(p) => {
+                        ra.req_rows.push(ra.vals.len() as u32);
+                        ra.reqs.push((p, v.version()));
+                        ra.vals.push(v as *const ColValue);
+                    }
+                    // Malformed pointer record: unresolvable, skipped.
+                    None => ra.vals.push(core::ptr::null()),
+                }
+            } else {
+                ra.vals.push(v as *const ColValue);
+            }
+            ra.vals.len() < want
+        });
+        if !ra.reqs.is_empty() {
+            self.store
+                .resolve_indirect_many(&ra.reqs, &mut ra.resolved, &mut ra.engine);
+            mtobs::span::mark(Stage::ValueResolve);
+        }
+        let mut emitted = 0usize;
+        let mut r = 0usize;
+        let mut key_start = 0usize;
+        for (i, &end) in ra.key_ends.iter().enumerate() {
+            let key = &ra.keys[key_start..end];
+            key_start = end;
+            if r < ra.req_rows.len() && ra.req_rows[r] as usize == i {
+                if let Some(v) = &ra.resolved[r] {
+                    f(key, v);
+                    emitted += 1;
+                }
+                r += 1;
+            } else if !ra.vals[i].is_null() {
+                // SAFETY: collected above under this call's pinned
+                // guard; epoch reclamation keeps the value live.
+                let v = unsafe { &*ra.vals[i] };
+                f(key, v);
+                emitted += 1;
+            }
+        }
+        (ra.vals.len(), emitted, out.resumed)
     }
 
     /// `get_c(k)`: reads the requested columns (all if `cols` is `None`).
@@ -1624,6 +1760,9 @@ impl Session {
             hints,
             engine,
             out,
+            cold_reqs,
+            cold_out,
+            resolve,
         } = &mut *bs;
         admits.clear();
         admits.resize(keys.len(), false);
@@ -1656,15 +1795,52 @@ impl Session {
                 });
             sc.sync_bypass(&c);
         }
-        for (i, p) in out.iter().enumerate() {
+        // Batch the cold pointers: every indirect hit in this run
+        // resolves through one `resolve_many` — concurrent cold keys
+        // coalesce into clustered segment reads instead of stampeding
+        // the tier with one read per key.
+        cold_reqs.clear();
+        for p in out.iter() {
+            if p.is_null() {
+                continue;
+            }
             // SAFETY: written above under this call's pinned guard;
             // epoch reclamation keeps the value live until it drops.
+            let v = unsafe { &**p };
+            if v.is_indirect() {
+                if let Some(ptr) = v.ptr() {
+                    cold_reqs.push((ptr, v.version()));
+                }
+            }
+        }
+        if !cold_reqs.is_empty() {
+            self.store.resolve_indirect_many(cold_reqs, cold_out, resolve);
+            mtobs::span::mark(Stage::ValueResolve);
+        }
+        let mut r = 0usize;
+        for (i, p) in out.iter().enumerate() {
+            // SAFETY: as above — same pinned guard.
             let hit = if p.is_null() {
                 None
             } else {
                 Some(unsafe { &**p })
             };
-            self.with_resolved(hit, |h| f(i, h));
+            match hit {
+                Some(v) if v.is_indirect() => {
+                    // Resolution order matches collection order; a
+                    // malformed pointer record never made it into the
+                    // batch and reads as absent, like `with_resolved`.
+                    let resolved = if v.ptr().is_some() {
+                        let x = cold_out.get(r).and_then(|o| o.as_deref());
+                        r += 1;
+                        x
+                    } else {
+                        None
+                    };
+                    f(i, resolved);
+                }
+                other => f(i, other),
+            }
         }
     }
 
@@ -1952,39 +2128,68 @@ impl Session {
         }
         let t0 = Instant::now();
         let guard = masstree::pin();
-        if let Some(sc) = &self.cache {
-            if !sc.skip_this_op() {
-                // The cursor is taken OUT of the cache for the duration
-                // (lock released before the visitor runs); a reentrant
-                // scan from inside `f` simply misses and descends.
-                let taken = sc
-                    .cursors
-                    .try_lock()
-                    .map(|mut cc| cc.take_or_start(key, false));
-                if let Some((mut cur, matched)) = taken {
-                    let mut seen = 0usize;
-                    let out = self.store.tree.scan_resume(&mut cur, &guard, |k, v| {
-                        if self.visit_row(k, v, &mut f) {
-                            seen += 1;
-                        }
-                        seen < n
-                    });
-                    {
+        // Leaf-batched readahead wants the session scratch; a reentrant
+        // scan from inside a visitor finds it busy and takes the
+        // row-at-a-time path below.
+        if let Some(mut ra) = self.readahead.try_lock() {
+            // The cursor comes from the per-session cache when attached
+            // (taken OUT for the duration, lock released before the
+            // visitor runs — a matching chunked-scan resume re-enters
+            // the tree at the validated anchor with zero descent) and
+            // is a fresh descent otherwise.
+            // Cursor-less calls recycle the scratch's spare cursor so
+            // the reset reuses its bound buffer (no per-call Vec).
+            let spare = |ra: &mut ReadaheadScratch| match ra.spare_cursor.take() {
+                Some(mut c) => {
+                    c.reset(key, false);
+                    c
+                }
+                None => ScanCursor::forward(key),
+            };
+            let (mut cur, matched, cached) = match &self.cache {
+                Some(sc) if !sc.skip_this_op() => {
+                    match sc.cursors.try_lock().map(|mut cc| cc.take_or_start(key, false)) {
+                        Some((cur, matched)) => (cur, matched, true),
+                        None => (spare(&mut ra), false, false),
+                    }
+                }
+                _ => (spare(&mut ra), false, false),
+            };
+            let mut seen = 0usize;
+            let mut first = true;
+            // One round in the common case; extra rounds only refill
+            // the deficit when unresolvable rows were skipped.
+            while seen < n && !cur.is_done() {
+                let (collected, emitted, resumed) =
+                    self.scan_round_readahead(&mut cur, n - seen, &mut ra, &guard, &mut f);
+                if first {
+                    if let Some(sc) = &self.cache {
                         let mut c = sc.table.lock();
-                        if out.resumed {
+                        if resumed {
                             c.note_scan_resumed();
                         } else if matched {
                             c.note_scan_fallback();
                         }
                     }
+                    first = false;
+                }
+                seen += emitted;
+                if collected == 0 {
+                    break;
+                }
+            }
+            if cached {
+                if let Some(sc) = &self.cache {
                     if let Some(mut cc) = sc.cursors.try_lock() {
                         cc.put(cur);
                     }
-                    self.obs
-                        .record_op(ObsKind::Scan, t0.elapsed().as_nanos() as u64);
-                    return seen;
                 }
+            } else {
+                ra.spare_cursor = Some(cur);
             }
+            self.obs
+                .record_op(ObsKind::Scan, t0.elapsed().as_nanos() as u64);
+            return seen;
         }
         let mut seen = 0usize;
         self.store.tree.scan(key, &guard, |k, v| {
@@ -2031,18 +2236,43 @@ impl Session {
         let guard = masstree::pin();
         let had_anchor = cursor.has_anchor();
         let mut seen = 0usize;
-        let out = self.store.tree.scan_resume(cursor, &guard, |k, v| {
-            if self.visit_row(k, v, &mut f) {
-                seen += 1;
+        if let Some(mut ra) = self.readahead.try_lock() {
+            // Leaf-batched readahead (see `get_range_with`): collect the
+            // chunk, batch-resolve its cold pointers, emit in order.
+            let mut first = true;
+            while seen < n && !cursor.is_done() {
+                let (collected, emitted, resumed) =
+                    self.scan_round_readahead(cursor, n - seen, &mut ra, &guard, &mut f);
+                if first {
+                    if let Some(sc) = &self.cache {
+                        let mut c = sc.table.lock();
+                        if resumed {
+                            c.note_scan_resumed();
+                        } else if had_anchor {
+                            c.note_scan_fallback();
+                        }
+                    }
+                    first = false;
+                }
+                seen += emitted;
+                if collected == 0 {
+                    break;
+                }
             }
-            seen < n
-        });
-        if let Some(sc) = &self.cache {
-            let mut c = sc.table.lock();
-            if out.resumed {
-                c.note_scan_resumed();
-            } else if had_anchor {
-                c.note_scan_fallback();
+        } else {
+            let out = self.store.tree.scan_resume(cursor, &guard, |k, v| {
+                if self.visit_row(k, v, &mut f) {
+                    seen += 1;
+                }
+                seen < n
+            });
+            if let Some(sc) = &self.cache {
+                let mut c = sc.table.lock();
+                if out.resumed {
+                    c.note_scan_resumed();
+                } else if had_anchor {
+                    c.note_scan_fallback();
+                }
             }
         }
         self.obs

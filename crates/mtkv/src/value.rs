@@ -127,6 +127,47 @@ impl ColValue {
         })
     }
 
+    /// [`ColValue::from_packed`], reusing `spare` as the backing block
+    /// when its length matches exactly (a `Box<[u8]>` has no spare
+    /// capacity, so only an exact fit avoids reallocation). Recycling
+    /// evicted cache blocks this way takes the allocator out of the
+    /// cold-read fill loop.
+    pub(crate) fn from_packed_reusing(
+        version: u64,
+        lens: impl ExactSizeIterator<Item = u32>,
+        data: &[u8],
+        spare: Option<Box<[u8]>>,
+    ) -> Option<ColValue> {
+        let ncols = lens.len();
+        let need = 4 * ncols + data.len();
+        let Some(mut buf) = spare.filter(|b| b.len() == need) else {
+            return ColValue::from_packed(version, lens, data);
+        };
+        let mut end = 0u64;
+        for (i, len) in lens.enumerate() {
+            end += u64::from(len);
+            if end > data.len() as u64 {
+                return None;
+            }
+            buf[4 * i..4 * i + 4].copy_from_slice(&(end as u32).to_le_bytes());
+        }
+        if end != data.len() as u64 {
+            return None;
+        }
+        buf[4 * ncols..].copy_from_slice(data);
+        Some(ColValue {
+            version,
+            ncols: ncols as u32,
+            buf,
+        })
+    }
+
+    /// Surrenders the backing block (for recycling through the value
+    /// cache's buffer pool).
+    pub(crate) fn into_buf(self) -> Box<[u8]> {
+        self.buf
+    }
+
     /// Copy-on-write update: returns a new value with `updates` applied
     /// (extending the column array if an update targets a column past the
     /// current end) and the remaining columns copied from `self`.

@@ -30,7 +30,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::crc32::crc32;
 use crate::value::{ColValue, ValuePtr};
@@ -39,6 +39,19 @@ use crate::value::{ColValue, ValuePtr};
 pub const DEFAULT_VALUE_SEGMENT_BYTES: u64 = 64 << 20;
 /// Default decoded-value cache budget.
 pub const DEFAULT_VALUE_CACHE_BYTES: usize = 64 << 20;
+
+/// Misses within this many bytes of each other coalesce into one
+/// clustered segment read ([`ValueTier::resolve_many`]): the gap bytes
+/// are other rows' payloads, and dragging them through one `pread`
+/// costs far less than a second syscall. One page covers the common
+/// "adjacent rows, small interleaved writes" shape without inflating
+/// windows across unrelated regions.
+const COALESCE_GAP: u64 = 4096;
+
+/// Upper bound on a single clustered read's window — the readahead
+/// byte budget. Bounds the reusable scratch buffer against a
+/// pathological batch whose misses span a whole segment.
+const READAHEAD_WINDOW_BYTES: u64 = 1 << 20;
 
 /// Why an indirect value could not be served. Every variant means the
 /// bytes were **refused**, never silently wrong.
@@ -136,16 +149,23 @@ pub fn decode_payload(buf: &[u8]) -> Option<Vec<&[u8]>> {
 /// Decodes a payload straight into a [`ColValue`] — the bulk twin of
 /// [`decode_payload`] for the cache-miss read path: the column bytes
 /// are copied once from the read buffer into the value's single block,
-/// with no intermediate slice vector.
-fn decode_payload_value(buf: &[u8], version: u64) -> Option<ColValue> {
+/// with no intermediate slice vector. `spare` is recycled as the
+/// value's backing block when it fits (see
+/// [`ColValue::from_packed_reusing`]).
+fn decode_payload_value_reusing(
+    buf: &[u8],
+    version: u64,
+    spare: Option<Box<[u8]>>,
+) -> Option<ColValue> {
     let ncols = u16::from_le_bytes(buf.get(..2)?.try_into().ok()?) as usize;
     let lens = buf.get(2..2 + 4 * ncols)?;
     let data = &buf[2 + 4 * ncols..];
-    ColValue::from_packed(
+    ColValue::from_packed_reusing(
         version,
         lens.chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
         data,
+        spare,
     )
 }
 
@@ -170,12 +190,105 @@ struct Appender {
     durable: u64,
 }
 
+/// A read-only shared mapping of one value-segment file, established
+/// lazily on the first clustered read. Serving windows from the page
+/// cache through a mapping removes the `pread` syscall and its kernel
+/// copy from every cache miss — payloads are CRC-checked and decoded
+/// straight out of the mapped bytes.
+///
+/// Safety invariant: accesses are bounds-checked against `len`, the
+/// file's size when the mapping was made. Segment files only ever grow
+/// (append-only, never truncated), so a mapped byte can never be
+/// beyond end-of-file — the SIGBUS case is structurally unreachable.
+/// Reads past `len` (a pointer into bytes appended after mapping) fall
+/// back to `pread`, or remap at the new length.
+struct SegMap {
+    ptr: *const u8,
+    len: usize,
+}
+
+// The mapping is immutable shared memory; the raw pointer is only a
+// lifetime-erased &[u8].
+unsafe impl Send for SegMap {}
+unsafe impl Sync for SegMap {}
+
+#[cfg(unix)]
+mod sys_mmap {
+    // Bound by hand (the workspace carries no libc crate): these two
+    // symbols come from the C library every binary already links.
+    extern "C" {
+        pub fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        pub fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_SHARED: i32 = 1;
+}
+
+impl SegMap {
+    #[cfg(unix)]
+    fn new(file: &File, len: usize) -> Option<SegMap> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 {
+            return None;
+        }
+        let ptr = unsafe {
+            sys_mmap::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys_mmap::PROT_READ,
+                sys_mmap::MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return None;
+        }
+        Some(SegMap {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+
+    #[cfg(not(unix))]
+    fn new(_file: &File, _len: usize) -> Option<SegMap> {
+        None
+    }
+
+    fn bytes(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for SegMap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        unsafe {
+            sys_mmap::munmap(self.ptr as *mut core::ffi::c_void, self.len);
+        }
+    }
+}
+
+/// One cached open segment: the file handle plus its lazily-established
+/// mapping (grown by remapping when reads reach appended bytes).
+struct SegHandle {
+    file: Arc<File>,
+    map: Option<Arc<SegMap>>,
+}
+
 /// A standalone value-segment reader with a per-segment handle cache —
 /// used by recovery (before a store exists) and embedded in
 /// [`ValueTier`] for the read path.
 pub struct SegReader {
     dir: PathBuf,
-    handles: Mutex<FxMap<u64, Arc<File>>>,
+    handles: Mutex<FxMap<u64, SegHandle>>,
 }
 
 impl SegReader {
@@ -188,8 +301,8 @@ impl SegReader {
 
     fn handle(&self, seg: u64) -> Result<Arc<File>, ValueError> {
         let mut handles = self.handles.lock();
-        if let Some(f) = handles.get(&seg) {
-            return Ok(Arc::clone(f));
+        if let Some(h) = handles.get(&seg) {
+            return Ok(Arc::clone(&h.file));
         }
         let f = match File::open(vseg_path(&self.dir, seg)) {
             Ok(f) => Arc::new(f),
@@ -198,8 +311,48 @@ impl SegReader {
             }
             Err(_) => return Err(ValueError::Io),
         };
-        handles.insert(seg, Arc::clone(&f));
+        handles.insert(
+            seg,
+            SegHandle {
+                file: Arc::clone(&f),
+                map: None,
+            },
+        );
         Ok(f)
+    }
+
+    /// A mapping of segment `seg` covering bytes `..end`, or `None`
+    /// when the tier must fall back to `pread` (file shorter than
+    /// `end` — bytes appended after the handle was mapped and not yet
+    /// remapped-over, or mmap unavailable). An existing mapping is
+    /// replaced only once the file has outgrown it by a full remap
+    /// stride: reads chasing a growing active tail `pread` instead of
+    /// thrashing `mmap`/`munmap` on every fresh append.
+    fn mapped(&self, seg: u64, end: u64) -> Option<Arc<SegMap>> {
+        /// File growth required before an existing mapping is redone.
+        /// ≤16 remaps over a default segment's lifetime, while at most
+        /// this many tail bytes are served by `pread` in the meantime.
+        const REMAP_STRIDE: u64 = 4 << 20;
+        self.handle(seg).ok()?;
+        let mut handles = self.handles.lock();
+        let h = handles.get_mut(&seg)?;
+        if let Some(m) = &h.map {
+            if end <= m.len as u64 {
+                return Some(Arc::clone(m));
+            }
+        }
+        let flen = h.file.metadata().ok()?.len();
+        if end > flen {
+            return None;
+        }
+        if let Some(m) = &h.map {
+            if flen < m.len as u64 + REMAP_STRIDE {
+                return None;
+            }
+        }
+        let m = Arc::new(SegMap::new(&h.file, flen as usize)?);
+        h.map = Some(Arc::clone(&m));
+        Some(m)
     }
 
     /// Drops the cached handle for `seg` (after segment deletion, and
@@ -233,9 +386,46 @@ impl SegReader {
     }
 
     /// [`SegReader::read`] decoded into a [`ColValue`] at `version`.
+    /// Prefers the segment mapping — CRC and decode run straight over
+    /// the mapped bytes, skipping the syscall and the staging `Vec`.
     pub fn read_value(&self, ptr: ValuePtr, version: u64) -> Result<ColValue, ValueError> {
+        self.read_value_reusing(ptr, version, None)
+    }
+
+    /// [`SegReader::read_value`] with a recycled backing block for the
+    /// decoded value (see [`ColValue::from_packed_reusing`]).
+    fn read_value_reusing(
+        &self,
+        ptr: ValuePtr,
+        version: u64,
+        spare: Option<Box<[u8]>>,
+    ) -> Result<ColValue, ValueError> {
+        if let Some(m) = self.mapped(ptr.seg, ptr.off + u64::from(ptr.len)) {
+            let payload = &m.bytes()[ptr.off as usize..][..ptr.len as usize];
+            if crc32(payload) != ptr.crc {
+                return Err(ValueError::ChecksumMismatch);
+            }
+            return decode_payload_value_reusing(payload, version, spare)
+                .ok_or(ValueError::BadLength);
+        }
         let buf = self.read(ptr)?;
-        decode_payload_value(&buf, version).ok_or(ValueError::BadLength)
+        decode_payload_value_reusing(&buf, version, spare).ok_or(ValueError::BadLength)
+    }
+
+    /// Reads a raw clustered window (`buf.len()` bytes at `off`) from
+    /// segment `seg` — the readahead primitive under
+    /// [`ValueTier::resolve_many`]. No integrity check here: the window
+    /// spans several payloads plus the gaps between them; each payload
+    /// is CRC-checked individually as it is carved out.
+    pub fn read_clustered(&self, seg: u64, off: u64, buf: &mut [u8]) -> Result<(), ValueError> {
+        let f = self.handle(seg)?;
+        match f.read_exact_at(buf, off) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                Err(ValueError::TornOrMissing)
+            }
+            Err(_) => Err(ValueError::Io),
+        }
     }
 }
 
@@ -253,14 +443,94 @@ struct ValueCache {
     shards: Vec<Mutex<CacheShard>>,
 }
 
+/// One *contended* in-flight cold-pointer fill, shared by every
+/// concurrent reader of the same pointer: the first reader (the
+/// leader) performs the segment read and publishes the result; the
+/// rest block on the condvar and receive the same `Result` — a miss
+/// storm on one evicted key costs exactly one segment read.
+///
+/// The uncontended path never allocates one of these: a leader
+/// registers a free `None` marker in its shard's fill table, and this
+/// rendezvous block is created lazily by the **first waiter** to join
+/// (see [`CacheShard::fills`]). Solo misses — the overwhelmingly
+/// common case — pay two map operations and nothing else.
+struct InFlight {
+    done: Mutex<Option<Result<Arc<ColValue>, ValueError>>>,
+    cv: Condvar,
+}
+
+impl InFlight {
+    fn wait(&self) -> Result<Arc<ColValue>, ValueError> {
+        let mut done = self.done.lock();
+        while done.is_none() {
+            self.cv.wait(&mut done);
+        }
+        done.clone().unwrap()
+    }
+}
+
+/// Leader-side completion obligation for an in-flight fill: if the
+/// leader unwinds before publishing (a panic inside the segment read),
+/// the drop publishes an I/O error so waiters wake with a typed
+/// failure instead of blocking forever on an abandoned entry.
+struct LeadGuard<'a> {
+    cache: &'a ValueCache,
+    key: (u64, u64),
+    published: bool,
+}
+
+impl LeadGuard<'_> {
+    fn publish(mut self, res: &Result<Arc<ColValue>, ValueError>) {
+        self.cache.finish_lead(self.key, res);
+        self.published = true;
+    }
+}
+
+impl Drop for LeadGuard<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.cache.finish_lead(self.key, &Err(ValueError::Io));
+        }
+    }
+}
+
+/// What an atomic probe-and-register found for a cold pointer.
+enum Probe {
+    /// Decoded value already cached.
+    Hit(Arc<ColValue>),
+    /// Another reader is filling this pointer; wait on the rendezvous.
+    Join(Arc<InFlight>),
+    /// This caller leads the fill: read, decode, then
+    /// [`LeadGuard::publish`] (cache insert + marker removal are one
+    /// atomic step, so later probes can never re-read). Carries a
+    /// recycled backing block for the decode when the shard pool had
+    /// one of the right size.
+    Lead(Option<Box<[u8]>>),
+}
+
 struct CacheShard {
     map: FxMap<(u64, u64), CacheEntry>,
+    /// In-flight fills by pointer key. `None` until a waiter actually
+    /// joins: the rendezvous block (and its condvar) is lazily created
+    /// by the first joiner, so an uncontended miss registers and
+    /// removes a bare marker under the locks it was already taking.
+    fills: FxMap<(u64, u64), Option<Arc<InFlight>>>,
     /// Clock ring of insertion order. May hold stale keys (evicted or
     /// removed out of band) — they are skipped when the hand passes.
     ring: VecDeque<(u64, u64)>,
     bytes: usize,
     budget: usize,
+    /// Backing blocks harvested from evicted values the sweep held the
+    /// last reference to, recycled into new fills of the same size —
+    /// at steady state (evict one ≈1 KB value, decode another) the
+    /// allocator drops out of the miss path entirely.
+    pool: Vec<Box<[u8]>>,
 }
+
+/// Per-shard cap on pooled backing blocks. Bounds idle pool memory at
+/// `CACHE_SHARDS × cap × payload size` while still covering a whole
+/// clustered window's worth of fills per shard.
+const POOL_CAP: usize = 16;
 
 struct CacheEntry {
     val: Arc<ColValue>,
@@ -268,6 +538,78 @@ struct CacheEntry {
     /// Second-chance bit: set on hit, cleared (once) by the clock hand
     /// before the entry becomes evictable.
     referenced: bool,
+}
+
+impl CacheShard {
+    /// Probe under an already-held lock — callers batch several probes
+    /// of one shard (a clustered window's worth) per lock hold.
+    fn get_locked(&mut self, key: (u64, u64)) -> Option<Arc<ColValue>> {
+        let e = self.map.get_mut(&key)?;
+        e.referenced = true;
+        Some(Arc::clone(&e.val))
+    }
+
+    /// Inserts (or replaces) without sweeping — callers batch several
+    /// inserts under one lock hold and call [`CacheShard::sweep`] once.
+    fn insert_locked(&mut self, key: (u64, u64), val: Arc<ColValue>) {
+        if self.budget == 0 {
+            return;
+        }
+        let bytes = val.heap_bytes();
+        let old = self.map.insert(
+            key,
+            CacheEntry {
+                val,
+                bytes,
+                referenced: false,
+            },
+        );
+        match old {
+            // Replacing in place: the key is already on the ring.
+            Some(old) => self.bytes -= old.bytes,
+            None => self.ring.push_back(key),
+        }
+        self.bytes += bytes;
+    }
+
+    /// Advances the clock hand until back under budget: a stale ring
+    /// key is dropped, a referenced entry gets its second chance, an
+    /// unreferenced one is evicted. Terminates: every step either
+    /// shrinks the ring or clears a flag that is never re-set here.
+    /// An evicted value nobody else holds surrenders its backing block
+    /// to the shard's recycling pool.
+    fn sweep(&mut self) {
+        while self.bytes > self.budget && self.map.len() > 1 {
+            let Some(k) = self.ring.pop_front() else {
+                break;
+            };
+            match self.map.entry(k) {
+                std::collections::hash_map::Entry::Vacant(_) => {}
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    if e.get().referenced {
+                        e.get_mut().referenced = false;
+                        self.ring.push_back(k);
+                    } else {
+                        let ent = e.remove();
+                        self.bytes -= ent.bytes;
+                        if self.pool.len() < POOL_CAP {
+                            if let Ok(v) = Arc::try_unwrap(ent.val) {
+                                self.pool.push(v.into_buf());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Takes a pooled backing block of exactly `need` bytes, if one is
+    /// on hand (linear scan — the pool is tiny and shards see uniform
+    /// payload sizes in practice).
+    fn pool_take(&mut self, need: usize) -> Option<Box<[u8]>> {
+        let i = self.pool.iter().position(|b| b.len() == need)?;
+        Some(self.pool.swap_remove(i))
+    }
 }
 
 const CACHE_SHARDS: usize = 16;
@@ -306,8 +648,15 @@ impl FxHasher {
 
 type FxMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<FxHasher>>;
 
+/// Shards by segment id and **64 KiB offset region**, not the exact
+/// offset: a leaf-sized clustered window (~tens of KB) spans one or
+/// two regions, so the batched probe and fill passes run whole windows
+/// under one or two lock acquisitions instead of one per payload. The
+/// region is deliberately small — a 64 MB segment holds ~1000 of them,
+/// so shard budgets stay balanced (coarser regions measurably skew
+/// per-shard load and shrink the effective cache).
 fn shard_of(key: (u64, u64)) -> usize {
-    let mix = (key.0 ^ key.1.rotate_left(32)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mix = (key.0 ^ (key.1 >> 16).rotate_left(32)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
     (mix >> 60) as usize % CACHE_SHARDS
 }
 
@@ -319,68 +668,74 @@ impl ValueCache {
                 .map(|_| {
                     Mutex::new(CacheShard {
                         map: FxMap::default(),
+                        fills: FxMap::default(),
                         ring: VecDeque::new(),
                         bytes: 0,
                         budget: per_shard,
+                        pool: Vec::new(),
                     })
                 })
                 .collect(),
         }
     }
 
-    fn get(&self, key: (u64, u64)) -> Option<Arc<ColValue>> {
+    /// Atomically probes the cache and, on a miss, joins or starts the
+    /// in-flight fill for `key` — one shard lock for both steps, so a
+    /// probe can never slip between another leader's insert and its
+    /// marker removal (those are also one atomic step,
+    /// [`ValueCache::finish_lead`]): every reader sees a hit, an
+    /// in-flight fill to join, or cleanly leads a fresh fill. `need`
+    /// is the decoded block size the fill would build, so a leader can
+    /// take a recycled block from the shard pool under the same lock.
+    fn probe_or_lead(&self, key: (u64, u64), need: usize) -> Probe {
         let mut shard = self.shards[shard_of(key)].lock();
-        let e = shard.map.get_mut(&key)?;
-        e.referenced = true;
-        Some(Arc::clone(&e.val))
+        if let Some(e) = shard.map.get_mut(&key) {
+            e.referenced = true;
+            return Probe::Hit(Arc::clone(&e.val));
+        }
+        match shard.fills.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                // First joiner materializes the rendezvous block; the
+                // leader only ever pays for it when contention is real.
+                let fl = e.get_mut().get_or_insert_with(|| {
+                    Arc::new(InFlight {
+                        done: Mutex::new(None),
+                        cv: Condvar::new(),
+                    })
+                });
+                return Probe::Join(Arc::clone(fl));
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(None);
+            }
+        }
+        Probe::Lead(shard.pool_take(need))
+    }
+
+    /// Publishes the leader's result: inserts the decoded value (on
+    /// success) and removes the fill marker in **one** locked step, so
+    /// any probe ordered after this sees the cache hit; then wakes
+    /// waiters, if the marker ever grew a rendezvous block.
+    fn finish_lead(&self, key: (u64, u64), res: &Result<Arc<ColValue>, ValueError>) {
+        let waiters = {
+            let mut shard = self.shards[shard_of(key)].lock();
+            if let Ok(v) = res {
+                shard.insert_locked(key, Arc::clone(v));
+                shard.sweep();
+            }
+            shard.fills.remove(&key).flatten()
+        };
+        if let Some(fl) = waiters {
+            let mut done = fl.done.lock();
+            *done = Some(res.clone());
+            fl.cv.notify_all();
+        }
     }
 
     fn insert(&self, key: (u64, u64), val: Arc<ColValue>) {
-        let bytes = val.heap_bytes();
         let mut shard = self.shards[shard_of(key)].lock();
-        if shard.budget == 0 {
-            return;
-        }
-        let old = shard.map.insert(
-            key,
-            CacheEntry {
-                val,
-                bytes,
-                referenced: false,
-            },
-        );
-        match old {
-            // Replacing in place: the key is already on the ring.
-            Some(old) => shard.bytes -= old.bytes,
-            None => shard.ring.push_back(key),
-        }
-        shard.bytes += bytes;
-        // Advance the clock hand until back under budget: a stale ring
-        // key is dropped, a referenced entry gets its second chance, an
-        // unreferenced one is evicted. Terminates: every step either
-        // shrinks the ring or clears a flag that is never re-set here.
-        let CacheShard {
-            map,
-            ring,
-            bytes,
-            budget,
-        } = &mut *shard;
-        while *bytes > *budget && map.len() > 1 {
-            let Some(k) = ring.pop_front() else {
-                break;
-            };
-            match map.entry(k) {
-                std::collections::hash_map::Entry::Vacant(_) => {}
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    if e.get().referenced {
-                        e.get_mut().referenced = false;
-                        ring.push_back(k);
-                    } else {
-                        *bytes -= e.remove().bytes;
-                    }
-                }
-            }
-        }
+        shard.insert_locked(key, val);
+        shard.sweep();
     }
 
     fn remove(&self, key: (u64, u64)) {
@@ -417,6 +772,40 @@ pub struct ValueTierStats {
     pub unresolved_reads: u64,
     /// Value segments on disk.
     pub segments: u64,
+    /// Batched resolutions ([`ValueTier::resolve_many`] calls) that had
+    /// at least one cache miss and issued clustered reads.
+    pub readahead_batches: u64,
+    /// Clustered segment reads: one `pread` covering a coalesced run of
+    /// missed pointers (plus the gaps between them).
+    pub clustered_reads: u64,
+    /// Bytes fetched by clustered reads — payloads and skipped gaps.
+    pub coalesced_bytes: u64,
+    /// Cold misses that piggybacked on another reader's in-flight
+    /// segment read instead of issuing their own (miss coalescing).
+    pub shared_misses: u64,
+    /// Segment `pread`s actually issued, across single fills, clustered
+    /// windows, and torn-window fallbacks. Under a miss storm on one
+    /// key this advances once while `shared_misses` counts the crowd.
+    pub segment_reads: u64,
+}
+
+/// Reusable buffers for [`ValueTier::resolve_many`], owned by the
+/// caller (one per session scratch) so the all-hit steady state
+/// allocates nothing: the miss list and the clustered-window read
+/// buffer both retain capacity across batches.
+#[derive(Default)]
+pub struct ResolveScratch {
+    /// Cache misses: `(ptr, version, index into the request batch)`,
+    /// sorted by `(seg, off)` before coalescing.
+    misses: Vec<(ValuePtr, u64, u32)>,
+    /// One clustered window's raw segment bytes (`pread` fallback when
+    /// the segment has no mapping).
+    buf: Vec<u8>,
+    /// Last segment mapping used, keyed by segment id — consecutive
+    /// windows usually hit the same segment, skipping the reader's
+    /// handle-table locks. Replaced whenever a window needs a different
+    /// (or longer) mapping.
+    map: Option<(u64, Arc<SegMap>)>,
 }
 
 /// The value tier attached to a store: appender + reader + cache +
@@ -441,6 +830,11 @@ pub struct ValueTier {
     cache_hits: AtomicU64,
     gc_rewritten: AtomicU64,
     unresolved: AtomicU64,
+    readahead_batches: AtomicU64,
+    clustered_reads: AtomicU64,
+    coalesced_bytes: AtomicU64,
+    shared_misses: AtomicU64,
+    segment_reads: AtomicU64,
     /// Observability hub of the owning store (set at attach time):
     /// cache-miss fills record their segment-read + decode latency as
     /// `vseg_fill`.
@@ -500,6 +894,11 @@ impl ValueTier {
             cache_hits: AtomicU64::new(0),
             gc_rewritten: AtomicU64::new(0),
             unresolved: AtomicU64::new(0),
+            readahead_batches: AtomicU64::new(0),
+            clustered_reads: AtomicU64::new(0),
+            coalesced_bytes: AtomicU64::new(0),
+            shared_misses: AtomicU64::new(0),
+            segment_reads: AtomicU64::new(0),
             obs: std::sync::OnceLock::new(),
         })
     }
@@ -583,32 +982,253 @@ impl ValueTier {
     }
 
     /// Resolves an indirect value: decoded-value cache first, then an
-    /// integrity-checked segment read. Errors are typed and counted;
-    /// wrong bytes are impossible (CRC + length cover every path).
+    /// integrity-checked segment read shared through the per-shard
+    /// in-flight table — concurrent readers of the same cold pointer
+    /// join the first reader's read instead of stampeding the segment
+    /// file. Errors are typed and counted; wrong bytes are impossible
+    /// (CRC + length cover every path).
     pub fn resolve(&self, ptr: ValuePtr, version: u64) -> Result<Arc<ColValue>, ValueError> {
         self.indirect_reads.fetch_add(1, Ordering::Relaxed);
         let key = (ptr.seg, ptr.off);
-        if let Some(v) = self.cache.get(key) {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(v);
-        }
-        let fill_t0 = std::time::Instant::now();
-        let out = match self.reader.read_value(ptr, version) {
-            Ok(v) => {
-                let arc = Arc::new(v);
-                self.cache.insert(key, Arc::clone(&arc));
-                Ok(arc)
+        let obs = self.obs.get();
+        let fill_t0 = obs.map(|_| std::time::Instant::now());
+        match self.cache.probe_or_lead(key, (ptr.len as usize).saturating_sub(2)) {
+            Probe::Hit(v) => {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                Ok(v)
             }
-            Err(e) => {
-                self.unresolved.fetch_add(1, Ordering::Relaxed);
-                Err(e)
+            Probe::Join(fl) => {
+                // Another reader is already filling this pointer: share
+                // its one segment read instead of issuing a duplicate.
+                self.shared_misses.fetch_add(1, Ordering::Relaxed);
+                let out = fl.wait();
+                if out.is_err() {
+                    self.unresolved.fetch_add(1, Ordering::Relaxed);
+                }
+                if let (Some(obs), Some(t0)) = (obs, fill_t0) {
+                    obs.global()
+                        .record(mtobs::Kind::VsegSharedMiss, t0.elapsed().as_nanos() as u64);
+                }
+                out
+            }
+            Probe::Lead(spare) => {
+                // Leading the fill: publish on every exit — the guard
+                // covers unwinds — so waiters can never block on an
+                // abandoned marker. The publish itself performs the
+                // cache insert, atomically with the marker removal.
+                let lead = LeadGuard {
+                    cache: &self.cache,
+                    key,
+                    published: false,
+                };
+                self.segment_reads.fetch_add(1, Ordering::Relaxed);
+                let out = match self.reader.read_value_reusing(ptr, version, spare) {
+                    Ok(v) => Ok(Arc::new(v)),
+                    Err(e) => {
+                        self.unresolved.fetch_add(1, Ordering::Relaxed);
+                        Err(e)
+                    }
+                };
+                lead.publish(&out);
+                if let (Some(obs), Some(t0)) = (obs, fill_t0) {
+                    obs.global()
+                        .record(mtobs::Kind::VsegFill, t0.elapsed().as_nanos() as u64);
+                }
+                out
+            }
+        }
+    }
+
+    /// Batched [`ValueTier::resolve`]: probes the cache for every
+    /// request, then resolves the misses with **clustered segment
+    /// reads** — misses sorted by `(seg, off)`, adjacent and
+    /// near-adjacent ranges (gap ≤ one page) coalesced into a single
+    /// `pread` per window bounded by the readahead byte budget, each
+    /// payload CRC-checked and decoded out of the window into the
+    /// cache. Results land in `out` positionally; `None` means the
+    /// payload was unresolvable (counted in `unresolved_reads`),
+    /// exactly as a single resolve would have failed. With warm
+    /// `out`/`scratch` buffers the all-hit path allocates nothing.
+    pub fn resolve_many(
+        &self,
+        reqs: &[(ValuePtr, u64)],
+        out: &mut Vec<Option<Arc<ColValue>>>,
+        scratch: &mut ResolveScratch,
+    ) {
+        out.clear();
+        scratch.misses.clear();
+        self.indirect_reads
+            .fetch_add(reqs.len() as u64, Ordering::Relaxed);
+        let mut hits = 0u64;
+        // Locked-run probing: requests arrive in key order, which for
+        // clustered payloads is near offset order, and region sharding
+        // maps an offset run to one shard — so consecutive probes
+        // usually reuse the held guard instead of relocking per row.
+        let mut cur: Option<(usize, parking_lot::MutexGuard<CacheShard>)> = None;
+        for (i, &(ptr, version)) in reqs.iter().enumerate() {
+            let key = (ptr.seg, ptr.off);
+            let s = shard_of(key);
+            match &cur {
+                Some((held, _)) if *held == s => {}
+                _ => cur = Some((s, self.cache.shards[s].lock())),
+            }
+            match cur.as_mut().unwrap().1.get_locked(key) {
+                Some(v) => {
+                    hits += 1;
+                    out.push(Some(v));
+                }
+                None => {
+                    scratch.misses.push((ptr, version, i as u32));
+                    out.push(None);
+                }
+            }
+        }
+        drop(cur);
+        if hits > 0 {
+            self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        if scratch.misses.is_empty() {
+            return;
+        }
+        let obs = self.obs.get();
+        let t0 = obs.map(|_| std::time::Instant::now());
+        scratch
+            .misses
+            .sort_unstable_by_key(|&(p, _, _)| (p.seg, p.off));
+        let mut w = 0;
+        while w < scratch.misses.len() {
+            let (p0, _, _) = scratch.misses[w];
+            let (seg, start) = (p0.seg, p0.off);
+            let mut end = p0.off + p0.len as u64;
+            let mut x = w + 1;
+            while x < scratch.misses.len() {
+                let (p, _, _) = scratch.misses[x];
+                let pend = p.off + p.len as u64;
+                if p.seg != seg || p.off > end + COALESCE_GAP || pend - start > READAHEAD_WINDOW_BYTES
+                {
+                    break;
+                }
+                end = end.max(pend);
+                x += 1;
+            }
+            self.fill_window(
+                &scratch.misses[w..x],
+                seg,
+                start,
+                end,
+                &mut scratch.buf,
+                &mut scratch.map,
+                out,
+            );
+            w = x;
+        }
+        self.readahead_batches.fetch_add(1, Ordering::Relaxed);
+        if let (Some(obs), Some(t0)) = (obs, t0) {
+            obs.global()
+                .record(mtobs::Kind::VsegReadahead, t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Resolves one coalesced run of misses with a single clustered
+    /// segment read, carving, CRC-checking, and caching each payload
+    /// out of the window. A failed window read falls back to
+    /// per-pointer reads: a tear inside the window must not condemn the
+    /// intact payloads before it.
+    fn fill_window(
+        &self,
+        misses: &[(ValuePtr, u64, u32)],
+        seg: u64,
+        start: u64,
+        end: u64,
+        buf: &mut Vec<u8>,
+        map_cache: &mut Option<(u64, Arc<SegMap>)>,
+        out: &mut [Option<Arc<ColValue>>],
+    ) {
+        let len = (end - start) as usize;
+        self.segment_reads.fetch_add(1, Ordering::Relaxed);
+        self.clustered_reads.fetch_add(1, Ordering::Relaxed);
+        self.coalesced_bytes.fetch_add(len as u64, Ordering::Relaxed);
+        // Mapped segments serve the window with zero copies — carve,
+        // CRC, and decode run directly over the page cache. Otherwise
+        // `pread` into the reusable scratch buffer (grow-only: the read
+        // overwrites `..len` in full, so re-zeroing a previously larger
+        // window would only burn memory bandwidth on bytes about to be
+        // replaced).
+        let mapped = match &*map_cache {
+            Some((mseg, m)) if *mseg == seg && end <= m.len as u64 => Some(Arc::clone(m)),
+            _ => {
+                let m = self.reader.mapped(seg, end);
+                if let Some(m) = &m {
+                    *map_cache = Some((seg, Arc::clone(m)));
+                }
+                m
             }
         };
-        if let Some(obs) = self.obs.get() {
-            obs.global()
-                .record(mtobs::Kind::VsegFill, fill_t0.elapsed().as_nanos() as u64);
+        if mapped.is_none() {
+            if buf.len() < len {
+                buf.resize(len, 0);
+            }
+            if self.reader.read_clustered(seg, start, &mut buf[..len]).is_err() {
+                for &(ptr, version, i) in misses {
+                    self.segment_reads.fetch_add(1, Ordering::Relaxed);
+                    match self.reader.read_value(ptr, version) {
+                        Ok(v) => {
+                            let arc = Arc::new(v);
+                            self.cache.insert((ptr.seg, ptr.off), Arc::clone(&arc));
+                            out[i as usize] = Some(arc);
+                        }
+                        Err(_) => {
+                            self.unresolved.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                return;
+            }
         }
-        out
+        let window: &[u8] = match &mapped {
+            Some(m) => &m.bytes()[start as usize..end as usize],
+            None => &buf[..len],
+        };
+        // One pass — CRC, decode, insert — under locked shard runs:
+        // region sharding puts a whole window's keys in one or two
+        // shards, so a run holds one lock, recycles evicted backing
+        // blocks through the shard pool into the decodes, and pays one
+        // eviction sweep per run instead of one per payload.
+        let mut cur: Option<(usize, parking_lot::MutexGuard<CacheShard>)> = None;
+        for &(ptr, version, i) in misses {
+            let lo = (ptr.off - start) as usize;
+            let payload = &window[lo..lo + ptr.len as usize];
+            if crc32(payload) != ptr.crc {
+                self.unresolved.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let key = (ptr.seg, ptr.off);
+            let s = shard_of(key);
+            match &cur {
+                Some((held, _)) if *held == s => {}
+                _ => {
+                    if let Some((_, mut done)) = cur.take() {
+                        done.sweep();
+                    }
+                    cur = Some((s, self.cache.shards[s].lock()));
+                }
+            }
+            let guard = &mut cur.as_mut().unwrap().1;
+            let spare = guard.pool_take(payload.len().saturating_sub(2));
+            match decode_payload_value_reusing(payload, version, spare) {
+                Some(v) => {
+                    let arc = Arc::new(v);
+                    guard.insert_locked(key, Arc::clone(&arc));
+                    out[i as usize] = Some(arc);
+                }
+                None => {
+                    self.unresolved.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if let Some((_, mut done)) = cur.take() {
+            done.sweep();
+        }
     }
 
     /// Reads a payload without touching the cache (GC relocation).
@@ -709,6 +1329,11 @@ impl ValueTier {
             live_segment_bytes: live,
             unresolved_reads: self.unresolved.load(Ordering::Relaxed),
             segments,
+            readahead_batches: self.readahead_batches.load(Ordering::Relaxed),
+            clustered_reads: self.clustered_reads.load(Ordering::Relaxed),
+            coalesced_bytes: self.coalesced_bytes.load(Ordering::Relaxed),
+            shared_misses: self.shared_misses.load(Ordering::Relaxed),
+            segment_reads: self.segment_reads.load(Ordering::Relaxed),
         }
     }
 }
@@ -820,6 +1445,128 @@ mod tests {
         let before = tier.stats().value_cache_hits;
         tier.resolve(ptrs[3], 3).unwrap();
         assert_eq!(tier.stats().value_cache_hits, before + 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resolve_many_clusters_contiguous_misses() {
+        let dir = tmpdir("many");
+        let tier = ValueTier::open(&dir, 1 << 20, 1 << 20, true).unwrap();
+        let mut ptrs = Vec::new();
+        for i in 0..32u32 {
+            let mut p = Vec::new();
+            encode_payload(&[&i.to_le_bytes(), &[i as u8; 100]], &mut p);
+            ptrs.push(tier.append(&p).unwrap());
+        }
+        assert!(tier.force());
+        let reqs: Vec<(ValuePtr, u64)> = ptrs.iter().map(|&p| (p, 7)).collect();
+        let mut out = Vec::new();
+        let mut scratch = ResolveScratch::default();
+        tier.resolve_many(&reqs, &mut out, &mut scratch);
+        assert_eq!(out.len(), 32);
+        for (i, v) in out.iter().enumerate() {
+            let v = v.as_ref().expect("all resolvable");
+            assert_eq!(v.col(0), Some(&(i as u32).to_le_bytes()[..]));
+            assert_eq!(v.col(1), Some(&[i as u8; 100][..]));
+        }
+        let s = tier.stats();
+        // All 32 payloads are contiguous in one segment: one clustered
+        // read covers them all.
+        assert_eq!(s.clustered_reads, 1, "{s:?}");
+        assert_eq!(s.segment_reads, 1, "{s:?}");
+        assert_eq!(s.readahead_batches, 1);
+        assert!(s.coalesced_bytes >= 32 * 100);
+        // Second pass: pure cache hits, no new reads.
+        tier.resolve_many(&reqs, &mut out, &mut scratch);
+        let s2 = tier.stats();
+        assert_eq!(s2.segment_reads, 1);
+        assert_eq!(s2.value_cache_hits, s.value_cache_hits + 32);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resolve_many_gap_and_budget_split_windows() {
+        let dir = tmpdir("gap");
+        let tier = ValueTier::open(&dir, 64 << 20, 1 << 20, true).unwrap();
+        let mut ptrs = Vec::new();
+        for i in 0..3u8 {
+            let mut p = Vec::new();
+            encode_payload(&[&[i; 64]], &mut p);
+            ptrs.push(tier.append(&p).unwrap());
+            // Pad past the coalescing gap so each miss is its own window.
+            let mut pad = Vec::new();
+            encode_payload(&[&vec![0xEE; COALESCE_GAP as usize + 64]], &mut pad);
+            tier.append(&pad).unwrap();
+        }
+        assert!(tier.force());
+        let reqs: Vec<(ValuePtr, u64)> = ptrs.iter().map(|&p| (p, 1)).collect();
+        let mut out = Vec::new();
+        let mut scratch = ResolveScratch::default();
+        tier.resolve_many(&reqs, &mut out, &mut scratch);
+        assert!(out.iter().all(|v| v.is_some()));
+        let s = tier.stats();
+        assert_eq!(s.clustered_reads, 3, "gap splits windows: {s:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resolve_many_torn_window_falls_back_per_pointer() {
+        let dir = tmpdir("torn");
+        let tier = ValueTier::open(&dir, 1 << 20, 0, true).unwrap();
+        let mut p = Vec::new();
+        encode_payload(&[b"intact-payload"], &mut p);
+        let good = tier.append(&p).unwrap();
+        assert!(tier.force());
+        // A pointer reaching past the segment end tears any window that
+        // includes it; the intact payload before it must still resolve.
+        let torn = ValuePtr {
+            off: good.off + good.len as u64,
+            len: 512,
+            ..good
+        };
+        let mut out = Vec::new();
+        let mut scratch = ResolveScratch::default();
+        tier.resolve_many(&[(good, 1), (torn, 1)], &mut out, &mut scratch);
+        assert!(out[0].is_some(), "intact payload survives the torn window");
+        assert!(out[1].is_none());
+        assert_eq!(tier.stats().unresolved_reads, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn miss_storm_shares_one_segment_read() {
+        let dir = tmpdir("storm");
+        let tier = Arc::new(ValueTier::open(&dir, 1 << 20, 1 << 20, true).unwrap());
+        let mut p = Vec::new();
+        encode_payload(&[&[42u8; 4096]], &mut p);
+        let ptr = tier.append(&p).unwrap();
+        assert!(tier.force());
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 16;
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+        for _ in 0..ROUNDS {
+            tier.purge_cache();
+            std::thread::scope(|s| {
+                for _ in 0..THREADS {
+                    let tier = Arc::clone(&tier);
+                    let barrier = Arc::clone(&barrier);
+                    s.spawn(move || {
+                        barrier.wait();
+                        let v = tier.resolve(ptr, 9).unwrap();
+                        assert_eq!(v.col(0), Some(&[42u8; 4096][..]));
+                    });
+                }
+            });
+        }
+        let s = tier.stats();
+        // Exactly one segment read per purge, however the storm
+        // interleaved; everyone else hit the cache or shared the read.
+        assert_eq!(s.segment_reads, ROUNDS as u64, "{s:?}");
+        assert_eq!(
+            s.value_cache_hits + s.shared_misses,
+            ((THREADS - 1) * ROUNDS) as u64,
+            "{s:?}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -267,6 +267,87 @@ fn steady_state_overwrites_do_not_box_their_retirements() {
 }
 
 #[test]
+fn steady_state_cold_readahead_scans_do_not_allocate() {
+    // The leaf-batched readahead scan path (collect chunk → batch-
+    // resolve cold pointers → emit in key order) must hold the same
+    // zero-allocation guarantee once warm: the chunk scratch (key
+    // bytes, value pointers, resolution requests) and the engine's
+    // miss list keep their capacity, the spare scan cursor reuses its
+    // bound buffer, and with every scanned payload resident in the
+    // value cache `resolve_many` runs pure hits — Arc clones, no
+    // segment reads, no inserts. Any future regression that sneaks a
+    // per-chunk Vec or a per-row box into the batched cold path trips
+    // this.
+    let dir = std::env::temp_dir().join(format!("mtkv-alloc-ra-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let store = mtkv::Store::persistent_with(
+            &dir,
+            mtkv::DurabilityConfig::default().with_value_separation(32, 32 << 20),
+        )
+        .unwrap();
+        let session = store.session().unwrap();
+
+        let payload = [0xc3u8; 256]; // >= threshold: spilled to the tier
+        for i in 0..2_000u32 {
+            session.put(format!("r{i:06}").as_bytes(), &[(0, &payload[..])]);
+        }
+        assert!(session.force_log());
+
+        let range_start = b"r000100".as_slice();
+        let mut sink = 0usize;
+        let run_reads = |sink: &mut usize| {
+            session.get_range_with(range_start, 64, |k, v| {
+                *sink += k.len() + v.col(0).map_or(0, <[u8]>::len);
+            });
+        };
+
+        // Warm-up fills the value cache (clustered reads), grows every
+        // scratch buffer to steady capacity, then drains deferred
+        // garbage off the measured path.
+        for _ in 0..8 {
+            run_reads(&mut sink);
+        }
+        drain_gc();
+        run_reads(&mut sink);
+        drain_gc();
+
+        let before = store.value_tier_stats();
+        ALLOCS.store(0, Ordering::SeqCst);
+        COUNTING.store(true, Ordering::SeqCst);
+        for _ in 0..200 {
+            run_reads(&mut sink);
+        }
+        COUNTING.store(false, Ordering::SeqCst);
+        let allocs = ALLOCS.load(Ordering::SeqCst);
+        let after = store.value_tier_stats();
+
+        // The rounds really took the batched cold path: warm-up misses
+        // were clustered, every measured row probed the tier, and the
+        // measured window itself never left the value cache.
+        assert!(
+            before.readahead_batches > 0,
+            "warm-up never batch-resolved: {before:?}"
+        );
+        assert_eq!(
+            after.segment_reads, before.segment_reads,
+            "measured scans missed the value cache"
+        );
+        assert!(
+            after.indirect_reads >= before.indirect_reads + 200 * 64,
+            "scans did not route through the value tier: {after:?}"
+        );
+        assert!(sink > 0, "reads actually observed data");
+        assert_eq!(
+            allocs, 0,
+            "steady-state readahead scans over cached cold values must \
+             perform zero heap allocations, found {allocs}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn steady_state_cached_session_reads_do_not_allocate() {
     // The cache-enabled read paths must hold the same zero-allocation
     // guarantee as the plain ones: the hinted batch read buffers its

@@ -200,14 +200,229 @@ fn cold_tier_equals_all_inline_through_crash_and_gc() {
     assert_eq!(paged_c, flat_c, "cold paged scan diverged from flat scan");
 
     // The cold store actually exercised the tier: indirect reads
-    // happened and live bytes sit in segments.
+    // happened, live bytes sit in segments, and the scans above went
+    // through the leaf-batched readahead engine (the 512-byte cache
+    // guarantees misses, so batches were clustered segment reads).
     let stats = cold.value_tier_stats();
     assert!(
         stats.live_segment_bytes > 0,
         "no live separated bytes: {stats:?}"
     );
+    assert!(
+        stats.readahead_batches > 0,
+        "scans never batch-resolved cold pointers: {stats:?}"
+    );
 
     drop(inline);
     drop(cold);
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Readahead-specific equivalence: leaf-batched scans over a cold store
+/// whose cache cannot hold the working set (every chunk goes through
+/// clustered segment reads) must agree row for row and byte for byte
+/// with point gets — through value-GC relocation, a crash/recover
+/// cycle, and while a concurrent writer churns half the key space. The
+/// per-row hazard this pins down is window carving: a clustered read
+/// decodes many payloads out of one buffer by offset arithmetic, so a
+/// mistake would splice one row's bytes into another — here every value
+/// embeds its own key, and every emitted row is checked against it.
+#[test]
+fn readahead_scans_match_point_gets_through_gc_and_recovery() {
+    let base = std::env::temp_dir().join(format!("mtkv-coldra-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+
+    let nkeys: usize = 200;
+    let key = |i: usize| format!("ra-{i:04}").into_bytes();
+    let val = |i: usize, gen: usize| {
+        let mut v = format!("ra-{i:04}#g{gen}:").into_bytes();
+        while v.len() < 40 + (i % 80) {
+            v.push(b'v');
+        }
+        v
+    };
+
+    let store = Store::persistent_with(&base, cold_config()).unwrap();
+    {
+        let session = store.session().unwrap();
+        for i in 0..nkeys {
+            session.put(&key(i), &[(0, &val(i, 0))]);
+        }
+        // Overwrites condemn the first generation's payloads: GC
+        // material, so the checkpoint below relocates live values.
+        for i in (0..nkeys).step_by(2) {
+            session.put(&key(i), &[(0, &val(i, 1))]);
+        }
+        assert!(session.force_log());
+    }
+    store.checkpoint_now().unwrap();
+
+    // Crash/recover: pointer records now name recovered, possibly
+    // GC-relocated segments.
+    drop(store);
+    let (store, _) = recover_with(&base, &base, cold_config()).unwrap();
+
+    // Phase 1 (quiescent): full readahead scan == point gets.
+    {
+        let session = store.session().unwrap();
+        let mut rows = Vec::new();
+        session.get_range_with(b"ra-", nkeys, |k, v| {
+            rows.push((k.to_vec(), v.cols()));
+        });
+        assert_eq!(rows.len(), nkeys, "scan dropped rows");
+        for (k, cols) in &rows {
+            let point = session.get(k, None).expect("scanned key point-reads");
+            assert_eq!(cols, &point, "scan/point divergence on {k:?}");
+            assert!(
+                cols[0].starts_with(&k[..]),
+                "row carved from the wrong window offset: key {:?} got {:?}",
+                String::from_utf8_lossy(k),
+                String::from_utf8_lossy(&cols[0][..12.min(cols[0].len())])
+            );
+        }
+    }
+
+    // Phase 2 (churn): a writer rewrites odd keys (new generations →
+    // fresh segments + condemnations) and checkpoints mid-way (GC
+    // relocation races the scans) while a scanner streams the range in
+    // small readahead chunks. Every emitted row must be self-consistent
+    // — its value names its key — under any interleaving.
+    std::thread::scope(|scope| {
+        let writer_store = Arc::clone(&store);
+        let writer = scope.spawn(move || {
+            let session = writer_store.session().unwrap();
+            for gen in 2..6 {
+                for i in (1..nkeys).step_by(2) {
+                    session.put(&key(i), &[(0, &val(i, gen))]);
+                }
+                if gen == 3 {
+                    writer_store.checkpoint_now().unwrap();
+                }
+            }
+            assert!(session.force_log());
+        });
+        let session = store.session().unwrap();
+        for _ in 0..40 {
+            let mut cursor = session.scan_cursor(b"ra-");
+            loop {
+                let n = session.get_range_resumed(&mut cursor, 9, |k, v| {
+                    let col = v.col(0).expect("column 0 present");
+                    assert!(
+                        col.starts_with(k),
+                        "torn/crossed row under churn: key {:?} got {:?}",
+                        String::from_utf8_lossy(k),
+                        String::from_utf8_lossy(&col[..12.min(col.len())])
+                    );
+                });
+                if n == 0 {
+                    break;
+                }
+            }
+        }
+        writer.join().unwrap();
+    });
+
+    // Phase 3: settle, then re-verify full equivalence at the final
+    // state (generation 5 on odd keys, 1 on even).
+    store.checkpoint_now().unwrap();
+    {
+        let session = store.session().unwrap();
+        for i in 0..nkeys {
+            let expect = if i % 2 == 1 { val(i, 5) } else { val(i, 1) };
+            let got = session.get(&key(i), None).expect("key survives churn");
+            assert_eq!(got[0], expect, "final point state wrong at {i}");
+        }
+        let mut rows = Vec::new();
+        session.get_range_with(b"ra-", nkeys, |k, v| {
+            rows.push((k.to_vec(), v.cols()));
+        });
+        assert_eq!(rows.len(), nkeys);
+        for (i, (k, cols)) in rows.iter().enumerate() {
+            assert_eq!(k, &key(i), "scan order broke");
+            let expect = if i % 2 == 1 { val(i, 5) } else { val(i, 1) };
+            assert_eq!(cols[0], expect, "final scan state wrong at {i}");
+        }
+    }
+
+    let stats = store.value_tier_stats();
+    assert!(
+        stats.readahead_batches > 0 && stats.clustered_reads > 0,
+        "the scans above never exercised clustered resolution: {stats:?}"
+    );
+
+    drop(store);
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Store-level miss storm: many sessions hammering one evicted cold
+/// key perform exactly **one** segment read per eviction — the first
+/// resolver leads the fill, everyone else either joins it in flight
+/// (`shared_misses`) or hits the cache it populated. The counters are
+/// exhaustive: across all rounds every non-leading read lands in
+/// exactly one of the two buckets.
+#[test]
+fn cold_miss_storm_is_one_segment_read_per_eviction() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 16;
+
+    let base = std::env::temp_dir().join(format!("mtkv-coldstorm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+
+    let mut config = DurabilityConfig::tiny_segments(1 << 20).with_value_separation(64, 1 << 20);
+    config.value_segment_bytes = 1 << 20;
+    let store = Store::persistent_with(&base, config).unwrap();
+    let hot = vec![0xabu8; 4096];
+    {
+        let session = store.session().unwrap();
+        session.put(b"storm-key", &[(0, &hot)]);
+        assert!(session.force_log());
+    }
+    let tier = Arc::clone(store.value_tier().expect("separation on"));
+    let base_stats = store.value_tier_stats();
+
+    let barrier = std::sync::Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let store = Arc::clone(&store);
+            let tier = Arc::clone(&tier);
+            let barrier = &barrier;
+            let hot = &hot;
+            handles.push(scope.spawn(move || {
+                let session = store.session().unwrap();
+                for _ in 0..ROUNDS {
+                    // Every thread purges; extra purges before the
+                    // round's first resolve are idempotent, and the
+                    // barrier keeps purges out of the read window.
+                    tier.purge_cache();
+                    barrier.wait();
+                    let got = session.get(b"storm-key", None).expect("present");
+                    assert_eq!(got[0], *hot, "storm read returned wrong bytes");
+                    barrier.wait();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+
+    let s = store.value_tier_stats();
+    let reads = s.segment_reads - base_stats.segment_reads;
+    let hits = s.value_cache_hits - base_stats.value_cache_hits;
+    let shared = s.shared_misses - base_stats.shared_misses;
+    // One leader per round reads the segment; the other THREADS-1
+    // readers split exhaustively between joining the in-flight fill
+    // and hitting the freshly filled cache.
+    assert_eq!(reads, ROUNDS as u64, "stampede: >1 segment read/round");
+    assert_eq!(
+        hits + shared,
+        ((THREADS - 1) * ROUNDS) as u64,
+        "non-leader reads unaccounted: hits={hits} shared={shared}"
+    );
+
+    drop(store);
     let _ = std::fs::remove_dir_all(&base);
 }

@@ -178,6 +178,15 @@ pub struct StatsReply {
     pub gc_rewritten_bytes: u64,
     /// Value tier: live (referenced) bytes across all value segments.
     pub live_segment_bytes: u64,
+    /// Value tier: batched cold resolutions (`resolve_many` calls) that
+    /// missed the cache and issued clustered segment reads.
+    pub readahead_batches: u64,
+    /// Value tier: bytes fetched by clustered (coalesced) segment reads
+    /// — payloads plus the gaps dragged along with them.
+    pub coalesced_bytes: u64,
+    /// Value tier: cold misses that shared another reader's in-flight
+    /// segment read instead of issuing their own.
+    pub shared_misses: u64,
     /// Live connection count per event-loop worker (index = worker id);
     /// the accept-time rebalancer keeps these near-equal under uniform
     /// load. Empty when the backend is not the event-loop server.
@@ -207,6 +216,9 @@ impl StatsReply {
             self.value_cache_hits,
             self.gc_rewritten_bytes,
             self.live_segment_bytes,
+            self.readahead_batches,
+            self.coalesced_bytes,
+            self.shared_misses,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -217,7 +229,7 @@ impl StatsReply {
     }
 
     fn decode(p: &mut &[u8]) -> Option<StatsReply> {
-        let mut f = [0u64; 20];
+        let mut f = [0u64; 23];
         for v in f.iter_mut() {
             *v = u64::from_le_bytes(p.get(..8)?.try_into().ok()?);
             *p = &p[8..];
@@ -250,6 +262,9 @@ impl StatsReply {
             value_cache_hits: f[17],
             gc_rewritten_bytes: f[18],
             live_segment_bytes: f[19],
+            readahead_batches: f[20],
+            coalesced_bytes: f[21],
+            shared_misses: f[22],
             worker_conns,
         })
     }
@@ -850,6 +865,9 @@ mod tests {
             value_cache_hits: 70_500,
             gc_rewritten_bytes: 9 << 20,
             live_segment_bytes: 3 << 30,
+            readahead_batches: 12_345,
+            coalesced_bytes: 6 << 25,
+            shared_misses: 432,
             worker_conns: vec![3, 0, 7, 1],
         }));
         roundtrip_resp(Response::Stats(StatsReply::default()));

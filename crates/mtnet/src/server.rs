@@ -1765,6 +1765,9 @@ fn gather_stats(session: &Session, loads: &[WorkerLoad]) -> StatsReply {
         value_cache_hits: v.value_cache_hits,
         gc_rewritten_bytes: v.gc_rewritten_bytes,
         live_segment_bytes: v.live_segment_bytes,
+        readahead_batches: v.readahead_batches,
+        coalesced_bytes: v.coalesced_bytes,
+        shared_misses: v.shared_misses,
         worker_conns: loads
             .iter()
             .map(|l| l.conns.load(Ordering::Relaxed))

@@ -122,10 +122,16 @@ pub enum Kind {
     ReplShip = 13,
     /// One follower replay batch.
     ReplReplay = 14,
+    /// One batched cold-value resolution (`resolve_many`) that missed
+    /// the cache and issued clustered segment reads.
+    VsegReadahead = 15,
+    /// One cold miss that waited on another reader's in-flight segment
+    /// read instead of issuing its own (latency = time blocked).
+    VsegSharedMiss = 16,
 }
 
 impl Kind {
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 17;
     pub const ALL: [Kind; Kind::COUNT] = [
         Kind::GetHit,
         Kind::GetDescent,
@@ -142,6 +148,8 @@ impl Kind {
         Kind::VsegFill,
         Kind::ReplShip,
         Kind::ReplReplay,
+        Kind::VsegReadahead,
+        Kind::VsegSharedMiss,
     ];
 
     pub fn name(self) -> &'static str {
@@ -161,6 +169,8 @@ impl Kind {
             Kind::VsegFill => "vseg_fill",
             Kind::ReplShip => "repl_ship",
             Kind::ReplReplay => "repl_replay",
+            Kind::VsegReadahead => "vseg_readahead",
+            Kind::VsegSharedMiss => "vseg_shared_miss",
         }
     }
 

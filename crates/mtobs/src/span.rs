@@ -36,14 +36,20 @@ pub enum Stage {
     WalAck = 4,
     /// Response bytes encoded.
     Respond = 5,
+    /// Descent crossed from the layer-0 B+-tree into a deeper trie
+    /// layer (marked from inside `masstree` at the first layer-link
+    /// hop, so `descent_deep − descent` is the layer-0 traversal time;
+    /// ops whose keys resolve entirely in layer 0 never mark this).
+    DescentDeep = 6,
 }
 
 impl Stage {
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
     pub const ALL: [Stage; Stage::COUNT] = [
         Stage::Decode,
         Stage::CacheLookup,
         Stage::Descent,
+        Stage::DescentDeep,
         Stage::ValueResolve,
         Stage::WalAck,
         Stage::Respond,
@@ -54,6 +60,7 @@ impl Stage {
             Stage::Decode => "decode",
             Stage::CacheLookup => "cache_lookup",
             Stage::Descent => "descent",
+            Stage::DescentDeep => "descent_deep",
             Stage::ValueResolve => "value_resolve",
             Stage::WalAck => "wal_ack",
             Stage::Respond => "respond",

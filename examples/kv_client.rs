@@ -97,6 +97,9 @@ fn main() {
             println!("repl_lag_ts_us: {}", s.repl_lag_ts_us);
             println!("indirect_reads: {}", s.indirect_reads);
             println!("value_cache_hits: {}", s.value_cache_hits);
+            println!("readahead_batches: {}", s.readahead_batches);
+            println!("coalesced_bytes: {}", s.coalesced_bytes);
+            println!("shared_misses: {}", s.shared_misses);
             println!("live_segment_bytes: {}", s.live_segment_bytes);
             println!(
                 "worker_conns: {}",

@@ -33,7 +33,9 @@
 //! values of at least `<threshold>` data bytes to append-only value
 //! segments, keeping a fixed 24-byte pointer in the leaf (README:
 //! "Larger-than-RAM"). `kv_client <addr> stats` reports the tier's
-//! `indirect_reads` / `value_cache_hits` / `live_segment_bytes`.
+//! `indirect_reads` / `value_cache_hits` / `live_segment_bytes` plus the
+//! clustered-resolution counters `readahead_batches` / `coalesced_bytes`
+//! / `shared_misses`.
 //!
 //! Observability:
 //!
@@ -295,6 +297,9 @@ fn render_metrics(store: &Arc<Store>) -> String {
             ("mt_repl_lag_ts_us", repl_lag_ts_us),
             ("mt_indirect_reads_total", v.indirect_reads),
             ("mt_value_cache_hits_total", v.value_cache_hits),
+            ("mt_readahead_batches_total", v.readahead_batches),
+            ("mt_coalesced_bytes_total", v.coalesced_bytes),
+            ("mt_shared_misses_total", v.shared_misses),
             ("mt_gc_rewritten_bytes_total", v.gc_rewritten_bytes),
             ("mt_live_segment_bytes", v.live_segment_bytes),
         ],
