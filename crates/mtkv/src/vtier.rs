@@ -289,6 +289,12 @@ struct SegHandle {
 pub struct SegReader {
     dir: PathBuf,
     handles: Mutex<FxMap<u64, SegHandle>>,
+    /// Bumped whenever cached handles are dropped ([`SegReader::forget`]
+    /// / [`SegReader::forget_all`]: segment deletion, follower epoch
+    /// resync). Externally held mapping caches ([`ResolveScratch`])
+    /// compare against this to detect that a segment id may have been
+    /// re-created with different bytes underneath them.
+    gen: AtomicU64,
 }
 
 impl SegReader {
@@ -296,7 +302,15 @@ impl SegReader {
         SegReader {
             dir: dir.to_path_buf(),
             handles: Mutex::new(FxMap::default()),
+            gen: AtomicU64::new(0),
         }
+    }
+
+    /// Invalidation generation for externally cached mappings: any
+    /// `Arc<SegMap>` obtained under an older generation may map a
+    /// deleted or re-created segment file and must be dropped.
+    fn generation(&self) -> u64 {
+        self.gen.load(Ordering::Acquire)
     }
 
     fn handle(&self, seg: u64) -> Result<Arc<File>, ValueError> {
@@ -359,11 +373,13 @@ impl SegReader {
     /// on follower resync so a re-created mirror reopens fresh).
     pub fn forget(&self, seg: u64) {
         self.handles.lock().remove(&seg);
+        self.gen.fetch_add(1, Ordering::Release);
     }
 
     /// Drops every cached handle.
     pub fn forget_all(&self) {
         self.handles.lock().clear();
+        self.gen.fetch_add(1, Ordering::Release);
     }
 
     /// Reads and integrity-checks the payload `ptr` names. The returned
@@ -801,11 +817,15 @@ pub struct ResolveScratch {
     /// One clustered window's raw segment bytes (`pread` fallback when
     /// the segment has no mapping).
     buf: Vec<u8>,
-    /// Last segment mapping used, keyed by segment id — consecutive
-    /// windows usually hit the same segment, skipping the reader's
-    /// handle-table locks. Replaced whenever a window needs a different
-    /// (or longer) mapping.
-    map: Option<(u64, Arc<SegMap>)>,
+    /// Last segment mapping used, keyed by `(reader generation,
+    /// segment id)` — consecutive windows usually hit the same segment,
+    /// skipping the reader's handle-table locks. Replaced whenever a
+    /// window needs a different (or longer) mapping, and **discarded**
+    /// when the reader's generation has moved ([`SegReader::forget`] /
+    /// `forget_all`: GC deletion, follower epoch resync) — a new epoch
+    /// may reuse the segment id over different bytes, and a stale
+    /// mapping would serve the old epoch's payloads.
+    map: Option<(u64, u64, Arc<SegMap>)>,
 }
 
 /// The value tier attached to a store: appender + reader + cache +
@@ -1070,7 +1090,16 @@ impl ValueTier {
             let s = shard_of(key);
             match &cur {
                 Some((held, _)) if *held == s => {}
-                _ => cur = Some((s, self.cache.shards[s].lock())),
+                _ => {
+                    // Release the held shard *before* acquiring the next
+                    // one: a plain `cur = Some(..)` evaluates the new
+                    // lock first, holding two shards at once — two
+                    // batches whose probe sequences cross shards in
+                    // opposite orders (shard_of is a hash) would
+                    // deadlock ABBA-style.
+                    drop(cur.take());
+                    cur = Some((s, self.cache.shards[s].lock()));
+                }
             }
             match cur.as_mut().unwrap().1.get_locked(key) {
                 Some(v) => {
@@ -1141,7 +1170,7 @@ impl ValueTier {
         start: u64,
         end: u64,
         buf: &mut Vec<u8>,
-        map_cache: &mut Option<(u64, Arc<SegMap>)>,
+        map_cache: &mut Option<(u64, u64, Arc<SegMap>)>,
         out: &mut [Option<Arc<ColValue>>],
     ) {
         let len = (end - start) as usize;
@@ -1153,13 +1182,23 @@ impl ValueTier {
         // `pread` into the reusable scratch buffer (grow-only: the read
         // overwrites `..len` in full, so re-zeroing a previously larger
         // window would only burn memory bandwidth on bytes about to be
-        // replaced).
+        // replaced). The cached mapping is honored only while the
+        // reader's generation stands still: `forget`/`forget_all` (GC
+        // deletion, follower epoch resync) may let the segment id be
+        // re-created over different bytes, and the scratch must not
+        // outlive that.
+        let gen = self.reader.generation();
         let mapped = match &*map_cache {
-            Some((mseg, m)) if *mseg == seg && end <= m.len as u64 => Some(Arc::clone(m)),
+            Some((mgen, mseg, m)) if *mgen == gen && *mseg == seg && end <= m.len as u64 => {
+                Some(Arc::clone(m))
+            }
             _ => {
                 let m = self.reader.mapped(seg, end);
                 if let Some(m) = &m {
-                    *map_cache = Some((seg, Arc::clone(m)));
+                    // `gen` was loaded before `mapped()`: if a purge
+                    // raced in between, the stale stamp just makes the
+                    // next window re-fetch — never serves old bytes.
+                    *map_cache = Some((gen, seg, Arc::clone(m)));
                 }
                 m
             }
@@ -1170,17 +1209,7 @@ impl ValueTier {
             }
             if self.reader.read_clustered(seg, start, &mut buf[..len]).is_err() {
                 for &(ptr, version, i) in misses {
-                    self.segment_reads.fetch_add(1, Ordering::Relaxed);
-                    match self.reader.read_value(ptr, version) {
-                        Ok(v) => {
-                            let arc = Arc::new(v);
-                            self.cache.insert((ptr.seg, ptr.off), Arc::clone(&arc));
-                            out[i as usize] = Some(arc);
-                        }
-                        Err(_) => {
-                            self.unresolved.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
+                    self.fill_single(ptr, version, i, out);
                 }
                 return;
             }
@@ -1193,13 +1222,22 @@ impl ValueTier {
         // region sharding puts a whole window's keys in one or two
         // shards, so a run holds one lock, recycles evicted backing
         // blocks through the shard pool into the decodes, and pays one
-        // eviction sweep per run instead of one per payload.
+        // eviction sweep per run instead of one per payload. A payload
+        // that fails CRC or decode inside the window retries through a
+        // fresh per-pointer read (symmetric with the torn-window
+        // fallback above): window-local damage — or a mapping that went
+        // stale mid-batch — must not condemn a payload the segment can
+        // still serve. The shard guard is dropped first; no disk I/O
+        // under a cache lock.
         let mut cur: Option<(usize, parking_lot::MutexGuard<CacheShard>)> = None;
         for &(ptr, version, i) in misses {
             let lo = (ptr.off - start) as usize;
             let payload = &window[lo..lo + ptr.len as usize];
             if crc32(payload) != ptr.crc {
-                self.unresolved.fetch_add(1, Ordering::Relaxed);
+                if let Some((_, mut done)) = cur.take() {
+                    done.sweep();
+                }
+                self.fill_single(ptr, version, i, out);
                 continue;
             }
             let key = (ptr.seg, ptr.off);
@@ -1222,12 +1260,40 @@ impl ValueTier {
                     out[i as usize] = Some(arc);
                 }
                 None => {
-                    self.unresolved.fetch_add(1, Ordering::Relaxed);
+                    if let Some((_, mut done)) = cur.take() {
+                        done.sweep();
+                    }
+                    self.fill_single(ptr, version, i, out);
                 }
             }
         }
         if let Some((_, mut done)) = cur.take() {
             done.sweep();
+        }
+    }
+
+    /// Per-pointer fallback fill: one fresh segment read through
+    /// [`SegReader::read_value`] (which re-resolves the handle and
+    /// mapping, so it heals stale-mapping failures), caching on success
+    /// and counting `unresolved_reads` on failure — the same outcome a
+    /// single [`ValueTier::resolve`] miss would produce.
+    fn fill_single(
+        &self,
+        ptr: ValuePtr,
+        version: u64,
+        i: u32,
+        out: &mut [Option<Arc<ColValue>>],
+    ) {
+        self.segment_reads.fetch_add(1, Ordering::Relaxed);
+        match self.reader.read_value(ptr, version) {
+            Ok(v) => {
+                let arc = Arc::new(v);
+                self.cache.insert((ptr.seg, ptr.off), Arc::clone(&arc));
+                out[i as usize] = Some(arc);
+            }
+            Err(_) => {
+                self.unresolved.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -1530,6 +1596,80 @@ mod tests {
         assert!(out[0].is_some(), "intact payload survives the torn window");
         assert!(out[1].is_none());
         assert_eq!(tier.stats().unresolved_reads, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resolve_many_opposing_probe_orders_do_not_deadlock() {
+        // Regression: the probe loop must drop its held shard guard
+        // before locking the next shard. Holding-while-acquiring lets
+        // two batches whose key sequences cross shards in opposite
+        // orders deadlock ABBA-style — this hammers exactly that shape
+        // (forward vs reverse key order over a warm cache, so both
+        // threads live entirely in the locked-run probe loop).
+        let dir = tmpdir("abba");
+        let tier = Arc::new(ValueTier::open(&dir, 1 << 20, 1 << 20, true).unwrap());
+        let mut ptrs = Vec::new();
+        for i in 0..64u8 {
+            let mut p = Vec::new();
+            encode_payload(&[&[i; 64]], &mut p);
+            ptrs.push(tier.append(&p).unwrap());
+        }
+        assert!(tier.force());
+        let fwd: Vec<(ValuePtr, u64)> = ptrs.iter().map(|&p| (p, 1)).collect();
+        let rev: Vec<(ValuePtr, u64)> = ptrs.iter().rev().map(|&p| (p, 1)).collect();
+        let mut out = Vec::new();
+        let mut scratch = ResolveScratch::default();
+        tier.resolve_many(&fwd, &mut out, &mut scratch);
+        std::thread::scope(|s| {
+            for reqs in [&fwd, &rev] {
+                let tier = Arc::clone(&tier);
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut scratch = ResolveScratch::default();
+                    for _ in 0..500 {
+                        tier.resolve_many(reqs, &mut out, &mut scratch);
+                        assert!(out.iter().all(|v| v.is_some()));
+                    }
+                });
+            }
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resolve_many_scratch_map_invalidated_by_purge() {
+        let dir = tmpdir("scratchmap");
+        let tier = ValueTier::open(&dir, 1 << 20, 1 << 20, true).unwrap();
+        let mut p = Vec::new();
+        encode_payload(&[&[1u8; 256]], &mut p);
+        let old = tier.append(&p).unwrap();
+        assert!(tier.force());
+        let mut out = Vec::new();
+        let mut scratch = ResolveScratch::default();
+        // Warm the per-session mapping cache with the old epoch's bytes.
+        tier.resolve_many(&[(old, 1)], &mut out, &mut scratch);
+        assert!(out[0].is_some());
+        // Follower epoch resync: the segment id is re-created over
+        // different bytes and the tier's caches are purged — but this
+        // session's scratch still holds a mapping of the *deleted*
+        // inode, which must not serve the old epoch's payloads.
+        let seg_file = vseg_path(&dir, old.seg);
+        std::fs::remove_file(&seg_file).unwrap();
+        let mut p2 = Vec::new();
+        encode_payload(&[b"new-epoch-bytes"], &mut p2);
+        std::fs::write(&seg_file, &p2).unwrap();
+        tier.purge_cache();
+        let new = ValuePtr {
+            seg: old.seg,
+            off: 0,
+            len: p2.len() as u32,
+            crc: crc32(&p2),
+        };
+        tier.resolve_many(&[(new, 2)], &mut out, &mut scratch);
+        let v = out[0].as_ref().expect("new epoch bytes resolve");
+        assert_eq!(v.col(0), Some(&b"new-epoch-bytes"[..]));
+        assert_eq!(tier.stats().unresolved_reads, 0, "no stale-map failures");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -121,6 +121,19 @@ pub enum Request {
 /// The durability snapshot carried by [`Response::Stats`]; mirrors
 /// `mtkv::DurabilityStats` plus replication (`mtkv::ReplStats`) and
 /// per-worker connection counters.
+///
+/// Wire format is **self-describing** so mixed-version client/server
+/// pairs degrade gracefully instead of misparsing when a release adds
+/// counters:
+///
+/// ```text
+/// stats_reply := u16 nfields, u64 × nfields, u32 nworkers, u64 × nworkers
+/// ```
+///
+/// The fixed `u64` counters appear in declaration order and are only
+/// ever **appended** to; a decoder fills the fields it knows, zeroes
+/// the ones an older peer didn't send, and skips the ones a newer peer
+/// added.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StatsReply {
     /// Checkpoints completed this server lifetime (the epoch tests wait
@@ -194,7 +207,13 @@ pub struct StatsReply {
 }
 
 impl StatsReply {
+    /// Fixed `u64` counters this version knows, in wire order. New
+    /// counters are appended (never inserted or removed), and the wire
+    /// carries the sender's count so either side can be older.
+    const NFIELDS: u16 = 23;
+
     fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&Self::NFIELDS.to_le_bytes());
         for v in [
             self.checkpoints,
             self.last_checkpoint_start_ts,
@@ -229,10 +248,17 @@ impl StatsReply {
     }
 
     fn decode(p: &mut &[u8]) -> Option<StatsReply> {
-        let mut f = [0u64; 23];
-        for v in f.iter_mut() {
-            *v = u64::from_le_bytes(p.get(..8)?.try_into().ok()?);
+        let nf = u16::from_le_bytes(p.get(..2)?.try_into().ok()?) as usize;
+        *p = &p[2..];
+        // Fields an older sender omitted stay zero; fields a newer
+        // sender appended are consumed and dropped.
+        let mut f = [0u64; Self::NFIELDS as usize];
+        for j in 0..nf {
+            let v = u64::from_le_bytes(p.get(..8)?.try_into().ok()?);
             *p = &p[8..];
+            if let Some(slot) = f.get_mut(j) {
+                *slot = v;
+            }
         }
         let n = u32::from_le_bytes(p.get(..4)?.try_into().ok()?) as usize;
         *p = &p[4..];
@@ -877,6 +903,46 @@ mod tests {
         roundtrip_resp(Response::Redirect(
             "read-only replica; primary at 127.0.0.1:7070".into(),
         ));
+    }
+
+    #[test]
+    fn stats_reply_tolerates_field_count_skew() {
+        // An older peer sends fewer fixed counters: the ones it never
+        // heard of decode as zero, and worker_conns still lines up.
+        let mut buf = vec![0x85];
+        buf.extend_from_slice(&20u16.to_le_bytes());
+        for v in 1..=20u64 {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&9u64.to_le_bytes());
+        let mut p = &buf[..];
+        let Some(Response::Stats(s)) = Response::decode(&mut p) else {
+            panic!("old-peer stats frame must decode");
+        };
+        assert!(p.is_empty());
+        assert_eq!(s.checkpoints, 1);
+        assert_eq!(s.live_segment_bytes, 20);
+        assert_eq!(s.readahead_batches, 0);
+        assert_eq!(s.coalesced_bytes, 0);
+        assert_eq!(s.shared_misses, 0);
+        assert_eq!(s.worker_conns, vec![9]);
+
+        // A newer peer appends counters we don't know: they are skipped
+        // and worker_conns still lines up.
+        let mut buf = vec![0x85];
+        buf.extend_from_slice(&25u16.to_le_bytes());
+        for v in 1..=25u64 {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let mut p = &buf[..];
+        let Some(Response::Stats(s)) = Response::decode(&mut p) else {
+            panic!("new-peer stats frame must decode");
+        };
+        assert!(p.is_empty());
+        assert_eq!(s.shared_misses, 23);
+        assert!(s.worker_conns.is_empty());
     }
 
     #[test]
